@@ -1,0 +1,321 @@
+// Command tcr regenerates the paper's evaluation (Towles, Dally, Boyd,
+// "Throughput-Centric Routing Algorithm Design", SPAA'03) as TSV tables.
+//
+// Subcommands:
+//
+//	eval     metrics for every closed-form algorithm (points of Figures 1 & 6)
+//	figure1  worst-case throughput vs locality Pareto curve (Figure 1)
+//	figure4  locality vs radix for optimal / IVAL / 2TURN (Figure 4)
+//	figure5  interpolated algorithms DOR<->IVAL and DOR<->2TURN (Figure 5)
+//	figure6  average-case throughput vs locality (Figure 6, incl. 2TURNA)
+//	approx   average-case approximation quality (Section 3.3)
+//	sim      flit-level simulation (Section 2.1's ideal-vs-practical gap)
+//
+// All throughputs print as fractions of network capacity; locality prints
+// normalized to the mean minimal path length, matching the paper's axes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tcr"
+	"tcr/internal/eval"
+	"tcr/internal/sim"
+	"tcr/internal/topo"
+	"tcr/internal/traffic"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "eval":
+		err = cmdEval(args)
+	case "figure1":
+		err = cmdFigure1(args)
+	case "figure4":
+		err = cmdFigure4(args)
+	case "figure5":
+		err = cmdFigure5(args)
+	case "figure6":
+		err = cmdFigure6(args)
+	case "approx":
+		err = cmdApprox(args)
+	case "sim":
+		err = cmdSim(args)
+	case "worstperm":
+		err = cmdWorstPerm(args)
+	case "design":
+		err = cmdDesign(args)
+	case "loadmap":
+		err = cmdLoadMap(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tcr:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: tcr <eval|figure1|figure4|figure5|figure6|approx|sim|worstperm|design|loadmap> [flags]
+run "tcr <subcommand> -h" for flags`)
+}
+
+// closedForms returns the paper's Table 1 algorithms plus IVAL.
+func closedForms() []tcr.Algorithm {
+	return []tcr.Algorithm{
+		tcr.DOR(), tcr.ROMM(), tcr.RLB(), tcr.RLBth(), tcr.VAL(), tcr.IVAL(),
+	}
+}
+
+func cmdEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	k := fs.Int("k", 8, "torus radix")
+	nSamples := fs.Int("samples", 100, "average-case sample count (0 to skip)")
+	seed := fs.Int64("seed", 1, "sample seed")
+	fs.Parse(args)
+
+	t := tcr.NewTorus(*k)
+	var samples []*tcr.Traffic
+	if *nSamples > 0 {
+		samples = tcr.SampleTraffic(t, *nSamples, *seed)
+	}
+	fmt.Printf("# %d-ary 2-cube, capacity %.4f injection fraction\n", *k, tcr.NetworkCapacity(t))
+	fmt.Println("alg\tHnorm\twc_frac\tavg_frac\tcap_frac")
+	for _, alg := range closedForms() {
+		m := tcr.Report(t, alg, samples)
+		fmt.Printf("%s\t%.4f\t%.4f\t%.4f\t%.4f\n",
+			alg.Name(), m.HNorm, m.WorstCaseFraction, m.AvgCaseFraction, m.CapacityFraction)
+	}
+	return nil
+}
+
+func cmdFigure1(args []string) error {
+	fs := flag.NewFlagSet("figure1", flag.ExitOnError)
+	k := fs.Int("k", 6, "torus radix (k=8 reproduces the paper but needs hours of LP time)")
+	points := fs.Int("points", 11, "Pareto sweep points")
+	with2turn := fs.Bool("with2turn", false, "also design and plot the 2TURN point (slow)")
+	fs.Parse(args)
+
+	t := tcr.NewTorus(*k)
+	fmt.Println("# optimal tradeoff curve: best worst-case throughput at locality <= L")
+	fmt.Println("Lnorm\twc_frac_optimal")
+	hs := sweep(1.0, 2.0, *points)
+	pts, err := tcr.WorstCaseParetoCurve(t, hs, tcr.DesignOptions{})
+	if err != nil {
+		return err
+	}
+	for _, p := range pts {
+		fmt.Printf("%.4f\t%.4f\n", p.HNorm, p.Theta)
+	}
+	fmt.Println("\n# algorithm points (Hnorm, wc_frac)")
+	fmt.Println("alg\tHnorm\twc_frac")
+	for _, alg := range closedForms() {
+		m := tcr.Report(t, alg, nil)
+		fmt.Printf("%s\t%.4f\t%.4f\n", alg.Name(), m.HNorm, m.WorstCaseFraction)
+	}
+	if *with2turn {
+		tt, err := tcr.Design2Turn(t, tcr.DesignOptions{})
+		if err != nil {
+			return err
+		}
+		m := tcr.Report(t, tt.Table, nil)
+		fmt.Printf("2TURN\t%.4f\t%.4f\n", m.HNorm, m.WorstCaseFraction)
+	}
+	return nil
+}
+
+func cmdFigure4(args []string) error {
+	fs := flag.NewFlagSet("figure4", flag.ExitOnError)
+	kmin := fs.Int("kmin", 3, "smallest radix")
+	kmax := fs.Int("kmax", 5, "largest radix (>=6 needs minutes per radix)")
+	fs.Parse(args)
+
+	fmt.Println("# locality (normalized) at maximum worst-case throughput")
+	fmt.Println("k\toptimal\tIVAL\t2TURN")
+	for k := *kmin; k <= *kmax; k++ {
+		t := tcr.NewTorus(k)
+		opt, err := tcr.OptimalLocalityAtMaxWorstCase(t, tcr.DesignOptions{})
+		if err != nil {
+			return fmt.Errorf("k=%d optimal: %w", k, err)
+		}
+		ival := tcr.Report(t, tcr.IVAL(), nil)
+		tt, err := tcr.Design2Turn(t, tcr.DesignOptions{})
+		if err != nil {
+			return fmt.Errorf("k=%d 2TURN: %w", k, err)
+		}
+		fmt.Printf("%d\t%.4f\t%.4f\t%.4f\n", k, opt.HNorm, ival.HNorm, tt.HNorm)
+	}
+	return nil
+}
+
+func cmdFigure5(args []string) error {
+	fs := flag.NewFlagSet("figure5", flag.ExitOnError)
+	k := fs.Int("k", 8, "torus radix")
+	points := fs.Int("points", 11, "alpha sweep points")
+	with2turn := fs.Bool("with2turn", false, "also interpolate DOR<->2TURN (requires the slow LP design)")
+	fs.Parse(args)
+
+	t := tcr.NewTorus(*k)
+	var ttAlg tcr.Algorithm
+	if *with2turn {
+		tt, err := tcr.Design2Turn(t, tcr.DesignOptions{})
+		if err != nil {
+			return err
+		}
+		ttAlg = tt.Table
+	}
+	fmt.Println("# interpolated algorithms: alpha from DOR (0) to the non-minimal algorithm (1)")
+	if ttAlg != nil {
+		fmt.Println("alpha\tH_DOR-IVAL\twc_DOR-IVAL\tH_DOR-2TURN\twc_DOR-2TURN")
+	} else {
+		fmt.Println("alpha\tH_DOR-IVAL\twc_DOR-IVAL")
+	}
+	for i := 0; i < *points; i++ {
+		alpha := float64(i) / float64(*points-1)
+		a := tcr.Report(t, tcr.Interpolate(tcr.IVAL(), tcr.DOR(), alpha), nil)
+		if ttAlg != nil {
+			b := tcr.Report(t, tcr.Interpolate(ttAlg, tcr.DOR(), alpha), nil)
+			fmt.Printf("%.2f\t%.4f\t%.4f\t%.4f\t%.4f\n",
+				alpha, a.HNorm, a.WorstCaseFraction, b.HNorm, b.WorstCaseFraction)
+		} else {
+			fmt.Printf("%.2f\t%.4f\t%.4f\n", alpha, a.HNorm, a.WorstCaseFraction)
+		}
+	}
+	return nil
+}
+
+func cmdFigure6(args []string) error {
+	fs := flag.NewFlagSet("figure6", flag.ExitOnError)
+	k := fs.Int("k", 5, "torus radix (k=8 with 100 samples needs hours of LP time)")
+	nSamples := fs.Int("samples", 40, "average-case sample count")
+	seed := fs.Int64("seed", 1, "sample seed")
+	points := fs.Int("points", 9, "Pareto sweep points")
+	with2turn := fs.Bool("with2turn", true, "design and plot 2TURN/2TURNA points")
+	fs.Parse(args)
+
+	t := tcr.NewTorus(*k)
+	samples := tcr.SampleTraffic(t, *nSamples, *seed)
+
+	fmt.Println("# optimal tradeoff: best avg-case throughput (approx) at locality <= L")
+	fmt.Println("Lnorm\tavg_frac_optimal")
+	pts, err := tcr.AvgCaseParetoCurve(t, samples, sweep(1.0, 2.0, *points), tcr.DesignOptions{})
+	if err != nil {
+		return err
+	}
+	for _, p := range pts {
+		fmt.Printf("%.4f\t%.4f\n", p.HNorm, p.Theta)
+	}
+
+	fmt.Println("\n# algorithm points (Hnorm, avg_frac)")
+	fmt.Println("alg\tHnorm\tavg_frac")
+	for _, alg := range closedForms() {
+		m := tcr.Report(t, alg, samples)
+		fmt.Printf("%s\t%.4f\t%.4f\n", alg.Name(), m.HNorm, m.AvgCaseFraction)
+	}
+	if *with2turn {
+		tt, err := tcr.Design2Turn(t, tcr.DesignOptions{})
+		if err != nil {
+			return err
+		}
+		m := tcr.Report(t, tt.Table, samples)
+		fmt.Printf("2TURN\t%.4f\t%.4f\n", m.HNorm, m.AvgCaseFraction)
+		tta, err := tcr.Design2TurnA(t, samples, tcr.DesignOptions{})
+		if err != nil {
+			return err
+		}
+		m = tcr.Report(t, tta.Table, samples)
+		fmt.Printf("2TURNA\t%.4f\t%.4f\n", m.HNorm, m.AvgCaseFraction)
+	}
+	return nil
+}
+
+func cmdApprox(args []string) error {
+	fs := flag.NewFlagSet("approx", flag.ExitOnError)
+	k := fs.Int("k", 8, "torus radix")
+	nSamples := fs.Int("samples", 100, "sample count")
+	seed := fs.Int64("seed", 1, "sample seed")
+	fs.Parse(args)
+
+	t := tcr.NewTorus(*k)
+	samples := tcr.SampleTraffic(t, *nSamples, *seed)
+	fmt.Printf("# Section 3.3 approximation check, |X|=%d, N=%d\n", *nSamples, t.N)
+	fmt.Println("alg\tapprox_thpt\texact_mean_thpt\trel_err_pct")
+	for _, alg := range closedForms() {
+		f := tcr.Evaluate(t, alg)
+		r := f.AvgCase(samples)
+		rel := 100 * (r.ExactMeanThroughput - r.ApproxThroughput) / r.ExactMeanThroughput
+		fmt.Printf("%s\t%.4f\t%.4f\t%.2f\n",
+			alg.Name(), r.ApproxThroughput, r.ExactMeanThroughput, rel)
+	}
+	return nil
+}
+
+func cmdSim(args []string) error {
+	fs := flag.NewFlagSet("sim", flag.ExitOnError)
+	k := fs.Int("k", 8, "torus radix")
+	algName := fs.String("alg", "IVAL", "DOR|VAL|IVAL|ROMM|RLB|RLBth|O1TURN")
+	pattern := fs.String("pattern", "uniform", "uniform|tornado|transpose|complement|neighbor|bitrev|shuffle")
+	rate := fs.Float64("rate", 0.0, "offered load in flits/node/cycle; 0 = sweep")
+	warmup := fs.Int("warmup", 3000, "warmup cycles")
+	measure := fs.Int("measure", 10000, "measurement cycles")
+	vcs := fs.Int("vcs", 2, "virtual channels per deadlock class")
+	buf := fs.Int("buf", 8, "flit buffer depth per VC")
+	seed := fs.Int64("seed", 1, "rng seed")
+	fs.Parse(args)
+
+	t := topo.NewTorus(*k)
+	alg, ok := algByName(*algName)
+	if !ok {
+		return fmt.Errorf("unknown algorithm %q", *algName)
+	}
+	pat, ok := traffic.Named(t, *pattern)
+	if !ok {
+		return fmt.Errorf("pattern %q unavailable on k=%d", *pattern, *k)
+	}
+
+	// Ideal saturation for context: min(1, capacity under this pattern).
+	f := eval.FromAlgorithm(t, alg)
+	ideal := f.Throughput(pat)
+	if ideal > 1 {
+		ideal = 1
+	}
+	fmt.Printf("# %s on %d-ary 2-cube, %s traffic; ideal saturation %.4f flits/node/cycle\n",
+		*algName, *k, *pattern, ideal)
+	fmt.Println("rate\tthroughput\tavg_latency\tfrac_of_ideal\tdeadlock")
+
+	rates := []float64{*rate}
+	if *rate == 0 {
+		rates = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	}
+	for _, r := range rates {
+		st := tcr.Simulate(sim.Config{
+			K: *k, Rate: r, Seed: *seed, Alg: alg, Pattern: pat,
+			VCsPerClass: *vcs, BufDepth: *buf,
+		}, *warmup, *measure)
+		fmt.Printf("%.2f\t%.4f\t%.1f\t%.3f\t%v\n",
+			r, st.Throughput, st.AvgLatency, st.Throughput/ideal, st.Deadlocked)
+	}
+	return nil
+}
+
+// sweep returns n evenly spaced values in [lo, hi].
+func sweep(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		return []float64{hi}
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSweep(t *testing.T) {
+	got := sweep(1, 2, 5)
+	want := []float64{1, 1.25, 1.5, 1.75, 2}
+	if len(got) != len(want) {
+		t.Fatalf("len %d", len(got))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("sweep[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if one := sweep(1, 2, 1); len(one) != 1 || one[0] != 2 {
+		t.Fatalf("degenerate sweep = %v", one)
+	}
+}
+
+func TestAlgByName(t *testing.T) {
+	for _, name := range []string{"DOR", "VAL", "IVAL", "ROMM", "RLB", "RLBth", "O1TURN", "GOALish"} {
+		if _, ok := algByName(name); !ok {
+			t.Errorf("missing algorithm %q", name)
+		}
+	}
+	if _, ok := algByName("nope"); ok {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestClosedFormsList(t *testing.T) {
+	algs := closedForms()
+	if len(algs) != 6 {
+		t.Fatalf("expected the six Table-1 algorithms, got %d", len(algs))
+	}
+	seen := map[string]bool{}
+	for _, a := range algs {
+		if seen[a.Name()] {
+			t.Fatalf("duplicate algorithm %s", a.Name())
+		}
+		seen[a.Name()] = true
+	}
+}

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tcr"
+	"tcr/internal/design"
+	"tcr/internal/eval"
+	"tcr/internal/routing"
+	"tcr/internal/topo"
+	"tcr/internal/traffic"
+)
+
+// This file holds the diagnostic subcommands beyond the figure pipeline:
+//
+//	worstperm  print the adversarial permutation the Hungarian oracle finds
+//	design     run an LP design and export the routing table as JSON
+//	loadmap    ASCII heat map of per-channel loads under a pattern
+//
+// They are registered from main's dispatch (see registerTools).
+
+// algByName resolves the closed-form algorithms plus O1TURN.
+func algByName(name string) (routing.Algorithm, bool) {
+	algs := map[string]routing.Algorithm{
+		"DOR": routing.DOR{}, "VAL": routing.VAL{}, "IVAL": routing.IVAL{},
+		"ROMM": routing.ROMM{}, "RLB": routing.RLB{},
+		"RLBth": routing.RLB{Threshold: true}, "O1TURN": routing.O1TURN{},
+		"GOALish": routing.GOALish{},
+	}
+	a, ok := algs[name]
+	return a, ok
+}
+
+func cmdWorstPerm(args []string) error {
+	fs := flag.NewFlagSet("worstperm", flag.ExitOnError)
+	k := fs.Int("k", 8, "torus radix")
+	algName := fs.String("alg", "DOR", "algorithm name")
+	fs.Parse(args)
+
+	alg, ok := algByName(*algName)
+	if !ok {
+		return fmt.Errorf("unknown algorithm %q", *algName)
+	}
+	t := topo.NewTorus(*k)
+	f := eval.FromAlgorithm(t, alg)
+	gamma, perm := f.WorstCase()
+	fmt.Printf("# worst-case channel load for %s on %d-ary 2-cube: %.4f (throughput %.4f of capacity)\n",
+		*algName, *k, gamma, (1/gamma)/eval.NetworkCapacity(t))
+	fmt.Println("src_x\tsrc_y\tdst_x\tdst_y\thops")
+	for s, d := range perm {
+		sx, sy := t.Coord(topo.Node(s))
+		dx, dy := t.Coord(topo.Node(d))
+		fmt.Printf("%d\t%d\t%d\t%d\t%d\n", sx, sy, dx, dy, t.MinDist(topo.Node(s), topo.Node(d)))
+	}
+	return nil
+}
+
+func cmdDesign(args []string) error {
+	fs := flag.NewFlagSet("design", flag.ExitOnError)
+	k := fs.Int("k", 8, "torus radix")
+	kind := fs.String("kind", "2turn", "2turn|2turna|wcopt")
+	nSamples := fs.Int("samples", 50, "sample count for 2turna")
+	seed := fs.Int64("seed", 1, "sample seed")
+	out := fs.String("o", "", "output JSON path (default stdout)")
+	fs.Parse(args)
+
+	t := tcr.NewTorus(*k)
+	var tbl *routing.Table
+	switch *kind {
+	case "2turn":
+		res, err := tcr.Design2Turn(t, tcr.DesignOptions{})
+		if err != nil {
+			return err
+		}
+		tbl = res.Table
+		fmt.Fprintf(os.Stderr, "2TURN: H=%.4f gamma_wc=%.4f\n", res.HNorm, res.GammaWC)
+	case "2turna":
+		samples := tcr.SampleTraffic(t, *nSamples, *seed)
+		res, err := tcr.Design2TurnA(t, samples, tcr.DesignOptions{})
+		if err != nil {
+			return err
+		}
+		tbl = res.Table
+		fmt.Fprintf(os.Stderr, "2TURNA: H=%.4f mean-max-load=%.4f\n", res.HNorm, res.Objective)
+	case "wcopt":
+		res, err := design.MinLocalityAtWorstCase(t, 1e-6, design.Options{})
+		if err != nil {
+			return err
+		}
+		alg, err := design.DecomposeFlow(res.Flow, "wc-opt")
+		if err != nil {
+			return err
+		}
+		tbl = alg
+		fmt.Fprintf(os.Stderr, "wc-opt: H=%.4f gamma_wc=%.4f\n", res.HNorm, res.GammaWC)
+	default:
+		return fmt.Errorf("unknown design kind %q", *kind)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		file, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		w = file
+	}
+	return tbl.WriteJSON(w, t)
+}
+
+func cmdLoadMap(args []string) error {
+	fs := flag.NewFlagSet("loadmap", flag.ExitOnError)
+	k := fs.Int("k", 8, "torus radix")
+	algName := fs.String("alg", "DOR", "algorithm name")
+	pattern := fs.String("pattern", "tornado", "uniform|tornado|transpose|complement|neighbor|bitrev|shuffle")
+	fs.Parse(args)
+
+	alg, ok := algByName(*algName)
+	if !ok {
+		return fmt.Errorf("unknown algorithm %q", *algName)
+	}
+	t := topo.NewTorus(*k)
+	lam, ok := traffic.Named(t, *pattern)
+	if !ok {
+		return fmt.Errorf("pattern %q unavailable on k=%d", *pattern, *k)
+	}
+	f := eval.FromAlgorithm(t, alg)
+	loads := f.ChannelLoads(lam)
+	var max float64
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+	}
+	fmt.Printf("# %s under %s on %d-ary 2-cube: gamma_max = %.4f\n", *algName, *pattern, *k, max)
+	ramp := " .:-=+*#%@"
+	for dir := topo.Dir(0); dir < topo.NumDirs; dir++ {
+		fmt.Printf("\n%s channels (rows are y, columns x):\n", dir)
+		for y := *k - 1; y >= 0; y-- {
+			var sb strings.Builder
+			for x := 0; x < *k; x++ {
+				l := loads[t.Chan(t.NodeAt(x, y), dir)]
+				idx := 0
+				if max > 0 {
+					idx = int(l / max * float64(len(ramp)-1))
+				}
+				sb.WriteByte(ramp[idx])
+			}
+			fmt.Println(sb.String())
+		}
+	}
+	return nil
+}

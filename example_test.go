@@ -1,0 +1,54 @@
+package tcr_test
+
+import (
+	"fmt"
+
+	"tcr"
+)
+
+// The paper's headline comparison: IVAL keeps Valiant's optimal worst-case
+// throughput while recovering a fifth of its path length.
+func Example() {
+	t := tcr.NewTorus(8)
+	for _, alg := range []tcr.Algorithm{tcr.DOR(), tcr.VAL(), tcr.IVAL()} {
+		m := tcr.Report(t, alg, nil)
+		fmt.Printf("%-5s H=%.3f worst-case=%.3f\n", alg.Name(), m.HNorm, m.WorstCaseFraction)
+	}
+	// Output:
+	// DOR   H=1.000 worst-case=0.286
+	// VAL   H=2.000 worst-case=0.500
+	// IVAL  H=1.613 worst-case=0.500
+}
+
+// Interpolated routing trades locality against worst-case throughput along
+// the harmonic-mean bound of equation (14).
+func ExampleInterpolate() {
+	t := tcr.NewTorus(8)
+	half := tcr.Report(t, tcr.Interpolate(tcr.IVAL(), tcr.DOR(), 0.5), nil)
+	fmt.Printf("alpha=0.5: H=%.4f worst-case=%.4f\n", half.HNorm, half.WorstCaseFraction)
+	// Output:
+	// alpha=0.5: H=1.3066 worst-case=0.3636
+}
+
+// Worst-case throughput is evaluated exactly: the Hungarian assignment on a
+// channel's pair-load matrix finds the adversarial permutation.
+func ExampleEvaluate() {
+	t := tcr.NewTorus(8)
+	f := tcr.Evaluate(t, tcr.VAL())
+	gamma, perm := f.WorstCase()
+	fmt.Printf("gamma_wc=%.2f over a %d-node permutation\n", gamma, len(perm))
+	// Output:
+	// gamma_wc=2.00 over a 64-node permutation
+}
+
+// Traffic patterns are plain doubly-stochastic matrices; the classic
+// adversaries are built in.
+func ExampleTornadoTraffic() {
+	t := tcr.NewTorus(8)
+	f := tcr.Evaluate(t, tcr.DOR())
+	fmt.Printf("DOR under tornado: gamma_max=%.1f -> throughput %.3f of capacity\n",
+		f.GammaMax(tcr.TornadoTraffic(t)),
+		f.Throughput(tcr.TornadoTraffic(t))/tcr.NetworkCapacity(t))
+	// Output:
+	// DOR under tornado: gamma_max=3.0 -> throughput 0.333 of capacity
+}

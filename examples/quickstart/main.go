@@ -1,0 +1,29 @@
+// Quickstart: evaluate the paper's routing algorithms on an 8-ary 2-cube
+// and reproduce the headline comparison of Section 5.2 — VAL pays double
+// the minimal path length for optimal worst-case throughput, IVAL recovers
+// ~19% of that locality for free, and loop removal (Figure 3) is why.
+package main
+
+import (
+	"fmt"
+
+	"tcr"
+)
+
+func main() {
+	t := tcr.NewTorus(8)
+	fmt.Printf("8-ary 2-cube: N=%d nodes, C=%d channels, capacity %.2f\n\n",
+		t.N, t.C, tcr.NetworkCapacity(t))
+
+	fmt.Println("algorithm  locality(x minimal)  worst-case (fraction of capacity)")
+	for _, alg := range []tcr.Algorithm{tcr.DOR(), tcr.VAL(), tcr.IVAL()} {
+		m := tcr.Report(t, alg, nil)
+		fmt.Printf("%-9s  %19.3f  %33.3f\n", alg.Name(), m.HNorm, m.WorstCaseFraction)
+	}
+
+	val := tcr.Report(t, tcr.VAL(), nil)
+	ival := tcr.Report(t, tcr.IVAL(), nil)
+	fmt.Printf("\nIVAL keeps VAL's worst case while cutting average path length by %.1f%%\n",
+		100*(val.HAvg-ival.HAvg)/val.HAvg)
+	fmt.Println("(the paper reports 19.3% on the 8-ary 2-cube)")
+}

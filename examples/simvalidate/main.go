@@ -1,0 +1,45 @@
+// Simulator validation: Section 2.1 argues the edge-congestion model is an
+// upper bound that practical routers approach (60-75% cited). This example
+// runs the flit-level simulator against the analytic ideal for DOR and IVAL
+// under uniform and tornado traffic on an 8-ary 2-cube, printing accepted
+// throughput as a fraction of the analytic saturation point.
+package main
+
+import (
+	"fmt"
+
+	"tcr"
+)
+
+func main() {
+	t := tcr.NewTorus(8)
+	cases := []struct {
+		alg     tcr.Algorithm
+		pattern *tcr.Traffic
+		name    string
+	}{
+		{tcr.DOR(), nil, "DOR/uniform"},
+		{tcr.IVAL(), nil, "IVAL/uniform"},
+		{tcr.DOR(), tcr.TornadoTraffic(t), "DOR/tornado"},
+		{tcr.IVAL(), tcr.TornadoTraffic(t), "IVAL/tornado"},
+	}
+	fmt.Println("case           ideal_sat  simulated  fraction")
+	for _, c := range cases {
+		f := tcr.Evaluate(t, c.alg)
+		pat := c.pattern
+		if pat == nil {
+			pat = tcr.UniformTraffic(t)
+		}
+		ideal := f.Throughput(pat)
+		if ideal > 1 {
+			ideal = 1 // injection bandwidth binds first
+		}
+		st := tcr.Simulate(tcr.SimConfig{
+			K: 8, Rate: 1.0, Seed: 7, Alg: c.alg, Pattern: c.pattern,
+			VCsPerClass: 3, BufDepth: 8,
+		}, 3000, 10000)
+		fmt.Printf("%-14s %9.3f  %9.3f  %7.1f%%  deadlock=%v\n",
+			c.name, ideal, st.Throughput, 100*st.Throughput/ideal, st.Deadlocked)
+	}
+	fmt.Println("\nfractions in the 50-85% band reproduce the paper's practical-router gap")
+}

@@ -1,0 +1,3 @@
+module tcr
+
+go 1.22

@@ -1,0 +1,157 @@
+package design
+
+import (
+	"fmt"
+
+	"tcr/internal/eval"
+	"tcr/internal/lp"
+	"tcr/internal/topo"
+	"tcr/internal/traffic"
+)
+
+// AvgCaseLP is the average-case design problem of Section 3.3/5.4: minimize
+// (1/|X|) sum_i t_i with t_i >= gamma_max(R, Lambda_i) over a fixed sample X
+// of doubly-stochastic matrices, optionally at a fixed locality. Per-sample
+// max constraints are generated lazily: only the channels that actually
+// achieve a sample's maximum ever enter the LP.
+type AvgCaseLP struct {
+	flp     *FlowLP
+	samples []*traffic.Matrix
+	tVars   []lp.VarID
+}
+
+// NewAvgCaseLP builds the base problem over the given sample. The model is
+// the flow LP's layout plus one t variable per sample carrying the
+// (1/|X|) objective weight; the w slot is kept as a zero-cost placeholder so
+// variable indexing matches FlowLP.
+func NewAvgCaseLP(t *topo.Torus, samples []*traffic.Matrix, withLocality bool, opts Options) *AvgCaseLP {
+	p := &FlowLP{T: t, fold: opts.Fold, opts: opts, hRow: -1}
+	p.buildCommodities()
+	p.buildPairMaps()
+
+	m := lp.NewModel()
+	for ci := range p.comms {
+		for c := 0; c < t.C; c++ {
+			m.AddVar(0, fmt.Sprintf("x[%d,%d]", ci, c))
+		}
+	}
+	p.wVar = m.AddVar(0, "w") // unused placeholder to keep varID layout
+	tVars := make([]lp.VarID, len(samples))
+	inv := 1 / float64(len(samples))
+	for i := range samples {
+		tVars[i] = m.AddVar(inv, fmt.Sprintf("t[%d]", i))
+	}
+
+	for ci, cm := range p.comms {
+		for n := 0; n < t.N; n++ {
+			terms := make([]lp.Term, 0, 8)
+			for d := topo.Dir(0); d < topo.NumDirs; d++ {
+				terms = append(terms, lp.Term{Var: p.varID(ci, t.Chan(topo.Node(n), d)), Coef: 1})
+				nb := t.Neighbor(topo.Node(n), d)
+				terms = append(terms, lp.Term{Var: p.varID(ci, t.Chan(nb, d.Reverse())), Coef: -1})
+			}
+			rhs := 0.0
+			switch topo.Node(n) {
+			case 0:
+				rhs = 1
+			case cm.rel:
+				rhs = -1
+			}
+			m.AddRow(terms, lp.EQ, rhs, "")
+		}
+	}
+	if withLocality {
+		terms := make([]lp.Term, 0, len(p.comms)*t.C)
+		for ci, cm := range p.comms {
+			for c := 0; c < t.C; c++ {
+				terms = append(terms, lp.Term{Var: p.varID(ci, topo.Channel(c)), Coef: cm.orbit})
+			}
+		}
+		p.hRow = m.AddRow(terms, lp.LE, float64(t.N)*t.MeanMinDist(), "H")
+		p.hasH = true
+	}
+	p.model = m
+	p.solver = lp.NewSolver(m)
+	return &AvgCaseLP{flp: p, samples: samples, tVars: tVars}
+}
+
+// SetLocality re-targets the locality row (normalized units).
+func (a *AvgCaseLP) SetLocality(hNorm float64) { a.flp.SetLocality(hNorm) }
+
+// Solve runs the cutting-plane loop: each round, every sample whose true
+// maximum channel load exceeds its t variable contributes a cut for its
+// most-loaded channel.
+func (a *AvgCaseLP) Solve() (*Result, error) {
+	p := a.flp
+	tol := p.opts.tol()
+	res := &Result{}
+	for round := 0; round < p.opts.rounds(); round++ {
+		sol, err := p.solver.Solve()
+		if err != nil {
+			return nil, err
+		}
+		if sol.Status != lp.Optimal {
+			return nil, fmt.Errorf("design: avg-case LP status %v at round %d", sol.Status, round)
+		}
+		res.Rounds = round + 1
+		res.Iterations += sol.Iterations
+		flow := p.unfold(sol.X)
+		violated := false
+		for i, lam := range a.samples {
+			loads := flow.ChannelLoads(lam)
+			worstC, worst := 0, 0.0
+			for c, l := range loads {
+				if l > worst {
+					worst, worstC = l, c
+				}
+			}
+			if worst > sol.X[a.tVars[i]]+tol {
+				p.matrixCut(topo.Channel(worstC), lam, a.tVars[i])
+				violated = true
+			}
+		}
+		if !violated {
+			res.Flow = flow
+			res.Objective = sol.Objective
+			res.GammaWC, _ = flow.WorstCase()
+			res.HAvg = flow.HAvg()
+			res.HNorm = flow.HNorm()
+			return res, nil
+		}
+	}
+	return nil, fmt.Errorf("design: avg-case cutting planes did not converge in %d rounds", p.opts.rounds())
+}
+
+// AvgCaseOptimal minimizes the sampled mean maximum channel load with no
+// locality constraint: the maximum average-case throughput point of
+// Figure 6 (its reciprocal, normalized by capacity, is the paper's ~62.8%).
+func AvgCaseOptimal(t *topo.Torus, samples []*traffic.Matrix, opts Options) (*Result, error) {
+	return NewAvgCaseLP(t, samples, false, opts).Solve()
+}
+
+// AvgCaseAtLocality solves equation (15): best average-case throughput at a
+// fixed normalized locality.
+func AvgCaseAtLocality(t *topo.Torus, samples []*traffic.Matrix, hNorm float64, opts Options) (*Result, error) {
+	a := NewAvgCaseLP(t, samples, true, opts)
+	a.SetLocality(hNorm)
+	return a.Solve()
+}
+
+// AvgCaseParetoCurve sweeps locality for Figure 6's optimal tradeoff curve,
+// reusing the LP (sample cuts stay valid across L).
+func AvgCaseParetoCurve(t *topo.Torus, samples []*traffic.Matrix, hNorms []float64, opts Options) ([]ParetoPoint, error) {
+	a := NewAvgCaseLP(t, samples, true, opts)
+	cap := eval.NetworkCapacity(t)
+	out := make([]ParetoPoint, 0, len(hNorms))
+	for _, h := range hNorms {
+		a.SetLocality(h)
+		res, err := a.Solve()
+		if err != nil {
+			return nil, fmt.Errorf("L=%v: %w", h, err)
+		}
+		// Objective is the mean max load; its reciprocal approximates the
+		// average throughput (equation 9).
+		out = append(out, ParetoPoint{HNorm: h, Theta: (1 / res.Objective) / cap, Gamma: res.Objective})
+	}
+	return out, nil
+}

@@ -1,0 +1,512 @@
+// Package design implements the routing-algorithm design problems of the
+// paper as linear programs and solves them to global optimality:
+//
+//   - capacity (equation 6): minimize the maximum channel load under
+//     uniform traffic;
+//   - worst-case throughput (equations 7/8/10): minimize the worst channel
+//     load over all permutation traffic, optionally under an average path
+//     length budget H_avg <= L (the Pareto sweeps of Figure 1; the paper
+//     writes H_avg = L, but with self commodities excluded the budget form
+//     is the faithful Pareto semantics -- excess length would otherwise be
+//     parked on self-pair paths that adversarial permutations never load);
+//   - average-case throughput (equations 9/15): minimize the mean maximum
+//     channel load over a fixed sample of doubly-stochastic matrices
+//     (Figure 6);
+//   - path-restricted designs over the two-turn path space (2TURN, 2TURNA,
+//     Section 5.2/5.4).
+//
+// Instead of the appendix's monolithic dual reformulation, the worst-case
+// problems are solved by constraint generation: the LP carries only the
+// permutation constraints discovered so far, and the exact separation
+// oracle -- a Hungarian maximum-weight matching on the pair-load matrix of a
+// representative channel -- either certifies optimality or produces a
+// violated permutation. Because the generated LP is a relaxation and the
+// incumbent routing function is feasible, the gap between the LP objective
+// and the oracle's load sandwiches the true optimum; convergence is
+// self-certifying. The same pattern handles the per-sample maxima of the
+// average-case problem.
+//
+// Symmetry (Section 4) enters through variable folding: commodities are
+// restricted to canonical relative destinations (translation folding alone,
+// or translation plus the dihedral octant), with every pair's channel loads
+// expressed over the folded variables through explicit automorphisms. Both
+// foldings are implemented and cross-checked in tests; convexity of the
+// cost functions guarantees a symmetric optimum exists, so folding loses
+// nothing.
+package design
+
+import (
+	"fmt"
+	"math"
+
+	"tcr/internal/eval"
+	"tcr/internal/lp"
+	"tcr/internal/matching"
+	"tcr/internal/topo"
+	"tcr/internal/traffic"
+)
+
+// Fold selects the symmetry reduction applied to the flow formulation.
+type Fold int
+
+const (
+	// FoldOctant folds commodities over translations and the dihedral
+	// group: one commodity per canonical octant destination. Smallest LPs.
+	FoldOctant Fold = iota
+	// FoldTranslation folds over translations only: one commodity per
+	// relative destination. Larger LPs; used to cross-check the octant
+	// folding.
+	FoldTranslation
+)
+
+// Cuts selects the constraint-generation strategy for worst-case problems.
+type Cuts int
+
+const (
+	// CutPotentials (default) uses the paper's LP (8): matching-dual
+	// potential variables per representative channel with lazily added
+	// pair rows. Converges in few rounds.
+	CutPotentials Cuts = iota
+	// CutPermutations adds one worst-permutation row per representative
+	// channel per round (pure cutting planes). Slower; kept as a
+	// cross-check and ablation baseline.
+	CutPermutations
+)
+
+// Options tunes the solvers; the zero value is ready to use.
+type Options struct {
+	// Fold selects the symmetry reduction (default FoldOctant).
+	Fold Fold
+	// Cuts selects the worst-case constraint strategy (default
+	// CutPotentials).
+	Cuts Cuts
+	// MaxRounds bounds cutting-plane iterations (default 200).
+	MaxRounds int
+	// Tol is the relative convergence tolerance (default 1e-6).
+	Tol float64
+}
+
+func (o Options) rounds() int {
+	if o.MaxRounds > 0 {
+		return o.MaxRounds
+	}
+	return 200
+}
+
+func (o Options) tol() float64 {
+	if o.Tol > 0 {
+		return o.Tol
+	}
+	return 1e-6
+}
+
+// commodity is one folded flow commodity.
+type commodity struct {
+	rel    topo.Node // canonical relative destination as a node id
+	orbit  float64   // number of relative offsets folded onto it
+	relDst topo.RelDest
+}
+
+// FlowLP is a flow-based routing design LP under a symmetry folding. It
+// carries the variable layout, the pair-to-variable automorphism maps, and
+// the warm-startable solver.
+type FlowLP struct {
+	T     *topo.Torus
+	fold  Fold
+	comms []commodity
+	// pairComm[s*N+d] / pairAut[s*N+d]: the commodity index and the
+	// automorphism mapping pair (s, d) onto it; -1 for self pairs.
+	pairComm []int
+	pairAut  []topo.Aut
+
+	model  *lp.Model
+	solver *lp.Solver
+	wVar   lp.VarID // the max-load variable
+	hRow   lp.RowID // locality budget row, -1 when absent
+	hasH   bool
+
+	opts Options
+}
+
+// varID returns the LP variable of (commodity, channel).
+func (p *FlowLP) varID(comm int, c topo.Channel) lp.VarID {
+	return lp.VarID(comm*p.T.C + int(c))
+}
+
+// NewFlowLP builds the base LP: flow conservation for each folded commodity
+// plus the load variable w, with objective min w. A locality budget row
+// (H_avg <= L, normalized units; see the package comment on why the paper's
+// equality becomes a budget here) is added when withLocality is set; sweep
+// it with SetLocality.
+func NewFlowLP(t *topo.Torus, withLocality bool, opts Options) *FlowLP {
+	p := &FlowLP{T: t, fold: opts.Fold, opts: opts, hRow: -1}
+	p.buildCommodities()
+	p.buildPairMaps()
+
+	m := lp.NewModel()
+	for ci := range p.comms {
+		for c := 0; c < t.C; c++ {
+			m.AddVar(0, fmt.Sprintf("x[%d,%d]", ci, c))
+		}
+	}
+	p.wVar = m.AddVar(1, "w")
+
+	// Flow conservation: for each commodity and node, out - in = supply.
+	for ci, cm := range p.comms {
+		for n := 0; n < t.N; n++ {
+			terms := make([]lp.Term, 0, 8)
+			for d := topo.Dir(0); d < topo.NumDirs; d++ {
+				terms = append(terms, lp.Term{Var: p.varID(ci, t.Chan(topo.Node(n), d)), Coef: 1})
+				nb := t.Neighbor(topo.Node(n), d)
+				terms = append(terms, lp.Term{Var: p.varID(ci, t.Chan(nb, d.Reverse())), Coef: -1})
+			}
+			rhs := 0.0
+			switch topo.Node(n) {
+			case 0:
+				rhs = 1
+			case cm.rel:
+				rhs = -1
+			}
+			m.AddRow(terms, lp.EQ, rhs, fmt.Sprintf("cons[%d,%d]", ci, n))
+		}
+	}
+
+	if withLocality {
+		terms := make([]lp.Term, 0, len(p.comms)*t.C)
+		for ci, cm := range p.comms {
+			for c := 0; c < t.C; c++ {
+				terms = append(terms, lp.Term{Var: p.varID(ci, topo.Channel(c)), Coef: cm.orbit})
+			}
+		}
+		// H_avg = (1/N) * sum orbit * pathlen; constrain the sum directly.
+		p.hRow = m.AddRow(terms, lp.LE, float64(t.N)*t.MeanMinDist(), "H")
+		p.hasH = true
+	}
+
+	p.model = m
+	p.solver = lp.NewSolver(m)
+	return p
+}
+
+func (p *FlowLP) buildCommodities() {
+	t := p.T
+	switch p.fold {
+	case FoldOctant:
+		for _, od := range t.OctantDests() {
+			p.comms = append(p.comms, commodity{
+				rel:    t.NodeAt(od.Rel.X, od.Rel.Y),
+				orbit:  float64(od.Orbit),
+				relDst: od.Rel,
+			})
+		}
+	case FoldTranslation:
+		for rel := 1; rel < t.N; rel++ {
+			x, y := t.Coord(topo.Node(rel))
+			p.comms = append(p.comms, commodity{
+				rel:    topo.Node(rel),
+				orbit:  1,
+				relDst: topo.RelDest{X: x, Y: y},
+			})
+		}
+	}
+}
+
+func (p *FlowLP) buildPairMaps() {
+	t := p.T
+	commIdx := make(map[topo.Node]int, len(p.comms))
+	for i, cm := range p.comms {
+		commIdx[cm.rel] = i
+	}
+	p.pairComm = make([]int, t.N*t.N)
+	p.pairAut = make([]topo.Aut, t.N*t.N)
+	for s := 0; s < t.N; s++ {
+		sx, sy := t.Coord(topo.Node(s))
+		for d := 0; d < t.N; d++ {
+			idx := s*t.N + d
+			if s == d {
+				p.pairComm[idx] = -1
+				continue
+			}
+			switch p.fold {
+			case FoldOctant:
+				a, rel := t.PairAut(topo.Node(s), topo.Node(d))
+				p.pairComm[idx] = commIdx[t.NodeAt(rel.X, rel.Y)]
+				p.pairAut[idx] = a
+			case FoldTranslation:
+				rx, ry := t.Rel(topo.Node(s), topo.Node(d))
+				p.pairComm[idx] = commIdx[t.NodeAt(rx, ry)]
+				p.pairAut[idx] = topo.Aut{M: topo.DihId, Tx: -sx, Ty: -sy}
+			}
+		}
+	}
+}
+
+// pairLoadVar returns the LP variable carrying the load that pair (s, d)
+// places on channel c, or -1 for self pairs.
+func (p *FlowLP) pairLoadVar(s, d int, c topo.Channel) lp.VarID {
+	idx := s*p.T.N + d
+	ci := p.pairComm[idx]
+	if ci < 0 {
+		return -1
+	}
+	return p.varID(ci, p.T.ApplyChan(p.pairAut[idx], c))
+}
+
+// SetLocality re-targets the locality row at normalized average path length
+// hNorm (1 = minimal, 2 = twice minimal).
+func (p *FlowLP) SetLocality(hNorm float64) {
+	if !p.hasH {
+		panic("design: SetLocality on an LP built without a locality row")
+	}
+	p.solver.SetRHS(int(p.hRow), hNorm*float64(p.T.N)*p.T.MeanMinDist())
+}
+
+// loadCut appends the constraint gamma_c(R, Lambda) <= bound (the w
+// variable or a sample's t variable) for a traffic pattern given as a
+// permutation or dense matrix.
+func (p *FlowLP) permCut(c topo.Channel, perm []int, bound lp.VarID) {
+	terms := make([]lp.Term, 0, p.T.N+1)
+	for s, d := range perm {
+		if v := p.pairLoadVar(s, d, c); v >= 0 {
+			terms = append(terms, lp.Term{Var: v, Coef: 1})
+		}
+	}
+	terms = append(terms, lp.Term{Var: bound, Coef: -1})
+	p.solver.AddCut(terms, lp.LE, 0)
+}
+
+// matrixCut appends gamma_c(R, Lambda) <= bound for a dense pattern.
+func (p *FlowLP) matrixCut(c topo.Channel, lam *traffic.Matrix, bound lp.VarID) {
+	terms := make([]lp.Term, 0, p.T.N*p.T.N/4)
+	for s := 0; s < p.T.N; s++ {
+		for d := 0; d < p.T.N; d++ {
+			l := lam.L[s][d]
+			if l == 0 {
+				continue
+			}
+			if v := p.pairLoadVar(s, d, c); v >= 0 {
+				terms = append(terms, lp.Term{Var: v, Coef: l})
+			}
+		}
+	}
+	terms = append(terms, lp.Term{Var: bound, Coef: -1})
+	p.solver.AddCut(terms, lp.LE, 0)
+}
+
+// unfold expands an LP solution into a full per-relative-destination flow
+// table (the induced translation-invariant routing function).
+func (p *FlowLP) unfold(x []float64) *eval.Flow {
+	t := p.T
+	f := eval.NewFlow(t)
+	for rel := 1; rel < t.N; rel++ {
+		idx := 0*t.N + rel // pair (0, rel)
+		ci := p.pairComm[idx]
+		a := p.pairAut[idx]
+		for c := 0; c < t.C; c++ {
+			f.X[rel][c] = x[p.varID(ci, t.ApplyChan(a, topo.Channel(c)))]
+		}
+	}
+	return f
+}
+
+// Result is the outcome of a design solve: the optimal folded solution
+// expanded to a flow table plus its exactly-evaluated metrics.
+type Result struct {
+	Flow *eval.Flow
+	// Objective is the LP objective at convergence (max load for
+	// worst-case problems, mean max load for average-case).
+	Objective float64
+	// GammaWC is the exact worst-case channel load of the returned
+	// routing function (Hungarian-evaluated).
+	GammaWC float64
+	// HAvg is the average path length in hops; HNorm normalized.
+	HAvg, HNorm float64
+	// Rounds is the number of cutting-plane iterations used.
+	Rounds int
+	// Iterations is the total simplex pivot count.
+	Iterations int
+}
+
+// solveWorstCase runs the cutting-plane loop on the current LP state:
+// minimize the current objective subject to flow constraints and generated
+// permutation cuts, until the Hungarian oracle certifies that no permutation
+// loads any channel beyond the LP's bound variable by more than tol.
+func (p *FlowLP) solveWorstCase() (*Result, error) {
+	tol := p.opts.tol()
+	var last *lp.Solution
+	res := &Result{}
+	for round := 0; round < p.opts.rounds(); round++ {
+		sol, err := p.solver.Solve()
+		if err != nil {
+			return nil, err
+		}
+		if sol.Status != lp.Optimal {
+			return nil, fmt.Errorf("design: LP status %v at round %d", sol.Status, round)
+		}
+		last = sol
+		res.Rounds = round + 1
+		res.Iterations += sol.Iterations
+		flow := p.unfold(sol.X)
+		w := sol.X[p.wVar]
+
+		// Separation: worst permutation per channel-direction
+		// representative (translation invariance covers the rest).
+		violated := false
+		for dir := topo.Dir(0); dir < topo.NumDirs; dir++ {
+			c := p.T.Chan(0, dir)
+			mat := pairLoadMatrix(flow, c)
+			perm, g := matching.MaxWeightAssignment(mat)
+			if g > w+tol*math.Max(1, w) {
+				p.permCut(c, perm, p.wVar)
+				violated = true
+			}
+		}
+		if !violated {
+			res.Flow = flow
+			res.Objective = last.Objective
+			res.GammaWC, _ = flow.WorstCase()
+			res.HAvg = flow.HAvg()
+			res.HNorm = flow.HNorm()
+			return res, nil
+		}
+	}
+	return nil, fmt.Errorf("design: cutting planes did not converge in %d rounds", p.opts.rounds())
+}
+
+// pairLoadMatrix mirrors eval's internal pair-load matrix for the oracle.
+func pairLoadMatrix(f *eval.Flow, c topo.Channel) [][]float64 {
+	t := f.T
+	m := make([][]float64, t.N)
+	dir := t.ChanDir(c)
+	ux, uy := t.Coord(t.ChanSrc(c))
+	for s := 0; s < t.N; s++ {
+		m[s] = make([]float64, t.N)
+		sx, sy := t.Coord(topo.Node(s))
+		tc := t.Chan(t.NodeAt(ux-sx, uy-sy), dir)
+		for d := 0; d < t.N; d++ {
+			rx, ry := t.Rel(topo.Node(s), topo.Node(d))
+			m[s][d] = f.X[t.NodeAt(rx, ry)][tc]
+		}
+	}
+	return m
+}
+
+// WorstCaseOptimal designs a routing function with the maximum worst-case
+// throughput (no locality constraint): the right-hand end of Figure 1's
+// Pareto curve.
+func WorstCaseOptimal(t *topo.Torus, opts Options) (*Result, error) {
+	if opts.Cuts == CutPermutations {
+		p := NewFlowLP(t, false, opts)
+		return p.solveWorstCase()
+	}
+	q := newPotentialLP(t, false, opts)
+	return q.result(math.NaN())
+}
+
+// WorstCaseAtLocality designs the best worst-case routing function whose
+// average path length equals hNorm times minimal: one point of Figure 1's
+// optimal tradeoff curve (equation 10).
+func WorstCaseAtLocality(t *topo.Torus, hNorm float64, opts Options) (*Result, error) {
+	if opts.Cuts == CutPermutations {
+		p := NewFlowLP(t, true, opts)
+		p.SetLocality(hNorm)
+		return p.solveWorstCase()
+	}
+	q := newPotentialLP(t, true, opts)
+	q.SetLocality(hNorm)
+	return q.result(math.NaN())
+}
+
+// result runs the lazy-row solve and packages a Result.
+func (q *potentialLP) result(fixedBound float64) (*Result, error) {
+	sol, flow, rounds, err := q.solve(fixedBound)
+	if err != nil {
+		return nil, err
+	}
+	gw, _ := flow.WorstCase()
+	return &Result{
+		Flow:       flow,
+		Objective:  sol.Objective,
+		GammaWC:    gw,
+		HAvg:       flow.HAvg(),
+		HNorm:      flow.HNorm(),
+		Rounds:     rounds,
+		Iterations: sol.Iterations,
+	}, nil
+}
+
+// ParetoPoint is one sample of an optimal tradeoff curve.
+type ParetoPoint struct {
+	HNorm float64 // normalized average path length (the constraint)
+	// Theta is the optimal throughput at this locality, as a fraction of
+	// network capacity.
+	Theta float64
+	// Gamma is the corresponding optimal load objective.
+	Gamma float64
+}
+
+// WorstCaseParetoCurve sweeps the locality constraint over hNorms and
+// returns the optimal worst-case throughput at each point, reusing one LP
+// (and its accumulated cuts -- permutation constraints are valid for every
+// L) across the sweep.
+func WorstCaseParetoCurve(t *topo.Torus, hNorms []float64, opts Options) ([]ParetoPoint, error) {
+	cap := eval.NetworkCapacity(t)
+	out := make([]ParetoPoint, 0, len(hNorms))
+	if opts.Cuts == CutPermutations {
+		p := NewFlowLP(t, true, opts)
+		for _, h := range hNorms {
+			p.SetLocality(h)
+			res, err := p.solveWorstCase()
+			if err != nil {
+				return nil, fmt.Errorf("L=%v: %w", h, err)
+			}
+			out = append(out, ParetoPoint{HNorm: h, Theta: (1 / res.GammaWC) / cap, Gamma: res.GammaWC})
+		}
+		return out, nil
+	}
+	q := newPotentialLP(t, true, opts)
+	for _, h := range hNorms {
+		q.SetLocality(h)
+		res, err := q.result(math.NaN())
+		if err != nil {
+			return nil, fmt.Errorf("L=%v: %w", h, err)
+		}
+		out = append(out, ParetoPoint{HNorm: h, Theta: (1 / res.GammaWC) / cap, Gamma: res.GammaWC})
+	}
+	return out, nil
+}
+
+// MinLocalityAtWorstCase performs the two-stage (lexicographic) design used
+// for Figure 4's "optimal" series: first find the best achievable worst-case
+// load w*, then minimize average path length subject to keeping the
+// worst-case load within (1+slack) of w*.
+func MinLocalityAtWorstCase(t *topo.Torus, slack float64, opts Options) (*Result, error) {
+	if slack <= 0 {
+		slack = 1e-6
+	}
+	q := newPotentialLP(t, false, opts)
+	stage1, err := q.result(math.NaN())
+	if err != nil {
+		return nil, err
+	}
+	wStar := stage1.Objective * (1 + slack)
+
+	// Stage 2: cap w, flip the objective to total (orbit-weighted) path
+	// length, and resume lazy-row generation at the fixed load bound.
+	p := q.FlowLP
+	p.solver.AddCut([]lp.Term{{Var: p.wVar, Coef: 1}}, lp.LE, wStar)
+	for ci, cm := range p.comms {
+		for c := 0; c < p.T.C; c++ {
+			p.solver.SetObjCoef(p.varID(ci, topo.Channel(c)), cm.orbit)
+		}
+	}
+	p.solver.SetObjCoef(p.wVar, 0)
+
+	res, err := q.result(wStar)
+	if err != nil {
+		return nil, fmt.Errorf("design: stage 2: %w", err)
+	}
+	// Report rounds across both stages and H in the objective.
+	res.Rounds += stage1.Rounds
+	return res, nil
+}

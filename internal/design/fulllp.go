@@ -1,0 +1,105 @@
+package design
+
+import (
+	"fmt"
+
+	"tcr/internal/lp"
+	"tcr/internal/topo"
+)
+
+// FullWorstCaseLP solves the pre-dualization worst-case formulation (16)
+// with every permutation constraint written out explicitly:
+//
+//	min w  s.t. flow constraints and  gamma_c(R, pi)/b_c <= w
+//	            for all channels c and all N! permutations pi.
+//
+// The paper notes this LP is impractical because of the exponential
+// constraint count and derives the polynomial dual (8); here it serves as a
+// ground-truth cross-check for the constraint-generation solver on tiny
+// networks. It refuses networks with more than 6 nodes (720 permutations x
+// C channels is the sensible ceiling).
+func FullWorstCaseLP(t *topo.Torus, opts Options) (*Result, error) {
+	if t.N > 6 {
+		return nil, fmt.Errorf("design: full worst-case LP limited to N <= 6, got %d", t.N)
+	}
+	opts.Fold = FoldTranslation
+	p := &FlowLP{T: t, fold: FoldTranslation, opts: opts, hRow: -1}
+	p.buildCommodities()
+	p.buildPairMaps()
+
+	m := lp.NewModel()
+	for range p.comms {
+		for c := 0; c < t.C; c++ {
+			m.AddVar(0, "")
+		}
+	}
+	p.wVar = m.AddVar(1, "w")
+	for ci, cm := range p.comms {
+		for n := 0; n < t.N; n++ {
+			terms := make([]lp.Term, 0, 8)
+			for d := topo.Dir(0); d < topo.NumDirs; d++ {
+				terms = append(terms, lp.Term{Var: p.varID(ci, t.Chan(topo.Node(n), d)), Coef: 1})
+				nb := t.Neighbor(topo.Node(n), d)
+				terms = append(terms, lp.Term{Var: p.varID(ci, t.Chan(nb, d.Reverse())), Coef: -1})
+			}
+			rhs := 0.0
+			switch topo.Node(n) {
+			case 0:
+				rhs = 1
+			case cm.rel:
+				rhs = -1
+			}
+			m.AddRow(terms, lp.EQ, rhs, "")
+		}
+	}
+
+	// Every permutation, every channel.
+	perm := make([]int, t.N)
+	for i := range perm {
+		perm[i] = i
+	}
+	var emit func(k int)
+	emit = func(k int) {
+		if k == t.N {
+			for c := 0; c < t.C; c++ {
+				terms := make([]lp.Term, 0, t.N+1)
+				for s, d := range perm {
+					if s == d {
+						continue
+					}
+					if v := p.pairLoadVar(s, d, topo.Channel(c)); v >= 0 {
+						terms = append(terms, lp.Term{Var: v, Coef: 1})
+					}
+				}
+				terms = append(terms, lp.Term{Var: p.wVar, Coef: -1})
+				m.AddRow(terms, lp.LE, 0, "")
+			}
+			return
+		}
+		for i := k; i < t.N; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			emit(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	emit(0)
+
+	sol, err := lp.NewSolver(m).Solve()
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("design: full LP status %v", sol.Status)
+	}
+	flow := p.unfold(sol.X)
+	gw, _ := flow.WorstCase()
+	return &Result{
+		Flow:       flow,
+		Objective:  sol.Objective,
+		GammaWC:    gw,
+		HAvg:       flow.HAvg(),
+		HNorm:      flow.HNorm(),
+		Rounds:     1,
+		Iterations: sol.Iterations,
+	}, nil
+}

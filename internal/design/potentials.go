@@ -1,0 +1,260 @@
+package design
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tcr/internal/eval"
+	"tcr/internal/lp"
+	"tcr/internal/matching"
+	"tcr/internal/topo"
+)
+
+// This file implements the paper's worst-case LP (8) directly: for each
+// representative channel c, dual "potential" variables u_{s,c} and v_{d,c}
+// bound every pair's load (the third constraint block of (8)) and their sum
+// bounds w (the fourth block). By Birkhoff/König duality, the minimum of
+// sum(u)+sum(v) subject to u_s + v_d >= load_{s,d}(c) equals the
+// maximum-weight matching, i.e. the worst permutation load on c, so
+// minimizing w yields exactly gamma_wc.
+//
+// Translation symmetry reduces the channel set to one representative per
+// direction (the O(CN) -> O(N) collapse of Section 4); the pair constraint
+// blocks, which would be 4 N^2 rows, are generated lazily -- only pairs
+// whose load exceeds the current potentials enter the LP. The Hungarian
+// oracle then certifies optimality exactly.
+
+// potBlock is the potential-variable block of one representative channel.
+type potBlock struct {
+	ch topo.Channel
+	// u and v are the first of N consecutive variables each. Because
+	// channel loads are nonnegative, the matching dual may be restricted
+	// to nonnegative potentials (the dual of the <=-relaxed assignment
+	// LP), which keeps the LP free of mirrored free-variable columns.
+	u, v  lp.VarID
+	added map[int]bool // s*N+d pairs already constrained
+}
+
+// addPotentialBlocks extends the model with potential variables and the sum
+// rows sum(u)+sum(v) <= w for each direction-representative channel. Must
+// run before the solver is constructed.
+func (p *FlowLP) addPotentialBlocks(m *lp.Model) []*potBlock {
+	return addPotentialBlocks(m, p.T, p.wVar)
+}
+
+// addPotentialBlocks is the formulation-independent block builder.
+func addPotentialBlocks(m *lp.Model, t *topo.Torus, wVar lp.VarID) []*potBlock {
+	blocks := make([]*potBlock, 0, topo.NumDirs)
+	for dir := topo.Dir(0); dir < topo.NumDirs; dir++ {
+		b := &potBlock{ch: t.Chan(0, dir), added: make(map[int]bool)}
+		b.u = m.AddVars(t.N)
+		b.v = m.AddVars(t.N)
+		terms := make([]lp.Term, 0, 2*t.N+1)
+		for i := 0; i < t.N; i++ {
+			terms = append(terms,
+				lp.Term{Var: b.u + lp.VarID(i), Coef: 1},
+				lp.Term{Var: b.v + lp.VarID(i), Coef: 1},
+			)
+		}
+		terms = append(terms, lp.Term{Var: wVar, Coef: -1})
+		m.AddRow(terms, lp.LE, 0, fmt.Sprintf("potsum[%v]", dir))
+		blocks = append(blocks, b)
+	}
+	return blocks
+}
+
+// pairRow adds the lazy constraint load_{s,d}(c) - u_s - v_d <= 0.
+func (p *FlowLP) pairRow(b *potBlock, s, d int) {
+	v := p.pairLoadVar(s, d, b.ch)
+	terms := []lp.Term{
+		{Var: v, Coef: 1},
+		{Var: b.u + lp.VarID(s), Coef: -1},
+		{Var: b.v + lp.VarID(d), Coef: -1},
+	}
+	p.solver.AddCut(terms, lp.LE, 0)
+	b.added[s*p.T.N+d] = true
+}
+
+// violatedPairs selects pair rows to add for a block: for every source the
+// most violated destination and for every destination the most violated
+// source (deduplicated, ordered by decreasing violation). This covers the
+// whole bipartite structure each round -- the matching dual needs roughly
+// one tight row per source and destination -- instead of letting the most
+// violated entries crowd into a few rows of the load matrix.
+func violatedPairs(n int, b *potBlock, x []float64, load [][]float64, tol float64) []int {
+	type viol struct {
+		idx int
+		by  float64
+	}
+	viols := make(map[int]float64)
+	for s := 0; s < n; s++ {
+		us := x[b.u+lp.VarID(s)]
+		bestIdx, bestBy := -1, tol
+		for d := 0; d < n; d++ {
+			if s == d || b.added[s*n+d] {
+				continue
+			}
+			if by := load[s][d] - us - x[b.v+lp.VarID(d)]; by > bestBy {
+				bestBy, bestIdx = by, s*n+d
+			}
+		}
+		if bestIdx >= 0 {
+			viols[bestIdx] = bestBy
+		}
+	}
+	for d := 0; d < n; d++ {
+		vd := x[b.v+lp.VarID(d)]
+		bestIdx, bestBy := -1, tol
+		for s := 0; s < n; s++ {
+			if s == d || b.added[s*n+d] {
+				continue
+			}
+			if by := load[s][d] - x[b.u+lp.VarID(s)] - vd; by > bestBy {
+				bestBy, bestIdx = by, s*n+d
+			}
+		}
+		if bestIdx >= 0 {
+			viols[bestIdx] = bestBy
+		}
+	}
+	vs := make([]viol, 0, len(viols))
+	for idx, by := range viols {
+		vs = append(vs, viol{idx, by})
+	}
+	sort.Slice(vs, func(i, j int) bool {
+		if vs[i].by != vs[j].by {
+			return vs[i].by > vs[j].by
+		}
+		return vs[i].idx < vs[j].idx
+	})
+	out := make([]int, len(vs))
+	for i, v := range vs {
+		out[i] = v.idx
+	}
+	return out
+}
+
+// potentialLP bundles a FlowLP with its potential blocks.
+type potentialLP struct {
+	*FlowLP
+	blocks []*potBlock
+}
+
+// newPotentialLP builds the worst-case design LP in the paper's form (8),
+// with lazily generated pair rows.
+func newPotentialLP(t *topo.Torus, withLocality bool, opts Options) *potentialLP {
+	p := &FlowLP{T: t, fold: opts.Fold, opts: opts, hRow: -1}
+	p.buildCommodities()
+	p.buildPairMaps()
+
+	m := lp.NewModel()
+	for ci := range p.comms {
+		for c := 0; c < t.C; c++ {
+			m.AddVar(0, fmt.Sprintf("x[%d,%d]", ci, c))
+		}
+	}
+	p.wVar = m.AddVar(1, "w")
+	blocks := p.addPotentialBlocks(m)
+
+	for ci, cm := range p.comms {
+		for n := 0; n < t.N; n++ {
+			terms := make([]lp.Term, 0, 8)
+			for d := topo.Dir(0); d < topo.NumDirs; d++ {
+				terms = append(terms, lp.Term{Var: p.varID(ci, t.Chan(topo.Node(n), d)), Coef: 1})
+				nb := t.Neighbor(topo.Node(n), d)
+				terms = append(terms, lp.Term{Var: p.varID(ci, t.Chan(nb, d.Reverse())), Coef: -1})
+			}
+			rhs := 0.0
+			switch topo.Node(n) {
+			case 0:
+				rhs = 1
+			case cm.rel:
+				rhs = -1
+			}
+			m.AddRow(terms, lp.EQ, rhs, "")
+		}
+	}
+	if withLocality {
+		terms := make([]lp.Term, 0, len(p.comms)*t.C)
+		for ci, cm := range p.comms {
+			for c := 0; c < t.C; c++ {
+				terms = append(terms, lp.Term{Var: p.varID(ci, topo.Channel(c)), Coef: cm.orbit})
+			}
+		}
+		p.hRow = m.AddRow(terms, lp.LE, float64(t.N)*t.MeanMinDist(), "H")
+		p.hasH = true
+	}
+	p.model = m
+	p.solver = lp.NewSolver(m)
+	return &potentialLP{FlowLP: p, blocks: blocks}
+}
+
+// maxRowsPerBlockRound caps how many lazy pair rows enter per block per
+// round, trading round count against LP growth. violatedPairs proposes at
+// most 2N rows; this cap keeps the very first rounds lean.
+const maxRowsPerBlockRound = 128
+
+// solve runs the lazy-row loop: solve, add the most violated pair rows per
+// block, and finish when the Hungarian oracle certifies the bound. The
+// boundVar-capped variant (stage 2) passes a fixed numeric bound instead of
+// reading w from the solution.
+func (q *potentialLP) solve(fixedBound float64) (*lp.Solution, *eval.Flow, int, error) {
+	p := q.FlowLP
+	tol := p.opts.tol()
+	for round := 0; round < p.opts.rounds(); round++ {
+		sol, err := p.solver.Solve()
+		if err != nil {
+			return nil, nil, round, err
+		}
+		if sol.Status != lp.Optimal {
+			return nil, nil, round, fmt.Errorf("design: potential LP status %v at round %d", sol.Status, round)
+		}
+		flow := p.unfold(sol.X)
+		bound := fixedBound
+		if math.IsNaN(bound) {
+			bound = sol.X[p.wVar]
+		}
+		// Certify every block with the Hungarian oracle, then add lazy
+		// rows only for the worst-violated block: under the symmetry
+		// folding the four direction blocks are near-copies, and feeding
+		// them all every round quadruples the LP for no information.
+		certified := true
+		limit := bound + tol*math.Max(1, bound)
+		worstBlock, worstG := -1, limit
+		loads := make([][][]float64, len(q.blocks))
+		for bi, b := range q.blocks {
+			loads[bi] = pairLoadMatrix(flow, b.ch)
+			_, g := matching.MaxWeightAssignment(loads[bi])
+			if g > limit {
+				certified = false
+			}
+			if g > worstG {
+				worstG, worstBlock = g, bi
+			}
+		}
+		if certified {
+			return sol, flow, round + 1, nil
+		}
+		progressed := false
+		if worstBlock >= 0 {
+			b := q.blocks[worstBlock]
+			// One aggregate permutation cut moves the bound immediately;
+			// the pair rows supply the matching-dual structure.
+			perm, _ := matching.MaxWeightAssignment(loads[worstBlock])
+			p.permCut(b.ch, perm, p.wVar)
+			for i, idx := range violatedPairs(p.T.N, b, sol.X, loads[worstBlock], tol) {
+				if i >= maxRowsPerBlockRound {
+					break
+				}
+				p.pairRow(b, idx/p.T.N, idx%p.T.N)
+				progressed = true
+			}
+			progressed = true
+		}
+		if !progressed {
+			return nil, nil, round, fmt.Errorf("design: oracle violated but no pair rows to add (numerical trouble)")
+		}
+	}
+	return nil, nil, p.opts.rounds(), fmt.Errorf("design: potential LP did not converge in %d rounds", p.opts.rounds())
+}

@@ -1,0 +1,443 @@
+package design
+
+import (
+	"fmt"
+	"math"
+
+	"tcr/internal/eval"
+	"tcr/internal/lp"
+	"tcr/internal/matching"
+	"tcr/internal/paths"
+	"tcr/internal/routing"
+	"tcr/internal/topo"
+	"tcr/internal/traffic"
+)
+
+// PathFamily enumerates a closed-form path set per pair; the design LPs
+// optimize the probability weighting over it (the 2TURN idea of Section 5.2:
+// abandon a closed-form *algorithm* but keep closed-form *paths*).
+type PathFamily func(t *topo.Torus, s, d topo.Node) []paths.Path
+
+// PathLP is a path-based routing design problem over a family of candidate
+// paths from the canonical source to every relative destination, with
+// constraint-generated worst-case or average-case load bounds.
+type PathLP struct {
+	T    *topo.Torus
+	opts Options
+
+	rels   []topo.Node // relative destinations, 1..N-1
+	pths   [][]paths.Path
+	chBits [][][]uint64 // [relIdx][pathIdx] channel bitset
+	varOf  [][]lp.VarID
+	lens   [][]int
+
+	solver *lp.Solver
+	wVar   lp.VarID
+	tVars  []lp.VarID
+	hRow   lp.RowID
+	hasH   bool
+	blocks []*potBlock // matching-dual potentials (worst-case mode)
+
+	samples []*traffic.Matrix
+}
+
+// NewPathLP enumerates the family and builds the base LP (distribution rows
+// per destination, objective min w or min mean(t) when samples are given).
+func NewPathLP(t *topo.Torus, family PathFamily, samples []*traffic.Matrix, withLocality bool, opts Options) *PathLP {
+	p := &PathLP{T: t, opts: opts, samples: samples, hRow: -1}
+	words := (t.C + 63) / 64
+	m := lp.NewModel()
+	for rel := 1; rel < t.N; rel++ {
+		ps := family(t, 0, topo.Node(rel))
+		if len(ps) == 0 {
+			panic(fmt.Sprintf("design: empty path family for destination %d", rel))
+		}
+		vars := make([]lp.VarID, len(ps))
+		bits := make([][]uint64, len(ps))
+		lens := make([]int, len(ps))
+		for i, path := range ps {
+			vars[i] = m.AddVar(0, "")
+			b := make([]uint64, words)
+			for _, c := range path.Channels(t) {
+				b[int(c)/64] |= 1 << (uint(c) % 64)
+			}
+			bits[i] = b
+			lens[i] = path.Len()
+		}
+		p.rels = append(p.rels, topo.Node(rel))
+		p.pths = append(p.pths, ps)
+		p.chBits = append(p.chBits, bits)
+		p.varOf = append(p.varOf, vars)
+		p.lens = append(p.lens, lens)
+	}
+	p.wVar = m.AddVar(0, "w")
+	if samples == nil {
+		m.SetObj(p.wVar, 1)
+		p.blocks = addPotentialBlocks(m, t, p.wVar)
+	} else {
+		inv := 1 / float64(len(samples))
+		p.tVars = make([]lp.VarID, len(samples))
+		for i := range samples {
+			p.tVars[i] = m.AddVar(inv, fmt.Sprintf("t[%d]", i))
+		}
+	}
+
+	// Unit-distribution rows.
+	for ri := range p.rels {
+		terms := make([]lp.Term, len(p.varOf[ri]))
+		for i, v := range p.varOf[ri] {
+			terms[i] = lp.Term{Var: v, Coef: 1}
+		}
+		m.AddRow(terms, lp.EQ, 1, "")
+	}
+	if withLocality {
+		var terms []lp.Term
+		for ri := range p.rels {
+			for i, v := range p.varOf[ri] {
+				if p.lens[ri][i] != 0 {
+					terms = append(terms, lp.Term{Var: v, Coef: float64(p.lens[ri][i])})
+				}
+			}
+		}
+		p.hRow = m.AddRow(terms, lp.LE, float64(t.N)*t.MeanMinDist(), "H")
+		p.hasH = true
+	}
+	p.solver = lp.NewSolver(m)
+	// Path LPs have enormous, harmless optimal faces (any optimal vertex
+	// is an equally valid probability weighting); the anti-degeneracy cost
+	// jitter would make the simplex chase a noise-optimal vertex across
+	// that face, so switch it off here.
+	p.solver.SetJitter(false)
+	return p
+}
+
+// SetLocality re-targets the locality row (normalized units).
+func (p *PathLP) SetLocality(hNorm float64) {
+	if !p.hasH {
+		panic("design: SetLocality on a path LP built without a locality row")
+	}
+	p.solver.SetRHS(int(p.hRow), hNorm*float64(p.T.N)*p.T.MeanMinDist())
+}
+
+// pathUses reports whether path (ri, i) crosses channel c.
+func (p *PathLP) pathUses(ri, i int, c topo.Channel) bool {
+	return p.chBits[ri][i][int(c)/64]&(1<<(uint(c)%64)) != 0
+}
+
+// relIndex maps a relative destination node to its slice index (rel-1).
+func (p *PathLP) relIndex(rel topo.Node) int { return int(rel) - 1 }
+
+// loadTerms returns the LP terms of gamma_c(R, Lambda) for a pattern given
+// as entries (s, d, coef).
+func (p *PathLP) permCut(c topo.Channel, perm []int, bound lp.VarID) {
+	t := p.T
+	var terms []lp.Term
+	ux, uy := t.Coord(t.ChanSrc(c))
+	dir := t.ChanDir(c)
+	for s, d := range perm {
+		if s == d {
+			continue
+		}
+		sx, sy := t.Coord(topo.Node(s))
+		tc := t.Chan(t.NodeAt(ux-sx, uy-sy), dir)
+		rx, ry := t.Rel(topo.Node(s), topo.Node(d))
+		ri := p.relIndex(t.NodeAt(rx, ry))
+		for i, v := range p.varOf[ri] {
+			if p.pathUses(ri, i, tc) {
+				terms = append(terms, lp.Term{Var: v, Coef: 1})
+			}
+		}
+	}
+	terms = append(terms, lp.Term{Var: bound, Coef: -1})
+	p.solver.AddCut(terms, lp.LE, 0)
+}
+
+// matrixCut adds gamma_c(R, Lambda) <= bound for a dense pattern.
+func (p *PathLP) matrixCut(c topo.Channel, lam *traffic.Matrix, bound lp.VarID) {
+	t := p.T
+	var terms []lp.Term
+	ux, uy := t.Coord(t.ChanSrc(c))
+	dir := t.ChanDir(c)
+	for s := 0; s < t.N; s++ {
+		sx, sy := t.Coord(topo.Node(s))
+		tc := t.Chan(t.NodeAt(ux-sx, uy-sy), dir)
+		for d := 0; d < t.N; d++ {
+			if s == d || lam.L[s][d] == 0 {
+				continue
+			}
+			rx, ry := t.Rel(topo.Node(s), topo.Node(d))
+			ri := p.relIndex(t.NodeAt(rx, ry))
+			for i, v := range p.varOf[ri] {
+				if p.pathUses(ri, i, tc) {
+					terms = append(terms, lp.Term{Var: v, Coef: lam.L[s][d]})
+				}
+			}
+		}
+	}
+	terms = append(terms, lp.Term{Var: bound, Coef: -1})
+	p.solver.AddCut(terms, lp.LE, 0)
+}
+
+// table converts an LP solution into a routing table (dropping
+// zero-probability paths and renormalizing away LP tolerance dust).
+func (p *PathLP) table(x []float64, label string) *routing.Table {
+	dist := make(map[topo.Node][]paths.Weighted, len(p.rels))
+	for ri, rel := range p.rels {
+		var ws []paths.Weighted
+		var sum float64
+		for i, v := range p.varOf[ri] {
+			if pr := x[v]; pr > 1e-12 {
+				ws = append(ws, paths.Weighted{Path: p.pths[ri][i], Prob: pr})
+				sum += pr
+			}
+		}
+		for i := range ws {
+			ws[i].Prob /= sum
+		}
+		dist[rel] = ws
+	}
+	return &routing.Table{Label: label, Dist: dist}
+}
+
+// flowOf builds the flow table of an LP solution.
+func (p *PathLP) flowOf(x []float64) *eval.Flow {
+	f := eval.NewFlow(p.T)
+	for ri, rel := range p.rels {
+		for i, v := range p.varOf[ri] {
+			pr := x[v]
+			if pr == 0 {
+				continue
+			}
+			for _, c := range p.pths[ri][i].Channels(p.T) {
+				f.X[rel][c] += pr
+			}
+		}
+	}
+	return f
+}
+
+// PathResult bundles a designed path-based algorithm with its metrics.
+type PathResult struct {
+	Table *routing.Table
+	Flow  *eval.Flow
+	// Objective of the final stage's LP (worst-case load, mean max load,
+	// or total path length depending on the stage).
+	Objective float64
+	GammaWC   float64
+	HAvg      float64
+	HNorm     float64
+	Rounds    int
+}
+
+// pairRowPath adds the lazy potential constraint
+// load_{s,d}(c) - u_s - v_d <= 0 in path variables.
+func (p *PathLP) pairRowPath(b *potBlock, s, d int) {
+	t := p.T
+	ux, uy := t.Coord(t.ChanSrc(b.ch))
+	sx, sy := t.Coord(topo.Node(s))
+	tc := t.Chan(t.NodeAt(ux-sx, uy-sy), t.ChanDir(b.ch))
+	rx, ry := t.Rel(topo.Node(s), topo.Node(d))
+	ri := p.relIndex(t.NodeAt(rx, ry))
+	var terms []lp.Term
+	for i, v := range p.varOf[ri] {
+		if p.pathUses(ri, i, tc) {
+			terms = append(terms, lp.Term{Var: v, Coef: 1})
+		}
+	}
+	terms = append(terms,
+		lp.Term{Var: b.u + lp.VarID(s), Coef: -1},
+		lp.Term{Var: b.v + lp.VarID(d), Coef: -1},
+	)
+	p.solver.AddCut(terms, lp.LE, 0)
+	b.added[s*t.N+d] = true
+}
+
+// solveWC runs worst-case constraint generation against the given bound
+// using the matching-dual potential formulation (lazy pair rows). When
+// fixedBound is NaN the w variable is free (stage 1); otherwise rows must
+// hold at the fixed numeric bound (stage 2).
+func (p *PathLP) solveWC(fixedBound float64) (*lp.Solution, int, error) {
+	tol := p.opts.tol()
+	for round := 0; round < p.opts.rounds(); round++ {
+		sol, err := p.solver.Solve()
+		if err != nil {
+			return nil, round, err
+		}
+		if sol.Status != lp.Optimal {
+			return nil, round, fmt.Errorf("design: path LP status %v", sol.Status)
+		}
+		flow := p.flowOf(sol.X)
+		bound := fixedBound
+		if math.IsNaN(bound) {
+			bound = sol.X[p.wVar]
+		}
+		// Unlike the flow formulation (whose conservation base is large),
+		// the path LP's base is only one row per destination, so growing
+		// every violated block each round is cheap and cuts round count.
+		// Aggregate permutation cuts are NOT added here: their rows are
+		// dense in path variables and bloat every subsequent pricing pass.
+		certified := true
+		limit := bound + tol*math.Max(1, bound)
+		progressed := false
+		for _, b := range p.blocks {
+			load := pairLoadMatrix(flow, b.ch)
+			_, g := matching.MaxWeightAssignment(load)
+			if g <= limit {
+				continue
+			}
+			certified = false
+			for i, idx := range violatedPairs(p.T.N, b, sol.X, load, tol) {
+				if i >= 48 {
+					break
+				}
+				p.pairRowPath(b, idx/p.T.N, idx%p.T.N)
+				progressed = true
+			}
+		}
+		if certified {
+			return sol, round + 1, nil
+		}
+		if !progressed {
+			return nil, round, fmt.Errorf("design: path LP oracle violated but no rows to add")
+		}
+	}
+	return nil, p.opts.rounds(), fmt.Errorf("design: path LP cuts did not converge")
+}
+
+// DesignTwoTurn produces the 2TURN algorithm (Section 5.2): over all
+// at-most-two-turn paths, first minimize worst-case channel load, then
+// minimize average path length while keeping the worst case within slack of
+// optimal. slack <= 0 defaults to 1e-6 (numerically tight).
+func DesignTwoTurn(t *topo.Torus, slack float64, opts Options) (*PathResult, error) {
+	return designPathWC(t, paths.TwoTurnPaths, "2TURN", slack, opts)
+}
+
+// designPathWC is the two-stage (worst case, then locality) path design.
+func designPathWC(t *topo.Torus, family PathFamily, label string, slack float64, opts Options) (*PathResult, error) {
+	if slack <= 0 {
+		slack = 1e-6
+	}
+	p := NewPathLP(t, family, nil, false, opts)
+	sol, rounds1, err := p.solveWC(math.NaN())
+	if err != nil {
+		return nil, err
+	}
+	wStar := sol.X[p.wVar] * (1 + slack)
+
+	// Stage 2: cap w, objective becomes total path length.
+	p.solver.AddCut([]lp.Term{{Var: p.wVar, Coef: 1}}, lp.LE, wStar)
+	for ri := range p.rels {
+		for i, v := range p.varOf[ri] {
+			p.solver.SetObjCoef(v, float64(p.lens[ri][i]))
+		}
+	}
+	p.solver.SetObjCoef(p.wVar, 0)
+	sol, rounds2, err := p.solveWC(wStar)
+	if err != nil {
+		return nil, err
+	}
+	return p.finish(sol, label, rounds1+rounds2), nil
+}
+
+// DesignTwoTurnAvg produces the 2TURNA algorithm (Section 5.4): over the
+// two-turn paths, first maximize (approximate) average-case throughput on
+// the sample, then maximize locality at that throughput.
+func DesignTwoTurnAvg(t *topo.Torus, samples []*traffic.Matrix, slack float64, opts Options) (*PathResult, error) {
+	return designPathAvg(t, paths.TwoTurnPaths, "2TURNA", samples, slack, opts)
+}
+
+// DesignMinimalAvg runs the 2TURNA construction restricted to minimal
+// paths; Section 5.4 observes the result matches ROMM's performance.
+func DesignMinimalAvg(t *topo.Torus, samples []*traffic.Matrix, slack float64, opts Options) (*PathResult, error) {
+	return designPathAvg(t, paths.MinimalTwoTurnPaths, "MIN-AVG", samples, slack, opts)
+}
+
+func designPathAvg(t *topo.Torus, family PathFamily, label string, samples []*traffic.Matrix, slack float64, opts Options) (*PathResult, error) {
+	if slack <= 0 {
+		slack = 1e-6
+	}
+	p := NewPathLP(t, family, samples, false, opts)
+	sol, rounds1, err := p.solveAvg(math.NaN())
+	if err != nil {
+		return nil, err
+	}
+	vStar := sol.Objective * (1 + slack)
+
+	// Stage 2: bound the mean of the t variables, minimize path length.
+	inv := 1 / float64(len(samples))
+	terms := make([]lp.Term, len(p.tVars))
+	for i, v := range p.tVars {
+		terms[i] = lp.Term{Var: v, Coef: inv}
+	}
+	p.solver.AddCut(terms, lp.LE, vStar)
+	for ri := range p.rels {
+		for i, v := range p.varOf[ri] {
+			p.solver.SetObjCoef(v, float64(p.lens[ri][i]))
+		}
+	}
+	for _, v := range p.tVars {
+		p.solver.SetObjCoef(v, 0)
+	}
+	sol, rounds2, err := p.solveAvg(vStar)
+	if err != nil {
+		return nil, err
+	}
+	res := p.finish(sol, label, rounds1+rounds2)
+	// Report the stage-1 objective (mean max load) as the result objective.
+	var mean float64
+	for _, v := range p.tVars {
+		mean += sol.X[v] * inv
+	}
+	res.Objective = mean
+	return res, nil
+}
+
+// solveAvg runs per-sample constraint generation. fixedCap (when not NaN)
+// is informational only; per-sample bounds are the t variables either way.
+func (p *PathLP) solveAvg(fixedCap float64) (*lp.Solution, int, error) {
+	_ = fixedCap
+	tol := p.opts.tol()
+	for round := 0; round < p.opts.rounds(); round++ {
+		sol, err := p.solver.Solve()
+		if err != nil {
+			return nil, round, err
+		}
+		if sol.Status != lp.Optimal {
+			return nil, round, fmt.Errorf("design: path avg LP status %v", sol.Status)
+		}
+		flow := p.flowOf(sol.X)
+		violated := false
+		for i, lam := range p.samples {
+			loads := flow.ChannelLoads(lam)
+			worstC, worst := 0, 0.0
+			for c, l := range loads {
+				if l > worst {
+					worst, worstC = l, c
+				}
+			}
+			if worst > sol.X[p.tVars[i]]+tol {
+				p.matrixCut(topo.Channel(worstC), lam, p.tVars[i])
+				violated = true
+			}
+		}
+		if !violated {
+			return sol, round + 1, nil
+		}
+	}
+	return nil, p.opts.rounds(), fmt.Errorf("design: path avg LP cuts did not converge")
+}
+
+func (p *PathLP) finish(sol *lp.Solution, label string, rounds int) *PathResult {
+	tbl := p.table(sol.X, label)
+	flow := p.flowOf(sol.X)
+	gw, _ := flow.WorstCase()
+	return &PathResult{
+		Table:     tbl,
+		Flow:      flow,
+		Objective: sol.Objective,
+		GammaWC:   gw,
+		HAvg:      flow.HAvg(),
+		HNorm:     flow.HNorm(),
+		Rounds:    rounds,
+	}
+}

@@ -1,0 +1,263 @@
+// Package eval computes the performance metrics of Section 2.3 and the
+// throughput-centric cost functions of Section 3 for concrete routing
+// functions: per-channel loads gamma_c(R, Lambda), the maximum channel load
+// gamma_max, throughput Theta = 1/gamma_max, capacity (uniform-traffic
+// throughput), average path length H_avg, exact worst-case throughput via
+// the Hungarian separation oracle, and the sampled average-case throughput
+// with both the paper's arithmetic-mean approximation and the exact
+// harmonic form it approximates.
+package eval
+
+import (
+	"math"
+
+	"tcr/internal/matching"
+	"tcr/internal/paths"
+	"tcr/internal/routing"
+	"tcr/internal/topo"
+	"tcr/internal/traffic"
+)
+
+// Flow is the channel-load fingerprint of a translation-invariant oblivious
+// routing function: X[rel][c] is the expected number of times a unit of
+// traffic from node 0 to relative destination rel crosses channel c. Every
+// metric in this package is a function of this table, which is exactly the
+// "one flow variable per channel per commodity" reformulation of Section 4.
+type Flow struct {
+	T *topo.Torus
+	X [][]float64
+}
+
+// NewFlow allocates an all-zero flow table.
+func NewFlow(t *topo.Torus) *Flow {
+	x := make([][]float64, t.N)
+	buf := make([]float64, t.N*t.C)
+	for i := range x {
+		x[i] = buf[i*t.C : (i+1)*t.C]
+	}
+	return &Flow{T: t, X: x}
+}
+
+// FromAlgorithm builds the flow table of an algorithm by enumerating its
+// path distributions from the canonical source.
+func FromAlgorithm(t *topo.Torus, alg routing.Algorithm) *Flow {
+	f := NewFlow(t)
+	for rel := topo.Node(0); rel < topo.Node(t.N); rel++ {
+		for _, w := range alg.PairPaths(t, 0, rel) {
+			for _, c := range w.Path.Channels(t) {
+				f.X[rel][c] += w.Prob
+			}
+		}
+	}
+	return f
+}
+
+// HAvg returns the average path length over all N^2 pairs (self pairs count
+// zero), equation (5). Because paths never revisit channels, a commodity's
+// expected path length equals its total channel crossings.
+func (f *Flow) HAvg() float64 {
+	var total float64
+	for rel := range f.X {
+		for _, v := range f.X[rel] {
+			total += v
+		}
+	}
+	return total / float64(f.T.N)
+}
+
+// HNorm returns H_avg normalized to the network's mean minimal path length,
+// the vertical axis of Figures 1, 4, 5 and 6.
+func (f *Flow) HNorm() float64 {
+	return f.HAvg() / f.T.MeanMinDist()
+}
+
+// ChannelLoads returns gamma_c(R, Lambda) for every channel, equation (2).
+func (f *Flow) ChannelLoads(lambda *traffic.Matrix) []float64 {
+	t := f.T
+	loads := make([]float64, t.C)
+	// gamma_c = sum_{s,d} lambda[s][d] * X[d-s][c translated by -s].
+	// Iterate per source: translate the channel index once per (s, c).
+	for s := 0; s < t.N; s++ {
+		sx, sy := t.Coord(topo.Node(s))
+		row := lambda.L[s]
+		for d := 0; d < t.N; d++ {
+			l := row[d]
+			if l == 0 {
+				continue
+			}
+			rx, ry := t.Rel(topo.Node(s), topo.Node(d))
+			x := f.X[t.NodeAt(rx, ry)]
+			for c := 0; c < t.C; c++ {
+				if x[c] == 0 {
+					continue
+				}
+				// Translate channel c (at node u) to node u+s.
+				u := t.ChanSrc(topo.Channel(c))
+				ux, uy := t.Coord(u)
+				tc := t.Chan(t.NodeAt(ux+sx, uy+sy), t.ChanDir(topo.Channel(c)))
+				loads[tc] += l * x[c]
+			}
+		}
+	}
+	return loads
+}
+
+// GammaMax returns the normalized maximum channel load under a pattern,
+// equation (3) with unit channel bandwidths.
+func (f *Flow) GammaMax(lambda *traffic.Matrix) float64 {
+	var worst float64
+	for _, l := range f.ChannelLoads(lambda) {
+		if l > worst {
+			worst = l
+		}
+	}
+	return worst
+}
+
+// Throughput returns Theta(R, Lambda) = 1/gamma_max, equation (4).
+func (f *Flow) Throughput(lambda *traffic.Matrix) float64 {
+	return 1 / f.GammaMax(lambda)
+}
+
+// Capacity returns this routing function's throughput under uniform
+// traffic (Section 3.1).
+func (f *Flow) Capacity() float64 {
+	return f.Throughput(traffic.Uniform(f.T.N))
+}
+
+// NetworkCapacity returns the network's capacity: the best achievable
+// uniform-traffic throughput over all routing functions. On a torus,
+// balanced minimal routing attains the congestion lower bound
+// gamma_max >= (total minimal hops)/(C), giving capacity = 4/MeanMinDist.
+// All throughput fractions in the paper's figures are normalized by this
+// quantity.
+func NetworkCapacity(t *topo.Torus) float64 {
+	return 4 / t.MeanMinDist()
+}
+
+// pairLoadMatrix builds M[s][d]: the load that a unit of s->d traffic places
+// on the given canonical channel, using translation invariance.
+func (f *Flow) pairLoadMatrix(c topo.Channel) [][]float64 {
+	t := f.T
+	m := make([][]float64, t.N)
+	dir := t.ChanDir(c)
+	u := t.ChanSrc(c)
+	ux, uy := t.Coord(u)
+	for s := 0; s < t.N; s++ {
+		m[s] = make([]float64, t.N)
+		// Channel c translated by -s sits at node u-s.
+		sx, sy := t.Coord(topo.Node(s))
+		tc := t.Chan(t.NodeAt(ux-sx, uy-sy), dir)
+		for d := 0; d < t.N; d++ {
+			rx, ry := t.Rel(topo.Node(s), topo.Node(d))
+			m[s][d] = f.X[t.NodeAt(rx, ry)][tc]
+		}
+	}
+	return m
+}
+
+// WorstCase returns the worst-case channel load gamma_wc(R) over all
+// doubly-stochastic traffic, equation (7), and a permutation achieving it.
+// By the Birkhoff decomposition it suffices to search permutations, and the
+// per-channel search is a maximum-weight matching of the pair-load matrix.
+// Translation invariance reduces the channel scan to one representative per
+// direction.
+func (f *Flow) WorstCase() (float64, []int) {
+	var worst float64
+	var worstPerm []int
+	for dir := topo.Dir(0); dir < topo.NumDirs; dir++ {
+		c := f.T.Chan(0, dir)
+		perm, w := matching.MaxWeightAssignment(f.pairLoadMatrix(c))
+		if w > worst {
+			worst, worstPerm = w, perm
+		}
+	}
+	return worst, worstPerm
+}
+
+// WorstCaseThroughput returns Theta_wc(R) = 1/gamma_wc(R).
+func (f *Flow) WorstCaseThroughput() float64 {
+	wc, _ := f.WorstCase()
+	return 1 / wc
+}
+
+// AvgCaseResult captures both forms of the average-case metric over a
+// sample X of traffic matrices (Section 3.3).
+type AvgCaseResult struct {
+	// MeanMaxLoad is (1/|X|) sum gamma_max(R, Lambda_i): the paper's
+	// linear (arithmetic-mean) cost, equation (9).
+	MeanMaxLoad float64
+	// ApproxThroughput is 1/MeanMaxLoad, the paper's approximation of
+	// average-case throughput.
+	ApproxThroughput float64
+	// ExactMeanThroughput is (1/|X|) sum 1/gamma_max(R, Lambda_i), the
+	// quantity the approximation stands in for.
+	ExactMeanThroughput float64
+}
+
+// AvgCase evaluates the average-case metrics over a fixed sample.
+func (f *Flow) AvgCase(samples []*traffic.Matrix) AvgCaseResult {
+	var sumLoad, sumTheta float64
+	for _, lam := range samples {
+		g := f.GammaMax(lam)
+		sumLoad += g
+		sumTheta += 1 / g
+	}
+	n := float64(len(samples))
+	mean := sumLoad / n
+	return AvgCaseResult{
+		MeanMaxLoad:         mean,
+		ApproxThroughput:    1 / mean,
+		ExactMeanThroughput: sumTheta / n,
+	}
+}
+
+// ConservationError verifies that each commodity's flow satisfies
+// conservation: for destination rel != 0, node 0 emits one net unit, rel
+// absorbs one, and every other node is balanced. It returns the largest
+// violation; algorithm- and LP-derived flows should be ~0.
+func (f *Flow) ConservationError() float64 {
+	t := f.T
+	var worst float64
+	for rel := 1; rel < t.N; rel++ {
+		x := f.X[rel]
+		for n := 0; n < t.N; n++ {
+			var net float64
+			for d := topo.Dir(0); d < topo.NumDirs; d++ {
+				net += x[t.Chan(topo.Node(n), d)]
+			}
+			for d := topo.Dir(0); d < topo.NumDirs; d++ {
+				// Channel entering n from direction d: leaves neighbor in
+				// the reverse direction.
+				nb := t.Neighbor(topo.Node(n), d)
+				net -= x[t.Chan(nb, d.Reverse())]
+			}
+			want := 0.0
+			switch topo.Node(n) {
+			case 0:
+				want = 1
+			case topo.Node(rel):
+				want = -1
+			}
+			if dev := math.Abs(net - want); dev > worst {
+				worst = dev
+			}
+		}
+	}
+	return worst
+}
+
+// FromPathDist builds a flow table directly from per-relative-destination
+// weighted paths (a routing.Table's contents), used when evaluating
+// LP-designed algorithms without re-deriving them.
+func FromPathDist(t *topo.Torus, dist map[topo.Node][]paths.Weighted) *Flow {
+	f := NewFlow(t)
+	for rel, ws := range dist {
+		for _, w := range ws {
+			for _, c := range w.Path.Channels(t) {
+				f.X[rel][c] += w.Prob
+			}
+		}
+	}
+	return f
+}

@@ -1,0 +1,197 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tcr/internal/routing"
+	"tcr/internal/topo"
+	"tcr/internal/traffic"
+)
+
+func flowOf(t *testing.T, k int, alg routing.Algorithm) *Flow {
+	t.Helper()
+	return FromAlgorithm(topo.NewTorus(k), alg)
+}
+
+func TestDORCapacityK8(t *testing.T) {
+	// For even k, minimal routing balances uniform traffic to k/8 load per
+	// channel; k=8 gives exactly 1.0, i.e. capacity = 1 injection fraction.
+	f := flowOf(t, 8, routing.DOR{})
+	if got := f.GammaMax(traffic.Uniform(64)); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("uniform gamma_max = %v, want 1", got)
+	}
+	if got := f.Capacity(); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("capacity = %v, want 1", got)
+	}
+}
+
+func TestCapacityScalesWithRadix(t *testing.T) {
+	// k=4: uniform load k/8 = 0.5 -> capacity 2.
+	f := flowOf(t, 4, routing.DOR{})
+	if got := f.Capacity(); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("k=4 capacity = %v, want 2", got)
+	}
+}
+
+func TestHAvgMatchesAlgorithms(t *testing.T) {
+	tor := topo.NewTorus(8)
+	f := FromAlgorithm(tor, routing.VAL{})
+	if got, want := f.HAvg(), 2*tor.MeanMinDist(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("VAL H = %v, want %v", got, want)
+	}
+	if got := FromAlgorithm(tor, routing.DOR{}).HNorm(); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("DOR normalized H = %v, want 1", got)
+	}
+}
+
+func TestVALWorstCaseIsHalfCapacity(t *testing.T) {
+	f := flowOf(t, 8, routing.VAL{})
+	wc, perm := f.WorstCase()
+	if math.Abs(wc-2) > 1e-6 {
+		t.Fatalf("VAL gamma_wc = %v, want 2", wc)
+	}
+	if len(perm) != 64 {
+		t.Fatalf("worst permutation has wrong size %d", len(perm))
+	}
+	frac := f.WorstCaseThroughput() / NetworkCapacity(f.T)
+	if math.Abs(frac-0.5) > 1e-6 {
+		t.Fatalf("VAL worst-case fraction = %v, want 0.5", frac)
+	}
+}
+
+func TestIVALKeepsOptimalWorstCase(t *testing.T) {
+	f := flowOf(t, 8, routing.IVAL{})
+	frac := f.WorstCaseThroughput() / NetworkCapacity(f.T)
+	if math.Abs(frac-0.5) > 1e-6 {
+		t.Fatalf("IVAL worst-case fraction = %v, want 0.5", frac)
+	}
+	if r := f.HNorm(); r < 1.55 || r > 1.68 {
+		t.Fatalf("IVAL H ratio %v, expected about 1.61", r)
+	}
+}
+
+func TestDORWorstCaseAtLeastTornado(t *testing.T) {
+	tor := topo.NewTorus(8)
+	f := FromAlgorithm(tor, routing.DOR{})
+	tornado := f.GammaMax(traffic.Tornado(tor))
+	wc, _ := f.WorstCase()
+	if wc < tornado-1e-9 {
+		t.Fatalf("worst case %v below tornado load %v", wc, tornado)
+	}
+	// Tornado (shift 3) loads +x channels to 3 under DOR.
+	if math.Abs(tornado-3) > 1e-9 {
+		t.Fatalf("tornado gamma_max under DOR = %v, want 3", tornado)
+	}
+}
+
+func TestWorstCaseDominatesSampledPermutations(t *testing.T) {
+	tor := topo.NewTorus(5)
+	rng := rand.New(rand.NewSource(2))
+	for _, alg := range []routing.Algorithm{routing.DOR{}, routing.IVAL{}, routing.RLB{}} {
+		f := FromAlgorithm(tor, alg)
+		wc, _ := f.WorstCase()
+		for trial := 0; trial < 30; trial++ {
+			g := f.GammaMax(traffic.RandomPermutation(tor.N, rng))
+			if g > wc+1e-9 {
+				t.Fatalf("%s: sampled permutation load %v exceeds worst case %v", alg.Name(), g, wc)
+			}
+		}
+		// The returned worst permutation must achieve the reported load on
+		// some channel.
+		_, perm := f.WorstCase()
+		if g := f.GammaMax(traffic.Permutation(perm)); math.Abs(g-wc) > 1e-9 {
+			t.Fatalf("%s: worst permutation achieves %v, reported %v", alg.Name(), g, wc)
+		}
+	}
+}
+
+func TestChannelLoadTotalsMatchPathLength(t *testing.T) {
+	// sum_c gamma_c(R, Lambda) == sum_{s,d} lambda[s][d] * E[len(path s->d)].
+	tor := topo.NewTorus(6)
+	rng := rand.New(rand.NewSource(3))
+	for _, alg := range []routing.Algorithm{routing.DOR{}, routing.VAL{}, routing.ROMM{}} {
+		f := FromAlgorithm(tor, alg)
+		lam := traffic.RandomDoublyStochastic(tor.N, rng)
+		var got float64
+		for _, l := range f.ChannelLoads(lam) {
+			got += l
+		}
+		var want float64
+		for s := 0; s < tor.N; s++ {
+			for d := 0; d < tor.N; d++ {
+				var elen float64
+				for _, w := range alg.PairPaths(tor, topo.Node(s), topo.Node(d)) {
+					elen += w.Prob * float64(w.Path.Len())
+				}
+				want += lam.L[s][d] * elen
+			}
+		}
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("%s: total load %v, want %v", alg.Name(), got, want)
+		}
+	}
+}
+
+func TestConservation(t *testing.T) {
+	tor := topo.NewTorus(5)
+	for _, alg := range []routing.Algorithm{
+		routing.DOR{}, routing.VAL{}, routing.IVAL{}, routing.ROMM{}, routing.RLB{},
+	} {
+		f := FromAlgorithm(tor, alg)
+		if e := f.ConservationError(); e > 1e-9 {
+			t.Errorf("%s: conservation error %v", alg.Name(), e)
+		}
+	}
+}
+
+func TestAvgCaseForms(t *testing.T) {
+	tor := topo.NewTorus(6)
+	f := FromAlgorithm(tor, routing.IVAL{})
+	samples := traffic.Sample(tor.N, 25, 99)
+	res := f.AvgCase(samples)
+	if res.MeanMaxLoad <= 0 {
+		t.Fatal("nonpositive mean load")
+	}
+	// By AM-HM, 1/mean(load) <= mean(1/load); the approximation
+	// underestimates the exact mean throughput.
+	if res.ApproxThroughput > res.ExactMeanThroughput+1e-12 {
+		t.Fatalf("approx %v exceeds exact %v (violates AM-HM)",
+			res.ApproxThroughput, res.ExactMeanThroughput)
+	}
+	// Section 3.3 claims the approximation is good; allow a loose 15%
+	// envelope at this small size.
+	if rel := (res.ExactMeanThroughput - res.ApproxThroughput) / res.ExactMeanThroughput; rel > 0.15 {
+		t.Fatalf("approximation off by %v%%", 100*rel)
+	}
+}
+
+func TestInterpolatedWorstCaseBound(t *testing.T) {
+	// Equation (13): gamma_wc(R') <= alpha*gamma_wc(R1)+(1-alpha)*gamma_wc(R2).
+	tor := topo.NewTorus(6)
+	f1 := FromAlgorithm(tor, routing.IVAL{})
+	f2 := FromAlgorithm(tor, routing.DOR{})
+	g1, _ := f1.WorstCase()
+	g2, _ := f2.WorstCase()
+	for _, alpha := range []float64{0.25, 0.5, 0.75} {
+		fi := FromAlgorithm(tor, routing.Interpolated{A: routing.IVAL{}, B: routing.DOR{}, Alpha: alpha})
+		gi, _ := fi.WorstCase()
+		bound := alpha*g1 + (1-alpha)*g2
+		if gi > bound+1e-9 {
+			t.Fatalf("alpha=%v: interpolated wc %v exceeds bound %v", alpha, gi, bound)
+		}
+	}
+}
+
+func TestUniformLoadIsUniformForSymmetricAlgs(t *testing.T) {
+	// DOR under uniform traffic loads every channel equally on a torus.
+	tor := topo.NewTorus(8)
+	f := FromAlgorithm(tor, routing.DOR{})
+	loads := f.ChannelLoads(traffic.Uniform(tor.N))
+	for c, l := range loads {
+		if math.Abs(l-loads[0]) > 1e-9 {
+			t.Fatalf("channel %d load %v differs from %v", c, l, loads[0])
+		}
+	}
+}

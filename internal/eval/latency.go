@@ -1,0 +1,87 @@
+package eval
+
+import (
+	"math"
+
+	"tcr/internal/topo"
+	"tcr/internal/traffic"
+)
+
+// This file adds the latency-side metrics the paper sketches in Section 2.3:
+// at low load, end-to-end delay is governed by hop count (H_avg) plus
+// serialization (footnote 2), and near saturation it diverges at the
+// throughput bound. ZeroLoadLatency and LatencyEstimate provide the standard
+// closed-form approximations used to sanity-check the flit-level simulator.
+
+// ZeroLoadLatency returns the average zero-load packet latency in cycles for
+// the routing function: per-hop router+link delay times the average hop
+// count, plus serialization of the packet onto a channel.
+func (f *Flow) ZeroLoadLatency(hopCycles, packetFlits int) float64 {
+	return float64(hopCycles)*f.HAvg() + float64(packetFlits-1)
+}
+
+// LatencyEstimate approximates average latency at an injection fraction
+// rho of the pattern's saturation throughput using an M/D/1-style
+// congestion factor: T(rho) = T0 * (1 + rho/(2*(1-rho))). It diverges as
+// rho -> 1, mirroring the saturation behaviour the simulator exhibits.
+// rho must be in [0, 1).
+func (f *Flow) LatencyEstimate(lambda *traffic.Matrix, rate float64, hopCycles, packetFlits int) float64 {
+	sat := f.Throughput(lambda)
+	if sat > 1 {
+		sat = 1 // injection bandwidth binds first
+	}
+	rho := rate / sat
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	t0 := f.ZeroLoadLatency(hopCycles, packetFlits)
+	return t0 * (1 + rho/(2*(1-rho)))
+}
+
+// DimLoads splits a pattern's channel loads by dimension and direction,
+// returning the maximum load among channels of each direction. Useful for
+// diagnosing which rings saturate first (e.g. tornado loads only +x).
+func (f *Flow) DimLoads(lambda *traffic.Matrix) map[topo.Dir]float64 {
+	loads := f.ChannelLoads(lambda)
+	out := map[topo.Dir]float64{}
+	for c, l := range loads {
+		d := f.T.ChanDir(topo.Channel(c))
+		if l > out[d] {
+			out[d] = l
+		}
+	}
+	return out
+}
+
+// Bottlenecks returns the indices of the count most-loaded channels under a
+// pattern, most loaded first — the channels whose saturation defines the
+// throughput.
+func (f *Flow) Bottlenecks(lambda *traffic.Matrix, count int) []topo.Channel {
+	loads := f.ChannelLoads(lambda)
+	type cl struct {
+		c topo.Channel
+		l float64
+	}
+	all := make([]cl, len(loads))
+	for c, l := range loads {
+		all[c] = cl{topo.Channel(c), l}
+	}
+	// Partial selection sort: count is small.
+	if count > len(all) {
+		count = len(all)
+	}
+	for i := 0; i < count; i++ {
+		best := i
+		for j := i + 1; j < len(all); j++ {
+			if all[j].l > all[best].l {
+				best = j
+			}
+		}
+		all[i], all[best] = all[best], all[i]
+	}
+	out := make([]topo.Channel, count)
+	for i := 0; i < count; i++ {
+		out[i] = all[i].c
+	}
+	return out
+}

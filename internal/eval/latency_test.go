@@ -1,0 +1,93 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"tcr/internal/routing"
+	"tcr/internal/topo"
+	"tcr/internal/traffic"
+)
+
+func TestZeroLoadLatency(t *testing.T) {
+	tor := topo.NewTorus(8)
+	f := FromAlgorithm(tor, routing.DOR{})
+	// H_avg = 4 hops; 1 cycle/hop, 4-flit packets: 4 + 3 = 7.
+	if got := f.ZeroLoadLatency(1, 4); math.Abs(got-7) > 1e-9 {
+		t.Fatalf("zero-load latency %v, want 7", got)
+	}
+	// Two-cycle routers double the hop component.
+	if got := f.ZeroLoadLatency(2, 1); math.Abs(got-8) > 1e-9 {
+		t.Fatalf("zero-load latency %v, want 8", got)
+	}
+}
+
+func TestLatencyEstimateDiverges(t *testing.T) {
+	tor := topo.NewTorus(8)
+	f := FromAlgorithm(tor, routing.DOR{})
+	u := traffic.Uniform(tor.N)
+	low := f.LatencyEstimate(u, 0.1, 1, 4)
+	mid := f.LatencyEstimate(u, 0.5, 1, 4)
+	high := f.LatencyEstimate(u, 0.95, 1, 4)
+	if !(low < mid && mid < high) {
+		t.Fatalf("latency not increasing: %v %v %v", low, mid, high)
+	}
+	if !math.IsInf(f.LatencyEstimate(u, 1.0, 1, 4), 1) {
+		t.Fatal("latency at saturation must diverge")
+	}
+	if low < f.ZeroLoadLatency(1, 4) {
+		t.Fatal("estimate below the zero-load bound")
+	}
+}
+
+func TestDimLoadsTornado(t *testing.T) {
+	tor := topo.NewTorus(8)
+	f := FromAlgorithm(tor, routing.DOR{})
+	loads := f.DimLoads(traffic.Tornado(tor))
+	// Tornado under DOR loads only +x channels.
+	if loads[topo.XPlus] < 2.9 {
+		t.Fatalf("+x load %v, want 3", loads[topo.XPlus])
+	}
+	for _, d := range []topo.Dir{topo.XMinus, topo.YPlus, topo.YMinus} {
+		if loads[d] > 1e-9 {
+			t.Fatalf("direction %v load %v, want 0", d, loads[d])
+		}
+	}
+}
+
+func TestBottlenecks(t *testing.T) {
+	tor := topo.NewTorus(8)
+	f := FromAlgorithm(tor, routing.DOR{})
+	tornado := traffic.Tornado(tor)
+	top := f.Bottlenecks(tornado, 5)
+	if len(top) != 5 {
+		t.Fatalf("got %d bottlenecks", len(top))
+	}
+	loads := f.ChannelLoads(tornado)
+	// Returned channels must be sorted by decreasing load and dominate the
+	// rest.
+	for i := 1; i < len(top); i++ {
+		if loads[top[i-1]] < loads[top[i]]-1e-12 {
+			t.Fatal("bottlenecks not sorted")
+		}
+	}
+	var maxOther float64
+	seen := map[topo.Channel]bool{}
+	for _, c := range top {
+		seen[c] = true
+	}
+	for c, l := range loads {
+		if !seen[topo.Channel(c)] && l > maxOther {
+			maxOther = l
+		}
+	}
+	if loads[top[len(top)-1]] < maxOther-1e-12 {
+		t.Fatal("a non-returned channel beats a returned one")
+	}
+	// All five are +x channels under tornado.
+	for _, c := range top {
+		if tor.ChanDir(c) != topo.XPlus {
+			t.Fatalf("bottleneck %v not in +x", c)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// factorize rebuilds the dense basis inverse from the basis column set using
+// Gauss-Jordan elimination with partial pivoting, repairing numerically
+// dependent basis columns in-pass by substituting artificial columns.
+func (s *Solver) factorize() error {
+	return s.doFactorize()
+}
+
+// doFactorize performs the elimination. When a basis column proves linearly
+// dependent, it is repaired in-pass: a nonbasic artificial (identity) column
+// is substituted, using the row operations accumulated so far (the building
+// inverse) to transform it, and elimination continues.
+func (s *Solver) doFactorize() error {
+	m := s.nRows
+	// B laid out dense; binv starts as identity and receives the inverse.
+	B := make([][]float64, m)
+	if cap(s.binv) < m {
+		s.binv = make([][]float64, m)
+	}
+	s.binv = s.binv[:m]
+	for r := 0; r < m; r++ {
+		B[r] = make([]float64, m)
+		if cap(s.binv[r]) < m {
+			s.binv[r] = make([]float64, m)
+		}
+		s.binv[r] = s.binv[r][:m]
+		for c := 0; c < m; c++ {
+			s.binv[r][c] = 0
+		}
+		s.binv[r][r] = 1
+	}
+	for c, col := range s.basis {
+		for t, ri := range s.colR[col] {
+			B[ri][c] = s.colV[col][t]
+		}
+	}
+	repairs := 0
+	for c := 0; c < m; c++ {
+		// Partial pivot within column c among rows >= c.
+		p, pmag := -1, pivotTol
+		for r := c; r < m; r++ {
+			if mag := math.Abs(B[r][c]); mag > pmag {
+				p, pmag = r, mag
+			}
+		}
+		if p < 0 {
+			// Dependent column: substitute a nonbasic artificial whose
+			// transformed image (column of the inverse built so far) has a
+			// usable pivot below row c, then retry this column.
+			bad := s.basis[c]
+			repairs++
+			if repairs > m+1 {
+				return fmt.Errorf("%w: basis repair did not converge", ErrNumerical)
+			}
+			best, bestMag := -1, pivotTol
+			for r := 0; r < m; r++ {
+				a := s.artOf[r]
+				if a == bad {
+					continue // do not re-substitute the failing column
+				}
+				if s.pos[a] >= 0 && s.basis[s.pos[a]] == a && s.pos[a] != c {
+					continue // already basic elsewhere
+				}
+				for q := c; q < m; q++ {
+					if mag := math.Abs(s.binv[q][r]); mag > bestMag {
+						best, bestMag = r, mag
+						break
+					}
+				}
+			}
+			if best < 0 {
+				return fmt.Errorf("%w: singular basis: column %d dependent at position %d, no repair available", ErrNumerical, bad, c)
+			}
+			art := s.artOf[best]
+			sign := s.colV[art][0]
+			s.pos[bad] = -1
+			s.basis[c] = art
+			s.pos[art] = c
+			for q := 0; q < m; q++ {
+				B[q][c] = sign * s.binv[q][best]
+			}
+			c-- // redo this column with the substituted entries
+			continue
+		}
+		if p != c {
+			B[p], B[c] = B[c], B[p]
+			s.binv[p], s.binv[c] = s.binv[c], s.binv[p]
+		}
+		piv := B[c][c]
+		inv := 1 / piv
+		for k := 0; k < m; k++ {
+			B[c][k] *= inv
+			s.binv[c][k] *= inv
+		}
+		for r := 0; r < m; r++ {
+			if r == c {
+				continue
+			}
+			f := B[r][c]
+			if f == 0 {
+				continue
+			}
+			br, bc := B[r], B[c]
+			ir, ic := s.binv[r], s.binv[c]
+			for k := 0; k < m; k++ {
+				br[k] -= f * bc[k]
+				ir[k] -= f * ic[k]
+			}
+		}
+	}
+	// Gauss-Jordan applied the same row operations (including swaps) to B
+	// and to the identity, so binv is exactly B^{-1} with rows indexed by
+	// basis position.
+	return nil
+}
+
+// ftran returns u = Binv * A[col] as a dense vector (length nRows).
+func (s *Solver) ftran(col int) []float64 {
+	m := s.nRows
+	if cap(s.u) < m {
+		s.u = make([]float64, m)
+	}
+	u := s.u[:m]
+	for r := range u {
+		u[r] = 0
+	}
+	rows, vals := s.colR[col], s.colV[col]
+	for r := 0; r < m; r++ {
+		var acc float64
+		brow := s.binv[r]
+		for t, ri := range rows {
+			acc += brow[ri] * vals[t]
+		}
+		u[r] = acc
+	}
+	return u
+}
+
+// rowDotCol computes (Binv*A[col])[r] without materializing the whole
+// column image.
+func (s *Solver) rowDotCol(r, col int) float64 {
+	var acc float64
+	brow := s.binv[r]
+	for t, ri := range s.colR[col] {
+		acc += brow[ri] * s.colV[col][t]
+	}
+	return acc
+}
+
+// computeY returns y with y = c_B^T * Binv for the given cost vector.
+func (s *Solver) computeY(costs []float64) []float64 {
+	m := s.nRows
+	if cap(s.y) < m {
+		s.y = make([]float64, m)
+	}
+	y := s.y[:m]
+	for i := range y {
+		y[i] = 0
+	}
+	for r, col := range s.basis {
+		cb := costs[col]
+		if cb == 0 {
+			continue
+		}
+		brow := s.binv[r]
+		for i := 0; i < m; i++ {
+			y[i] += cb * brow[i]
+		}
+	}
+	return y
+}
+
+// reducedCost returns costs[j] - y . A[j].
+func (s *Solver) reducedCost(costs, y []float64, j int) float64 {
+	d := costs[j]
+	for t, ri := range s.colR[j] {
+		d -= y[ri] * s.colV[j][t]
+	}
+	return d
+}
+
+// pivot makes column `enter` basic in row `leaveRow`, given u = Binv*A[enter]
+// and the entering variable's new value theta. It updates the inverse by a
+// rank-1 elimination and the basic solution values incrementally.
+func (s *Solver) pivot(enter, leaveRow int, u []float64, theta float64) {
+	m := s.nRows
+	piv := u[leaveRow]
+	inv := 1 / piv
+	lrow := s.binv[leaveRow]
+	for k := 0; k < m; k++ {
+		lrow[k] *= inv
+	}
+	for r := 0; r < m; r++ {
+		if r == leaveRow {
+			continue
+		}
+		f := u[r]
+		if f == 0 {
+			continue
+		}
+		br := s.binv[r]
+		for k := 0; k < m; k++ {
+			br[k] -= f * lrow[k]
+		}
+		s.xB[r] -= f * theta
+	}
+	old := s.basis[leaveRow]
+	s.pos[old] = -1
+	s.basis[leaveRow] = enter
+	s.pos[enter] = leaveRow
+	s.xB[leaveRow] = theta
+}
+
+// residual returns ||A_B xB - b||_inf, a cheap accuracy probe computed from
+// the sparse basis columns.
+func (s *Solver) residual() float64 {
+	m := s.nRows
+	if cap(s.work) < m {
+		s.work = make([]float64, m)
+	}
+	res := s.work[:m]
+	for i := 0; i < m; i++ {
+		res[i] = -s.rhs[i]
+	}
+	for r, col := range s.basis {
+		x := s.xB[r]
+		if x == 0 {
+			continue
+		}
+		for t, ri := range s.colR[col] {
+			res[ri] += s.colV[col][t] * x
+		}
+	}
+	var worst float64
+	for _, v := range res {
+		if a := math.Abs(v); a > worst {
+			worst = a
+		}
+	}
+	return worst
+}
+
+// refresh refactorizes and recomputes xB, restoring numerical accuracy.
+func (s *Solver) refresh() error {
+	if err := s.factorize(); err != nil {
+		return err
+	}
+	s.recomputeXB()
+	return nil
+}

@@ -1,0 +1,206 @@
+package lp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteMPS serializes the model in free-format MPS, the lingua franca of LP
+// solvers. All variables are nonnegative (the package's variable model), so
+// no BOUNDS section is emitted. Row and column names are synthesized as
+// R<i>/C<j> unless the model carries names; the objective row is named OBJ.
+//
+// The writer exists so that models built here can be cross-checked against
+// external solvers, and so tests can round-trip models through ReadMPS.
+func (m *Model) WriteMPS(w io.Writer, name string) error {
+	bw := bufio.NewWriter(w)
+	if name == "" {
+		name = "TCR"
+	}
+	fmt.Fprintf(bw, "NAME %s\n", name)
+	fmt.Fprintln(bw, "ROWS")
+	fmt.Fprintln(bw, " N OBJ")
+	rowName := func(i int) string { return fmt.Sprintf("R%d", i) }
+	for i, r := range m.rows {
+		var kind string
+		switch r.rel {
+		case LE:
+			kind = "L"
+		case GE:
+			kind = "G"
+		case EQ:
+			kind = "E"
+		}
+		fmt.Fprintf(bw, " %s %s\n", kind, rowName(i))
+	}
+
+	// COLUMNS: entries grouped per column, objective first.
+	type entry struct {
+		row  string
+		coef float64
+	}
+	cols := make([][]entry, m.NumVars())
+	for j, c := range m.obj {
+		if c != 0 {
+			cols[j] = append(cols[j], entry{"OBJ", c})
+		}
+	}
+	for i, r := range m.rows {
+		for _, t := range r.terms {
+			cols[t.Var] = append(cols[t.Var], entry{rowName(i), t.Coef})
+		}
+	}
+	fmt.Fprintln(bw, "COLUMNS")
+	for j, es := range cols {
+		for _, e := range es {
+			fmt.Fprintf(bw, " C%d %s %s\n", j, e.row, formatMPS(e.coef))
+		}
+	}
+	fmt.Fprintln(bw, "RHS")
+	for i, r := range m.rows {
+		if r.rhs != 0 {
+			fmt.Fprintf(bw, " RHS %s %s\n", rowName(i), formatMPS(r.rhs))
+		}
+	}
+	fmt.Fprintln(bw, "ENDATA")
+	return bw.Flush()
+}
+
+func formatMPS(v float64) string {
+	return strconv.FormatFloat(v, 'g', 17, 64)
+}
+
+// ReadMPS parses a free-format MPS file into a Model. It supports the
+// sections WriteMPS produces (NAME, ROWS, COLUMNS, RHS, ENDATA) plus an
+// optional BOUNDS section restricted to nonnegative lower bounds (LO ... 0),
+// which matches the package's variable model; anything else is rejected.
+func ReadMPS(r io.Reader) (*Model, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	m := NewModel()
+	type rowInfo struct {
+		rel   Rel
+		terms []Term
+		rhs   float64
+		order int
+	}
+	rows := map[string]*rowInfo{}
+	var rowOrder []string
+	vars := map[string]VarID{}
+	varOf := func(name string) VarID {
+		if v, ok := vars[name]; ok {
+			return v
+		}
+		v := m.AddVar(0, name)
+		vars[name] = v
+		return v
+	}
+
+	section := ""
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '*'); i == 0 {
+			continue // comment
+		}
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			continue
+		}
+		fields := strings.Fields(trimmed)
+		// Section headers start in column 1 (no leading space).
+		if line[0] != ' ' && line[0] != '\t' {
+			section = strings.ToUpper(fields[0])
+			if section == "ENDATA" {
+				break
+			}
+			continue
+		}
+		switch section {
+		case "ROWS":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("lp: mps line %d: malformed ROWS entry", lineNo)
+			}
+			kind, name := strings.ToUpper(fields[0]), fields[1]
+			switch kind {
+			case "N":
+				rows[name] = nil // objective row marker
+			case "L":
+				rows[name] = &rowInfo{rel: LE, order: len(rowOrder)}
+				rowOrder = append(rowOrder, name)
+			case "G":
+				rows[name] = &rowInfo{rel: GE, order: len(rowOrder)}
+				rowOrder = append(rowOrder, name)
+			case "E":
+				rows[name] = &rowInfo{rel: EQ, order: len(rowOrder)}
+				rowOrder = append(rowOrder, name)
+			default:
+				return nil, fmt.Errorf("lp: mps line %d: unknown row kind %q", lineNo, kind)
+			}
+		case "COLUMNS":
+			// COL ROW VAL [ROW VAL]
+			if len(fields) != 3 && len(fields) != 5 {
+				return nil, fmt.Errorf("lp: mps line %d: malformed COLUMNS entry", lineNo)
+			}
+			v := varOf(fields[0])
+			for i := 1; i+1 < len(fields); i += 2 {
+				val, err := strconv.ParseFloat(fields[i+1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("lp: mps line %d: %v", lineNo, err)
+				}
+				ri, ok := rows[fields[i]]
+				if !ok {
+					return nil, fmt.Errorf("lp: mps line %d: unknown row %q", lineNo, fields[i])
+				}
+				if ri == nil { // objective
+					m.SetObj(v, m.Obj(v)+val)
+					continue
+				}
+				ri.terms = append(ri.terms, Term{Var: v, Coef: val})
+			}
+		case "RHS":
+			if len(fields) != 3 && len(fields) != 5 {
+				return nil, fmt.Errorf("lp: mps line %d: malformed RHS entry", lineNo)
+			}
+			for i := 1; i+1 < len(fields); i += 2 {
+				val, err := strconv.ParseFloat(fields[i+1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("lp: mps line %d: %v", lineNo, err)
+				}
+				ri, ok := rows[fields[i]]
+				if !ok || ri == nil {
+					return nil, fmt.Errorf("lp: mps line %d: RHS for unknown row %q", lineNo, fields[i])
+				}
+				ri.rhs = val
+			}
+		case "BOUNDS":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("lp: mps line %d: malformed BOUNDS entry", lineNo)
+			}
+			kind := strings.ToUpper(fields[0])
+			if kind != "LO" || len(fields) < 4 || fields[3] != "0" {
+				return nil, fmt.Errorf("lp: mps line %d: only LO ... 0 bounds supported", lineNo)
+			}
+		case "RANGES":
+			return nil, fmt.Errorf("lp: mps line %d: RANGES not supported", lineNo)
+		case "":
+			return nil, fmt.Errorf("lp: mps line %d: data before any section", lineNo)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	// Emit rows in declaration order for determinism.
+	sort.SliceStable(rowOrder, func(i, j int) bool { return rows[rowOrder[i]].order < rows[rowOrder[j]].order })
+	for _, name := range rowOrder {
+		ri := rows[name]
+		m.AddRow(ri.terms, ri.rel, ri.rhs, name)
+	}
+	return m, nil
+}

@@ -1,0 +1,128 @@
+package lp
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestMPSRoundTrip(t *testing.T) {
+	m := NewModel()
+	x := m.AddVar(-1, "x")
+	y := m.AddVar(-2.5, "y")
+	m.AddRow([]Term{{x, 1}, {y, 2}}, LE, 4, "c1")
+	m.AddRow([]Term{{x, 3}, {y, -1}}, GE, -2, "c2")
+	m.AddRow([]Term{{x, 1}, {y, 1}}, EQ, 3, "c3")
+
+	var buf bytes.Buffer
+	if err := m.WriteMPS(&buf, "test"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMPS(&buf)
+	if err != nil {
+		t.Fatalf("read back: %v\n%s", err, buf.String())
+	}
+	a, err := NewSolver(m).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSolver(got).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Status != b.Status || math.Abs(a.Objective-b.Objective) > 1e-9 {
+		t.Fatalf("round trip changed solution: %v/%v vs %v/%v",
+			a.Status, a.Objective, b.Status, b.Objective)
+	}
+}
+
+func TestMPSRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 40; trial++ {
+		m := NewModel()
+		n := 2 + rng.Intn(4)
+		vars := make([]VarID, n)
+		for j := range vars {
+			vars[j] = m.AddVar(math.Round(10*(rng.Float64()-0.5))/4, "")
+		}
+		rels := []Rel{LE, GE, EQ}
+		for i := 0; i < 2+rng.Intn(4); i++ {
+			var terms []Term
+			for j := range vars {
+				if rng.Float64() < 0.7 {
+					terms = append(terms, Term{vars[j], math.Round(8 * (rng.Float64() - 0.4))})
+				}
+			}
+			rel := rels[rng.Intn(2)] // LE/GE; EQ makes random instances mostly infeasible
+			m.AddRow(terms, rel, math.Round(10*rng.Float64()), "")
+		}
+		for j := range vars {
+			m.AddRow([]Term{{vars[j], 1}}, LE, 5, "")
+		}
+		var buf bytes.Buffer
+		if err := m.WriteMPS(&buf, ""); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadMPS(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, errA := NewSolver(m).Solve()
+		b, errB := NewSolver(back).Solve()
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("trial %d: error mismatch %v vs %v", trial, errA, errB)
+		}
+		if errA != nil {
+			continue
+		}
+		if a.Status != b.Status {
+			t.Fatalf("trial %d: status %v vs %v", trial, a.Status, b.Status)
+		}
+		if a.Status == Optimal && math.Abs(a.Objective-b.Objective) > 1e-8 {
+			t.Fatalf("trial %d: objective %v vs %v", trial, a.Objective, b.Objective)
+		}
+	}
+}
+
+func TestReadMPSHandWritten(t *testing.T) {
+	src := `* a comment
+NAME SAMPLE
+ROWS
+ N OBJ
+ L LIM1
+ G LIM2
+COLUMNS
+ X OBJ 1 LIM1 1
+ Y OBJ 2
+ Y LIM1 1
+ Y LIM2 1
+RHS
+ RHS LIM1 4
+ RHS LIM2 1
+ENDATA
+`
+	m, err := ReadMPS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumVars() != 2 || m.NumRows() != 2 {
+		t.Fatalf("got %d vars, %d rows", m.NumVars(), m.NumRows())
+	}
+	sol, err := NewSolver(m).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// min x + 2y s.t. x+y<=4, y>=1 -> x=0, y=1, obj 2.
+	if math.Abs(sol.Objective-2) > 1e-9 {
+		t.Fatalf("objective %v, want 2", sol.Objective)
+	}
+}
+
+func TestReadMPSRejectsRanges(t *testing.T) {
+	src := "NAME X\nROWS\n N OBJ\nRANGES\n R1 A 1\nENDATA\n"
+	if _, err := ReadMPS(strings.NewReader(src)); err == nil {
+		t.Fatal("expected RANGES rejection")
+	}
+}

@@ -1,0 +1,346 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteForceOptimum enumerates every basis of the standard-form program
+// min c.x, Ax + Is = b (x, s >= 0 for LE rows) and returns the best feasible
+// basic objective. Exponential: only for tiny instances.
+func bruteForceOptimum(c []float64, a [][]float64, b []float64) (float64, bool) {
+	n := len(c)
+	m := len(b)
+	tot := n + m
+	// Full column matrix including slacks.
+	cols := make([][]float64, tot)
+	for j := 0; j < n; j++ {
+		col := make([]float64, m)
+		for i := 0; i < m; i++ {
+			col[i] = a[i][j]
+		}
+		cols[j] = col
+	}
+	for i := 0; i < m; i++ {
+		col := make([]float64, m)
+		col[i] = 1
+		cols[n+i] = col
+	}
+	fullC := make([]float64, tot)
+	copy(fullC, c)
+
+	best := math.Inf(1)
+	found := false
+	idx := make([]int, m)
+	var rec func(start, k int)
+	rec = func(start, k int) {
+		if k == m {
+			x, ok := denseSolve(cols, idx, b)
+			if !ok {
+				return
+			}
+			for _, v := range x {
+				if v < -1e-9 {
+					return
+				}
+			}
+			var obj float64
+			for t, j := range idx {
+				obj += fullC[j] * x[t]
+			}
+			if obj < best {
+				best = obj
+				found = true
+			}
+			return
+		}
+		for j := start; j < tot; j++ {
+			idx[k] = j
+			rec(j+1, k+1)
+		}
+	}
+	rec(0, 0)
+	return best, found
+}
+
+// denseSolve solves B y = b where B's columns are cols[idx]. Returns ok=false
+// when singular.
+func denseSolve(cols [][]float64, idx []int, b []float64) ([]float64, bool) {
+	m := len(b)
+	aug := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		aug[i] = make([]float64, m+1)
+		for k, j := range idx {
+			aug[i][k] = cols[j][i]
+		}
+		aug[i][m] = b[i]
+	}
+	for c := 0; c < m; c++ {
+		p, pm := -1, 1e-9
+		for r := c; r < m; r++ {
+			if v := math.Abs(aug[r][c]); v > pm {
+				p, pm = r, v
+			}
+		}
+		if p < 0 {
+			return nil, false
+		}
+		aug[p], aug[c] = aug[c], aug[p]
+		piv := aug[c][c]
+		for k := c; k <= m; k++ {
+			aug[c][k] /= piv
+		}
+		for r := 0; r < m; r++ {
+			if r == c || aug[r][c] == 0 {
+				continue
+			}
+			f := aug[r][c]
+			for k := c; k <= m; k++ {
+				aug[r][k] -= f * aug[c][k]
+			}
+		}
+	}
+	x := make([]float64, m)
+	for i := 0; i < m; i++ {
+		x[i] = aug[i][m]
+	}
+	return x, true
+}
+
+// TestRandomLPsMatchBruteForce solves many small random LE-form LPs and
+// compares against exhaustive basis enumeration.
+func TestRandomLPsMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(3) // variables
+		mm := 2 + rng.Intn(3)
+		c := make([]float64, n)
+		for j := range c {
+			c[j] = math.Round(20*(rng.Float64()-0.6)) / 4
+		}
+		a := make([][]float64, mm)
+		b := make([]float64, mm)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = math.Round(8*(rng.Float64()-0.3)) / 2
+			}
+			b[i] = math.Round(10 * rng.Float64())
+		}
+		// Bound the feasible set so LPs are never unbounded: add x_j <= 10.
+		for j := 0; j < n; j++ {
+			row := make([]float64, n)
+			row[j] = 1
+			a = append(a, row)
+			b = append(b, 10)
+		}
+
+		model := NewModel()
+		vars := make([]VarID, n)
+		for j := 0; j < n; j++ {
+			vars[j] = model.AddVar(c[j], "")
+		}
+		for i := range a {
+			terms := make([]Term, 0, n)
+			for j := 0; j < n; j++ {
+				if a[i][j] != 0 {
+					terms = append(terms, Term{vars[j], a[i][j]})
+				}
+			}
+			model.AddRow(terms, LE, b[i], "")
+		}
+		sol, err := NewSolver(model).Solve()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want, found := bruteForceOptimum(c, a, b)
+		if sol.Status == Infeasible {
+			if found {
+				t.Fatalf("trial %d: solver says infeasible, brute force found %v", trial, want)
+			}
+			continue
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, sol.Status)
+		}
+		if !found {
+			t.Fatalf("trial %d: solver optimal %v but brute force found nothing", trial, sol.Objective)
+		}
+		if math.Abs(sol.Objective-want) > 1e-6 {
+			t.Fatalf("trial %d: solver %v, brute force %v\n%s", trial, sol.Objective, want, model)
+		}
+		if viol := model.MaxViolation(sol.X); viol > 1e-7 {
+			t.Fatalf("trial %d: solution infeasible by %v", trial, viol)
+		}
+	}
+}
+
+// TestStrongDualityProperty checks obj == y.b on random feasible LPs via
+// testing/quick-generated seeds.
+func TestStrongDualityProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		mm := 1 + rng.Intn(4)
+		model := NewModel()
+		vars := make([]VarID, n)
+		for j := 0; j < n; j++ {
+			vars[j] = model.AddVar(rng.Float64()*4-1, "")
+		}
+		rhs := make([]float64, 0, mm+n)
+		for i := 0; i < mm; i++ {
+			terms := make([]Term, 0, n)
+			for j := 0; j < n; j++ {
+				if rng.Float64() < 0.7 {
+					terms = append(terms, Term{vars[j], math.Round(6*(rng.Float64()-0.3)) / 2})
+				}
+			}
+			b := math.Round(8 * rng.Float64())
+			model.AddRow(terms, LE, b, "")
+			rhs = append(rhs, b)
+		}
+		for j := 0; j < n; j++ {
+			model.AddRow([]Term{{vars[j], 1}}, LE, 6, "")
+			rhs = append(rhs, 6)
+		}
+		sol, err := NewSolver(model).Solve()
+		if err != nil || sol.Status != Optimal {
+			// Infeasible random instances are fine; errors are not.
+			return err == nil
+		}
+		var yb float64
+		for i, b := range rhs {
+			yb += sol.Dual[i] * b
+		}
+		return math.Abs(yb-sol.Objective) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCutLoopProperty mimics the cutting-plane usage pattern: solve, add the
+// most-violated of a fixed pool of cuts, re-solve, and confirm the warm path
+// agrees with a cold solve of the full model at every step.
+func TestCutLoopProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(3)
+		model := NewModel()
+		vars := make([]VarID, n)
+		for j := 0; j < n; j++ {
+			vars[j] = model.AddVar(-1-rng.Float64(), "")
+		}
+		for j := 0; j < n; j++ {
+			model.AddRow([]Term{{vars[j], 1}}, LE, 5, "")
+		}
+		// Pool of random cuts.
+		type cut struct {
+			terms []Term
+			rhs   float64
+		}
+		pool := make([]cut, 12)
+		for k := range pool {
+			terms := make([]Term, 0, n)
+			for j := 0; j < n; j++ {
+				if rng.Float64() < 0.6 {
+					terms = append(terms, Term{vars[j], 1 + rng.Float64()})
+				}
+			}
+			pool[k] = cut{terms, 4 + 6*rng.Float64()}
+		}
+
+		warm := NewSolver(model)
+		sol, err := warm.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		coldModel := NewModel()
+		for j := 0; j < n; j++ {
+			coldModel.AddVar(model.Obj(vars[j]), "")
+		}
+		for j := 0; j < n; j++ {
+			coldModel.AddRow([]Term{{vars[j], 1}}, LE, 5, "")
+		}
+		for round := 0; round < 6; round++ {
+			// Most violated cut at the current point.
+			bestViol, bestIdx := 1e-7, -1
+			for k, c := range pool {
+				var act float64
+				for _, tm := range c.terms {
+					act += tm.Coef * sol.X[tm.Var]
+				}
+				if v := act - c.rhs; v > bestViol {
+					bestViol, bestIdx = v, k
+				}
+			}
+			if bestIdx < 0 {
+				break
+			}
+			warm.AddCut(pool[bestIdx].terms, LE, pool[bestIdx].rhs)
+			coldModel.AddRow(pool[bestIdx].terms, LE, pool[bestIdx].rhs, "")
+			sol, err = warm.Solve()
+			if err != nil {
+				t.Fatal(err)
+			}
+			coldSol, err := NewSolver(coldModel).Solve()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sol.Status != coldSol.Status {
+				t.Fatalf("trial %d round %d: warm %v cold %v", trial, round, sol.Status, coldSol.Status)
+			}
+			if math.Abs(sol.Objective-coldSol.Objective) > 1e-6 {
+				t.Fatalf("trial %d round %d: warm obj %v cold obj %v",
+					trial, round, sol.Objective, coldSol.Objective)
+			}
+		}
+	}
+}
+
+// TestRHSSweepProperty mirrors the Pareto-sweep usage: an equality row whose
+// rhs is swept; warm solves must match cold solves.
+func TestRHSSweepProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 4
+		model := NewModel()
+		vars := make([]VarID, n)
+		for j := 0; j < n; j++ {
+			vars[j] = model.AddVar(rng.Float64()*2, "")
+		}
+		// sum x_j == L, x_j <= 3.
+		terms := make([]Term, n)
+		for j := 0; j < n; j++ {
+			terms[j] = Term{vars[j], 1}
+		}
+		sweepRow := model.AddRow(terms, EQ, 1, "L")
+		for j := 0; j < n; j++ {
+			model.AddRow([]Term{{vars[j], 1}}, LE, 3, "")
+		}
+		warm := NewSolver(model)
+		if _, err := warm.Solve(); err != nil {
+			t.Fatal(err)
+		}
+		for _, L := range []float64{2, 5, 9, 3.5, 12, 0.5} {
+			warm.SetRHS(int(sweepRow), L)
+			got, err := warm.Solve()
+			if err != nil {
+				t.Fatal(err)
+			}
+			model.SetRHS(sweepRow, L)
+			want, err := NewSolver(model).Solve()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Status != want.Status {
+				t.Fatalf("trial %d L=%v: warm %v cold %v", trial, L, got.Status, want.Status)
+			}
+			if got.Status == Optimal && math.Abs(got.Objective-want.Objective) > 1e-6 {
+				t.Fatalf("trial %d L=%v: warm %v cold %v", trial, L, got.Objective, want.Objective)
+			}
+		}
+	}
+}

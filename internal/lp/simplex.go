@@ -1,0 +1,303 @@
+package lp
+
+import "math"
+
+// primalFromBasis runs the phase-2 primal simplex from the current basis,
+// which must be primal feasible.
+func (s *Solver) primalFromBasis() (Status, error) {
+	return s.primal(s.costP)
+}
+
+// primal drives the revised primal simplex to optimality for the given cost
+// vector. Degeneracy is handled by perturbation: when the inner loop stalls
+// (many pivots without objective progress), the basic values receive tiny
+// random positive shifts, which makes ratio tests decisive again. Because
+// the shifts change only the right-hand side, reduced costs are untouched;
+// after the perturbed problem solves, the true values are restored and any
+// small primal infeasibility is repaired with the dual simplex (the basis
+// is dual feasible by construction), iterating a bounded number of times
+// with Bland's rule as the final resort.
+func (s *Solver) primal(costs []float64) (Status, error) {
+	for pass := 0; pass < 8; pass++ {
+		st, perturbed, err := s.primalInner(costs, pass >= 3)
+		if err != nil || st != Optimal {
+			return st, err
+		}
+		if !perturbed {
+			return Optimal, nil
+		}
+		// Restore the true right-hand side and repair feasibility.
+		s.recomputeXB()
+		worst := 0.0
+		for _, v := range s.xB {
+			if v < worst {
+				worst = v
+			}
+		}
+		if worst >= -primalTol {
+			return Optimal, nil
+		}
+		st, err = s.dualInner(costs)
+		if err != nil {
+			return 0, err
+		}
+		if st != Optimal {
+			return st, nil
+		}
+		// Loop: the dual repair may expose further primal work.
+	}
+	return IterLimit, nil
+}
+
+// primalInner is one run of the primal simplex. It reports whether the
+// basic values were perturbed (in which case the caller must restore and
+// repair). blandOnly forces Bland's rule from the start (termination
+// guarantee of last resort).
+func (s *Solver) primalInner(costs []float64, blandOnly bool) (Status, bool, error) {
+	m := s.nRows
+	budget := s.maxIters()
+	stallLimit := m/2 + 100
+	sinceImprove := 0
+	bland := blandOnly
+	perturbed := false
+	rng := uint64(0x9e3779b97f4a7c15)
+
+	// The dual values y = c_B B^-1 are maintained incrementally across
+	// pivots (an O(m) update) and recomputed from scratch periodically and
+	// at refreshes to wash out drift.
+	y := s.computeY(costs)
+
+	for iter := 0; ; iter++ {
+		if s.iterations >= budget {
+			return IterLimit, perturbed, nil
+		}
+		// Periodic accuracy probe and refresh.
+		if iter%128 == 127 {
+			if s.residual() > residCheck && !perturbed {
+				if err := s.refresh(); err != nil {
+					return 0, perturbed, err
+				}
+			}
+			y = s.computeY(costs)
+		}
+
+		// Pricing.
+		enter := -1
+		bestD := -dualTol
+		for j := range costs {
+			if s.pos[j] >= 0 || s.barred[j] {
+				continue
+			}
+			d := s.reducedCost(costs, y, j)
+			if bland {
+				if d < -dualTol {
+					enter = j
+					break
+				}
+				continue
+			}
+			if d < bestD {
+				bestD, enter = d, j
+			}
+		}
+		if enter < 0 {
+			// Confirm optimality against exactly recomputed duals; the
+			// incremental y may have drifted.
+			y = s.computeY(costs)
+			still := -1
+			for j := range costs {
+				if s.pos[j] >= 0 || s.barred[j] {
+					continue
+				}
+				if s.reducedCost(costs, y, j) < -dualTol {
+					still = j
+					break
+				}
+			}
+			if still < 0 {
+				return Optimal, perturbed, nil
+			}
+			continue
+		}
+		dEnter := s.reducedCost(costs, y, enter)
+
+		u := s.ftran(enter)
+
+		// Ratio test: largest step theta keeping xB >= 0.
+		leave := -1
+		theta := math.Inf(1)
+		for r := 0; r < m; r++ {
+			if u[r] <= pivotTol {
+				continue
+			}
+			t := s.xB[r] / u[r]
+			if t < 0 {
+				t = 0
+			}
+			if t < theta-1e-12 || (t <= theta+1e-12 && (leave < 0 ||
+				(bland && s.basis[r] < s.basis[leave]) ||
+				(!bland && math.Abs(u[r]) > math.Abs(u[leave])))) {
+				theta, leave = t, r
+			}
+		}
+		if leave < 0 {
+			return Unbounded, perturbed, nil
+		}
+
+		s.pivot(enter, leave, u, theta)
+		s.iterations++
+		// Incremental dual update: zero the entering column's reduced cost.
+		if dEnter != 0 {
+			lrow := s.binv[leave]
+			for i := range y {
+				y[i] += dEnter * lrow[i]
+			}
+		}
+
+		// Stall handling: a stall is a long run of *degenerate* pivots
+		// (zero step length) -- the direct cycling signal, insensitive to
+		// the tiny objective jitter. Perturb the basic values once to make
+		// ratio tests decisive; if degeneracy persists, fall back to
+		// Bland's rule.
+		if theta > 1e-10 {
+			sinceImprove = 0
+		} else {
+			sinceImprove++
+			if sinceImprove > stallLimit {
+				sinceImprove = 0
+				if !perturbed && !blandOnly {
+					perturbed = true
+					for r := range s.xB {
+						rng = rng*6364136223846793005 + 1442695040888963407
+						f := float64(rng>>11) / (1 << 53)
+						s.xB[r] += 1e-7 * (0.5 + f)
+					}
+				} else if !bland {
+					if err := s.refresh2(perturbed); err != nil {
+						return 0, perturbed, err
+					}
+					y = s.computeY(costs)
+					bland = true
+				}
+			}
+		}
+	}
+}
+
+// refresh2 refactorizes; when the basic values are perturbed it leaves xB
+// untouched (refactorizing would silently undo the perturbation).
+func (s *Solver) refresh2(skipXB bool) error {
+	if err := s.factorize(); err != nil {
+		return err
+	}
+	if !skipXB {
+		s.recomputeXB()
+	}
+	return nil
+}
+
+// dualSolve is the warm-start entry point after cuts or RHS changes: dual
+// simplex to feasibility, then a primal polish.
+func (s *Solver) dualSolve() (Status, error) {
+	st, err := s.dualInner(s.costP)
+	if err != nil || st != Optimal {
+		return st, err
+	}
+	return s.primal(s.costP)
+}
+
+// dualInner runs the revised dual simplex until primal feasibility, dual
+// unboundedness (primal infeasible), or a sub-budget intended to fail fast
+// into a cold solve.
+func (s *Solver) dualInner(costs []float64) (Status, error) {
+	m := s.nRows
+	budget := s.maxIters()
+	subBudget := s.iterations + 20000 + 20*m
+	if subBudget > budget {
+		subBudget = budget
+	}
+	bland := false
+	sinceProgress := 0
+	stallLimit := 2*m + 200
+	y := s.computeY(costs)
+
+	for iter := 0; ; iter++ {
+		if s.iterations >= subBudget {
+			return IterLimit, nil
+		}
+		if iter%128 == 127 {
+			if s.residual() > residCheck {
+				if err := s.refresh(); err != nil {
+					return 0, err
+				}
+			}
+			y = s.computeY(costs)
+		}
+
+		// Leaving row: most negative basic value.
+		leave := -1
+		worst := -primalTol
+		for r := 0; r < m; r++ {
+			if s.xB[r] < worst {
+				worst, leave = s.xB[r], r
+			}
+			if bland && leave >= 0 {
+				break
+			}
+		}
+		if leave < 0 {
+			return Optimal, nil // primal feasible
+		}
+
+		brow := s.binv[leave]
+
+		// Entering column: among alpha_j < 0 (so increasing x_j raises
+		// the leaving basic value), minimize d_j / -alpha_j.
+		enter := -1
+		best := math.Inf(1)
+		var bestAlpha float64
+		for j := range costs {
+			if s.pos[j] >= 0 || s.barred[j] {
+				continue
+			}
+			var alpha float64
+			for t, ri := range s.colR[j] {
+				alpha += brow[ri] * s.colV[j][t]
+			}
+			if alpha >= -pivotTol {
+				continue
+			}
+			d := s.reducedCost(costs, y, j)
+			if d < 0 {
+				d = 0 // tolerate tiny dual infeasibility
+			}
+			ratio := d / -alpha
+			if ratio < best-1e-12 ||
+				(ratio <= best+1e-12 && (enter < 0 ||
+					(bland && j < enter) ||
+					(!bland && -alpha > -bestAlpha))) {
+				best, enter, bestAlpha = ratio, j, alpha
+			}
+		}
+		if enter < 0 {
+			return Infeasible, nil
+		}
+
+		dEnter := s.reducedCost(costs, y, enter)
+		u := s.ftran(enter)
+		theta := s.xB[leave] / u[leave] // both negative => theta >= 0
+		s.pivot(enter, leave, u, theta)
+		s.iterations++
+		if dEnter != 0 {
+			lrow := s.binv[leave]
+			for i := range y {
+				y[i] += dEnter * lrow[i]
+			}
+		}
+
+		sinceProgress++
+		if sinceProgress > stallLimit {
+			bland = true
+		}
+	}
+}

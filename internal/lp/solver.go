@@ -1,0 +1,508 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Status reports the outcome of a solve.
+type Status int
+
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible means the constraints admit no nonnegative solution.
+	Infeasible
+	// Unbounded means the objective can be decreased without limit.
+	Unbounded
+	// IterLimit means the iteration budget was exhausted before
+	// convergence; the solution fields hold the best basis reached.
+	IterLimit
+)
+
+// String returns a human-readable status name.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Solution is the result of a solve.
+type Solution struct {
+	Status    Status
+	Objective float64
+	// X holds the values of the structural (model) variables.
+	X []float64
+	// Dual holds one multiplier per constraint row, with the convention
+	// Dual[i] = d(objective)/d(rhs[i]) at the optimum. For a minimization
+	// with a binding <= row the dual is <= 0.
+	Dual []float64
+	// Iterations counts simplex pivots across all phases of the solve.
+	Iterations int
+}
+
+// ErrNumerical is returned when the solver cannot maintain a numerically
+// trustworthy basis even after refactorization.
+var ErrNumerical = errors.New("lp: numerical failure")
+
+// column kinds in the computational form.
+type colKind uint8
+
+const (
+	kindStruct  colKind = iota
+	kindSlack           // +1 logical of a <= row
+	kindSurplus         // -1 logical of a >= row
+	kindArtificial
+)
+
+// Tolerances. The routing LPs are well scaled (coefficients are path counts
+// and probabilities), so fixed tolerances suffice.
+const (
+	dualTol    = 1e-7 // reduced-cost optimality tolerance
+	primalTol  = 1e-7 // bound-feasibility tolerance
+	pivotTol   = 1e-9 // smallest acceptable pivot magnitude
+	residCheck = 1e-7 // basis accuracy trigger for refactorization
+)
+
+// Solver holds the computational form of a model plus a (re)usable basis.
+// It supports cold solves, then warm-started re-solves after AddCut and
+// SetRHS (dual simplex) or SetObjCoef (primal simplex).
+//
+// A Solver is not safe for concurrent use.
+type Solver struct {
+	structN int // number of structural columns
+	nRows   int
+
+	// Sparse columns, including logicals and artificials.
+	cost   []float64 // true phase-2 objective per column
+	costP  []float64 // perturbed objective actually optimized (anti-degeneracy)
+	colR   [][]int32
+	colV   [][]float64
+	kind   []colKind
+	barred []bool // true for artificials outside phase 1
+
+	rhs    []float64
+	rowRel []Rel
+	artOf  []int // artificial column index per row
+	logOf  []int // slack/surplus column per row, -1 if none (EQ)
+
+	basis []int // column basic in each row
+	pos   []int // column -> basis row, -1 when nonbasic
+	binv  [][]float64
+	xB    []float64
+
+	haveBasis  bool // a factorized, primal-feasible-phase basis exists
+	dirtyObj   bool // objective changed since last solve
+	dirtyRows  bool // rows added / rhs changed since last solve
+	lastStatus Status
+	solvedOnce bool
+	noJitter   bool
+
+	// MaxIters bounds the total pivots per Solve call. Zero means a
+	// generous default proportional to the problem size.
+	MaxIters int
+
+	iterations int
+
+	// scratch buffers
+	y, d, u, work []float64
+}
+
+// NewSolver captures the model into computational form. The model may be
+// discarded afterwards; use the Solver's own mutators for warm-started
+// changes.
+func NewSolver(m *Model) *Solver {
+	s := &Solver{structN: m.NumVars()}
+	s.cost = make([]float64, 0, m.NumVars()+2*m.NumRows())
+	for j := 0; j < m.NumVars(); j++ {
+		s.cost = append(s.cost, m.obj[j])
+		s.colR = append(s.colR, nil)
+		s.colV = append(s.colV, nil)
+		s.kind = append(s.kind, kindStruct)
+		s.barred = append(s.barred, false)
+	}
+	for i := range m.rows {
+		r := &m.rows[i]
+		s.appendRow(r.terms, r.rel, r.rhs)
+	}
+	s.buildCostP()
+	return s
+}
+
+// SetJitter toggles the anti-degeneracy cost perturbation. It is on by
+// default; problems whose optimal faces are huge and harmless (e.g. the
+// path-probability LPs, where any optimal vertex is equally good) solve
+// faster without the jitter steering the simplex to a specific vertex.
+func (s *Solver) SetJitter(on bool) {
+	s.noJitter = !on
+	s.buildCostP()
+	s.dirtyObj = true
+}
+
+// buildCostP derives the perturbed objective the simplex actually
+// optimizes: each column's cost gains a tiny deterministic positive jitter.
+// Network LPs are massively dual degenerate (whole faces of optimal bases);
+// the jitter makes the optimum essentially unique, which is the classic
+// industrial cure for degenerate stalling. The jitter is small enough that
+// the reported objective (always computed with the true costs) stays within
+// the solver's tolerances of the true optimum.
+func (s *Solver) buildCostP() {
+	if cap(s.costP) < len(s.cost) {
+		s.costP = make([]float64, len(s.cost))
+	}
+	s.costP = s.costP[:len(s.cost)]
+	if s.noJitter {
+		copy(s.costP, s.cost)
+		return
+	}
+	rng := uint64(0x853c49e6748fea9b)
+	for j, c := range s.cost {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		f := float64(rng>>11) / (1 << 53) // in [0,1)
+		s.costP[j] = c + costJitter*(0.5+f)*(1+math.Abs(c))
+	}
+}
+
+// costJitter scales the anti-degeneracy objective perturbation.
+const costJitter = 1e-9
+
+// appendRow installs one constraint row into the computational form: its
+// structural coefficients, a logical column (for LE/GE), and an artificial
+// column whose sign makes the artificial's initial value nonnegative.
+func (s *Solver) appendRow(terms []Term, rel Rel, rhs float64) int {
+	i := s.nRows
+	s.nRows++
+	s.rhs = append(s.rhs, rhs)
+	s.rowRel = append(s.rowRel, rel)
+	for _, t := range terms {
+		j := int(t.Var)
+		s.colR[j] = append(s.colR[j], int32(i))
+		s.colV[j] = append(s.colV[j], t.Coef)
+	}
+	log := -1
+	switch rel {
+	case LE:
+		log = s.addCol(kindSlack, i, 1)
+	case GE:
+		log = s.addCol(kindSurplus, i, -1)
+	}
+	s.logOf = append(s.logOf, log)
+	sign := 1.0
+	if rhs < 0 {
+		sign = -1
+	}
+	art := s.addCol(kindArtificial, i, sign)
+	s.barred[art] = true
+	s.artOf = append(s.artOf, art)
+	return i
+}
+
+// addCol adds a single-entry column and returns its index.
+func (s *Solver) addCol(k colKind, row int, val float64) int {
+	j := len(s.cost)
+	s.cost = append(s.cost, 0)
+	// costP is rebuilt by the callers that add columns after construction
+	// (AddCut via buildCostP).
+	s.colR = append(s.colR, []int32{int32(row)})
+	s.colV = append(s.colV, []float64{val})
+	s.kind = append(s.kind, k)
+	s.barred = append(s.barred, false)
+	return j
+}
+
+// NumRows reports the current number of rows, including added cuts.
+func (s *Solver) NumRows() int { return s.nRows }
+
+// AddCut appends a constraint row after construction (a cutting plane).
+// The existing basis, if any, is extended so that the next Solve can
+// warm-start with the dual simplex. It returns the new row's index.
+func (s *Solver) AddCut(terms []Term, rel Rel, rhs float64) int {
+	merged := mergeTerms(terms, s.structN)
+	i := s.appendRow(merged, rel, rhs)
+	s.buildCostP()
+	s.dirtyRows = true
+	if !s.haveBasis {
+		return i
+	}
+	// Extend the basis with the new row's logical (or artificial for EQ)
+	// basic. New basis matrix is [[B 0] [a_B^T g]] where g is the basic
+	// column's entry in the new row; its inverse is
+	// [[Binv 0] [-(a_B^T Binv)/g  1/g]].
+	bcol := s.logOf[i]
+	if bcol < 0 {
+		bcol = s.artOf[i]
+	}
+	g := s.colV[bcol][0] // single-entry column in row i
+	m := s.nRows
+	// a_B^T: coefficient of each currently-basic column in the new row.
+	aB := make([]float64, m-1)
+	for _, t := range merged {
+		if r := s.pos[t.Var]; r >= 0 {
+			aB[r] += t.Coef
+		}
+	}
+	newRow := make([]float64, m)
+	for c := 0; c < m-1; c++ {
+		var acc float64
+		for r := 0; r < m-1; r++ {
+			acc += aB[r] * s.binv[r][c]
+		}
+		newRow[c] = -acc / g
+	}
+	newRow[m-1] = 1 / g
+	for r := 0; r < m-1; r++ {
+		s.binv[r] = append(s.binv[r], 0)
+	}
+	s.binv = append(s.binv, newRow)
+	s.basis = append(s.basis, bcol)
+	s.pos = append(s.pos, -1)
+	for len(s.pos) < len(s.cost) {
+		s.pos = append(s.pos, -1)
+	}
+	s.pos[bcol] = m - 1
+	// New basic value: (rhs - a_B^T xB)/g.
+	var act float64
+	for r := 0; r < m-1; r++ {
+		act += aB[r] * s.xB[r]
+	}
+	s.xB = append(s.xB, (rhs-act)/g)
+	return i
+}
+
+// SetRHS changes a row's right-hand side. The basis stays dual feasible, so
+// the next Solve warm-starts with the dual simplex.
+func (s *Solver) SetRHS(row int, rhs float64) {
+	s.rhs[row] = rhs
+	s.dirtyRows = true
+	if s.haveBasis {
+		s.recomputeXB()
+	}
+}
+
+// SetObjCoef changes a structural variable's objective coefficient. The
+// basis stays primal feasible, so the next Solve warm-starts with the primal
+// simplex.
+func (s *Solver) SetObjCoef(v VarID, coef float64) {
+	if int(v) >= s.structN {
+		panic("lp: SetObjCoef on non-structural variable")
+	}
+	s.cost[v] = coef
+	s.buildCostP()
+	s.dirtyObj = true
+}
+
+// recomputeXB sets xB = Binv * rhs.
+func (s *Solver) recomputeXB() {
+	m := s.nRows
+	for r := 0; r < m; r++ {
+		var acc float64
+		row := s.binv[r]
+		for i := 0; i < m; i++ {
+			acc += row[i] * s.rhs[i]
+		}
+		s.xB[r] = acc
+	}
+}
+
+// maxIters returns the effective iteration budget.
+func (s *Solver) maxIters() int {
+	if s.MaxIters > 0 {
+		return s.MaxIters
+	}
+	n := 200000 + 200*s.nRows
+	return n
+}
+
+// Solve finds an optimal basic solution, warm-starting when possible.
+func (s *Solver) Solve() (*Solution, error) {
+	s.iterations = 0
+	var st Status
+	var err error
+	switch {
+	case !s.haveBasis, s.solvedOnce && s.lastStatus != Optimal:
+		// No basis yet, or the last outcome did not leave an optimal
+		// basis. A non-optimal basis guarantees neither primal nor dual
+		// feasibility (a phase-1 infeasibility certificate, for example,
+		// is optimal only for the phase-1 costs), so every warm-start
+		// assumption is off: restart from scratch.
+		st, err = s.coldSolve()
+	case s.dirtyRows && !s.dirtyObj:
+		st, err = s.dualSolve()
+		if err == nil && st == IterLimit {
+			// fall back to a cold solve before giving up
+			st, err = s.coldSolve()
+		}
+	default:
+		// Objective changed (or both changed): re-run primal; if rows
+		// also changed the basis may be primal infeasible, so run dual
+		// first to restore feasibility under the old costs is wrong --
+		// simplest correct path is a fresh phase-1.
+		if s.dirtyRows {
+			st, err = s.coldSolve()
+		} else {
+			st, err = s.primalFromBasis()
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.dirtyObj = false
+	s.dirtyRows = false
+	s.lastStatus = st
+	s.solvedOnce = true
+	return s.extract(st), nil
+}
+
+// coldSolve builds the all-logical/artificial starting basis and runs
+// phase 1 then phase 2.
+func (s *Solver) coldSolve() (Status, error) {
+	m := s.nRows
+	s.basis = make([]int, m)
+	s.pos = make([]int, len(s.cost))
+	for j := range s.pos {
+		s.pos[j] = -1
+	}
+	needPhase1 := false
+	for i := 0; i < m; i++ {
+		b := s.rhs[i]
+		var col int
+		switch {
+		case s.rowRel[i] == LE && b >= 0:
+			col = s.logOf[i]
+		case s.rowRel[i] == GE && b <= 0:
+			col = s.logOf[i]
+		default:
+			col = s.artOf[i]
+			if math.Abs(b) > primalTol {
+				needPhase1 = true
+			}
+		}
+		s.basis[i] = col
+		s.pos[col] = i
+	}
+	if err := s.factorize(); err != nil {
+		return 0, err
+	}
+	s.xB = make([]float64, m)
+	s.recomputeXB()
+	s.haveBasis = true
+
+	if needPhase1 {
+		st, err := s.phase1()
+		if err != nil || st != Optimal {
+			return st, err
+		}
+	}
+	return s.primalFromBasis()
+}
+
+// phase1 minimizes the sum of artificial values from the current basis.
+func (s *Solver) phase1() (Status, error) {
+	costs := make([]float64, len(s.cost))
+	for j, k := range s.kind {
+		if k == kindArtificial {
+			costs[j] = 1
+			s.barred[j] = false
+		}
+	}
+	st, err := s.primal(costs)
+	for j, k := range s.kind {
+		if k == kindArtificial {
+			s.barred[j] = true
+		}
+	}
+	if err != nil {
+		return 0, err
+	}
+	if st == IterLimit {
+		return IterLimit, nil
+	}
+	// Sum of artificials at the phase-1 optimum.
+	var sum float64
+	for r, col := range s.basis {
+		if s.kind[col] == kindArtificial {
+			sum += math.Abs(s.xB[r])
+		}
+	}
+	if sum > 1e-7 {
+		return Infeasible, nil
+	}
+	s.driveOutArtificials()
+	return Optimal, nil
+}
+
+// driveOutArtificials pivots basic artificials (necessarily at value ~0)
+// out of the basis where a usable replacement column exists. Rows with no
+// replacement are linearly dependent; their artificial stays basic at zero,
+// which is harmless because artificials are barred from re-entering and a
+// redundant row keeps them at zero.
+func (s *Solver) driveOutArtificials() {
+	for r := 0; r < s.nRows; r++ {
+		col := s.basis[r]
+		if s.kind[col] != kindArtificial {
+			continue
+		}
+		// Find a nonbasic non-artificial column with a solid pivot in
+		// row r of Binv*A.
+		best, bestMag := -1, pivotTol*100
+		for j := range s.cost {
+			if s.pos[j] >= 0 || s.kind[j] == kindArtificial {
+				continue
+			}
+			p := s.rowDotCol(r, j)
+			if mag := math.Abs(p); mag > bestMag {
+				best, bestMag = j, mag
+			}
+		}
+		if best < 0 {
+			continue // dependent row
+		}
+		u := s.ftran(best)
+		s.pivot(best, r, u, s.xB[r])
+	}
+}
+
+// extract builds a Solution from the current basis.
+func (s *Solver) extract(st Status) *Solution {
+	sol := &Solution{Status: st, Iterations: s.iterations}
+	sol.X = make([]float64, s.structN)
+	if st == Infeasible {
+		return sol
+	}
+	for r, col := range s.basis {
+		if col < s.structN {
+			v := s.xB[r]
+			if v < 0 && v > -primalTol*10 {
+				v = 0
+			}
+			sol.X[col] = v
+		}
+	}
+	var obj float64
+	for j := 0; j < s.structN; j++ {
+		obj += s.cost[j] * sol.X[j]
+	}
+	sol.Objective = obj
+	// Duals: y = c_B^T Binv, one per row.
+	y := s.computeY(s.cost)
+	sol.Dual = make([]float64, s.nRows)
+	copy(sol.Dual, y)
+	return sol
+}
+
+// Value returns the current value of a structural variable from the basis.
+func (s *Solver) Value(v VarID) float64 {
+	if r := s.pos[v]; r >= 0 {
+		return s.xB[r]
+	}
+	return 0
+}

@@ -1,0 +1,301 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// solveModel is a test helper: cold solve with failure on error.
+func solveModel(t *testing.T, m *Model) *Solution {
+	t.Helper()
+	sol, err := NewSolver(m).Solve()
+	if err != nil {
+		t.Fatalf("solve failed: %v", err)
+	}
+	return sol
+}
+
+func wantClose(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (tol %v)", name, got, want, tol)
+	}
+}
+
+func TestSimpleLE(t *testing.T) {
+	// max x+y s.t. x+2y<=4, 3x+y<=6  => min -x-y. Optimum at x=1.6,y=1.2.
+	m := NewModel()
+	x := m.AddVar(-1, "x")
+	y := m.AddVar(-1, "y")
+	m.AddRow([]Term{{x, 1}, {y, 2}}, LE, 4, "c1")
+	m.AddRow([]Term{{x, 3}, {y, 1}}, LE, 6, "c2")
+	sol := solveModel(t, m)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	wantClose(t, "x", sol.X[x], 1.6, 1e-8)
+	wantClose(t, "y", sol.X[y], 1.2, 1e-8)
+	wantClose(t, "obj", sol.Objective, -2.8, 1e-8)
+}
+
+func TestEqualityAndGE(t *testing.T) {
+	// min 2x+3y s.t. x+y = 10, x >= 4, y >= 2. Optimum x=8,y=2 -> 22.
+	m := NewModel()
+	x := m.AddVar(2, "x")
+	y := m.AddVar(3, "y")
+	m.AddRow([]Term{{x, 1}, {y, 1}}, EQ, 10, "sum")
+	m.AddRow([]Term{{x, 1}}, GE, 4, "xmin")
+	m.AddRow([]Term{{y, 1}}, GE, 2, "ymin")
+	sol := solveModel(t, m)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	wantClose(t, "obj", sol.Objective, 22, 1e-8)
+	wantClose(t, "x", sol.X[x], 8, 1e-8)
+	wantClose(t, "y", sol.X[y], 2, 1e-8)
+}
+
+func TestInfeasible(t *testing.T) {
+	m := NewModel()
+	x := m.AddVar(1, "x")
+	m.AddRow([]Term{{x, 1}}, LE, 1, "")
+	m.AddRow([]Term{{x, 1}}, GE, 2, "")
+	sol := solveModel(t, m)
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	m := NewModel()
+	x := m.AddVar(-1, "x") // min -x, x unbounded above
+	y := m.AddVar(0, "y")
+	m.AddRow([]Term{{x, 1}, {y, -1}}, LE, 5, "")
+	sol := solveModel(t, m)
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// min x s.t. -x <= -3  (i.e. x >= 3)
+	m := NewModel()
+	x := m.AddVar(1, "x")
+	m.AddRow([]Term{{x, -1}}, LE, -3, "")
+	sol := solveModel(t, m)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	wantClose(t, "x", sol.X[x], 3, 1e-8)
+}
+
+func TestDegenerateBeale(t *testing.T) {
+	// Beale's classic cycling example; Bland fallback must terminate.
+	// min -0.75x4 + 150x5 - 0.02x6 + 6x7
+	// s.t. 0.25x4 - 60x5 - 0.04x6 + 9x7 <= 0
+	//      0.5 x4 - 90x5 - 0.02x6 + 3x7 <= 0
+	//      x6 <= 1
+	m := NewModel()
+	x4 := m.AddVar(-0.75, "x4")
+	x5 := m.AddVar(150, "x5")
+	x6 := m.AddVar(-0.02, "x6")
+	x7 := m.AddVar(6, "x7")
+	m.AddRow([]Term{{x4, 0.25}, {x5, -60}, {x6, -1.0 / 25}, {x7, 9}}, LE, 0, "")
+	m.AddRow([]Term{{x4, 0.5}, {x5, -90}, {x6, -1.0 / 50}, {x7, 3}}, LE, 0, "")
+	m.AddRow([]Term{{x6, 1}}, LE, 1, "")
+	sol := solveModel(t, m)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	wantClose(t, "obj", sol.Objective, -0.05, 1e-9)
+}
+
+func TestRedundantRows(t *testing.T) {
+	// Duplicated equalities exercise dependent-row handling in phase 1.
+	m := NewModel()
+	x := m.AddVar(1, "x")
+	y := m.AddVar(1, "y")
+	m.AddRow([]Term{{x, 1}, {y, 1}}, EQ, 4, "")
+	m.AddRow([]Term{{x, 2}, {y, 2}}, EQ, 8, "")
+	m.AddRow([]Term{{x, 1}}, GE, 1, "")
+	sol := solveModel(t, m)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	wantClose(t, "obj", sol.Objective, 4, 1e-8)
+}
+
+func TestDualValues(t *testing.T) {
+	// min -3x -5y s.t. x<=4, 2y<=12, 3x+2y<=18.
+	// Classic: optimum (2,6), obj -36, duals 0, -1.5, -1.
+	m := NewModel()
+	x := m.AddVar(-3, "x")
+	y := m.AddVar(-5, "y")
+	r1 := m.AddRow([]Term{{x, 1}}, LE, 4, "")
+	r2 := m.AddRow([]Term{{y, 2}}, LE, 12, "")
+	r3 := m.AddRow([]Term{{x, 3}, {y, 2}}, LE, 18, "")
+	sol := solveModel(t, m)
+	wantClose(t, "obj", sol.Objective, -36, 1e-8)
+	wantClose(t, "dual1", sol.Dual[r1], 0, 1e-8)
+	wantClose(t, "dual2", sol.Dual[r2], -1.5, 1e-8)
+	wantClose(t, "dual3", sol.Dual[r3], -1, 1e-8)
+	// Strong duality: obj = y^T b.
+	g := sol.Dual[r1]*4 + sol.Dual[r2]*12 + sol.Dual[r3]*18
+	wantClose(t, "y.b", g, sol.Objective, 1e-8)
+}
+
+func TestWarmStartAddCut(t *testing.T) {
+	// Solve, then add a cut violating the optimum; dual simplex re-solve.
+	m := NewModel()
+	x := m.AddVar(-1, "x")
+	y := m.AddVar(-1, "y")
+	m.AddRow([]Term{{x, 1}}, LE, 3, "")
+	m.AddRow([]Term{{y, 1}}, LE, 3, "")
+	s := NewSolver(m)
+	sol, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantClose(t, "obj0", sol.Objective, -6, 1e-8)
+
+	s.AddCut([]Term{{x, 1}, {y, 1}}, LE, 4)
+	sol, err = s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	wantClose(t, "obj1", sol.Objective, -4, 1e-8)
+	wantClose(t, "cut activity", sol.X[x]+sol.X[y], 4, 1e-8)
+
+	// Stacking more cuts keeps working.
+	s.AddCut([]Term{{x, 2}, {y, 1}}, LE, 5)
+	sol, err = s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// max x+y s.t. x<=3,y<=3,x+y<=4,2x+y<=5 -> (1,3) obj -4.
+	wantClose(t, "obj2", sol.Objective, -4, 1e-8)
+	wantClose(t, "x2", sol.X[x], 1, 1e-8)
+}
+
+func TestWarmStartSetRHS(t *testing.T) {
+	m := NewModel()
+	x := m.AddVar(-1, "x")
+	r := m.AddRow([]Term{{x, 1}}, LE, 3, "")
+	_ = r
+	s := NewSolver(m)
+	sol, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantClose(t, "obj", sol.Objective, -3, 1e-8)
+	for _, rhs := range []float64{5, 1, 10, 0.25} {
+		s.SetRHS(0, rhs)
+		sol, err = s.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantClose(t, "obj", sol.Objective, -rhs, 1e-8)
+	}
+}
+
+func TestWarmStartSetObj(t *testing.T) {
+	m := NewModel()
+	x := m.AddVar(-1, "x")
+	y := m.AddVar(-2, "y")
+	m.AddRow([]Term{{x, 1}, {y, 1}}, LE, 10, "")
+	s := NewSolver(m)
+	sol, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantClose(t, "obj", sol.Objective, -20, 1e-8)
+	// Flip preference: now x is more valuable.
+	s.SetObjCoef(x, -5)
+	sol, err = s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantClose(t, "obj2", sol.Objective, -50, 1e-8)
+	wantClose(t, "x", sol.X[x], 10, 1e-8)
+}
+
+func TestEqualityWithNegativeRHS(t *testing.T) {
+	// min x+y s.t. x - y == -5  -> x=0, y=5.
+	m := NewModel()
+	x := m.AddVar(1, "x")
+	y := m.AddVar(1, "y")
+	m.AddRow([]Term{{x, 1}, {y, -1}}, EQ, -5, "")
+	sol := solveModel(t, m)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	wantClose(t, "obj", sol.Objective, 5, 1e-8)
+	wantClose(t, "y", sol.X[y], 5, 1e-8)
+}
+
+func TestZeroRowsAndVars(t *testing.T) {
+	// A model with no rows: min over x >= 0 of 3x is 0.
+	m := NewModel()
+	x := m.AddVar(3, "x")
+	sol := solveModel(t, m)
+	wantClose(t, "obj", sol.Objective, 0, 1e-12)
+	wantClose(t, "x", sol.X[x], 0, 1e-12)
+}
+
+func TestMergeDuplicateTerms(t *testing.T) {
+	m := NewModel()
+	x := m.AddVar(1, "x")
+	// x + x >= 4  ->  2x >= 4 -> x = 2.
+	m.AddRow([]Term{{x, 1}, {x, 1}}, GE, 4, "")
+	sol := solveModel(t, m)
+	wantClose(t, "x", sol.X[x], 2, 1e-8)
+}
+
+func TestTransportationProblem(t *testing.T) {
+	// 2 supplies (10, 15) x 3 demands (8, 7, 10); costs:
+	//   [2 4 5]
+	//   [3 1 7]
+	// Known optimum: ship s1->d0:8, s1->d1:7, s0->d2:10
+	// cost = 24 + 7 + 50 = 81.
+	m := NewModel()
+	cost := [2][3]float64{{2, 4, 5}, {3, 1, 7}}
+	var v [2][3]VarID
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			v[i][j] = m.AddVar(cost[i][j], "")
+		}
+	}
+	supply := []float64{10, 15}
+	demand := []float64{8, 7, 10}
+	for i := 0; i < 2; i++ {
+		m.AddRow([]Term{{v[i][0], 1}, {v[i][1], 1}, {v[i][2], 1}}, LE, supply[i], "")
+	}
+	for j := 0; j < 3; j++ {
+		m.AddRow([]Term{{v[0][j], 1}, {v[1][j], 1}}, EQ, demand[j], "")
+	}
+	sol := solveModel(t, m)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	wantClose(t, "obj", sol.Objective, 81, 1e-7)
+}
+
+func TestSolutionFeasibility(t *testing.T) {
+	m := NewModel()
+	x := m.AddVar(-1, "x")
+	y := m.AddVar(-3, "y")
+	z := m.AddVar(2, "z")
+	m.AddRow([]Term{{x, 1}, {y, 1}, {z, 1}}, LE, 7, "")
+	m.AddRow([]Term{{x, 2}, {y, -1}}, GE, -4, "")
+	m.AddRow([]Term{{y, 1}, {z, 3}}, EQ, 5, "")
+	sol := solveModel(t, m)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if viol := m.MaxViolation(sol.X); viol > 1e-7 {
+		t.Errorf("solution violates constraints by %v", viol)
+	}
+}

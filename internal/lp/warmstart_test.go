@@ -1,0 +1,145 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAddCutMakesInfeasible(t *testing.T) {
+	m := NewModel()
+	x := m.AddVar(-1, "x")
+	m.AddRow([]Term{{x, 1}}, GE, 2, "")
+	m.AddRow([]Term{{x, 1}}, LE, 5, "")
+	s := NewSolver(m)
+	sol, err := s.Solve()
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("base solve: %v %v", err, sol.Status)
+	}
+	s.AddCut([]Term{{x, 1}}, LE, 1) // contradicts x >= 2
+	sol, err = s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestSetRHSMakesInfeasibleThenFeasible(t *testing.T) {
+	m := NewModel()
+	x := m.AddVar(1, "x")
+	lo := m.AddRow([]Term{{x, 1}}, GE, 1, "")
+	hi := m.AddRow([]Term{{x, 1}}, LE, 4, "")
+	_ = lo
+	s := NewSolver(m)
+	if sol, _ := s.Solve(); sol.Status != Optimal {
+		t.Fatal("base infeasible")
+	}
+	s.SetRHS(int(hi), 0.5) // now 1 <= x <= 0.5
+	sol, err := s.Solve()
+	if err != nil || sol.Status != Infeasible {
+		t.Fatalf("want infeasible, got %v %v", sol.Status, err)
+	}
+	s.SetRHS(int(hi), 10)
+	sol, err = s.Solve()
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("recovery failed: %v %v", sol.Status, err)
+	}
+	wantClose(t, "x", sol.X[x], 1, 1e-8)
+}
+
+func TestObjectiveAndRHSInterleaved(t *testing.T) {
+	// Mixed mutation sequence must stay consistent with cold solves.
+	rng := rand.New(rand.NewSource(21))
+	m := NewModel()
+	n := 4
+	vars := make([]VarID, n)
+	for j := range vars {
+		vars[j] = m.AddVar(1+rng.Float64(), "")
+	}
+	terms := make([]Term, n)
+	for j := range vars {
+		terms[j] = Term{vars[j], 1}
+	}
+	sumRow := m.AddRow(terms, GE, 4, "")
+	for j := range vars {
+		m.AddRow([]Term{{vars[j], 1}}, LE, 3, "")
+	}
+	warm := NewSolver(m)
+	if _, err := warm.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 15; step++ {
+		switch step % 3 {
+		case 0:
+			rhs := 1 + 10*rng.Float64()
+			warm.SetRHS(int(sumRow), rhs)
+			m.SetRHS(sumRow, rhs)
+		case 1:
+			j := rng.Intn(n)
+			c := rng.Float64()*4 - 0.5
+			warm.SetObjCoef(vars[j], c)
+			m.SetObj(vars[j], c)
+		case 2:
+			coef := 0.5 + rng.Float64()
+			rhs := 2 + 4*rng.Float64()
+			var ts []Term
+			for j := range vars {
+				if rng.Float64() < 0.7 {
+					ts = append(ts, Term{vars[j], coef})
+				}
+			}
+			if len(ts) == 0 {
+				ts = []Term{{vars[0], coef}}
+			}
+			warm.AddCut(ts, LE, rhs)
+			m.AddRow(ts, LE, rhs, "")
+		}
+		got, err := warm.Solve()
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		want, err := NewSolver(m).Solve()
+		if err != nil {
+			t.Fatalf("step %d cold: %v", step, err)
+		}
+		if got.Status != want.Status {
+			t.Fatalf("step %d: warm %v cold %v", step, got.Status, want.Status)
+		}
+		if got.Status == Optimal && math.Abs(got.Objective-want.Objective) > 1e-6 {
+			t.Fatalf("step %d: warm %v cold %v", step, got.Objective, want.Objective)
+		}
+	}
+}
+
+func TestCostJitterWithinTolerance(t *testing.T) {
+	// The anti-degeneracy jitter must not move reported objectives beyond
+	// solver tolerances on a problem with many alternate optima.
+	m := NewModel()
+	n := 20
+	terms := make([]Term, n)
+	for j := 0; j < n; j++ {
+		v := m.AddVar(1, "") // all costs equal: any vertex of the simplex is optimal
+		terms[j] = Term{v, 1}
+	}
+	m.AddRow(terms, EQ, 7, "")
+	sol, err := NewSolver(m).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantClose(t, "obj", sol.Objective, 7, 1e-6)
+}
+
+func TestValueAccessor(t *testing.T) {
+	m := NewModel()
+	x := m.AddVar(-1, "x")
+	m.AddRow([]Term{{x, 1}}, LE, 3, "")
+	s := NewSolver(m)
+	if _, err := s.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	if v := s.Value(x); math.Abs(v-3) > 1e-8 {
+		t.Fatalf("Value(x) = %v", v)
+	}
+}

@@ -1,0 +1,96 @@
+package matching
+
+import "math"
+
+// AuctionAssignment solves the maximum-weight assignment problem with
+// Bertsekas's auction algorithm with epsilon scaling. It exists as an
+// independent implementation of the worst-case oracle: the Hungarian and
+// auction algorithms share no code, so agreement between them (enforced by
+// tests) guards the oracle that certifies every worst-case design in this
+// repository.
+//
+// The returned permutation maximizes the total weight; the value equals
+// MaxWeightAssignment's up to the final epsilon (chosen below 1/(n+1) times
+// the weight resolution, which makes the result exact for the integral or
+// well-separated matrices the tests use, and within n*epsFinal in general).
+func AuctionAssignment(weight [][]float64) ([]int, float64) {
+	n := len(weight)
+	if n == 0 {
+		return nil, 0
+	}
+	// Scale setup: start with a coarse epsilon and refine.
+	var maxAbs float64
+	for _, row := range weight {
+		for _, w := range row {
+			if a := math.Abs(w); a > maxAbs {
+				maxAbs = a
+			}
+		}
+	}
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	epsFinal := maxAbs * 1e-9 / float64(n+1)
+	eps := maxAbs / 4
+	if eps < epsFinal {
+		eps = epsFinal
+	}
+
+	price := make([]float64, n)
+	owner := make([]int, n) // object -> bidder
+	assign := make([]int, n)
+
+	for {
+		for j := range owner {
+			owner[j] = -1
+		}
+		for i := range assign {
+			assign[i] = -1
+		}
+		// Queue of unassigned bidders.
+		queue := make([]int, n)
+		for i := range queue {
+			queue[i] = i
+		}
+		for len(queue) > 0 {
+			i := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			// Best and second-best net value for bidder i.
+			best, second := math.Inf(-1), math.Inf(-1)
+			bestJ := -1
+			for j := 0; j < n; j++ {
+				v := weight[i][j] - price[j]
+				if v > best {
+					second = best
+					best, bestJ = v, j
+				} else if v > second {
+					second = v
+				}
+			}
+			if math.IsInf(second, -1) {
+				second = best
+			}
+			// Bid: raise the price by the value margin plus epsilon.
+			price[bestJ] += best - second + eps
+			if prev := owner[bestJ]; prev >= 0 {
+				assign[prev] = -1
+				queue = append(queue, prev)
+			}
+			owner[bestJ] = i
+			assign[i] = bestJ
+		}
+		if eps <= epsFinal {
+			break
+		}
+		eps /= 4
+		if eps < epsFinal {
+			eps = epsFinal
+		}
+	}
+
+	var total float64
+	for i, j := range assign {
+		total += weight[i][j]
+	}
+	return assign, total
+}

@@ -1,0 +1,85 @@
+package matching
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAuctionMatchesHungarianRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 120; trial++ {
+		n := 1 + rng.Intn(12)
+		w := make([][]float64, n)
+		for i := range w {
+			w[i] = make([]float64, n)
+			for j := range w[i] {
+				w[i][j] = math.Round(100*rng.Float64()) / 8
+			}
+		}
+		_, hung := MaxWeightAssignment(w)
+		perm, auc := AuctionAssignment(w)
+		if math.Abs(hung-auc) > 1e-6*(1+math.Abs(hung)) {
+			t.Fatalf("trial %d (n=%d): hungarian %v vs auction %v", trial, n, hung, auc)
+		}
+		// The returned permutation must be valid and achieve the value.
+		seen := make([]bool, n)
+		for _, j := range perm {
+			if j < 0 || j >= n || seen[j] {
+				t.Fatalf("trial %d: invalid permutation %v", trial, perm)
+			}
+			seen[j] = true
+		}
+		if math.Abs(PermWeight(w, perm)-auc) > 1e-9 {
+			t.Fatalf("trial %d: reported value mismatch", trial)
+		}
+	}
+}
+
+func TestAuctionOnLoadMatrices(t *testing.T) {
+	// Mimic the oracle's inputs: sparse nonnegative load matrices.
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		n := 8 + rng.Intn(8)
+		w := make([][]float64, n)
+		for i := range w {
+			w[i] = make([]float64, n)
+			for j := range w[i] {
+				if rng.Float64() < 0.3 {
+					w[i][j] = rng.Float64() * 2
+				}
+			}
+		}
+		_, hung := MaxWeightAssignment(w)
+		_, auc := AuctionAssignment(w)
+		if math.Abs(hung-auc) > 1e-6*(1+hung) {
+			t.Fatalf("trial %d: %v vs %v", trial, hung, auc)
+		}
+	}
+}
+
+func TestAuctionEmptyAndSingle(t *testing.T) {
+	if perm, v := AuctionAssignment(nil); perm != nil || v != 0 {
+		t.Fatal("empty case broken")
+	}
+	perm, v := AuctionAssignment([][]float64{{-3}})
+	if len(perm) != 1 || perm[0] != 0 || v != -3 {
+		t.Fatalf("single case: %v %v", perm, v)
+	}
+}
+
+func BenchmarkAuction64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 64
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+		for j := range w[i] {
+			w[i][j] = rng.Float64()
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AuctionAssignment(w)
+	}
+}

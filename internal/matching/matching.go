@@ -1,0 +1,158 @@
+// Package matching implements assignment-problem algorithms on dense
+// bipartite weight matrices.
+//
+// In the SPAA'03 routing-design framework, the worst-case channel load of an
+// oblivious routing function R is the maximum over permutation traffic
+// matrices of the load on a channel, and by the Birkhoff decomposition this
+// equals a maximum-weight matching of the bipartite graph whose edge (s, d)
+// weighs the load that a unit of s->d traffic places on the channel
+// (Towles & Dally, "Worst-case traffic for oblivious routing functions",
+// SPAA'02, reference [11] of the paper). The Hungarian algorithm here is the
+// exact separation oracle used by the cutting-plane worst-case LP and the
+// exact evaluator for closed-form algorithms.
+package matching
+
+import "math"
+
+// MinCostAssignment solves the square assignment problem: given an n-by-n
+// cost matrix, it returns a permutation perm (perm[i] = column assigned to
+// row i) minimizing the total cost, and that cost. Costs may be negative.
+// The implementation is the O(n^3) Hungarian algorithm with potentials and
+// Dijkstra-style augmentation.
+//
+// The input matrix is not modified. It panics if the matrix is not square
+// and nonempty; that is a programming error, not a data condition.
+func MinCostAssignment(cost [][]float64) ([]int, float64) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0
+	}
+	for _, row := range cost {
+		if len(row) != n {
+			panic("matching: cost matrix is not square")
+		}
+	}
+	// 1-indexed internals with a dummy row/column 0.
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1)   // p[j] = row matched to column j
+	way := make([]int, n+1) // way[j] = previous column on the alternating path
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := range minv {
+			minv[j] = math.Inf(1)
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := math.Inf(1)
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	perm := make([]int, n)
+	var total float64
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			perm[p[j]-1] = j - 1
+			total += cost[p[j]-1][j-1]
+		}
+	}
+	return perm, total
+}
+
+// MaxWeightAssignment returns the permutation maximizing the total weight
+// of a square matrix, and that weight. It is MinCostAssignment on the
+// negated matrix.
+func MaxWeightAssignment(weight [][]float64) ([]int, float64) {
+	n := len(weight)
+	neg := make([][]float64, n)
+	for i, row := range weight {
+		neg[i] = make([]float64, len(row))
+		for j, w := range row {
+			neg[i][j] = -w
+		}
+	}
+	perm, c := MinCostAssignment(neg)
+	return perm, -c
+}
+
+// PermWeight sums weight[i][perm[i]]; a helper for tests and verification.
+func PermWeight(weight [][]float64, perm []int) float64 {
+	var total float64
+	for i, j := range perm {
+		total += weight[i][j]
+	}
+	return total
+}
+
+// PerfectMatching finds a perfect matching in the bipartite graph whose
+// edges are the true entries of adj (adj[i][j]: row i may match column j),
+// using augmenting paths (Kuhn's algorithm). It returns perm with
+// perm[i] = matched column, or ok=false if no perfect matching exists.
+// It is the workhorse of the Birkhoff-von Neumann decomposition.
+func PerfectMatching(adj [][]bool) (perm []int, ok bool) {
+	n := len(adj)
+	matchCol := make([]int, n) // column -> row
+	for j := range matchCol {
+		matchCol[j] = -1
+	}
+	var try func(i int, seen []bool) bool
+	try = func(i int, seen []bool) bool {
+		for j := 0; j < n; j++ {
+			if !adj[i][j] || seen[j] {
+				continue
+			}
+			seen[j] = true
+			if matchCol[j] < 0 || try(matchCol[j], seen) {
+				matchCol[j] = i
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < n; i++ {
+		seen := make([]bool, n)
+		if !try(i, seen) {
+			return nil, false
+		}
+	}
+	perm = make([]int, n)
+	for j, i := range matchCol {
+		perm[i] = j
+	}
+	return perm, true
+}

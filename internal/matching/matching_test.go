@@ -1,0 +1,230 @@
+package matching
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteMin enumerates all permutations of an n x n matrix (n small).
+func bruteMin(cost [][]float64) float64 {
+	n := len(cost)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := math.Inf(1)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			if w := PermWeight(cost, perm); w < best {
+				best = w
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return best
+}
+
+func TestMinCostSmallKnown(t *testing.T) {
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	perm, c := MinCostAssignment(cost)
+	if c != 5 { // 1 + 2 + 2
+		t.Fatalf("cost = %v, want 5 (perm %v)", c, perm)
+	}
+	if w := PermWeight(cost, perm); w != c {
+		t.Fatalf("perm weight %v != reported %v", w, c)
+	}
+}
+
+func TestMaxWeightIdentityDominant(t *testing.T) {
+	n := 6
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+		for j := range w[i] {
+			w[i][j] = 1
+		}
+		w[i][i] = 10
+	}
+	perm, total := MaxWeightAssignment(w)
+	if total != 60 {
+		t.Fatalf("total = %v, want 60", total)
+	}
+	for i, j := range perm {
+		if i != j {
+			t.Fatalf("perm[%d] = %d, want identity", i, j)
+		}
+	}
+}
+
+func TestSingleElement(t *testing.T) {
+	perm, c := MinCostAssignment([][]float64{{7}})
+	if len(perm) != 1 || perm[0] != 0 || c != 7 {
+		t.Fatalf("got perm=%v cost=%v", perm, c)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	perm, c := MinCostAssignment(nil)
+	if perm != nil || c != 0 {
+		t.Fatalf("got perm=%v cost=%v", perm, c)
+	}
+}
+
+func TestAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(6)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = math.Round(40*(rng.Float64()-0.5)) / 4
+			}
+		}
+		_, got := MinCostAssignment(cost)
+		want := bruteMin(cost)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d (n=%d): hungarian %v, brute %v\n%v", trial, n, got, want, cost)
+		}
+	}
+}
+
+// TestMaxDominatesRandomPerms: the Hungarian maximum must beat any sampled
+// permutation; a quick-check over seeds.
+func TestMaxDominatesRandomPerms(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		w := make([][]float64, n)
+		for i := range w {
+			w[i] = make([]float64, n)
+			for j := range w[i] {
+				w[i][j] = rng.Float64() * 3
+			}
+		}
+		_, best := MaxWeightAssignment(w)
+		for k := 0; k < 20; k++ {
+			p := rng.Perm(n)
+			if PermWeight(w, p) > best+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDualBound: the assignment optimum can never exceed the sum of row
+// maxima (a trivial upper bound for max-weight).
+func TestDualBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(10)
+		w := make([][]float64, n)
+		var rowMaxSum float64
+		for i := range w {
+			w[i] = make([]float64, n)
+			rowMax := math.Inf(-1)
+			for j := range w[i] {
+				w[i][j] = rng.NormFloat64()
+				if w[i][j] > rowMax {
+					rowMax = w[i][j]
+				}
+			}
+			rowMaxSum += rowMax
+		}
+		if _, best := MaxWeightAssignment(w); best > rowMaxSum+1e-9 {
+			t.Fatalf("max assignment %v exceeds row-max bound %v", best, rowMaxSum)
+		}
+	}
+}
+
+func TestPerfectMatchingExists(t *testing.T) {
+	adj := [][]bool{
+		{true, true, false},
+		{false, true, false},
+		{false, true, true},
+	}
+	perm, ok := PerfectMatching(adj)
+	if !ok {
+		t.Fatal("expected a perfect matching")
+	}
+	seen := make([]bool, 3)
+	for i, j := range perm {
+		if !adj[i][j] {
+			t.Fatalf("perm uses non-edge (%d,%d)", i, j)
+		}
+		if seen[j] {
+			t.Fatalf("column %d matched twice", j)
+		}
+		seen[j] = true
+	}
+}
+
+func TestPerfectMatchingMissing(t *testing.T) {
+	// Rows 0 and 1 both only connect to column 0: no perfect matching.
+	adj := [][]bool{
+		{true, false, false},
+		{true, false, false},
+		{false, true, true},
+	}
+	if _, ok := PerfectMatching(adj); ok {
+		t.Fatal("expected no perfect matching")
+	}
+}
+
+// TestPermutationMatrixOracle mirrors the routing use: the max-weight
+// matching of a doubly-stochastic-like load matrix must find the worst
+// permutation exactly on a constructed case.
+func TestPermutationMatrixOracle(t *testing.T) {
+	// Load matrix where a specific permutation (reversal) is worst.
+	n := 5
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+		for j := range w[i] {
+			w[i][j] = 0.1
+		}
+		w[i][n-1-i] = 1.0
+	}
+	perm, total := MaxWeightAssignment(w)
+	if math.Abs(total-5.0) > 1e-12 {
+		t.Fatalf("total = %v, want 5", total)
+	}
+	for i, j := range perm {
+		if j != n-1-i {
+			t.Fatalf("perm[%d]=%d, want reversal", i, j)
+		}
+	}
+}
+
+func BenchmarkHungarian64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 64
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+		for j := range w[i] {
+			w[i][j] = rng.Float64()
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MaxWeightAssignment(w)
+	}
+}

@@ -1,0 +1,134 @@
+package routing
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"tcr/internal/paths"
+	"tcr/internal/topo"
+)
+
+// O1TURN routes minimally, choosing x-first or y-first dimension order with
+// equal probability. It post-dates the paper (Seo et al., 2005) but is the
+// natural "minimal algorithm with near-optimal worst case" and makes a
+// useful extra point in the Figure 1 tradeoff space, so the harness
+// includes it alongside Table 1's algorithms.
+type O1TURN struct{}
+
+// Name implements Algorithm.
+func (O1TURN) Name() string { return "O1TURN" }
+
+// PairPaths implements Algorithm.
+func (O1TURN) PairPaths(t *topo.Torus, s, d topo.Node) []paths.Weighted {
+	xy := paths.DORPaths(t, s, d, true)
+	yx := paths.DORPaths(t, s, d, false)
+	out := make([]paths.Weighted, 0, len(xy)+len(yx))
+	for _, w := range xy {
+		out = append(out, paths.Weighted{Path: w.Path, Prob: 0.5 * w.Prob})
+	}
+	for _, w := range yx {
+		out = append(out, paths.Weighted{Path: w.Path, Prob: 0.5 * w.Prob})
+	}
+	return merge(out)
+}
+
+// tableJSON is the serialized form of a Table: hop strings keep the format
+// compact and human-auditable.
+type tableJSON struct {
+	Label string               `json:"label"`
+	K     int                  `json:"k"`
+	Dists map[string][]distDef `json:"dists"` // key: "x,y" relative offset
+}
+
+type distDef struct {
+	Dirs string  `json:"dirs"` // e.g. "+x+x-y"
+	Prob float64 `json:"prob"`
+}
+
+var dirNames = map[topo.Dir]string{
+	topo.XPlus: "+x", topo.XMinus: "-x", topo.YPlus: "+y", topo.YMinus: "-y",
+}
+
+var dirByName = map[string]topo.Dir{
+	"+x": topo.XPlus, "-x": topo.XMinus, "+y": topo.YPlus, "-y": topo.YMinus,
+}
+
+// WriteJSON serializes a designed routing table so that expensive LP designs
+// can be stored and reloaded.
+func (a *Table) WriteJSON(w io.Writer, t *topo.Torus) error {
+	out := tableJSON{Label: a.Label, K: t.K, Dists: map[string][]distDef{}}
+	for rel, ws := range a.Dist {
+		x, y := t.Coord(rel)
+		key := fmt.Sprintf("%d,%d", x, y)
+		defs := make([]distDef, 0, len(ws))
+		for _, pw := range ws {
+			var dirs string
+			for _, d := range pw.Path.Dirs {
+				dirs += dirNames[d]
+			}
+			defs = append(defs, distDef{Dirs: dirs, Prob: pw.Prob})
+		}
+		out.Dists[key] = defs
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// ReadTableJSON loads a Table written by WriteJSON and validates it against
+// the torus: every path must terminate at its relative destination and each
+// distribution must sum to one.
+func ReadTableJSON(r io.Reader, t *topo.Torus) (*Table, error) {
+	var in tableJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("routing: decode table: %w", err)
+	}
+	if in.K != t.K {
+		return nil, fmt.Errorf("routing: table is for k=%d, torus is k=%d", in.K, t.K)
+	}
+	tbl := &Table{Label: in.Label, Dist: make(map[topo.Node][]paths.Weighted, len(in.Dists))}
+	for key, defs := range in.Dists {
+		var x, y int
+		if _, err := fmt.Sscanf(key, "%d,%d", &x, &y); err != nil {
+			return nil, fmt.Errorf("routing: bad offset key %q", key)
+		}
+		rel := t.NodeAt(x, y)
+		var ws []paths.Weighted
+		var sum float64
+		for _, def := range defs {
+			dirs, err := parseDirs(def.Dirs)
+			if err != nil {
+				return nil, fmt.Errorf("routing: offset %s: %w", key, err)
+			}
+			p := paths.Path{Src: 0, Dirs: dirs}
+			if p.Dst(t) != rel {
+				return nil, fmt.Errorf("routing: offset %s: path %q ends at %d, want %d",
+					key, def.Dirs, p.Dst(t), rel)
+			}
+			ws = append(ws, paths.Weighted{Path: p, Prob: def.Prob})
+			sum += def.Prob
+		}
+		if len(ws) > 0 && (sum < 1-1e-6 || sum > 1+1e-6) {
+			return nil, fmt.Errorf("routing: offset %s: probabilities sum to %v", key, sum)
+		}
+		tbl.Dist[rel] = ws
+	}
+	return tbl, nil
+}
+
+// parseDirs parses a "+x-y..." hop string.
+func parseDirs(s string) ([]topo.Dir, error) {
+	if len(s)%2 != 0 {
+		return nil, fmt.Errorf("bad hop string %q", s)
+	}
+	dirs := make([]topo.Dir, 0, len(s)/2)
+	for i := 0; i < len(s); i += 2 {
+		d, ok := dirByName[s[i:i+2]]
+		if !ok {
+			return nil, fmt.Errorf("bad hop %q in %q", s[i:i+2], s)
+		}
+		dirs = append(dirs, d)
+	}
+	return dirs, nil
+}

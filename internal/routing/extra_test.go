@@ -1,0 +1,98 @@
+package routing
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"tcr/internal/paths"
+	"tcr/internal/topo"
+)
+
+func TestO1TURNIsMinimalAndValid(t *testing.T) {
+	tor := topo.NewTorus(8)
+	if got, want := hAvg(tor, O1TURN{}), tor.MeanMinDist(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("O1TURN H = %v, want minimal %v", got, want)
+	}
+	for d := topo.Node(0); d < topo.Node(tor.N); d++ {
+		var sum float64
+		for _, w := range (O1TURN{}).PairPaths(tor, 0, d) {
+			sum += w.Prob
+			if w.Path.Dst(tor) != d {
+				t.Fatal("O1TURN path misses destination")
+			}
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("dest %d: probabilities sum to %v", d, sum)
+		}
+	}
+}
+
+func TestO1TURNSplitsOrders(t *testing.T) {
+	tor := topo.NewTorus(8)
+	// Strictly diagonal destination without ties: exactly two paths.
+	ws := (O1TURN{}).PairPaths(tor, 0, tor.NodeAt(2, 3))
+	if len(ws) != 2 {
+		t.Fatalf("expected 2 paths (xy and yx), got %d", len(ws))
+	}
+	for _, w := range ws {
+		if w.Prob != 0.5 {
+			t.Fatalf("prob %v, want 0.5", w.Prob)
+		}
+	}
+	// Axis destination: xy and yx coincide, so one path with prob 1.
+	ws = (O1TURN{}).PairPaths(tor, 0, tor.NodeAt(3, 0))
+	if len(ws) != 1 || math.Abs(ws[0].Prob-1) > 1e-12 {
+		t.Fatalf("axis destination: %v", ws)
+	}
+}
+
+func TestTableJSONRoundTrip(t *testing.T) {
+	tor := topo.NewTorus(4)
+	// Snapshot IVAL's distribution into a table with realistic content.
+	orig := &Table{Label: "ival-snapshot", Dist: map[topo.Node][]paths.Weighted{}}
+	for rel := topo.Node(1); rel < topo.Node(tor.N); rel++ {
+		orig.Dist[rel] = (IVAL{}).PairPaths(tor, 0, rel)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf, tor); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTableJSON(&buf, tor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Label != "ival-snapshot" {
+		t.Fatalf("label %q", back.Label)
+	}
+	// Same distribution (keyed by hop string).
+	for rel := topo.Node(1); rel < topo.Node(tor.N); rel++ {
+		diff := map[string]float64{}
+		for _, w := range orig.Dist[rel] {
+			diff[w.Path.Key()] += w.Prob
+		}
+		for _, w := range back.Dist[rel] {
+			diff[w.Path.Key()] -= w.Prob
+		}
+		for k, v := range diff {
+			if math.Abs(v) > 1e-9 {
+				t.Fatalf("rel %d: mass %v differs on %s", rel, v, k)
+			}
+		}
+	}
+}
+
+func TestReadTableJSONRejectsBadData(t *testing.T) {
+	tor := topo.NewTorus(4)
+	cases := map[string]string{
+		"wrong k":    `{"label":"x","k":5,"dists":{}}`,
+		"bad hops":   `{"label":"x","k":4,"dists":{"1,0":[{"dirs":"zz","prob":1}]}}`,
+		"wrong dest": `{"label":"x","k":4,"dists":{"1,0":[{"dirs":"+y","prob":1}]}}`,
+		"bad sum":    `{"label":"x","k":4,"dists":{"1,0":[{"dirs":"+x","prob":0.4}]}}`,
+	}
+	for name, src := range cases {
+		if _, err := ReadTableJSON(bytes.NewReader([]byte(src)), tor); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}

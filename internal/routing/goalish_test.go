@@ -1,0 +1,59 @@
+package routing
+
+import (
+	"math"
+	"testing"
+
+	"tcr/internal/topo"
+)
+
+func TestGOALishValidDistribution(t *testing.T) {
+	tor := topo.NewTorus(6)
+	for d := topo.Node(0); d < topo.Node(tor.N); d++ {
+		var sum float64
+		for _, w := range (GOALish{}).PairPaths(tor, 0, d) {
+			sum += w.Prob
+			if w.Path.Dst(tor) != d {
+				t.Fatalf("dest %d: path ends elsewhere", d)
+			}
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("dest %d: probabilities sum to %v", d, sum)
+		}
+	}
+}
+
+func TestGOALishLocalityMatchesRLB(t *testing.T) {
+	// GOALish uses GOAL/RLB's direction rule, so expected travel per
+	// dimension (and hence H_avg) must equal RLB's.
+	tor := topo.NewTorus(8)
+	g := hAvg(tor, GOALish{})
+	r := hAvg(tor, RLB{})
+	if math.Abs(g-r) > 1e-9 {
+		t.Fatalf("GOALish H %v != RLB H %v", g, r)
+	}
+}
+
+func TestGOALishSpreadsQuadrant(t *testing.T) {
+	// Within a quadrant, the staircase uses more distinct paths than RLB's
+	// two-phase DOR for the same pair.
+	tor := topo.NewTorus(8)
+	d := tor.NodeAt(2, 2)
+	g := len((GOALish{}).PairPaths(tor, 0, d))
+	r := len((RLB{}).PairPaths(tor, 0, d))
+	if g <= r {
+		t.Fatalf("GOALish paths %d not more diverse than RLB %d", g, r)
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	cases := map[[2]int]int{
+		{0, 0}: 1, {5, 0}: 1, {5, 5}: 1, {5, 2}: 10, {10, 5}: 252, {6, 3}: 20,
+		{4, 7}: 0, {4, -1}: 0,
+	}
+	for in, want := range cases {
+		if got := binomial(in[0], in[1]); got != want {
+			t.Errorf("C(%d,%d) = %d, want %d", in[0], in[1], got, want)
+		}
+	}
+}

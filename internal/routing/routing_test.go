@@ -1,0 +1,252 @@
+package routing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tcr/internal/paths"
+	"tcr/internal/topo"
+)
+
+// allAlgorithms returns the closed-form algorithms under test.
+func allAlgorithms() []Algorithm {
+	return []Algorithm{
+		DOR{}, DOR{YFirst: true}, VAL{}, IVAL{}, ROMM{}, RLB{}, RLB{Threshold: true},
+		Interpolated{A: IVAL{}, B: DOR{}, Alpha: 0.5},
+	}
+}
+
+// hAvg computes the average path length of an algorithm over all pairs,
+// using translation invariance (canonical source 0).
+func hAvg(t *topo.Torus, alg Algorithm) float64 {
+	var total float64
+	for d := topo.Node(0); d < topo.Node(t.N); d++ {
+		for _, w := range alg.PairPaths(t, 0, d) {
+			total += w.Prob * float64(w.Path.Len())
+		}
+	}
+	return total / float64(t.N)
+}
+
+func TestDistributionsAreValid(t *testing.T) {
+	for _, k := range []int{4, 5, 6} {
+		tor := topo.NewTorus(k)
+		for _, alg := range allAlgorithms() {
+			for d := topo.Node(0); d < topo.Node(tor.N); d++ {
+				ws := alg.PairPaths(tor, 0, d)
+				var sum float64
+				for _, w := range ws {
+					if w.Prob < 0 {
+						t.Fatalf("k=%d %s dest %d: negative probability", k, alg.Name(), d)
+					}
+					sum += w.Prob
+					if w.Path.Dst(tor) != d {
+						t.Fatalf("k=%d %s dest %d: path ends at %d (%v)",
+							k, alg.Name(), d, w.Path.Dst(tor), w.Path)
+					}
+					if w.Path.Src != 0 {
+						t.Fatalf("k=%d %s dest %d: path starts at %d", k, alg.Name(), d, w.Path.Src)
+					}
+					if w.Path.RevisitsChannel(tor) {
+						t.Fatalf("k=%d %s dest %d: channel revisit in %v", k, alg.Name(), d, w.Path)
+					}
+				}
+				if math.Abs(sum-1) > 1e-9 {
+					t.Fatalf("k=%d %s dest %d: probabilities sum to %v", k, alg.Name(), d, sum)
+				}
+			}
+		}
+	}
+}
+
+func TestTranslationInvariance(t *testing.T) {
+	tor := topo.NewTorus(5)
+	rng := rand.New(rand.NewSource(8))
+	for _, alg := range allAlgorithms() {
+		for trial := 0; trial < 10; trial++ {
+			s := topo.Node(rng.Intn(tor.N))
+			d := topo.Node(rng.Intn(tor.N))
+			rx, ry := tor.Rel(s, d)
+			base := alg.PairPaths(tor, 0, tor.NodeAt(rx, ry))
+			moved := alg.PairPaths(tor, s, d)
+			if len(base) != len(moved) {
+				t.Fatalf("%s: path count differs under translation", alg.Name())
+			}
+			// Compare as distributions keyed by direction sequence.
+			baseDist := map[string]float64{}
+			for _, w := range base {
+				baseDist[dirKey(w.Path)] += w.Prob
+			}
+			for _, w := range moved {
+				baseDist[dirKey(w.Path)] -= w.Prob
+			}
+			for k, v := range baseDist {
+				if math.Abs(v) > 1e-9 {
+					t.Fatalf("%s: translation changed mass %v on %s", alg.Name(), v, k)
+				}
+			}
+		}
+	}
+}
+
+func dirKey(p paths.Path) string {
+	b := make([]byte, len(p.Dirs))
+	for i, d := range p.Dirs {
+		b[i] = byte('0' + int(d))
+	}
+	return string(b)
+}
+
+func TestDORisMinimal(t *testing.T) {
+	tor := topo.NewTorus(8)
+	if got, want := hAvg(tor, DOR{}), tor.MeanMinDist(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("DOR H = %v, want minimal %v", got, want)
+	}
+	if got, want := hAvg(tor, ROMM{}), tor.MeanMinDist(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("ROMM H = %v, want minimal %v", got, want)
+	}
+}
+
+func TestVALExactlyTwiceMinimal(t *testing.T) {
+	for _, k := range []int{4, 5, 8} {
+		tor := topo.NewTorus(k)
+		got := hAvg(tor, VAL{})
+		want := 2 * tor.MeanMinDist()
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("k=%d: VAL H = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestIVALBeatsVAL(t *testing.T) {
+	tor := topo.NewTorus(8)
+	hi := hAvg(tor, IVAL{})
+	hv := hAvg(tor, VAL{})
+	if hi >= hv {
+		t.Fatalf("IVAL H = %v not below VAL H = %v", hi, hv)
+	}
+	// The paper reports roughly 1.61x minimal for k=8 (19.3%% below VAL's 2x).
+	ratio := hi / tor.MeanMinDist()
+	if ratio < 1.55 || ratio > 1.68 {
+		t.Fatalf("IVAL normalized H = %v, expected about 1.61", ratio)
+	}
+}
+
+func TestIVALPathsHaveAtMostTwoTurnsModuloUTurnOvershoot(t *testing.T) {
+	// IVAL paths are loop-free concatenations of an xy and a yx phase, so
+	// their direction pattern is X..Y..X with at most two turns.
+	tor := topo.NewTorus(6)
+	for d := topo.Node(0); d < topo.Node(tor.N); d++ {
+		for _, w := range (IVAL{}).PairPaths(tor, 0, d) {
+			if w.Path.Turns() > 2 {
+				t.Fatalf("IVAL path with %d turns: %v", w.Path.Turns(), w.Path)
+			}
+		}
+	}
+}
+
+func TestRLBExpectedHops(t *testing.T) {
+	// Per dimension, RLB travels Delta with prob (k-Delta)/k and k-Delta
+	// with prob Delta/k: E[T] = 2*Delta*(k-Delta)/k.
+	for _, k := range []int{5, 8} {
+		tor := topo.NewTorus(k)
+		var want float64
+		for rx := 0; rx < k; rx++ {
+			for ry := 0; ry < k; ry++ {
+				dx := tor.MinDist1D(rx)
+				dy := tor.MinDist1D(ry)
+				want += 2*float64(dx*(k-dx))/float64(k) + 2*float64(dy*(k-dy))/float64(k)
+			}
+		}
+		want /= float64(tor.N)
+		got := hAvg(tor, RLB{})
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("k=%d: RLB H = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestRLBthShorterThanRLB(t *testing.T) {
+	tor := topo.NewTorus(8)
+	if hAvg(tor, RLB{Threshold: true}) >= hAvg(tor, RLB{}) {
+		t.Fatal("RLBth should have better locality than RLB")
+	}
+}
+
+func TestInterpolatedLocalityIsLinear(t *testing.T) {
+	tor := topo.NewTorus(6)
+	hD := hAvg(tor, DOR{})
+	hI := hAvg(tor, IVAL{})
+	for _, alpha := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		got := hAvg(tor, Interpolated{A: IVAL{}, B: DOR{}, Alpha: alpha})
+		want := alpha*hI + (1-alpha)*hD
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("alpha=%v: H = %v, want %v", alpha, got, want)
+		}
+	}
+}
+
+func TestTableRoutingTranslates(t *testing.T) {
+	tor := topo.NewTorus(4)
+	// A table that routes straight +x to offset (1,0).
+	tbl := &Table{
+		Label: "test",
+		Dist: map[topo.Node][]paths.Weighted{
+			tor.NodeAt(1, 0): {{Path: paths.Path{Src: 0, Dirs: []topo.Dir{topo.XPlus}}, Prob: 1}},
+		},
+	}
+	s := tor.NodeAt(2, 3)
+	d := tor.NodeAt(3, 3)
+	ws := tbl.PairPaths(tor, s, d)
+	if len(ws) != 1 || ws[0].Path.Src != s || ws[0].Path.Dst(tor) != d {
+		t.Fatalf("table translation broken: %v", ws)
+	}
+	// Self pair yields the empty path.
+	self := tbl.PairPaths(tor, s, s)
+	if len(self) != 1 || self[0].Path.Len() != 0 || self[0].Prob != 1 {
+		t.Fatalf("self pair = %v", self)
+	}
+}
+
+func TestSamplerMatchesDistribution(t *testing.T) {
+	tor := topo.NewTorus(4)
+	alg := IVAL{}
+	sp := NewSampler(tor, alg)
+	rng := rand.New(rand.NewSource(10))
+	s := tor.NodeAt(1, 2)
+	d := tor.NodeAt(3, 3)
+	want := map[string]float64{}
+	for _, w := range alg.PairPaths(tor, s, d) {
+		want[w.Path.Key()] += w.Prob
+	}
+	const draws = 20000
+	got := map[string]float64{}
+	for i := 0; i < draws; i++ {
+		p := sp.Sample(rng, s, d)
+		if p.Src != s || p.Dst(tor) != d {
+			t.Fatal("sampled path has wrong endpoints")
+		}
+		got[p.Key()] += 1.0 / draws
+	}
+	for k, p := range want {
+		if math.Abs(got[k]-p) > 0.02+0.2*p {
+			t.Fatalf("path %s: empirical %v vs expected %v", k, got[k], p)
+		}
+	}
+}
+
+func TestSamplePathEndpoints(t *testing.T) {
+	tor := topo.NewTorus(5)
+	rng := rand.New(rand.NewSource(3))
+	for _, alg := range allAlgorithms() {
+		for trial := 0; trial < 20; trial++ {
+			s := topo.Node(rng.Intn(tor.N))
+			d := topo.Node(rng.Intn(tor.N))
+			p := SamplePath(rng, alg, tor, s, d)
+			if p.Src != s || p.Dst(tor) != d {
+				t.Fatalf("%s: sampled path endpoints wrong", alg.Name())
+			}
+		}
+	}
+}

@@ -1,0 +1,265 @@
+package sim
+
+import (
+	"sort"
+
+	"tcr/internal/topo"
+)
+
+// move is a granted flit transfer, computed in the allocation phase and
+// applied afterwards so that all decisions within a cycle observe the same
+// state.
+type move struct {
+	node topo.Node
+	// srcDir < 0 means the node's injection queue, otherwise the input
+	// port whose VC srcVC holds the flit.
+	srcDir int
+	srcVC  int
+	// eject indicates delivery at this node; otherwise the flit leaves
+	// toward outDir into the neighbor's input VC dstVC.
+	eject  bool
+	outDir topo.Dir
+	dstVC  int
+}
+
+// Run advances the simulation by the given number of cycles; statistics
+// accumulate only after StartMeasurement.
+func (s *Sim) Run(cycles int) {
+	for i := 0; i < cycles; i++ {
+		s.step()
+	}
+}
+
+// StartMeasurement begins the statistics window (call after warmup).
+func (s *Sim) StartMeasurement() {
+	s.measuring = true
+	s.injFlits = 0
+	s.ejFlits = 0
+	s.latencySum = 0
+	s.ejPackets = 0
+	s.measureStart = s.cycle
+}
+
+// Stats returns the measurement-window statistics.
+func (s *Sim) Stats() Stats {
+	cycles := s.cycle - s.measureStart
+	st := Stats{
+		Cycles:         cycles,
+		InjectedFlits:  s.injFlits,
+		EjectedFlits:   s.ejFlits,
+		PacketsEjected: s.ejPackets,
+		Deadlocked:     s.deadlocked,
+	}
+	if cycles > 0 {
+		st.Throughput = float64(s.ejFlits) / float64(cycles) / float64(s.t.N)
+	}
+	if s.ejPackets > 0 {
+		st.AvgLatency = float64(s.latencySum) / float64(s.ejPackets)
+	}
+	return st
+}
+
+// step advances one cycle: inject new packets, allocate, move flits, and
+// feed the deadlock watchdog.
+func (s *Sim) step() {
+	s.inject()
+	moves := s.allocate()
+	s.apply(moves)
+	if len(moves) == 0 && s.anyBuffered() {
+		s.idleCycles++
+		if s.idleCycles > 1000 {
+			s.deadlocked = true
+		}
+	} else {
+		s.idleCycles = 0
+	}
+	s.cycle++
+}
+
+// inject generates new packets per the Bernoulli process and pattern.
+func (s *Sim) inject() {
+	pPacket := s.cfg.Rate / float64(s.cfg.PacketFlits)
+	for n := 0; n < s.t.N; n++ {
+		if s.rng.Float64() >= pPacket {
+			continue
+		}
+		src := topo.Node(n)
+		dst := s.drawDest(n)
+		path := s.sampler.Sample(s.rng, src, dst)
+		pkt := &packet{
+			dirs:     path.Dirs,
+			vcs:      s.classesToVCs(s.policy.Assign(s.t, path)),
+			flits:    s.cfg.PacketFlits,
+			injected: s.cycle,
+		}
+		s.routers[n].srcQueue = append(s.routers[n].srcQueue, pkt)
+		if s.measuring {
+			s.injFlits += s.cfg.PacketFlits
+		}
+	}
+}
+
+// classesToVCs maps the policy's class labels to concrete VC indices, with
+// a random sub-channel per packet when VCsPerClass > 1.
+func (s *Sim) classesToVCs(classes []int) []int {
+	sub := 0
+	if s.cfg.VCsPerClass > 1 {
+		sub = s.rng.Intn(s.cfg.VCsPerClass)
+	}
+	vcs := make([]int, len(classes))
+	for i, c := range classes {
+		vcs[i] = c*s.cfg.VCsPerClass + sub
+	}
+	return vcs
+}
+
+// drawDest samples a destination from the source's traffic row.
+func (s *Sim) drawDest(src int) topo.Node {
+	cum := s.destCum[src]
+	u := s.rng.Float64() * cum[len(cum)-1]
+	i := sort.SearchFloat64s(cum, u)
+	if i >= len(cum) {
+		i = len(cum) - 1
+	}
+	return topo.Node(i)
+}
+
+// allocate performs, per node, VC allocation and round-robin switch
+// allocation, producing the cycle's granted moves.
+func (s *Sim) allocate() []move {
+	var moves []move
+	for n := range s.routers {
+		r := &s.routers[n]
+		node := topo.Node(n)
+
+		// Requests per output (0..3 = directions, 4 = ejection).
+		var reqs [topo.NumDirs + 1][]move
+
+		// Buffered input VCs.
+		for d := 0; d < topo.NumDirs; d++ {
+			for v := range r.in[d] {
+				vc := &r.in[d][v]
+				if len(vc.buf) == 0 {
+					continue
+				}
+				fr := vc.buf[0]
+				if int(fr.hop) >= len(fr.pkt.dirs) {
+					reqs[topo.NumDirs] = append(reqs[topo.NumDirs],
+						move{node: node, srcDir: d, srcVC: v, eject: true})
+					continue
+				}
+				out := fr.pkt.dirs[fr.hop]
+				dstVC := fr.pkt.vcs[fr.hop]
+				if !s.downstreamReady(node, out, dstVC, fr.pkt) {
+					continue
+				}
+				reqs[out] = append(reqs[out],
+					move{node: node, srcDir: d, srcVC: v, outDir: out, dstVC: dstVC})
+			}
+		}
+		// Injection queue head.
+		if len(r.srcQueue) > 0 {
+			pkt := r.srcQueue[0]
+			if len(pkt.dirs) == 0 {
+				reqs[topo.NumDirs] = append(reqs[topo.NumDirs],
+					move{node: node, srcDir: -1, eject: true})
+			} else if s.downstreamReady(node, pkt.dirs[0], pkt.vcs[0], pkt) {
+				reqs[pkt.dirs[0]] = append(reqs[pkt.dirs[0]],
+					move{node: node, srcDir: -1, outDir: pkt.dirs[0], dstVC: pkt.vcs[0]})
+			}
+		}
+
+		// Grant one flit per output, round-robin over requesters.
+		for out := 0; out <= topo.NumDirs; out++ {
+			cands := reqs[out]
+			if len(cands) == 0 {
+				continue
+			}
+			pick := cands[r.rrOut[out]%len(cands)]
+			r.rrOut[out]++
+			moves = append(moves, pick)
+		}
+	}
+	return moves
+}
+
+// downstreamReady checks credits and VC ownership at the input buffer the
+// flit would land in: the VC must be free or already held by this packet,
+// and a buffer slot must be available.
+func (s *Sim) downstreamReady(node topo.Node, out topo.Dir, dstVC int, pkt *packet) bool {
+	r := &s.routers[node]
+	if r.credits[out][dstVC] <= 0 {
+		return false
+	}
+	nb := s.t.Neighbor(node, out)
+	owner := s.routers[nb].in[out.Reverse()][dstVC].owner
+	return owner == nil || owner == pkt
+}
+
+// apply commits the cycle's moves: dequeue, transfer, credit return, and
+// ejection accounting. A flit sent toward `out` lands at the neighbor's
+// input port out.Reverse(); conversely, a flit dequeued from input port d
+// came from the neighbor in direction d, whose credit counter for the
+// channel toward us is indexed by d.Reverse().
+func (s *Sim) apply(moves []move) {
+	for _, mv := range moves {
+		r := &s.routers[mv.node]
+		var fr flitRef
+		if mv.srcDir < 0 {
+			pkt := r.srcQueue[0]
+			r.srcSent++
+			fr = flitRef{pkt: pkt, hop: 0, last: r.srcSent == pkt.flits}
+			if fr.last {
+				r.srcQueue = r.srcQueue[1:]
+				r.srcSent = 0
+			}
+		} else {
+			vc := &r.in[mv.srcDir][mv.srcVC]
+			fr = vc.buf[0]
+			vc.buf = vc.buf[1:]
+			if fr.last {
+				vc.owner = nil
+			}
+			up := s.t.Neighbor(mv.node, topo.Dir(mv.srcDir))
+			s.routers[up].credits[topo.Dir(mv.srcDir).Reverse()][mv.srcVC]++
+		}
+
+		if mv.eject {
+			if s.measuring {
+				s.ejFlits++
+				if fr.last {
+					s.latencySum += int64(s.cycle - fr.pkt.injected)
+					s.ejPackets++
+				}
+			}
+			continue
+		}
+
+		nb := s.t.Neighbor(mv.node, mv.outDir)
+		dst := &s.routers[nb].in[mv.outDir.Reverse()][mv.dstVC]
+		if dst.owner == nil {
+			dst.owner = fr.pkt
+		}
+		fr.hop++
+		dst.buf = append(dst.buf, fr)
+		r.credits[mv.outDir][mv.dstVC]--
+	}
+}
+
+// anyBuffered reports whether any flit is waiting anywhere.
+func (s *Sim) anyBuffered() bool {
+	for n := range s.routers {
+		r := &s.routers[n]
+		if len(r.srcQueue) > 0 {
+			return true
+		}
+		for d := 0; d < topo.NumDirs; d++ {
+			for v := range r.in[d] {
+				if len(r.in[d][v].buf) > 0 {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"testing"
+
+	"tcr/internal/routing"
+	"tcr/internal/topo"
+)
+
+// TestCreditConservation: at any instant, a channel's credits at the
+// upstream router plus the occupancy of the downstream input buffer must
+// equal the buffer depth — credits may never be minted or lost.
+func TestCreditConservation(t *testing.T) {
+	s := New(Config{K: 4, Rate: 0.7, Seed: 31, Alg: routing.IVAL{}, BufDepth: 4})
+	for step := 0; step < 2000; step++ {
+		s.step()
+		if step%50 != 0 {
+			continue
+		}
+		for n := 0; n < s.t.N; n++ {
+			up := &s.routers[n]
+			for d := topo.Dir(0); d < topo.NumDirs; d++ {
+				nb := s.t.Neighbor(topo.Node(n), d)
+				down := &s.routers[nb]
+				in := d.Reverse()
+				for v := 0; v < s.nVCs; v++ {
+					total := up.credits[d][v] + len(down.in[in][v].buf)
+					if total != s.cfg.BufDepth {
+						t.Fatalf("cycle %d node %d dir %v vc %d: credits %d + occupancy %d != depth %d",
+							step, n, d, v, up.credits[d][v], len(down.in[in][v].buf), s.cfg.BufDepth)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestVCAtomicity: a virtual channel buffer never interleaves flits of two
+// packets before the first packet's tail.
+func TestVCAtomicity(t *testing.T) {
+	s := New(Config{K: 4, Rate: 0.8, Seed: 37, Alg: routing.VAL{}, BufDepth: 4})
+	for step := 0; step < 2000; step++ {
+		s.step()
+		if step%25 != 0 {
+			continue
+		}
+		for n := range s.routers {
+			r := &s.routers[n]
+			for d := 0; d < topo.NumDirs; d++ {
+				for v := range r.in[d] {
+					buf := r.in[d][v].buf
+					// Scan: packet may only change right after a tail.
+					for i := 1; i < len(buf); i++ {
+						if buf[i].pkt != buf[i-1].pkt && !buf[i-1].last {
+							t.Fatalf("cycle %d: interleaved packets in node %d port %d vc %d",
+								step, n, d, v)
+						}
+					}
+					// Owner matches the head's packet.
+					if len(buf) > 0 && r.in[d][v].owner != buf[0].pkt {
+						t.Fatalf("cycle %d: owner mismatch at node %d", step, n)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestHopProgression: flits buffered at a node always have a hop index
+// consistent with a real route position (0..len(dirs)).
+func TestHopProgression(t *testing.T) {
+	s := New(Config{K: 5, Rate: 0.6, Seed: 41, Alg: routing.ROMM{}})
+	for step := 0; step < 1500; step++ {
+		s.step()
+	}
+	for n := range s.routers {
+		r := &s.routers[n]
+		for d := 0; d < topo.NumDirs; d++ {
+			for v := range r.in[d] {
+				for _, fr := range r.in[d][v].buf {
+					if fr.hop < 1 || int(fr.hop) > len(fr.pkt.dirs) {
+						t.Fatalf("flit hop %d outside route length %d", fr.hop, len(fr.pkt.dirs))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEjectionBandwidth: no node ever delivers more than one flit per cycle
+// (unit ejection bandwidth, Section 2.1's node model).
+func TestEjectionBandwidth(t *testing.T) {
+	s := New(Config{K: 4, Rate: 1.0, Seed: 43, Alg: routing.DOR{}})
+	s.StartMeasurement()
+	cycles := 3000
+	prev := 0
+	for i := 0; i < cycles; i++ {
+		s.step()
+		cur := s.ejFlits
+		if cur-prev > s.t.N {
+			t.Fatalf("cycle %d: %d flits ejected network-wide (> N=%d)", i, cur-prev, s.t.N)
+		}
+		prev = cur
+	}
+}

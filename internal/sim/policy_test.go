@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tcr/internal/paths"
+	"tcr/internal/routing"
+	"tcr/internal/topo"
+)
+
+// TestPolicyClassesInRange: every policy labels every hop of every path of
+// every supported algorithm within its class count.
+func TestPolicyClassesInRange(t *testing.T) {
+	tor := topo.NewTorus(6)
+	algs := []routing.Algorithm{
+		routing.DOR{}, routing.VAL{}, routing.IVAL{}, routing.ROMM{},
+		routing.RLB{}, routing.O1TURN{},
+	}
+	for _, alg := range algs {
+		pol := PolicyFor(alg)
+		for d := topo.Node(0); d < topo.Node(tor.N); d++ {
+			for _, w := range alg.PairPaths(tor, 0, d) {
+				classes := pol.Assign(tor, w.Path)
+				if len(classes) != w.Path.Len() {
+					t.Fatalf("%s: class count mismatch", alg.Name())
+				}
+				for _, c := range classes {
+					if c < 0 || c >= pol.Classes() {
+						t.Fatalf("%s: class %d out of range", alg.Name(), c)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPolicyClassesMonotone: the class sequence along any path never
+// decreases — the acyclicity argument rests on packets moving to
+// higher-ordered virtual channel classes.
+func TestPolicyClassesMonotone(t *testing.T) {
+	tor := topo.NewTorus(8)
+	check := func(p paths.Path, classes []int) bool {
+		set := func(c int) int { return c / 2 }
+		for i := 1; i < len(classes); i++ {
+			if set(classes[i]) < set(classes[i-1]) {
+				return false
+			}
+			// Within a dimension run, the dateline bit may only rise.
+			if set(classes[i]) == set(classes[i-1]) &&
+				p.Dirs[i].IsX() == p.Dirs[i-1].IsX() &&
+				classes[i]%2 < classes[i-1]%2 {
+				return false
+			}
+		}
+		return true
+	}
+	for _, alg := range []routing.Algorithm{routing.VAL{}, routing.IVAL{}} {
+		pol := PolicyFor(alg)
+		for d := topo.Node(0); d < topo.Node(tor.N); d++ {
+			for _, w := range alg.PairPaths(tor, 0, d) {
+				if !check(w.Path, pol.Assign(tor, w.Path)) {
+					t.Fatalf("%s: class sequence not monotone on %v", alg.Name(), w.Path)
+				}
+			}
+		}
+	}
+}
+
+// TestPolicyQuick: random two-turn-family paths get valid class sequences.
+func TestPolicyQuick(t *testing.T) {
+	tor := topo.NewTorus(8)
+	pol := TurnDatelinePolicy{}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := topo.Node(rng.Intn(tor.N))
+		d := topo.Node(rng.Intn(tor.N))
+		ps := paths.TwoTurnPaths(tor, s, d)
+		p := ps[rng.Intn(len(ps))]
+		classes := pol.Assign(tor, p)
+		if len(classes) != p.Len() {
+			return false
+		}
+		for _, c := range classes {
+			if c < 0 || c >= pol.Classes() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

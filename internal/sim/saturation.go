@@ -1,0 +1,51 @@
+package sim
+
+// SaturationPoint estimates the saturation throughput of a configuration by
+// sweeping offered load: it runs short simulations at increasing rates and
+// reports the largest accepted throughput observed. The standard definition
+// (accepted flux at which latency diverges) is awkward to automate; the
+// accepted-throughput plateau under over-driving is equivalent for
+// open-loop injection with unbounded source queues, which is what this
+// simulator models.
+type SaturationResult struct {
+	// Throughput is the plateau accepted load in flits/node/cycle.
+	Throughput float64
+	// AtRate is the offered rate where the plateau was observed.
+	AtRate float64
+	// Deadlocked reports whether any sweep point tripped the watchdog.
+	Deadlocked bool
+	// Curve holds (rate, accepted) for every sweep point.
+	Curve []RatePoint
+}
+
+// RatePoint is one sweep sample.
+type RatePoint struct {
+	Rate, Accepted, AvgLatency float64
+}
+
+// FindSaturation sweeps offered rates and returns the observed saturation
+// plateau. The cfg's Rate field is overridden per sweep point.
+func FindSaturation(cfg Config, rates []float64, warmup, measure int) SaturationResult {
+	if len(rates) == 0 {
+		rates = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	}
+	res := SaturationResult{}
+	for _, r := range rates {
+		c := cfg
+		c.Rate = r
+		s := New(c)
+		s.Run(warmup)
+		s.StartMeasurement()
+		s.Run(measure)
+		st := s.Stats()
+		res.Curve = append(res.Curve, RatePoint{Rate: r, Accepted: st.Throughput, AvgLatency: st.AvgLatency})
+		if st.Deadlocked {
+			res.Deadlocked = true
+		}
+		if st.Throughput > res.Throughput {
+			res.Throughput = st.Throughput
+			res.AtRate = r
+		}
+	}
+	return res
+}

@@ -1,0 +1,35 @@
+package sim
+
+import (
+	"testing"
+
+	"tcr/internal/routing"
+)
+
+func TestFindSaturationCurve(t *testing.T) {
+	res := FindSaturation(Config{K: 4, Seed: 9, Alg: routing.DOR{}, VCsPerClass: 2, BufDepth: 8},
+		[]float64{0.2, 0.5, 0.8, 1.0}, 500, 2000)
+	if res.Deadlocked {
+		t.Fatal("deadlock during sweep")
+	}
+	if len(res.Curve) != 4 {
+		t.Fatalf("curve has %d points", len(res.Curve))
+	}
+	// Accepted load can never exceed offered.
+	for _, p := range res.Curve {
+		if p.Accepted > p.Rate+0.02 {
+			t.Fatalf("accepted %v exceeds offered %v", p.Accepted, p.Rate)
+		}
+	}
+	// At easy loads acceptance tracks the offer.
+	if res.Curve[0].Accepted < 0.15 {
+		t.Fatalf("low-load acceptance %v too small", res.Curve[0].Accepted)
+	}
+	if res.Throughput <= 0 || res.AtRate == 0 {
+		t.Fatalf("bad plateau: %+v", res)
+	}
+	// Latency grows with load.
+	if res.Curve[0].AvgLatency > res.Curve[len(res.Curve)-1].AvgLatency {
+		t.Fatal("latency should not decrease with load")
+	}
+}

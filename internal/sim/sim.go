@@ -1,0 +1,291 @@
+// Package sim is a cycle-based, flit-level simulator for k-ary 2-cube
+// networks with virtual-channel flow control. It backs two claims the paper
+// makes outside its analytical model: that the ideal (edge-congestion)
+// throughput bound is approached but not met by practical routers
+// (Section 2.1 cites 60-75%), and that the studied routing algorithms have
+// simple deadlock-free implementations with a handful of virtual channels
+// per physical channel (Section 5.2).
+//
+// The router model is a canonical input-queued VC router: per-input virtual
+// channels with credit-based backpressure, atomic VC allocation (a virtual
+// channel is held by one packet from head to tail), and round-robin switch
+// allocation granting one flit per output per cycle. Paths are source
+// routed: the oblivious routing algorithm draws the entire path at
+// injection, and a per-algorithm VCPolicy assigns each hop a virtual
+// channel class (dateline rules for rings, class bumps at Y-to-X turns) so
+// the channel-dependence graph stays acyclic.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tcr/internal/paths"
+	"tcr/internal/routing"
+	"tcr/internal/topo"
+	"tcr/internal/traffic"
+)
+
+// VCPolicy assigns a virtual-channel class to every hop of a path. The
+// returned slice has one entry per hop, each in [0, numClasses).
+type VCPolicy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Classes is the number of VC classes the policy needs.
+	Classes() int
+	// Assign labels each hop of the path with its VC class.
+	Assign(t *topo.Torus, p paths.Path) []int
+}
+
+// DatelinePolicy implements the classic two-VC ring deadlock avoidance: a
+// packet uses class 0 in each dimension until it crosses that dimension's
+// wrap-around (dateline) channel, class 1 after. Sufficient for
+// dimension-order routing.
+type DatelinePolicy struct{}
+
+// Name implements VCPolicy.
+func (DatelinePolicy) Name() string { return "dateline" }
+
+// Classes implements VCPolicy.
+func (DatelinePolicy) Classes() int { return 2 }
+
+// Assign implements VCPolicy.
+func (DatelinePolicy) Assign(t *topo.Torus, p paths.Path) []int {
+	return assignDateline(t, p, 0)
+}
+
+// TurnDatelinePolicy implements the paper's scheme for two-turn paths
+// (Section 5.2): the VC set is incremented after each Y-to-X turn (at most
+// one on any two-turn path), and within a set the dateline rule breaks
+// intra-ring cycles, for four classes total. DOR, IVAL and 2TURN paths are
+// all covered.
+type TurnDatelinePolicy struct{}
+
+// Name implements VCPolicy.
+func (TurnDatelinePolicy) Name() string { return "turn+dateline" }
+
+// Classes implements VCPolicy.
+func (TurnDatelinePolicy) Classes() int { return 4 }
+
+// Assign implements VCPolicy.
+func (TurnDatelinePolicy) Assign(t *topo.Torus, p paths.Path) []int {
+	return assignDateline(t, p, 1)
+}
+
+// assignDateline walks the path tracking the dateline bit (reset whenever
+// the packet turns into a new dimension run) and, when turnBit is set, a
+// set bit that flips once at the packet's "phase boundary": the first
+// Y-to-X turn or the first direction reversal within a dimension. For
+// two-turn paths this is exactly the paper's bump-after-Y-to-X rule; for
+// the two-phase algorithms (VAL, IVAL, ROMM, RLB) it coincides with the
+// phase change, giving each set a dimension-ordered, reversal-free prefix
+// whose channel dependences are acyclic under the dateline rule.
+func assignDateline(t *topo.Torus, p paths.Path, turnBit int) []int {
+	classes := make([]int, len(p.Dirs))
+	n := p.Src
+	set := 0
+	dateline := 0
+	lastDir := [2]topo.Dir{-1, -1} // per-dimension direction seen so far
+	for i, d := range p.Dirs {
+		if i > 0 && d.IsX() != p.Dirs[i-1].IsX() {
+			dateline = 0
+		}
+		if turnBit == 1 && set == 0 && i > 0 {
+			yToX := d.IsX() && !p.Dirs[i-1].IsX()
+			dim := 0
+			if !d.IsX() {
+				dim = 1
+			}
+			reversal := lastDir[dim] >= 0 && lastDir[dim] == d.Reverse()
+			if yToX || reversal {
+				set = 1
+				dateline = 0
+			}
+		}
+		if d.IsX() {
+			lastDir[0] = d
+		} else {
+			lastDir[1] = d
+		}
+		classes[i] = set*2 + dateline
+		// Crossing the wrap channel flips the dateline bit for the rest
+		// of this dimension run.
+		x, y := t.Coord(n)
+		nxt := t.Neighbor(n, d)
+		nx, ny := t.Coord(nxt)
+		if d.IsX() {
+			if (d == topo.XPlus && nx < x) || (d == topo.XMinus && nx > x) {
+				dateline = 1
+			}
+		} else {
+			if (d == topo.YPlus && ny < y) || (d == topo.YMinus && ny > y) {
+				dateline = 1
+			}
+		}
+		n = nxt
+	}
+	return classes
+}
+
+// PolicyFor returns the conventional policy for an algorithm name:
+// dateline-only for plain DOR, turn+dateline otherwise.
+func PolicyFor(alg routing.Algorithm) VCPolicy {
+	if alg.Name() == "DOR" || alg.Name() == "DOR-yx" {
+		return DatelinePolicy{}
+	}
+	return TurnDatelinePolicy{}
+}
+
+// Config parameterizes a simulation.
+type Config struct {
+	K           int     // torus radix
+	VCsPerClass int     // virtual channels per class (default 1)
+	BufDepth    int     // flit buffer depth per VC (default 4)
+	PacketFlits int     // flits per packet (default 4)
+	Rate        float64 // offered load: flits per node per cycle (1.0 = full injection bandwidth)
+	Seed        int64
+
+	Alg     routing.Algorithm
+	Policy  VCPolicy        // nil = PolicyFor(Alg)
+	Pattern *traffic.Matrix // destination distribution per source; nil = uniform
+}
+
+// Stats summarizes a measurement window.
+type Stats struct {
+	Cycles int
+	// InjectedFlits / EjectedFlits count flits entering and leaving the
+	// network during the measurement window.
+	InjectedFlits, EjectedFlits int
+	// Throughput is accepted flits per node per cycle.
+	Throughput float64
+	// AvgLatency is the mean packet latency (injection-queue entry to tail
+	// ejection) over packets ejected in the window.
+	AvgLatency float64
+	// PacketsEjected is the latency sample count.
+	PacketsEjected int
+	// Deadlocked reports that the watchdog saw no forward progress for a
+	// long stretch while flits were buffered.
+	Deadlocked bool
+}
+
+// packet is an in-flight packet with its precomputed route.
+type packet struct {
+	dirs     []topo.Dir
+	vcs      []int // concrete VC per hop
+	flits    int
+	injected int // cycle the packet entered the source queue
+}
+
+// vcState is one virtual channel of one input port.
+type vcState struct {
+	buf []flitRef // FIFO of buffered flits
+	// owner is the packet currently allocated this VC (nil when idle).
+	// Allocation is atomic head-to-tail.
+	owner *packet
+}
+
+type flitRef struct {
+	pkt  *packet
+	hop  int32 // hops completed so far (route index at the current node)
+	last bool  // tail flit
+}
+
+// router is one node's state.
+type router struct {
+	// in[dir][vc] are input buffers for flits arriving over the channel
+	// from direction dir's neighbor; in[NumDirs] is unused (injection is
+	// modeled as a source queue).
+	in [topo.NumDirs][]vcState
+	// credits[dir][vc]: free downstream slots for the output toward dir.
+	credits [topo.NumDirs][]int
+	// source queue of packets awaiting injection, plus a partially
+	// injected packet's remaining flits.
+	srcQueue []*packet
+	srcSent  int // flits of srcQueue[0] already injected
+	rrOut    [topo.NumDirs + 1]int
+}
+
+// Sim is a running simulation.
+type Sim struct {
+	cfg     Config
+	t       *topo.Torus
+	rng     *rand.Rand
+	sampler *routing.Sampler
+	policy  VCPolicy
+	routers []router
+	nVCs    int // total VCs per input port
+
+	cycle        int
+	measureStart int
+	injFlits     int
+	ejFlits      int
+	latencySum   int64
+	ejPackets    int
+	idleCycles   int
+	deadlocked   bool
+	measuring    bool
+	destCum      [][]float64 // per-source destination CDF
+}
+
+// New builds a simulator; it panics on nonsensical configuration (that is a
+// programming error in the harness, not a runtime condition).
+func New(cfg Config) *Sim {
+	if cfg.K < 2 {
+		panic("sim: radix must be >= 2")
+	}
+	if cfg.VCsPerClass == 0 {
+		cfg.VCsPerClass = 1
+	}
+	if cfg.BufDepth == 0 {
+		cfg.BufDepth = 4
+	}
+	if cfg.PacketFlits == 0 {
+		cfg.PacketFlits = 4
+	}
+	if cfg.Alg == nil {
+		panic("sim: routing algorithm required")
+	}
+	t := topo.NewTorus(cfg.K)
+	policy := cfg.Policy
+	if policy == nil {
+		policy = PolicyFor(cfg.Alg)
+	}
+	pattern := cfg.Pattern
+	if pattern == nil {
+		pattern = traffic.Uniform(t.N)
+	}
+	if pattern.N != t.N {
+		panic(fmt.Sprintf("sim: pattern size %d != network size %d", pattern.N, t.N))
+	}
+	s := &Sim{
+		cfg:     cfg,
+		t:       t,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		sampler: routing.NewSampler(t, cfg.Alg),
+		policy:  policy,
+		nVCs:    policy.Classes() * cfg.VCsPerClass,
+	}
+	s.routers = make([]router, t.N)
+	for n := range s.routers {
+		r := &s.routers[n]
+		for d := 0; d < topo.NumDirs; d++ {
+			r.in[d] = make([]vcState, s.nVCs)
+			r.credits[d] = make([]int, s.nVCs)
+			for v := range r.credits[d] {
+				r.credits[d][v] = cfg.BufDepth
+			}
+		}
+	}
+	// Destination CDFs for injection.
+	s.destCum = make([][]float64, t.N)
+	for src := 0; src < t.N; src++ {
+		cum := make([]float64, t.N)
+		var acc float64
+		for d := 0; d < t.N; d++ {
+			acc += pattern.L[src][d]
+			cum[d] = acc
+		}
+		s.destCum[src] = cum
+	}
+	return s
+}

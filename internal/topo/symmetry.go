@@ -1,0 +1,216 @@
+package topo
+
+// Dihedral indexes the eight symmetries of the square acting on torus
+// coordinates (x, y) modulo k: the four rotations and four reflections.
+// The action is linear over Z_k x Z_k, so it maps relative offsets to
+// relative offsets and directions to directions.
+type Dihedral int
+
+const (
+	// DihId is the identity (x, y).
+	DihId Dihedral = iota
+	// DihSwap maps (x, y) -> (y, x).
+	DihSwap
+	// DihNegX maps (x, y) -> (-x, y).
+	DihNegX
+	// DihNegY maps (x, y) -> (x, -y).
+	DihNegY
+	// DihNegXY maps (x, y) -> (-x, -y) (rotation by pi).
+	DihNegXY
+	// DihSwapNegX maps (x, y) -> (-y, x) (rotation by pi/2).
+	DihSwapNegX
+	// DihSwapNegY maps (x, y) -> (y, -x) (rotation by -pi/2).
+	DihSwapNegY
+	// DihSwapNegXY maps (x, y) -> (-y, -x).
+	DihSwapNegXY
+	// NumDihedral is the order of the dihedral group of the square.
+	NumDihedral = 8
+)
+
+// Apply maps a coordinate pair through the dihedral element (before any
+// modular reduction; callers reduce as needed).
+func (m Dihedral) Apply(x, y int) (int, int) {
+	switch m {
+	case DihId:
+		return x, y
+	case DihSwap:
+		return y, x
+	case DihNegX:
+		return -x, y
+	case DihNegY:
+		return x, -y
+	case DihNegXY:
+		return -x, -y
+	case DihSwapNegX:
+		return -y, x
+	case DihSwapNegY:
+		return y, -x
+	case DihSwapNegXY:
+		return -y, -x
+	}
+	panic("topo: invalid dihedral element")
+}
+
+// ApplyDir maps a direction through the dihedral element.
+func (m Dihedral) ApplyDir(d Dir) Dir {
+	dx, dy := d.Delta()
+	nx, ny := m.Apply(dx, dy)
+	switch {
+	case nx == 1 && ny == 0:
+		return XPlus
+	case nx == -1 && ny == 0:
+		return XMinus
+	case nx == 0 && ny == 1:
+		return YPlus
+	case nx == 0 && ny == -1:
+		return YMinus
+	}
+	panic("topo: dihedral direction image is not a unit step")
+}
+
+// Compose returns the element equivalent to applying first `m`, then `n`.
+func (m Dihedral) Compose(n Dihedral) Dihedral {
+	// Probe the composite action on the basis vectors and look it up.
+	ax, ay := m.Apply(1, 0)
+	bx, by := m.Apply(0, 1)
+	ax, ay = n.Apply(ax, ay)
+	bx, by = n.Apply(bx, by)
+	for e := Dihedral(0); e < NumDihedral; e++ {
+		ex, ey := e.Apply(1, 0)
+		fx, fy := e.Apply(0, 1)
+		if ex == ax && ey == ay && fx == bx && fy == by {
+			return e
+		}
+	}
+	panic("topo: dihedral composition not closed")
+}
+
+// Inverse returns the group inverse of the element.
+func (m Dihedral) Inverse() Dihedral {
+	for e := Dihedral(0); e < NumDihedral; e++ {
+		if m.Compose(e) == DihId {
+			return e
+		}
+	}
+	panic("topo: dihedral element has no inverse")
+}
+
+// Aut is a torus automorphism: first the dihedral element M about the
+// origin, then a translation by (Tx, Ty). As a map on coordinates,
+// sigma(v) = M(v) + T (mod k).
+type Aut struct {
+	M      Dihedral
+	Tx, Ty int
+}
+
+// ApplyNode maps a node through the automorphism.
+func (t *Torus) ApplyNode(a Aut, n Node) Node {
+	x, y := t.Coord(n)
+	mx, my := a.M.Apply(x, y)
+	return t.NodeAt(mx+a.Tx, my+a.Ty)
+}
+
+// ApplyChan maps a channel through the automorphism: the source node maps
+// through the automorphism and the direction through its dihedral part.
+func (t *Torus) ApplyChan(a Aut, c Channel) Channel {
+	src := t.ApplyNode(a, t.ChanSrc(c))
+	return t.Chan(src, a.M.ApplyDir(t.ChanDir(c)))
+}
+
+// PairAut returns an automorphism sigma with sigma(s) = 0 and
+// sigma(d) = the canonical octant representative of the pair's relative
+// offset. It also returns that canonical offset. This is the map used to
+// express any pair's channel loads in terms of the canonical commodity's
+// flow variables.
+func (t *Torus) PairAut(s, d Node) (Aut, RelDest) {
+	rx, ry := t.Rel(s, d)
+	m, cx, cy := t.CanonicalRel(rx, ry)
+	sx, sy := t.Coord(s)
+	// sigma(v) = M(v - s): dihedral M preceded by translating s to 0.
+	// In Aut form (dihedral then translate): M(v - s) = M(v) - M(s).
+	msx, msy := m.Apply(sx, sy)
+	return Aut{M: m, Tx: -msx, Ty: -msy}, RelDest{X: cx, Y: cy}
+}
+
+// CanonicalRel returns the dihedral element mapping the relative offset
+// (rx, ry) into the fundamental octant 0 <= y <= x <= k/2, along with the
+// canonical offset. Offsets are taken in [0, k).
+func (t *Torus) CanonicalRel(rx, ry int) (Dihedral, int, int) {
+	rx = mod(rx, t.K)
+	ry = mod(ry, t.K)
+	half := t.K / 2
+	for m := Dihedral(0); m < NumDihedral; m++ {
+		cx, cy := m.Apply(rx, ry)
+		cx, cy = mod(cx, t.K), mod(cy, t.K)
+		// In-octant test: both coordinates within minimal range and
+		// ordered. For odd k, half rounds down and offsets above half
+		// wrap to the negative side, so cx <= half captures minimality.
+		if cx <= half && cy <= half && cy <= cx {
+			return m, cx, cy
+		}
+	}
+	panic("topo: no dihedral element canonicalizes offset")
+}
+
+// RelDest is a canonical relative destination (a commodity of the folded
+// optimization problems).
+type RelDest struct {
+	X, Y int
+}
+
+// OctantDest describes one canonical commodity: its offset, the number of
+// ordered (s, d) pairs per source whose relative offset folds onto it
+// (its orbit weight), and its minimal path length.
+type OctantDest struct {
+	Rel     RelDest
+	Orbit   int // how many raw offsets in Z_k^2 fold to this representative
+	MinDist int
+}
+
+// OctantDests enumerates the canonical commodities of the torus: all
+// offsets with 0 <= y <= x <= k/2 except the origin. The orbit weights sum
+// to N-1 (every non-self offset folds somewhere).
+func (t *Torus) OctantDests() []OctantDest {
+	counts := make(map[RelDest]int)
+	for rx := 0; rx < t.K; rx++ {
+		for ry := 0; ry < t.K; ry++ {
+			if rx == 0 && ry == 0 {
+				continue
+			}
+			_, cx, cy := t.CanonicalRel(rx, ry)
+			counts[RelDest{cx, cy}]++
+		}
+	}
+	var dests []OctantDest
+	half := t.K / 2
+	for x := 0; x <= half; x++ {
+		for y := 0; y <= x; y++ {
+			if x == 0 && y == 0 {
+				continue
+			}
+			rd := RelDest{x, y}
+			if c, ok := counts[rd]; ok {
+				dests = append(dests, OctantDest{
+					Rel:     rd,
+					Orbit:   c,
+					MinDist: t.MinDist1D(x) + t.MinDist1D(y),
+				})
+			}
+		}
+	}
+	return dests
+}
+
+// AllAuts enumerates the full automorphism group used for folding:
+// 8 dihedral elements x N translations.
+func (t *Torus) AllAuts() []Aut {
+	auts := make([]Aut, 0, NumDihedral*t.N)
+	for m := Dihedral(0); m < NumDihedral; m++ {
+		for ty := 0; ty < t.K; ty++ {
+			for tx := 0; tx < t.K; tx++ {
+				auts = append(auts, Aut{M: m, Tx: tx, Ty: ty})
+			}
+		}
+	}
+	return auts
+}

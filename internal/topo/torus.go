@@ -1,0 +1,183 @@
+// Package topo models the interconnection-network topologies of the paper:
+// k-ary 2-cube (two-dimensional torus) directed graphs, their channels, and
+// their symmetry group.
+//
+// Nodes are identified by integers in [0, N) with N = k*k and coordinates
+// (x, y) = (n mod k, n / k). Every node has four outgoing channels, one per
+// direction, giving C = 4N unit-bandwidth channels. The torus is both
+// vertex- and edge-symmetric; its automorphism group (translations composed
+// with the dihedral group of the square) is what Section 4 of the paper
+// exploits to shrink the optimization problems from O(C N^2) to O(C N), and
+// what this package exposes as explicit coordinate transforms.
+package topo
+
+import "fmt"
+
+// Node identifies a torus node in [0, N).
+type Node int
+
+// Channel identifies a directed channel in [0, C). The channel c belongs to
+// source node c/4 and points in direction Dir(c%4).
+type Channel int
+
+// Dir is one of the four channel directions of a 2-cube.
+type Dir int
+
+const (
+	// XPlus increases x by one (mod k).
+	XPlus Dir = iota
+	// XMinus decreases x by one (mod k).
+	XMinus
+	// YPlus increases y by one (mod k).
+	YPlus
+	// YMinus decreases y by one (mod k).
+	YMinus
+	// NumDirs is the number of channel directions per node.
+	NumDirs = 4
+)
+
+// String names the direction.
+func (d Dir) String() string {
+	switch d {
+	case XPlus:
+		return "+x"
+	case XMinus:
+		return "-x"
+	case YPlus:
+		return "+y"
+	case YMinus:
+		return "-y"
+	}
+	return fmt.Sprintf("Dir(%d)", int(d))
+}
+
+// Delta returns the coordinate step of the direction.
+func (d Dir) Delta() (dx, dy int) {
+	switch d {
+	case XPlus:
+		return 1, 0
+	case XMinus:
+		return -1, 0
+	case YPlus:
+		return 0, 1
+	case YMinus:
+		return 0, -1
+	}
+	panic("topo: invalid direction")
+}
+
+// Reverse returns the opposite direction.
+func (d Dir) Reverse() Dir {
+	switch d {
+	case XPlus:
+		return XMinus
+	case XMinus:
+		return XPlus
+	case YPlus:
+		return YMinus
+	case YMinus:
+		return YPlus
+	}
+	panic("topo: invalid direction")
+}
+
+// IsX reports whether the direction travels in the x dimension.
+func (d Dir) IsX() bool { return d == XPlus || d == XMinus }
+
+// Torus is a k-ary 2-cube with unit-bandwidth channels.
+type Torus struct {
+	K int // radix per dimension
+	N int // number of nodes, k*k
+	C int // number of channels, 4*k*k
+}
+
+// NewTorus constructs a k-ary 2-cube. k must be at least 2 (k = 2 tori have
+// coincident +/- neighbors but remain well-defined as multigraphs here).
+func NewTorus(k int) *Torus {
+	if k < 2 {
+		panic(fmt.Sprintf("topo: radix %d < 2", k))
+	}
+	return &Torus{K: k, N: k * k, C: 4 * k * k}
+}
+
+// Coord returns the (x, y) coordinates of a node.
+func (t *Torus) Coord(n Node) (x, y int) {
+	return int(n) % t.K, int(n) / t.K
+}
+
+// NodeAt returns the node at coordinates (x, y), reduced modulo k.
+func (t *Torus) NodeAt(x, y int) Node {
+	x = mod(x, t.K)
+	y = mod(y, t.K)
+	return Node(y*t.K + x)
+}
+
+// Chan returns the channel leaving node n in direction d.
+func (t *Torus) Chan(n Node, d Dir) Channel {
+	return Channel(int(n)*NumDirs + int(d))
+}
+
+// ChanSrc returns the node a channel leaves.
+func (t *Torus) ChanSrc(c Channel) Node { return Node(int(c) / NumDirs) }
+
+// ChanDir returns a channel's direction.
+func (t *Torus) ChanDir(c Channel) Dir { return Dir(int(c) % NumDirs) }
+
+// ChanDst returns the node a channel enters.
+func (t *Torus) ChanDst(c Channel) Node {
+	n := t.ChanSrc(c)
+	x, y := t.Coord(n)
+	dx, dy := t.ChanDir(c).Delta()
+	return t.NodeAt(x+dx, y+dy)
+}
+
+// Neighbor returns the node reached from n by moving one hop in direction d.
+func (t *Torus) Neighbor(n Node, d Dir) Node {
+	x, y := t.Coord(n)
+	dx, dy := d.Delta()
+	return t.NodeAt(x+dx, y+dy)
+}
+
+// Rel returns the relative coordinates of d as seen from s, each in [0, k).
+func (t *Torus) Rel(s, d Node) (rx, ry int) {
+	sx, sy := t.Coord(s)
+	dx, dy := t.Coord(d)
+	return mod(dx-sx, t.K), mod(dy-sy, t.K)
+}
+
+// MinDist1D returns the minimal ring distance for a relative offset r
+// in [0, k).
+func (t *Torus) MinDist1D(r int) int {
+	r = mod(r, t.K)
+	if r > t.K-r {
+		return t.K - r
+	}
+	return r
+}
+
+// MinDist returns the minimal hop count between two nodes.
+func (t *Torus) MinDist(s, d Node) int {
+	rx, ry := t.Rel(s, d)
+	return t.MinDist1D(rx) + t.MinDist1D(ry)
+}
+
+// MeanMinDist returns the average minimal path length over all N^2
+// source-destination pairs (self pairs contribute zero), the quantity used
+// to normalize H_avg in the paper's figures.
+func (t *Torus) MeanMinDist() float64 {
+	var total int
+	for r := 0; r < t.K; r++ {
+		total += t.MinDist1D(r)
+	}
+	// Sum over both dimensions of the per-dimension mean.
+	return 2 * float64(total) / float64(t.K)
+}
+
+// mod is the arithmetic (always nonnegative) remainder.
+func mod(a, k int) int {
+	a %= k
+	if a < 0 {
+		a += k
+	}
+	return a
+}

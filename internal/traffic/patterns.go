@@ -1,0 +1,102 @@
+package traffic
+
+import (
+	"math/bits"
+
+	"tcr/internal/topo"
+)
+
+// This file adds the remaining classic interconnection-network benchmark
+// permutations. The paper's framework treats any doubly-stochastic matrix;
+// these named patterns are the standard adversaries and benign baselines
+// used across the torus-routing literature (and by the RLB/GOAL papers the
+// SPAA'03 paper compares against), so the harness exposes them all.
+
+// BitReverse returns the bit-reversal pattern: each node's index (over
+// log2(N) bits) is reversed. The radix must make N a power of two; the
+// pattern is a permutation in that case.
+func BitReverse(t *topo.Torus) (*Matrix, bool) {
+	n := t.N
+	if n&(n-1) != 0 {
+		return nil, false
+	}
+	width := bits.Len(uint(n)) - 1
+	m := NewMatrix(n)
+	for s := 0; s < n; s++ {
+		d := int(bits.Reverse(uint(s)) >> (bits.UintSize - width))
+		m.L[s][d] = 1
+	}
+	return m, true
+}
+
+// Shuffle returns the perfect-shuffle pattern d = (2s) mod (N-1) style
+// rotation: each node's index bits rotate left by one. N must be a power of
+// two.
+func Shuffle(t *topo.Torus) (*Matrix, bool) {
+	n := t.N
+	if n&(n-1) != 0 {
+		return nil, false
+	}
+	width := bits.Len(uint(n)) - 1
+	mask := n - 1
+	m := NewMatrix(n)
+	for s := 0; s < n; s++ {
+		d := ((s << 1) | (s >> (width - 1))) & mask
+		m.L[s][d] = 1
+	}
+	return m, true
+}
+
+// NearestNeighbor returns the benign pattern in which every node sends to
+// its +x neighbor: maximal locality, trivially routable.
+func NearestNeighbor(t *topo.Torus) *Matrix {
+	m := NewMatrix(t.N)
+	for n := 0; n < t.N; n++ {
+		x, y := t.Coord(topo.Node(n))
+		m.L[n][t.NodeAt(x+1, y)] = 1
+	}
+	return m
+}
+
+// Hotspot returns a doubly-stochastic blend: fraction f of each node's
+// traffic follows a permutation toward a "hot" diagonal shift, the rest is
+// uniform. It models skewed but admissible load. f must be in [0, 1].
+func Hotspot(t *topo.Torus, f float64) *Matrix {
+	if f < 0 || f > 1 {
+		panic("traffic: hotspot fraction out of range")
+	}
+	m := NewMatrix(t.N)
+	u := (1 - f) / float64(t.N)
+	for s := 0; s < t.N; s++ {
+		x, y := t.Coord(topo.Node(s))
+		hot := t.NodeAt(x+t.K/2, y+t.K/2)
+		for d := 0; d < t.N; d++ {
+			m.L[s][d] = u
+		}
+		m.L[s][hot] += f
+	}
+	return m
+}
+
+// Named returns the pattern with the given name on the torus, or ok=false.
+// Names: uniform, tornado, transpose, complement, neighbor, bitrev,
+// shuffle.
+func Named(t *topo.Torus, name string) (*Matrix, bool) {
+	switch name {
+	case "uniform":
+		return Uniform(t.N), true
+	case "tornado":
+		return Tornado(t), true
+	case "transpose":
+		return Transpose(t), true
+	case "complement":
+		return Complement(t), true
+	case "neighbor":
+		return NearestNeighbor(t), true
+	case "bitrev":
+		return BitReverse(t)
+	case "shuffle":
+		return Shuffle(t)
+	}
+	return nil, false
+}

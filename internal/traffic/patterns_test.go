@@ -1,0 +1,109 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"tcr/internal/topo"
+)
+
+func TestBitReverse(t *testing.T) {
+	tor := topo.NewTorus(4) // N=16, power of two
+	m, ok := BitReverse(tor)
+	if !ok {
+		t.Fatal("expected bit-reverse to exist for N=16")
+	}
+	if e := m.MaxStochasticityError(); e > 1e-12 {
+		t.Fatalf("stochasticity error %v", e)
+	}
+	// Node 1 (0001) -> 8 (1000).
+	if m.L[1][8] != 1 {
+		t.Fatal("bit reversal of 1 should be 8")
+	}
+	// Applying twice is the identity.
+	for s := 0; s < 16; s++ {
+		var d int
+		for j := 0; j < 16; j++ {
+			if m.L[s][j] == 1 {
+				d = j
+			}
+		}
+		var back int
+		for j := 0; j < 16; j++ {
+			if m.L[d][j] == 1 {
+				back = j
+			}
+		}
+		if back != s {
+			t.Fatalf("bit reverse not an involution at %d", s)
+		}
+	}
+	if _, ok := BitReverse(topo.NewTorus(3)); ok {
+		t.Fatal("N=9 must not support bit reversal")
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	tor := topo.NewTorus(4)
+	m, ok := Shuffle(tor)
+	if !ok {
+		t.Fatal("expected shuffle for N=16")
+	}
+	if e := m.MaxStochasticityError(); e > 1e-12 {
+		t.Fatalf("stochasticity error %v", e)
+	}
+	// 0b0101 (5) rotates to 0b1010 (10).
+	if m.L[5][10] != 1 {
+		t.Fatal("shuffle of 5 should be 10")
+	}
+}
+
+func TestNearestNeighbor(t *testing.T) {
+	tor := topo.NewTorus(5)
+	m := NearestNeighbor(tor)
+	if e := m.MaxStochasticityError(); e > 1e-12 {
+		t.Fatalf("stochasticity error %v", e)
+	}
+	for s := 0; s < tor.N; s++ {
+		for d := 0; d < tor.N; d++ {
+			if m.L[s][d] == 1 && tor.MinDist(topo.Node(s), topo.Node(d)) != 1 {
+				t.Fatal("nearest neighbor not distance 1")
+			}
+		}
+	}
+}
+
+func TestHotspot(t *testing.T) {
+	tor := topo.NewTorus(4)
+	for _, f := range []float64{0, 0.3, 1} {
+		m := Hotspot(tor, f)
+		if e := m.MaxStochasticityError(); e > 1e-9 {
+			t.Fatalf("f=%v: stochasticity error %v", f, e)
+		}
+	}
+	// f=0 is uniform.
+	m := Hotspot(tor, 0)
+	if math.Abs(m.L[3][7]-1.0/16) > 1e-12 {
+		t.Fatal("f=0 should be uniform")
+	}
+}
+
+func TestNamed(t *testing.T) {
+	tor := topo.NewTorus(4)
+	for _, name := range []string{"uniform", "tornado", "transpose", "complement", "neighbor", "bitrev", "shuffle"} {
+		m, ok := Named(tor, name)
+		if !ok || m == nil {
+			t.Fatalf("pattern %q missing", name)
+		}
+		if e := m.MaxStochasticityError(); e > 1e-9 {
+			t.Fatalf("%s: stochasticity error %v", name, e)
+		}
+	}
+	if _, ok := Named(tor, "nope"); ok {
+		t.Fatal("unknown name must fail")
+	}
+	// bitrev on non-power-of-two must fail cleanly through Named.
+	if _, ok := Named(topo.NewTorus(3), "bitrev"); ok {
+		t.Fatal("bitrev on N=9 must fail")
+	}
+}

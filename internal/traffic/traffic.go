@@ -1,0 +1,308 @@
+// Package traffic provides the traffic-pattern machinery of the paper:
+// doubly-stochastic traffic matrices, the uniform pattern, permutation
+// patterns (including the named adversarial patterns used in torus studies),
+// random sampling of doubly-stochastic matrices for the average-case cost
+// function of Section 3.3, and the Birkhoff-von Neumann decomposition that
+// underlies both the worst-case analysis (it is why permutations suffice as
+// worst cases) and the appendix's dual interpretation.
+package traffic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tcr/internal/matching"
+	"tcr/internal/topo"
+)
+
+// Matrix is a traffic pattern: L[s][d] is the fraction of source s's unit
+// injection bandwidth destined to node d. Valid patterns are
+// doubly-substochastic; the patterns of interest are doubly-stochastic
+// (every row and column sums to one).
+type Matrix struct {
+	N int
+	L [][]float64
+}
+
+// NewMatrix returns an all-zero n x n pattern.
+func NewMatrix(n int) *Matrix {
+	l := make([][]float64, n)
+	buf := make([]float64, n*n)
+	for i := range l {
+		l[i] = buf[i*n : (i+1)*n]
+	}
+	return &Matrix{N: n, L: l}
+}
+
+// Uniform returns the uniform pattern U with u[s][d] = 1/N, the pattern that
+// defines network capacity.
+func Uniform(n int) *Matrix {
+	m := NewMatrix(n)
+	v := 1 / float64(n)
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			m.L[s][d] = v
+		}
+	}
+	return m
+}
+
+// Permutation returns the pattern of a permutation: node s sends all its
+// traffic to perm[s].
+func Permutation(perm []int) *Matrix {
+	m := NewMatrix(len(perm))
+	for s, d := range perm {
+		m.L[s][d] = 1
+	}
+	return m
+}
+
+// RandomPermutation returns a uniformly random permutation pattern.
+func RandomPermutation(n int, rng *rand.Rand) *Matrix {
+	return Permutation(rng.Perm(n))
+}
+
+// Tornado returns the tornado pattern on a torus: every node sends to the
+// node almost half-way around its x ring, the classic adversary for minimal
+// routing on tori.
+func Tornado(t *topo.Torus) *Matrix {
+	m := NewMatrix(t.N)
+	shift := (t.K+1)/2 - 1 // ceil(k/2) - 1 hops in +x
+	if shift == 0 {
+		shift = 1
+	}
+	for n := 0; n < t.N; n++ {
+		x, y := t.Coord(topo.Node(n))
+		d := t.NodeAt(x+shift, y)
+		m.L[n][d] = 1
+	}
+	return m
+}
+
+// Transpose returns the matrix-transpose pattern: (x, y) sends to (y, x).
+func Transpose(t *topo.Torus) *Matrix {
+	m := NewMatrix(t.N)
+	for n := 0; n < t.N; n++ {
+		x, y := t.Coord(topo.Node(n))
+		m.L[n][t.NodeAt(y, x)] = 1
+	}
+	return m
+}
+
+// Complement returns the bit-complement-style pattern: (x, y) sends to
+// (k-1-x, k-1-y).
+func Complement(t *topo.Torus) *Matrix {
+	m := NewMatrix(t.N)
+	for n := 0; n < t.N; n++ {
+		x, y := t.Coord(topo.Node(n))
+		m.L[n][t.NodeAt(t.K-1-x, t.K-1-y)] = 1
+	}
+	return m
+}
+
+// DiagonalShift returns the permutation (x, y) -> (x+s, y+s): a family of
+// benign patterns useful in tests.
+func DiagonalShift(t *topo.Torus, s int) *Matrix {
+	m := NewMatrix(t.N)
+	for n := 0; n < t.N; n++ {
+		x, y := t.Coord(topo.Node(n))
+		m.L[n][t.NodeAt(x+s, y+s)] = 1
+	}
+	return m
+}
+
+// RandomDoublyStochastic samples a random doubly-stochastic matrix by
+// Sinkhorn-normalizing an i.i.d. Exponential(1) matrix. This is the sample
+// generator behind the average-case cost function (Section 3.3, |X| random
+// traffic matrices).
+func RandomDoublyStochastic(n int, rng *rand.Rand) *Matrix {
+	m := NewMatrix(n)
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			m.L[s][d] = rng.ExpFloat64() + 1e-12
+		}
+	}
+	// Sinkhorn iteration: alternately normalize rows and columns.
+	for iter := 0; iter < 10000; iter++ {
+		var worst float64
+		for s := 0; s < n; s++ {
+			var sum float64
+			for d := 0; d < n; d++ {
+				sum += m.L[s][d]
+			}
+			inv := 1 / sum
+			for d := 0; d < n; d++ {
+				m.L[s][d] *= inv
+			}
+		}
+		for d := 0; d < n; d++ {
+			var sum float64
+			for s := 0; s < n; s++ {
+				sum += m.L[s][d]
+			}
+			if dev := math.Abs(sum - 1); dev > worst {
+				worst = dev
+			}
+			inv := 1 / sum
+			for s := 0; s < n; s++ {
+				m.L[s][d] *= inv
+			}
+		}
+		if worst < 1e-12 {
+			break
+		}
+	}
+	return m
+}
+
+// Sample draws count independent doubly-stochastic matrices with a fixed
+// seed, the set X of the average-case formulation.
+func Sample(n, count int, seed int64) []*Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*Matrix, count)
+	for i := range out {
+		out[i] = RandomDoublyStochastic(n, rng)
+	}
+	return out
+}
+
+// MaxStochasticityError returns the largest deviation of any row or column
+// sum from one.
+func (m *Matrix) MaxStochasticityError() float64 {
+	var worst float64
+	for s := 0; s < m.N; s++ {
+		var sum float64
+		for d := 0; d < m.N; d++ {
+			sum += m.L[s][d]
+		}
+		if dev := math.Abs(sum - 1); dev > worst {
+			worst = dev
+		}
+	}
+	for d := 0; d < m.N; d++ {
+		var sum float64
+		for s := 0; s < m.N; s++ {
+			sum += m.L[s][d]
+		}
+		if dev := math.Abs(sum - 1); dev > worst {
+			worst = dev
+		}
+	}
+	return worst
+}
+
+// Scale multiplies every entry by f (injection-rate scaling) and returns the
+// receiver for chaining.
+func (m *Matrix) Scale(f float64) *Matrix {
+	for s := range m.L {
+		for d := range m.L[s] {
+			m.L[s][d] *= f
+		}
+	}
+	return m
+}
+
+// Clone deep-copies the pattern.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.N)
+	for s := range m.L {
+		copy(c.L[s], m.L[s])
+	}
+	return c
+}
+
+// BirkhoffTerm is one component of a Birkhoff-von Neumann decomposition.
+type BirkhoffTerm struct {
+	Coef float64
+	Perm []int
+}
+
+// ErrNotDoublyStochastic reports a decomposition request on a matrix that is
+// not (numerically) doubly stochastic.
+var ErrNotDoublyStochastic = errors.New("traffic: matrix is not doubly stochastic")
+
+// BirkhoffDecompose expresses a doubly-stochastic matrix as a convex
+// combination of at most (N-1)^2+1 permutation matrices (Birkhoff's theorem,
+// reference [32] of the paper). The greedy construction repeatedly finds a
+// perfect matching on the positive support and subtracts the support's
+// minimum entry.
+func BirkhoffDecompose(m *Matrix, tol float64) ([]BirkhoffTerm, error) {
+	if err := checkDoublyStochastic(m, 1e-6); err != nil {
+		return nil, err
+	}
+	n := m.N
+	rem := m.Clone()
+	var terms []BirkhoffTerm
+	remaining := 1.0
+	adj := make([][]bool, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+	}
+	for remaining > tol {
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				adj[s][d] = rem.L[s][d] > tol/float64(n)
+			}
+		}
+		perm, ok := matching.PerfectMatching(adj)
+		if !ok {
+			// Numerical crumbs remain but no full support matching:
+			// spread the remainder on the last permutation found, or fail
+			// if none exists.
+			if len(terms) == 0 {
+				return nil, fmt.Errorf("%w: no perfect matching on support", ErrNotDoublyStochastic)
+			}
+			terms[len(terms)-1].Coef += remaining
+			remaining = 0
+			break
+		}
+		coef := math.Inf(1)
+		for s, d := range perm {
+			if rem.L[s][d] < coef {
+				coef = rem.L[s][d]
+			}
+		}
+		if coef <= 0 {
+			return nil, fmt.Errorf("%w: nonpositive support minimum", ErrNotDoublyStochastic)
+		}
+		if coef > remaining {
+			coef = remaining
+		}
+		for s, d := range perm {
+			rem.L[s][d] -= coef
+		}
+		p := make([]int, n)
+		copy(p, perm)
+		terms = append(terms, BirkhoffTerm{Coef: coef, Perm: p})
+		remaining -= coef
+	}
+	return terms, nil
+}
+
+// Recompose sums coef * permutation over the terms; the inverse of
+// BirkhoffDecompose up to the tolerance, used by tests.
+func Recompose(n int, terms []BirkhoffTerm) *Matrix {
+	m := NewMatrix(n)
+	for _, t := range terms {
+		for s, d := range t.Perm {
+			m.L[s][d] += t.Coef
+		}
+	}
+	return m
+}
+
+func checkDoublyStochastic(m *Matrix, tol float64) error {
+	if e := m.MaxStochasticityError(); e > tol {
+		return fmt.Errorf("%w: row/col sum error %g", ErrNotDoublyStochastic, e)
+	}
+	for s := range m.L {
+		for d := range m.L[s] {
+			if m.L[s][d] < -tol {
+				return fmt.Errorf("%w: negative entry %g", ErrNotDoublyStochastic, m.L[s][d])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tcr/internal/topo"
+)
+
+func TestUniformIsDoublyStochastic(t *testing.T) {
+	if e := Uniform(16).MaxStochasticityError(); e > 1e-12 {
+		t.Fatalf("uniform error %v", e)
+	}
+}
+
+func TestPermutationPatterns(t *testing.T) {
+	tor := topo.NewTorus(8)
+	for name, m := range map[string]*Matrix{
+		"tornado":    Tornado(tor),
+		"transpose":  Transpose(tor),
+		"complement": Complement(tor),
+		"diag3":      DiagonalShift(tor, 3),
+		"random":     RandomPermutation(tor.N, rand.New(rand.NewSource(1))),
+	} {
+		if e := m.MaxStochasticityError(); e > 1e-12 {
+			t.Errorf("%s: stochasticity error %v", name, e)
+		}
+		// Each row must have exactly one unit entry.
+		for s := 0; s < m.N; s++ {
+			ones, zeros := 0, 0
+			for d := 0; d < m.N; d++ {
+				switch m.L[s][d] {
+				case 1:
+					ones++
+				case 0:
+					zeros++
+				}
+			}
+			if ones != 1 || zeros != m.N-1 {
+				t.Fatalf("%s: row %d is not a permutation row", name, s)
+			}
+		}
+	}
+}
+
+func TestTornadoDistance(t *testing.T) {
+	// k=8: tornado shift is ceil(8/2)-1 = 3 hops.
+	tor := topo.NewTorus(8)
+	m := Tornado(tor)
+	for s := 0; s < tor.N; s++ {
+		for d := 0; d < tor.N; d++ {
+			if m.L[s][d] == 1 {
+				if got := tor.MinDist(topo.Node(s), topo.Node(d)); got != 3 {
+					t.Fatalf("tornado hop distance %d, want 3", got)
+				}
+			}
+		}
+	}
+}
+
+func TestRandomDoublyStochastic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		m := RandomDoublyStochastic(20, rng)
+		if e := m.MaxStochasticityError(); e > 1e-9 {
+			t.Fatalf("trial %d: error %v", trial, e)
+		}
+		for s := range m.L {
+			for d := range m.L[s] {
+				if m.L[s][d] < 0 {
+					t.Fatalf("negative entry")
+				}
+			}
+		}
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	a := Sample(8, 3, 42)
+	b := Sample(8, 3, 42)
+	for i := range a {
+		for s := range a[i].L {
+			for d := range a[i].L[s] {
+				if a[i].L[s][d] != b[i].L[s][d] {
+					t.Fatal("same seed produced different samples")
+				}
+			}
+		}
+	}
+	c := Sample(8, 1, 43)
+	if a[0].L[0][0] == c[0].L[0][0] {
+		t.Fatal("different seeds produced identical first entry (suspicious)")
+	}
+}
+
+func TestBirkhoffDecomposePermutation(t *testing.T) {
+	perm := []int{2, 0, 3, 1}
+	terms, err := BirkhoffDecompose(Permutation(perm), 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(terms) != 1 || math.Abs(terms[0].Coef-1) > 1e-9 {
+		t.Fatalf("got %d terms, first coef %v", len(terms), terms[0].Coef)
+	}
+	for i, j := range terms[0].Perm {
+		if j != perm[i] {
+			t.Fatalf("decomposition changed the permutation")
+		}
+	}
+}
+
+func TestBirkhoffDecomposeUniform(t *testing.T) {
+	n := 6
+	terms, err := BirkhoffDecompose(Uniform(n), 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, tm := range terms {
+		sum += tm.Coef
+	}
+	if math.Abs(sum-1) > 1e-7 {
+		t.Fatalf("coefficients sum to %v", sum)
+	}
+	re := Recompose(n, terms)
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if math.Abs(re.L[s][d]-1/float64(n)) > 1e-6 {
+				t.Fatalf("recomposition off at (%d,%d): %v", s, d, re.L[s][d])
+			}
+		}
+	}
+}
+
+func TestBirkhoffRejectsNonStochastic(t *testing.T) {
+	m := NewMatrix(3)
+	m.L[0][0] = 1
+	m.L[1][1] = 0.5
+	m.L[2][2] = 1
+	if _, err := BirkhoffDecompose(m, 1e-9); err == nil {
+		t.Fatal("expected rejection of substochastic matrix")
+	}
+}
+
+// TestBirkhoffRoundTrip: random doubly-stochastic matrices decompose and
+// recompose within tolerance; coefficient count stays polynomial.
+func TestBirkhoffRoundTrip(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(5)
+		m := RandomDoublyStochastic(n, rng)
+		terms, err := BirkhoffDecompose(m, 1e-8)
+		if err != nil {
+			return false
+		}
+		if len(terms) > (n-1)*(n-1)+1+n { // theorem bound with slack
+			return false
+		}
+		re := Recompose(n, terms)
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				if math.Abs(re.L[s][d]-m.L[s][d]) > 1e-5 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaleAndClone(t *testing.T) {
+	m := Uniform(4)
+	c := m.Clone().Scale(0.5)
+	if m.L[0][0] != 0.25 {
+		t.Fatal("clone mutated the original")
+	}
+	if c.L[0][0] != 0.125 {
+		t.Fatalf("scale produced %v", c.L[0][0])
+	}
+}

@@ -1,0 +1,225 @@
+// Package tcr reproduces "Throughput-Centric Routing Algorithm Design"
+// (Towles, Dally, Boyd; SPAA 2003): linear-programming design of randomized
+// oblivious routing algorithms for k-ary 2-cube (torus) networks, optimizing
+// worst-case and average-case throughput, together with the paper's concrete
+// algorithms (DOR, VAL, IVAL, ROMM, RLB, RLBth, 2TURN, 2TURNA, interpolated
+// routing), an exact worst-case evaluator, and a flit-level network
+// simulator for validating the analytical model.
+//
+// The package is a facade over the implementation packages:
+//
+//   - internal/lp        a from-scratch revised-simplex LP solver
+//   - internal/matching  Hungarian assignment (the worst-case oracle)
+//   - internal/topo      torus topology and its automorphism group
+//   - internal/traffic   traffic matrices and Birkhoff decomposition
+//   - internal/paths     path enumeration and loop removal
+//   - internal/routing   the routing algorithms
+//   - internal/eval      throughput/locality metrics
+//   - internal/design    the LP design problems (capacity, worst case,
+//     average case, 2TURN/2TURNA, Pareto sweeps)
+//   - internal/sim       flit-level VC-router simulator
+//
+// Quick start:
+//
+//	t := tcr.NewTorus(8)
+//	m := tcr.Report(t, tcr.IVAL(), nil)
+//	fmt.Printf("IVAL: H=%.3fx minimal, worst case %.1f%% of capacity\n",
+//		m.HNorm, 100*m.WorstCaseFraction)
+package tcr
+
+import (
+	"tcr/internal/design"
+	"tcr/internal/eval"
+	"tcr/internal/routing"
+	"tcr/internal/sim"
+	"tcr/internal/topo"
+	"tcr/internal/traffic"
+)
+
+// Torus is a k-ary 2-cube topology (see internal/topo).
+type Torus = topo.Torus
+
+// NewTorus constructs a k-ary 2-cube.
+func NewTorus(k int) *Torus { return topo.NewTorus(k) }
+
+// Algorithm is a randomized oblivious routing algorithm: a probability
+// distribution over paths for every source-destination pair.
+type Algorithm = routing.Algorithm
+
+// DOR returns dimension-order routing (x first), Table 1.
+func DOR() Algorithm { return routing.DOR{} }
+
+// VAL returns Valiant's randomized algorithm, Table 1.
+func VAL() Algorithm { return routing.VAL{} }
+
+// IVAL returns the paper's improved Valiant algorithm (Section 5.2).
+func IVAL() Algorithm { return routing.IVAL{} }
+
+// ROMM returns two-phase randomized minimal routing, Table 1.
+func ROMM() Algorithm { return routing.ROMM{} }
+
+// RLB returns randomized local balance, Table 1.
+func RLB() Algorithm { return routing.RLB{} }
+
+// RLBth returns the thresholded RLB variant, Table 1.
+func RLBth() Algorithm { return routing.RLB{Threshold: true} }
+
+// O1TURN returns minimal routing with random dimension order (a post-paper
+// algorithm included as an extra minimal baseline).
+func O1TURN() Algorithm { return routing.O1TURN{} }
+
+// GOALish returns the oblivious GOAL-style quadrant-staircase algorithm
+// used for the Section 5.5 adaptive-routing comparison.
+func GOALish() Algorithm { return routing.GOALish{} }
+
+// Interpolate mixes two algorithms: route with a with probability alpha,
+// otherwise with b (Section 5.3).
+func Interpolate(a, b Algorithm, alpha float64) Algorithm {
+	return routing.Interpolated{A: a, B: b, Alpha: alpha}
+}
+
+// Flow is the channel-load fingerprint of an algorithm, from which all
+// throughput metrics derive.
+type Flow = eval.Flow
+
+// Evaluate computes an algorithm's flow table on a torus.
+func Evaluate(t *Torus, alg Algorithm) *Flow { return eval.FromAlgorithm(t, alg) }
+
+// NetworkCapacity returns the torus's ideal uniform-traffic throughput, the
+// normalizer for all throughput fractions.
+func NetworkCapacity(t *Torus) float64 { return eval.NetworkCapacity(t) }
+
+// Traffic is a (doubly-stochastic) traffic pattern.
+type Traffic = traffic.Matrix
+
+// UniformTraffic, TornadoTraffic and TransposeTraffic are standard patterns.
+func UniformTraffic(t *Torus) *Traffic   { return traffic.Uniform(t.N) }
+func TornadoTraffic(t *Torus) *Traffic   { return traffic.Tornado(t) }
+func TransposeTraffic(t *Torus) *Traffic { return traffic.Transpose(t) }
+
+// SampleTraffic draws count random doubly-stochastic matrices (the set X of
+// the average-case cost function) with a fixed seed.
+func SampleTraffic(t *Torus, count int, seed int64) []*Traffic {
+	return traffic.Sample(t.N, count, seed)
+}
+
+// Metrics summarizes an algorithm on a topology in the paper's units.
+type Metrics struct {
+	// HAvg is the average path length in hops over all pairs; HNorm is
+	// normalized to the mean minimal path length (1.0 = minimal).
+	HAvg, HNorm float64
+	// Capacity is this algorithm's uniform-traffic throughput as an
+	// injection fraction; CapacityFraction normalizes by the network's
+	// ideal capacity.
+	Capacity, CapacityFraction float64
+	// GammaWC is the exact worst-case channel load; WorstCaseFraction is
+	// the worst-case throughput as a fraction of network capacity (the
+	// horizontal axis of Figure 1).
+	GammaWC, WorstCaseFraction float64
+	// AvgCaseFraction is the approximate average-case throughput as a
+	// fraction of capacity (Figure 6's axis); zero when no sample given.
+	AvgCaseFraction float64
+}
+
+// Report evaluates the paper's metrics for an algorithm; samples may be nil
+// to skip the average case.
+func Report(t *Torus, alg Algorithm, samples []*Traffic) Metrics {
+	f := Evaluate(t, alg)
+	cap := NetworkCapacity(t)
+	gw, _ := f.WorstCase()
+	m := Metrics{
+		HAvg:              f.HAvg(),
+		HNorm:             f.HNorm(),
+		Capacity:          f.Capacity(),
+		CapacityFraction:  f.Capacity() / cap,
+		GammaWC:           gw,
+		WorstCaseFraction: (1 / gw) / cap,
+	}
+	if len(samples) > 0 {
+		m.AvgCaseFraction = f.AvgCase(samples).ApproxThroughput / cap
+	}
+	return m
+}
+
+// DesignOptions tunes the LP-based designers; the zero value is sensible.
+type DesignOptions = design.Options
+
+// ParetoPoint is one sample of an optimal tradeoff curve.
+type ParetoPoint = design.ParetoPoint
+
+// DesignResult is the outcome of a flow-based design problem.
+type DesignResult = design.Result
+
+// PathDesignResult is the outcome of a path-based design (2TURN, 2TURNA),
+// including an executable routing table.
+type PathDesignResult = design.PathResult
+
+// WorstCaseOptimal designs the maximum-worst-case-throughput routing
+// function (the right end of Figure 1's Pareto curve).
+func WorstCaseOptimal(t *Torus, opts DesignOptions) (*DesignResult, error) {
+	return design.WorstCaseOptimal(t, opts)
+}
+
+// WorstCaseParetoCurve computes Figure 1's optimal tradeoff curve: best
+// worst-case throughput at each normalized locality bound.
+func WorstCaseParetoCurve(t *Torus, hNorms []float64, opts DesignOptions) ([]ParetoPoint, error) {
+	return design.WorstCaseParetoCurve(t, hNorms, opts)
+}
+
+// OptimalLocalityAtMaxWorstCase finds the best locality achievable at
+// maximum worst-case throughput (Figure 4's "optimal" series).
+func OptimalLocalityAtMaxWorstCase(t *Torus, opts DesignOptions) (*DesignResult, error) {
+	return design.MinLocalityAtWorstCase(t, 1e-6, opts)
+}
+
+// Design2Turn constructs the 2TURN algorithm (Section 5.2).
+func Design2Turn(t *Torus, opts DesignOptions) (*PathDesignResult, error) {
+	return design.DesignTwoTurn(t, 1e-6, opts)
+}
+
+// Design2TurnA constructs the 2TURNA algorithm (Section 5.4) over a traffic
+// sample.
+func Design2TurnA(t *Torus, samples []*Traffic, opts DesignOptions) (*PathDesignResult, error) {
+	return design.DesignTwoTurnAvg(t, samples, 1e-6, opts)
+}
+
+// AvgCaseOptimal designs for maximum (approximate) average-case throughput
+// over the sample.
+func AvgCaseOptimal(t *Torus, samples []*Traffic, opts DesignOptions) (*DesignResult, error) {
+	return design.AvgCaseOptimal(t, samples, opts)
+}
+
+// AvgCaseParetoCurve computes Figure 6's optimal tradeoff curve.
+func AvgCaseParetoCurve(t *Torus, samples []*Traffic, hNorms []float64, opts DesignOptions) ([]ParetoPoint, error) {
+	return design.AvgCaseParetoCurve(t, samples, hNorms, opts)
+}
+
+// TableFromFlow recovers an executable routing algorithm from a designed
+// flow table by path decomposition.
+func TableFromFlow(f *Flow, label string) (Algorithm, error) {
+	return design.DecomposeFlow(f, label)
+}
+
+// SimConfig parameterizes the flit-level simulator.
+type SimConfig = sim.Config
+
+// SimStats is a simulation measurement.
+type SimStats = sim.Stats
+
+// Simulate runs warmup then a measurement window and returns the stats.
+func Simulate(cfg SimConfig, warmup, measure int) SimStats {
+	s := sim.New(cfg)
+	s.Run(warmup)
+	s.StartMeasurement()
+	s.Run(measure)
+	return s.Stats()
+}
+
+// SaturationResult is a simulated load sweep's outcome.
+type SaturationResult = sim.SaturationResult
+
+// FindSaturation sweeps offered load and reports the accepted-throughput
+// plateau (the simulated saturation point).
+func FindSaturation(cfg SimConfig, rates []float64, warmup, measure int) SaturationResult {
+	return sim.FindSaturation(cfg, rates, warmup, measure)
+}

@@ -1,0 +1,115 @@
+package tcr
+
+import (
+	"math"
+	"testing"
+)
+
+// The facade tests exercise the public API end to end at small radices; the
+// heavy numerical verification lives in the internal packages' suites.
+
+func TestReportKnownValues(t *testing.T) {
+	tor := NewTorus(8)
+	val := Report(tor, VAL(), nil)
+	if math.Abs(val.HNorm-2.0) > 1e-9 {
+		t.Fatalf("VAL HNorm = %v", val.HNorm)
+	}
+	if math.Abs(val.WorstCaseFraction-0.5) > 1e-6 {
+		t.Fatalf("VAL worst-case fraction = %v", val.WorstCaseFraction)
+	}
+	ival := Report(tor, IVAL(), nil)
+	if math.Abs(ival.WorstCaseFraction-0.5) > 1e-6 {
+		t.Fatalf("IVAL worst-case fraction = %v", ival.WorstCaseFraction)
+	}
+	// The paper's 19.3% locality recovery.
+	if rec := (val.HAvg - ival.HAvg) / val.HAvg; math.Abs(rec-0.193) > 0.005 {
+		t.Fatalf("IVAL recovery %v, want ~0.193", rec)
+	}
+	dor := Report(tor, DOR(), nil)
+	if dor.HNorm != 1 || dor.CapacityFraction != 1 {
+		t.Fatalf("DOR metrics off: %+v", dor)
+	}
+}
+
+func TestReportWithSamples(t *testing.T) {
+	tor := NewTorus(5)
+	samples := SampleTraffic(tor, 10, 3)
+	m := Report(tor, VAL(), samples)
+	// VAL's average case is its worst case: 0.5 of capacity.
+	if math.Abs(m.AvgCaseFraction-0.5) > 0.02 {
+		t.Fatalf("VAL avg-case fraction = %v, want ~0.5", m.AvgCaseFraction)
+	}
+}
+
+func TestDesignAndUseTable(t *testing.T) {
+	tor := NewTorus(3)
+	res, err := Design2Turn(tor, DesignOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Report(tor, res.Table, nil)
+	if math.Abs(m.WorstCaseFraction-0.5) > 1e-4 {
+		t.Fatalf("2TURN worst case %v, want 0.5", m.WorstCaseFraction)
+	}
+	// The designed table simulates without deadlock.
+	st := Simulate(SimConfig{K: 3, Rate: 0.6, Seed: 2, Alg: res.Table}, 500, 2000)
+	if st.Deadlocked || st.PacketsEjected == 0 {
+		t.Fatalf("2TURN simulation broken: %+v", st)
+	}
+}
+
+func TestTableFromFlowRoundTrip(t *testing.T) {
+	tor := NewTorus(3)
+	res, err := WorstCaseOptimal(tor, DesignOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := TableFromFlow(res.Flow, "wc-opt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Report(tor, alg, nil)
+	if m.WorstCaseFraction < 0.5-1e-4 {
+		t.Fatalf("decomposed algorithm worst case %v below optimal", m.WorstCaseFraction)
+	}
+}
+
+func TestParetoEndpoints(t *testing.T) {
+	tor := NewTorus(3)
+	pts, err := WorstCaseParetoCurve(tor, []float64{1.0, 2.0}, DesignOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dor := Report(tor, DOR(), nil)
+	if pts[0].Theta < dor.WorstCaseFraction-1e-6 {
+		t.Fatalf("minimal-locality optimum %v below DOR %v", pts[0].Theta, dor.WorstCaseFraction)
+	}
+	if math.Abs(pts[1].Theta-0.5) > 1e-4 {
+		t.Fatalf("unconstrained optimum %v, want 0.5", pts[1].Theta)
+	}
+}
+
+func TestFindSaturation(t *testing.T) {
+	res := FindSaturation(SimConfig{K: 4, Seed: 4, Alg: DOR(), VCsPerClass: 2},
+		[]float64{0.3, 0.8}, 300, 1500)
+	if res.Deadlocked || res.Throughput <= 0 {
+		t.Fatalf("saturation sweep broken: %+v", res)
+	}
+}
+
+func TestExtraAlgorithms(t *testing.T) {
+	tor := NewTorus(6)
+	o1 := Report(tor, O1TURN(), nil)
+	if math.Abs(o1.HNorm-1) > 1e-9 {
+		t.Fatalf("O1TURN not minimal: %v", o1.HNorm)
+	}
+	dor := Report(tor, DOR(), nil)
+	if o1.WorstCaseFraction < dor.WorstCaseFraction-1e-9 {
+		t.Fatalf("O1TURN wc %v should be >= DOR's %v", o1.WorstCaseFraction, dor.WorstCaseFraction)
+	}
+	goal := Report(tor, GOALish(), nil)
+	rlb := Report(tor, RLB(), nil)
+	if math.Abs(goal.HNorm-rlb.HNorm) > 1e-9 {
+		t.Fatalf("GOALish locality %v != RLB %v", goal.HNorm, rlb.HNorm)
+	}
+}
