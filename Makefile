@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test race lint fuzz ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short -timeout 30m ./...
+
+lint:
+	$(GO) run ./cmd/tcrlint ./...
+
+fuzz:
+	$(GO) test ./internal/lp -run='^$$' -fuzz=FuzzReadMPS -fuzztime=5s
+	$(GO) test ./internal/matching -run='^$$' -fuzz=FuzzHungarian -fuzztime=5s
+
+# ci is the full verification gate: build, vet, the repo's own static
+# analyzer, race-enabled tests, and a short fuzz smoke.
+ci:
+	sh scripts/check.sh

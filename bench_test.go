@@ -144,7 +144,10 @@ func BenchmarkWorstCaseOracle(b *testing.B) {
 // BenchmarkSimulator measures flit-level simulation throughput (cycles of an
 // 8-ary 2-cube under IVAL at moderate load).
 func BenchmarkSimulator(b *testing.B) {
-	s := sim.New(sim.Config{K: 8, Rate: 0.5, Seed: 1, Alg: routing.IVAL{}})
+	s, err := sim.New(sim.Config{K: 8, Rate: 0.5, Seed: 1, Alg: routing.IVAL{}})
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Run(100)

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// everything fn printed. The subcommands write their tabular output to
+// stdout, so this is how the golden tests observe them.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan []byte)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- b
+	}()
+	ferr := fn()
+	if cerr := w.Close(); cerr != nil {
+		t.Error(cerr)
+	}
+	os.Stdout = old
+	out := <-done
+	if ferr != nil {
+		t.Fatalf("subcommand failed: %v", ferr)
+	}
+	return string(out)
+}
+
+// checkGolden compares got against testdata/<name> and rewrites the file
+// when the -update flag is set.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test ./cmd/tcr -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestEvalGolden pins the closed-form metrics table for a 4-ary 2-cube.
+// samples=0 skips the randomized average-case column, so the output is
+// fully deterministic.
+func TestEvalGolden(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdEval([]string{"-k", "4", "-samples", "0"})
+	})
+	checkGolden(t, "eval_k4.golden", out)
+}
+
+// TestLoadmapGolden pins the ASCII channel-load heat map for DOR under
+// tornado traffic on a 4-ary 2-cube.
+func TestLoadmapGolden(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdLoadMap([]string{"-k", "4", "-alg", "DOR", "-pattern", "tornado"})
+	})
+	checkGolden(t, "loadmap_k4_dor_tornado.golden", out)
+}
+
+// TestWorstPermGolden pins the adversarial-permutation report for DOR.
+// The Hungarian oracle is deterministic on a fixed load matrix, so both
+// the header and the permutation rows must stay byte-identical.
+func TestWorstPermGolden(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdWorstPerm([]string{"-k", "4", "-alg", "DOR"})
+	})
+	checkGolden(t, "worstperm_k4_dor.golden", out)
+}
+
+// TestSubcommandBadFlags checks that flag-level validation surfaces as
+// errors rather than panics.
+func TestSubcommandBadFlags(t *testing.T) {
+	if err := cmdEval([]string{"-k", "1", "-samples", "0"}); err == nil {
+		t.Error("eval accepted radix 1")
+	}
+	if err := cmdLoadMap([]string{"-k", "4", "-alg", "nope"}); err == nil {
+		t.Error("loadmap accepted an unknown algorithm")
+	}
+	if err := cmdLoadMap([]string{"-k", "3", "-pattern", "bitrev"}); err == nil {
+		t.Error("loadmap accepted bitrev on a non-power-of-two node count")
+	}
+}

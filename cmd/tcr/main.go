@@ -23,7 +23,6 @@ import (
 	"tcr"
 	"tcr/internal/eval"
 	"tcr/internal/sim"
-	"tcr/internal/topo"
 	"tcr/internal/traffic"
 )
 
@@ -70,6 +69,15 @@ func usage() {
 run "tcr <subcommand> -h" for flags`)
 }
 
+// newTorus validates a flag-supplied radix before constructing the
+// topology, so bad CLI input surfaces as an error instead of a panic.
+func newTorus(k int) (*tcr.Torus, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("radix %d out of range (need k >= 2)", k)
+	}
+	return tcr.NewTorus(k), nil
+}
+
 // closedForms returns the paper's Table 1 algorithms plus IVAL.
 func closedForms() []tcr.Algorithm {
 	return []tcr.Algorithm{
@@ -82,9 +90,14 @@ func cmdEval(args []string) error {
 	k := fs.Int("k", 8, "torus radix")
 	nSamples := fs.Int("samples", 100, "average-case sample count (0 to skip)")
 	seed := fs.Int64("seed", 1, "sample seed")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
-	t := tcr.NewTorus(*k)
+	t, err := newTorus(*k)
+	if err != nil {
+		return err
+	}
 	var samples []*tcr.Traffic
 	if *nSamples > 0 {
 		samples = tcr.SampleTraffic(t, *nSamples, *seed)
@@ -104,9 +117,14 @@ func cmdFigure1(args []string) error {
 	k := fs.Int("k", 6, "torus radix (k=8 reproduces the paper but needs hours of LP time)")
 	points := fs.Int("points", 11, "Pareto sweep points")
 	with2turn := fs.Bool("with2turn", false, "also design and plot the 2TURN point (slow)")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
-	t := tcr.NewTorus(*k)
+	t, err := newTorus(*k)
+	if err != nil {
+		return err
+	}
 	fmt.Println("# optimal tradeoff curve: best worst-case throughput at locality <= L")
 	fmt.Println("Lnorm\twc_frac_optimal")
 	hs := sweep(1.0, 2.0, *points)
@@ -138,12 +156,17 @@ func cmdFigure4(args []string) error {
 	fs := flag.NewFlagSet("figure4", flag.ExitOnError)
 	kmin := fs.Int("kmin", 3, "smallest radix")
 	kmax := fs.Int("kmax", 5, "largest radix (>=6 needs minutes per radix)")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	fmt.Println("# locality (normalized) at maximum worst-case throughput")
 	fmt.Println("k\toptimal\tIVAL\t2TURN")
 	for k := *kmin; k <= *kmax; k++ {
-		t := tcr.NewTorus(k)
+		t, err := newTorus(k)
+		if err != nil {
+			return err
+		}
 		opt, err := tcr.OptimalLocalityAtMaxWorstCase(t, tcr.DesignOptions{})
 		if err != nil {
 			return fmt.Errorf("k=%d optimal: %w", k, err)
@@ -163,9 +186,14 @@ func cmdFigure5(args []string) error {
 	k := fs.Int("k", 8, "torus radix")
 	points := fs.Int("points", 11, "alpha sweep points")
 	with2turn := fs.Bool("with2turn", false, "also interpolate DOR<->2TURN (requires the slow LP design)")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
-	t := tcr.NewTorus(*k)
+	t, err := newTorus(*k)
+	if err != nil {
+		return err
+	}
 	var ttAlg tcr.Algorithm
 	if *with2turn {
 		tt, err := tcr.Design2Turn(t, tcr.DesignOptions{})
@@ -201,9 +229,14 @@ func cmdFigure6(args []string) error {
 	seed := fs.Int64("seed", 1, "sample seed")
 	points := fs.Int("points", 9, "Pareto sweep points")
 	with2turn := fs.Bool("with2turn", true, "design and plot 2TURN/2TURNA points")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
-	t := tcr.NewTorus(*k)
+	t, err := newTorus(*k)
+	if err != nil {
+		return err
+	}
 	samples := tcr.SampleTraffic(t, *nSamples, *seed)
 
 	fmt.Println("# optimal tradeoff: best avg-case throughput (approx) at locality <= L")
@@ -244,9 +277,14 @@ func cmdApprox(args []string) error {
 	k := fs.Int("k", 8, "torus radix")
 	nSamples := fs.Int("samples", 100, "sample count")
 	seed := fs.Int64("seed", 1, "sample seed")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
-	t := tcr.NewTorus(*k)
+	t, err := newTorus(*k)
+	if err != nil {
+		return err
+	}
 	samples := tcr.SampleTraffic(t, *nSamples, *seed)
 	fmt.Printf("# Section 3.3 approximation check, |X|=%d, N=%d\n", *nSamples, t.N)
 	fmt.Println("alg\tapprox_thpt\texact_mean_thpt\trel_err_pct")
@@ -271,9 +309,14 @@ func cmdSim(args []string) error {
 	vcs := fs.Int("vcs", 2, "virtual channels per deadlock class")
 	buf := fs.Int("buf", 8, "flit buffer depth per VC")
 	seed := fs.Int64("seed", 1, "rng seed")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
-	t := topo.NewTorus(*k)
+	t, err := newTorus(*k)
+	if err != nil {
+		return err
+	}
 	alg, ok := algByName(*algName)
 	if !ok {
 		return fmt.Errorf("unknown algorithm %q", *algName)
@@ -294,14 +337,17 @@ func cmdSim(args []string) error {
 	fmt.Println("rate\tthroughput\tavg_latency\tfrac_of_ideal\tdeadlock")
 
 	rates := []float64{*rate}
-	if *rate == 0 {
+	if *rate <= 0 {
 		rates = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
 	}
 	for _, r := range rates {
-		st := tcr.Simulate(sim.Config{
+		st, err := tcr.Simulate(sim.Config{
 			K: *k, Rate: r, Seed: *seed, Alg: alg, Pattern: pat,
 			VCsPerClass: *vcs, BufDepth: *buf,
 		}, *warmup, *measure)
+		if err != nil {
+			return err
+		}
 		fmt.Printf("%.2f\t%.4f\t%.1f\t%.3f\t%v\n",
 			r, st.Throughput, st.AvgLatency, st.Throughput/ideal, st.Deadlocked)
 	}

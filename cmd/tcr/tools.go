@@ -38,13 +38,18 @@ func cmdWorstPerm(args []string) error {
 	fs := flag.NewFlagSet("worstperm", flag.ExitOnError)
 	k := fs.Int("k", 8, "torus radix")
 	algName := fs.String("alg", "DOR", "algorithm name")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	alg, ok := algByName(*algName)
 	if !ok {
 		return fmt.Errorf("unknown algorithm %q", *algName)
 	}
-	t := topo.NewTorus(*k)
+	t, err := newTorus(*k)
+	if err != nil {
+		return err
+	}
 	f := eval.FromAlgorithm(t, alg)
 	gamma, perm := f.WorstCase()
 	fmt.Printf("# worst-case channel load for %s on %d-ary 2-cube: %.4f (throughput %.4f of capacity)\n",
@@ -65,9 +70,14 @@ func cmdDesign(args []string) error {
 	nSamples := fs.Int("samples", 50, "sample count for 2turna")
 	seed := fs.Int64("seed", 1, "sample seed")
 	out := fs.String("o", "", "output JSON path (default stdout)")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
-	t := tcr.NewTorus(*k)
+	t, err := newTorus(*k)
+	if err != nil {
+		return err
+	}
 	var tbl *routing.Table
 	switch *kind {
 	case "2turn":
@@ -86,7 +96,8 @@ func cmdDesign(args []string) error {
 		tbl = res.Table
 		fmt.Fprintf(os.Stderr, "2TURNA: H=%.4f mean-max-load=%.4f\n", res.HNorm, res.Objective)
 	case "wcopt":
-		res, err := design.MinLocalityAtWorstCase(t, 1e-6, design.Options{})
+		// Slack 0 selects the design package's default stage-2 slack.
+		res, err := design.MinLocalityAtWorstCase(t, 0, design.Options{})
 		if err != nil {
 			return err
 		}
@@ -100,16 +111,19 @@ func cmdDesign(args []string) error {
 		return fmt.Errorf("unknown design kind %q", *kind)
 	}
 
-	w := os.Stdout
-	if *out != "" {
-		file, err := os.Create(*out)
-		if err != nil {
-			return err
-		}
-		defer file.Close()
-		w = file
+	if *out == "" {
+		return tbl.WriteJSON(os.Stdout, t)
 	}
-	return tbl.WriteJSON(w, t)
+	file, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	werr := tbl.WriteJSON(file, t)
+	cerr := file.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
 }
 
 func cmdLoadMap(args []string) error {
@@ -117,13 +131,18 @@ func cmdLoadMap(args []string) error {
 	k := fs.Int("k", 8, "torus radix")
 	algName := fs.String("alg", "DOR", "algorithm name")
 	pattern := fs.String("pattern", "tornado", "uniform|tornado|transpose|complement|neighbor|bitrev|shuffle")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	alg, ok := algByName(*algName)
 	if !ok {
 		return fmt.Errorf("unknown algorithm %q", *algName)
 	}
-	t := topo.NewTorus(*k)
+	t, err := newTorus(*k)
+	if err != nil {
+		return err
+	}
 	lam, ok := traffic.Named(t, *pattern)
 	if !ok {
 		return fmt.Errorf("pattern %q unavailable on k=%d", *pattern, *k)

@@ -1,0 +1,86 @@
+// Command tcrlint runs this repository's static-analysis pass (see
+// internal/lint) over the module's packages and reports diagnostics in the
+// conventional file:line:col form.
+//
+// Usage:
+//
+//	tcrlint [-rules floatcmp,errdrop,...] [pattern ...]
+//
+// Patterns are directories relative to the module root; a trailing /...
+// recurses. The default is ./... (the whole module). Exit status is 0 when
+// clean, 1 when there are findings, and 2 on usage or load errors. Findings
+// are suppressed in source with:
+//
+//	//lint:ignore <rule>[,<rule>...] <reason>
+//
+// either trailing the offending line or alone on the line above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tcr/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("tcrlint", flag.ContinueOnError)
+	rules := fs.String("rules", "", "comma-separated rule subset (default: all)")
+	list := fs.Bool("list", false, "list the registered rules and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	var names []string
+	if *rules != "" {
+		names = strings.Split(*rules, ",")
+	}
+	analyzers, err := lint.ByName(names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tcrlint:", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tcrlint:", err)
+		return 2
+	}
+	root, modPath, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tcrlint:", err)
+		return 2
+	}
+	pkgs, err := lint.NewLoader(root, modPath).Load(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tcrlint:", err)
+		return 2
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "tcrlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

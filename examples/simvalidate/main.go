@@ -7,6 +7,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"tcr"
 )
@@ -34,10 +35,14 @@ func main() {
 		if ideal > 1 {
 			ideal = 1 // injection bandwidth binds first
 		}
-		st := tcr.Simulate(tcr.SimConfig{
+		st, err := tcr.Simulate(tcr.SimConfig{
 			K: 8, Rate: 1.0, Seed: 7, Alg: c.alg, Pattern: c.pattern,
 			VCsPerClass: 3, BufDepth: 8,
 		}, 3000, 10000)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		fmt.Printf("%-14s %9.3f  %9.3f  %7.1f%%  deadlock=%v\n",
 			c.name, ideal, st.Throughput, 100*st.Throughput/ideal, st.Deadlocked)
 	}

@@ -28,7 +28,7 @@ func DecomposeFlow(f *eval.Flow, label string) (*routing.Table, error) {
 		copy(x, f.X[rel])
 		var ws []paths.Weighted
 		extracted := 0.0
-		for iter := 0; extracted < 1-1e-7; iter++ {
+		for iter := 0; extracted < 1-decompCoverTol; iter++ {
 			if iter > 16*t.C {
 				return nil, fmt.Errorf("design: decomposition stuck for destination %d (extracted %v)", rel, extracted)
 			}

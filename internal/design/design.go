@@ -59,6 +59,24 @@ const (
 	FoldTranslation
 )
 
+// Numerical tolerances shared across the design LPs.
+const (
+	// defaultTol is the relative convergence tolerance used when
+	// Options.Tol is unset: the oracle certifies optimality once no
+	// permutation load exceeds the LP bound by more than this fraction.
+	defaultTol = 1e-6
+	// defaultSlack is the stage-2 slack applied to the optimal
+	// worst-case load in the lexicographic designs when the caller
+	// passes slack <= 0; it keeps the stage-2 LP strictly feasible.
+	defaultSlack = 1e-6
+	// pathProbFloor drops path probabilities below LP tolerance dust
+	// when converting a solution into a routing table.
+	pathProbFloor = 1e-12
+	// decompCoverTol terminates flow decomposition once this little
+	// source flow remains unextracted.
+	decompCoverTol = 1e-7
+)
+
 // Cuts selects the constraint-generation strategy for worst-case problems.
 type Cuts int
 
@@ -97,7 +115,7 @@ func (o Options) tol() float64 {
 	if o.Tol > 0 {
 		return o.Tol
 	}
-	return 1e-6
+	return defaultTol
 }
 
 // commodity is one folded flow commodity.
@@ -256,6 +274,7 @@ func (p *FlowLP) pairLoadVar(s, d int, c topo.Channel) lp.VarID {
 // hNorm (1 = minimal, 2 = twice minimal).
 func (p *FlowLP) SetLocality(hNorm float64) {
 	if !p.hasH {
+		//lint:ignore libpanic caller bug, not a data condition: every in-package caller builds the LP with a locality row
 		panic("design: SetLocality on an LP built without a locality row")
 	}
 	p.solver.SetRHS(int(p.hRow), hNorm*float64(p.T.N)*p.T.MeanMinDist())
@@ -281,6 +300,7 @@ func (p *FlowLP) matrixCut(c topo.Channel, lam *traffic.Matrix, bound lp.VarID) 
 	for s := 0; s < p.T.N; s++ {
 		for d := 0; d < p.T.N; d++ {
 			l := lam.L[s][d]
+			//lint:ignore floatcmp sparsity skip: entries never written stay exactly 0
 			if l == 0 {
 				continue
 			}
@@ -355,7 +375,10 @@ func (p *FlowLP) solveWorstCase() (*Result, error) {
 		for dir := topo.Dir(0); dir < topo.NumDirs; dir++ {
 			c := p.T.Chan(0, dir)
 			mat := pairLoadMatrix(flow, c)
-			perm, g := matching.MaxWeightAssignment(mat)
+			perm, g, err := matching.MaxWeightAssignment(mat)
+			if err != nil {
+				return nil, err
+			}
 			if g > w+tol*math.Max(1, w) {
 				p.permCut(c, perm, p.wVar)
 				violated = true
@@ -482,7 +505,7 @@ func WorstCaseParetoCurve(t *topo.Torus, hNorms []float64, opts Options) ([]Pare
 // worst-case load within (1+slack) of w*.
 func MinLocalityAtWorstCase(t *topo.Torus, slack float64, opts Options) (*Result, error) {
 	if slack <= 0 {
-		slack = 1e-6
+		slack = defaultSlack
 	}
 	q := newPotentialLP(t, false, opts)
 	stage1, err := q.result(math.NaN())

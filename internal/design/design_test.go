@@ -134,6 +134,9 @@ func TestMinLocalityAtWorstCase(t *testing.T) {
 }
 
 func TestDesignTwoTurnK4MatchesOptimal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two-stage 2TURN path LP takes ~35s; skipped in -short (the race gate)")
+	}
 	// Section 5.2 / Figure 4: for k = 4 (and 6), 2TURN exactly matches the
 	// optimal locality at maximal worst-case throughput.
 	tor := topo.NewTorus(4)
@@ -221,6 +224,9 @@ func TestAvgCaseLocalityConstraintBinds(t *testing.T) {
 }
 
 func TestDesignTwoTurnAvg(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2TURNA + 2TURN path LPs take ~34s; skipped in -short (the race gate)")
+	}
 	tor := topo.NewTorus(4)
 	samples := traffic.Sample(tor.N, 8, 31)
 	res, err := DesignTwoTurnAvg(tor, samples, 1e-6, Options{})

@@ -123,6 +123,7 @@ func violatedPairs(n int, b *potBlock, x []float64, load [][]float64, tol float6
 		vs = append(vs, viol{idx, by})
 	}
 	sort.Slice(vs, func(i, j int) bool {
+		//lint:ignore floatcmp ordering comparator: exact != only decides whether to fall through to the index tiebreak
 		if vs[i].by != vs[j].by {
 			return vs[i].by > vs[j].by
 		}
@@ -225,7 +226,10 @@ func (q *potentialLP) solve(fixedBound float64) (*lp.Solution, *eval.Flow, int, 
 		loads := make([][][]float64, len(q.blocks))
 		for bi, b := range q.blocks {
 			loads[bi] = pairLoadMatrix(flow, b.ch)
-			_, g := matching.MaxWeightAssignment(loads[bi])
+			_, g, err := matching.MaxWeightAssignment(loads[bi])
+			if err != nil {
+				return nil, nil, 0, err
+			}
 			if g > limit {
 				certified = false
 			}
@@ -241,7 +245,10 @@ func (q *potentialLP) solve(fixedBound float64) (*lp.Solution, *eval.Flow, int, 
 			b := q.blocks[worstBlock]
 			// One aggregate permutation cut moves the bound immediately;
 			// the pair rows supply the matching-dual structure.
-			perm, _ := matching.MaxWeightAssignment(loads[worstBlock])
+			perm, _, err := matching.MaxWeightAssignment(loads[worstBlock])
+			if err != nil {
+				return nil, nil, 0, err
+			}
 			p.permCut(b.ch, perm, p.wVar)
 			for i, idx := range violatedPairs(p.T.N, b, sol.X, loads[worstBlock], tol) {
 				if i >= maxRowsPerBlockRound {

@@ -43,14 +43,16 @@ type PathLP struct {
 
 // NewPathLP enumerates the family and builds the base LP (distribution rows
 // per destination, objective min w or min mean(t) when samples are given).
-func NewPathLP(t *topo.Torus, family PathFamily, samples []*traffic.Matrix, withLocality bool, opts Options) *PathLP {
+// It fails if the family produces no path for some destination: the caller
+// supplies the family, so an empty one is a data condition, not a bug.
+func NewPathLP(t *topo.Torus, family PathFamily, samples []*traffic.Matrix, withLocality bool, opts Options) (*PathLP, error) {
 	p := &PathLP{T: t, opts: opts, samples: samples, hRow: -1}
 	words := (t.C + 63) / 64
 	m := lp.NewModel()
 	for rel := 1; rel < t.N; rel++ {
 		ps := family(t, 0, topo.Node(rel))
 		if len(ps) == 0 {
-			panic(fmt.Sprintf("design: empty path family for destination %d", rel))
+			return nil, fmt.Errorf("design: empty path family for destination %d", rel)
 		}
 		vars := make([]lp.VarID, len(ps))
 		bits := make([][]uint64, len(ps))
@@ -108,12 +110,13 @@ func NewPathLP(t *topo.Torus, family PathFamily, samples []*traffic.Matrix, with
 	// jitter would make the simplex chase a noise-optimal vertex across
 	// that face, so switch it off here.
 	p.solver.SetJitter(false)
-	return p
+	return p, nil
 }
 
 // SetLocality re-targets the locality row (normalized units).
 func (p *PathLP) SetLocality(hNorm float64) {
 	if !p.hasH {
+		//lint:ignore libpanic caller bug, not a data condition: every in-package caller builds the LP with a locality row
 		panic("design: SetLocality on a path LP built without a locality row")
 	}
 	p.solver.SetRHS(int(p.hRow), hNorm*float64(p.T.N)*p.T.MeanMinDist())
@@ -162,6 +165,7 @@ func (p *PathLP) matrixCut(c topo.Channel, lam *traffic.Matrix, bound lp.VarID) 
 		sx, sy := t.Coord(topo.Node(s))
 		tc := t.Chan(t.NodeAt(ux-sx, uy-sy), dir)
 		for d := 0; d < t.N; d++ {
+			//lint:ignore floatcmp sparsity skip: entries never written stay exactly 0
 			if s == d || lam.L[s][d] == 0 {
 				continue
 			}
@@ -186,7 +190,7 @@ func (p *PathLP) table(x []float64, label string) *routing.Table {
 		var ws []paths.Weighted
 		var sum float64
 		for i, v := range p.varOf[ri] {
-			if pr := x[v]; pr > 1e-12 {
+			if pr := x[v]; pr > pathProbFloor {
 				ws = append(ws, paths.Weighted{Path: p.pths[ri][i], Prob: pr})
 				sum += pr
 			}
@@ -205,6 +209,7 @@ func (p *PathLP) flowOf(x []float64) *eval.Flow {
 	for ri, rel := range p.rels {
 		for i, v := range p.varOf[ri] {
 			pr := x[v]
+			//lint:ignore floatcmp sparsity skip: nonbasic LP variables are exactly 0
 			if pr == 0 {
 				continue
 			}
@@ -281,7 +286,10 @@ func (p *PathLP) solveWC(fixedBound float64) (*lp.Solution, int, error) {
 		progressed := false
 		for _, b := range p.blocks {
 			load := pairLoadMatrix(flow, b.ch)
-			_, g := matching.MaxWeightAssignment(load)
+			_, g, err := matching.MaxWeightAssignment(load)
+			if err != nil {
+				return nil, 0, err
+			}
 			if g <= limit {
 				continue
 			}
@@ -315,9 +323,12 @@ func DesignTwoTurn(t *topo.Torus, slack float64, opts Options) (*PathResult, err
 // designPathWC is the two-stage (worst case, then locality) path design.
 func designPathWC(t *topo.Torus, family PathFamily, label string, slack float64, opts Options) (*PathResult, error) {
 	if slack <= 0 {
-		slack = 1e-6
+		slack = defaultSlack
 	}
-	p := NewPathLP(t, family, nil, false, opts)
+	p, err := NewPathLP(t, family, nil, false, opts)
+	if err != nil {
+		return nil, err
+	}
 	sol, rounds1, err := p.solveWC(math.NaN())
 	if err != nil {
 		return nil, err
@@ -354,9 +365,12 @@ func DesignMinimalAvg(t *topo.Torus, samples []*traffic.Matrix, slack float64, o
 
 func designPathAvg(t *topo.Torus, family PathFamily, label string, samples []*traffic.Matrix, slack float64, opts Options) (*PathResult, error) {
 	if slack <= 0 {
-		slack = 1e-6
+		slack = defaultSlack
 	}
-	p := NewPathLP(t, family, samples, false, opts)
+	p, err := NewPathLP(t, family, samples, false, opts)
+	if err != nil {
+		return nil, err
+	}
 	sol, rounds1, err := p.solveAvg(math.NaN())
 	if err != nil {
 		return nil, err

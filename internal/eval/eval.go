@@ -82,12 +82,14 @@ func (f *Flow) ChannelLoads(lambda *traffic.Matrix) []float64 {
 		row := lambda.L[s]
 		for d := 0; d < t.N; d++ {
 			l := row[d]
+			//lint:ignore floatcmp sparsity skip: entries never written stay exactly 0
 			if l == 0 {
 				continue
 			}
 			rx, ry := t.Rel(topo.Node(s), topo.Node(d))
 			x := f.X[t.NodeAt(rx, ry)]
 			for c := 0; c < t.C; c++ {
+				//lint:ignore floatcmp sparsity skip: channels a path never crosses stay exactly 0
 				if x[c] == 0 {
 					continue
 				}
@@ -167,12 +169,23 @@ func (f *Flow) WorstCase() (float64, []int) {
 	var worstPerm []int
 	for dir := topo.Dir(0); dir < topo.NumDirs; dir++ {
 		c := f.T.Chan(0, dir)
-		perm, w := matching.MaxWeightAssignment(f.pairLoadMatrix(c))
+		perm, w := mustMaxWeight(f.pairLoadMatrix(c))
 		if w > worst {
 			worst, worstPerm = w, perm
 		}
 	}
 	return worst, worstPerm
+}
+
+// mustMaxWeight runs the Hungarian oracle on a matrix the evaluator built
+// itself. pairLoadMatrix always produces a square N-by-N matrix, so a shape
+// error is an internal invariant violation, not a data condition.
+func mustMaxWeight(w [][]float64) ([]int, float64) {
+	perm, g, err := matching.MaxWeightAssignment(w)
+	if err != nil {
+		panic(err)
+	}
+	return perm, g
 }
 
 // WorstCaseThroughput returns Theta_wc(R) = 1/gamma_wc(R).

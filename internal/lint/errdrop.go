@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop flags dropped error results: calls whose error return is silently
+// discarded, either as a bare statement (incl. defer/go) or by assigning the
+// error to the blank identifier. Around a numerical core, a swallowed error
+// is how an infeasible LP or a truncated MPS file turns into a silently
+// wrong table. Writers that cannot fail (strings.Builder, bytes.Buffer) and
+// prints to the process's own stdout/stderr are exempt; everything else
+// needs handling or an explicit //lint:ignore errdrop with the reason.
+func ErrDrop() *Analyzer {
+	return &Analyzer{
+		Name: "errdrop",
+		Doc:  "flags ignored error returns, including _ = assignments",
+		Run:  runErrDrop,
+	}
+}
+
+// errExemptCallees never fail in practice, by documented contract.
+var errExemptCallees = map[string]bool{
+	"fmt.Print":   true,
+	"fmt.Printf":  true,
+	"fmt.Println": true,
+}
+
+// errExemptReceivers are types whose methods' error results are always nil
+// by documented contract.
+var errExemptReceivers = []string{
+	"(*strings.Builder).",
+	"(*bytes.Buffer).",
+	"(strings.Builder).",
+	"(bytes.Buffer).",
+}
+
+func runErrDrop(p *Package) []Diagnostic {
+	var out []Diagnostic
+	flagCall := func(call *ast.CallExpr, how string) {
+		if !callReturnsError(p, call) || callExempt(p, call) {
+			return
+		}
+		name := p.calleeFullName(call)
+		if name == "" {
+			name = "call"
+		}
+		out = append(out, Diagnostic{
+			Pos:  p.pos(call.Pos()),
+			Rule: "errdrop",
+			Msg:  how + " drops the error returned by " + name,
+		})
+	}
+	p.inspect(func(n ast.Node, enc *ast.FuncDecl) {
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				flagCall(call, "statement")
+			}
+		case *ast.DeferStmt:
+			flagCall(s.Call, "defer")
+		case *ast.GoStmt:
+			flagCall(s.Call, "go statement")
+		case *ast.AssignStmt:
+			out = append(out, blankErrAssigns(p, s)...)
+		}
+	})
+	return out
+}
+
+// blankErrAssigns reports error values assigned to the blank identifier.
+func blankErrAssigns(p *Package, s *ast.AssignStmt) []Diagnostic {
+	var out []Diagnostic
+	// Positional result types: single multi-value call or 1:1 assignment.
+	var resultType func(i int) types.Type
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+		if !ok || callExempt(p, call) {
+			return nil
+		}
+		tuple, ok := p.Info.TypeOf(call).(*types.Tuple)
+		if !ok || tuple.Len() != len(s.Lhs) {
+			return nil
+		}
+		resultType = func(i int) types.Type { return tuple.At(i).Type() }
+	} else if len(s.Rhs) == len(s.Lhs) {
+		resultType = func(i int) types.Type { return p.Info.TypeOf(s.Rhs[i]) }
+	} else {
+		return nil
+	}
+	for i, lhs := range s.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		t := resultType(i)
+		if t != nil && isErrorType(t) {
+			out = append(out, Diagnostic{
+				Pos:  p.pos(id.Pos()),
+				Rule: "errdrop",
+				Msg:  "error assigned to _ without an ignore annotation",
+			})
+		}
+	}
+	return out
+}
+
+// callReturnsError reports whether any result of the call is an error.
+func callReturnsError(p *Package, call *ast.CallExpr) bool {
+	switch t := p.Info.TypeOf(call).(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+	case nil:
+	default:
+		return isErrorType(t)
+	}
+	return false
+}
+
+// callExempt applies the allowlist: infallible writers and stdout prints.
+func callExempt(p *Package, call *ast.CallExpr) bool {
+	name := p.calleeFullName(call)
+	if name == "" {
+		return false
+	}
+	if errExemptCallees[name] {
+		return true
+	}
+	for _, prefix := range errExemptReceivers {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	// fmt.Fprint* is exempt only when the destination cannot fail or is the
+	// process's own stdout/stderr (whose write errors are not actionable).
+	if name == "fmt.Fprint" || name == "fmt.Fprintf" || name == "fmt.Fprintln" {
+		if len(call.Args) == 0 {
+			return false
+		}
+		return infallibleWriter(p, call.Args[0])
+	}
+	return false
+}
+
+// infallibleWriter recognizes os.Stdout, os.Stderr, and in-memory buffers.
+func infallibleWriter(p *Package, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if sel, ok := e.(*ast.SelectorExpr); ok {
+		if pkg, ok := sel.X.(*ast.Ident); ok {
+			if obj, ok := p.Info.Uses[pkg].(*types.PkgName); ok && obj.Imported().Path() == "os" {
+				if sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr" {
+					return true
+				}
+			}
+		}
+	}
+	switch p.Info.TypeOf(e).String() {
+	case "*strings.Builder", "*bytes.Buffer":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// toleranceHelper reports whether a function name marks an approved
+// tolerance-comparison helper, inside which raw float equality is the whole
+// point (the helper implements the tolerance).
+func toleranceHelper(name string) bool {
+	lower := strings.ToLower(name)
+	for _, frag := range []string{"approx", "almosteq", "withintol", "samefloat", "eqtol"} {
+		if strings.Contains(lower, frag) {
+			return true
+		}
+	}
+	return false
+}
+
+// FloatCmp flags == and != between floating-point operands. Exact float
+// equality is almost always a latent bug around an LP solver: two
+// mathematically equal quantities computed along different pivot sequences
+// differ in the last ulps, so exact comparisons silently flip branches.
+// Compare against a named tolerance instead, or suppress with a reason when
+// exactness is intended (bit-level sparsity checks, sentinel values).
+// Comparisons where both operands are compile-time constants are exempt, as
+// are approved tolerance helpers (names matching approx/almostEq/withinTol).
+func FloatCmp() *Analyzer {
+	return &Analyzer{
+		Name: "floatcmp",
+		Doc:  "flags ==/!= on floating-point operands outside tolerance helpers",
+		Run:  runFloatCmp,
+	}
+}
+
+func runFloatCmp(p *Package) []Diagnostic {
+	var out []Diagnostic
+	p.inspect(func(n ast.Node, enc *ast.FuncDecl) {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return
+		}
+		if enc != nil && toleranceHelper(enc.Name.Name) {
+			return
+		}
+		xt, yt := p.Info.Types[be.X], p.Info.Types[be.Y]
+		if xt.Type == nil || yt.Type == nil {
+			return
+		}
+		if !isFloat(xt.Type) && !isFloat(yt.Type) {
+			return
+		}
+		// A comparison folded at compile time cannot drift.
+		if xt.Value != nil && yt.Value != nil {
+			return
+		}
+		out = append(out, Diagnostic{
+			Pos:  p.pos(be.OpPos),
+			Rule: "floatcmp",
+			Msg:  "exact " + be.Op.String() + " on float operands; compare against a named tolerance",
+		})
+	})
+	return out
+}

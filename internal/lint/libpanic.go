@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LibPanic flags panic calls in library packages (tcr/internal/...). A panic
+// that escapes a library boundary takes down whatever harness embeds the
+// solver — in a long Pareto sweep or a future concurrent server, one bad
+// input must surface as an error, not kill the process. Panics are allowed
+// only inside designated invariant helpers (function names starting with
+// "must" or "assert"), whose callers have consciously opted into
+// crash-on-violated-invariant semantics.
+func LibPanic() *Analyzer {
+	return &Analyzer{
+		Name:  "libpanic",
+		Doc:   "flags panic in internal library code outside invariant helpers",
+		Match: func(path string) bool { return strings.Contains(path, "/internal/") },
+		Run:   runLibPanic,
+	}
+}
+
+// invariantHelper reports whether panics are sanctioned in this function.
+func invariantHelper(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.HasPrefix(lower, "must") || strings.HasPrefix(lower, "assert")
+}
+
+func runLibPanic(p *Package) []Diagnostic {
+	var out []Diagnostic
+	p.inspect(func(n ast.Node, enc *ast.FuncDecl) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "panic" {
+			return
+		}
+		// Only the predeclared panic, not a local function named panic.
+		if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); !isBuiltin {
+			return
+		}
+		if enc != nil && invariantHelper(enc.Name.Name) {
+			return
+		}
+		out = append(out, Diagnostic{
+			Pos:  p.pos(call.Pos()),
+			Rule: "libpanic",
+			Msg:  "panic in library code; return an error or move into a must*/assert* invariant helper",
+		})
+	})
+	return out
+}

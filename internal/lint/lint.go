@@ -1,0 +1,253 @@
+// Package lint is a from-scratch static-analysis engine for this repository,
+// built directly on the standard library's go/parser, go/ast and go/types
+// (no external analysis framework). It exists because the reproduction's
+// value rests on numerically exact LP vertex optima and matching-dual
+// certificates: silent numeric bugs — raw float equality, dropped error
+// returns, NaN propagation, library panics — are the highest-risk defect
+// class, and the analyzers here are tuned to exactly those hazards in the
+// LP/routing core.
+//
+// The engine loads packages (non-test files only; test code may use looser
+// idioms), type-checks them with a module-aware importer, and runs a
+// registry of Analyzers, each producing file:line diagnostics. A finding is
+// suppressed by an explicit annotation:
+//
+//	//lint:ignore <rule>[,<rule>...] <reason>
+//
+// placed either at the end of the offending line or alone on the line
+// directly above it. The reason is mandatory; a directive without one is
+// itself reported (rule "lintdir"). The driver lives in cmd/tcrlint.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is a single finding at a source position.
+type Diagnostic struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
+}
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path, e.g. "tcr/internal/lp"
+	Dir   string // directory the files were read from
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Analyzer is one named rule. Run inspects a package and returns raw
+// diagnostics; the engine applies suppression directives afterwards.
+type Analyzer struct {
+	// Name is the rule identifier used in reports and ignore directives.
+	Name string
+	// Doc is a one-line description of what the rule flags.
+	Doc string
+	// Match restricts the analyzer to packages whose import path satisfies
+	// it; nil means every package.
+	Match func(pkgPath string) bool
+	// Run produces the findings for one package.
+	Run func(p *Package) []Diagnostic
+}
+
+// Analyzers returns the full registry, in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		FloatCmp(),
+		ErrDrop(),
+		LibPanic(),
+		NaNGuard(),
+		TolConst(),
+	}
+}
+
+// ByName returns the named analyzers from the registry, erroring on unknown
+// names. An empty list selects everything.
+func ByName(names []string) ([]*Analyzer, error) {
+	all := Analyzers()
+	if len(names) == 0 {
+		return all, nil
+	}
+	byName := make(map[string]*Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		a, ok := byName[strings.TrimSpace(n)]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown rule %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run executes the analyzers over the packages, applies ignore directives,
+// and returns the surviving diagnostics sorted by position. Malformed
+// directives are reported under the rule "lintdir".
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, p := range pkgs {
+		sup, dirDiags := directives(p)
+		diags = append(diags, dirDiags...)
+		for _, a := range analyzers {
+			if a.Match != nil && !a.Match(p.Path) {
+				continue
+			}
+			for _, d := range a.Run(p) {
+				if !sup.covers(d) {
+					diags = append(diags, d)
+				}
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return diags
+}
+
+// suppressions maps file -> line -> set of suppressed rules. A directive on
+// line L covers findings on L (trailing comment) and on L+1 (directive on
+// its own line above the code).
+type suppressions map[string]map[int]map[string]bool
+
+func (s suppressions) covers(d Diagnostic) bool {
+	lines := s[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, ln := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		if rules := lines[ln]; rules != nil && (rules[d.Rule] || rules["all"]) {
+			return true
+		}
+	}
+	return false
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// directives scans the package's comments for lint:ignore annotations,
+// returning the suppression table and diagnostics for malformed directives.
+func directives(p *Package) (suppressions, []Diagnostic) {
+	sup := suppressions{}
+	var bad []Diagnostic
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:  pos,
+						Rule: "lintdir",
+						Msg:  "malformed directive: want //lint:ignore <rule>[,<rule>] <reason>",
+					})
+					continue
+				}
+				lines := sup[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					sup[pos.Filename] = lines
+				}
+				rules := lines[pos.Line]
+				if rules == nil {
+					rules = map[string]bool{}
+					lines[pos.Line] = rules
+				}
+				for _, r := range strings.Split(fields[0], ",") {
+					rules[r] = true
+				}
+			}
+		}
+	}
+	return sup, bad
+}
+
+// inspect walks every file of the package, invoking fn with each node and
+// the innermost enclosing function declaration (nil at package scope).
+func (p *Package) inspect(fn func(n ast.Node, enclosing *ast.FuncDecl)) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				ast.Inspect(d, func(n ast.Node) bool {
+					if n != nil {
+						fn(n, d)
+					}
+					return true
+				})
+			default:
+				ast.Inspect(d, func(n ast.Node) bool {
+					if n != nil {
+						fn(n, nil)
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+// pos converts a token.Pos to a position within the package.
+func (p *Package) pos(at token.Pos) token.Position { return p.Fset.Position(at) }
+
+// isFloat reports whether the type is a floating-point type (after
+// unwrapping named types); complex types are excluded.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0 && b.Info()&types.IsComplex == 0
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// calleeFullName resolves a call expression's callee to its qualified name:
+// "fmt.Fprintf", "(*os.File).Close", "strings.Builder.WriteByte" style
+// (types.Func.FullName), or "" when unresolvable (built-ins, func values).
+func (p *Package) calleeFullName(call *ast.CallExpr) string {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return ""
+	}
+	if fn, ok := p.Info.Uses[id].(*types.Func); ok {
+		return fn.FullName()
+	}
+	return ""
+}

@@ -1,0 +1,322 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// Fixtures are type-checked in-memory against a shared source importer so
+// the standard library is only compiled once for the whole test run.
+var (
+	fixFset     = token.NewFileSet()
+	fixImporter = importer.ForCompiler(fixFset, "source", nil)
+	fixCount    int
+)
+
+// checkFixture parses and type-checks one in-memory file as a package with
+// the given import path (the path drives the analyzers' Match functions).
+func checkFixture(t *testing.T, path, src string) *Package {
+	t.Helper()
+	fixCount++
+	name := fmt.Sprintf("fixture%d.go", fixCount)
+	f, err := parser.ParseFile(fixFset, name, src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: fixImporter}
+	tpkg, err := conf.Check(path, fixFset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type-check: %v", err)
+	}
+	return &Package{Path: path, Fset: fixFset, Files: []*ast.File{f}, Types: tpkg, Info: info}
+}
+
+// runOn lints one fixture with the full registry through the engine (so
+// Match scoping and ignore directives apply) and returns findings as
+// "line:rule" strings.
+func runOn(t *testing.T, path, src string) []string {
+	t.Helper()
+	p := checkFixture(t, path, src)
+	base := fixFset.File(p.Files[0].Pos()).LineStart(1)
+	_ = base
+	var out []string
+	for _, d := range Run([]*Package{p}, Analyzers()) {
+		out = append(out, fmt.Sprintf("%d:%s", d.Pos.Line, d.Rule))
+	}
+	return out
+}
+
+func expect(t *testing.T, got []string, want ...string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("findings = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("finding %d = %q, want %q (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestFloatCmp(t *testing.T) {
+	got := runOn(t, "x/fix", `package fix
+
+func eq(a, b float64) bool  { return a == b }
+func neq(a, b float64) bool { return a != b }
+func mixed(a float64, b int) bool { return a == float64(b) }
+func ints(a, b int) bool    { return a == b }
+func folded() bool          { return 1.5 == 3.0/2.0 }
+func approxEq(a, b float64) bool { return a == b }
+`)
+	expect(t, got, "3:floatcmp", "4:floatcmp", "5:floatcmp")
+}
+
+func TestFloatCmpSuppressed(t *testing.T) {
+	got := runOn(t, "x/fix", `package fix
+
+func trailing(a, b float64) bool {
+	return a == b //lint:ignore floatcmp exactness is the point here
+}
+
+func above(a, b float64) bool {
+	//lint:ignore floatcmp exactness is the point here
+	return a == b
+}
+
+func wildcard(a, b float64) bool {
+	return a == b //lint:ignore all fixture
+}
+`)
+	expect(t, got)
+}
+
+func TestErrDrop(t *testing.T) {
+	got := runOn(t, "x/fix", `package fix
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fail() error        { return nil }
+func pair() (int, error) { return 0, nil }
+
+func drops() {
+	fail()
+	defer fail()
+	go fail()
+	_ = fail()
+	_, _ = pair()
+	f, _ := os.Open("x")
+	_ = f
+}
+
+func exempt() {
+	fmt.Println("fine")
+	var sb strings.Builder
+	sb.WriteString("fine")
+	var buf bytes.Buffer
+	buf.WriteByte('x')
+	fmt.Fprintln(os.Stderr, "fine")
+	fmt.Fprintf(os.Stdout, "fine")
+	fmt.Fprintf(&sb, "fine")
+	fmt.Fprintf(&buf, "fine")
+	if n, err := pair(); err != nil {
+		_ = n
+	}
+}
+`)
+	expect(t, got, "14:errdrop", "15:errdrop", "16:errdrop", "17:errdrop", "18:errdrop", "19:errdrop")
+}
+
+func TestErrDropSuppressed(t *testing.T) {
+	got := runOn(t, "x/fix", `package fix
+
+func fail() error { return nil }
+
+func drops() {
+	fail() //lint:ignore errdrop fixture
+	//lint:ignore errdrop fixture
+	_ = fail()
+}
+`)
+	expect(t, got)
+}
+
+func TestLibPanic(t *testing.T) {
+	src := `package fix
+
+func bad(x int) {
+	if x < 0 {
+		panic("negative")
+	}
+}
+
+func mustPositive(x int) {
+	if x <= 0 {
+		panic("nonpositive")
+	}
+}
+
+func assertOK(ok bool) {
+	if !ok {
+		panic("violated")
+	}
+}
+`
+	// Inside internal/, the bare panic is flagged; the invariant helpers
+	// are not.
+	expect(t, runOn(t, "x/internal/fix", src), "5:libpanic")
+	// Outside internal/, the rule does not apply at all.
+	expect(t, runOn(t, "x/fix", src))
+}
+
+func TestLibPanicSuppressed(t *testing.T) {
+	got := runOn(t, "x/internal/fix", `package fix
+
+func bad(x int) {
+	if x < 0 {
+		//lint:ignore libpanic fixture invariant
+		panic("negative")
+	}
+}
+`)
+	expect(t, got)
+}
+
+func TestNaNGuard(t *testing.T) {
+	src := `package fix
+
+import "math"
+
+func unguarded(x, y float64) float64 {
+	return math.Sqrt(x) + 1/y
+}
+
+func guarded(x, y float64) float64 {
+	if x < 0 || y < 1e-1 {
+		return 0
+	}
+	return math.Sqrt(x) + 1/y
+}
+
+func constants() float64 {
+	return math.Sqrt(4) + 1/2.0
+}
+
+func intDiv(a, b int) int { return a / b }
+`
+	// Only the lp/matching paths are patrolled.
+	expect(t, runOn(t, "x/internal/lp", src), "6:nanguard", "6:nanguard")
+	expect(t, runOn(t, "x/internal/fix", src))
+}
+
+func TestNaNGuardSuppressed(t *testing.T) {
+	got := runOn(t, "x/internal/matching", `package fix
+
+func halve(g float64) float64 {
+	//lint:ignore nanguard g is nonzero by construction in this fixture
+	return 1 / g
+}
+`)
+	expect(t, got)
+}
+
+func TestTolConst(t *testing.T) {
+	got := runOn(t, "x/fix", `package fix
+
+const eps = 1e-9
+
+var inline = 1e-6
+var coefficient = 0.5
+var zero = 0.0
+
+func f(v float64) bool {
+	return v < 1e-7
+}
+
+func g() float64 {
+	const local = 1e-8
+	return local
+}
+`)
+	expect(t, got, "5:tolconst", "10:tolconst")
+}
+
+func TestTolConstSuppressed(t *testing.T) {
+	got := runOn(t, "x/fix", `package fix
+
+var inline = 1e-6 //lint:ignore tolconst fixture
+`)
+	expect(t, got)
+}
+
+func TestMalformedDirective(t *testing.T) {
+	got := runOn(t, "x/fix", `package fix
+
+//lint:ignore floatcmp
+func f() {}
+`)
+	expect(t, got, "3:lintdir")
+}
+
+func TestDirectiveDoesNotReachTwoLinesDown(t *testing.T) {
+	got := runOn(t, "x/fix", `package fix
+
+func eq(a, b float64) bool {
+	//lint:ignore floatcmp fixture
+
+	return a == b
+}
+`)
+	expect(t, got, "6:floatcmp")
+}
+
+func TestByName(t *testing.T) {
+	all, err := ByName(nil)
+	if err != nil || len(all) != len(Analyzers()) {
+		t.Fatalf("empty selection: %v, %d analyzers", err, len(all))
+	}
+	sel, err := ByName([]string{"floatcmp", " errdrop"})
+	if err != nil || len(sel) != 2 || sel[0].Name != "floatcmp" || sel[1].Name != "errdrop" {
+		t.Fatalf("subset selection broken: %v %v", sel, err)
+	}
+	if _, err := ByName([]string{"nosuchrule"}); err == nil {
+		t.Fatal("unknown rule accepted")
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Pos:  token.Position{Filename: "a/b.go", Line: 3, Column: 7},
+		Rule: "floatcmp",
+		Msg:  "boom",
+	}
+	if s := d.String(); s != "a/b.go:3:7: floatcmp: boom" {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestFindModuleRoot(t *testing.T) {
+	root, modPath, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if modPath != "tcr" {
+		t.Fatalf("module path = %q, want tcr", modPath)
+	}
+	if root == "" {
+		t.Fatal("empty module root")
+	}
+	if _, _, err := FindModuleRoot(t.TempDir()); err == nil {
+		t.Fatal("found a module root in an empty temp dir")
+	}
+}

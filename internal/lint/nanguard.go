@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// NaNGuard patrols the numerical hot paths (the LP solver and the matching
+// oracles) for operations that can mint a NaN or Inf from unvalidated data:
+// math.Sqrt/math.Log on arbitrary arguments and division by a bare variable.
+// A NaN born deep inside a pivot loop propagates through every subsequent
+// basis update and surfaces as a plausible-looking wrong optimum, so the
+// rule demands that the operand be *guarded*: mentioned in some comparison
+// in the enclosing function (a domain or tolerance check), or a compile-time
+// constant. Unavoidable cases (a divisor that is ±1 by construction) carry
+// a //lint:ignore nanguard annotation stating the invariant.
+func NaNGuard() *Analyzer {
+	return &Analyzer{
+		Name: "nanguard",
+		Doc:  "flags sqrt/log/division on unguarded operands in LP & matching hot paths",
+		Match: func(path string) bool {
+			return strings.HasSuffix(path, "/internal/lp") || strings.HasSuffix(path, "/internal/matching")
+		},
+		Run: runNaNGuard,
+	}
+}
+
+// domainFuncs are math functions with a restricted domain worth guarding.
+var domainFuncs = map[string]bool{
+	"math.Sqrt":  true,
+	"math.Log":   true,
+	"math.Log2":  true,
+	"math.Log10": true,
+	"math.Log1p": true,
+	"math.Asin":  true,
+	"math.Acos":  true,
+}
+
+func runNaNGuard(p *Package) []Diagnostic {
+	var out []Diagnostic
+	guards := map[*ast.FuncDecl]map[string]bool{}
+	guardedIn := func(enc *ast.FuncDecl, name string) bool {
+		if enc == nil || name == "" {
+			return false
+		}
+		g, ok := guards[enc]
+		if !ok {
+			g = comparedNames(enc)
+			guards[enc] = g
+		}
+		return g[name]
+	}
+	p.inspect(func(n ast.Node, enc *ast.FuncDecl) {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			name := p.calleeFullName(e)
+			if !domainFuncs[name] || len(e.Args) != 1 {
+				return
+			}
+			arg := ast.Unparen(e.Args[0])
+			if p.Info.Types[arg].Value != nil {
+				return // constant argument, domain checked at compile time
+			}
+			if guardedIn(enc, rootName(arg)) {
+				return
+			}
+			out = append(out, Diagnostic{
+				Pos:  p.pos(e.Pos()),
+				Rule: "nanguard",
+				Msg:  name + " on an unguarded argument; add a domain check or tolerance comparison first",
+			})
+		case *ast.BinaryExpr:
+			if e.Op != token.QUO {
+				return
+			}
+			t := p.Info.TypeOf(e)
+			if t == nil || !isFloat(t) {
+				return
+			}
+			den := ast.Unparen(e.Y)
+			if p.Info.Types[den].Value != nil {
+				return // constant divisor
+			}
+			name := rootName(den)
+			if name == "" {
+				return // composite divisor expressions are out of scope
+			}
+			if guardedIn(enc, name) {
+				return
+			}
+			out = append(out, Diagnostic{
+				Pos:  p.pos(e.OpPos),
+				Rule: "nanguard",
+				Msg:  "division by unguarded " + name + "; compare it against a tolerance first",
+			})
+		}
+	})
+	return out
+}
+
+// rootName extracts the identifier a simple operand hangs off: x -> "x",
+// s.eps -> "eps", a[i] -> "a". Composite expressions return "".
+func rootName(e ast.Expr) string {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return v.Sel.Name
+	case *ast.IndexExpr:
+		return rootName(v.X)
+	}
+	return ""
+}
+
+// comparedNames collects every identifier that participates in an order or
+// equality comparison anywhere in the function: the set of names the author
+// has demonstrably range-checked somewhere.
+func comparedNames(fn *ast.FuncDecl) map[string]bool {
+	names := map[string]bool{}
+	ast.Inspect(fn, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+			for _, side := range []ast.Expr{be.X, be.Y} {
+				ast.Inspect(side, func(m ast.Node) bool {
+					switch id := m.(type) {
+					case *ast.Ident:
+						names[id.Name] = true
+					case *ast.SelectorExpr:
+						names[id.Sel.Name] = true
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+	return names
+}

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"math"
+	"strconv"
+)
+
+// tolConstMax is the magnitude below which a float literal reads as a
+// numerical tolerance rather than an ordinary coefficient.
+const tolConstMax = 1e-4
+
+// TolConst flags tolerance-sized float literals (0 < |v| <= 1e-4, think
+// 1e-6 or 1e-12) written inline instead of referenced as named constants.
+// Scattered magic epsilons are how a codebase ends up comparing the same
+// quantity against three different tolerances in three files; every epsilon
+// lives in a package const block with a name and a comment, and call sites
+// reference it. Literals inside const declarations are exactly those named
+// definitions, so they are exempt.
+func TolConst() *Analyzer {
+	return &Analyzer{
+		Name: "tolconst",
+		Doc:  "flags inline tolerance-sized float literals; name them in a const block",
+		Run:  runTolConst,
+	}
+}
+
+func runTolConst(p *Package) []Diagnostic {
+	// Collect the positions of literals appearing inside const declarations.
+	inConst := map[token.Pos]bool{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gd, ok := n.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				return true
+			}
+			ast.Inspect(gd, func(m ast.Node) bool {
+				if lit, ok := m.(*ast.BasicLit); ok {
+					inConst[lit.Pos()] = true
+				}
+				return true
+			})
+			return false
+		})
+	}
+	var out []Diagnostic
+	p.inspect(func(n ast.Node, enc *ast.FuncDecl) {
+		lit, ok := n.(*ast.BasicLit)
+		if !ok || lit.Kind != token.FLOAT || inConst[lit.Pos()] {
+			return
+		}
+		v, err := strconv.ParseFloat(lit.Value, 64)
+		if err != nil {
+			return
+		}
+		if a := math.Abs(v); a <= 0 || a > tolConstMax {
+			return
+		}
+		out = append(out, Diagnostic{
+			Pos:  p.pos(lit.Pos()),
+			Rule: "tolconst",
+			Msg:  "inline tolerance literal " + lit.Value + "; define it as a named const",
+		})
+	})
+	return out
+}

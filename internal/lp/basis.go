@@ -93,6 +93,7 @@ func (s *Solver) doFactorize() error {
 			s.binv[p], s.binv[c] = s.binv[c], s.binv[p]
 		}
 		piv := B[c][c]
+		//lint:ignore nanguard partial pivoting above selected |piv| > pivotTol
 		inv := 1 / piv
 		for k := 0; k < m; k++ {
 			B[c][k] *= inv
@@ -103,6 +104,7 @@ func (s *Solver) doFactorize() error {
 				continue
 			}
 			f := B[r][c]
+			//lint:ignore floatcmp exact zero only skips a no-op row operation
 			if f == 0 {
 				continue
 			}
@@ -165,6 +167,7 @@ func (s *Solver) computeY(costs []float64) []float64 {
 	}
 	for r, col := range s.basis {
 		cb := costs[col]
+		//lint:ignore floatcmp exact zero only skips a no-op row accumulation
 		if cb == 0 {
 			continue
 		}
@@ -191,6 +194,7 @@ func (s *Solver) reducedCost(costs, y []float64, j int) float64 {
 func (s *Solver) pivot(enter, leaveRow int, u []float64, theta float64) {
 	m := s.nRows
 	piv := u[leaveRow]
+	//lint:ignore nanguard callers select |u[leaveRow]| > pivotTol in the ratio test
 	inv := 1 / piv
 	lrow := s.binv[leaveRow]
 	for k := 0; k < m; k++ {
@@ -201,6 +205,7 @@ func (s *Solver) pivot(enter, leaveRow int, u []float64, theta float64) {
 			continue
 		}
 		f := u[r]
+		//lint:ignore floatcmp exact zero only skips a no-op row update
 		if f == 0 {
 			continue
 		}
@@ -230,6 +235,7 @@ func (s *Solver) residual() float64 {
 	}
 	for r, col := range s.basis {
 		x := s.xB[r]
+		//lint:ignore floatcmp exact zero only skips a no-op residual term
 		if x == 0 {
 			continue
 		}

@@ -1,0 +1,61 @@
+package lp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadMPS feeds arbitrary text to the MPS reader. Two properties must
+// hold: the reader never panics (malformed input returns an error), and any
+// model it accepts round-trips — writing it and re-reading the output must
+// succeed, preserve the row count, and reach a serialization fixpoint.
+func FuzzReadMPS(f *testing.F) {
+	// A writer-produced model as the primary seed.
+	m := NewModel()
+	x := m.AddVar(1, "x")
+	y := m.AddVar(2, "y")
+	m.AddRow([]Term{{Var: x, Coef: 1}, {Var: y, Coef: 1}}, LE, 4, "cap")
+	m.AddRow([]Term{{Var: x, Coef: 3}, {Var: y, Coef: -1}}, GE, 0, "ratio")
+	m.AddRow([]Term{{Var: x, Coef: 1}}, EQ, 2, "fix")
+	var buf bytes.Buffer
+	if err := m.WriteMPS(&buf, "SEED"); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+
+	f.Add("NAME T\nROWS\n N OBJ\n L R0\nCOLUMNS\n C0 OBJ 1\n C0 R0 1\nRHS\n RHS R0 4\nENDATA\n")
+	f.Add("* comment\nNAME X\nROWS\n N OBJ\n G G0\n E E0\nCOLUMNS\n A G0 1 E0 2\n B OBJ -1\nRHS\n RHS G0 1 E0 3\nENDATA\n")
+	f.Add("ROWS\n N OBJ\nCOLUMNS\nENDATA\n")
+	f.Add("garbage before any section\n")
+	f.Add("NAME\nROWS\n Q R0\n")
+	f.Add("NAME B\nROWS\n N OBJ\n L R0\nBOUNDS\n LO BND C0 0\nENDATA\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := ReadMPS(strings.NewReader(src))
+		if err != nil {
+			return // rejected input is fine; crashing is not
+		}
+		if m.Err() != nil {
+			return // accepted structurally but with dropped invalid terms
+		}
+		var out1 bytes.Buffer
+		if err := m.WriteMPS(&out1, "FUZZ"); err != nil {
+			t.Fatalf("write of accepted model failed: %v", err)
+		}
+		m2, err := ReadMPS(bytes.NewReader(out1.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read of own output failed: %v\noutput:\n%s", err, out1.String())
+		}
+		if m2.NumRows() != m.NumRows() {
+			t.Fatalf("row count changed on round trip: %d -> %d", m.NumRows(), m2.NumRows())
+		}
+		var out2 bytes.Buffer
+		if err := m2.WriteMPS(&out2, "FUZZ"); err != nil {
+			t.Fatalf("second write failed: %v", err)
+		}
+		if out1.String() != out2.String() {
+			t.Fatalf("serialization is not a fixpoint:\nfirst:\n%s\nsecond:\n%s", out1.String(), out2.String())
+		}
+	})
+}

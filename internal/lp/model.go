@@ -85,7 +85,15 @@ type Model struct {
 	names []string
 	obj   []float64
 	rows  []row
+	// err is the first construction error (bad variable reference,
+	// non-finite coefficient). It sticks to the model and is surfaced by
+	// Err and by Solver.Solve, so builders can chain AddRow calls without
+	// per-call checks and still cannot silently solve a corrupted model.
+	err error
 }
+
+// Err returns the first error recorded while building the model, or nil.
+func (m *Model) Err() error { return m.err }
 
 // NewModel returns an empty model.
 func NewModel() *Model {
@@ -129,10 +137,17 @@ func (m *Model) NumRows() int { return len(m.rows) }
 
 // AddRow adds a constraint row and returns its identifier. Terms referencing
 // the same variable multiple times are summed. Terms referencing variables
-// that do not exist cause a panic: this is a programming error in the model
-// builder, not a data error.
+// that do not exist, or carrying non-finite coefficients, record a sticky
+// error (see Err) that Solver.Solve reports; the malformed terms are
+// dropped so construction can continue deterministically.
 func (m *Model) AddRow(terms []Term, rel Rel, rhs float64, name string) RowID {
-	merged := mergeTerms(terms, len(m.obj))
+	merged, err := mergeTerms(terms, len(m.obj))
+	if err != nil && m.err == nil {
+		if name == "" {
+			name = fmt.Sprintf("row %d", len(m.rows))
+		}
+		m.err = fmt.Errorf("lp: %s: %w", name, err)
+	}
 	id := RowID(len(m.rows))
 	m.rows = append(m.rows, row{name: name, rel: rel, rhs: rhs, terms: merged})
 	return id
@@ -163,24 +178,35 @@ func (m *Model) VarName(v VarID) string {
 }
 
 // mergeTerms sums duplicate variables, drops exact zeros, validates indices,
-// and returns terms sorted by variable for deterministic iteration.
-func mergeTerms(terms []Term, numVars int) []Term {
+// and returns terms sorted by variable for deterministic iteration. Invalid
+// terms (unknown variable, non-finite coefficient) are dropped and reported
+// through the returned error so callers can record it without panicking.
+func mergeTerms(terms []Term, numVars int) ([]Term, error) {
 	merged := make([]Term, len(terms))
 	copy(merged, terms)
 	sort.Slice(merged, func(i, j int) bool { return merged[i].Var < merged[j].Var })
+	var err error
 	out := merged[:0]
 	for _, t := range merged {
 		if int(t.Var) < 0 || int(t.Var) >= numVars {
-			panic(fmt.Sprintf("lp: term references unknown variable %d (model has %d)", t.Var, numVars))
+			if err == nil {
+				err = fmt.Errorf("term references unknown variable %d (model has %d)", t.Var, numVars)
+			}
+			continue
 		}
 		if math.IsNaN(t.Coef) || math.IsInf(t.Coef, 0) {
-			panic(fmt.Sprintf("lp: non-finite coefficient %v for variable %d", t.Coef, t.Var))
+			if err == nil {
+				err = fmt.Errorf("non-finite coefficient %v for variable %d", t.Coef, t.Var)
+			}
+			continue
 		}
+		//lint:ignore floatcmp exact zero drops structurally absent terms
 		if t.Coef == 0 {
 			continue
 		}
 		if len(out) > 0 && out[len(out)-1].Var == t.Var {
 			out[len(out)-1].Coef += t.Coef
+			//lint:ignore floatcmp exact cancellation empties the merged term
 			if out[len(out)-1].Coef == 0 {
 				out = out[:len(out)-1]
 			}
@@ -190,7 +216,7 @@ func mergeTerms(terms []Term, numVars int) []Term {
 	}
 	res := make([]Term, len(out))
 	copy(res, out)
-	return res
+	return res, err
 }
 
 // String renders the model in a small human-readable format, useful in test
@@ -199,6 +225,7 @@ func (m *Model) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "min")
 	for j, c := range m.obj {
+		//lint:ignore floatcmp exact zero selects structurally present coefficients
 		if c != 0 {
 			fmt.Fprintf(&b, " %+g*%s", c, m.VarName(VarID(j)))
 		}
@@ -220,15 +247,15 @@ func (m *Model) String() string {
 
 // Eval computes the value of the objective at x, which must have NumVars
 // entries.
-func (m *Model) Eval(x []float64) float64 {
+func (m *Model) Eval(x []float64) (float64, error) {
 	if len(x) != len(m.obj) {
-		panic(fmt.Sprintf("lp: Eval with %d values for %d variables", len(x), len(m.obj)))
+		return 0, fmt.Errorf("lp: Eval with %d values for %d variables", len(x), len(m.obj))
 	}
 	var v float64
 	for j, c := range m.obj {
 		v += c * x[j]
 	}
-	return v
+	return v, nil
 }
 
 // RowActivity computes the left-hand-side value of row r at x.

@@ -17,13 +17,13 @@ import (
 // The writer exists so that models built here can be cross-checked against
 // external solvers, and so tests can round-trip models through ReadMPS.
 func (m *Model) WriteMPS(w io.Writer, name string) error {
-	bw := bufio.NewWriter(w)
+	ew := &errWriter{bw: bufio.NewWriter(w)}
 	if name == "" {
 		name = "TCR"
 	}
-	fmt.Fprintf(bw, "NAME %s\n", name)
-	fmt.Fprintln(bw, "ROWS")
-	fmt.Fprintln(bw, " N OBJ")
+	ew.printf("NAME %s\n", name)
+	ew.printf("ROWS\n")
+	ew.printf(" N OBJ\n")
 	rowName := func(i int) string { return fmt.Sprintf("R%d", i) }
 	for i, r := range m.rows {
 		var kind string
@@ -35,7 +35,7 @@ func (m *Model) WriteMPS(w io.Writer, name string) error {
 		case EQ:
 			kind = "E"
 		}
-		fmt.Fprintf(bw, " %s %s\n", kind, rowName(i))
+		ew.printf(" %s %s\n", kind, rowName(i))
 	}
 
 	// COLUMNS: entries grouped per column, objective first.
@@ -45,6 +45,7 @@ func (m *Model) WriteMPS(w io.Writer, name string) error {
 	}
 	cols := make([][]entry, m.NumVars())
 	for j, c := range m.obj {
+		//lint:ignore floatcmp exact zero selects structurally present coefficients
 		if c != 0 {
 			cols[j] = append(cols[j], entry{"OBJ", c})
 		}
@@ -54,20 +55,43 @@ func (m *Model) WriteMPS(w io.Writer, name string) error {
 			cols[t.Var] = append(cols[t.Var], entry{rowName(i), t.Coef})
 		}
 	}
-	fmt.Fprintln(bw, "COLUMNS")
+	ew.printf("COLUMNS\n")
 	for j, es := range cols {
 		for _, e := range es {
-			fmt.Fprintf(bw, " C%d %s %s\n", j, e.row, formatMPS(e.coef))
+			ew.printf(" C%d %s %s\n", j, e.row, formatMPS(e.coef))
 		}
 	}
-	fmt.Fprintln(bw, "RHS")
+	ew.printf("RHS\n")
 	for i, r := range m.rows {
+		//lint:ignore floatcmp MPS omits exactly-zero right-hand sides by convention
 		if r.rhs != 0 {
-			fmt.Fprintf(bw, " RHS %s %s\n", rowName(i), formatMPS(r.rhs))
+			ew.printf(" RHS %s %s\n", rowName(i), formatMPS(r.rhs))
 		}
 	}
-	fmt.Fprintln(bw, "ENDATA")
-	return bw.Flush()
+	ew.printf("ENDATA\n")
+	return ew.flush()
+}
+
+// errWriter latches the first write error so the MPS emitter can stay
+// linear instead of threading an error through every print (the errdrop
+// analyzer rejects silently dropped fmt.Fprintf errors on real writers).
+type errWriter struct {
+	bw  *bufio.Writer
+	err error
+}
+
+func (w *errWriter) printf(format string, args ...any) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = fmt.Fprintf(w.bw, format, args...)
+}
+
+func (w *errWriter) flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.bw.Flush()
 }
 
 func formatMPS(v float64) string {

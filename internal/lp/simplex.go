@@ -134,7 +134,7 @@ func (s *Solver) primalInner(costs []float64, blandOnly bool) (Status, bool, err
 			if t < 0 {
 				t = 0
 			}
-			if t < theta-1e-12 || (t <= theta+1e-12 && (leave < 0 ||
+			if t < theta-ratioTieTol || (t <= theta+ratioTieTol && (leave < 0 ||
 				(bland && s.basis[r] < s.basis[leave]) ||
 				(!bland && math.Abs(u[r]) > math.Abs(u[leave])))) {
 				theta, leave = t, r
@@ -147,6 +147,7 @@ func (s *Solver) primalInner(costs []float64, blandOnly bool) (Status, bool, err
 		s.pivot(enter, leave, u, theta)
 		s.iterations++
 		// Incremental dual update: zero the entering column's reduced cost.
+		//lint:ignore floatcmp exact zero only skips a no-op vector update
 		if dEnter != 0 {
 			lrow := s.binv[leave]
 			for i := range y {
@@ -159,7 +160,7 @@ func (s *Solver) primalInner(costs []float64, blandOnly bool) (Status, bool, err
 		// the tiny objective jitter. Perturb the basic values once to make
 		// ratio tests decisive; if degeneracy persists, fall back to
 		// Bland's rule.
-		if theta > 1e-10 {
+		if theta > degenStepTol {
 			sinceImprove = 0
 		} else {
 			sinceImprove++
@@ -170,7 +171,7 @@ func (s *Solver) primalInner(costs []float64, blandOnly bool) (Status, bool, err
 					for r := range s.xB {
 						rng = rng*6364136223846793005 + 1442695040888963407
 						f := float64(rng>>11) / (1 << 53)
-						s.xB[r] += 1e-7 * (0.5 + f)
+						s.xB[r] += xbPerturb * (0.5 + f)
 					}
 				} else if !bland {
 					if err := s.refresh2(perturbed); err != nil {
@@ -272,8 +273,8 @@ func (s *Solver) dualInner(costs []float64) (Status, error) {
 				d = 0 // tolerate tiny dual infeasibility
 			}
 			ratio := d / -alpha
-			if ratio < best-1e-12 ||
-				(ratio <= best+1e-12 && (enter < 0 ||
+			if ratio < best-ratioTieTol ||
+				(ratio <= best+ratioTieTol && (enter < 0 ||
 					(bland && j < enter) ||
 					(!bland && -alpha > -bestAlpha))) {
 				best, enter, bestAlpha = ratio, j, alpha
@@ -285,9 +286,11 @@ func (s *Solver) dualInner(costs []float64) (Status, error) {
 
 		dEnter := s.reducedCost(costs, y, enter)
 		u := s.ftran(enter)
+		//lint:ignore nanguard u[leave] equals alpha, bounded away from 0 by pivotTol
 		theta := s.xB[leave] / u[leave] // both negative => theta >= 0
 		s.pivot(enter, leave, u, theta)
 		s.iterations++
+		//lint:ignore floatcmp exact zero only skips a no-op vector update
 		if dEnter != 0 {
 			lrow := s.binv[leave]
 			for i := range y {

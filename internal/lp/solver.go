@@ -65,12 +65,18 @@ const (
 )
 
 // Tolerances. The routing LPs are well scaled (coefficients are path counts
-// and probabilities), so fixed tolerances suffice.
+// and probabilities), so fixed tolerances suffice. Every numerical epsilon
+// the solver uses is named here; call sites must not inline magic values
+// (enforced by the tolconst analyzer).
 const (
-	dualTol    = 1e-7 // reduced-cost optimality tolerance
-	primalTol  = 1e-7 // bound-feasibility tolerance
-	pivotTol   = 1e-9 // smallest acceptable pivot magnitude
-	residCheck = 1e-7 // basis accuracy trigger for refactorization
+	dualTol      = 1e-7  // reduced-cost optimality tolerance
+	primalTol    = 1e-7  // bound-feasibility tolerance
+	pivotTol     = 1e-9  // smallest acceptable pivot magnitude
+	residCheck   = 1e-7  // basis accuracy trigger for refactorization
+	phase1Tol    = 1e-7  // max artificial mass at a feasible phase-1 optimum
+	ratioTieTol  = 1e-12 // tie window in primal/dual ratio tests
+	degenStepTol = 1e-10 // steps at or below this count as degenerate pivots
+	xbPerturb    = 1e-7  // anti-cycling basic-value perturbation magnitude
 )
 
 // Solver holds the computational form of a model plus a (re)usable basis.
@@ -107,6 +113,11 @@ type Solver struct {
 	solvedOnce bool
 	noJitter   bool
 
+	// err is the first construction/mutation error (inherited from the
+	// model, or recorded by AddCut/SetObjCoef). Solve reports it instead
+	// of optimizing a corrupted problem.
+	err error
+
 	// MaxIters bounds the total pivots per Solve call. Zero means a
 	// generous default proportional to the problem size.
 	MaxIters int
@@ -121,7 +132,7 @@ type Solver struct {
 // discarded afterwards; use the Solver's own mutators for warm-started
 // changes.
 func NewSolver(m *Model) *Solver {
-	s := &Solver{structN: m.NumVars()}
+	s := &Solver{structN: m.NumVars(), err: m.err}
 	s.cost = make([]float64, 0, m.NumVars()+2*m.NumRows())
 	for j := 0; j < m.NumVars(); j++ {
 		s.cost = append(s.cost, m.obj[j])
@@ -225,8 +236,12 @@ func (s *Solver) NumRows() int { return s.nRows }
 // AddCut appends a constraint row after construction (a cutting plane).
 // The existing basis, if any, is extended so that the next Solve can
 // warm-start with the dual simplex. It returns the new row's index.
+// Malformed terms record a sticky error that the next Solve reports.
 func (s *Solver) AddCut(terms []Term, rel Rel, rhs float64) int {
-	merged := mergeTerms(terms, s.structN)
+	merged, err := mergeTerms(terms, s.structN)
+	if err != nil && s.err == nil {
+		s.err = fmt.Errorf("lp: AddCut: %w", err)
+	}
 	i := s.appendRow(merged, rel, rhs)
 	s.buildCostP()
 	s.dirtyRows = true
@@ -241,7 +256,9 @@ func (s *Solver) AddCut(terms []Term, rel Rel, rhs float64) int {
 	if bcol < 0 {
 		bcol = s.artOf[i]
 	}
-	g := s.colV[bcol][0] // single-entry column in row i
+	// g is the single entry of a fresh logical/artificial column, ±1 by
+	// construction in appendRow, so the divisions below cannot blow up.
+	g := s.colV[bcol][0]
 	m := s.nRows
 	// a_B^T: coefficient of each currently-basic column in the new row.
 	aB := make([]float64, m-1)
@@ -256,8 +273,10 @@ func (s *Solver) AddCut(terms []Term, rel Rel, rhs float64) int {
 		for r := 0; r < m-1; r++ {
 			acc += aB[r] * s.binv[r][c]
 		}
+		//lint:ignore nanguard g is ±1 by construction (see above)
 		newRow[c] = -acc / g
 	}
+	//lint:ignore nanguard g is ±1 by construction (see above)
 	newRow[m-1] = 1 / g
 	for r := 0; r < m-1; r++ {
 		s.binv[r] = append(s.binv[r], 0)
@@ -274,6 +293,7 @@ func (s *Solver) AddCut(terms []Term, rel Rel, rhs float64) int {
 	for r := 0; r < m-1; r++ {
 		act += aB[r] * s.xB[r]
 	}
+	//lint:ignore nanguard g is ±1 by construction (see above)
 	s.xB = append(s.xB, (rhs-act)/g)
 	return i
 }
@@ -290,10 +310,14 @@ func (s *Solver) SetRHS(row int, rhs float64) {
 
 // SetObjCoef changes a structural variable's objective coefficient. The
 // basis stays primal feasible, so the next Solve warm-starts with the primal
-// simplex.
+// simplex. Addressing a non-structural variable records a sticky error that
+// the next Solve reports.
 func (s *Solver) SetObjCoef(v VarID, coef float64) {
-	if int(v) >= s.structN {
-		panic("lp: SetObjCoef on non-structural variable")
+	if int(v) < 0 || int(v) >= s.structN {
+		if s.err == nil {
+			s.err = fmt.Errorf("lp: SetObjCoef on non-structural variable %d", v)
+		}
+		return
 	}
 	s.cost[v] = coef
 	s.buildCostP()
@@ -324,6 +348,9 @@ func (s *Solver) maxIters() int {
 
 // Solve finds an optimal basic solution, warm-starting when possible.
 func (s *Solver) Solve() (*Solution, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
 	s.iterations = 0
 	var st Status
 	var err error
@@ -433,7 +460,7 @@ func (s *Solver) phase1() (Status, error) {
 			sum += math.Abs(s.xB[r])
 		}
 	}
-	if sum > 1e-7 {
+	if sum > phase1Tol {
 		return Infeasible, nil
 	}
 	s.driveOutArtificials()

@@ -2,6 +2,11 @@ package matching
 
 import "math"
 
+// auctionEpsRel scales the final auction epsilon relative to the largest
+// weight magnitude; below 1/(n+1) times the weight resolution it makes the
+// auction optimum exact for integral or well-separated matrices.
+const auctionEpsRel = 1e-9
+
 // AuctionAssignment solves the maximum-weight assignment problem with
 // Bertsekas's auction algorithm with epsilon scaling. It exists as an
 // independent implementation of the worst-case oracle: the Hungarian and
@@ -27,10 +32,10 @@ func AuctionAssignment(weight [][]float64) ([]int, float64) {
 			}
 		}
 	}
-	if maxAbs == 0 {
+	if maxAbs <= 0 {
 		maxAbs = 1
 	}
-	epsFinal := maxAbs * 1e-9 / float64(n+1)
+	epsFinal := maxAbs * auctionEpsRel / float64(n+1)
 	eps := maxAbs / 4
 	if eps < epsFinal {
 		eps = epsFinal

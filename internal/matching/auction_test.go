@@ -17,7 +17,10 @@ func TestAuctionMatchesHungarianRandom(t *testing.T) {
 				w[i][j] = math.Round(100*rng.Float64()) / 8
 			}
 		}
-		_, hung := MaxWeightAssignment(w)
+		_, hung, err := MaxWeightAssignment(w)
+		if err != nil {
+			t.Fatal(err)
+		}
 		perm, auc := AuctionAssignment(w)
 		if math.Abs(hung-auc) > 1e-6*(1+math.Abs(hung)) {
 			t.Fatalf("trial %d (n=%d): hungarian %v vs auction %v", trial, n, hung, auc)
@@ -50,7 +53,10 @@ func TestAuctionOnLoadMatrices(t *testing.T) {
 				}
 			}
 		}
-		_, hung := MaxWeightAssignment(w)
+		_, hung, err := MaxWeightAssignment(w)
+		if err != nil {
+			t.Fatal(err)
+		}
 		_, auc := AuctionAssignment(w)
 		if math.Abs(hung-auc) > 1e-6*(1+hung) {
 			t.Fatalf("trial %d: %v vs %v", trial, hung, auc)

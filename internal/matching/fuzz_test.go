@@ -1,0 +1,101 @@
+package matching
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzHungarian decodes a byte string into a square weight matrix and
+// checks the Hungarian solver's contract: the returned permutation is
+// valid and achieves the reported value, the value dominates sampled
+// permutations (and equals the brute-force optimum for small n), and the
+// independent auction algorithm agrees within its tolerance.
+func FuzzHungarian(f *testing.F) {
+	f.Add([]byte{3, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{1, 200})
+	f.Add([]byte{5, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+		0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{4, 255, 128, 7, 19, 3, 3, 3, 3, 90, 1, 250, 2, 8, 8, 8, 8})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		n := 1 + int(data[0])%6
+		if len(data) < 1+n*n {
+			return
+		}
+		w := make([][]float64, n)
+		idx := 1
+		for i := range w {
+			w[i] = make([]float64, n)
+			for j := range w[i] {
+				// Signed eighths in [-16, 15.875]: exercises negative
+				// weights and ties without float noise.
+				w[i][j] = float64(int8(data[idx])) / 8
+				idx++
+			}
+		}
+
+		perm, best, err := MaxWeightAssignment(w)
+		if err != nil {
+			t.Fatalf("square matrix rejected: %v", err)
+		}
+		seen := make([]bool, n)
+		for _, j := range perm {
+			if j < 0 || j >= n || seen[j] {
+				t.Fatalf("invalid permutation %v", perm)
+			}
+			seen[j] = true
+		}
+		if math.Abs(PermWeight(w, perm)-best) > 1e-9 {
+			t.Fatalf("reported optimum %v but permutation achieves %v", best, PermWeight(w, perm))
+		}
+
+		// The optimum dominates the identity, the reversal, and every
+		// cyclic shift.
+		probe := make([]int, n)
+		for shift := 0; shift < n; shift++ {
+			for i := range probe {
+				probe[i] = (i + shift) % n
+			}
+			if PermWeight(w, probe) > best+1e-9 {
+				t.Fatalf("shift-%d permutation beats the optimum: %v > %v", shift, PermWeight(w, probe), best)
+			}
+		}
+		for i := range probe {
+			probe[i] = n - 1 - i
+		}
+		if PermWeight(w, probe) > best+1e-9 {
+			t.Fatalf("reversal beats the optimum: %v > %v", PermWeight(w, probe), best)
+		}
+
+		// Exact cross-check against brute force where it is affordable.
+		if n <= 4 {
+			if bf := -bruteMin(negate(w)); math.Abs(bf-best) > 1e-9 {
+				t.Fatalf("hungarian %v != brute force %v on %v", best, bf, w)
+			}
+		}
+
+		// Independent algorithm cross-check: Bertsekas auction.
+		aperm, aval := AuctionAssignment(w)
+		if math.Abs(best-aval) > 1e-6*(1+math.Abs(best)) {
+			t.Fatalf("hungarian %v vs auction %v", best, aval)
+		}
+		if PermWeight(w, aperm) > best+1e-9 {
+			t.Fatalf("auction's permutation beats the claimed optimum")
+		}
+	})
+}
+
+// negate returns the entrywise negation (max-weight via the min-cost brute).
+func negate(w [][]float64) [][]float64 {
+	out := make([][]float64, len(w))
+	for i := range w {
+		out[i] = make([]float64, len(w[i]))
+		for j := range w[i] {
+			out[i][j] = -w[i][j]
+		}
+	}
+	return out
+}

@@ -12,7 +12,10 @@
 // exact evaluator for closed-form algorithms.
 package matching
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // MinCostAssignment solves the square assignment problem: given an n-by-n
 // cost matrix, it returns a permutation perm (perm[i] = column assigned to
@@ -20,16 +23,17 @@ import "math"
 // The implementation is the O(n^3) Hungarian algorithm with potentials and
 // Dijkstra-style augmentation.
 //
-// The input matrix is not modified. It panics if the matrix is not square
-// and nonempty; that is a programming error, not a data condition.
-func MinCostAssignment(cost [][]float64) ([]int, float64) {
+// The input matrix is not modified. A non-square matrix is reported as an
+// error: the oracle must refuse malformed input rather than crash the
+// harness embedding it.
+func MinCostAssignment(cost [][]float64) ([]int, float64, error) {
 	n := len(cost)
 	if n == 0 {
-		return nil, 0
+		return nil, 0, nil
 	}
-	for _, row := range cost {
+	for i, row := range cost {
 		if len(row) != n {
-			panic("matching: cost matrix is not square")
+			return nil, 0, fmt.Errorf("matching: cost matrix is not square: row %d has %d of %d columns", i, len(row), n)
 		}
 	}
 	// 1-indexed internals with a dummy row/column 0.
@@ -91,13 +95,13 @@ func MinCostAssignment(cost [][]float64) ([]int, float64) {
 			total += cost[p[j]-1][j-1]
 		}
 	}
-	return perm, total
+	return perm, total, nil
 }
 
 // MaxWeightAssignment returns the permutation maximizing the total weight
 // of a square matrix, and that weight. It is MinCostAssignment on the
 // negated matrix.
-func MaxWeightAssignment(weight [][]float64) ([]int, float64) {
+func MaxWeightAssignment(weight [][]float64) ([]int, float64, error) {
 	n := len(weight)
 	neg := make([][]float64, n)
 	for i, row := range weight {
@@ -106,8 +110,11 @@ func MaxWeightAssignment(weight [][]float64) ([]int, float64) {
 			neg[i][j] = -w
 		}
 	}
-	perm, c := MinCostAssignment(neg)
-	return perm, -c
+	perm, c, err := MinCostAssignment(neg)
+	if err != nil {
+		return nil, 0, err
+	}
+	return perm, -c, nil
 }
 
 // PermWeight sums weight[i][perm[i]]; a helper for tests and verification.

@@ -39,7 +39,10 @@ func TestMinCostSmallKnown(t *testing.T) {
 		{2, 0, 5},
 		{3, 2, 2},
 	}
-	perm, c := MinCostAssignment(cost)
+	perm, c, err := MinCostAssignment(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if c != 5 { // 1 + 2 + 2
 		t.Fatalf("cost = %v, want 5 (perm %v)", c, perm)
 	}
@@ -58,7 +61,10 @@ func TestMaxWeightIdentityDominant(t *testing.T) {
 		}
 		w[i][i] = 10
 	}
-	perm, total := MaxWeightAssignment(w)
+	perm, total, err := MaxWeightAssignment(w)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if total != 60 {
 		t.Fatalf("total = %v, want 60", total)
 	}
@@ -70,16 +76,26 @@ func TestMaxWeightIdentityDominant(t *testing.T) {
 }
 
 func TestSingleElement(t *testing.T) {
-	perm, c := MinCostAssignment([][]float64{{7}})
-	if len(perm) != 1 || perm[0] != 0 || c != 7 {
-		t.Fatalf("got perm=%v cost=%v", perm, c)
+	perm, c, err := MinCostAssignment([][]float64{{7}})
+	if err != nil || len(perm) != 1 || perm[0] != 0 || c != 7 {
+		t.Fatalf("got perm=%v cost=%v err=%v", perm, c, err)
 	}
 }
 
 func TestEmpty(t *testing.T) {
-	perm, c := MinCostAssignment(nil)
-	if perm != nil || c != 0 {
-		t.Fatalf("got perm=%v cost=%v", perm, c)
+	perm, c, err := MinCostAssignment(nil)
+	if err != nil || perm != nil || c != 0 {
+		t.Fatalf("got perm=%v cost=%v err=%v", perm, c, err)
+	}
+}
+
+func TestNonSquareRejected(t *testing.T) {
+	ragged := [][]float64{{1, 2}, {3}}
+	if _, _, err := MinCostAssignment(ragged); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+	if _, _, err := MaxWeightAssignment(ragged); err == nil {
+		t.Fatal("ragged matrix accepted by max-weight wrapper")
 	}
 }
 
@@ -94,7 +110,10 @@ func TestAgainstBruteForce(t *testing.T) {
 				cost[i][j] = math.Round(40*(rng.Float64()-0.5)) / 4
 			}
 		}
-		_, got := MinCostAssignment(cost)
+		_, got, err := MinCostAssignment(cost)
+		if err != nil {
+			t.Fatal(err)
+		}
 		want := bruteMin(cost)
 		if math.Abs(got-want) > 1e-9 {
 			t.Fatalf("trial %d (n=%d): hungarian %v, brute %v\n%v", trial, n, got, want, cost)
@@ -115,7 +134,10 @@ func TestMaxDominatesRandomPerms(t *testing.T) {
 				w[i][j] = rng.Float64() * 3
 			}
 		}
-		_, best := MaxWeightAssignment(w)
+		_, best, err := MaxWeightAssignment(w)
+		if err != nil {
+			return false
+		}
 		for k := 0; k < 20; k++ {
 			p := rng.Perm(n)
 			if PermWeight(w, p) > best+1e-9 {
@@ -148,7 +170,7 @@ func TestDualBound(t *testing.T) {
 			}
 			rowMaxSum += rowMax
 		}
-		if _, best := MaxWeightAssignment(w); best > rowMaxSum+1e-9 {
+		if _, best, err := MaxWeightAssignment(w); err != nil || best > rowMaxSum+1e-9 {
 			t.Fatalf("max assignment %v exceeds row-max bound %v", best, rowMaxSum)
 		}
 	}
@@ -202,7 +224,10 @@ func TestPermutationMatrixOracle(t *testing.T) {
 		}
 		w[i][n-1-i] = 1.0
 	}
-	perm, total := MaxWeightAssignment(w)
+	perm, total, err := MaxWeightAssignment(w)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(total-5.0) > 1e-12 {
 		t.Fatalf("total = %v, want 5", total)
 	}
@@ -225,6 +250,8 @@ func BenchmarkHungarian64(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		MaxWeightAssignment(w)
+		if _, _, err := MaxWeightAssignment(w); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

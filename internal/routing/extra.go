@@ -9,6 +9,10 @@ import (
 	"tcr/internal/topo"
 )
 
+// probSumTol bounds how far a table row's probabilities may drift from 1
+// before ParseTable rejects the row (absorbs decimal-literal rounding).
+const probSumTol = 1e-6
+
 // O1TURN routes minimally, choosing x-first or y-first dimension order with
 // equal probability. It post-dates the paper (Seo et al., 2005) but is the
 // natural "minimal algorithm with near-optimal worst case" and makes a
@@ -109,7 +113,7 @@ func ReadTableJSON(r io.Reader, t *topo.Torus) (*Table, error) {
 			ws = append(ws, paths.Weighted{Path: p, Prob: def.Prob})
 			sum += def.Prob
 		}
-		if len(ws) > 0 && (sum < 1-1e-6 || sum > 1+1e-6) {
+		if len(ws) > 0 && (sum < 1-probSumTol || sum > 1+probSumTol) {
 			return nil, fmt.Errorf("routing: offset %s: probabilities sum to %v", key, sum)
 		}
 		tbl.Dist[rel] = ws

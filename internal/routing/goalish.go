@@ -37,6 +37,7 @@ func (GOALish) PairPaths(t *topo.Torus, s, d topo.Node) []paths.Weighted {
 	for _, x := range xc {
 		for _, y := range yc {
 			prob := x.prob * y.prob
+			//lint:ignore floatcmp exact-zero factor from dirProbs (no rounding involved)
 			if prob == 0 {
 				continue
 			}

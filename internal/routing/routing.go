@@ -35,6 +35,7 @@ func merge(ws []paths.Weighted) []paths.Weighted {
 	idx := make(map[string]int, len(ws))
 	out := ws[:0]
 	for _, w := range ws {
+		//lint:ignore floatcmp sparsity skip: exactly-zero probabilities carry no path
 		if w.Prob == 0 {
 			continue
 		}
@@ -241,6 +242,7 @@ func (a RLB) PairPaths(t *topo.Torus, s, d topo.Node) []paths.Weighted {
 	for _, xc := range xCh {
 		for _, yc := range yCh {
 			quadProb := xc.prob * yc.prob / float64((xc.hops+1)*(yc.hops+1))
+			//lint:ignore floatcmp exact-zero factor from dirProbs (no rounding involved)
 			if quadProb == 0 {
 				continue
 			}

@@ -11,7 +11,7 @@ import (
 // upstream router plus the occupancy of the downstream input buffer must
 // equal the buffer depth — credits may never be minted or lost.
 func TestCreditConservation(t *testing.T) {
-	s := New(Config{K: 4, Rate: 0.7, Seed: 31, Alg: routing.IVAL{}, BufDepth: 4})
+	s := mustNew(t, Config{K: 4, Rate: 0.7, Seed: 31, Alg: routing.IVAL{}, BufDepth: 4})
 	for step := 0; step < 2000; step++ {
 		s.step()
 		if step%50 != 0 {
@@ -38,7 +38,7 @@ func TestCreditConservation(t *testing.T) {
 // TestVCAtomicity: a virtual channel buffer never interleaves flits of two
 // packets before the first packet's tail.
 func TestVCAtomicity(t *testing.T) {
-	s := New(Config{K: 4, Rate: 0.8, Seed: 37, Alg: routing.VAL{}, BufDepth: 4})
+	s := mustNew(t, Config{K: 4, Rate: 0.8, Seed: 37, Alg: routing.VAL{}, BufDepth: 4})
 	for step := 0; step < 2000; step++ {
 		s.step()
 		if step%25 != 0 {
@@ -69,7 +69,7 @@ func TestVCAtomicity(t *testing.T) {
 // TestHopProgression: flits buffered at a node always have a hop index
 // consistent with a real route position (0..len(dirs)).
 func TestHopProgression(t *testing.T) {
-	s := New(Config{K: 5, Rate: 0.6, Seed: 41, Alg: routing.ROMM{}})
+	s := mustNew(t, Config{K: 5, Rate: 0.6, Seed: 41, Alg: routing.ROMM{}})
 	for step := 0; step < 1500; step++ {
 		s.step()
 	}
@@ -90,7 +90,7 @@ func TestHopProgression(t *testing.T) {
 // TestEjectionBandwidth: no node ever delivers more than one flit per cycle
 // (unit ejection bandwidth, Section 2.1's node model).
 func TestEjectionBandwidth(t *testing.T) {
-	s := New(Config{K: 4, Rate: 1.0, Seed: 43, Alg: routing.DOR{}})
+	s := mustNew(t, Config{K: 4, Rate: 1.0, Seed: 43, Alg: routing.DOR{}})
 	s.StartMeasurement()
 	cycles := 3000
 	prev := 0

@@ -25,7 +25,7 @@ type RatePoint struct {
 
 // FindSaturation sweeps offered rates and returns the observed saturation
 // plateau. The cfg's Rate field is overridden per sweep point.
-func FindSaturation(cfg Config, rates []float64, warmup, measure int) SaturationResult {
+func FindSaturation(cfg Config, rates []float64, warmup, measure int) (SaturationResult, error) {
 	if len(rates) == 0 {
 		rates = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
 	}
@@ -33,7 +33,10 @@ func FindSaturation(cfg Config, rates []float64, warmup, measure int) Saturation
 	for _, r := range rates {
 		c := cfg
 		c.Rate = r
-		s := New(c)
+		s, err := New(c)
+		if err != nil {
+			return SaturationResult{}, err
+		}
 		s.Run(warmup)
 		s.StartMeasurement()
 		s.Run(measure)
@@ -47,5 +50,5 @@ func FindSaturation(cfg Config, rates []float64, warmup, measure int) Saturation
 			res.AtRate = r
 		}
 	}
-	return res
+	return res, nil
 }

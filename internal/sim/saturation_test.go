@@ -7,8 +7,11 @@ import (
 )
 
 func TestFindSaturationCurve(t *testing.T) {
-	res := FindSaturation(Config{K: 4, Seed: 9, Alg: routing.DOR{}, VCsPerClass: 2, BufDepth: 8},
+	res, err := FindSaturation(Config{K: 4, Seed: 9, Alg: routing.DOR{}, VCsPerClass: 2, BufDepth: 8},
 		[]float64{0.2, 0.5, 0.8, 1.0}, 500, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Deadlocked {
 		t.Fatal("deadlock during sweep")
 	}

@@ -227,11 +227,12 @@ type Sim struct {
 	destCum      [][]float64 // per-source destination CDF
 }
 
-// New builds a simulator; it panics on nonsensical configuration (that is a
-// programming error in the harness, not a runtime condition).
-func New(cfg Config) *Sim {
+// New builds a simulator. Configuration is external input (CLI flags,
+// sweep scripts), so nonsensical values are reported as errors rather than
+// panics.
+func New(cfg Config) (*Sim, error) {
 	if cfg.K < 2 {
-		panic("sim: radix must be >= 2")
+		return nil, fmt.Errorf("sim: radix %d < 2", cfg.K)
 	}
 	if cfg.VCsPerClass == 0 {
 		cfg.VCsPerClass = 1
@@ -243,7 +244,7 @@ func New(cfg Config) *Sim {
 		cfg.PacketFlits = 4
 	}
 	if cfg.Alg == nil {
-		panic("sim: routing algorithm required")
+		return nil, fmt.Errorf("sim: routing algorithm required")
 	}
 	t := topo.NewTorus(cfg.K)
 	policy := cfg.Policy
@@ -255,7 +256,7 @@ func New(cfg Config) *Sim {
 		pattern = traffic.Uniform(t.N)
 	}
 	if pattern.N != t.N {
-		panic(fmt.Sprintf("sim: pattern size %d != network size %d", pattern.N, t.N))
+		return nil, fmt.Errorf("sim: pattern size %d != network size %d", pattern.N, t.N)
 	}
 	s := &Sim{
 		cfg:     cfg,
@@ -287,5 +288,5 @@ func New(cfg Config) *Sim {
 		}
 		s.destCum[src] = cum
 	}
-	return s
+	return s, nil
 }

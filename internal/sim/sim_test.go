@@ -42,7 +42,7 @@ func TestSinglePacketDelivery(t *testing.T) {
 	// Drive one packet through by hand: rate tuned so exactly the first
 	// node injects... instead use a deterministic check via flit
 	// conservation at low rate.
-	s := New(Config{K: 4, Rate: 0.05, Seed: 1, Alg: routing.DOR{}})
+	s := mustNew(t, Config{K: 4, Rate: 0.05, Seed: 1, Alg: routing.DOR{}})
 	s.StartMeasurement()
 	s.Run(4000)
 	st := s.Stats()
@@ -62,7 +62,7 @@ func TestSinglePacketDelivery(t *testing.T) {
 }
 
 func TestFlitConservation(t *testing.T) {
-	s := New(Config{K: 4, Rate: 0.3, Seed: 7, Alg: routing.IVAL{}})
+	s := mustNew(t, Config{K: 4, Rate: 0.3, Seed: 7, Alg: routing.IVAL{}})
 	s.StartMeasurement()
 	s.Run(3000)
 	st := s.Stats()
@@ -77,7 +77,7 @@ func TestFlitConservation(t *testing.T) {
 
 func TestDeterministicWithSeed(t *testing.T) {
 	run := func() Stats {
-		s := New(Config{K: 4, Rate: 0.4, Seed: 42, Alg: routing.DOR{}})
+		s := mustNew(t, Config{K: 4, Rate: 0.4, Seed: 42, Alg: routing.DOR{}})
 		s.StartMeasurement()
 		s.Run(2000)
 		return s.Stats()
@@ -94,7 +94,7 @@ func TestNoDeadlockUnderAdversarialLoad(t *testing.T) {
 		for _, pat := range []*traffic.Matrix{
 			traffic.Tornado(tor), traffic.Transpose(tor), nil,
 		} {
-			s := New(Config{K: 4, Rate: 0.9, Seed: 3, Alg: alg, Pattern: pat})
+			s := mustNew(t, Config{K: 4, Rate: 0.9, Seed: 3, Alg: alg, Pattern: pat})
 			s.Run(6000)
 			if s.Stats().Deadlocked {
 				t.Fatalf("%s deadlocked under adversarial load", alg.Name())
@@ -109,7 +109,7 @@ func TestSaturationThroughputFractionOfIdeal(t *testing.T) {
 	// exceeding it. DOR on k=4 under uniform: ideal = capacity = 2.0
 	// injection fraction, i.e. saturation at min(1.0, ...) of injection
 	// bandwidth here, so drive at full rate and expect a healthy fraction.
-	s := New(Config{K: 4, Rate: 1.0, Seed: 5, Alg: routing.DOR{}, VCsPerClass: 2, BufDepth: 8})
+	s := mustNew(t, Config{K: 4, Rate: 1.0, Seed: 5, Alg: routing.DOR{}, VCsPerClass: 2, BufDepth: 8})
 	s.Run(2000) // warmup
 	s.StartMeasurement()
 	s.Run(6000)
@@ -134,7 +134,7 @@ func TestTornadoThroughputOrdering(t *testing.T) {
 	// canonical effect: VAL should beat DOR under tornado at high load.
 	throughput := func(alg routing.Algorithm) float64 {
 		tor := topo.NewTorus(8)
-		s := New(Config{K: 8, Rate: 0.9, Seed: 11, Alg: alg, Pattern: traffic.Tornado(tor),
+		s := mustNew(t, Config{K: 8, Rate: 0.9, Seed: 11, Alg: alg, Pattern: traffic.Tornado(tor),
 			VCsPerClass: 3, BufDepth: 8})
 		s.Run(3000)
 		s.StartMeasurement()
@@ -159,7 +159,7 @@ func TestSimulatedLoadsMatchAnalyticChannelLoads(t *testing.T) {
 	alg := routing.IVAL{}
 	tor := topo.NewTorus(4)
 	f := eval.FromAlgorithm(tor, alg)
-	s := New(Config{K: 4, Rate: 0.1, Seed: 13, Alg: alg, PacketFlits: 1})
+	s := mustNew(t, Config{K: 4, Rate: 0.1, Seed: 13, Alg: alg, PacketFlits: 1})
 	s.StartMeasurement()
 	s.Run(30000)
 	st := s.Stats()
@@ -180,7 +180,7 @@ func TestSelfTrafficEjectsImmediately(t *testing.T) {
 	for i := 0; i < n; i++ {
 		pat.L[i][i] = 1
 	}
-	s := New(Config{K: 4, Rate: 0.5, Seed: 17, Alg: routing.DOR{}, Pattern: pat})
+	s := mustNew(t, Config{K: 4, Rate: 0.5, Seed: 17, Alg: routing.DOR{}, Pattern: pat})
 	s.StartMeasurement()
 	s.Run(3000)
 	st := s.Stats()
@@ -193,7 +193,7 @@ func TestSelfTrafficEjectsImmediately(t *testing.T) {
 }
 
 func TestStatsThroughputDefinition(t *testing.T) {
-	s := New(Config{K: 4, Rate: 0.2, Seed: 23, Alg: routing.DOR{}})
+	s := mustNew(t, Config{K: 4, Rate: 0.2, Seed: 23, Alg: routing.DOR{}})
 	s.StartMeasurement()
 	s.Run(5000)
 	st := s.Stats()
@@ -204,5 +204,28 @@ func TestStatsThroughputDefinition(t *testing.T) {
 	// Accepted should be close to offered at this easy load.
 	if st.Throughput < 0.15 {
 		t.Fatalf("throughput %v far below offered 0.2", st.Throughput)
+	}
+}
+
+// mustNew builds a simulator for a test-controlled config, failing the test
+// on a configuration error.
+func mustNew(t *testing.T, cfg Config) *Sim {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBadConfigRejected(t *testing.T) {
+	if _, err := New(Config{K: 1, Alg: routing.DOR{}}); err == nil {
+		t.Fatal("radix 1 accepted")
+	}
+	if _, err := New(Config{K: 4}); err == nil {
+		t.Fatal("missing algorithm accepted")
+	}
+	if _, err := New(Config{K: 4, Alg: routing.DOR{}, Pattern: traffic.Uniform(9)}); err == nil {
+		t.Fatal("mismatched pattern size accepted")
 	}
 }

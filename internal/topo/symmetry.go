@@ -48,6 +48,7 @@ func (m Dihedral) Apply(x, y int) (int, int) {
 	case DihSwapNegXY:
 		return -y, -x
 	}
+	//lint:ignore libpanic exhaustive switch over the dihedral enum; reachable only via an invalid constant
 	panic("topo: invalid dihedral element")
 }
 
@@ -65,6 +66,7 @@ func (m Dihedral) ApplyDir(d Dir) Dir {
 	case nx == 0 && ny == -1:
 		return YMinus
 	}
+	//lint:ignore libpanic group invariant: dihedral elements permute unit steps
 	panic("topo: dihedral direction image is not a unit step")
 }
 
@@ -82,6 +84,7 @@ func (m Dihedral) Compose(n Dihedral) Dihedral {
 			return e
 		}
 	}
+	//lint:ignore libpanic group invariant: the dihedral group is closed (covered by TestDihedralGroupClosure)
 	panic("topo: dihedral composition not closed")
 }
 
@@ -92,6 +95,7 @@ func (m Dihedral) Inverse() Dihedral {
 			return e
 		}
 	}
+	//lint:ignore libpanic group invariant: every dihedral element has an inverse (covered by symmetry tests)
 	panic("topo: dihedral element has no inverse")
 }
 
@@ -149,6 +153,7 @@ func (t *Torus) CanonicalRel(rx, ry int) (Dihedral, int, int) {
 			return m, cx, cy
 		}
 	}
+	//lint:ignore libpanic group invariant: the 8 dihedral images of any offset always include an octant representative
 	panic("topo: no dihedral element canonicalizes offset")
 }
 

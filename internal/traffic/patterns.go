@@ -1,6 +1,7 @@
 package traffic
 
 import (
+	"fmt"
 	"math/bits"
 
 	"tcr/internal/topo"
@@ -60,10 +61,11 @@ func NearestNeighbor(t *topo.Torus) *Matrix {
 
 // Hotspot returns a doubly-stochastic blend: fraction f of each node's
 // traffic follows a permutation toward a "hot" diagonal shift, the rest is
-// uniform. It models skewed but admissible load. f must be in [0, 1].
-func Hotspot(t *topo.Torus, f float64) *Matrix {
+// uniform. It models skewed but admissible load. It fails unless f is in
+// [0, 1].
+func Hotspot(t *topo.Torus, f float64) (*Matrix, error) {
 	if f < 0 || f > 1 {
-		panic("traffic: hotspot fraction out of range")
+		return nil, fmt.Errorf("traffic: hotspot fraction %v out of [0, 1]", f)
 	}
 	m := NewMatrix(t.N)
 	u := (1 - f) / float64(t.N)
@@ -75,7 +77,7 @@ func Hotspot(t *topo.Torus, f float64) *Matrix {
 		}
 		m.L[s][hot] += f
 	}
-	return m
+	return m, nil
 }
 
 // Named returns the pattern with the given name on the torus, or ok=false.

@@ -76,15 +76,24 @@ func TestNearestNeighbor(t *testing.T) {
 func TestHotspot(t *testing.T) {
 	tor := topo.NewTorus(4)
 	for _, f := range []float64{0, 0.3, 1} {
-		m := Hotspot(tor, f)
+		m, err := Hotspot(tor, f)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if e := m.MaxStochasticityError(); e > 1e-9 {
 			t.Fatalf("f=%v: stochasticity error %v", f, e)
 		}
 	}
 	// f=0 is uniform.
-	m := Hotspot(tor, 0)
+	m, err := Hotspot(tor, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(m.L[3][7]-1.0/16) > 1e-12 {
 		t.Fatal("f=0 should be uniform")
+	}
+	if _, err := Hotspot(tor, 1.5); err == nil {
+		t.Fatal("out-of-range fraction accepted")
 	}
 }
 

@@ -17,6 +17,20 @@ import (
 	"tcr/internal/topo"
 )
 
+// Numerical tolerances for matrix generation and decomposition.
+const (
+	// sinkhornFloor keeps every sampled entry strictly positive so the
+	// Sinkhorn iteration cannot divide by a zero row or column sum.
+	sinkhornFloor = 1e-12
+	// sinkhornTol stops the Sinkhorn iteration once every column sum is
+	// within this distance of 1.
+	sinkhornTol = 1e-12
+	// stochasticCheckTol is how far row/column sums may deviate from 1
+	// before BirkhoffDecompose rejects the matrix as not doubly
+	// stochastic.
+	stochasticCheckTol = 1e-6
+)
+
 // Matrix is a traffic pattern: L[s][d] is the fraction of source s's unit
 // injection bandwidth destined to node d. Valid patterns are
 // doubly-substochastic; the patterns of interest are doubly-stochastic
@@ -121,7 +135,7 @@ func RandomDoublyStochastic(n int, rng *rand.Rand) *Matrix {
 	m := NewMatrix(n)
 	for s := 0; s < n; s++ {
 		for d := 0; d < n; d++ {
-			m.L[s][d] = rng.ExpFloat64() + 1e-12
+			m.L[s][d] = rng.ExpFloat64() + sinkhornFloor
 		}
 	}
 	// Sinkhorn iteration: alternately normalize rows and columns.
@@ -150,7 +164,7 @@ func RandomDoublyStochastic(n int, rng *rand.Rand) *Matrix {
 				m.L[s][d] *= inv
 			}
 		}
-		if worst < 1e-12 {
+		if worst < sinkhornTol {
 			break
 		}
 	}
@@ -229,7 +243,7 @@ var ErrNotDoublyStochastic = errors.New("traffic: matrix is not doubly stochasti
 // perfect matching on the positive support and subtracts the support's
 // minimum entry.
 func BirkhoffDecompose(m *Matrix, tol float64) ([]BirkhoffTerm, error) {
-	if err := checkDoublyStochastic(m, 1e-6); err != nil {
+	if err := checkDoublyStochastic(m, stochasticCheckTol); err != nil {
 		return nil, err
 	}
 	n := m.N

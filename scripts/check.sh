@@ -1,0 +1,34 @@
+#!/bin/sh
+# check.sh - the repository's full verification gate.
+#
+# Runs, in order: build, go vet, the repo's own static-analysis pass
+# (tcrlint), the unit tests under the race detector, and a short fuzz
+# smoke over both fuzz targets. Any failure aborts with a nonzero exit.
+#
+# Usage: scripts/check.sh [fuzztime]
+#   fuzztime   duration for each fuzz smoke (default 5s; "0" skips fuzzing)
+set -eu
+
+cd "$(dirname "$0")/.."
+FUZZTIME="${1:-5s}"
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> tcrlint ./..."
+go run ./cmd/tcrlint ./...
+
+echo "==> go test -race ./... (short mode)"
+go test -race -short -timeout 30m ./...
+
+if [ "$FUZZTIME" != "0" ]; then
+	echo "==> fuzz smoke: FuzzReadMPS ($FUZZTIME)"
+	go test ./internal/lp -run='^$' -fuzz=FuzzReadMPS -fuzztime="$FUZZTIME"
+	echo "==> fuzz smoke: FuzzHungarian ($FUZZTIME)"
+	go test ./internal/matching -run='^$' -fuzz=FuzzHungarian -fuzztime="$FUZZTIME"
+fi
+
+echo "==> all checks passed"

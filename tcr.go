@@ -166,21 +166,25 @@ func WorstCaseParetoCurve(t *Torus, hNorms []float64, opts DesignOptions) ([]Par
 	return design.WorstCaseParetoCurve(t, hNorms, opts)
 }
 
+// designSlack is the stage-2 slack on the optimal worst-case load used by
+// the lexicographic (throughput-then-locality) designs exposed here.
+const designSlack = 1e-6
+
 // OptimalLocalityAtMaxWorstCase finds the best locality achievable at
 // maximum worst-case throughput (Figure 4's "optimal" series).
 func OptimalLocalityAtMaxWorstCase(t *Torus, opts DesignOptions) (*DesignResult, error) {
-	return design.MinLocalityAtWorstCase(t, 1e-6, opts)
+	return design.MinLocalityAtWorstCase(t, designSlack, opts)
 }
 
 // Design2Turn constructs the 2TURN algorithm (Section 5.2).
 func Design2Turn(t *Torus, opts DesignOptions) (*PathDesignResult, error) {
-	return design.DesignTwoTurn(t, 1e-6, opts)
+	return design.DesignTwoTurn(t, designSlack, opts)
 }
 
 // Design2TurnA constructs the 2TURNA algorithm (Section 5.4) over a traffic
 // sample.
 func Design2TurnA(t *Torus, samples []*Traffic, opts DesignOptions) (*PathDesignResult, error) {
-	return design.DesignTwoTurnAvg(t, samples, 1e-6, opts)
+	return design.DesignTwoTurnAvg(t, samples, designSlack, opts)
 }
 
 // AvgCaseOptimal designs for maximum (approximate) average-case throughput
@@ -207,12 +211,15 @@ type SimConfig = sim.Config
 type SimStats = sim.Stats
 
 // Simulate runs warmup then a measurement window and returns the stats.
-func Simulate(cfg SimConfig, warmup, measure int) SimStats {
-	s := sim.New(cfg)
+func Simulate(cfg SimConfig, warmup, measure int) (SimStats, error) {
+	s, err := sim.New(cfg)
+	if err != nil {
+		return SimStats{}, err
+	}
 	s.Run(warmup)
 	s.StartMeasurement()
 	s.Run(measure)
-	return s.Stats()
+	return s.Stats(), nil
 }
 
 // SaturationResult is a simulated load sweep's outcome.
@@ -220,6 +227,6 @@ type SaturationResult = sim.SaturationResult
 
 // FindSaturation sweeps offered load and reports the accepted-throughput
 // plateau (the simulated saturation point).
-func FindSaturation(cfg SimConfig, rates []float64, warmup, measure int) SaturationResult {
+func FindSaturation(cfg SimConfig, rates []float64, warmup, measure int) (SaturationResult, error) {
 	return sim.FindSaturation(cfg, rates, warmup, measure)
 }

@@ -52,7 +52,10 @@ func TestDesignAndUseTable(t *testing.T) {
 		t.Fatalf("2TURN worst case %v, want 0.5", m.WorstCaseFraction)
 	}
 	// The designed table simulates without deadlock.
-	st := Simulate(SimConfig{K: 3, Rate: 0.6, Seed: 2, Alg: res.Table}, 500, 2000)
+	st, err := Simulate(SimConfig{K: 3, Rate: 0.6, Seed: 2, Alg: res.Table}, 500, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if st.Deadlocked || st.PacketsEjected == 0 {
 		t.Fatalf("2TURN simulation broken: %+v", st)
 	}
@@ -90,8 +93,11 @@ func TestParetoEndpoints(t *testing.T) {
 }
 
 func TestFindSaturation(t *testing.T) {
-	res := FindSaturation(SimConfig{K: 4, Seed: 4, Alg: DOR(), VCsPerClass: 2},
+	res, err := FindSaturation(SimConfig{K: 4, Seed: 4, Alg: DOR(), VCsPerClass: 2},
 		[]float64{0.3, 0.8}, 300, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Deadlocked || res.Throughput <= 0 {
 		t.Fatalf("saturation sweep broken: %+v", res)
 	}
