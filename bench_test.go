@@ -8,6 +8,8 @@ package tcr
 // EXPERIMENTS.md.
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"tcr/internal/design"
@@ -37,7 +39,9 @@ func BenchmarkFigure1AlgorithmPoints(b *testing.B) {
 	algs := []Algorithm{DOR(), ROMM(), RLB(), RLBth(), VAL(), IVAL()}
 	for i := 0; i < b.N; i++ {
 		for _, alg := range algs {
-			_ = Report(t, alg, nil)
+			if _, err := Report(t, alg, nil); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }
@@ -52,7 +56,9 @@ func BenchmarkFigure4RadixSweep(b *testing.B) {
 			if _, err := OptimalLocalityAtMaxWorstCase(t, DesignOptions{}); err != nil {
 				b.Fatalf("k=%d: %v", k, err)
 			}
-			_ = Report(t, IVAL(), nil)
+			if _, err := Report(t, IVAL(), nil); err != nil {
+				b.Fatalf("k=%d IVAL: %v", k, err)
+			}
 			if _, err := Design2Turn(t, DesignOptions{}); err != nil {
 				b.Fatalf("k=%d 2TURN: %v", k, err)
 			}
@@ -66,7 +72,9 @@ func BenchmarkFigure5Interpolation(b *testing.B) {
 	t := NewTorus(6)
 	for i := 0; i < b.N; i++ {
 		for _, alpha := range []float64{0, 0.25, 0.5, 0.75, 1} {
-			_ = Report(t, Interpolate(IVAL(), DOR(), alpha), nil)
+			if _, err := Report(t, Interpolate(IVAL(), DOR(), alpha), nil); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }
@@ -215,5 +223,61 @@ func BenchmarkFlowFromAlgorithm(b *testing.B) {
 	t := NewTorus(8)
 	for i := 0; i < b.N; i++ {
 		_ = eval.FromAlgorithm(t, routing.IVAL{})
+	}
+}
+
+// BenchmarkEvaluateWorkers measures the facade's flow evaluation (path
+// enumeration + per-pair accumulation, IVAL at k=8) across worker-pool
+// widths. Sharding is per source-destination pair with disjoint output rows,
+// so multi-core hosts scale it near-linearly; on a single-CPU host the
+// widths tie (the README's Performance section records the measured
+// numbers).
+func BenchmarkEvaluateWorkers(b *testing.B) {
+	t := NewTorus(8)
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.FromAlgorithmCtx(context.Background(), t, routing.IVAL{}, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWorstCaseWorkers measures the exact worst-case oracle (Hungarian
+// matchings over channel representatives, k=8) across worker-pool widths;
+// the four channel directions solve concurrently.
+func BenchmarkWorstCaseWorkers(b *testing.B) {
+	t := NewTorus(8)
+	f := Evaluate(t, IVAL())
+	b.ResetTimer()
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := f.WorstCaseCtx(context.Background(), w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParetoCurveWorkers measures the locality-bound design sweep
+// across worker-pool widths. Workers=1 runs the legacy shared warm-started
+// LP; workers>1 solves each locality point as an independent LP in parallel.
+// k=4 keeps one iteration in seconds — the k=8 sweep needs hours per point
+// on this pure-Go simplex (see EXPERIMENTS.md) and belongs to the CLI.
+func BenchmarkParetoCurveWorkers(b *testing.B) {
+	t := NewTorus(4)
+	hs := []float64{1.0, 1.5, 2.0}
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := WorstCaseParetoCurve(t, hs, DesignOptions{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

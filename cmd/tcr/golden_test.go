@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"io"
 	"os"
@@ -66,7 +67,7 @@ func checkGolden(t *testing.T, name, got string) {
 // fully deterministic.
 func TestEvalGolden(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return cmdEval([]string{"-k", "4", "-samples", "0"})
+		return cmdEval(context.Background(), []string{"-k", "4", "-samples", "0"})
 	})
 	checkGolden(t, "eval_k4.golden", out)
 }
@@ -93,7 +94,7 @@ func TestWorstPermGolden(t *testing.T) {
 // TestSubcommandBadFlags checks that flag-level validation surfaces as
 // errors rather than panics.
 func TestSubcommandBadFlags(t *testing.T) {
-	if err := cmdEval([]string{"-k", "1", "-samples", "0"}); err == nil {
+	if err := cmdEval(context.Background(), []string{"-k", "1", "-samples", "0"}); err == nil {
 		t.Error("eval accepted radix 1")
 	}
 	if err := cmdLoadMap([]string{"-k", "4", "-alg", "nope"}); err == nil {

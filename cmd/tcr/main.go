@@ -16,12 +16,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"tcr"
-	"tcr/internal/eval"
 	"tcr/internal/sim"
 	"tcr/internal/traffic"
 )
@@ -31,27 +33,31 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// Ctrl-C cancels the context, which unwinds LP sweeps and simulations
+	// between rounds; a second Ctrl-C kills the process the usual way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	cmd, args := os.Args[1], os.Args[2:]
 	var err error
 	switch cmd {
 	case "eval":
-		err = cmdEval(args)
+		err = cmdEval(ctx, args)
 	case "figure1":
-		err = cmdFigure1(args)
+		err = cmdFigure1(ctx, args)
 	case "figure4":
-		err = cmdFigure4(args)
+		err = cmdFigure4(ctx, args)
 	case "figure5":
-		err = cmdFigure5(args)
+		err = cmdFigure5(ctx, args)
 	case "figure6":
-		err = cmdFigure6(args)
+		err = cmdFigure6(ctx, args)
 	case "approx":
-		err = cmdApprox(args)
+		err = cmdApprox(ctx, args)
 	case "sim":
-		err = cmdSim(args)
+		err = cmdSim(ctx, args)
 	case "worstperm":
 		err = cmdWorstPerm(args)
 	case "design":
-		err = cmdDesign(args)
+		err = cmdDesign(ctx, args)
 	case "loadmap":
 		err = cmdLoadMap(args)
 	default:
@@ -85,7 +91,7 @@ func closedForms() []tcr.Algorithm {
 	}
 }
 
-func cmdEval(args []string) error {
+func cmdEval(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("eval", flag.ExitOnError)
 	k := fs.Int("k", 8, "torus radix")
 	nSamples := fs.Int("samples", 100, "average-case sample count (0 to skip)")
@@ -105,14 +111,17 @@ func cmdEval(args []string) error {
 	fmt.Printf("# %d-ary 2-cube, capacity %.4f injection fraction\n", *k, tcr.NetworkCapacity(t))
 	fmt.Println("alg\tHnorm\twc_frac\tavg_frac\tcap_frac")
 	for _, alg := range closedForms() {
-		m := tcr.Report(t, alg, samples)
+		m, err := tcr.ReportCtx(ctx, t, alg, samples)
+		if err != nil {
+			return err
+		}
 		fmt.Printf("%s\t%.4f\t%.4f\t%.4f\t%.4f\n",
 			alg.Name(), m.HNorm, m.WorstCaseFraction, m.AvgCaseFraction, m.CapacityFraction)
 	}
 	return nil
 }
 
-func cmdFigure1(args []string) error {
+func cmdFigure1(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("figure1", flag.ExitOnError)
 	k := fs.Int("k", 6, "torus radix (k=8 reproduces the paper but needs hours of LP time)")
 	points := fs.Int("points", 11, "Pareto sweep points")
@@ -128,7 +137,7 @@ func cmdFigure1(args []string) error {
 	fmt.Println("# optimal tradeoff curve: best worst-case throughput at locality <= L")
 	fmt.Println("Lnorm\twc_frac_optimal")
 	hs := sweep(1.0, 2.0, *points)
-	pts, err := tcr.WorstCaseParetoCurve(t, hs, tcr.DesignOptions{})
+	pts, err := tcr.WorstCaseParetoCurveCtx(ctx, t, hs, tcr.DesignOptions{})
 	if err != nil {
 		return err
 	}
@@ -138,21 +147,27 @@ func cmdFigure1(args []string) error {
 	fmt.Println("\n# algorithm points (Hnorm, wc_frac)")
 	fmt.Println("alg\tHnorm\twc_frac")
 	for _, alg := range closedForms() {
-		m := tcr.Report(t, alg, nil)
-		fmt.Printf("%s\t%.4f\t%.4f\n", alg.Name(), m.HNorm, m.WorstCaseFraction)
-	}
-	if *with2turn {
-		tt, err := tcr.Design2Turn(t, tcr.DesignOptions{})
+		m, err := tcr.ReportCtx(ctx, t, alg, nil)
 		if err != nil {
 			return err
 		}
-		m := tcr.Report(t, tt.Table, nil)
+		fmt.Printf("%s\t%.4f\t%.4f\n", alg.Name(), m.HNorm, m.WorstCaseFraction)
+	}
+	if *with2turn {
+		tt, err := tcr.Design2TurnCtx(ctx, t, tcr.DesignOptions{})
+		if err != nil {
+			return err
+		}
+		m, err := tcr.ReportCtx(ctx, t, tt.Table, nil)
+		if err != nil {
+			return err
+		}
 		fmt.Printf("2TURN\t%.4f\t%.4f\n", m.HNorm, m.WorstCaseFraction)
 	}
 	return nil
 }
 
-func cmdFigure4(args []string) error {
+func cmdFigure4(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("figure4", flag.ExitOnError)
 	kmin := fs.Int("kmin", 3, "smallest radix")
 	kmax := fs.Int("kmax", 5, "largest radix (>=6 needs minutes per radix)")
@@ -167,12 +182,15 @@ func cmdFigure4(args []string) error {
 		if err != nil {
 			return err
 		}
-		opt, err := tcr.OptimalLocalityAtMaxWorstCase(t, tcr.DesignOptions{})
+		opt, err := tcr.OptimalLocalityAtMaxWorstCaseCtx(ctx, t, tcr.DesignOptions{})
 		if err != nil {
 			return fmt.Errorf("k=%d optimal: %w", k, err)
 		}
-		ival := tcr.Report(t, tcr.IVAL(), nil)
-		tt, err := tcr.Design2Turn(t, tcr.DesignOptions{})
+		ival, err := tcr.ReportCtx(ctx, t, tcr.IVAL(), nil)
+		if err != nil {
+			return err
+		}
+		tt, err := tcr.Design2TurnCtx(ctx, t, tcr.DesignOptions{})
 		if err != nil {
 			return fmt.Errorf("k=%d 2TURN: %w", k, err)
 		}
@@ -181,7 +199,7 @@ func cmdFigure4(args []string) error {
 	return nil
 }
 
-func cmdFigure5(args []string) error {
+func cmdFigure5(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("figure5", flag.ExitOnError)
 	k := fs.Int("k", 8, "torus radix")
 	points := fs.Int("points", 11, "alpha sweep points")
@@ -196,7 +214,7 @@ func cmdFigure5(args []string) error {
 	}
 	var ttAlg tcr.Algorithm
 	if *with2turn {
-		tt, err := tcr.Design2Turn(t, tcr.DesignOptions{})
+		tt, err := tcr.Design2TurnCtx(ctx, t, tcr.DesignOptions{})
 		if err != nil {
 			return err
 		}
@@ -210,9 +228,15 @@ func cmdFigure5(args []string) error {
 	}
 	for i := 0; i < *points; i++ {
 		alpha := float64(i) / float64(*points-1)
-		a := tcr.Report(t, tcr.Interpolate(tcr.IVAL(), tcr.DOR(), alpha), nil)
+		a, err := tcr.ReportCtx(ctx, t, tcr.Interpolate(tcr.IVAL(), tcr.DOR(), alpha), nil)
+		if err != nil {
+			return err
+		}
 		if ttAlg != nil {
-			b := tcr.Report(t, tcr.Interpolate(ttAlg, tcr.DOR(), alpha), nil)
+			b, err := tcr.ReportCtx(ctx, t, tcr.Interpolate(ttAlg, tcr.DOR(), alpha), nil)
+			if err != nil {
+				return err
+			}
 			fmt.Printf("%.2f\t%.4f\t%.4f\t%.4f\t%.4f\n",
 				alpha, a.HNorm, a.WorstCaseFraction, b.HNorm, b.WorstCaseFraction)
 		} else {
@@ -222,7 +246,7 @@ func cmdFigure5(args []string) error {
 	return nil
 }
 
-func cmdFigure6(args []string) error {
+func cmdFigure6(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("figure6", flag.ExitOnError)
 	k := fs.Int("k", 5, "torus radix (k=8 with 100 samples needs hours of LP time)")
 	nSamples := fs.Int("samples", 40, "average-case sample count")
@@ -241,7 +265,7 @@ func cmdFigure6(args []string) error {
 
 	fmt.Println("# optimal tradeoff: best avg-case throughput (approx) at locality <= L")
 	fmt.Println("Lnorm\tavg_frac_optimal")
-	pts, err := tcr.AvgCaseParetoCurve(t, samples, sweep(1.0, 2.0, *points), tcr.DesignOptions{})
+	pts, err := tcr.AvgCaseParetoCurveCtx(ctx, t, samples, sweep(1.0, 2.0, *points), tcr.DesignOptions{})
 	if err != nil {
 		return err
 	}
@@ -252,27 +276,36 @@ func cmdFigure6(args []string) error {
 	fmt.Println("\n# algorithm points (Hnorm, avg_frac)")
 	fmt.Println("alg\tHnorm\tavg_frac")
 	for _, alg := range closedForms() {
-		m := tcr.Report(t, alg, samples)
+		m, err := tcr.ReportCtx(ctx, t, alg, samples)
+		if err != nil {
+			return err
+		}
 		fmt.Printf("%s\t%.4f\t%.4f\n", alg.Name(), m.HNorm, m.AvgCaseFraction)
 	}
 	if *with2turn {
-		tt, err := tcr.Design2Turn(t, tcr.DesignOptions{})
+		tt, err := tcr.Design2TurnCtx(ctx, t, tcr.DesignOptions{})
 		if err != nil {
 			return err
 		}
-		m := tcr.Report(t, tt.Table, samples)
+		m, err := tcr.ReportCtx(ctx, t, tt.Table, samples)
+		if err != nil {
+			return err
+		}
 		fmt.Printf("2TURN\t%.4f\t%.4f\n", m.HNorm, m.AvgCaseFraction)
-		tta, err := tcr.Design2TurnA(t, samples, tcr.DesignOptions{})
+		tta, err := tcr.Design2TurnACtx(ctx, t, samples, tcr.DesignOptions{})
 		if err != nil {
 			return err
 		}
-		m = tcr.Report(t, tta.Table, samples)
+		m, err = tcr.ReportCtx(ctx, t, tta.Table, samples)
+		if err != nil {
+			return err
+		}
 		fmt.Printf("2TURNA\t%.4f\t%.4f\n", m.HNorm, m.AvgCaseFraction)
 	}
 	return nil
 }
 
-func cmdApprox(args []string) error {
+func cmdApprox(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("approx", flag.ExitOnError)
 	k := fs.Int("k", 8, "torus radix")
 	nSamples := fs.Int("samples", 100, "sample count")
@@ -289,7 +322,10 @@ func cmdApprox(args []string) error {
 	fmt.Printf("# Section 3.3 approximation check, |X|=%d, N=%d\n", *nSamples, t.N)
 	fmt.Println("alg\tapprox_thpt\texact_mean_thpt\trel_err_pct")
 	for _, alg := range closedForms() {
-		f := tcr.Evaluate(t, alg)
+		f, err := tcr.EvaluateCtx(ctx, t, alg)
+		if err != nil {
+			return err
+		}
 		r := f.AvgCase(samples)
 		rel := 100 * (r.ExactMeanThroughput - r.ApproxThroughput) / r.ExactMeanThroughput
 		fmt.Printf("%s\t%.4f\t%.4f\t%.2f\n",
@@ -298,7 +334,7 @@ func cmdApprox(args []string) error {
 	return nil
 }
 
-func cmdSim(args []string) error {
+func cmdSim(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("sim", flag.ExitOnError)
 	k := fs.Int("k", 8, "torus radix")
 	algName := fs.String("alg", "IVAL", "DOR|VAL|IVAL|ROMM|RLB|RLBth|O1TURN")
@@ -327,7 +363,10 @@ func cmdSim(args []string) error {
 	}
 
 	// Ideal saturation for context: min(1, capacity under this pattern).
-	f := eval.FromAlgorithm(t, alg)
+	f, err := tcr.EvaluateCtx(ctx, t, alg)
+	if err != nil {
+		return err
+	}
 	ideal := f.Throughput(pat)
 	if ideal > 1 {
 		ideal = 1
@@ -341,10 +380,11 @@ func cmdSim(args []string) error {
 		rates = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
 	}
 	for _, r := range rates {
-		st, err := tcr.Simulate(sim.Config{
+		st, err := tcr.SimulateCtx(ctx, sim.Config{
 			K: *k, Rate: r, Seed: *seed, Alg: alg, Pattern: pat,
 			VCsPerClass: *vcs, BufDepth: *buf,
-		}, *warmup, *measure)
+			Warmup: *warmup, Measure: *measure,
+		})
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -63,7 +64,7 @@ func cmdWorstPerm(args []string) error {
 	return nil
 }
 
-func cmdDesign(args []string) error {
+func cmdDesign(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("design", flag.ExitOnError)
 	k := fs.Int("k", 8, "torus radix")
 	kind := fs.String("kind", "2turn", "2turn|2turna|wcopt")
@@ -81,7 +82,7 @@ func cmdDesign(args []string) error {
 	var tbl *routing.Table
 	switch *kind {
 	case "2turn":
-		res, err := tcr.Design2Turn(t, tcr.DesignOptions{})
+		res, err := tcr.Design2TurnCtx(ctx, t, tcr.DesignOptions{})
 		if err != nil {
 			return err
 		}
@@ -89,7 +90,7 @@ func cmdDesign(args []string) error {
 		fmt.Fprintf(os.Stderr, "2TURN: H=%.4f gamma_wc=%.4f\n", res.HNorm, res.GammaWC)
 	case "2turna":
 		samples := tcr.SampleTraffic(t, *nSamples, *seed)
-		res, err := tcr.Design2TurnA(t, samples, tcr.DesignOptions{})
+		res, err := tcr.Design2TurnACtx(ctx, t, samples, tcr.DesignOptions{})
 		if err != nil {
 			return err
 		}
@@ -97,7 +98,7 @@ func cmdDesign(args []string) error {
 		fmt.Fprintf(os.Stderr, "2TURNA: H=%.4f mean-max-load=%.4f\n", res.HNorm, res.Objective)
 	case "wcopt":
 		// Slack 0 selects the design package's default stage-2 slack.
-		res, err := design.MinLocalityAtWorstCase(t, 0, design.Options{})
+		res, err := design.MinLocalityAtWorstCaseCtx(ctx, t, design.Options{})
 		if err != nil {
 			return err
 		}

@@ -2,6 +2,7 @@ package tcr_test
 
 import (
 	"fmt"
+	"log"
 
 	"tcr"
 )
@@ -11,7 +12,10 @@ import (
 func Example() {
 	t := tcr.NewTorus(8)
 	for _, alg := range []tcr.Algorithm{tcr.DOR(), tcr.VAL(), tcr.IVAL()} {
-		m := tcr.Report(t, alg, nil)
+		m, err := tcr.Report(t, alg, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%-5s H=%.3f worst-case=%.3f\n", alg.Name(), m.HNorm, m.WorstCaseFraction)
 	}
 	// Output:
@@ -24,7 +28,10 @@ func Example() {
 // the harmonic-mean bound of equation (14).
 func ExampleInterpolate() {
 	t := tcr.NewTorus(8)
-	half := tcr.Report(t, tcr.Interpolate(tcr.IVAL(), tcr.DOR(), 0.5), nil)
+	half, err := tcr.Report(t, tcr.Interpolate(tcr.IVAL(), tcr.DOR(), 0.5), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("alpha=0.5: H=%.4f worst-case=%.4f\n", half.HNorm, half.WorstCaseFraction)
 	// Output:
 	// alpha=0.5: H=1.3066 worst-case=0.3636

@@ -7,18 +7,28 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"tcr"
 )
 
 func main() {
 	t := tcr.NewTorus(8)
-	dor := tcr.Report(t, tcr.DOR(), nil)
-	ival := tcr.Report(t, tcr.IVAL(), nil)
+	dor, err := tcr.Report(t, tcr.DOR(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ival, err := tcr.Report(t, tcr.IVAL(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("alpha   locality  worst-case  harmonic-mean bound")
 	for _, alpha := range []float64{0, 0.25, 0.5, 0.65, 0.75, 1} {
-		m := tcr.Report(t, tcr.Interpolate(tcr.IVAL(), tcr.DOR(), alpha), nil)
+		m, err := tcr.Report(t, tcr.Interpolate(tcr.IVAL(), tcr.DOR(), alpha), nil)
+		if err != nil {
+			log.Fatal(err)
+		}
 		bound := 1 / (alpha/ival.WorstCaseFraction + (1-alpha)/dor.WorstCaseFraction)
 		fmt.Printf("%5.2f   %8.4f  %10.4f  %19.4f\n",
 			alpha, m.HNorm, m.WorstCaseFraction, bound)

@@ -30,7 +30,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	m := tcr.Report(t, tt.Table, nil)
+	m, err := tcr.Report(t, tt.Table, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\n2TURN (LP-weighted two-turn paths): locality %.4f, worst case %.4f of capacity\n",
 		m.HNorm, m.WorstCaseFraction)
 

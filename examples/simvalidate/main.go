@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -35,10 +36,11 @@ func main() {
 		if ideal > 1 {
 			ideal = 1 // injection bandwidth binds first
 		}
-		st, err := tcr.Simulate(tcr.SimConfig{
+		st, err := tcr.SimulateCtx(context.Background(), tcr.SimConfig{
 			K: 8, Rate: 1.0, Seed: 7, Alg: c.alg, Pattern: c.pattern,
 			VCsPerClass: 3, BufDepth: 8,
-		}, 3000, 10000)
+			Warmup: 3000, Measure: 10000,
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -1,10 +1,12 @@
 package design
 
 import (
+	"context"
 	"fmt"
 
 	"tcr/internal/eval"
 	"tcr/internal/lp"
+	"tcr/internal/par"
 	"tcr/internal/topo"
 	"tcr/internal/traffic"
 )
@@ -82,10 +84,23 @@ func (a *AvgCaseLP) SetLocality(hNorm float64) { a.flp.SetLocality(hNorm) }
 // maximum channel load exceeds its t variable contributes a cut for its
 // most-loaded channel.
 func (a *AvgCaseLP) Solve() (*Result, error) {
+	return a.SolveCtx(context.Background())
+}
+
+// SolveCtx is Solve under a cancellation context. The per-sample separation
+// (dense channel-load evaluation plus argmax) runs on Options.Workers
+// goroutines into per-sample slots; cuts are then added in sample order, so
+// the generated LP is identical for every worker count.
+func (a *AvgCaseLP) SolveCtx(ctx context.Context) (*Result, error) {
 	p := a.flp
 	tol := p.opts.tol()
 	res := &Result{}
+	worstCs := make([]int, len(a.samples))
+	worsts := make([]float64, len(a.samples))
 	for round := 0; round < p.opts.rounds(); round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sol, err := p.solver.Solve()
 		if err != nil {
 			return nil, err
@@ -96,24 +111,34 @@ func (a *AvgCaseLP) Solve() (*Result, error) {
 		res.Rounds = round + 1
 		res.Iterations += sol.Iterations
 		flow := p.unfold(sol.X)
-		violated := false
-		for i, lam := range a.samples {
-			loads := flow.ChannelLoads(lam)
+		err = par.Do(ctx, len(a.samples), p.opts.Workers, func(i int) error {
+			loads := flow.ChannelLoads(a.samples[i])
 			worstC, worst := 0, 0.0
 			for c, l := range loads {
 				if l > worst {
 					worst, worstC = l, c
 				}
 			}
-			if worst > sol.X[a.tVars[i]]+tol {
-				p.matrixCut(topo.Channel(worstC), lam, a.tVars[i])
+			worstCs[i], worsts[i] = worstC, worst
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		violated := false
+		for i, lam := range a.samples {
+			if worsts[i] > sol.X[a.tVars[i]]+tol {
+				p.matrixCut(topo.Channel(worstCs[i]), lam, a.tVars[i])
 				violated = true
 			}
 		}
 		if !violated {
 			res.Flow = flow
 			res.Objective = sol.Objective
-			res.GammaWC, _ = flow.WorstCase()
+			res.GammaWC, _, err = flow.WorstCaseCtx(ctx, p.opts.Workers)
+			if err != nil {
+				return nil, err
+			}
 			res.HAvg = flow.HAvg()
 			res.HNorm = flow.HNorm()
 			return res, nil
@@ -126,26 +151,63 @@ func (a *AvgCaseLP) Solve() (*Result, error) {
 // locality constraint: the maximum average-case throughput point of
 // Figure 6 (its reciprocal, normalized by capacity, is the paper's ~62.8%).
 func AvgCaseOptimal(t *topo.Torus, samples []*traffic.Matrix, opts Options) (*Result, error) {
-	return NewAvgCaseLP(t, samples, false, opts).Solve()
+	return AvgCaseOptimalCtx(context.Background(), t, samples, opts)
+}
+
+// AvgCaseOptimalCtx is AvgCaseOptimal under a cancellation context.
+func AvgCaseOptimalCtx(ctx context.Context, t *topo.Torus, samples []*traffic.Matrix, opts Options) (*Result, error) {
+	return NewAvgCaseLP(t, samples, false, opts).SolveCtx(ctx)
 }
 
 // AvgCaseAtLocality solves equation (15): best average-case throughput at a
 // fixed normalized locality.
 func AvgCaseAtLocality(t *topo.Torus, samples []*traffic.Matrix, hNorm float64, opts Options) (*Result, error) {
-	a := NewAvgCaseLP(t, samples, true, opts)
-	a.SetLocality(hNorm)
-	return a.Solve()
+	return AvgCaseAtLocalityCtx(context.Background(), t, samples, hNorm, opts)
 }
 
-// AvgCaseParetoCurve sweeps locality for Figure 6's optimal tradeoff curve,
-// reusing the LP (sample cuts stay valid across L).
-func AvgCaseParetoCurve(t *topo.Torus, samples []*traffic.Matrix, hNorms []float64, opts Options) ([]ParetoPoint, error) {
+// AvgCaseAtLocalityCtx is AvgCaseAtLocality under a cancellation context.
+func AvgCaseAtLocalityCtx(ctx context.Context, t *topo.Torus, samples []*traffic.Matrix, hNorm float64, opts Options) (*Result, error) {
 	a := NewAvgCaseLP(t, samples, true, opts)
+	a.SetLocality(hNorm)
+	return a.SolveCtx(ctx)
+}
+
+// AvgCaseParetoCurve sweeps locality for Figure 6's optimal tradeoff curve.
+// See AvgCaseParetoCurveCtx for the sweep strategy.
+func AvgCaseParetoCurve(t *topo.Torus, samples []*traffic.Matrix, hNorms []float64, opts Options) ([]ParetoPoint, error) {
+	return AvgCaseParetoCurveCtx(context.Background(), t, samples, hNorms, opts)
+}
+
+// AvgCaseParetoCurveCtx sweeps locality under a cancellation context. As
+// with WorstCaseParetoCurveCtx, Options.Workers 1 keeps the historical
+// single-LP sweep (sample cuts stay valid across L); any other worker count
+// solves the points as independent LPs concurrently, ordered by hNorms
+// index in the result.
+func AvgCaseParetoCurveCtx(ctx context.Context, t *topo.Torus, samples []*traffic.Matrix, hNorms []float64, opts Options) ([]ParetoPoint, error) {
 	cap := eval.NetworkCapacity(t)
+	if par.Workers(opts.Workers) > 1 {
+		out := make([]ParetoPoint, len(hNorms))
+		err := par.Do(ctx, len(hNorms), opts.Workers, func(i int) error {
+			h := hNorms[i]
+			popts := opts
+			popts.Workers = 1
+			res, err := AvgCaseAtLocalityCtx(ctx, t, samples, h, popts)
+			if err != nil {
+				return fmt.Errorf("L=%v: %w", h, err)
+			}
+			out[i] = ParetoPoint{HNorm: h, Theta: (1 / res.Objective) / cap, Gamma: res.Objective}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	a := NewAvgCaseLP(t, samples, true, opts)
 	out := make([]ParetoPoint, 0, len(hNorms))
 	for _, h := range hNorms {
 		a.SetLocality(h)
-		res, err := a.Solve()
+		res, err := a.SolveCtx(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("L=%v: %w", h, err)
 		}

@@ -36,12 +36,14 @@
 package design
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"tcr/internal/eval"
 	"tcr/internal/lp"
 	"tcr/internal/matching"
+	"tcr/internal/par"
 	"tcr/internal/topo"
 	"tcr/internal/traffic"
 )
@@ -102,6 +104,19 @@ type Options struct {
 	MaxRounds int
 	// Tol is the relative convergence tolerance (default 1e-6).
 	Tol float64
+	// Workers bounds the engine's parallelism: the per-channel Hungarian
+	// oracles run concurrently, and the Pareto sweeps solve their
+	// per-point LPs on this many goroutines. 0 means all cores
+	// (GOMAXPROCS). 1 reproduces the sequential behaviour bit for bit —
+	// in particular, Pareto sweeps at Workers 1 share one warm-started LP
+	// across the whole sweep exactly as the pre-parallel engine did,
+	// while Workers > 1 solves one independent LP per point.
+	Workers int
+	// Slack is the stage-2 slack on the optimal first-stage objective
+	// used by the lexicographic (throughput-then-locality) designs; it
+	// keeps the stage-2 LP strictly feasible. 0 or negative selects the
+	// default 1e-6.
+	Slack float64
 }
 
 func (o Options) rounds() int {
@@ -116,6 +131,13 @@ func (o Options) tol() float64 {
 		return o.Tol
 	}
 	return defaultTol
+}
+
+func (o Options) slack() float64 {
+	if o.Slack > 0 {
+		return o.Slack
+	}
+	return defaultSlack
 }
 
 // commodity is one folded flow commodity.
@@ -351,11 +373,21 @@ type Result struct {
 // minimize the current objective subject to flow constraints and generated
 // permutation cuts, until the Hungarian oracle certifies that no permutation
 // loads any channel beyond the LP's bound variable by more than tol.
-func (p *FlowLP) solveWorstCase() (*Result, error) {
+//
+// The per-direction Hungarian oracles are independent and run on
+// Options.Workers goroutines; cuts are then added sequentially in direction
+// order, so the generated LP -- and hence the solve trajectory -- is
+// identical for every worker count.
+func (p *FlowLP) solveWorstCase(ctx context.Context) (*Result, error) {
 	tol := p.opts.tol()
 	var last *lp.Solution
 	res := &Result{}
+	perms := make([][]int, topo.NumDirs)
+	gammas := make([]float64, topo.NumDirs)
 	for round := 0; round < p.opts.rounds(); round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sol, err := p.solver.Solve()
 		if err != nil {
 			return nil, err
@@ -371,23 +403,33 @@ func (p *FlowLP) solveWorstCase() (*Result, error) {
 
 		// Separation: worst permutation per channel-direction
 		// representative (translation invariance covers the rest).
+		err = par.Do(ctx, int(topo.NumDirs), p.opts.Workers, func(i int) error {
+			c := p.T.Chan(0, topo.Dir(i))
+			perm, g, err := matching.MaxWeightAssignment(pairLoadMatrix(flow, c))
+			if err != nil {
+				return err
+			}
+			perms[i], gammas[i] = perm, g
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
 		violated := false
 		for dir := topo.Dir(0); dir < topo.NumDirs; dir++ {
-			c := p.T.Chan(0, dir)
-			mat := pairLoadMatrix(flow, c)
-			perm, g, err := matching.MaxWeightAssignment(mat)
-			if err != nil {
-				return nil, err
-			}
-			if g > w+tol*math.Max(1, w) {
-				p.permCut(c, perm, p.wVar)
+			if gammas[dir] > w+tol*math.Max(1, w) {
+				p.permCut(p.T.Chan(0, dir), perms[dir], p.wVar)
 				violated = true
 			}
 		}
 		if !violated {
 			res.Flow = flow
 			res.Objective = last.Objective
-			res.GammaWC, _ = flow.WorstCase()
+			var err error
+			res.GammaWC, _, err = flow.WorstCaseCtx(ctx, p.opts.Workers)
+			if err != nil {
+				return nil, err
+			}
 			res.HAvg = flow.HAvg()
 			res.HNorm = flow.HNorm()
 			return res, nil
@@ -418,35 +460,49 @@ func pairLoadMatrix(f *eval.Flow, c topo.Channel) [][]float64 {
 // throughput (no locality constraint): the right-hand end of Figure 1's
 // Pareto curve.
 func WorstCaseOptimal(t *topo.Torus, opts Options) (*Result, error) {
+	return WorstCaseOptimalCtx(context.Background(), t, opts)
+}
+
+// WorstCaseOptimalCtx is WorstCaseOptimal under a cancellation context: the
+// solve aborts between cutting-plane rounds once ctx is done.
+func WorstCaseOptimalCtx(ctx context.Context, t *topo.Torus, opts Options) (*Result, error) {
 	if opts.Cuts == CutPermutations {
 		p := NewFlowLP(t, false, opts)
-		return p.solveWorstCase()
+		return p.solveWorstCase(ctx)
 	}
 	q := newPotentialLP(t, false, opts)
-	return q.result(math.NaN())
+	return q.result(ctx, math.NaN())
 }
 
 // WorstCaseAtLocality designs the best worst-case routing function whose
 // average path length equals hNorm times minimal: one point of Figure 1's
 // optimal tradeoff curve (equation 10).
 func WorstCaseAtLocality(t *topo.Torus, hNorm float64, opts Options) (*Result, error) {
+	return WorstCaseAtLocalityCtx(context.Background(), t, hNorm, opts)
+}
+
+// WorstCaseAtLocalityCtx is WorstCaseAtLocality under a cancellation context.
+func WorstCaseAtLocalityCtx(ctx context.Context, t *topo.Torus, hNorm float64, opts Options) (*Result, error) {
 	if opts.Cuts == CutPermutations {
 		p := NewFlowLP(t, true, opts)
 		p.SetLocality(hNorm)
-		return p.solveWorstCase()
+		return p.solveWorstCase(ctx)
 	}
 	q := newPotentialLP(t, true, opts)
 	q.SetLocality(hNorm)
-	return q.result(math.NaN())
+	return q.result(ctx, math.NaN())
 }
 
 // result runs the lazy-row solve and packages a Result.
-func (q *potentialLP) result(fixedBound float64) (*Result, error) {
-	sol, flow, rounds, err := q.solve(fixedBound)
+func (q *potentialLP) result(ctx context.Context, fixedBound float64) (*Result, error) {
+	sol, flow, rounds, err := q.solve(ctx, fixedBound)
 	if err != nil {
 		return nil, err
 	}
-	gw, _ := flow.WorstCase()
+	gw, _, err := flow.WorstCaseCtx(ctx, q.opts.Workers)
+	if err != nil {
+		return nil, err
+	}
 	return &Result{
 		Flow:       flow,
 		Objective:  sol.Objective,
@@ -469,17 +525,49 @@ type ParetoPoint struct {
 }
 
 // WorstCaseParetoCurve sweeps the locality constraint over hNorms and
-// returns the optimal worst-case throughput at each point, reusing one LP
-// (and its accumulated cuts -- permutation constraints are valid for every
-// L) across the sweep.
+// returns the optimal worst-case throughput at each point. See
+// WorstCaseParetoCurveCtx for the sweep strategy.
 func WorstCaseParetoCurve(t *topo.Torus, hNorms []float64, opts Options) ([]ParetoPoint, error) {
+	return WorstCaseParetoCurveCtx(context.Background(), t, hNorms, opts)
+}
+
+// WorstCaseParetoCurveCtx sweeps the locality constraint over hNorms under a
+// cancellation context. At Options.Workers 1 the sweep reuses one LP (and
+// its accumulated cuts -- permutation constraints are valid for every L)
+// across the points, exactly as the sequential engine always has. At any
+// other worker count the points are independent LPs solved concurrently;
+// the returned slice is ordered by hNorms index either way. Both strategies
+// converge to the same optima within the LP tolerance, but the warm-started
+// sequential sweep and the independent solves may differ in the last few
+// ulps of each point.
+func WorstCaseParetoCurveCtx(ctx context.Context, t *topo.Torus, hNorms []float64, opts Options) ([]ParetoPoint, error) {
 	cap := eval.NetworkCapacity(t)
+	if par.Workers(opts.Workers) > 1 {
+		out := make([]ParetoPoint, len(hNorms))
+		err := par.Do(ctx, len(hNorms), opts.Workers, func(i int) error {
+			h := hNorms[i]
+			// Each point owns its LP; the oracle inside it stays
+			// sequential so the pool is not oversubscribed.
+			popts := opts
+			popts.Workers = 1
+			res, err := WorstCaseAtLocalityCtx(ctx, t, h, popts)
+			if err != nil {
+				return fmt.Errorf("L=%v: %w", h, err)
+			}
+			out[i] = ParetoPoint{HNorm: h, Theta: (1 / res.GammaWC) / cap, Gamma: res.GammaWC}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
 	out := make([]ParetoPoint, 0, len(hNorms))
 	if opts.Cuts == CutPermutations {
 		p := NewFlowLP(t, true, opts)
 		for _, h := range hNorms {
 			p.SetLocality(h)
-			res, err := p.solveWorstCase()
+			res, err := p.solveWorstCase(ctx)
 			if err != nil {
 				return nil, fmt.Errorf("L=%v: %w", h, err)
 			}
@@ -490,7 +578,7 @@ func WorstCaseParetoCurve(t *topo.Torus, hNorms []float64, opts Options) ([]Pare
 	q := newPotentialLP(t, true, opts)
 	for _, h := range hNorms {
 		q.SetLocality(h)
-		res, err := q.result(math.NaN())
+		res, err := q.result(ctx, math.NaN())
 		if err != nil {
 			return nil, fmt.Errorf("L=%v: %w", h, err)
 		}
@@ -502,17 +590,20 @@ func WorstCaseParetoCurve(t *topo.Torus, hNorms []float64, opts Options) ([]Pare
 // MinLocalityAtWorstCase performs the two-stage (lexicographic) design used
 // for Figure 4's "optimal" series: first find the best achievable worst-case
 // load w*, then minimize average path length subject to keeping the
-// worst-case load within (1+slack) of w*.
-func MinLocalityAtWorstCase(t *topo.Torus, slack float64, opts Options) (*Result, error) {
-	if slack <= 0 {
-		slack = defaultSlack
-	}
+// worst-case load within (1+Options.Slack) of w*.
+func MinLocalityAtWorstCase(t *topo.Torus, opts Options) (*Result, error) {
+	return MinLocalityAtWorstCaseCtx(context.Background(), t, opts)
+}
+
+// MinLocalityAtWorstCaseCtx is MinLocalityAtWorstCase under a cancellation
+// context.
+func MinLocalityAtWorstCaseCtx(ctx context.Context, t *topo.Torus, opts Options) (*Result, error) {
 	q := newPotentialLP(t, false, opts)
-	stage1, err := q.result(math.NaN())
+	stage1, err := q.result(ctx, math.NaN())
 	if err != nil {
 		return nil, err
 	}
-	wStar := stage1.Objective * (1 + slack)
+	wStar := stage1.Objective * (1 + opts.slack())
 
 	// Stage 2: cap w, flip the objective to total (orbit-weighted) path
 	// length, and resume lazy-row generation at the fixed load bound.
@@ -525,7 +616,7 @@ func MinLocalityAtWorstCase(t *topo.Torus, slack float64, opts Options) (*Result
 	}
 	p.solver.SetObjCoef(p.wVar, 0)
 
-	res, err := q.result(wStar)
+	res, err := q.result(ctx, wStar)
 	if err != nil {
 		return nil, fmt.Errorf("design: stage 2: %w", err)
 	}

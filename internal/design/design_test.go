@@ -115,7 +115,7 @@ func TestParetoCurveShape(t *testing.T) {
 
 func TestMinLocalityAtWorstCase(t *testing.T) {
 	tor := topo.NewTorus(4)
-	res, err := MinLocalityAtWorstCase(tor, 1e-6, Options{})
+	res, err := MinLocalityAtWorstCase(tor, Options{Slack: 1e-6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,11 +140,11 @@ func TestDesignTwoTurnK4MatchesOptimal(t *testing.T) {
 	// Section 5.2 / Figure 4: for k = 4 (and 6), 2TURN exactly matches the
 	// optimal locality at maximal worst-case throughput.
 	tor := topo.NewTorus(4)
-	opt, err := MinLocalityAtWorstCase(tor, 1e-6, Options{})
+	opt, err := MinLocalityAtWorstCase(tor, Options{Slack: 1e-6})
 	if err != nil {
 		t.Fatal(err)
 	}
-	tt, err := DesignTwoTurn(tor, 1e-6, Options{})
+	tt, err := DesignTwoTurn(tor, Options{Slack: 1e-6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,13 +229,13 @@ func TestDesignTwoTurnAvg(t *testing.T) {
 	}
 	tor := topo.NewTorus(4)
 	samples := traffic.Sample(tor.N, 8, 31)
-	res, err := DesignTwoTurnAvg(tor, samples, 1e-6, Options{})
+	res, err := DesignTwoTurnAvg(tor, samples, Options{Slack: 1e-6})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// 2TURNA's sampled mean max load can be no worse than 2TURN's (same
 	// path space, avg-specific objective).
-	tt, err := DesignTwoTurn(tor, 1e-6, Options{})
+	tt, err := DesignTwoTurn(tor, Options{Slack: 1e-6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +254,7 @@ func TestMinimalAvgMatchesROMMBallpark(t *testing.T) {
 	// produces ROMM-like performance.
 	tor := topo.NewTorus(4)
 	samples := traffic.Sample(tor.N, 8, 41)
-	res, err := DesignMinimalAvg(tor, samples, 1e-6, Options{})
+	res, err := DesignMinimalAvg(tor, samples, Options{Slack: 1e-6})
 	if err != nil {
 		t.Fatal(err)
 	}

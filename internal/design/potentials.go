@@ -1,6 +1,7 @@
 package design
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -8,6 +9,7 @@ import (
 	"tcr/internal/eval"
 	"tcr/internal/lp"
 	"tcr/internal/matching"
+	"tcr/internal/par"
 	"tcr/internal/topo"
 )
 
@@ -200,10 +202,21 @@ const maxRowsPerBlockRound = 128
 // block, and finish when the Hungarian oracle certifies the bound. The
 // boundVar-capped variant (stage 2) passes a fixed numeric bound instead of
 // reading w from the solution.
-func (q *potentialLP) solve(fixedBound float64) (*lp.Solution, *eval.Flow, int, error) {
+//
+// The per-block pair-load matrices and Hungarian matchings are independent
+// and run on Options.Workers goroutines; the certification scan and the row
+// additions that follow read the per-block slots in block order, so the cut
+// sequence is identical for every worker count.
+func (q *potentialLP) solve(ctx context.Context, fixedBound float64) (*lp.Solution, *eval.Flow, int, error) {
 	p := q.FlowLP
 	tol := p.opts.tol()
+	loads := make([][][]float64, len(q.blocks))
+	perms := make([][]int, len(q.blocks))
+	gammas := make([]float64, len(q.blocks))
 	for round := 0; round < p.opts.rounds(); round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, round, err
+		}
 		sol, err := p.solver.Solve()
 		if err != nil {
 			return nil, nil, round, err
@@ -220,21 +233,27 @@ func (q *potentialLP) solve(fixedBound float64) (*lp.Solution, *eval.Flow, int, 
 		// rows only for the worst-violated block: under the symmetry
 		// folding the four direction blocks are near-copies, and feeding
 		// them all every round quadruples the LP for no information.
+		err = par.Do(ctx, len(q.blocks), p.opts.Workers, func(bi int) error {
+			loads[bi] = pairLoadMatrix(flow, q.blocks[bi].ch)
+			perm, g, err := matching.MaxWeightAssignment(loads[bi])
+			if err != nil {
+				return err
+			}
+			perms[bi], gammas[bi] = perm, g
+			return nil
+		})
+		if err != nil {
+			return nil, nil, round, err
+		}
 		certified := true
 		limit := bound + tol*math.Max(1, bound)
 		worstBlock, worstG := -1, limit
-		loads := make([][][]float64, len(q.blocks))
-		for bi, b := range q.blocks {
-			loads[bi] = pairLoadMatrix(flow, b.ch)
-			_, g, err := matching.MaxWeightAssignment(loads[bi])
-			if err != nil {
-				return nil, nil, 0, err
-			}
-			if g > limit {
+		for bi := range q.blocks {
+			if gammas[bi] > limit {
 				certified = false
 			}
-			if g > worstG {
-				worstG, worstBlock = g, bi
+			if gammas[bi] > worstG {
+				worstG, worstBlock = gammas[bi], bi
 			}
 		}
 		if certified {
@@ -245,11 +264,7 @@ func (q *potentialLP) solve(fixedBound float64) (*lp.Solution, *eval.Flow, int, 
 			b := q.blocks[worstBlock]
 			// One aggregate permutation cut moves the bound immediately;
 			// the pair rows supply the matching-dual structure.
-			perm, _, err := matching.MaxWeightAssignment(loads[worstBlock])
-			if err != nil {
-				return nil, nil, 0, err
-			}
-			p.permCut(b.ch, perm, p.wVar)
+			p.permCut(b.ch, perms[worstBlock], p.wVar)
 			for i, idx := range violatedPairs(p.T.N, b, sol.X, loads[worstBlock], tol) {
 				if i >= maxRowsPerBlockRound {
 					break

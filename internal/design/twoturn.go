@@ -1,12 +1,14 @@
 package design
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"tcr/internal/eval"
 	"tcr/internal/lp"
 	"tcr/internal/matching"
+	"tcr/internal/par"
 	"tcr/internal/paths"
 	"tcr/internal/routing"
 	"tcr/internal/topo"
@@ -260,10 +262,17 @@ func (p *PathLP) pairRowPath(b *potBlock, s, d int) {
 // solveWC runs worst-case constraint generation against the given bound
 // using the matching-dual potential formulation (lazy pair rows). When
 // fixedBound is NaN the w variable is free (stage 1); otherwise rows must
-// hold at the fixed numeric bound (stage 2).
-func (p *PathLP) solveWC(fixedBound float64) (*lp.Solution, int, error) {
+// hold at the fixed numeric bound (stage 2). The per-block oracles run on
+// Options.Workers goroutines; rows are added in block order afterwards, so
+// the cut sequence is worker-count independent.
+func (p *PathLP) solveWC(ctx context.Context, fixedBound float64) (*lp.Solution, int, error) {
 	tol := p.opts.tol()
+	loads := make([][][]float64, len(p.blocks))
+	gammas := make([]float64, len(p.blocks))
 	for round := 0; round < p.opts.rounds(); round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, round, err
+		}
 		sol, err := p.solver.Solve()
 		if err != nil {
 			return nil, round, err
@@ -281,20 +290,27 @@ func (p *PathLP) solveWC(fixedBound float64) (*lp.Solution, int, error) {
 		// every violated block each round is cheap and cuts round count.
 		// Aggregate permutation cuts are NOT added here: their rows are
 		// dense in path variables and bloat every subsequent pricing pass.
+		err = par.Do(ctx, len(p.blocks), p.opts.Workers, func(bi int) error {
+			loads[bi] = pairLoadMatrix(flow, p.blocks[bi].ch)
+			_, g, err := matching.MaxWeightAssignment(loads[bi])
+			if err != nil {
+				return err
+			}
+			gammas[bi] = g
+			return nil
+		})
+		if err != nil {
+			return nil, round, err
+		}
 		certified := true
 		limit := bound + tol*math.Max(1, bound)
 		progressed := false
-		for _, b := range p.blocks {
-			load := pairLoadMatrix(flow, b.ch)
-			_, g, err := matching.MaxWeightAssignment(load)
-			if err != nil {
-				return nil, 0, err
-			}
-			if g <= limit {
+		for bi, b := range p.blocks {
+			if gammas[bi] <= limit {
 				continue
 			}
 			certified = false
-			for i, idx := range violatedPairs(p.T.N, b, sol.X, load, tol) {
+			for i, idx := range violatedPairs(p.T.N, b, sol.X, loads[bi], tol) {
 				if i >= 48 {
 					break
 				}
@@ -314,22 +330,25 @@ func (p *PathLP) solveWC(fixedBound float64) (*lp.Solution, int, error) {
 
 // DesignTwoTurn produces the 2TURN algorithm (Section 5.2): over all
 // at-most-two-turn paths, first minimize worst-case channel load, then
-// minimize average path length while keeping the worst case within slack of
-// optimal. slack <= 0 defaults to 1e-6 (numerically tight).
-func DesignTwoTurn(t *topo.Torus, slack float64, opts Options) (*PathResult, error) {
-	return designPathWC(t, paths.TwoTurnPaths, "2TURN", slack, opts)
+// minimize average path length while keeping the worst case within
+// Options.Slack of optimal.
+func DesignTwoTurn(t *topo.Torus, opts Options) (*PathResult, error) {
+	return DesignTwoTurnCtx(context.Background(), t, opts)
+}
+
+// DesignTwoTurnCtx is DesignTwoTurn under a cancellation context.
+func DesignTwoTurnCtx(ctx context.Context, t *topo.Torus, opts Options) (*PathResult, error) {
+	return designPathWC(ctx, t, paths.TwoTurnPaths, "2TURN", opts)
 }
 
 // designPathWC is the two-stage (worst case, then locality) path design.
-func designPathWC(t *topo.Torus, family PathFamily, label string, slack float64, opts Options) (*PathResult, error) {
-	if slack <= 0 {
-		slack = defaultSlack
-	}
+func designPathWC(ctx context.Context, t *topo.Torus, family PathFamily, label string, opts Options) (*PathResult, error) {
+	slack := opts.slack()
 	p, err := NewPathLP(t, family, nil, false, opts)
 	if err != nil {
 		return nil, err
 	}
-	sol, rounds1, err := p.solveWC(math.NaN())
+	sol, rounds1, err := p.solveWC(ctx, math.NaN())
 	if err != nil {
 		return nil, err
 	}
@@ -343,35 +362,38 @@ func designPathWC(t *topo.Torus, family PathFamily, label string, slack float64,
 		}
 	}
 	p.solver.SetObjCoef(p.wVar, 0)
-	sol, rounds2, err := p.solveWC(wStar)
+	sol, rounds2, err := p.solveWC(ctx, wStar)
 	if err != nil {
 		return nil, err
 	}
-	return p.finish(sol, label, rounds1+rounds2), nil
+	return p.finish(ctx, sol, label, rounds1+rounds2)
 }
 
 // DesignTwoTurnAvg produces the 2TURNA algorithm (Section 5.4): over the
 // two-turn paths, first maximize (approximate) average-case throughput on
 // the sample, then maximize locality at that throughput.
-func DesignTwoTurnAvg(t *topo.Torus, samples []*traffic.Matrix, slack float64, opts Options) (*PathResult, error) {
-	return designPathAvg(t, paths.TwoTurnPaths, "2TURNA", samples, slack, opts)
+func DesignTwoTurnAvg(t *topo.Torus, samples []*traffic.Matrix, opts Options) (*PathResult, error) {
+	return DesignTwoTurnAvgCtx(context.Background(), t, samples, opts)
+}
+
+// DesignTwoTurnAvgCtx is DesignTwoTurnAvg under a cancellation context.
+func DesignTwoTurnAvgCtx(ctx context.Context, t *topo.Torus, samples []*traffic.Matrix, opts Options) (*PathResult, error) {
+	return designPathAvg(ctx, t, paths.TwoTurnPaths, "2TURNA", samples, opts)
 }
 
 // DesignMinimalAvg runs the 2TURNA construction restricted to minimal
 // paths; Section 5.4 observes the result matches ROMM's performance.
-func DesignMinimalAvg(t *topo.Torus, samples []*traffic.Matrix, slack float64, opts Options) (*PathResult, error) {
-	return designPathAvg(t, paths.MinimalTwoTurnPaths, "MIN-AVG", samples, slack, opts)
+func DesignMinimalAvg(t *topo.Torus, samples []*traffic.Matrix, opts Options) (*PathResult, error) {
+	return designPathAvg(context.Background(), t, paths.MinimalTwoTurnPaths, "MIN-AVG", samples, opts)
 }
 
-func designPathAvg(t *topo.Torus, family PathFamily, label string, samples []*traffic.Matrix, slack float64, opts Options) (*PathResult, error) {
-	if slack <= 0 {
-		slack = defaultSlack
-	}
+func designPathAvg(ctx context.Context, t *topo.Torus, family PathFamily, label string, samples []*traffic.Matrix, opts Options) (*PathResult, error) {
+	slack := opts.slack()
 	p, err := NewPathLP(t, family, samples, false, opts)
 	if err != nil {
 		return nil, err
 	}
-	sol, rounds1, err := p.solveAvg(math.NaN())
+	sol, rounds1, err := p.solveAvg(ctx, math.NaN())
 	if err != nil {
 		return nil, err
 	}
@@ -392,11 +414,14 @@ func designPathAvg(t *topo.Torus, family PathFamily, label string, samples []*tr
 	for _, v := range p.tVars {
 		p.solver.SetObjCoef(v, 0)
 	}
-	sol, rounds2, err := p.solveAvg(vStar)
+	sol, rounds2, err := p.solveAvg(ctx, vStar)
 	if err != nil {
 		return nil, err
 	}
-	res := p.finish(sol, label, rounds1+rounds2)
+	res, err := p.finish(ctx, sol, label, rounds1+rounds2)
+	if err != nil {
+		return nil, err
+	}
 	// Report the stage-1 objective (mean max load) as the result objective.
 	var mean float64
 	for _, v := range p.tVars {
@@ -408,10 +433,17 @@ func designPathAvg(t *topo.Torus, family PathFamily, label string, samples []*tr
 
 // solveAvg runs per-sample constraint generation. fixedCap (when not NaN)
 // is informational only; per-sample bounds are the t variables either way.
-func (p *PathLP) solveAvg(fixedCap float64) (*lp.Solution, int, error) {
+// The per-sample separations run on Options.Workers goroutines into
+// per-sample slots; cuts are added in sample order.
+func (p *PathLP) solveAvg(ctx context.Context, fixedCap float64) (*lp.Solution, int, error) {
 	_ = fixedCap
 	tol := p.opts.tol()
+	worstCs := make([]int, len(p.samples))
+	worsts := make([]float64, len(p.samples))
 	for round := 0; round < p.opts.rounds(); round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, round, err
+		}
 		sol, err := p.solver.Solve()
 		if err != nil {
 			return nil, round, err
@@ -420,17 +452,24 @@ func (p *PathLP) solveAvg(fixedCap float64) (*lp.Solution, int, error) {
 			return nil, round, fmt.Errorf("design: path avg LP status %v", sol.Status)
 		}
 		flow := p.flowOf(sol.X)
-		violated := false
-		for i, lam := range p.samples {
-			loads := flow.ChannelLoads(lam)
+		err = par.Do(ctx, len(p.samples), p.opts.Workers, func(i int) error {
+			loads := flow.ChannelLoads(p.samples[i])
 			worstC, worst := 0, 0.0
 			for c, l := range loads {
 				if l > worst {
 					worst, worstC = l, c
 				}
 			}
-			if worst > sol.X[p.tVars[i]]+tol {
-				p.matrixCut(topo.Channel(worstC), lam, p.tVars[i])
+			worstCs[i], worsts[i] = worstC, worst
+			return nil
+		})
+		if err != nil {
+			return nil, round, err
+		}
+		violated := false
+		for i, lam := range p.samples {
+			if worsts[i] > sol.X[p.tVars[i]]+tol {
+				p.matrixCut(topo.Channel(worstCs[i]), lam, p.tVars[i])
 				violated = true
 			}
 		}
@@ -441,10 +480,13 @@ func (p *PathLP) solveAvg(fixedCap float64) (*lp.Solution, int, error) {
 	return nil, p.opts.rounds(), fmt.Errorf("design: path avg LP cuts did not converge")
 }
 
-func (p *PathLP) finish(sol *lp.Solution, label string, rounds int) *PathResult {
+func (p *PathLP) finish(ctx context.Context, sol *lp.Solution, label string, rounds int) (*PathResult, error) {
 	tbl := p.table(sol.X, label)
 	flow := p.flowOf(sol.X)
-	gw, _ := flow.WorstCase()
+	gw, _, err := flow.WorstCaseCtx(ctx, p.opts.Workers)
+	if err != nil {
+		return nil, err
+	}
 	return &PathResult{
 		Table:     tbl,
 		Flow:      flow,
@@ -453,5 +495,5 @@ func (p *PathLP) finish(sol *lp.Solution, label string, rounds int) *PathResult 
 		HAvg:      flow.HAvg(),
 		HNorm:     flow.HNorm(),
 		Rounds:    rounds,
-	}
+	}, nil
 }

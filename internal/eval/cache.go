@@ -1,0 +1,106 @@
+package eval
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"sync"
+
+	"tcr/internal/routing"
+	"tcr/internal/topo"
+)
+
+// Cache memoizes flow tables content-addressed by topology radix and
+// algorithm identity, so repeated Report/CLI invocations over the same
+// algorithm reuse one path-enumeration pass. Concurrent lookups of the same
+// key share a single computation (per-entry once); distinct keys compute
+// independently. The cache is safe for concurrent use.
+type Cache struct {
+	mu sync.Mutex
+	m  map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	once sync.Once
+	flow *Flow
+	err  error
+}
+
+// NewCache returns an empty flow cache.
+func NewCache() *Cache { return &Cache{m: map[string]*cacheEntry{}} }
+
+// FlowKey returns the content address of (t, alg) and whether the algorithm
+// has one. Closed-form algorithms are addressed by radix plus Name, which
+// uniquely determines their path distribution; interpolations recurse with
+// the exact bits of alpha (Name alone rounds it to two decimals). Designed
+// routing tables carry only a human-chosen label that two different designs
+// may share, so they have no stable address and are never cached.
+func FlowKey(t *topo.Torus, alg routing.Algorithm) (string, bool) {
+	k, ok := algKey(alg)
+	if !ok {
+		return "", false
+	}
+	return "k=" + strconv.Itoa(t.K) + "/" + k, true
+}
+
+func algKey(alg routing.Algorithm) (string, bool) {
+	switch a := alg.(type) {
+	case routing.Interpolated:
+		ka, okA := algKey(a.A)
+		kb, okB := algKey(a.B)
+		if !okA || !okB {
+			return "", false
+		}
+		var sb strings.Builder
+		sb.WriteString("mix[")
+		sb.WriteString(strconv.FormatFloat(a.Alpha, 'x', -1, 64))
+		sb.WriteString("](")
+		sb.WriteString(ka)
+		sb.WriteString(")(")
+		sb.WriteString(kb)
+		sb.WriteByte(')')
+		return sb.String(), true
+	case *routing.Table:
+		return "", false
+	default:
+		return alg.Name(), true
+	}
+}
+
+// Evaluate returns the memoized flow table of (t, alg), computing it via
+// FromAlgorithmCtx on a miss. The returned *Flow is shared across callers
+// and MUST be treated as read-only. Algorithms without a stable identity
+// (designed routing tables) bypass the cache and are evaluated fresh. A
+// failed computation (context cancellation) is not cached; the next caller
+// retries.
+func (c *Cache) Evaluate(ctx context.Context, t *topo.Torus, alg routing.Algorithm, workers int) (*Flow, error) {
+	key, ok := FlowKey(t, alg)
+	if !ok {
+		return FromAlgorithmCtx(ctx, t, alg, workers)
+	}
+	c.mu.Lock()
+	e := c.m[key]
+	if e == nil {
+		e = &cacheEntry{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.flow, e.err = FromAlgorithmCtx(ctx, t, alg, workers) })
+	if e.err != nil {
+		// Drop the poisoned entry so a live context can recompute it.
+		c.mu.Lock()
+		if c.m[key] == e {
+			delete(c.m, key)
+		}
+		c.mu.Unlock()
+		return nil, e.err
+	}
+	return e.flow, nil
+}
+
+// Len reports the number of cached flow tables (for tests and diagnostics).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

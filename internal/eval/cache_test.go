@@ -1,0 +1,144 @@
+package eval
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"tcr/internal/paths"
+	"tcr/internal/routing"
+	"tcr/internal/topo"
+)
+
+// countingAlg wraps an algorithm and counts PairPaths calls so the tests can
+// observe cache hits vs recomputation.
+type countingAlg struct {
+	routing.Algorithm
+	mu    sync.Mutex
+	calls int
+}
+
+func (c *countingAlg) PairPaths(t *topo.Torus, s, d topo.Node) []paths.Weighted {
+	c.mu.Lock()
+	c.calls++
+	c.mu.Unlock()
+	return c.Algorithm.PairPaths(t, s, d)
+}
+
+func TestCacheReusesFlows(t *testing.T) {
+	tor := topo.NewTorus(4)
+	c := NewCache()
+	a, err := c.Evaluate(context.Background(), tor, routing.DOR{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Evaluate(context.Background(), tor, routing.DOR{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("second lookup did not return the cached flow")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", c.Len())
+	}
+	// A different radix is a different key.
+	if _, err := c.Evaluate(context.Background(), topo.NewTorus(3), routing.DOR{}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", c.Len())
+	}
+}
+
+func TestCacheMatchesDirectEvaluation(t *testing.T) {
+	tor := topo.NewTorus(5)
+	c := NewCache()
+	got, err := c.Evaluate(context.Background(), tor, routing.IVAL{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FromAlgorithm(tor, routing.IVAL{})
+	if !reflect.DeepEqual(got.X, want.X) {
+		t.Fatal("cached flow differs from direct evaluation")
+	}
+}
+
+func TestCacheBypassesTables(t *testing.T) {
+	tor := topo.NewTorus(3)
+	// A designed table has no stable content address: same label, possibly
+	// different distributions.
+	tbl := &routing.Table{Label: "2TURN", Dist: map[topo.Node][]paths.Weighted{}}
+	if _, ok := FlowKey(tor, tbl); ok {
+		t.Fatal("routing tables must not have a cache key")
+	}
+	c := NewCache()
+	if _, err := c.Evaluate(context.Background(), tor, tbl, 1); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("table evaluation entered the cache")
+	}
+}
+
+func TestCacheInterpolationKeysAreExact(t *testing.T) {
+	tor := topo.NewTorus(3)
+	mix := func(alpha float64) routing.Algorithm {
+		return routing.Interpolated{A: routing.IVAL{}, B: routing.DOR{}, Alpha: alpha}
+	}
+	// Name() rounds alpha to two decimals; the cache key must not.
+	k1, ok1 := FlowKey(tor, mix(0.501))
+	k2, ok2 := FlowKey(tor, mix(0.502))
+	if !ok1 || !ok2 {
+		t.Fatal("interpolations of closed forms should be cacheable")
+	}
+	if k1 == k2 {
+		t.Fatalf("distinct alphas collide on key %q", k1)
+	}
+	// Interpolations involving a table are not cacheable.
+	tbl := &routing.Table{Label: "x", Dist: map[topo.Node][]paths.Weighted{}}
+	if _, ok := FlowKey(tor, routing.Interpolated{A: tbl, B: routing.DOR{}, Alpha: 0.5}); ok {
+		t.Fatal("interpolation over a table must not be cacheable")
+	}
+}
+
+func TestCacheSingleFlight(t *testing.T) {
+	tor := topo.NewTorus(4)
+	alg := &countingAlg{Algorithm: routing.DOR{}}
+	// countingAlg is a wrapper type, so it falls through to the default
+	// Name-keyed case and is cacheable under DOR's name.
+	c := NewCache()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.Evaluate(context.Background(), tor, alg, 1); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	alg.mu.Lock()
+	calls := alg.calls
+	alg.mu.Unlock()
+	if calls != tor.N {
+		t.Fatalf("PairPaths called %d times, want exactly %d (one enumeration)", calls, tor.N)
+	}
+}
+
+func TestCacheDoesNotCacheCancellation(t *testing.T) {
+	tor := topo.NewTorus(4)
+	c := NewCache()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Evaluate(ctx, tor, routing.DOR{}, 1); err == nil {
+		t.Fatal("cancelled evaluation succeeded")
+	}
+	// A live context must recompute rather than replay the cached error.
+	f, err := c.Evaluate(context.Background(), tor, routing.DOR{}, 1)
+	if err != nil || f == nil {
+		t.Fatalf("retry after cancellation failed: %v", err)
+	}
+}

@@ -9,9 +9,11 @@
 package eval
 
 import (
+	"context"
 	"math"
 
 	"tcr/internal/matching"
+	"tcr/internal/par"
 	"tcr/internal/paths"
 	"tcr/internal/routing"
 	"tcr/internal/topo"
@@ -39,17 +41,37 @@ func NewFlow(t *topo.Torus) *Flow {
 }
 
 // FromAlgorithm builds the flow table of an algorithm by enumerating its
-// path distributions from the canonical source.
+// path distributions from the canonical source, using all cores. It is the
+// context-free form of FromAlgorithmCtx; with a background context the
+// sharded evaluation cannot fail.
 func FromAlgorithm(t *topo.Torus, alg routing.Algorithm) *Flow {
+	f, err := FromAlgorithmCtx(context.Background(), t, alg, 0)
+	mustNil(err)
+	return f
+}
+
+// FromAlgorithmCtx builds the flow table with the per-commodity enumeration
+// sharded across at most workers goroutines (see par.Workers for the budget
+// semantics). Each relative destination owns exactly one row of the table,
+// so the shards are disjoint and the result is bit-for-bit identical for
+// every worker count. Algorithm implementations must therefore be safe for
+// concurrent PairPaths calls; all algorithms in internal/routing are
+// stateless or read-only and qualify.
+func FromAlgorithmCtx(ctx context.Context, t *topo.Torus, alg routing.Algorithm, workers int) (*Flow, error) {
 	f := NewFlow(t)
-	for rel := topo.Node(0); rel < topo.Node(t.N); rel++ {
+	err := par.Do(ctx, t.N, workers, func(i int) error {
+		rel := topo.Node(i)
 		for _, w := range alg.PairPaths(t, 0, rel) {
 			for _, c := range w.Path.Channels(t) {
 				f.X[rel][c] += w.Prob
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return f
+	return f, nil
 }
 
 // HAvg returns the average path length over all N^2 pairs (self pairs count
@@ -163,29 +185,51 @@ func (f *Flow) pairLoadMatrix(c topo.Channel) [][]float64 {
 // By the Birkhoff decomposition it suffices to search permutations, and the
 // per-channel search is a maximum-weight matching of the pair-load matrix.
 // Translation invariance reduces the channel scan to one representative per
-// direction.
+// direction. It is the context-free form of WorstCaseCtx; pairLoadMatrix
+// always produces a square N-by-N matrix, so the oracle's shape error is an
+// internal invariant violation, not a data condition.
 func (f *Flow) WorstCase() (float64, []int) {
-	var worst float64
-	var worstPerm []int
-	for dir := topo.Dir(0); dir < topo.NumDirs; dir++ {
-		c := f.T.Chan(0, dir)
-		perm, w := mustMaxWeight(f.pairLoadMatrix(c))
-		if w > worst {
-			worst, worstPerm = w, perm
-		}
-	}
-	return worst, worstPerm
+	g, perm, err := f.WorstCaseCtx(context.Background(), 0)
+	mustNil(err)
+	return g, perm
 }
 
-// mustMaxWeight runs the Hungarian oracle on a matrix the evaluator built
-// itself. pairLoadMatrix always produces a square N-by-N matrix, so a shape
-// error is an internal invariant violation, not a data condition.
-func mustMaxWeight(w [][]float64) ([]int, float64) {
-	perm, g, err := matching.MaxWeightAssignment(w)
+// WorstCaseCtx runs the per-direction Hungarian matchings on at most
+// workers goroutines and reduces the representatives in direction order, so
+// the result (including the returned permutation's tie-breaks) is identical
+// for every worker count.
+func (f *Flow) WorstCaseCtx(ctx context.Context, workers int) (float64, []int, error) {
+	perms := make([][]int, topo.NumDirs)
+	weights := make([]float64, topo.NumDirs)
+	err := par.Do(ctx, int(topo.NumDirs), workers, func(i int) error {
+		c := f.T.Chan(0, topo.Dir(i))
+		perm, w, err := matching.MaxWeightAssignment(f.pairLoadMatrix(c))
+		if err != nil {
+			return err
+		}
+		perms[i], weights[i] = perm, w
+		return nil
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	var worst float64
+	var worstPerm []int
+	for i := range weights {
+		if weights[i] > worst {
+			worst, worstPerm = weights[i], perms[i]
+		}
+	}
+	return worst, worstPerm, nil
+}
+
+// mustNil asserts that a context-free evaluation succeeded: with a
+// background context and the evaluator's own well-shaped matrices, the
+// error paths of the Ctx forms are unreachable.
+func mustNil(err error) {
 	if err != nil {
 		panic(err)
 	}
-	return perm, g
 }
 
 // WorstCaseThroughput returns Theta_wc(R) = 1/gamma_wc(R).
@@ -208,11 +252,29 @@ type AvgCaseResult struct {
 	ExactMeanThroughput float64
 }
 
-// AvgCase evaluates the average-case metrics over a fixed sample.
+// AvgCase evaluates the average-case metrics over a fixed sample, using all
+// cores; it is the context-free form of AvgCaseCtx.
 func (f *Flow) AvgCase(samples []*traffic.Matrix) AvgCaseResult {
+	r, err := f.AvgCaseCtx(context.Background(), samples, 0)
+	mustNil(err)
+	return r
+}
+
+// AvgCaseCtx computes each sample's maximum channel load on at most workers
+// goroutines. The per-sample maxima land in per-index slots and are summed
+// in sample order, so the floating-point accumulation — and therefore the
+// result — is bit-for-bit the sequential one for every worker count.
+func (f *Flow) AvgCaseCtx(ctx context.Context, samples []*traffic.Matrix, workers int) (AvgCaseResult, error) {
+	gammas := make([]float64, len(samples))
+	err := par.Do(ctx, len(samples), workers, func(i int) error {
+		gammas[i] = f.GammaMax(samples[i])
+		return nil
+	})
+	if err != nil {
+		return AvgCaseResult{}, err
+	}
 	var sumLoad, sumTheta float64
-	for _, lam := range samples {
-		g := f.GammaMax(lam)
+	for _, g := range gammas {
 		sumLoad += g
 		sumTheta += 1 / g
 	}
@@ -222,7 +284,7 @@ func (f *Flow) AvgCase(samples []*traffic.Matrix) AvgCaseResult {
 		MeanMaxLoad:         mean,
 		ApproxThroughput:    1 / mean,
 		ExactMeanThroughput: sumTheta / n,
-	}
+	}, nil
 }
 
 // ConservationError verifies that each commodity's flow satisfies

@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// parDoFullName is the qualified name of the worker-pool entry point; calling
+// it fans work out onto goroutines exactly like a literal go statement does.
+const parDoFullName = "tcr/internal/par.Do"
+
+// CtxGo flags exported functions that launch goroutines — via a go statement
+// or by fanning out onto the internal/par pool — without accepting a
+// context.Context parameter. Once a facade function spawns concurrent work,
+// callers need a way to bound or cancel it (Ctrl-C in the CLI, deadlines in a
+// harness); an exported entry point that spawns but takes no context locks
+// them out. The convention this enforces: the context-accepting form (FooCtx)
+// owns the concurrency, and any context-free form is a thin
+// context.Background() wrapper that itself contains no spawn sites.
+func CtxGo() *Analyzer {
+	return &Analyzer{
+		Name: "ctxgo",
+		Doc:  "flags exported functions spawning goroutines without a context.Context parameter",
+		Run:  runCtxGo,
+	}
+}
+
+func runCtxGo(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if funcAcceptsContext(p, fd) {
+				continue
+			}
+			pos, what, spawns := firstSpawn(p, fd)
+			if !spawns {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Pos:  p.pos(pos),
+				Rule: "ctxgo",
+				Msg:  fd.Name.Name + " " + what + " but accepts no context.Context; move the concurrency into a Ctx form",
+			})
+		}
+	}
+	return out
+}
+
+// funcAcceptsContext reports whether any (non-receiver) parameter of the
+// declared function is context.Context.
+func funcAcceptsContext(p *Package, fd *ast.FuncDecl) bool {
+	fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	params := fn.Type().(*types.Signature).Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is the context.Context interface.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// firstSpawn finds the first goroutine-launching site in the function body:
+// a go statement, or a call into the par worker pool. Spawn sites inside
+// nested function literals count — the goroutines still outlive the
+// statement that starts them.
+func firstSpawn(p *Package, fd *ast.FuncDecl) (token.Pos, string, bool) {
+	var pos token.Pos
+	var what string
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if what != "" {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.GoStmt:
+			pos, what = s.Pos(), "launches a goroutine"
+			return false
+		case *ast.CallExpr:
+			if p.calleeFullName(s) == parDoFullName {
+				pos, what = s.Pos(), "fans out onto the par worker pool"
+				return false
+			}
+		}
+		return true
+	})
+	return pos, what, what != ""
+}

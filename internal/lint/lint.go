@@ -72,6 +72,7 @@ func Analyzers() []*Analyzer {
 		LibPanic(),
 		NaNGuard(),
 		TolConst(),
+		CtxGo(),
 	}
 }
 

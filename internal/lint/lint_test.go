@@ -320,3 +320,79 @@ func TestFindModuleRoot(t *testing.T) {
 		t.Fatal("found a module root in an empty temp dir")
 	}
 }
+
+func TestCtxGoGoStmt(t *testing.T) {
+	got := runOn(t, "x/fix", `package fix
+
+import "context"
+
+func Sweep(n int) {
+	done := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		go func() { done <- struct{}{} }()
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+}
+
+func SweepCtx(ctx context.Context, n int) {
+	done := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		go func() { done <- struct{}{} }()
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+}
+
+func sweep(n int) {
+	ch := make(chan struct{})
+	go close(ch)
+	<-ch
+}
+
+func Wrapped(n int) { SweepCtx(context.Background(), n) }
+`)
+	// Only the exported, context-free Sweep is flagged; the Ctx form, the
+	// unexported helper, and the spawn-free wrapper all pass.
+	expect(t, got, "8:ctxgo")
+}
+
+func TestCtxGoParDo(t *testing.T) {
+	got := runOn(t, "tcr/internal/par", `package par
+
+import "context"
+
+func Do(ctx context.Context, n, workers int, task func(int) error) error {
+	for i := 0; i < n; i++ {
+		if err := task(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func Fan(n int) error {
+	return Do(context.Background(), n, 0, func(int) error { return nil })
+}
+
+func FanCtx(ctx context.Context, n int) error {
+	return Do(ctx, n, 0, func(int) error { return nil })
+}
+`)
+	expect(t, got, "15:ctxgo")
+}
+
+func TestCtxGoSuppressed(t *testing.T) {
+	got := runOn(t, "x/fix", `package fix
+
+func Flush() {
+	ch := make(chan struct{})
+	//lint:ignore ctxgo fire-and-forget close cannot block and needs no cancellation
+	go close(ch)
+	<-ch
+}
+`)
+	expect(t, got)
+}

@@ -1,0 +1,96 @@
+// Package par is the worker-pool substrate behind the evaluation and design
+// engines. Every throughput computation in this module decomposes into
+// embarrassingly parallel units — one Hungarian matching per
+// direction-representative channel, one path-enumeration pass per commodity,
+// one locality-bound LP per Pareto point — and par.Do is the single primitive
+// that runs such a unit set: bounded by GOMAXPROCS (or an explicit worker
+// budget), cancellable through a context, first-error-wins.
+//
+// Determinism contract: tasks are indexed 0..n-1 and callers write results
+// into per-index slots, then reduce in index order. Because no task observes
+// another task's output, the results are bit-for-bit identical for every
+// worker count, including the inline workers=1 path, which launches no
+// goroutines at all.
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker budget to an effective count: values
+// below 1 mean "all cores" (GOMAXPROCS); anything else is returned as is.
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Do runs task(0) .. task(n-1) on at most workers goroutines (after Workers
+// resolution, clamped to n) and waits for all of them. A workers budget of 1
+// runs every task inline on the calling goroutine, in index order.
+//
+// Error semantics are first-error-wins with a deterministic tiebreak: the
+// first failure cancels the remaining tasks, and once all in-flight tasks
+// have drained, the error of the lowest-indexed failed task is returned.
+// Cancellation of the parent context is reported as ctx.Err() when no task
+// failed. Tasks must be independent: a task may not read state written by
+// another task of the same Do call.
+func Do(ctx context.Context, n, workers int, task func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := task(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, n)
+	var failed atomic.Bool
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || cctx.Err() != nil {
+					return
+				}
+				if err := task(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+					cancel()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil && !failed.Load() {
+		return err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
+}

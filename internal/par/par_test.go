@@ -1,0 +1,162 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d", got)
+	}
+	if got := Workers(5); got != 5 {
+		t.Fatalf("Workers(5) = %d", got)
+	}
+}
+
+func TestDoRunsEveryTask(t *testing.T) {
+	for _, w := range []int{1, 2, 7, 64} {
+		n := 100
+		hits := make([]int32, n)
+		err := Do(context.Background(), n, w, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", w, i, h)
+			}
+		}
+	}
+}
+
+func TestDoInlineOrder(t *testing.T) {
+	var order []int
+	err := Do(context.Background(), 10, 1, func(i int) error {
+		order = append(order, i)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("inline execution out of order: %v", order)
+		}
+	}
+}
+
+func TestDoZeroTasks(t *testing.T) {
+	if err := Do(context.Background(), 0, 4, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatalf("n=0: %v", err)
+	}
+}
+
+func TestDoLowestIndexErrorWins(t *testing.T) {
+	// Task 3 fails slowly, task 7 fails fast; the returned error must be
+	// task 3's regardless of completion order.
+	for _, w := range []int{1, 4} {
+		err := Do(context.Background(), 10, w, func(i int) error {
+			switch i {
+			case 3:
+				time.Sleep(10 * time.Millisecond)
+				return fmt.Errorf("task 3")
+			case 7:
+				return fmt.Errorf("task 7")
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: no error", w)
+		}
+		// Inline mode stops at the first failing index (3); parallel mode
+		// reports the lowest failed index, which is also 3 here because
+		// earlier tasks succeed.
+		if err.Error() != "task 3" {
+			t.Fatalf("workers=%d: err = %v, want task 3", w, err)
+		}
+	}
+}
+
+func TestDoErrorCancelsRemaining(t *testing.T) {
+	var ran atomic.Int32
+	err := Do(context.Background(), 1000, 2, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return errors.New("boom")
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("err = %v", err)
+	}
+	if n := ran.Load(); n == 1000 {
+		t.Fatal("error did not cancel remaining tasks")
+	}
+}
+
+func TestDoContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	var once sync.Once
+	err := Do(ctx, 1000, 2, func(i int) error {
+		ran.Add(1)
+		once.Do(cancel)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n == 1000 {
+		t.Fatal("cancellation did not stop the pool")
+	}
+}
+
+func TestDoPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	err := Do(ctx, 10, 1, func(i int) error { ran.Add(1); return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("pre-cancelled context still ran %d tasks", ran.Load())
+	}
+}
+
+func TestDoBoundsConcurrency(t *testing.T) {
+	const w = 3
+	var cur, peak atomic.Int32
+	err := Do(context.Background(), 50, w, func(i int) error {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > w {
+		t.Fatalf("observed %d concurrent tasks, budget %d", p, w)
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"sort"
 
 	"tcr/internal/topo"
@@ -28,6 +29,43 @@ func (s *Sim) Run(cycles int) {
 	for i := 0; i < cycles; i++ {
 		s.step()
 	}
+}
+
+// ctxCheckInterval is how many cycles RunCtx advances between cancellation
+// checks; coarse enough that the check never shows up in profiles.
+const ctxCheckInterval = 1024
+
+// RunCtx is Run under a cancellation context, checked every
+// ctxCheckInterval cycles. The simulation stops where the check fired and
+// remains valid (it can be resumed), but its window statistics are
+// incomplete.
+func (s *Sim) RunCtx(ctx context.Context, cycles int) error {
+	for i := 0; i < cycles; i++ {
+		if i%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		s.step()
+	}
+	return nil
+}
+
+// Simulate builds a simulator from cfg, runs its warmup window, then its
+// measurement window, and returns the stats.
+func Simulate(ctx context.Context, cfg Config) (Stats, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	if err := s.RunCtx(ctx, cfg.warmup()); err != nil {
+		return Stats{}, err
+	}
+	s.StartMeasurement()
+	if err := s.RunCtx(ctx, cfg.measure()); err != nil {
+		return Stats{}, err
+	}
+	return s.Stats(), nil
 }
 
 // StartMeasurement begins the statistics window (call after warmup).

@@ -1,5 +1,11 @@
 package sim
 
+import (
+	"context"
+
+	"tcr/internal/par"
+)
+
 // SaturationPoint estimates the saturation throughput of a configuration by
 // sweeping offered load: it runs short simulations at increasing rates and
 // reports the largest accepted throughput observed. The standard definition
@@ -24,23 +30,32 @@ type RatePoint struct {
 }
 
 // FindSaturation sweeps offered rates and returns the observed saturation
-// plateau. The cfg's Rate field is overridden per sweep point.
-func FindSaturation(cfg Config, rates []float64, warmup, measure int) (SaturationResult, error) {
+// plateau, using cfg.Warmup and cfg.Measure as the simulation windows. The
+// cfg's Rate field is overridden per sweep point. The sweep points are
+// independent simulations (each seeded from cfg.Seed) and run on
+// cfg.Workers goroutines; the curve and plateau are assembled in rate
+// order afterwards, so the result is identical for every worker count.
+func FindSaturation(ctx context.Context, cfg Config, rates []float64) (SaturationResult, error) {
 	if len(rates) == 0 {
 		rates = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
 	}
-	res := SaturationResult{}
-	for _, r := range rates {
+	stats := make([]Stats, len(rates))
+	err := par.Do(ctx, len(rates), cfg.Workers, func(i int) error {
 		c := cfg
-		c.Rate = r
-		s, err := New(c)
+		c.Rate = rates[i]
+		st, err := Simulate(ctx, c)
 		if err != nil {
-			return SaturationResult{}, err
+			return err
 		}
-		s.Run(warmup)
-		s.StartMeasurement()
-		s.Run(measure)
-		st := s.Stats()
+		stats[i] = st
+		return nil
+	})
+	if err != nil {
+		return SaturationResult{}, err
+	}
+	res := SaturationResult{}
+	for i, r := range rates {
+		st := stats[i]
 		res.Curve = append(res.Curve, RatePoint{Rate: r, Accepted: st.Throughput, AvgLatency: st.AvgLatency})
 		if st.Deadlocked {
 			res.Deadlocked = true

@@ -1,14 +1,16 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"tcr/internal/routing"
 )
 
 func TestFindSaturationCurve(t *testing.T) {
-	res, err := FindSaturation(Config{K: 4, Seed: 9, Alg: routing.DOR{}, VCsPerClass: 2, BufDepth: 8},
-		[]float64{0.2, 0.5, 0.8, 1.0}, 500, 2000)
+	res, err := FindSaturation(context.Background(),
+		Config{K: 4, Seed: 9, Alg: routing.DOR{}, VCsPerClass: 2, BufDepth: 8, Warmup: 500, Measure: 2000},
+		[]float64{0.2, 0.5, 0.8, 1.0})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -136,6 +136,12 @@ func PolicyFor(alg routing.Algorithm) VCPolicy {
 	return TurnDatelinePolicy{}
 }
 
+// Default measurement windows used when Config.Warmup/Measure are zero.
+const (
+	DefaultWarmup  = 3000
+	DefaultMeasure = 10000
+)
+
 // Config parameterizes a simulation.
 type Config struct {
 	K           int     // torus radix
@@ -148,6 +154,30 @@ type Config struct {
 	Alg     routing.Algorithm
 	Policy  VCPolicy        // nil = PolicyFor(Alg)
 	Pattern *traffic.Matrix // destination distribution per source; nil = uniform
+
+	// Warmup and Measure are the pre-measurement and measurement window
+	// lengths in cycles used by Simulate and FindSaturation; zero selects
+	// DefaultWarmup/DefaultMeasure.
+	Warmup, Measure int
+	// Workers bounds FindSaturation's sweep concurrency: each rate is an
+	// independent simulation with its own RNG seeded from Seed, so the
+	// sweep result is identical for every worker count. 0 uses all cores;
+	// 1 runs the sweep sequentially.
+	Workers int
+}
+
+func (c Config) warmup() int {
+	if c.Warmup > 0 {
+		return c.Warmup
+	}
+	return DefaultWarmup
+}
+
+func (c Config) measure() int {
+	if c.Measure > 0 {
+		return c.Measure
+	}
+	return DefaultMeasure
 }
 
 // Stats summarizes a measurement window.

@@ -22,12 +22,17 @@
 // Quick start:
 //
 //	t := tcr.NewTorus(8)
-//	m := tcr.Report(t, tcr.IVAL(), nil)
+//	m, err := tcr.Report(t, tcr.IVAL(), nil)
+//	if err != nil {
+//		log.Fatal(err)
+//	}
 //	fmt.Printf("IVAL: H=%.3fx minimal, worst case %.1f%% of capacity\n",
 //		m.HNorm, 100*m.WorstCaseFraction)
 package tcr
 
 import (
+	"context"
+
 	"tcr/internal/design"
 	"tcr/internal/eval"
 	"tcr/internal/routing"
@@ -35,6 +40,15 @@ import (
 	"tcr/internal/topo"
 	"tcr/internal/traffic"
 )
+
+// Concurrency bounds the parallelism of the evaluation entry points
+// (Evaluate, Report and their Ctx forms): 0 (the default) uses all cores
+// (GOMAXPROCS); 1 reproduces the sequential engine bit for bit; any other
+// value caps the worker count. The design entry points take the equivalent
+// DesignOptions.Workers field instead, and the simulator takes
+// SimConfig.Workers. Concurrency is read when a call starts and is not
+// synchronized: set it during initialization, before issuing work.
+var Concurrency int
 
 // Torus is a k-ary 2-cube topology (see internal/topo).
 type Torus = topo.Torus
@@ -82,8 +96,23 @@ func Interpolate(a, b Algorithm, alpha float64) Algorithm {
 // throughput metrics derive.
 type Flow = eval.Flow
 
-// Evaluate computes an algorithm's flow table on a torus.
-func Evaluate(t *Torus, alg Algorithm) *Flow { return eval.FromAlgorithm(t, alg) }
+// Evaluate computes an algorithm's flow table on a torus, on Concurrency
+// workers.
+func Evaluate(t *Torus, alg Algorithm) *Flow {
+	f, err := EvaluateCtx(context.Background(), t, alg)
+	if err != nil {
+		// Unreachable: path enumeration cannot fail, and the background
+		// context is never cancelled.
+		panic(err)
+	}
+	return f
+}
+
+// EvaluateCtx is Evaluate under a cancellation context: the per-pair
+// enumeration aborts early once ctx is done.
+func EvaluateCtx(ctx context.Context, t *Torus, alg Algorithm) (*Flow, error) {
+	return eval.FromAlgorithmCtx(ctx, t, alg, Concurrency)
+}
 
 // NetworkCapacity returns the torus's ideal uniform-traffic throughput, the
 // normalizer for all throughput fractions.
@@ -121,12 +150,31 @@ type Metrics struct {
 	AvgCaseFraction float64
 }
 
+// flowCache memoizes flow tables across Report invocations: repeated
+// reports on the same (radix, algorithm) — CLI subcommands, interpolation
+// sweeps — reuse one path-enumeration pass. Designed routing tables have no
+// stable identity and bypass it (see eval.FlowKey).
+var flowCache = eval.NewCache()
+
 // Report evaluates the paper's metrics for an algorithm; samples may be nil
-// to skip the average case.
-func Report(t *Torus, alg Algorithm, samples []*Traffic) Metrics {
-	f := Evaluate(t, alg)
+// to skip the average case. Flow tables are memoized across calls, so
+// re-reporting an algorithm (at a different sample set, say) is cheap.
+func Report(t *Torus, alg Algorithm, samples []*Traffic) (Metrics, error) {
+	return ReportCtx(context.Background(), t, alg, samples)
+}
+
+// ReportCtx is Report under a cancellation context, which bounds both the
+// flow evaluation and the exact worst-case (Hungarian) computation.
+func ReportCtx(ctx context.Context, t *Torus, alg Algorithm, samples []*Traffic) (Metrics, error) {
+	f, err := flowCache.Evaluate(ctx, t, alg, Concurrency)
+	if err != nil {
+		return Metrics{}, err
+	}
 	cap := NetworkCapacity(t)
-	gw, _ := f.WorstCase()
+	gw, _, err := f.WorstCaseCtx(ctx, Concurrency)
+	if err != nil {
+		return Metrics{}, err
+	}
 	m := Metrics{
 		HAvg:              f.HAvg(),
 		HNorm:             f.HNorm(),
@@ -136,9 +184,13 @@ func Report(t *Torus, alg Algorithm, samples []*Traffic) Metrics {
 		WorstCaseFraction: (1 / gw) / cap,
 	}
 	if len(samples) > 0 {
-		m.AvgCaseFraction = f.AvgCase(samples).ApproxThroughput / cap
+		ac, err := f.AvgCaseCtx(ctx, samples, Concurrency)
+		if err != nil {
+			return Metrics{}, err
+		}
+		m.AvgCaseFraction = ac.ApproxThroughput / cap
 	}
-	return m
+	return m, nil
 }
 
 // DesignOptions tunes the LP-based designers; the zero value is sensible.
@@ -160,31 +212,58 @@ func WorstCaseOptimal(t *Torus, opts DesignOptions) (*DesignResult, error) {
 	return design.WorstCaseOptimal(t, opts)
 }
 
+// WorstCaseOptimalCtx is WorstCaseOptimal under a cancellation context.
+func WorstCaseOptimalCtx(ctx context.Context, t *Torus, opts DesignOptions) (*DesignResult, error) {
+	return design.WorstCaseOptimalCtx(ctx, t, opts)
+}
+
 // WorstCaseParetoCurve computes Figure 1's optimal tradeoff curve: best
 // worst-case throughput at each normalized locality bound.
 func WorstCaseParetoCurve(t *Torus, hNorms []float64, opts DesignOptions) ([]ParetoPoint, error) {
 	return design.WorstCaseParetoCurve(t, hNorms, opts)
 }
 
-// designSlack is the stage-2 slack on the optimal worst-case load used by
-// the lexicographic (throughput-then-locality) designs exposed here.
-const designSlack = 1e-6
-
-// OptimalLocalityAtMaxWorstCase finds the best locality achievable at
-// maximum worst-case throughput (Figure 4's "optimal" series).
-func OptimalLocalityAtMaxWorstCase(t *Torus, opts DesignOptions) (*DesignResult, error) {
-	return design.MinLocalityAtWorstCase(t, designSlack, opts)
+// WorstCaseParetoCurveCtx is WorstCaseParetoCurve under a cancellation
+// context. With opts.Workers != 1 the curve's points solve as independent
+// LPs in parallel, returned in hNorms order.
+func WorstCaseParetoCurveCtx(ctx context.Context, t *Torus, hNorms []float64, opts DesignOptions) ([]ParetoPoint, error) {
+	return design.WorstCaseParetoCurveCtx(ctx, t, hNorms, opts)
 }
 
-// Design2Turn constructs the 2TURN algorithm (Section 5.2).
+// OptimalLocalityAtMaxWorstCase finds the best locality achievable at
+// maximum worst-case throughput (Figure 4's "optimal" series). The stage-2
+// slack is opts.Slack (default 1e-6); before the DesignOptions.Slack field
+// existed this facade hard-coded the same value as a private constant.
+func OptimalLocalityAtMaxWorstCase(t *Torus, opts DesignOptions) (*DesignResult, error) {
+	return design.MinLocalityAtWorstCase(t, opts)
+}
+
+// OptimalLocalityAtMaxWorstCaseCtx is OptimalLocalityAtMaxWorstCase under a
+// cancellation context.
+func OptimalLocalityAtMaxWorstCaseCtx(ctx context.Context, t *Torus, opts DesignOptions) (*DesignResult, error) {
+	return design.MinLocalityAtWorstCaseCtx(ctx, t, opts)
+}
+
+// Design2Turn constructs the 2TURN algorithm (Section 5.2); the stage-2
+// slack is opts.Slack.
 func Design2Turn(t *Torus, opts DesignOptions) (*PathDesignResult, error) {
-	return design.DesignTwoTurn(t, designSlack, opts)
+	return design.DesignTwoTurn(t, opts)
+}
+
+// Design2TurnCtx is Design2Turn under a cancellation context.
+func Design2TurnCtx(ctx context.Context, t *Torus, opts DesignOptions) (*PathDesignResult, error) {
+	return design.DesignTwoTurnCtx(ctx, t, opts)
 }
 
 // Design2TurnA constructs the 2TURNA algorithm (Section 5.4) over a traffic
-// sample.
+// sample; the stage-2 slack is opts.Slack.
 func Design2TurnA(t *Torus, samples []*Traffic, opts DesignOptions) (*PathDesignResult, error) {
-	return design.DesignTwoTurnAvg(t, samples, designSlack, opts)
+	return design.DesignTwoTurnAvg(t, samples, opts)
+}
+
+// Design2TurnACtx is Design2TurnA under a cancellation context.
+func Design2TurnACtx(ctx context.Context, t *Torus, samples []*Traffic, opts DesignOptions) (*PathDesignResult, error) {
+	return design.DesignTwoTurnAvgCtx(ctx, t, samples, opts)
 }
 
 // AvgCaseOptimal designs for maximum (approximate) average-case throughput
@@ -193,9 +272,20 @@ func AvgCaseOptimal(t *Torus, samples []*Traffic, opts DesignOptions) (*DesignRe
 	return design.AvgCaseOptimal(t, samples, opts)
 }
 
+// AvgCaseOptimalCtx is AvgCaseOptimal under a cancellation context.
+func AvgCaseOptimalCtx(ctx context.Context, t *Torus, samples []*Traffic, opts DesignOptions) (*DesignResult, error) {
+	return design.AvgCaseOptimalCtx(ctx, t, samples, opts)
+}
+
 // AvgCaseParetoCurve computes Figure 6's optimal tradeoff curve.
 func AvgCaseParetoCurve(t *Torus, samples []*Traffic, hNorms []float64, opts DesignOptions) ([]ParetoPoint, error) {
 	return design.AvgCaseParetoCurve(t, samples, hNorms, opts)
+}
+
+// AvgCaseParetoCurveCtx is AvgCaseParetoCurve under a cancellation context,
+// with the same per-point parallelism as WorstCaseParetoCurveCtx.
+func AvgCaseParetoCurveCtx(ctx context.Context, t *Torus, samples []*Traffic, hNorms []float64, opts DesignOptions) ([]ParetoPoint, error) {
+	return design.AvgCaseParetoCurveCtx(ctx, t, samples, hNorms, opts)
 }
 
 // TableFromFlow recovers an executable routing algorithm from a designed
@@ -210,23 +300,42 @@ type SimConfig = sim.Config
 // SimStats is a simulation measurement.
 type SimStats = sim.Stats
 
+// SimulateCtx runs cfg's warmup window then its measurement window
+// (SimConfig.Warmup and SimConfig.Measure; zero values select the
+// simulator defaults) and returns the stats. The context is checked
+// periodically during the run.
+func SimulateCtx(ctx context.Context, cfg SimConfig) (SimStats, error) {
+	return sim.Simulate(ctx, cfg)
+}
+
 // Simulate runs warmup then a measurement window and returns the stats.
+//
+// Deprecated: the window lengths moved into the configuration. Set
+// SimConfig.Warmup and SimConfig.Measure and call SimulateCtx instead;
+// this positional form remains as a thin wrapper.
 func Simulate(cfg SimConfig, warmup, measure int) (SimStats, error) {
-	s, err := sim.New(cfg)
-	if err != nil {
-		return SimStats{}, err
-	}
-	s.Run(warmup)
-	s.StartMeasurement()
-	s.Run(measure)
-	return s.Stats(), nil
+	cfg.Warmup, cfg.Measure = warmup, measure
+	return SimulateCtx(context.Background(), cfg)
 }
 
 // SaturationResult is a simulated load sweep's outcome.
 type SaturationResult = sim.SaturationResult
 
-// FindSaturation sweeps offered load and reports the accepted-throughput
-// plateau (the simulated saturation point).
+// FindSaturationCtx sweeps offered load and reports the accepted-throughput
+// plateau (the simulated saturation point). Window lengths come from
+// SimConfig.Warmup/Measure and the sweep runs its independent rate points
+// on SimConfig.Workers goroutines; the result is identical for every
+// worker count.
+func FindSaturationCtx(ctx context.Context, cfg SimConfig, rates []float64) (SaturationResult, error) {
+	return sim.FindSaturation(ctx, cfg, rates)
+}
+
+// FindSaturation sweeps offered load and reports the saturation plateau.
+//
+// Deprecated: the window lengths moved into the configuration. Set
+// SimConfig.Warmup and SimConfig.Measure and call FindSaturationCtx
+// instead; this positional form remains as a thin wrapper.
 func FindSaturation(cfg SimConfig, rates []float64, warmup, measure int) (SaturationResult, error) {
-	return sim.FindSaturation(cfg, rates, warmup, measure)
+	cfg.Warmup, cfg.Measure = warmup, measure
+	return FindSaturationCtx(context.Background(), cfg, rates)
 }

@@ -8,16 +8,26 @@ import (
 // The facade tests exercise the public API end to end at small radices; the
 // heavy numerical verification lives in the internal packages' suites.
 
+// mustReport evaluates Report and fails the test on error.
+func mustReport(t *testing.T, tor *Torus, alg Algorithm, samples []*Traffic) Metrics {
+	t.Helper()
+	m, err := Report(tor, alg, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
 func TestReportKnownValues(t *testing.T) {
 	tor := NewTorus(8)
-	val := Report(tor, VAL(), nil)
+	val := mustReport(t, tor, VAL(), nil)
 	if math.Abs(val.HNorm-2.0) > 1e-9 {
 		t.Fatalf("VAL HNorm = %v", val.HNorm)
 	}
 	if math.Abs(val.WorstCaseFraction-0.5) > 1e-6 {
 		t.Fatalf("VAL worst-case fraction = %v", val.WorstCaseFraction)
 	}
-	ival := Report(tor, IVAL(), nil)
+	ival := mustReport(t, tor, IVAL(), nil)
 	if math.Abs(ival.WorstCaseFraction-0.5) > 1e-6 {
 		t.Fatalf("IVAL worst-case fraction = %v", ival.WorstCaseFraction)
 	}
@@ -25,7 +35,7 @@ func TestReportKnownValues(t *testing.T) {
 	if rec := (val.HAvg - ival.HAvg) / val.HAvg; math.Abs(rec-0.193) > 0.005 {
 		t.Fatalf("IVAL recovery %v, want ~0.193", rec)
 	}
-	dor := Report(tor, DOR(), nil)
+	dor := mustReport(t, tor, DOR(), nil)
 	if dor.HNorm != 1 || dor.CapacityFraction != 1 {
 		t.Fatalf("DOR metrics off: %+v", dor)
 	}
@@ -34,7 +44,7 @@ func TestReportKnownValues(t *testing.T) {
 func TestReportWithSamples(t *testing.T) {
 	tor := NewTorus(5)
 	samples := SampleTraffic(tor, 10, 3)
-	m := Report(tor, VAL(), samples)
+	m := mustReport(t, tor, VAL(), samples)
 	// VAL's average case is its worst case: 0.5 of capacity.
 	if math.Abs(m.AvgCaseFraction-0.5) > 0.02 {
 		t.Fatalf("VAL avg-case fraction = %v, want ~0.5", m.AvgCaseFraction)
@@ -47,7 +57,7 @@ func TestDesignAndUseTable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := Report(tor, res.Table, nil)
+	m := mustReport(t, tor, res.Table, nil)
 	if math.Abs(m.WorstCaseFraction-0.5) > 1e-4 {
 		t.Fatalf("2TURN worst case %v, want 0.5", m.WorstCaseFraction)
 	}
@@ -71,7 +81,7 @@ func TestTableFromFlowRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := Report(tor, alg, nil)
+	m := mustReport(t, tor, alg, nil)
 	if m.WorstCaseFraction < 0.5-1e-4 {
 		t.Fatalf("decomposed algorithm worst case %v below optimal", m.WorstCaseFraction)
 	}
@@ -83,7 +93,7 @@ func TestParetoEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dor := Report(tor, DOR(), nil)
+	dor := mustReport(t, tor, DOR(), nil)
 	if pts[0].Theta < dor.WorstCaseFraction-1e-6 {
 		t.Fatalf("minimal-locality optimum %v below DOR %v", pts[0].Theta, dor.WorstCaseFraction)
 	}
@@ -105,16 +115,16 @@ func TestFindSaturation(t *testing.T) {
 
 func TestExtraAlgorithms(t *testing.T) {
 	tor := NewTorus(6)
-	o1 := Report(tor, O1TURN(), nil)
+	o1 := mustReport(t, tor, O1TURN(), nil)
 	if math.Abs(o1.HNorm-1) > 1e-9 {
 		t.Fatalf("O1TURN not minimal: %v", o1.HNorm)
 	}
-	dor := Report(tor, DOR(), nil)
+	dor := mustReport(t, tor, DOR(), nil)
 	if o1.WorstCaseFraction < dor.WorstCaseFraction-1e-9 {
 		t.Fatalf("O1TURN wc %v should be >= DOR's %v", o1.WorstCaseFraction, dor.WorstCaseFraction)
 	}
-	goal := Report(tor, GOALish(), nil)
-	rlb := Report(tor, RLB(), nil)
+	goal := mustReport(t, tor, GOALish(), nil)
+	rlb := mustReport(t, tor, RLB(), nil)
 	if math.Abs(goal.HNorm-rlb.HNorm) > 1e-9 {
 		t.Fatalf("GOALish locality %v != RLB %v", goal.HNorm, rlb.HNorm)
 	}
