@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint fuzz ci
+.PHONY: build test race lint fuzz bench ci
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,11 @@ fuzz:
 	$(GO) test ./internal/lp -run='^$$' -fuzz=FuzzReadMPS -fuzztime=5s
 	$(GO) test ./internal/matching -run='^$$' -fuzz=FuzzHungarian -fuzztime=5s
 
+# bench records the LP-engine benchmark suite into BENCH_lp.json.
+bench:
+	sh scripts/bench.sh
+
 # ci is the full verification gate: build, vet, the repo's own static
-# analyzer, race-enabled tests, and a short fuzz smoke.
+# analyzer, race-enabled tests, a bench smoke, and a short fuzz smoke.
 ci:
 	sh scripts/check.sh

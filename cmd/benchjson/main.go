@@ -1,0 +1,174 @@
+// Command benchjson converts `go test -bench` output into a JSON document
+// mapping benchmark name to its measured figures, for checking performance
+// results into the repository in a diffable form (see scripts/bench.sh).
+//
+// Usage:
+//
+//	go test -bench . -benchmem | benchjson [-o out.json] [-label suffix]
+//
+// Input is read from stdin. Lines that are not benchmark result lines are
+// ignored, so raw `go test` output can be piped in directly. With -label,
+// the suffix is appended to every benchmark name (used to distinguish runs
+// under different build tags). Repeated invocations with -o append into the
+// existing document, so several runs can accumulate into one file. Exit
+// status is 0 on success, 1 when the input contains no benchmark lines, and
+// 2 on I/O or parse errors.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result holds the figures of one benchmark line. Fields that the run did
+// not report (e.g. allocation stats without -benchmem) stay zero.
+type result struct {
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	out := fs.String("o", "", "output file (default stdout); appended to if it exists")
+	label := fs.String("label", "", "suffix appended to every benchmark name")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	results := map[string]result{}
+	if *out != "" {
+		if err := loadExisting(*out, results); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			return 2
+		}
+	}
+
+	n, err := parseBench(bufio.NewScanner(os.Stdin), *label, results)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	if n == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines in input")
+		return 1
+	}
+
+	if err := write(*out, results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	return 0
+}
+
+// loadExisting merges a previous output file into results so consecutive
+// runs accumulate. A missing file is not an error.
+func loadExisting(path string, results map[string]result) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	return json.Unmarshal(data, &results)
+}
+
+// parseBench scans benchmark result lines of the form
+//
+//	BenchmarkName-8   	  20	 550045 ns/op	 167832 B/op	 1978 allocs/op
+//
+// into results, returning how many lines matched.
+func parseBench(sc *bufio.Scanner, label string, results map[string]result) (int, error) {
+	n := 0
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		name := trimProcSuffix(f[0]) + label
+		r := results[name]
+		r.Iterations = iters
+		for i := 2; i+1 < len(f); i += 2 {
+			switch f[i+1] {
+			case "ns/op":
+				v, err := strconv.ParseFloat(f[i], 64)
+				if err != nil {
+					return n, fmt.Errorf("%s: bad ns/op %q: %w", name, f[i], err)
+				}
+				r.NsPerOp = v
+			case "B/op":
+				v, err := strconv.ParseInt(f[i], 10, 64)
+				if err != nil {
+					return n, fmt.Errorf("%s: bad B/op %q: %w", name, f[i], err)
+				}
+				r.BytesPerOp = v
+			case "allocs/op":
+				v, err := strconv.ParseInt(f[i], 10, 64)
+				if err != nil {
+					return n, fmt.Errorf("%s: bad allocs/op %q: %w", name, f[i], err)
+				}
+				r.AllocsPerOp = v
+			}
+		}
+		results[name] = r
+		n++
+	}
+	return n, sc.Err()
+}
+
+// trimProcSuffix drops the trailing -GOMAXPROCS marker (e.g. "-8") that
+// `go test` appends to benchmark names.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// write emits the results as sorted, indented JSON to path or stdout.
+func write(path string, results map[string]result) error {
+	names := make([]string, 0, len(results))
+	for name := range results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i, name := range names {
+		enc, err := json.Marshal(results[name])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&b, "  %q: %s", name, enc)
+		if i < len(names)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("}\n")
+	if path == "" {
+		_, err := os.Stdout.WriteString(b.String())
+		return err
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}

@@ -306,14 +306,7 @@ func (p *FlowLP) SetLocality(hNorm float64) {
 // variable or a sample's t variable) for a traffic pattern given as a
 // permutation or dense matrix.
 func (p *FlowLP) permCut(c topo.Channel, perm []int, bound lp.VarID) {
-	terms := make([]lp.Term, 0, p.T.N+1)
-	for s, d := range perm {
-		if v := p.pairLoadVar(s, d, c); v >= 0 {
-			terms = append(terms, lp.Term{Var: v, Coef: 1})
-		}
-	}
-	terms = append(terms, lp.Term{Var: bound, Coef: -1})
-	p.solver.AddCut(terms, lp.LE, 0)
+	p.solver.AddCut(p.PermCutTerms(c, perm, bound), lp.LE, 0)
 }
 
 // matrixCut appends gamma_c(R, Lambda) <= bound for a dense pattern.

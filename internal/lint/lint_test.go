@@ -7,6 +7,9 @@ import (
 	"go/parser"
 	"go/token"
 	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
 	"testing"
 )
 
@@ -395,4 +398,33 @@ func Flush() {
 }
 `)
 	expect(t, got)
+}
+
+// TestBuildTagOK exercises the loader's build-constraint filter: files
+// gated on custom tags (like the lpdense engine fallback) must be excluded
+// from the default-configuration load, while host-true and unconstrained
+// files stay in.
+func TestBuildTagOK(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name, src string
+		want      bool
+	}{
+		{"plain.go", "package p\n", true},
+		{"custom.go", "//go:build lpdense\n\npackage p\n", false},
+		{"negated.go", "//go:build !lpdense\n\npackage p\n", true},
+		{"host.go", "//go:build " + runtime.GOOS + "\n\npackage p\n", true},
+		{"otheros.go", "//go:build plan9 && !" + runtime.GOOS + "\n\npackage p\n", false},
+		{"plusbuild.go", "// +build lpdense\n\npackage p\n", false},
+		{"goversion.go", "//go:build go1.1\n\npackage p\n", true},
+	}
+	for _, c := range cases {
+		path := filepath.Join(dir, c.name)
+		if err := os.WriteFile(path, []byte(c.src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if got := buildTagOK(path); got != c.want {
+			t.Errorf("buildTagOK(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
 }

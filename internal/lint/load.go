@@ -3,12 +3,14 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -149,7 +151,11 @@ func (l *Loader) importPathFor(dir string) (string, error) {
 	return l.modPath + "/" + filepath.ToSlash(rel), nil
 }
 
-// goFilesIn lists the non-test Go files of a directory, sorted.
+// goFilesIn lists the non-test Go files of a directory that are included
+// under the default build configuration, sorted. Honoring //go:build lines
+// matters because tag-gated variant pairs (for example alternate engine
+// defaults) declare the same identifiers and must not be type-checked
+// together.
 func goFilesIn(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -161,10 +167,49 @@ func goFilesIn(dir string) ([]string, error) {
 		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
 			continue
 		}
+		if !buildTagOK(filepath.Join(dir, n)) {
+			continue
+		}
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	return names, nil
+}
+
+// buildTagOK reports whether the file's build constraint, if any, is
+// satisfied with no build tags set (the configuration `go build` uses by
+// default on this platform). Unreadable or unparsable headers count as
+// included, matching the pre-constraint behavior.
+func buildTagOK(path string) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return true
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		t := strings.TrimSpace(line)
+		if strings.HasPrefix(t, "package ") {
+			break // constraints are only legal before the package clause
+		}
+		if !constraint.IsGoBuild(t) && !constraint.IsPlusBuild(t) {
+			continue
+		}
+		expr, err := constraint.Parse(t)
+		if err != nil {
+			return true
+		}
+		return expr.Eval(defaultBuildTag)
+	}
+	return true
+}
+
+// defaultBuildTag evaluates a single build tag for the default (tagless)
+// configuration: the host OS/arch, the gc toolchain, and every released
+// go1.N language tag hold; custom tags do not.
+func defaultBuildTag(tag string) bool {
+	if tag == runtime.GOOS || tag == runtime.GOARCH || tag == "gc" {
+		return true
+	}
+	return strings.HasPrefix(tag, "go1.")
 }
 
 // Import implements types.Importer, so module-local dependencies of a

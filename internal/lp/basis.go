@@ -5,32 +5,177 @@ import (
 	"math"
 )
 
-// factorize rebuilds the dense basis inverse from the basis column set using
-// Gauss-Jordan elimination with partial pivoting, repairing numerically
-// dependent basis columns in-pass by substituting artificial columns.
+// This file is the basis-inverse engine layer: the simplex drivers in
+// simplex.go speak only through factorize / ftran / btranRow / computeY /
+// pivot / recomputeXB, and each call dispatches on Solver.engine. The dense
+// engine (an explicit m x m inverse updated by rank-1 pivots) lives here;
+// the sparse engine (LU factors plus an eta file) lives in lu.go and eta.go.
+
+// factorize rebuilds the basis representation from the basis column set,
+// repairing numerically dependent basis columns in-pass by substituting
+// artificial columns.
 func (s *Solver) factorize() error {
-	return s.doFactorize()
+	if s.engine == EngineDense {
+		return s.factorizeDense()
+	}
+	return s.factorizeSparse()
 }
 
-// doFactorize performs the elimination. When a basis column proves linearly
-// dependent, it is repaired in-pass: a nonbasic artificial (identity) column
-// is substituted, using the row operations accumulated so far (the building
-// inverse) to transform it, and elimination continues.
-func (s *Solver) doFactorize() error {
+// ftran returns u = Binv * A[col] as a dense vector indexed by basis
+// position (length nRows). The returned slice is solver-owned scratch,
+// valid until the next ftran or pivot.
+func (s *Solver) ftran(col int) []float64 {
+	if s.engine == EngineDense {
+		return s.ftranDense(col)
+	}
+	return s.ftranEta(col)
+}
+
+// btranRow returns row r of Binv (the vector rho with rho^T = e_r^T Binv,
+// indexed by constraint row). The returned slice is solver-owned scratch
+// distinct from ftran's, so a rho computed before a pivot stays valid while
+// the entering column's FTRAN image is alive.
+func (s *Solver) btranRow(r int) []float64 {
+	if s.engine == EngineDense {
+		rho := s.growRho()
+		copy(rho, s.binv[r])
+		return rho
+	}
+	w := s.growPosSp()
+	for i := range w {
+		w[i] = 0
+	}
+	w[r] = 1
+	return s.btranEta(w)
+}
+
+// computeY returns y with y = c_B^T * Binv for the given cost vector.
+func (s *Solver) computeY(costs []float64) []float64 {
+	if s.engine == EngineDense {
+		return s.computeYDense(costs)
+	}
+	w := s.growPosSp()
+	for r, col := range s.basis {
+		w[r] = costs[col]
+	}
+	z := s.btranEta(w)
+	y := s.growY()
+	copy(y, z)
+	return y
+}
+
+// pivot makes column `enter` basic in row `leaveRow`, given u = Binv*A[enter]
+// and the entering variable's new value theta. It updates the inverse
+// representation (a rank-1 elimination for the dense engine, an eta append —
+// and possibly a refactorization — for the eta engine), the basic solution
+// values, and the basis bookkeeping.
+func (s *Solver) pivot(enter, leaveRow int, u []float64, theta float64) error {
+	// Bookkeeping first: if the eta engine decides to refactorize inside
+	// pivotEta, the factorization must see the post-pivot basis.
+	old := s.basis[leaveRow]
+	s.pos[old] = -1
+	s.basis[leaveRow] = enter
+	s.pos[enter] = leaveRow
+	s.xB[leaveRow] = theta
+	if s.engine == EngineDense {
+		s.pivotDense(leaveRow, u, theta)
+		return nil
+	}
+	return s.pivotEta(leaveRow, u, theta)
+}
+
+// dotCol computes vec . A[col] for a row-space vector (a BTRAN row or a
+// dual vector) against a sparse column.
+func (s *Solver) dotCol(vec []float64, col int) float64 {
+	var acc float64
+	for t, ri := range s.colR[col] {
+		acc += vec[ri] * s.colV[col][t]
+	}
+	return acc
+}
+
+// reducedCost returns costs[j] - y . A[j].
+func (s *Solver) reducedCost(costs, y []float64, j int) float64 {
+	return costs[j] - s.dotCol(y, j)
+}
+
+// Scratch growers: each returns the named solver-owned buffer resized to
+// nRows, allocating only when the row count outgrew the capacity.
+
+func (s *Solver) growY() []float64 {
+	if cap(s.y) < s.nRows {
+		s.y = make([]float64, s.nRows)
+	}
+	s.y = s.y[:s.nRows]
+	return s.y
+}
+
+func (s *Solver) growU() []float64 {
+	if cap(s.u) < s.nRows {
+		s.u = make([]float64, s.nRows)
+	}
+	s.u = s.u[:s.nRows]
+	return s.u
+}
+
+func (s *Solver) growRho() []float64 {
+	if cap(s.rho) < s.nRows {
+		s.rho = make([]float64, s.nRows)
+	}
+	s.rho = s.rho[:s.nRows]
+	return s.rho
+}
+
+func (s *Solver) growRowSp() []float64 {
+	if cap(s.rowSp) < s.nRows {
+		s.rowSp = make([]float64, s.nRows)
+	}
+	s.rowSp = s.rowSp[:s.nRows]
+	return s.rowSp
+}
+
+func (s *Solver) growPosSp() []float64 {
+	if cap(s.posSp) < s.nRows {
+		s.posSp = make([]float64, s.nRows)
+	}
+	s.posSp = s.posSp[:s.nRows]
+	return s.posSp
+}
+
+// factorizeDense rebuilds the dense basis inverse from the basis column set
+// using Gauss-Jordan elimination with partial pivoting. When a basis column
+// proves linearly dependent, it is repaired in-pass: a nonbasic artificial
+// (identity) column is substituted, using the row operations accumulated so
+// far (the building inverse) to transform it, and elimination continues.
+// The working matrix rows live in solver-owned scratch (s.bmat), so repeated
+// refactorizations allocate nothing once the solver reaches steady state.
+func (s *Solver) factorizeDense() error {
 	m := s.nRows
 	// B laid out dense; binv starts as identity and receives the inverse.
-	B := make([][]float64, m)
+	if cap(s.bmat) < m {
+		grown := make([][]float64, m)
+		copy(grown, s.bmat[:cap(s.bmat)])
+		s.bmat = grown
+	}
+	s.bmat = s.bmat[:m]
+	B := s.bmat
 	if cap(s.binv) < m {
-		s.binv = make([][]float64, m)
+		grown := make([][]float64, m)
+		copy(grown, s.binv[:cap(s.binv)])
+		s.binv = grown
 	}
 	s.binv = s.binv[:m]
 	for r := 0; r < m; r++ {
-		B[r] = make([]float64, m)
+		if cap(B[r]) < m {
+			B[r] = make([]float64, m)
+		}
+		B[r] = B[r][:m]
 		if cap(s.binv[r]) < m {
 			s.binv[r] = make([]float64, m)
 		}
 		s.binv[r] = s.binv[r][:m]
 		for c := 0; c < m; c++ {
+			B[r][c] = 0
 			s.binv[r][c] = 0
 		}
 		s.binv[r][r] = 1
@@ -122,16 +267,10 @@ func (s *Solver) doFactorize() error {
 	return nil
 }
 
-// ftran returns u = Binv * A[col] as a dense vector (length nRows).
-func (s *Solver) ftran(col int) []float64 {
+// ftranDense computes u = Binv * A[col] against the explicit inverse.
+func (s *Solver) ftranDense(col int) []float64 {
 	m := s.nRows
-	if cap(s.u) < m {
-		s.u = make([]float64, m)
-	}
-	u := s.u[:m]
-	for r := range u {
-		u[r] = 0
-	}
+	u := s.growU()
 	rows, vals := s.colR[col], s.colV[col]
 	for r := 0; r < m; r++ {
 		var acc float64
@@ -144,24 +283,10 @@ func (s *Solver) ftran(col int) []float64 {
 	return u
 }
 
-// rowDotCol computes (Binv*A[col])[r] without materializing the whole
-// column image.
-func (s *Solver) rowDotCol(r, col int) float64 {
-	var acc float64
-	brow := s.binv[r]
-	for t, ri := range s.colR[col] {
-		acc += brow[ri] * s.colV[col][t]
-	}
-	return acc
-}
-
-// computeY returns y with y = c_B^T * Binv for the given cost vector.
-func (s *Solver) computeY(costs []float64) []float64 {
+// computeYDense accumulates y = c_B^T * Binv row by row.
+func (s *Solver) computeYDense(costs []float64) []float64 {
 	m := s.nRows
-	if cap(s.y) < m {
-		s.y = make([]float64, m)
-	}
-	y := s.y[:m]
+	y := s.growY()
 	for i := range y {
 		y[i] = 0
 	}
@@ -179,19 +304,9 @@ func (s *Solver) computeY(costs []float64) []float64 {
 	return y
 }
 
-// reducedCost returns costs[j] - y . A[j].
-func (s *Solver) reducedCost(costs, y []float64, j int) float64 {
-	d := costs[j]
-	for t, ri := range s.colR[j] {
-		d -= y[ri] * s.colV[j][t]
-	}
-	return d
-}
-
-// pivot makes column `enter` basic in row `leaveRow`, given u = Binv*A[enter]
-// and the entering variable's new value theta. It updates the inverse by a
-// rank-1 elimination and the basic solution values incrementally.
-func (s *Solver) pivot(enter, leaveRow int, u []float64, theta float64) {
+// pivotDense updates the explicit inverse by a rank-1 elimination and the
+// basic solution values incrementally.
+func (s *Solver) pivotDense(leaveRow int, u []float64, theta float64) {
 	m := s.nRows
 	piv := u[leaveRow]
 	//lint:ignore nanguard callers select |u[leaveRow]| > pivotTol in the ratio test
@@ -215,11 +330,6 @@ func (s *Solver) pivot(enter, leaveRow int, u []float64, theta float64) {
 		}
 		s.xB[r] -= f * theta
 	}
-	old := s.basis[leaveRow]
-	s.pos[old] = -1
-	s.basis[leaveRow] = enter
-	s.pos[enter] = leaveRow
-	s.xB[leaveRow] = theta
 }
 
 // residual returns ||A_B xB - b||_inf, a cheap accuracy probe computed from

@@ -1,0 +1,171 @@
+package lp_test
+
+// Engine benchmarks on the real design LPs (k=4 and k=6 worst-case flow
+// formulations with locality budgets and adversarial permutation cuts).
+// Every benchmark runs one sub-benchmark per engine, eta first and the dense
+// oracle second, so a single `go test -bench` run records the comparison;
+// scripts/bench.sh serializes the results into BENCH_lp.json.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tcr/internal/design"
+	"tcr/internal/lp"
+	"tcr/internal/topo"
+)
+
+var benchEngines = []lp.Engine{lp.EngineEta, lp.EngineDense}
+
+// benchLP bundles a design LP with a pregenerated pool of permutation cuts.
+type benchLP struct {
+	fl   *design.FlowLP
+	tor  *topo.Torus
+	cuts [][]lp.Term
+}
+
+func designBenchLP(k, ncuts int) *benchLP {
+	tor := topo.NewTorus(k)
+	fl := design.NewFlowLP(tor, true, design.Options{})
+	rng := rand.New(rand.NewSource(int64(k)))
+	cuts := make([][]lp.Term, ncuts)
+	for i := range cuts {
+		dir := topo.Dir(i % int(topo.NumDirs))
+		cuts[i] = fl.PermCutTerms(tor.Chan(0, dir), rng.Perm(tor.N), fl.WVar())
+	}
+	return &benchLP{fl: fl, tor: tor, cuts: cuts}
+}
+
+func (bl *benchLP) solver(b *testing.B, e lp.Engine) *lp.Solver {
+	b.Helper()
+	s := lp.NewSolver(bl.fl.Model())
+	s.SetEngine(e)
+	return s
+}
+
+// solvedWithCuts cold-solves and installs the cut pool, leaving a warm
+// optimal basis of the full LP.
+func (bl *benchLP) solvedWithCuts(b *testing.B, e lp.Engine) *lp.Solver {
+	b.Helper()
+	s := bl.solver(b, e)
+	if _, err := s.Solve(); err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range bl.cuts {
+		s.AddCut(c, lp.LE, 0)
+	}
+	if _, err := s.Solve(); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkColdSolve measures a from-scratch solve of the base design LP.
+func BenchmarkColdSolve(b *testing.B) {
+	for _, k := range []int{4, 6} {
+		bl := designBenchLP(k, 0)
+		for _, e := range benchEngines {
+			b.Run(fmt.Sprintf("k=%d/%s", k, e), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					s := bl.solver(b, e)
+					if _, err := s.Solve(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkWarmAddCut measures the lazy-constraint episode the design loops
+// run: starting from a solved base LP (built off the clock), add six
+// adversarial permutation cuts one at a time, dual-simplex re-solving after
+// each.
+func BenchmarkWarmAddCut(b *testing.B) {
+	for _, k := range []int{4, 6} {
+		bl := designBenchLP(k, 6)
+		for _, e := range benchEngines {
+			b.Run(fmt.Sprintf("k=%d/%s", k, e), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					s := bl.solver(b, e)
+					if _, err := s.Solve(); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					for _, c := range bl.cuts {
+						s.AddCut(c, lp.LE, 0)
+						if _, err := s.Solve(); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkWarmSetRHS measures one Pareto-sweep step: move the locality
+// budget of a solved, cut-laden LP and warm re-solve.
+func BenchmarkWarmSetRHS(b *testing.B) {
+	hs := []float64{1.2, 1.5, 1.8, 2.0}
+	for _, k := range []int{4, 6} {
+		bl := designBenchLP(k, 6)
+		for _, e := range benchEngines {
+			b.Run(fmt.Sprintf("k=%d/%s", k, e), func(b *testing.B) {
+				s := bl.solvedWithCuts(b, e)
+				hrow, ok := bl.fl.LocalityRow()
+				if !ok {
+					b.Fatal("bench LP built without locality row")
+				}
+				base := float64(bl.tor.N) * bl.tor.MeanMinDist()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s.SetRHS(int(hrow), hs[i%len(hs)]*base)
+					if _, err := s.Solve(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFactorize measures one basis refresh (refactorize + recompute the
+// basic values) on the warm optimal basis of the cut-laden k=6 LP.
+func BenchmarkFactorize(b *testing.B) {
+	bl := designBenchLP(6, 6)
+	for _, e := range benchEngines {
+		b.Run(fmt.Sprintf("k=6/%s", e), func(b *testing.B) {
+			s := bl.solvedWithCuts(b, e)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Refresh(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFtran measures one FTRAN (Binv times a sparse column) on the warm
+// optimal basis of the cut-laden k=6 LP, cycling through the columns.
+func BenchmarkFtran(b *testing.B) {
+	bl := designBenchLP(6, 6)
+	for _, e := range benchEngines {
+		b.Run(fmt.Sprintf("k=6/%s", e), func(b *testing.B) {
+			s := bl.solvedWithCuts(b, e)
+			n := s.NumCols()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.FtranCol(i % n)
+			}
+		})
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !lpdense
+
+package lp
+
+// defaultEngine selects the sparse LU + eta-file engine unless the build is
+// tagged lpdense, which restores the dense inverse as the default (useful
+// for before/after benchmarking and as an escape hatch).
+const defaultEngine = EngineEta

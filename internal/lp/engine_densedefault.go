@@ -1,0 +1,7 @@
+//go:build lpdense
+
+package lp
+
+// Built with -tags lpdense: the dense explicit-inverse engine is the
+// default, matching the pre-eta-file behavior for comparison runs.
+const defaultEngine = EngineDense

@@ -13,8 +13,14 @@
 //   - repeated re-solves after adding cutting planes or changing one
 //     right-hand side (Pareto sweeps), which the dual simplex warm-starts.
 //
-// The solver keeps an explicit dense inverse of the basis matrix, updated by
-// rank-1 pivots and refactorized periodically for numerical hygiene. All
+// The solver's default basis engine is a sparse LU factorization with
+// Markowitz pivot ordering and a product-form eta file: simplex pivots
+// append eta vectors, AddCut extends the representation with border ops,
+// and the factors are rebuilt when the file grows past its thresholds.
+// Pricing uses Devex reference weights over a partial candidate list. The
+// original explicit dense-inverse engine remains available through
+// Solver.SetEngine (or as the default under the lpdense build tag) and
+// serves as the oracle for the cross-engine equivalence tests. All
 // variables are nonnegative; rows may be <=, >= or ==. Maximization is
 // expressed by negating the objective in the caller (the routing code only
 // ever minimizes loads and path lengths).

@@ -2,6 +2,18 @@ package lp
 
 import "math"
 
+// Devex pricing parameters.
+const (
+	// devexCandMax caps the partial-pricing candidate list: pricing scores
+	// only this many attractive columns per iteration instead of scanning
+	// every column, refilling by a rotating full scan when the list drains.
+	devexCandMax = 96
+	// devexWeightReset triggers a reference-framework reset when the
+	// pivot's weight ratio explodes, which is Devex's standard guard
+	// against weights drifting meaninglessly large.
+	devexWeightReset = 1e12
+)
+
 // primalFromBasis runs the phase-2 primal simplex from the current basis,
 // which must be primal feasible.
 func (s *Solver) primalFromBasis() (Status, error) {
@@ -49,6 +61,104 @@ func (s *Solver) primal(costs []float64) (Status, error) {
 	return IterLimit, nil
 }
 
+// initDevex resets the Devex reference framework: all weights 1 (the current
+// basis becomes the reference) and an empty candidate list. The rotating
+// rebuild cursor deliberately survives, so successive runs keep sweeping the
+// column range instead of re-scanning the same prefix.
+func (s *Solver) initDevex(n int) {
+	if cap(s.devexW) < n {
+		s.devexW = make([]float64, n)
+	}
+	s.devexW = s.devexW[:n]
+	for j := range s.devexW {
+		s.devexW[j] = 1
+	}
+	s.cand = s.cand[:0]
+	if s.candCursor >= n {
+		s.candCursor = 0
+	}
+}
+
+// priceDevex picks the entering column by Devex score d_j^2 / w_j, pricing
+// only the candidate list. Candidates whose reduced cost went nonnegative
+// are dropped; when the list drains, it is rebuilt by a rotating scan that
+// stops after devexCandMax attractive columns. Returns -1 when no column
+// prices out, which callers must confirm against exactly recomputed duals.
+func (s *Solver) priceDevex(costs, y []float64) int {
+	enter := -1
+	best := 0.0
+	out := s.cand[:0]
+	for _, j := range s.cand {
+		if s.pos[j] >= 0 || s.barred[j] {
+			continue
+		}
+		d := s.reducedCost(costs, y, j)
+		if d >= -dualTol {
+			continue
+		}
+		out = append(out, j)
+		//lint:ignore nanguard devex weights are maintained >= 1
+		if sc := d * d / s.devexW[j]; sc > best {
+			best, enter = sc, j
+		}
+	}
+	s.cand = out
+	if enter >= 0 {
+		return enter
+	}
+	n := len(costs)
+	for t := 0; t < n && len(s.cand) < devexCandMax; t++ {
+		j := s.candCursor
+		s.candCursor++
+		if s.candCursor == n {
+			s.candCursor = 0
+		}
+		if s.pos[j] >= 0 || s.barred[j] {
+			continue
+		}
+		d := s.reducedCost(costs, y, j)
+		if d >= -dualTol {
+			continue
+		}
+		s.cand = append(s.cand, j)
+		//lint:ignore nanguard devex weights are maintained >= 1
+		if sc := d * d / s.devexW[j]; sc > best {
+			best, enter = sc, j
+		}
+	}
+	return enter
+}
+
+// updateDevex applies the Devex reference-weight update after a pivot:
+// entering column enter pivoted at row value alpha, rho the pre-pivot BTRAN
+// row of the leaving position, leaveVar the variable that left the basis.
+// Only candidate-list columns are updated — the classic partial-Devex
+// compromise: weights elsewhere go stale but resync at the next framework
+// reset.
+func (s *Solver) updateDevex(enter, leaveVar int, alpha float64, rho []float64) {
+	//lint:ignore nanguard the ratio test selects |alpha| > pivotTol
+	r2 := s.devexW[enter] / (alpha * alpha)
+	if r2 > devexWeightReset {
+		for j := range s.devexW {
+			s.devexW[j] = 1
+		}
+		return
+	}
+	for _, j := range s.cand {
+		if j == enter {
+			continue
+		}
+		aj := s.dotCol(rho, j)
+		if nw := aj * aj * r2; nw > s.devexW[j] {
+			s.devexW[j] = nw
+		}
+	}
+	if r2 < 1 {
+		r2 = 1
+	}
+	s.devexW[leaveVar] = r2
+}
+
 // primalInner is one run of the primal simplex. It reports whether the
 // basic values were perturbed (in which case the caller must restore and
 // repair). blandOnly forces Bland's rule from the start (termination
@@ -66,6 +176,7 @@ func (s *Solver) primalInner(costs []float64, blandOnly bool) (Status, bool, err
 	// pivots (an O(m) update) and recomputed from scratch periodically and
 	// at refreshes to wash out drift.
 	y := s.computeY(costs)
+	s.initDevex(len(costs))
 
 	for iter := 0; ; iter++ {
 		if s.iterations >= budget {
@@ -81,24 +192,20 @@ func (s *Solver) primalInner(costs []float64, blandOnly bool) (Status, bool, err
 			y = s.computeY(costs)
 		}
 
-		// Pricing.
+		// Pricing: Devex with partial pricing, or first-index under Bland.
 		enter := -1
-		bestD := -dualTol
-		for j := range costs {
-			if s.pos[j] >= 0 || s.barred[j] {
-				continue
-			}
-			d := s.reducedCost(costs, y, j)
-			if bland {
-				if d < -dualTol {
+		if bland {
+			for j := range costs {
+				if s.pos[j] >= 0 || s.barred[j] {
+					continue
+				}
+				if s.reducedCost(costs, y, j) < -dualTol {
 					enter = j
 					break
 				}
-				continue
 			}
-			if d < bestD {
-				bestD, enter = d, j
-			}
+		} else {
+			enter = s.priceDevex(costs, y)
 		}
 		if enter < 0 {
 			// Confirm optimality against exactly recomputed duals; the
@@ -116,6 +223,11 @@ func (s *Solver) primalInner(costs []float64, blandOnly bool) (Status, bool, err
 			}
 			if still < 0 {
 				return Optimal, perturbed, nil
+			}
+			if !bland {
+				// Seed the candidate list so the next pricing round makes
+				// progress instead of re-scanning from the cursor.
+				s.cand = append(s.cand[:0], still)
 			}
 			continue
 		}
@@ -144,14 +256,35 @@ func (s *Solver) primalInner(costs []float64, blandOnly bool) (Status, bool, err
 			return Unbounded, perturbed, nil
 		}
 
-		s.pivot(enter, leave, u, theta)
+		alpha := u[leave]
+		leaveVar := s.basis[leave]
+		// rho = row `leave` of the pre-pivot inverse: it feeds both the
+		// incremental dual update and the Devex weight update, and must be
+		// captured before the pivot rewrites the representation.
+		rho := s.btranRow(leave)
+		if err := s.pivot(enter, leave, u, theta); err != nil {
+			return 0, perturbed, err
+		}
 		s.iterations++
-		// Incremental dual update: zero the entering column's reduced cost.
-		//lint:ignore floatcmp exact zero only skips a no-op vector update
-		if dEnter != 0 {
-			lrow := s.binv[leave]
-			for i := range y {
-				y[i] += dEnter * lrow[i]
+		if s.basisRepaired {
+			// A refactorization inside the pivot repaired (swapped) basis
+			// columns; incremental state is void.
+			s.basisRepaired = false
+			y = s.computeY(costs)
+		} else {
+			// Incremental dual update: the new inverse's leave row is
+			// rho/alpha, so y += dEnter * rho/alpha zeroes the entering
+			// column's reduced cost.
+			//lint:ignore nanguard the ratio test selects |alpha| > pivotTol
+			step := dEnter / alpha
+			//lint:ignore floatcmp exact zero only skips a no-op vector update
+			if step != 0 {
+				for i := range y {
+					y[i] += step * rho[i]
+				}
+			}
+			if !bland {
+				s.updateDevex(enter, leaveVar, alpha, rho)
 			}
 		}
 
@@ -250,7 +383,9 @@ func (s *Solver) dualInner(costs []float64) (Status, error) {
 			return Optimal, nil // primal feasible
 		}
 
-		brow := s.binv[leave]
+		// rho = the leaving row of the inverse, via BTRAN: alpha_j for any
+		// column is then a sparse dot against it.
+		rho := s.btranRow(leave)
 
 		// Entering column: among alpha_j < 0 (so increasing x_j raises
 		// the leaving basic value), minimize d_j / -alpha_j.
@@ -261,10 +396,7 @@ func (s *Solver) dualInner(costs []float64) (Status, error) {
 			if s.pos[j] >= 0 || s.barred[j] {
 				continue
 			}
-			var alpha float64
-			for t, ri := range s.colR[j] {
-				alpha += brow[ri] * s.colV[j][t]
-			}
+			alpha := s.dotCol(rho, j)
 			if alpha >= -pivotTol {
 				continue
 			}
@@ -286,15 +418,40 @@ func (s *Solver) dualInner(costs []float64) (Status, error) {
 
 		dEnter := s.reducedCost(costs, y, enter)
 		u := s.ftran(enter)
-		//lint:ignore nanguard u[leave] equals alpha, bounded away from 0 by pivotTol
-		theta := s.xB[leave] / u[leave] // both negative => theta >= 0
-		s.pivot(enter, leave, u, theta)
+		alpha := u[leave]
+		if math.Abs(alpha) <= pivotTol {
+			// The entering scan saw alpha_enter < -pivotTol through BTRAN,
+			// but the FTRAN image disagrees: the product-form update file
+			// has drifted at the tolerance edge. Pivoting here would divide
+			// by ~0 and poison the basis; rebuild the factors and re-price.
+			// On fresh factors the two passes agree to rounding, so a
+			// persistent mismatch is a genuine numerical failure.
+			if s.etas.count() == 0 {
+				return 0, ErrNumerical
+			}
+			if err := s.refresh(); err != nil {
+				return 0, err
+			}
+			y = s.computeY(costs)
+			continue
+		}
+		//lint:ignore nanguard the guard above bounds alpha away from 0
+		theta := s.xB[leave] / alpha // both negative => theta >= 0
+		if err := s.pivot(enter, leave, u, theta); err != nil {
+			return 0, err
+		}
 		s.iterations++
-		//lint:ignore floatcmp exact zero only skips a no-op vector update
-		if dEnter != 0 {
-			lrow := s.binv[leave]
-			for i := range y {
-				y[i] += dEnter * lrow[i]
+		if s.basisRepaired {
+			s.basisRepaired = false
+			y = s.computeY(costs)
+		} else {
+			//lint:ignore nanguard the entering scan selects alpha < -pivotTol
+			step := dEnter / alpha
+			//lint:ignore floatcmp exact zero only skips a no-op vector update
+			if step != 0 {
+				for i := range y {
+					y[i] += step * rho[i]
+				}
 			}
 		}
 

@@ -54,6 +54,32 @@ type Solution struct {
 // trustworthy basis even after refactorization.
 var ErrNumerical = errors.New("lp: numerical failure")
 
+// Engine selects the basis-inverse representation the solver maintains.
+type Engine int
+
+const (
+	// EngineEta factorizes the basis by sparse LU with Markowitz-style
+	// pivot ordering and represents subsequent pivots as eta vectors
+	// (product form of the inverse). FTRAN/BTRAN cost scales with factor
+	// fill rather than m^2, which is what the large design LPs need.
+	EngineEta Engine = iota
+	// EngineDense keeps an explicit dense m x m basis inverse updated by
+	// rank-1 pivots. Retained as a fallback and as the reference oracle
+	// the equivalence tests pit the eta engine against.
+	EngineDense
+)
+
+// String returns a short engine name.
+func (e Engine) String() string {
+	switch e {
+	case EngineEta:
+		return "eta"
+	case EngineDense:
+		return "dense"
+	}
+	return fmt.Sprintf("Engine(%d)", int(e))
+}
+
 // column kinds in the computational form.
 type colKind uint8
 
@@ -106,6 +132,20 @@ type Solver struct {
 	binv  [][]float64
 	xB    []float64
 
+	// Basis-inverse engine state. The eta engine keeps a sparse LU
+	// factorization plus an eta file of post-factorization pivots; the
+	// dense engine keeps binv. Exactly one is live per solver.
+	engine    Engine
+	lu        luFactor
+	luw       luWork
+	etas      etaFile
+	factorOK  bool // sparse factors match the current basis column set
+	xbStale   bool // xB must be recomputed once factors are available
+	luRepairs int  // artificial substitutions in the last sparse factorize
+	// basisRepaired tells the simplex drivers that a refactorization inside
+	// the last pivot swapped basis columns, invalidating incremental duals.
+	basisRepaired bool
+
 	haveBasis  bool // a factorized, primal-feasible-phase basis exists
 	dirtyObj   bool // objective changed since last solve
 	dirtyRows  bool // rows added / rhs changed since last solve
@@ -124,15 +164,25 @@ type Solver struct {
 
 	iterations int
 
-	// scratch buffers
-	y, d, u, work []float64
+	// Devex pricing state (primal simplex): per-column reference weights
+	// and the partial-pricing candidate list with its rotating cursor.
+	devexW     []float64
+	cand       []int
+	candCursor int
+
+	// scratch buffers, solver-owned so steady-state pivots allocate
+	// nothing: y (duals), u (FTRAN image), rho (BTRAN row), work
+	// (residual probe), rowSp/posSp (row-/position-space solve vectors),
+	// bmat (dense-engine factorization rows).
+	y, u, rho, work, rowSp, posSp []float64
+	bmat                          [][]float64
 }
 
 // NewSolver captures the model into computational form. The model may be
 // discarded afterwards; use the Solver's own mutators for warm-started
 // changes.
 func NewSolver(m *Model) *Solver {
-	s := &Solver{structN: m.NumVars(), err: m.err}
+	s := &Solver{structN: m.NumVars(), err: m.err, engine: defaultEngine}
 	s.cost = make([]float64, 0, m.NumVars()+2*m.NumRows())
 	for j := 0; j < m.NumVars(); j++ {
 		s.cost = append(s.cost, m.obj[j])
@@ -148,6 +198,22 @@ func NewSolver(m *Model) *Solver {
 	s.buildCostP()
 	return s
 }
+
+// SetEngine selects the basis-inverse engine. Switching engines discards
+// the current basis, so the next Solve is a cold solve; call it before the
+// first Solve to avoid redundant work. The default is the eta engine (or
+// the dense engine when built with -tags lpdense).
+func (s *Solver) SetEngine(e Engine) {
+	if e == s.engine {
+		return
+	}
+	s.engine = e
+	s.haveBasis = false
+	s.factorOK = false
+}
+
+// GetEngine reports the active basis-inverse engine.
+func (s *Solver) GetEngine() Engine { return s.engine }
 
 // SetJitter toggles the anti-degeneracy cost perturbation. It is on by
 // default; problems whose optimal faces are huge and harmless (e.g. the
@@ -267,21 +333,32 @@ func (s *Solver) AddCut(terms []Term, rel Rel, rhs float64) int {
 			aB[r] += t.Coef
 		}
 	}
-	newRow := make([]float64, m)
-	for c := 0; c < m-1; c++ {
-		var acc float64
-		for r := 0; r < m-1; r++ {
-			acc += aB[r] * s.binv[r][c]
+	if s.engine == EngineDense {
+		// Extend the explicit inverse with the bordered-block formula.
+		newRow := make([]float64, m)
+		for c := 0; c < m-1; c++ {
+			var acc float64
+			for r := 0; r < m-1; r++ {
+				acc += aB[r] * s.binv[r][c]
+			}
+			//lint:ignore nanguard g is ±1 by construction (see above)
+			newRow[c] = -acc / g
 		}
 		//lint:ignore nanguard g is ±1 by construction (see above)
-		newRow[c] = -acc / g
+		newRow[m-1] = 1 / g
+		for r := 0; r < m-1; r++ {
+			s.binv[r] = append(s.binv[r], 0)
+		}
+		s.binv = append(s.binv, newRow)
+	} else if s.factorOK {
+		// Extend the representation with a border op: the new basis is
+		// block lower-triangular over the old one, so no refactorization
+		// is needed — the signature eta-file win on lazy-constraint loops.
+		s.etas.appendBorder(m-1, g, aB)
 	}
-	//lint:ignore nanguard g is ±1 by construction (see above)
-	newRow[m-1] = 1 / g
-	for r := 0; r < m-1; r++ {
-		s.binv[r] = append(s.binv[r], 0)
-	}
-	s.binv = append(s.binv, newRow)
+	// (When the sparse factors are already stale, the next Solve's
+	// refactorization covers the extended basis; appending a border over
+	// stale factors would be incoherent.)
 	s.basis = append(s.basis, bcol)
 	s.pos = append(s.pos, -1)
 	for len(s.pos) < len(s.cost) {
@@ -298,14 +375,22 @@ func (s *Solver) AddCut(terms []Term, rel Rel, rhs float64) int {
 	return i
 }
 
-// SetRHS changes a row's right-hand side. The basis stays dual feasible, so
-// the next Solve warm-starts with the dual simplex.
+// SetRHS changes a row's right-hand side. The basis matrix is untouched, so
+// the factorization stays valid and the basis stays dual feasible: the next
+// Solve warm-starts with the dual simplex. When the factors are stale (a cut
+// was added since the last solve), the xB refresh is deferred to the next
+// Solve's refactorization instead of forcing one here.
 func (s *Solver) SetRHS(row int, rhs float64) {
 	s.rhs[row] = rhs
 	s.dirtyRows = true
-	if s.haveBasis {
-		s.recomputeXB()
+	if !s.haveBasis {
+		return
 	}
+	if s.engine == EngineEta && !s.factorOK {
+		s.xbStale = true
+		return
+	}
+	s.recomputeXB()
 }
 
 // SetObjCoef changes a structural variable's objective coefficient. The
@@ -324,8 +409,14 @@ func (s *Solver) SetObjCoef(v VarID, coef float64) {
 	s.dirtyObj = true
 }
 
-// recomputeXB sets xB = Binv * rhs.
+// recomputeXB sets xB = Binv * rhs through the active engine.
 func (s *Solver) recomputeXB() {
+	if s.engine == EngineEta {
+		b := s.growRowSp()
+		copy(b, s.rhs)
+		s.ftranVec(b, s.xB)
+		return
+	}
 	m := s.nRows
 	for r := 0; r < m; r++ {
 		var acc float64
@@ -352,6 +443,7 @@ func (s *Solver) Solve() (*Solution, error) {
 		return nil, s.err
 	}
 	s.iterations = 0
+	s.ensureFactored()
 	var st Status
 	var err error
 	switch {
@@ -387,6 +479,26 @@ func (s *Solver) Solve() (*Solution, error) {
 	s.lastStatus = st
 	s.solvedOnce = true
 	return s.extract(st), nil
+}
+
+// ensureFactored brings the eta engine's factors back in sync with a warm
+// basis that was extended by AddCut since the last solve. A factorization
+// failure (the extended basis went numerically bad) simply drops the warm
+// basis: the subsequent cold solve rebuilds from the all-logical start,
+// which factorizes trivially.
+func (s *Solver) ensureFactored() {
+	if s.engine != EngineEta || !s.haveBasis || s.factorOK {
+		return
+	}
+	if err := s.factorize(); err != nil {
+		s.haveBasis = false
+		s.xbStale = false
+		return
+	}
+	if s.luRepairs > 0 || s.xbStale {
+		s.recomputeXB()
+	}
+	s.xbStale = false
 }
 
 // coldSolve builds the all-logical/artificial starting basis and runs
@@ -463,7 +575,9 @@ func (s *Solver) phase1() (Status, error) {
 	if sum > phase1Tol {
 		return Infeasible, nil
 	}
-	s.driveOutArtificials()
+	if err := s.driveOutArtificials(); err != nil {
+		return 0, err
+	}
 	return Optimal, nil
 }
 
@@ -472,21 +586,22 @@ func (s *Solver) phase1() (Status, error) {
 // replacement are linearly dependent; their artificial stays basic at zero,
 // which is harmless because artificials are barred from re-entering and a
 // redundant row keeps them at zero.
-func (s *Solver) driveOutArtificials() {
+func (s *Solver) driveOutArtificials() error {
 	for r := 0; r < s.nRows; r++ {
 		col := s.basis[r]
 		if s.kind[col] != kindArtificial {
 			continue
 		}
 		// Find a nonbasic non-artificial column with a solid pivot in
-		// row r of Binv*A.
+		// row r of Binv*A: row r of the inverse via BTRAN, then sparse
+		// dots against candidate columns.
+		rho := s.btranRow(r)
 		best, bestMag := -1, pivotTol*100
 		for j := range s.cost {
 			if s.pos[j] >= 0 || s.kind[j] == kindArtificial {
 				continue
 			}
-			p := s.rowDotCol(r, j)
-			if mag := math.Abs(p); mag > bestMag {
+			if mag := math.Abs(s.dotCol(rho, j)); mag > bestMag {
 				best, bestMag = j, mag
 			}
 		}
@@ -494,8 +609,11 @@ func (s *Solver) driveOutArtificials() {
 			continue // dependent row
 		}
 		u := s.ftran(best)
-		s.pivot(best, r, u, s.xB[r])
+		if err := s.pivot(best, r, u, s.xB[r]); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // extract builds a Solution from the current basis.

@@ -1,0 +1,33 @@
+#!/bin/sh
+# bench.sh - record the LP-engine benchmark suite into BENCH_lp.json.
+#
+# Runs the internal/lp engine benchmarks (cold solve, warm AddCut/SetRHS
+# episodes, factorize and FTRAN microbenches, each with an eta and a dense
+# sub-benchmark) plus the end-to-end Figure 1 Pareto benchmark under both
+# the default (eta) build and the -tags lpdense build, and serializes the
+# ns/op, B/op, and allocs/op figures with cmd/benchjson.
+#
+# Usage: scripts/bench.sh [benchtime]
+#   benchtime  go test -benchtime value (default 10x; use e.g. 2s for
+#              steadier numbers, 1x for a smoke run)
+set -eu
+
+cd "$(dirname "$0")/.."
+BENCHTIME="${1:-10x}"
+OUT="BENCH_lp.json"
+
+rm -f "$OUT"
+
+echo "==> internal/lp engine benchmarks (benchtime=$BENCHTIME)"
+go test ./internal/lp -run '^$' -bench . -benchtime "$BENCHTIME" -benchmem \
+	| tee /dev/stderr | go run ./cmd/benchjson -o "$OUT"
+
+echo "==> Figure 1 Pareto benchmark, eta engine (default build)"
+go test . -run '^$' -bench BenchmarkFigure1ParetoCurve -benchtime "$BENCHTIME" -benchmem \
+	| tee /dev/stderr | go run ./cmd/benchjson -o "$OUT" -label "/eta"
+
+echo "==> Figure 1 Pareto benchmark, dense engine (-tags lpdense)"
+go test -tags lpdense . -run '^$' -bench BenchmarkFigure1ParetoCurve -benchtime "$BENCHTIME" -benchmem \
+	| tee /dev/stderr | go run ./cmd/benchjson -o "$OUT" -label "/dense"
+
+echo "==> wrote $OUT"

@@ -24,6 +24,10 @@ go run ./cmd/tcrlint ./...
 echo "==> go test -race ./... (short mode)"
 go test -race -short -timeout 30m ./...
 
+echo "==> bench smoke (-benchtime=1x)"
+go test ./internal/lp -run '^$' -bench . -benchtime 1x >/dev/null
+go test . -run '^$' -bench BenchmarkFigure1ParetoCurve -benchtime 1x >/dev/null
+
 if [ "$FUZZTIME" != "0" ]; then
 	echo "==> fuzz smoke: FuzzReadMPS ($FUZZTIME)"
 	go test ./internal/lp -run='^$' -fuzz=FuzzReadMPS -fuzztime="$FUZZTIME"
