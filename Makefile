@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint fuzz bench ci
+.PHONY: build test race lint chaos fuzz bench ci
 
 build:
 	$(GO) build ./...
@@ -14,9 +14,15 @@ race:
 lint:
 	$(GO) run ./cmd/tcrlint ./...
 
+# chaos exercises the numerical-resilience layer under seeded fault
+# injection (the lpchaos build tag compiles the injection hooks in).
+chaos:
+	$(GO) test -tags lpchaos -timeout 10m ./internal/...
+
 fuzz:
 	$(GO) test ./internal/lp -run='^$$' -fuzz=FuzzReadMPS -fuzztime=5s
 	$(GO) test ./internal/matching -run='^$$' -fuzz=FuzzHungarian -fuzztime=5s
+	$(GO) test -tags lpchaos ./internal/lp -run='^$$' -fuzz=FuzzRecoveryLadder -fuzztime=5s
 
 # bench records the LP-engine benchmark suite into BENCH_lp.json.
 bench:

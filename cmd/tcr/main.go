@@ -17,6 +17,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -24,14 +25,25 @@ import (
 	"syscall"
 
 	"tcr"
+	"tcr/internal/design"
+	"tcr/internal/lp"
 	"tcr/internal/sim"
 	"tcr/internal/traffic"
+)
+
+// Exit codes, so scripts driving tcr can tell failure classes apart.
+const (
+	exitErr         = 1 // generic failure
+	exitUsage       = 2 // bad command line
+	exitNumerical   = 3 // LP numerical failure that survived the recovery ladder
+	exitUncertified = 4 // budgets ran out before the oracle certified optimality
+	exitCanceled    = 5 // interrupted, or the deadline expired
 )
 
 func main() {
 	if len(os.Args) < 2 {
 		usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 	// Ctrl-C cancels the context, which unwinds LP sweeps and simulations
 	// between rounds; a second Ctrl-C kills the process the usual way.
@@ -62,12 +74,31 @@ func main() {
 		err = cmdLoadMap(args)
 	default:
 		usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tcr:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
+}
+
+// exitCode classifies a failure for the shell; a numerical failure also
+// prints the solver's recovery-ladder post-mortem, which is otherwise lost
+// with the solve.
+func exitCode(err error) int {
+	var de *lp.DiagError
+	if errors.As(err, &de) {
+		fmt.Fprintln(os.Stderr, "tcr: solver diagnostics:", de.Diag.Summary())
+	}
+	switch {
+	case errors.Is(err, lp.ErrNumerical):
+		return exitNumerical
+	case errors.Is(err, design.ErrUncertified):
+		return exitUncertified
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return exitCanceled
+	}
+	return exitErr
 }
 
 func usage() {

@@ -70,6 +70,8 @@ func cmdDesign(ctx context.Context, args []string) error {
 	kind := fs.String("kind", "2turn", "2turn|2turna|wcopt")
 	nSamples := fs.Int("samples", 50, "sample count for 2turna")
 	seed := fs.Int64("seed", 1, "sample seed")
+	ckpt := fs.String("checkpoint", "", "checkpoint file for a resumable wcopt design (see DESIGN.md)")
+	rounds := fs.Int("rounds", 0, "cutting-plane round budget, 0 = default (wcopt exits 4 when exhausted)")
 	out := fs.String("o", "", "output JSON path (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -98,9 +100,14 @@ func cmdDesign(ctx context.Context, args []string) error {
 		fmt.Fprintf(os.Stderr, "2TURNA: H=%.4f mean-max-load=%.4f\n", res.HNorm, res.Objective)
 	case "wcopt":
 		// Slack 0 selects the design package's default stage-2 slack.
-		res, err := design.MinLocalityAtWorstCaseCtx(ctx, t, design.Options{})
+		res, err := design.MinLocalityAtWorstCaseCtx(ctx, t, design.Options{Checkpoint: *ckpt, MaxRounds: *rounds})
 		if err != nil {
 			return err
+		}
+		if !res.Certified {
+			fmt.Fprintf(os.Stderr, "wc-opt: best known H=%.4f gamma_wc=%.4f after %d rounds (uncertified)\n",
+				res.HNorm, res.GammaWC, res.Rounds)
+			return fmt.Errorf("wc-opt: %w: %s", design.ErrUncertified, res.Reason)
 		}
 		alg, err := design.DecomposeFlow(res.Flow, "wc-opt")
 		if err != nil {

@@ -2,6 +2,7 @@ package design
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"tcr/internal/eval"
@@ -91,19 +92,36 @@ func (a *AvgCaseLP) Solve() (*Result, error) {
 // (dense channel-load evaluation plus argmax) runs on Options.Workers
 // goroutines into per-sample slots; cuts are then added in sample order, so
 // the generated LP is identical for every worker count.
+//
+// Per-round solves retry through the cut log like the worst-case loops, and
+// exhausted budgets degrade to the best sampled iterate; Options.Checkpoint
+// is ignored because matrix cuts carry dense patterns that do not serialize.
 func (a *AvgCaseLP) SolveCtx(ctx context.Context) (*Result, error) {
 	p := a.flp
 	tol := p.opts.tol()
 	res := &Result{}
 	worstCs := make([]int, len(a.samples))
 	worsts := make([]float64, len(a.samples))
+	var bestFlow *eval.Flow
+	var bestObj, bestMean float64
 	for round := 0; round < p.opts.rounds(); round++ {
+		res.Rounds = round
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			if errors.Is(err, context.Canceled) {
+				return nil, err
+			}
+			return a.degradeAvg(res, bestFlow, bestObj, err)
 		}
-		sol, err := p.solver.Solve()
+		sol, err := p.solveRound(ctx)
 		if err != nil {
 			return nil, err
+		}
+		if sol.Status == lp.IterLimit {
+			if err := ctx.Err(); errors.Is(err, context.Canceled) {
+				return nil, err
+			}
+			return a.degradeAvg(res, bestFlow, bestObj,
+				fmt.Errorf("simplex budget exhausted at round %d (%s)", round, sol.Diag.Summary()))
 		}
 		if sol.Status != lp.Optimal {
 			return nil, fmt.Errorf("design: avg-case LP status %v at round %d", sol.Status, round)
@@ -111,19 +129,34 @@ func (a *AvgCaseLP) SolveCtx(ctx context.Context) (*Result, error) {
 		res.Rounds = round + 1
 		res.Iterations += sol.Iterations
 		flow := p.unfold(sol.X)
-		err = par.Do(ctx, len(a.samples), p.opts.Workers, func(i int) error {
-			loads := flow.ChannelLoads(a.samples[i])
-			worstC, worst := 0, 0.0
-			for c, l := range loads {
-				if l > worst {
-					worst, worstC = l, c
+		err = p.separate(ctx, func() error {
+			return par.Do(ctx, len(a.samples), p.opts.Workers, func(i int) error {
+				if err := oracleFault(); err != nil {
+					return err
 				}
-			}
-			worstCs[i], worsts[i] = worstC, worst
-			return nil
+				loads := flow.ChannelLoads(a.samples[i])
+				worstC, worst := 0, 0.0
+				for c, l := range loads {
+					if l > worst {
+						worst, worstC = l, c
+					}
+				}
+				worstCs[i], worsts[i] = worstC, worst
+				return nil
+			})
 		})
 		if err != nil {
 			return nil, err
+		}
+		// The sampled mean of the exact per-sample maxima is the true
+		// objective value of this iterate; track the best for degradation.
+		mean := 0.0
+		for _, w := range worsts {
+			mean += w
+		}
+		mean /= float64(len(a.samples))
+		if bestFlow == nil || mean < bestMean {
+			bestFlow, bestObj, bestMean = flow, mean, mean
 		}
 		violated := false
 		for i, lam := range a.samples {
@@ -135,6 +168,7 @@ func (a *AvgCaseLP) SolveCtx(ctx context.Context) (*Result, error) {
 		if !violated {
 			res.Flow = flow
 			res.Objective = sol.Objective
+			res.Certified = true
 			res.GammaWC, _, err = flow.WorstCaseCtx(ctx, p.opts.Workers)
 			if err != nil {
 				return nil, err
@@ -144,7 +178,23 @@ func (a *AvgCaseLP) SolveCtx(ctx context.Context) (*Result, error) {
 			return res, nil
 		}
 	}
-	return nil, fmt.Errorf("design: avg-case cutting planes did not converge in %d rounds", p.opts.rounds())
+	res.Rounds = p.opts.rounds()
+	return a.degradeAvg(res, bestFlow, bestObj,
+		fmt.Errorf("avg-case cutting planes did not converge in %d rounds", p.opts.rounds()))
+}
+
+// degradeAvg is the average-case degradation path: the best iterate's exact
+// worst case is re-evaluated off the (possibly expired) solve context, since
+// unlike the worst-case loops no oracle has computed it along the way.
+func (a *AvgCaseLP) degradeAvg(res *Result, flow *eval.Flow, obj float64, cause error) (*Result, error) {
+	if flow == nil {
+		return degrade(res, nil, 0, 0, cause)
+	}
+	gw, _, err := flow.WorstCaseCtx(context.Background(), a.flp.opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return degrade(res, flow, obj, gw, cause)
 }
 
 // AvgCaseOptimal minimizes the sampled mean maximum channel load with no
@@ -195,6 +245,9 @@ func AvgCaseParetoCurveCtx(ctx context.Context, t *topo.Torus, samples []*traffi
 			if err != nil {
 				return fmt.Errorf("L=%v: %w", h, err)
 			}
+			if !res.Certified {
+				return fmt.Errorf("L=%v: %w: %s", h, ErrUncertified, res.Reason)
+			}
 			out[i] = ParetoPoint{HNorm: h, Theta: (1 / res.Objective) / cap, Gamma: res.Objective}
 			return nil
 		})
@@ -210,6 +263,9 @@ func AvgCaseParetoCurveCtx(ctx context.Context, t *topo.Torus, samples []*traffi
 		res, err := a.SolveCtx(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("L=%v: %w", h, err)
+		}
+		if !res.Certified {
+			return nil, fmt.Errorf("L=%v: %w: %s", h, ErrUncertified, res.Reason)
 		}
 		// Objective is the mean max load; its reciprocal approximates the
 		// average throughput (equation 9).

@@ -1,0 +1,7 @@
+//go:build !lpchaos
+
+package design
+
+// oracleFault is the separation-oracle fault-injection hook. It only fires
+// under the lpchaos build tag; release builds compile it to nothing.
+func oracleFault() error { return nil }

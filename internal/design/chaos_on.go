@@ -1,0 +1,28 @@
+//go:build lpchaos
+
+package design
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrOracleFault is the error injected into separation oracles by
+// SetOracleFaults; exported so chaos tests can assert on it.
+var ErrOracleFault = errors.New("design: injected oracle fault")
+
+// oracleFaults is the number of armed oracle faults left to fire.
+var oracleFaults atomic.Int64
+
+// SetOracleFaults arms the next n separation-oracle calls to fail (lpchaos
+// builds only). The oracles run concurrently, so which calls burn the
+// faults is nondeterministic; the count is exact.
+func SetOracleFaults(n int64) { oracleFaults.Store(n) }
+
+// oracleFault burns one armed fault, if any.
+func oracleFault() error {
+	if oracleFaults.Load() > 0 && oracleFaults.Add(-1) >= 0 {
+		return ErrOracleFault
+	}
+	return nil
+}

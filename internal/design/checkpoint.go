@@ -1,0 +1,138 @@
+package design
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// Cut-loop checkpointing: every Options.CheckpointEvery rounds, the loop
+// serializes its accumulated cut log together with the solver's basis and
+// pricing cursor. A killed run restarted with the same Options.Checkpoint
+// path replays the log onto a fresh solver, installs the basis, and
+// continues from the recorded round — bit for bit the run the
+// uninterrupted loop would have produced, because the write barrier
+// (Solver.RefreshFactors) puts the live solver through exactly the
+// refactorization the restore path performs.
+//
+// The checkpoint identifies its run by a signature of the formulation
+// (topology, folding, cut strategy, locality target, lexicographic stage);
+// a file whose signature does not match is ignored and overwritten, so
+// pointing different runs at one path degrades to "no resume", never to a
+// wrong resume. Resume granularity is one cut loop: the lexicographic
+// design's stage 2 carries a distinct signature, so a run killed in stage
+// 2 re-runs stage 1 and resumes stage 2's accumulated state is discarded.
+
+// checkpointVersion invalidates checkpoints across incompatible solver or
+// formulation changes.
+const checkpointVersion = "tcr-ckpt-1"
+
+// checkpoint is the on-disk resume state of a cut loop.
+type checkpoint struct {
+	Sig    string     `json:"sig"`
+	Round  int        `json:"round"` // completed rounds (next round index)
+	Iters  int        `json:"iters"` // cumulative simplex pivots
+	Cuts   []cutEntry `json:"cuts"`
+	Basis  []int      `json:"basis"`
+	Cursor int        `json:"cursor"` // partial-pricing rotation state
+}
+
+// sig fingerprints everything that shapes the cut loop's trajectory except
+// its budgets (budgets may legitimately differ between the killed run and
+// the resuming one).
+func (p *FlowLP) sig() string {
+	loc := ""
+	if p.hasH {
+		loc = fmt.Sprintf(" loc=%g", p.locNorm)
+	}
+	return fmt.Sprintf("%s k=%d fold=%d cuts=%d stage=%d tol=%g%s",
+		checkpointVersion, p.T.K, p.fold, p.opts.Cuts, p.ckptStage, p.opts.tol(), loc)
+}
+
+// writeCheckpoint snapshots the loop after `round` completed rounds. The
+// RefreshFactors barrier before capturing the basis is what makes the live
+// continuation and a later restore numerically identical. Logs with
+// non-serializable entries (average-case matrix cuts) are skipped.
+func (p *FlowLP) writeCheckpoint(round, iters int) error {
+	if p.opts.Checkpoint == "" || !p.serializable() {
+		return nil
+	}
+	if err := p.solver.RefreshFactors(); err != nil {
+		return fmt.Errorf("design: checkpoint barrier: %w", err)
+	}
+	ck := checkpoint{
+		Sig:    p.sig(),
+		Round:  round,
+		Iters:  iters,
+		Cuts:   p.cutLog,
+		Basis:  p.solver.Basis(),
+		Cursor: p.solver.PricingCursor(),
+	}
+	if ck.Cuts == nil {
+		ck.Cuts = []cutEntry{}
+	}
+	data, err := json.Marshal(&ck)
+	if err != nil {
+		return fmt.Errorf("design: checkpoint encode: %w", err)
+	}
+	tmp := p.opts.Checkpoint + ".tmp"
+	if err := os.MkdirAll(filepath.Dir(p.opts.Checkpoint), 0o755); err != nil {
+		return fmt.Errorf("design: checkpoint dir: %w", err)
+	}
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("design: checkpoint write: %w", err)
+	}
+	if err := os.Rename(tmp, p.opts.Checkpoint); err != nil {
+		return fmt.Errorf("design: checkpoint rename: %w", err)
+	}
+	return nil
+}
+
+// restoreCheckpoint loads and installs a matching checkpoint, returning the
+// round to resume from and the pivots already spent. ok is false — and the
+// loop starts from scratch — when no usable checkpoint exists (missing or
+// unreadable file, signature mismatch, corrupt basis). A restore that
+// fails midway rolls the solver back to its fresh pre-restore state.
+func (p *FlowLP) restoreCheckpoint() (round, iters int, ok bool) {
+	if p.opts.Checkpoint == "" {
+		return 0, 0, false
+	}
+	data, err := os.ReadFile(p.opts.Checkpoint)
+	if err != nil {
+		return 0, 0, false
+	}
+	var ck checkpoint
+	if err := json.Unmarshal(data, &ck); err != nil || ck.Sig != p.sig() {
+		return 0, 0, false
+	}
+	for _, e := range ck.Cuts {
+		if e.Kind == cutMatrix || (e.Kind == cutPair && (e.Block < 0 || e.Block >= len(p.blocks))) {
+			return 0, 0, false
+		}
+	}
+	savedLog := p.cutLog
+	p.cutLog = ck.Cuts
+	p.rebuildSolver()
+	if err := p.solver.InstallBasis(ck.Basis); err != nil {
+		p.cutLog = savedLog
+		p.rebuildSolver()
+		return 0, 0, false
+	}
+	p.solver.SetPricingCursor(ck.Cursor)
+	return ck.Round, ck.Iters, true
+}
+
+// clearCheckpoint removes the checkpoint after a certified finish, so a
+// later run with the same path starts clean.
+func (p *FlowLP) clearCheckpoint() error {
+	if p.opts.Checkpoint == "" {
+		return nil
+	}
+	if err := os.Remove(p.opts.Checkpoint); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("design: checkpoint remove: %w", err)
+	}
+	return nil
+}

@@ -37,6 +37,7 @@ package design
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -117,7 +118,28 @@ type Options struct {
 	// keeps the stage-2 LP strictly feasible. 0 or negative selects the
 	// default 1e-6.
 	Slack float64
+	// Retries bounds how many times a cutting-plane round is re-attempted
+	// after a numerical failure that survived the LP solver's own recovery
+	// ladder; each retry rebuilds a fresh solver from the cut log after an
+	// exponential backoff. 0 selects the default of 2; negative disables
+	// retries.
+	Retries int
+	// Checkpoint, when non-empty, is a file path the worst-case cut loops
+	// snapshot their state to (accumulated cuts, simplex basis, pricing
+	// cursor), so a killed run restarted with the same path resumes bit
+	// for bit instead of recomputing. See checkpoint.go for the exact
+	// resume semantics. Average-case loops ignore it.
+	Checkpoint string
+	// CheckpointEvery is the snapshot cadence in cutting-plane rounds
+	// (default 1: every round).
+	CheckpointEvery int
 }
+
+// ErrUncertified marks a design outcome whose budgets (rounds, iterations,
+// deadline) ran out before the oracle certified optimality. APIs that can
+// degrade gracefully return a Result with Certified == false instead; the
+// ones that cannot (Pareto sweeps, the CLI) wrap this sentinel.
+var ErrUncertified = errors.New("design: result not certified within budgets")
 
 func (o Options) rounds() int {
 	if o.MaxRounds > 0 {
@@ -138,6 +160,23 @@ func (o Options) slack() float64 {
 		return o.Slack
 	}
 	return defaultSlack
+}
+
+func (o Options) retries() int {
+	if o.Retries > 0 {
+		return o.Retries
+	}
+	if o.Retries < 0 {
+		return 0
+	}
+	return 2
+}
+
+func (o Options) ckptEvery() int {
+	if o.CheckpointEvery > 0 {
+		return o.CheckpointEvery
+	}
+	return 1
 }
 
 // commodity is one folded flow commodity.
@@ -164,6 +203,18 @@ type FlowLP struct {
 	wVar   lp.VarID // the max-load variable
 	hRow   lp.RowID // locality budget row, -1 when absent
 	hasH   bool
+
+	// blocks are the matching-dual potential blocks when the LP was built
+	// by newPotentialLP; nil for the pure cutting-plane formulation.
+	blocks []*potBlock
+
+	// cutLog records every post-construction solver mutation for replay
+	// (retry rebuilds and checkpoint restores; see cutlog.go).
+	cutLog []cutEntry
+	// ckptStage distinguishes the lexicographic design's stages in the
+	// checkpoint signature; locNorm is the current locality target.
+	ckptStage int
+	locNorm   float64
 
 	opts Options
 }
@@ -299,18 +350,25 @@ func (p *FlowLP) SetLocality(hNorm float64) {
 		//lint:ignore libpanic caller bug, not a data condition: every in-package caller builds the LP with a locality row
 		panic("design: SetLocality on an LP built without a locality row")
 	}
-	p.solver.SetRHS(int(p.hRow), hNorm*float64(p.T.N)*p.T.MeanMinDist())
+	p.locNorm = hNorm
+	p.record(cutEntry{Kind: cutLoc, Val: hNorm})
 }
 
 // loadCut appends the constraint gamma_c(R, Lambda) <= bound (the w
 // variable or a sample's t variable) for a traffic pattern given as a
 // permutation or dense matrix.
 func (p *FlowLP) permCut(c topo.Channel, perm []int, bound lp.VarID) {
-	p.solver.AddCut(p.PermCutTerms(c, perm, bound), lp.LE, 0)
+	e := cutEntry{Kind: cutPerm, Ch: int(c), Perm: append([]int(nil), perm...), Bound: int(bound)}
+	p.record(e)
 }
 
 // matrixCut appends gamma_c(R, Lambda) <= bound for a dense pattern.
 func (p *FlowLP) matrixCut(c topo.Channel, lam *traffic.Matrix, bound lp.VarID) {
+	p.record(cutEntry{Kind: cutMatrix, Ch: int(c), Bound: int(bound), mat: lam})
+}
+
+// matrixCutTerms builds the dense-pattern load cut's terms.
+func (p *FlowLP) matrixCutTerms(c topo.Channel, lam *traffic.Matrix, bound lp.VarID) []lp.Term {
 	terms := make([]lp.Term, 0, p.T.N*p.T.N/4)
 	for s := 0; s < p.T.N; s++ {
 		for d := 0; d < p.T.N; d++ {
@@ -324,8 +382,7 @@ func (p *FlowLP) matrixCut(c topo.Channel, lam *traffic.Matrix, bound lp.VarID) 
 			}
 		}
 	}
-	terms = append(terms, lp.Term{Var: bound, Coef: -1})
-	p.solver.AddCut(terms, lp.LE, 0)
+	return append(terms, lp.Term{Var: bound, Coef: -1})
 }
 
 // unfold expands an LP solution into a full per-relative-destination flow
@@ -360,6 +417,33 @@ type Result struct {
 	Rounds int
 	// Iterations is the total simplex pivot count.
 	Iterations int
+	// Certified reports that the separation oracle proved optimality
+	// within the round, pivot, and deadline budgets. When false the
+	// result is a graceful degradation: Flow is the best feasible routing
+	// encountered (its GammaWC exactly evaluated), Objective the LP lower
+	// bound at that round, and Reason says which budget ran out.
+	Certified bool
+	// Reason explains an uncertified outcome; empty when Certified.
+	Reason string
+}
+
+// degrade packages the best iterate seen so far as an uncertified Result
+// when a budget (rounds, simplex pivots, deadline) runs out. With no
+// feasible iterate to fall back on, the cause surfaces as an error wrapping
+// ErrUncertified. Any checkpoint is left in place so the run can be resumed
+// with a larger budget.
+func degrade(res *Result, flow *eval.Flow, obj, gammaWC float64, cause error) (*Result, error) {
+	if flow == nil {
+		return nil, fmt.Errorf("%w: %v", ErrUncertified, cause)
+	}
+	res.Flow = flow
+	res.Objective = obj
+	res.GammaWC = gammaWC
+	res.HAvg = flow.HAvg()
+	res.HNorm = flow.HNorm()
+	res.Certified = false
+	res.Reason = cause.Error()
+	return res, nil
 }
 
 // solveWorstCase runs the cutting-plane loop on the current LP state:
@@ -377,13 +461,31 @@ func (p *FlowLP) solveWorstCase(ctx context.Context) (*Result, error) {
 	res := &Result{}
 	perms := make([][]int, topo.NumDirs)
 	gammas := make([]float64, topo.NumDirs)
-	for round := 0; round < p.opts.rounds(); round++ {
+	startRound := 0
+	if r, it, ok := p.restoreCheckpoint(); ok {
+		startRound, res.Iterations = r, it
+	}
+	// The best iterate so far — the one with the smallest exact
+	// (oracle-evaluated) worst-case load — backs graceful degradation.
+	var bestFlow *eval.Flow
+	var bestObj, bestGW float64
+	for round := startRound; round < p.opts.rounds(); round++ {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			if errors.Is(err, context.Canceled) {
+				return nil, err
+			}
+			return degrade(res, bestFlow, bestObj, bestGW, err)
 		}
-		sol, err := p.solver.Solve()
+		sol, err := p.solveRound(ctx)
 		if err != nil {
 			return nil, err
+		}
+		if sol.Status == lp.IterLimit {
+			if err := ctx.Err(); errors.Is(err, context.Canceled) {
+				return nil, err
+			}
+			return degrade(res, bestFlow, bestObj, bestGW,
+				fmt.Errorf("simplex budget exhausted at round %d (%s)", round, sol.Diag.Summary()))
 		}
 		if sol.Status != lp.Optimal {
 			return nil, fmt.Errorf("design: LP status %v at round %d", sol.Status, round)
@@ -396,17 +498,29 @@ func (p *FlowLP) solveWorstCase(ctx context.Context) (*Result, error) {
 
 		// Separation: worst permutation per channel-direction
 		// representative (translation invariance covers the rest).
-		err = par.Do(ctx, int(topo.NumDirs), p.opts.Workers, func(i int) error {
-			c := p.T.Chan(0, topo.Dir(i))
-			perm, g, err := matching.MaxWeightAssignment(pairLoadMatrix(flow, c))
-			if err != nil {
-				return err
-			}
-			perms[i], gammas[i] = perm, g
-			return nil
+		err = p.separate(ctx, func() error {
+			return par.Do(ctx, int(topo.NumDirs), p.opts.Workers, func(i int) error {
+				if err := oracleFault(); err != nil {
+					return err
+				}
+				c := p.T.Chan(0, topo.Dir(i))
+				perm, g, err := matching.MaxWeightAssignment(pairLoadMatrix(flow, c))
+				if err != nil {
+					return err
+				}
+				perms[i], gammas[i] = perm, g
+				return nil
+			})
 		})
 		if err != nil {
 			return nil, err
+		}
+		gw := gammas[0]
+		for _, g := range gammas[1:] {
+			gw = math.Max(gw, g)
+		}
+		if bestFlow == nil || gw < bestGW {
+			bestFlow, bestObj, bestGW = flow, sol.Objective, gw
 		}
 		violated := false
 		for dir := topo.Dir(0); dir < topo.NumDirs; dir++ {
@@ -418,6 +532,7 @@ func (p *FlowLP) solveWorstCase(ctx context.Context) (*Result, error) {
 		if !violated {
 			res.Flow = flow
 			res.Objective = last.Objective
+			res.Certified = true
 			var err error
 			res.GammaWC, _, err = flow.WorstCaseCtx(ctx, p.opts.Workers)
 			if err != nil {
@@ -425,10 +540,19 @@ func (p *FlowLP) solveWorstCase(ctx context.Context) (*Result, error) {
 			}
 			res.HAvg = flow.HAvg()
 			res.HNorm = flow.HNorm()
+			if err := p.clearCheckpoint(); err != nil {
+				return nil, err
+			}
 			return res, nil
 		}
+		if (round+1)%p.opts.ckptEvery() == 0 {
+			if err := p.writeCheckpoint(round+1, res.Iterations); err != nil {
+				return nil, err
+			}
+		}
 	}
-	return nil, fmt.Errorf("design: cutting planes did not converge in %d rounds", p.opts.rounds())
+	return degrade(res, bestFlow, bestObj, bestGW,
+		fmt.Errorf("cutting planes did not converge in %d rounds", p.opts.rounds()))
 }
 
 // pairLoadMatrix mirrors eval's internal pair-load matrix for the oracle.
@@ -464,7 +588,7 @@ func WorstCaseOptimalCtx(ctx context.Context, t *topo.Torus, opts Options) (*Res
 		return p.solveWorstCase(ctx)
 	}
 	q := newPotentialLP(t, false, opts)
-	return q.result(ctx, math.NaN())
+	return q.solve(ctx, math.NaN())
 }
 
 // WorstCaseAtLocality designs the best worst-case routing function whose
@@ -483,28 +607,7 @@ func WorstCaseAtLocalityCtx(ctx context.Context, t *topo.Torus, hNorm float64, o
 	}
 	q := newPotentialLP(t, true, opts)
 	q.SetLocality(hNorm)
-	return q.result(ctx, math.NaN())
-}
-
-// result runs the lazy-row solve and packages a Result.
-func (q *potentialLP) result(ctx context.Context, fixedBound float64) (*Result, error) {
-	sol, flow, rounds, err := q.solve(ctx, fixedBound)
-	if err != nil {
-		return nil, err
-	}
-	gw, _, err := flow.WorstCaseCtx(ctx, q.opts.Workers)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{
-		Flow:       flow,
-		Objective:  sol.Objective,
-		GammaWC:    gw,
-		HAvg:       flow.HAvg(),
-		HNorm:      flow.HNorm(),
-		Rounds:     rounds,
-		Iterations: sol.Iterations,
-	}, nil
+	return q.solve(ctx, math.NaN())
 }
 
 // ParetoPoint is one sample of an optimal tradeoff curve.
@@ -534,6 +637,11 @@ func WorstCaseParetoCurve(t *topo.Torus, hNorms []float64, opts Options) ([]Pare
 // sequential sweep and the independent solves may differ in the last few
 // ulps of each point.
 func WorstCaseParetoCurveCtx(ctx context.Context, t *topo.Torus, hNorms []float64, opts Options) ([]ParetoPoint, error) {
+	// Sweeps cannot degrade gracefully (a curve with silently uncertified
+	// points is worse than no curve) and must not share one checkpoint
+	// file across points, so checkpointing is disabled and an uncertified
+	// point surfaces as an ErrUncertified-wrapping error.
+	opts.Checkpoint = ""
 	cap := eval.NetworkCapacity(t)
 	if par.Workers(opts.Workers) > 1 {
 		out := make([]ParetoPoint, len(hNorms))
@@ -546,6 +654,9 @@ func WorstCaseParetoCurveCtx(ctx context.Context, t *topo.Torus, hNorms []float6
 			res, err := WorstCaseAtLocalityCtx(ctx, t, h, popts)
 			if err != nil {
 				return fmt.Errorf("L=%v: %w", h, err)
+			}
+			if !res.Certified {
+				return fmt.Errorf("L=%v: %w: %s", h, ErrUncertified, res.Reason)
 			}
 			out[i] = ParetoPoint{HNorm: h, Theta: (1 / res.GammaWC) / cap, Gamma: res.GammaWC}
 			return nil
@@ -564,6 +675,9 @@ func WorstCaseParetoCurveCtx(ctx context.Context, t *topo.Torus, hNorms []float6
 			if err != nil {
 				return nil, fmt.Errorf("L=%v: %w", h, err)
 			}
+			if !res.Certified {
+				return nil, fmt.Errorf("L=%v: %w: %s", h, ErrUncertified, res.Reason)
+			}
 			out = append(out, ParetoPoint{HNorm: h, Theta: (1 / res.GammaWC) / cap, Gamma: res.GammaWC})
 		}
 		return out, nil
@@ -571,9 +685,12 @@ func WorstCaseParetoCurveCtx(ctx context.Context, t *topo.Torus, hNorms []float6
 	q := newPotentialLP(t, true, opts)
 	for _, h := range hNorms {
 		q.SetLocality(h)
-		res, err := q.result(ctx, math.NaN())
+		res, err := q.solve(ctx, math.NaN())
 		if err != nil {
 			return nil, fmt.Errorf("L=%v: %w", h, err)
+		}
+		if !res.Certified {
+			return nil, fmt.Errorf("L=%v: %w: %s", h, ErrUncertified, res.Reason)
 		}
 		out = append(out, ParetoPoint{HNorm: h, Theta: (1 / res.GammaWC) / cap, Gamma: res.GammaWC})
 	}
@@ -592,28 +709,37 @@ func MinLocalityAtWorstCase(t *topo.Torus, opts Options) (*Result, error) {
 // context.
 func MinLocalityAtWorstCaseCtx(ctx context.Context, t *topo.Torus, opts Options) (*Result, error) {
 	q := newPotentialLP(t, false, opts)
-	stage1, err := q.result(ctx, math.NaN())
+	stage1, err := q.solve(ctx, math.NaN())
 	if err != nil {
 		return nil, err
+	}
+	if !stage1.Certified {
+		// Without a certified w* there is no sound stage-2 cap; degrade
+		// to the best stage-1 routing instead of minimizing locality
+		// against a bound that may be wrong.
+		stage1.Reason = "stage 1: " + stage1.Reason
+		return stage1, nil
 	}
 	wStar := stage1.Objective * (1 + opts.slack())
 
 	// Stage 2: cap w, flip the objective to total (orbit-weighted) path
-	// length, and resume lazy-row generation at the fixed load bound.
+	// length, and resume lazy-row generation at the fixed load bound. Both
+	// mutations go through the cut log so retry rebuilds and checkpoints
+	// replay them; the stage bump keeps stage-2 checkpoints from ever
+	// restoring into a stage-1 loop.
 	p := q.FlowLP
-	p.solver.AddCut([]lp.Term{{Var: p.wVar, Coef: 1}}, lp.LE, wStar)
-	for ci, cm := range p.comms {
-		for c := 0; c < p.T.C; c++ {
-			p.solver.SetObjCoef(p.varID(ci, topo.Channel(c)), cm.orbit)
-		}
-	}
-	p.solver.SetObjCoef(p.wVar, 0)
+	p.ckptStage = 2
+	p.record(cutEntry{Kind: cutCapW, Val: wStar})
+	p.record(cutEntry{Kind: cutObjLen})
 
-	res, err := q.result(ctx, wStar)
+	res, err := q.solve(ctx, wStar)
 	if err != nil {
 		return nil, fmt.Errorf("design: stage 2: %w", err)
 	}
 	// Report rounds across both stages and H in the objective.
 	res.Rounds += stage1.Rounds
+	if !res.Certified {
+		res.Reason = "stage 2: " + res.Reason
+	}
 	return res, nil
 }

@@ -2,6 +2,7 @@ package design
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -29,7 +30,8 @@ import (
 
 // potBlock is the potential-variable block of one representative channel.
 type potBlock struct {
-	ch topo.Channel
+	idx int // index in FlowLP.blocks, recorded in cut-log pair entries
+	ch  topo.Channel
 	// u and v are the first of N consecutive variables each. Because
 	// channel loads are nonnegative, the matching dual may be restricted
 	// to nonnegative potentials (the dual of the <=-relaxed assignment
@@ -49,7 +51,7 @@ func (p *FlowLP) addPotentialBlocks(m *lp.Model) []*potBlock {
 func addPotentialBlocks(m *lp.Model, t *topo.Torus, wVar lp.VarID) []*potBlock {
 	blocks := make([]*potBlock, 0, topo.NumDirs)
 	for dir := topo.Dir(0); dir < topo.NumDirs; dir++ {
-		b := &potBlock{ch: t.Chan(0, dir), added: make(map[int]bool)}
+		b := &potBlock{idx: int(dir), ch: t.Chan(0, dir), added: make(map[int]bool)}
 		b.u = m.AddVars(t.N)
 		b.v = m.AddVars(t.N)
 		terms := make([]lp.Term, 0, 2*t.N+1)
@@ -68,14 +70,16 @@ func addPotentialBlocks(m *lp.Model, t *topo.Torus, wVar lp.VarID) []*potBlock {
 
 // pairRow adds the lazy constraint load_{s,d}(c) - u_s - v_d <= 0.
 func (p *FlowLP) pairRow(b *potBlock, s, d int) {
-	v := p.pairLoadVar(s, d, b.ch)
-	terms := []lp.Term{
-		{Var: v, Coef: 1},
+	p.record(cutEntry{Kind: cutPair, Block: b.idx, S: s, D: d})
+}
+
+// pairRowTerms builds a lazy pair row's terms.
+func (p *FlowLP) pairRowTerms(b *potBlock, s, d int) []lp.Term {
+	return []lp.Term{
+		{Var: p.pairLoadVar(s, d, b.ch), Coef: 1},
 		{Var: b.u + lp.VarID(s), Coef: -1},
 		{Var: b.v + lp.VarID(d), Coef: -1},
 	}
-	p.solver.AddCut(terms, lp.LE, 0)
-	b.added[s*p.T.N+d] = true
 }
 
 // violatedPairs selects pair rows to add for a block: for every source the
@@ -138,10 +142,9 @@ func violatedPairs(n int, b *potBlock, x []float64, load [][]float64, tol float6
 	return out
 }
 
-// potentialLP bundles a FlowLP with its potential blocks.
+// potentialLP marks a FlowLP built with potential blocks (FlowLP.blocks).
 type potentialLP struct {
 	*FlowLP
-	blocks []*potBlock
 }
 
 // newPotentialLP builds the worst-case design LP in the paper's form (8),
@@ -190,7 +193,8 @@ func newPotentialLP(t *topo.Torus, withLocality bool, opts Options) *potentialLP
 	}
 	p.model = m
 	p.solver = lp.NewSolver(m)
-	return &potentialLP{FlowLP: p, blocks: blocks}
+	p.blocks = blocks
+	return &potentialLP{FlowLP: p}
 }
 
 // maxRowsPerBlockRound caps how many lazy pair rows enter per block per
@@ -207,23 +211,47 @@ const maxRowsPerBlockRound = 128
 // and run on Options.Workers goroutines; the certification scan and the row
 // additions that follow read the per-block slots in block order, so the cut
 // sequence is identical for every worker count.
-func (q *potentialLP) solve(ctx context.Context, fixedBound float64) (*lp.Solution, *eval.Flow, int, error) {
+//
+// Each round's LP solve goes through the retry ladder (cutlog.go), the loop
+// checkpoints its state per Options.Checkpoint, and exhausted budgets
+// degrade to the best iterate seen rather than failing (design.go: degrade).
+func (q *potentialLP) solve(ctx context.Context, fixedBound float64) (*Result, error) {
 	p := q.FlowLP
 	tol := p.opts.tol()
-	loads := make([][][]float64, len(q.blocks))
-	perms := make([][]int, len(q.blocks))
-	gammas := make([]float64, len(q.blocks))
-	for round := 0; round < p.opts.rounds(); round++ {
+	res := &Result{}
+	loads := make([][][]float64, len(p.blocks))
+	perms := make([][]int, len(p.blocks))
+	gammas := make([]float64, len(p.blocks))
+	startRound, cumIters := 0, 0
+	if r, it, ok := p.restoreCheckpoint(); ok {
+		startRound, cumIters = r, it
+	}
+	var bestFlow *eval.Flow
+	var bestObj, bestGW float64
+	for round := startRound; round < p.opts.rounds(); round++ {
+		res.Rounds, res.Iterations = round, cumIters
 		if err := ctx.Err(); err != nil {
-			return nil, nil, round, err
+			if errors.Is(err, context.Canceled) {
+				return nil, err
+			}
+			return degrade(res, bestFlow, bestObj, bestGW, err)
 		}
-		sol, err := p.solver.Solve()
+		sol, err := p.solveRound(ctx)
 		if err != nil {
-			return nil, nil, round, err
+			return nil, err
+		}
+		if sol.Status == lp.IterLimit {
+			if err := ctx.Err(); errors.Is(err, context.Canceled) {
+				return nil, err
+			}
+			return degrade(res, bestFlow, bestObj, bestGW,
+				fmt.Errorf("simplex budget exhausted at round %d (%s)", round, sol.Diag.Summary()))
 		}
 		if sol.Status != lp.Optimal {
-			return nil, nil, round, fmt.Errorf("design: potential LP status %v at round %d", sol.Status, round)
+			return nil, fmt.Errorf("design: potential LP status %v at round %d", sol.Status, round)
 		}
+		cumIters += sol.Iterations
+		res.Rounds, res.Iterations = round+1, cumIters
 		flow := p.unfold(sol.X)
 		bound := fixedBound
 		if math.IsNaN(bound) {
@@ -233,22 +261,34 @@ func (q *potentialLP) solve(ctx context.Context, fixedBound float64) (*lp.Soluti
 		// rows only for the worst-violated block: under the symmetry
 		// folding the four direction blocks are near-copies, and feeding
 		// them all every round quadruples the LP for no information.
-		err = par.Do(ctx, len(q.blocks), p.opts.Workers, func(bi int) error {
-			loads[bi] = pairLoadMatrix(flow, q.blocks[bi].ch)
-			perm, g, err := matching.MaxWeightAssignment(loads[bi])
-			if err != nil {
-				return err
-			}
-			perms[bi], gammas[bi] = perm, g
-			return nil
+		err = p.separate(ctx, func() error {
+			return par.Do(ctx, len(p.blocks), p.opts.Workers, func(bi int) error {
+				if err := oracleFault(); err != nil {
+					return err
+				}
+				loads[bi] = pairLoadMatrix(flow, p.blocks[bi].ch)
+				perm, g, err := matching.MaxWeightAssignment(loads[bi])
+				if err != nil {
+					return err
+				}
+				perms[bi], gammas[bi] = perm, g
+				return nil
+			})
 		})
 		if err != nil {
-			return nil, nil, round, err
+			return nil, err
+		}
+		gw := gammas[0]
+		for _, g := range gammas[1:] {
+			gw = math.Max(gw, g)
+		}
+		if bestFlow == nil || gw < bestGW {
+			bestFlow, bestObj, bestGW = flow, sol.Objective, gw
 		}
 		certified := true
 		limit := bound + tol*math.Max(1, bound)
 		worstBlock, worstG := -1, limit
-		for bi := range q.blocks {
+		for bi := range p.blocks {
 			if gammas[bi] > limit {
 				certified = false
 			}
@@ -257,11 +297,24 @@ func (q *potentialLP) solve(ctx context.Context, fixedBound float64) (*lp.Soluti
 			}
 		}
 		if certified {
-			return sol, flow, round + 1, nil
+			res.Flow = flow
+			res.Objective = sol.Objective
+			res.Iterations = sol.Iterations
+			res.Certified = true
+			res.GammaWC, _, err = flow.WorstCaseCtx(ctx, p.opts.Workers)
+			if err != nil {
+				return nil, err
+			}
+			res.HAvg = flow.HAvg()
+			res.HNorm = flow.HNorm()
+			if err := p.clearCheckpoint(); err != nil {
+				return nil, err
+			}
+			return res, nil
 		}
 		progressed := false
 		if worstBlock >= 0 {
-			b := q.blocks[worstBlock]
+			b := p.blocks[worstBlock]
 			// One aggregate permutation cut moves the bound immediately;
 			// the pair rows supply the matching-dual structure.
 			p.permCut(b.ch, perms[worstBlock], p.wVar)
@@ -275,8 +328,15 @@ func (q *potentialLP) solve(ctx context.Context, fixedBound float64) (*lp.Soluti
 			progressed = true
 		}
 		if !progressed {
-			return nil, nil, round, fmt.Errorf("design: oracle violated but no pair rows to add (numerical trouble)")
+			return nil, fmt.Errorf("design: oracle violated but no pair rows to add (numerical trouble)")
+		}
+		if (round+1)%p.opts.ckptEvery() == 0 {
+			if err := p.writeCheckpoint(round+1, cumIters); err != nil {
+				return nil, err
+			}
 		}
 	}
-	return nil, nil, p.opts.rounds(), fmt.Errorf("design: potential LP did not converge in %d rounds", p.opts.rounds())
+	res.Rounds, res.Iterations = p.opts.rounds(), cumIters
+	return degrade(res, bestFlow, bestObj, bestGW,
+		fmt.Errorf("potential LP did not converge in %d rounds", p.opts.rounds()))
 }

@@ -1,0 +1,164 @@
+package design
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tcr/internal/topo"
+)
+
+// TestCheckpointResumeK4 pins the checkpoint contract: a run killed by a
+// round budget leaves a checkpoint, and resuming it with the full budget
+// reproduces the uninterrupted run bit for bit — same objective, exact
+// worst-case load, round count, and final pivot count.
+func TestCheckpointResumeK4(t *testing.T) {
+	tor := topo.NewTorus(4)
+	dir := t.TempDir()
+
+	// Reference: an uninterrupted checkpointing run. (The checkpoint write
+	// barrier refactorizes each round, so the reference must checkpoint
+	// too — a no-checkpoint run is a different, equally valid trajectory.)
+	full, err := WorstCaseOptimal(tor, Options{Checkpoint: filepath.Join(dir, "ref.ckpt")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.Certified {
+		t.Fatalf("reference run uncertified: %s", full.Reason)
+	}
+
+	// Killed run: same formulation, round budget too small to certify.
+	ckpt := filepath.Join(dir, "wc.ckpt")
+	partial, err := WorstCaseOptimal(tor, Options{Checkpoint: ckpt, MaxRounds: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partial.Certified {
+		t.Fatal("6-round run certified; budget too large for the kill test")
+	}
+	if partial.Flow == nil || partial.Reason == "" {
+		t.Fatalf("degraded result missing flow or reason: %+v", partial)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("no checkpoint left behind by the killed run: %v", err)
+	}
+
+	// Resume with the default budget and compare against the reference.
+	resumed, err := WorstCaseOptimal(tor, Options{Checkpoint: ckpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed.Certified {
+		t.Fatalf("resumed run uncertified: %s", resumed.Reason)
+	}
+	//lint:ignore floatcmp the resume contract is bit-for-bit equality
+	if resumed.Objective != full.Objective || resumed.GammaWC != full.GammaWC {
+		t.Errorf("resumed optimum (%.17g, %.17g) != reference (%.17g, %.17g)",
+			resumed.Objective, resumed.GammaWC, full.Objective, full.GammaWC)
+	}
+	if resumed.Rounds != full.Rounds || resumed.Iterations != full.Iterations {
+		t.Errorf("resumed trajectory (rounds=%d iters=%d) != reference (rounds=%d iters=%d)",
+			resumed.Rounds, resumed.Iterations, full.Rounds, full.Iterations)
+	}
+	if _, err := os.Stat(ckpt); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("checkpoint not cleared after certification: %v", err)
+	}
+}
+
+// TestCheckpointCorruptIgnored: an unreadable checkpoint degrades to a fresh
+// run, never to a wrong resume.
+func TestCheckpointCorruptIgnored(t *testing.T) {
+	tor := topo.NewTorus(4)
+	ckpt := filepath.Join(t.TempDir(), "wc.ckpt")
+	if err := os.WriteFile(ckpt, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := WorstCaseOptimal(tor, Options{Checkpoint: ckpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Certified {
+		t.Fatalf("uncertified: %s", res.Reason)
+	}
+	if math.Abs(res.GammaWC-1.0) > 1e-5 {
+		t.Fatalf("gamma_wc = %v, want 1.0", res.GammaWC)
+	}
+}
+
+// TestCheckpointSigMismatchIgnored: a checkpoint from a differently shaped
+// run (here: another tolerance) is ignored rather than restored.
+func TestCheckpointSigMismatchIgnored(t *testing.T) {
+	tor := topo.NewTorus(4)
+	ckpt := filepath.Join(t.TempDir(), "wc.ckpt")
+	partial, err := WorstCaseOptimal(tor, Options{Checkpoint: ckpt, MaxRounds: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partial.Certified {
+		t.Fatal("4-round run certified; expected a leftover checkpoint")
+	}
+	res, err := WorstCaseOptimal(tor, Options{Checkpoint: ckpt, Tol: 1e-7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Certified || math.Abs(res.GammaWC-1.0) > 1e-5 {
+		t.Fatalf("certified=%v gamma_wc=%v, want certified 1.0", res.Certified, res.GammaWC)
+	}
+}
+
+// TestDegradedWorstCase pins graceful degradation without checkpointing: an
+// exhausted round budget yields the best feasible iterate, uncertified, with
+// an exact worst-case evaluation no better than the true optimum.
+func TestDegradedWorstCase(t *testing.T) {
+	tor := topo.NewTorus(4)
+	res, err := WorstCaseOptimal(tor, Options{MaxRounds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Certified {
+		t.Fatal("3-round run certified; budget too large for the degradation test")
+	}
+	if res.Flow == nil {
+		t.Fatal("degraded result carries no flow")
+	}
+	if !strings.Contains(res.Reason, "converge") {
+		t.Errorf("reason %q does not name the exhausted budget", res.Reason)
+	}
+	// The uncertified routing is feasible, so its exact worst-case load
+	// can only be at or above the true optimum (1.0 on the k=4 torus).
+	if res.GammaWC < 1.0-1e-9 {
+		t.Errorf("degraded gamma_wc = %v below the optimum", res.GammaWC)
+	}
+	if res.HNorm <= 0 {
+		t.Errorf("degraded result missing locality metrics: HNorm=%v", res.HNorm)
+	}
+}
+
+// TestParetoUncertifiedErrors: sweeps cannot degrade point-wise, so an
+// exhausted budget surfaces as ErrUncertified.
+func TestParetoUncertifiedErrors(t *testing.T) {
+	tor := topo.NewTorus(4)
+	_, err := WorstCaseParetoCurve(tor, []float64{1.0, 2.0}, Options{MaxRounds: 2})
+	if !errors.Is(err, ErrUncertified) {
+		t.Fatalf("err = %v, want ErrUncertified", err)
+	}
+}
+
+// TestMinLocalityDegradesOnStage1: the lexicographic design must not cap
+// stage 2 with an uncertified stage-1 bound.
+func TestMinLocalityDegradesOnStage1(t *testing.T) {
+	tor := topo.NewTorus(4)
+	res, err := MinLocalityAtWorstCase(tor, Options{MaxRounds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Certified {
+		t.Fatal("expected an uncertified stage-1 degradation")
+	}
+	if !strings.HasPrefix(res.Reason, "stage 1:") {
+		t.Errorf("reason %q does not attribute the failure to stage 1", res.Reason)
+	}
+}

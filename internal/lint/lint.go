@@ -69,6 +69,7 @@ func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		FloatCmp(),
 		ErrDrop(),
+		StatusCheck(),
 		LibPanic(),
 		NaNGuard(),
 		TolConst(),

@@ -262,6 +262,81 @@ var inline = 1e-6 //lint:ignore tolconst fixture
 	expect(t, got)
 }
 
+// statusFixPrelude declares stand-ins for the lp solver API at the real
+// import path so calleeFullName resolves to the production method names.
+const statusFixPrelude = `package lp
+
+import "context"
+
+type SolveStatus int
+
+type Solution struct {
+	Status     SolveStatus
+	Objective  float64
+	Iterations int
+}
+
+type Solver struct{}
+
+func (s *Solver) Solve() (*Solution, error)                       { return nil, nil }
+func (s *Solver) SolveCtx(ctx context.Context) (*Solution, error) { return nil, nil }
+`
+
+func TestStatusCheck(t *testing.T) {
+	got := runOn(t, "tcr/internal/lp", statusFixPrelude+`
+func discarded(s *Solver) error {
+	_, err := s.Solve()
+	return err
+}
+
+func unread(s *Solver) (float64, error) {
+	sol, err := s.Solve()
+	if err != nil {
+		return 0, err
+	}
+	return sol.Objective, nil
+}
+
+func checked(s *Solver) (float64, error) {
+	sol, err := s.SolveCtx(context.Background())
+	if err != nil {
+		return 0, err
+	}
+	if sol.Status != 0 {
+		return 0, err
+	}
+	return sol.Objective, nil
+}
+
+func escapes(s *Solver) (*Solution, error) {
+	sol, err := s.Solve()
+	return sol, err
+}
+
+func passedOn(s *Solver) (SolveStatus, error) {
+	sol, err := s.Solve()
+	if err != nil {
+		return 0, err
+	}
+	return inspectStatus(sol), nil
+}
+
+func inspectStatus(sol *Solution) SolveStatus { return sol.Status }
+`)
+	expect(t, got, "19:statuscheck", "24:statuscheck")
+}
+
+func TestStatusCheckSuppressed(t *testing.T) {
+	got := runOn(t, "tcr/internal/lp", statusFixPrelude+`
+func warm(s *Solver) error {
+	//lint:ignore statuscheck warm-start priming run, outcome irrelevant
+	_, err := s.Solve()
+	return err
+}
+`)
+	expect(t, got)
+}
+
 func TestMalformedDirective(t *testing.T) {
 	got := runOn(t, "x/fix", `package fix
 

@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// StatusCheck flags LP solves whose Solution.Status is never consulted. A
+// Solve that returns err == nil can still end Infeasible, Unbounded, or
+// IterLimit; code that reads Objective or X without looking at Status turns
+// those outcomes into silently wrong numbers — exactly the failure mode the
+// recovery ladder exists to prevent. A solution that escapes the assignment
+// (returned, passed on, stored) is assumed to be checked by its consumer.
+func StatusCheck() *Analyzer {
+	return &Analyzer{
+		Name: "statuscheck",
+		Doc:  "flags lp.Solver solves whose Solution.Status is never read",
+		Run:  runStatusCheck,
+	}
+}
+
+// statusCheckCallees are the solve entry points whose Solution carries a
+// Status that demands consultation.
+var statusCheckCallees = map[string]bool{
+	"(*tcr/internal/lp.Solver).Solve":    true,
+	"(*tcr/internal/lp.Solver).SolveCtx": true,
+}
+
+func runStatusCheck(p *Package) []Diagnostic {
+	var out []Diagnostic
+	p.inspect(func(n ast.Node, enc *ast.FuncDecl) {
+		s, ok := n.(*ast.AssignStmt)
+		if !ok || len(s.Rhs) != 1 || len(s.Lhs) == 0 {
+			return
+		}
+		call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		callee := p.calleeFullName(call)
+		if !statusCheckCallees[callee] {
+			return
+		}
+		lhs, ok := s.Lhs[0].(*ast.Ident)
+		if !ok {
+			// Stored through a selector or index: escapes local tracking.
+			return
+		}
+		if lhs.Name == "_" {
+			out = append(out, Diagnostic{
+				Pos:  p.pos(lhs.Pos()),
+				Rule: "statuscheck",
+				Msg:  "solution of " + callee + " discarded without reading Status",
+			})
+			return
+		}
+		obj := p.Info.Defs[lhs]
+		if obj == nil {
+			obj = p.Info.Uses[lhs]
+		}
+		if obj == nil || enc == nil || enc.Body == nil {
+			return
+		}
+		if !statusConsulted(p, enc, obj, lhs) {
+			out = append(out, Diagnostic{
+				Pos:  p.pos(lhs.Pos()),
+				Rule: "statuscheck",
+				Msg:  lhs.Name + " := " + callee + " never has its Status read",
+			})
+		}
+	})
+	return out
+}
+
+// statusConsulted reports whether obj's Status field is read anywhere in fn,
+// treating any use that is not a plain field selection — a call argument, a
+// return value, a reassignment — as an escape beyond local tracking and
+// therefore as consulted (the rule never guesses about escaped solutions).
+func statusConsulted(p *Package, fn *ast.FuncDecl, obj types.Object, def *ast.Ident) bool {
+	consulted := false
+	var parents []ast.Node
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if n == nil {
+			parents = parents[:len(parents)-1]
+			return true
+		}
+		if id, ok := n.(*ast.Ident); ok && id != def &&
+			(p.Info.Uses[id] == obj || p.Info.Defs[id] == obj) {
+			escaped := true
+			if len(parents) > 0 {
+				if sel, ok := parents[len(parents)-1].(*ast.SelectorExpr); ok && sel.X == id {
+					escaped = false
+					if sel.Sel.Name == "Status" {
+						consulted = true
+					}
+				}
+			}
+			if escaped {
+				consulted = true
+			}
+		}
+		parents = append(parents, n)
+		return true
+	})
+	return consulted
+}

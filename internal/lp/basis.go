@@ -15,6 +15,10 @@ import (
 // repairing numerically dependent basis columns in-pass by substituting
 // artificial columns.
 func (s *Solver) factorize() error {
+	s.diag.Refactorizations++
+	if s.chaos.failFactor(s.engine) {
+		return fmt.Errorf("%w: injected factorization failure", ErrNumerical)
+	}
 	if s.engine == EngineDense {
 		return s.factorizeDense()
 	}

@@ -135,6 +135,7 @@ func (e *etaFile) applyBtran(w []float64) {
 // or fill thresholds. Callers have already updated basis/pos/xB[leaveRow],
 // so a refactorization here sees the post-pivot basis.
 func (s *Solver) pivotEta(leaveRow int, u []float64, theta float64) error {
+	s.chaos.perturbEta(u)
 	e := &s.etas
 	e.r = append(e.r, int32(leaveRow))
 	e.piv = append(e.piv, u[leaveRow])

@@ -1,0 +1,118 @@
+//go:build lpchaos
+
+package lp
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// FuzzRecoveryLadder throws random small LPs plus random fault scripts at
+// the recovery ladder. The contract: every solve must end in Optimal,
+// Infeasible, or Unbounded with clean residuals, in a budget-exhausted
+// IterLimit diagnostic, or in a diagnosed ErrNumerical — never a silently
+// wrong answer. Optimal outcomes are cross-checked against an uninjected
+// dense-engine solve of the same model.
+func FuzzRecoveryLadder(f *testing.F) {
+	// Seeds: a clean small LP, fault-heavy scripts, and degenerate shapes.
+	f.Add([]byte{3, 3, 0, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add([]byte{5, 4, 2, 1, 9, 200, 30, 40, 50, 60, 70, 80, 90, 100, 110, 120, 130, 140, 3, 7})
+	f.Add([]byte{1, 1, 0, 3, 1, 255, 255})
+	f.Add([]byte{6, 2, 1, 0, 2, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27})
+	f.Add([]byte{2, 6, 3, 2, 1, 128, 64, 32, 16, 8, 4, 2, 1, 0, 255, 127, 63, 31})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 6 {
+			return
+		}
+		pos := 0
+		next := func() byte {
+			if pos >= len(data) {
+				pos = 0 // wrap: short inputs still define full problems
+			}
+			b := data[pos]
+			pos++
+			return b
+		}
+		nVars := 1 + int(next())%6
+		nRows := 1 + int(next())%6
+		script := ChaosScript{
+			Seed:          uint64(next()),
+			FailFactor:    int(next()) % 3,
+			FailFactorEta: int(next()) % 4,
+			EtaNoise:      float64(int(next())%5) * 2.5e-3,
+			EtaEvery:      int(next()) % 4,
+			DevexEvery:    int(next()) % 4,
+		}
+
+		m := NewModel()
+		v0 := m.AddVars(nVars)
+		for j := 0; j < nVars; j++ {
+			m.SetObj(v0+VarID(j), float64(int(next())%11-5))
+		}
+		for i := 0; i < nRows; i++ {
+			var terms []Term
+			for j := 0; j < nVars; j++ {
+				if c := int(next())%11 - 5; c != 0 {
+					terms = append(terms, Term{Var: v0 + VarID(j), Coef: float64(c)})
+				}
+			}
+			if len(terms) == 0 {
+				terms = append(terms, Term{Var: v0, Coef: 1})
+			}
+			rel := []Rel{LE, GE, EQ}[int(next())%3]
+			m.AddRow(terms, rel, float64(int(next())%21-10), "")
+		}
+
+		s := NewSolver(m)
+		s.MaxIters = 5000
+		s.SetChaos(&script)
+		sol, err := s.Solve()
+		if err != nil {
+			// A diagnosed numerical failure under injected faults is an
+			// acceptable terminal outcome; anything else is a bug.
+			if errors.Is(err, ErrNumerical) {
+				return
+			}
+			t.Fatalf("unexpected error class: %v", err)
+		}
+
+		// Uninjected dense-engine reference.
+		ref := NewSolver(m)
+		ref.SetEngine(EngineDense)
+		ref.MaxIters = 50000
+		rsol, rerr := ref.Solve()
+
+		switch sol.Status {
+		case Optimal:
+			if v := m.MaxViolation(sol.X); v > 1e-5 {
+				t.Fatalf("optimal claim with constraint violation %g", v)
+			}
+			if sol.Diag.Residual > ladderResidTol {
+				t.Fatalf("optimal claim with residual %g", sol.Diag.Residual)
+			}
+			if rerr != nil || rsol.Status == IterLimit {
+				return // no usable oracle for this instance
+			}
+			if rsol.Status != Optimal {
+				t.Fatalf("chaotic solve optimal (%.17g) but reference is %v", sol.Objective, rsol.Status)
+			}
+			if tol := 1e-5 * (1 + math.Abs(rsol.Objective)); math.Abs(sol.Objective-rsol.Objective) > tol {
+				t.Fatalf("wrong optimum under faults: %.17g, reference %.17g (ladder %v)",
+					sol.Objective, rsol.Objective, sol.Diag.Ladder)
+			}
+		case Infeasible, Unbounded:
+			if rerr != nil || rsol.Status == IterLimit {
+				return
+			}
+			if rsol.Status != sol.Status {
+				t.Fatalf("chaotic solve says %v but reference says %v", sol.Status, rsol.Status)
+			}
+		case IterLimit:
+			if !sol.Diag.BudgetExhausted {
+				t.Fatal("IterLimit without a budget-exhausted diagnostic")
+			}
+		}
+	})
+}

@@ -31,7 +31,7 @@ func (s *Solver) primalFromBasis() (Status, error) {
 // with Bland's rule as the final resort.
 func (s *Solver) primal(costs []float64) (Status, error) {
 	for pass := 0; pass < 8; pass++ {
-		st, perturbed, err := s.primalInner(costs, pass >= 3)
+		st, perturbed, err := s.primalInner(costs, pass >= 3 || s.forceBland)
 		if err != nil || st != Optimal {
 			return st, err
 		}
@@ -77,6 +77,7 @@ func (s *Solver) initDevex(n int) {
 	if s.candCursor >= n {
 		s.candCursor = 0
 	}
+	s.chaos.corruptDevex(s.devexW)
 }
 
 // priceDevex picks the entering column by Devex score d_j^2 / w_j, pricing
@@ -182,6 +183,10 @@ func (s *Solver) primalInner(costs []float64, blandOnly bool) (Status, bool, err
 		if s.iterations >= budget {
 			return IterLimit, perturbed, nil
 		}
+		// Context deadline as iteration budget, polled cheaply.
+		if iter%128 == 0 && s.budgetUp() {
+			return IterLimit, perturbed, nil
+		}
 		// Periodic accuracy probe and refresh.
 		if iter%128 == 127 {
 			if s.residual() > residCheck && !perturbed {
@@ -253,6 +258,37 @@ func (s *Solver) primalInner(costs []float64, blandOnly bool) (Status, bool, err
 			}
 		}
 		if leave < 0 {
+			// Phantom-ray guard: a "ray" that grows a basic artificial is
+			// no certificate — artificials cost nothing in phase 2 and
+			// absorb a row violation as they grow. Pivot the artificial
+			// out at step zero instead of riding the ray.
+			for r := 0; r < m; r++ {
+				if u[r] < -pivotTol && s.kind[s.basis[r]] == kindArtificial {
+					theta, leave = 0, r
+					break
+				}
+			}
+		}
+		if leave < 0 {
+			// Before certifying unboundedness, re-check the entering
+			// column against exactly recomputed duals: drifted incremental
+			// y can misread a non-descent column as improving, and a
+			// genuine ray along it would not prove anything.
+			y = s.computeY(costs)
+			if s.reducedCost(costs, y, enter) >= -dualTol {
+				continue // pricing was misled; re-price with fresh duals
+			}
+			if s.engine == EngineEta && s.etas.count() > 0 {
+				// The ray was derived through the product-form file, which
+				// may have drifted; certify unboundedness only from fresh
+				// factors. Rebuild and re-derive — a genuine ray survives
+				// the refresh and exits on the next pass with no etas.
+				if err := s.refresh2(perturbed); err != nil {
+					return 0, perturbed, err
+				}
+				y = s.computeY(costs)
+				continue
+			}
 			return Unbounded, perturbed, nil
 		}
 
@@ -301,10 +337,16 @@ func (s *Solver) primalInner(costs []float64, blandOnly bool) (Status, bool, err
 				sinceImprove = 0
 				if !perturbed && !blandOnly {
 					perturbed = true
+					mag := xbPerturb
+					if s.perturbScale > 1 {
+						// Ladder escalation (recover.go) amplifies the
+						// anti-cycling shift along with the cost jitter.
+						mag *= s.perturbScale
+					}
 					for r := range s.xB {
 						rng = rng*6364136223846793005 + 1442695040888963407
 						f := float64(rng>>11) / (1 << 53)
-						s.xB[r] += xbPerturb * (0.5 + f)
+						s.xB[r] += mag * (0.5 + f)
 					}
 				} else if !bland {
 					if err := s.refresh2(perturbed); err != nil {
@@ -350,13 +392,17 @@ func (s *Solver) dualInner(costs []float64) (Status, error) {
 	if subBudget > budget {
 		subBudget = budget
 	}
-	bland := false
+	bland := s.forceBland
 	sinceProgress := 0
 	stallLimit := 2*m + 200
 	y := s.computeY(costs)
 
 	for iter := 0; ; iter++ {
 		if s.iterations >= subBudget {
+			return IterLimit, nil
+		}
+		// Context deadline as iteration budget, polled cheaply.
+		if iter%128 == 0 && s.budgetUp() {
 			return IterLimit, nil
 		}
 		if iter%128 == 127 {
@@ -413,6 +459,17 @@ func (s *Solver) dualInner(costs []float64) (Status, error) {
 			}
 		}
 		if enter < 0 {
+			// Before certifying infeasibility, re-derive the dual ray on
+			// fresh factors: the leaving row was computed through the eta
+			// file, and a drifted one can hide every admissible entering
+			// column. On exact factors the claim stands or the pivot found.
+			if s.etas.count() > 0 {
+				if err := s.refresh(); err != nil {
+					return 0, err
+				}
+				y = s.computeY(costs)
+				continue
+			}
 			return Infeasible, nil
 		}
 

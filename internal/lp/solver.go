@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -48,6 +49,10 @@ type Solution struct {
 	Dual []float64
 	// Iterations counts simplex pivots across all phases of the solve.
 	Iterations int
+	// Diag is the numerical post-mortem of the solve that produced this
+	// solution: recovery-ladder steps taken, refactorization count,
+	// residuals, and budget consumption. See Diagnostics.
+	Diag Diagnostics
 }
 
 // ErrNumerical is returned when the solver cannot maintain a numerically
@@ -170,6 +175,19 @@ type Solver struct {
 	cand       []int
 	candCursor int
 
+	// Recovery-ladder state (recover.go): the context whose deadline bounds
+	// the running solve, the diagnostics being accumulated, and the
+	// escalation switches the ladder flips between attempts. perturbScale
+	// > 1 multiplies both jitters at the escalate-perturbation rung.
+	ctx          context.Context
+	diag         Diagnostics
+	forceBland   bool
+	perturbScale float64
+
+	// chaos carries the fault-injection hooks; outside -tags lpchaos builds
+	// it is a typed nil whose methods are inlined no-ops.
+	chaos *chaosCfg
+
 	// scratch buffers, solver-owned so steady-state pivots allocate
 	// nothing: y (duals), u (FTRAN image), rho (BTRAN row), work
 	// (residual probe), rowSp/posSp (row-/position-space solve vectors),
@@ -237,7 +255,12 @@ func (s *Solver) buildCostP() {
 		s.costP = make([]float64, len(s.cost))
 	}
 	s.costP = s.costP[:len(s.cost)]
-	if s.noJitter {
+	jit := costJitter
+	if s.perturbScale > 1 {
+		// The ladder's escalate-perturbation rung amplifies the jitter to
+		// break pathological degeneracy, even for jitter-free solvers.
+		jit *= s.perturbScale
+	} else if s.noJitter {
 		copy(s.costP, s.cost)
 		return
 	}
@@ -245,7 +268,7 @@ func (s *Solver) buildCostP() {
 	for j, c := range s.cost {
 		rng = rng*6364136223846793005 + 1442695040888963407
 		f := float64(rng>>11) / (1 << 53) // in [0,1)
-		s.costP[j] = c + costJitter*(0.5+f)*(1+math.Abs(c))
+		s.costP[j] = c + jit*(0.5+f)*(1+math.Abs(c))
 	}
 }
 
@@ -437,15 +460,12 @@ func (s *Solver) maxIters() int {
 	return n
 }
 
-// Solve finds an optimal basic solution, warm-starting when possible.
-func (s *Solver) Solve() (*Solution, error) {
-	if s.err != nil {
-		return nil, s.err
-	}
-	s.iterations = 0
+// solveAttempt is one run of the simplex dispatch — the body of a single
+// recovery-ladder attempt (recover.go). The dirty flags and warm-start state
+// are committed by the ladder's finish, not here, so a failed attempt leaves
+// the dispatch decision intact for the retry.
+func (s *Solver) solveAttempt() (Status, error) {
 	s.ensureFactored()
-	var st Status
-	var err error
 	switch {
 	case !s.haveBasis, s.solvedOnce && s.lastStatus != Optimal:
 		// No basis yet, or the last outcome did not leave an optimal
@@ -453,32 +473,25 @@ func (s *Solver) Solve() (*Solution, error) {
 		// feasibility (a phase-1 infeasibility certificate, for example,
 		// is optimal only for the phase-1 costs), so every warm-start
 		// assumption is off: restart from scratch.
-		st, err = s.coldSolve()
+		return s.coldSolve()
 	case s.dirtyRows && !s.dirtyObj:
-		st, err = s.dualSolve()
-		if err == nil && st == IterLimit {
-			// fall back to a cold solve before giving up
+		st, err := s.dualSolve()
+		if err == nil && st == IterLimit && !s.diag.DeadlineHit {
+			// fall back to a cold solve before giving up (pointless when
+			// the context deadline is what ended the dual run)
 			st, err = s.coldSolve()
 		}
+		return st, err
 	default:
 		// Objective changed (or both changed): re-run primal; if rows
 		// also changed the basis may be primal infeasible, so run dual
 		// first to restore feasibility under the old costs is wrong --
 		// simplest correct path is a fresh phase-1.
 		if s.dirtyRows {
-			st, err = s.coldSolve()
-		} else {
-			st, err = s.primalFromBasis()
+			return s.coldSolve()
 		}
+		return s.primalFromBasis()
 	}
-	if err != nil {
-		return nil, err
-	}
-	s.dirtyObj = false
-	s.dirtyRows = false
-	s.lastStatus = st
-	s.solvedOnce = true
-	return s.extract(st), nil
 }
 
 // ensureFactored brings the eta engine's factors back in sync with a warm
@@ -520,10 +533,12 @@ func (s *Solver) coldSolve() (Status, error) {
 		case s.rowRel[i] == GE && b <= 0:
 			col = s.logOf[i]
 		default:
+			// Any basic artificial needs phase 1, even at value zero (an EQ
+			// row with rhs 0): phase 2 is free to grow a basic artificial it
+			// never prices, silently violating the row. Phase 1 at zero mass
+			// costs one pricing pass and drives the artificial out.
 			col = s.artOf[i]
-			if math.Abs(b) > primalTol {
-				needPhase1 = true
-			}
+			needPhase1 = true
 		}
 		s.basis[i] = col
 		s.pos[col] = i
@@ -553,32 +568,88 @@ func (s *Solver) phase1() (Status, error) {
 			s.barred[j] = false
 		}
 	}
-	st, err := s.primal(costs)
+	st, err := s.phase1Inner(costs)
 	for j, k := range s.kind {
 		if k == kindArtificial {
 			s.barred[j] = true
 		}
 	}
-	if err != nil {
+	if err != nil || st != Optimal {
+		return st, err
+	}
+	if err := s.driveOutArtificials(); err != nil {
 		return 0, err
 	}
-	if st == IterLimit {
-		return IterLimit, nil
+	return Optimal, nil
+}
+
+// phase1Inner runs the phase-1 primal with artificials unbarred and decides
+// feasibility. An Infeasible verdict is certified before it is returned:
+// the artificial mass is re-measured on fresh factors (a drifted eta file
+// can inflate it) and the phase-1 optimum is confirmed against exactly
+// recomputed duals (a drifted y can make pricing stop early at a vertex
+// that still carries artificial mass). A claim that fails confirmation
+// resumes the phase-1 primal instead of mis-declaring the LP infeasible.
+func (s *Solver) phase1Inner(costs []float64) (Status, error) {
+	for tries := 0; ; tries++ {
+		st, err := s.primal(costs)
+		if err != nil {
+			return 0, err
+		}
+		if st == IterLimit {
+			return IterLimit, nil
+		}
+		if s.artificialMass() <= phase1Tol {
+			return Optimal, nil
+		}
+		if s.etas.count() > 0 {
+			if err := s.refresh(); err != nil {
+				return 0, err
+			}
+			if s.artificialMass() <= phase1Tol {
+				return Optimal, nil
+			}
+		}
+		// A phase-1 "optimum" resting on negative basic values has lost
+		// the primal-feasibility invariant (corrupted pivots can break the
+		// ratio test): neither feasibility nor infeasibility can be read
+		// off such a basis. Escalate instead of certifying.
+		for _, v := range s.xB {
+			if v < -primalTol*100 {
+				return 0, fmt.Errorf("%w: phase-1 optimum lost primal feasibility", ErrNumerical)
+			}
+		}
+		// Mass persists on fresh factors; confirm the vertex is a true
+		// phase-1 optimum before certifying infeasibility.
+		y := s.computeY(costs)
+		optimal := true
+		for j := range s.cost {
+			if s.pos[j] >= 0 || s.barred[j] {
+				continue
+			}
+			if s.reducedCost(costs, y, j) < -dualTol {
+				optimal = false
+				break
+			}
+		}
+		if optimal {
+			return Infeasible, nil
+		}
+		if tries >= 2 {
+			return 0, fmt.Errorf("%w: phase-1 optimum failed dual confirmation", ErrNumerical)
+		}
 	}
-	// Sum of artificials at the phase-1 optimum.
+}
+
+// artificialMass sums the absolute values of basic artificial variables.
+func (s *Solver) artificialMass() float64 {
 	var sum float64
 	for r, col := range s.basis {
 		if s.kind[col] == kindArtificial {
 			sum += math.Abs(s.xB[r])
 		}
 	}
-	if sum > phase1Tol {
-		return Infeasible, nil
-	}
-	if err := s.driveOutArtificials(); err != nil {
-		return 0, err
-	}
-	return Optimal, nil
+	return sum
 }
 
 // driveOutArtificials pivots basic artificials (necessarily at value ~0)

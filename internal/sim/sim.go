@@ -264,6 +264,9 @@ func New(cfg Config) (*Sim, error) {
 	if cfg.K < 2 {
 		return nil, fmt.Errorf("sim: radix %d < 2", cfg.K)
 	}
+	if cfg.Rate < 0 {
+		return nil, fmt.Errorf("sim: negative injection rate %g", cfg.Rate)
+	}
 	if cfg.VCsPerClass == 0 {
 		cfg.VCsPerClass = 1
 	}

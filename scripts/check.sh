@@ -2,8 +2,9 @@
 # check.sh - the repository's full verification gate.
 #
 # Runs, in order: build, go vet, the repo's own static-analysis pass
-# (tcrlint), the unit tests under the race detector, and a short fuzz
-# smoke over both fuzz targets. Any failure aborts with a nonzero exit.
+# (tcrlint), the unit tests under the race detector, the fault-injection
+# suite (-tags lpchaos), and a short fuzz smoke over the fuzz targets.
+# Any failure aborts with a nonzero exit.
 #
 # Usage: scripts/check.sh [fuzztime]
 #   fuzztime   duration for each fuzz smoke (default 5s; "0" skips fuzzing)
@@ -24,6 +25,9 @@ go run ./cmd/tcrlint ./...
 echo "==> go test -race ./... (short mode)"
 go test -race -short -timeout 30m ./...
 
+echo "==> go test -tags lpchaos ./internal/... (fault injection)"
+go test -tags lpchaos -timeout 10m ./internal/...
+
 echo "==> bench smoke (-benchtime=1x)"
 go test ./internal/lp -run '^$' -bench . -benchtime 1x >/dev/null
 go test . -run '^$' -bench BenchmarkFigure1ParetoCurve -benchtime 1x >/dev/null
@@ -33,6 +37,8 @@ if [ "$FUZZTIME" != "0" ]; then
 	go test ./internal/lp -run='^$' -fuzz=FuzzReadMPS -fuzztime="$FUZZTIME"
 	echo "==> fuzz smoke: FuzzHungarian ($FUZZTIME)"
 	go test ./internal/matching -run='^$' -fuzz=FuzzHungarian -fuzztime="$FUZZTIME"
+	echo "==> fuzz smoke: FuzzRecoveryLadder ($FUZZTIME)"
+	go test -tags lpchaos ./internal/lp -run='^$' -fuzz=FuzzRecoveryLadder -fuzztime="$FUZZTIME"
 fi
 
 echo "==> all checks passed"
