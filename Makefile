@@ -23,6 +23,7 @@ fuzz:
 	$(GO) test ./internal/lp -run='^$$' -fuzz=FuzzReadMPS -fuzztime=5s
 	$(GO) test ./internal/matching -run='^$$' -fuzz=FuzzHungarian -fuzztime=5s
 	$(GO) test -tags lpchaos ./internal/lp -run='^$$' -fuzz=FuzzRecoveryLadder -fuzztime=5s
+	$(GO) test ./internal/store -run='^$$' -fuzz=FuzzStoreManifest -fuzztime=5s
 
 # bench records the LP-engine benchmark suite into BENCH_lp.json.
 bench:

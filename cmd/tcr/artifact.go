@@ -1,0 +1,56 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"tcr/internal/store"
+)
+
+// The -json modes emit exactly the artifact schema the tcrd daemon serves
+// (internal/store's schema types, serialized through store.Encode), so CLI
+// output and daemon responses are byte-for-byte diffable. The optional
+// -store flag points both producers at the same artifact store: whichever
+// computes a result first persists it, and the other replays it.
+
+// openStore opens the artifact store named by a -store flag; an empty flag
+// means no store (compute fresh, persist nothing).
+func openStore(dir string) (*store.Store, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	return store.Open(dir)
+}
+
+// artifactBytes replays (kind, fp) from st when present, otherwise computes
+// the artifact, encodes it canonically, and — when persist says so — commits
+// it. A nil st always computes and never persists.
+func artifactBytes(st *store.Store, kind, fp string, compute func() (art any, persist bool, err error)) ([]byte, error) {
+	if st != nil {
+		if b, _, err := st.Get(kind, fp); err == nil {
+			return b, nil
+		}
+	}
+	art, persist, err := compute()
+	if err != nil {
+		return nil, err
+	}
+	b, err := store.Encode(art)
+	if err != nil {
+		return nil, err
+	}
+	if st != nil && persist {
+		if _, err := st.Put(kind, fp, store.SchemaVersion, b); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// emit writes one canonical artifact line to stdout.
+func emit(b []byte) error {
+	if _, err := os.Stdout.Write(b); err != nil {
+		return fmt.Errorf("write stdout: %w", err)
+	}
+	return nil
+}

@@ -86,7 +86,7 @@ func TestLoadmapGolden(t *testing.T) {
 // the header and the permutation rows must stay byte-identical.
 func TestWorstPermGolden(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return cmdWorstPerm([]string{"-k", "4", "-alg", "DOR"})
+		return cmdWorstPerm(context.Background(), []string{"-k", "4", "-alg", "DOR"})
 	})
 	checkGolden(t, "worstperm_k4_dor.golden", out)
 }

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"tcr/internal/serve"
+	"tcr/internal/store"
+)
+
+// These tests pin the -json contract: the CLI emits exactly the bytes the
+// tcrd daemon serves for the equivalent request, and the two producers share
+// artifact slots when pointed at one store.
+
+func daemonFor(t *testing.T, storeDir string) *httptest.Server {
+	t.Helper()
+	s, err := serve.New(serve.Config{StoreDir: storeDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		if err := s.Close(); err != nil {
+			t.Error(err)
+		}
+	})
+	return ts
+}
+
+func daemonPost(t *testing.T, ts *httptest.Server, path, body string) []byte {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: status %d, body %s", path, resp.StatusCode, b)
+	}
+	return b
+}
+
+// TestEvalJSONMatchesDaemon: every line of `tcr eval -json` must be
+// byte-identical to the daemon's /v1/eval response for the same request.
+func TestEvalJSONMatchesDaemon(t *testing.T) {
+	ts := daemonFor(t, t.TempDir())
+	out := captureStdout(t, func() error {
+		return cmdEval(context.Background(), []string{"-k", "4", "-samples", "0", "-json"})
+	})
+	lines := strings.SplitAfter(out, "\n")
+	if n := len(lines); n > 0 && lines[n-1] == "" {
+		lines = lines[:n-1]
+	}
+	algs := closedForms()
+	if len(lines) != len(algs) {
+		t.Fatalf("%d NDJSON lines for %d algorithms", len(lines), len(algs))
+	}
+	for i, alg := range algs {
+		want := daemonPost(t, ts, "/v1/eval", `{"k":4,"alg":"`+alg.Name()+`"}`)
+		if lines[i] != string(want) {
+			t.Errorf("%s: CLI line differs from daemon body\ncli:    %sdaemon: %s", alg.Name(), lines[i], want)
+		}
+	}
+}
+
+// TestWorstPermJSONMatchesDaemon pins the same parity for the worst-case
+// certificate, including the permutation bytes.
+func TestWorstPermJSONMatchesDaemon(t *testing.T) {
+	ts := daemonFor(t, t.TempDir())
+	out := captureStdout(t, func() error {
+		return cmdWorstPerm(context.Background(), []string{"-k", "4", "-alg", "DOR", "-json"})
+	})
+	want := daemonPost(t, ts, "/v1/worstperm", `{"k":4,"alg":"DOR"}`)
+	if out != string(want) {
+		t.Fatalf("CLI artifact differs from daemon body\ncli:    %sdaemon: %s", out, want)
+	}
+}
+
+// TestEvalJSONStoreReplay: a second -json -store run replays the stored
+// artifacts byte-for-byte instead of recomputing.
+func TestEvalJSONStoreReplay(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-k", "4", "-samples", "0", "-json", "-store", dir}
+	first := captureStdout(t, func() error { return cmdEval(context.Background(), args) })
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fps, err := st.List(store.KindEval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fps) != len(closedForms()) {
+		t.Fatalf("store holds %d eval artifacts, want %d", len(fps), len(closedForms()))
+	}
+	second := captureStdout(t, func() error { return cmdEval(context.Background(), args) })
+	if first != second {
+		t.Fatal("store replay differs from the original computation")
+	}
+}
+
+// TestDesignStoreSharedWithDaemon: `tcr design -kind wcopt -store` persists
+// under the store kind "minloc" (wcopt runs the lexicographic
+// MinLocalityAtWorstCase), and a daemon over the same store replays that
+// exact artifact for POST /v1/design {"kind":"minloc"}.
+func TestDesignStoreSharedWithDaemon(t *testing.T) {
+	dir := t.TempDir()
+	tableJSON := captureStdout(t, func() error {
+		return cmdDesign(context.Background(), []string{"-k", "4", "-kind", "wcopt", "-store", dir})
+	})
+	if !strings.Contains(tableJSON, "wc-opt") {
+		t.Fatalf("design did not emit a routing table: %.80s", tableJSON)
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := store.DesignRequest{K: 4, Kind: store.DesignMinLocality}
+	fp, err := req.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored, _, err := st.Get(store.KindDesign, fp)
+	if err != nil {
+		t.Fatalf("CLI design not in the store under kind minloc: %v", err)
+	}
+
+	ts := daemonFor(t, dir)
+	body := daemonPost(t, ts, "/v1/design", `{"k":4,"kind":"minloc"}`)
+	if string(body) != string(stored) {
+		t.Fatal("daemon served different bytes than the CLI persisted")
+	}
+
+	// The replay path also rebuilds the executable table: a second CLI run
+	// must reproduce the decomposed table without re-solving.
+	replayed := captureStdout(t, func() error {
+		return cmdDesign(context.Background(), []string{"-k", "4", "-kind", "wcopt", "-store", dir})
+	})
+	if replayed != tableJSON {
+		t.Fatal("replayed design decomposes to a different table")
+	}
+}

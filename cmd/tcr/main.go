@@ -27,7 +27,9 @@ import (
 	"tcr"
 	"tcr/internal/design"
 	"tcr/internal/lp"
+	"tcr/internal/serve"
 	"tcr/internal/sim"
+	"tcr/internal/store"
 	"tcr/internal/traffic"
 )
 
@@ -67,7 +69,7 @@ func main() {
 	case "sim":
 		err = cmdSim(ctx, args)
 	case "worstperm":
-		err = cmdWorstPerm(args)
+		err = cmdWorstPerm(ctx, args)
 	case "design":
 		err = cmdDesign(ctx, args)
 	case "loadmap":
@@ -127,6 +129,8 @@ func cmdEval(ctx context.Context, args []string) error {
 	k := fs.Int("k", 8, "torus radix")
 	nSamples := fs.Int("samples", 100, "average-case sample count (0 to skip)")
 	seed := fs.Int64("seed", 1, "sample seed")
+	asJSON := fs.Bool("json", false, "emit one artifact JSON line per algorithm (the tcrd schema) instead of the TSV table")
+	storeDir := fs.String("store", "", "artifact store directory: replay stored results, persist fresh ones")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -134,6 +138,9 @@ func cmdEval(ctx context.Context, args []string) error {
 	t, err := newTorus(*k)
 	if err != nil {
 		return err
+	}
+	if *asJSON {
+		return evalJSON(ctx, *k, *nSamples, *seed, *storeDir)
 	}
 	var samples []*tcr.Traffic
 	if *nSamples > 0 {
@@ -148,6 +155,37 @@ func cmdEval(ctx context.Context, args []string) error {
 		}
 		fmt.Printf("%s\t%.4f\t%.4f\t%.4f\t%.4f\n",
 			alg.Name(), m.HNorm, m.WorstCaseFraction, m.AvgCaseFraction, m.CapacityFraction)
+	}
+	return nil
+}
+
+// evalJSON emits NDJSON: one canonical EvalArtifact per closed-form
+// algorithm, byte-identical to what POST /v1/eval serves for the same
+// request, optionally replayed from / persisted to an artifact store.
+func evalJSON(ctx context.Context, k, nSamples int, seed int64, storeDir string) error {
+	st, err := openStore(storeDir)
+	if err != nil {
+		return err
+	}
+	for _, alg := range closedForms() {
+		req := store.EvalRequest{K: k, Alg: alg.Name(), Samples: nSamples}
+		if nSamples > 0 {
+			req.Seed = seed
+		}
+		fp, err := req.Fingerprint()
+		if err != nil {
+			return err
+		}
+		b, err := artifactBytes(st, store.KindEval, fp, func() (any, bool, error) {
+			art, err := serve.ComputeEval(ctx, req, nil, tcr.Concurrency)
+			return art, err == nil, err
+		})
+		if err != nil {
+			return err
+		}
+		if err := emit(b); err != nil {
+			return err
+		}
 	}
 	return nil
 }

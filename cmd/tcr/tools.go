@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -11,6 +12,8 @@ import (
 	"tcr/internal/design"
 	"tcr/internal/eval"
 	"tcr/internal/routing"
+	"tcr/internal/serve"
+	"tcr/internal/store"
 	"tcr/internal/topo"
 	"tcr/internal/traffic"
 )
@@ -23,22 +26,18 @@ import (
 //
 // They are registered from main's dispatch (see registerTools).
 
-// algByName resolves the closed-form algorithms plus O1TURN.
+// algByName resolves the closed-form algorithms through the shared registry
+// (routing.ByName), so the CLI and the tcrd daemon accept the same names.
 func algByName(name string) (routing.Algorithm, bool) {
-	algs := map[string]routing.Algorithm{
-		"DOR": routing.DOR{}, "VAL": routing.VAL{}, "IVAL": routing.IVAL{},
-		"ROMM": routing.ROMM{}, "RLB": routing.RLB{},
-		"RLBth": routing.RLB{Threshold: true}, "O1TURN": routing.O1TURN{},
-		"GOALish": routing.GOALish{},
-	}
-	a, ok := algs[name]
-	return a, ok
+	return routing.ByName(name)
 }
 
-func cmdWorstPerm(args []string) error {
+func cmdWorstPerm(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("worstperm", flag.ExitOnError)
 	k := fs.Int("k", 8, "torus radix")
 	algName := fs.String("alg", "DOR", "algorithm name")
+	asJSON := fs.Bool("json", false, "emit the artifact JSON line (the tcrd schema) instead of the TSV permutation")
+	storeDir := fs.String("store", "", "artifact store directory: replay a stored certificate, persist a fresh one")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -51,8 +50,33 @@ func cmdWorstPerm(args []string) error {
 	if err != nil {
 		return err
 	}
-	f := eval.FromAlgorithm(t, alg)
-	gamma, perm := f.WorstCase()
+	if *asJSON {
+		st, err := openStore(*storeDir)
+		if err != nil {
+			return err
+		}
+		req := store.WorstPermRequest{K: *k, Alg: *algName}
+		fp, err := req.Fingerprint()
+		if err != nil {
+			return err
+		}
+		b, err := artifactBytes(st, store.KindWorstPerm, fp, func() (any, bool, error) {
+			art, err := serve.ComputeWorstPerm(ctx, req, nil, tcr.Concurrency)
+			return art, err == nil, err
+		})
+		if err != nil {
+			return err
+		}
+		return emit(b)
+	}
+	f, err := eval.FromAlgorithmCtx(ctx, t, alg, tcr.Concurrency)
+	if err != nil {
+		return err
+	}
+	gamma, perm, err := f.WorstCaseCtx(ctx, tcr.Concurrency)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("# worst-case channel load for %s on %d-ary 2-cube: %.4f (throughput %.4f of capacity)\n",
 		*algName, *k, gamma, (1/gamma)/eval.NetworkCapacity(t))
 	fmt.Println("src_x\tsrc_y\tdst_x\tdst_y\thops")
@@ -72,6 +96,7 @@ func cmdDesign(ctx context.Context, args []string) error {
 	seed := fs.Int64("seed", 1, "sample seed")
 	ckpt := fs.String("checkpoint", "", "checkpoint file for a resumable wcopt design (see DESIGN.md)")
 	rounds := fs.Int("rounds", 0, "cutting-plane round budget, 0 = default (wcopt exits 4 when exhausted)")
+	storeDir := fs.String("store", "", "artifact store directory for wcopt: replay a stored design, persist and checkpoint a fresh one")
 	out := fs.String("o", "", "output JSON path (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -99,22 +124,10 @@ func cmdDesign(ctx context.Context, args []string) error {
 		tbl = res.Table
 		fmt.Fprintf(os.Stderr, "2TURNA: H=%.4f mean-max-load=%.4f\n", res.HNorm, res.Objective)
 	case "wcopt":
-		// Slack 0 selects the design package's default stage-2 slack.
-		res, err := design.MinLocalityAtWorstCaseCtx(ctx, t, design.Options{Checkpoint: *ckpt, MaxRounds: *rounds})
+		tbl, err = designWcopt(ctx, t, *ckpt, *rounds, *storeDir)
 		if err != nil {
 			return err
 		}
-		if !res.Certified {
-			fmt.Fprintf(os.Stderr, "wc-opt: best known H=%.4f gamma_wc=%.4f after %d rounds (uncertified)\n",
-				res.HNorm, res.GammaWC, res.Rounds)
-			return fmt.Errorf("wc-opt: %w: %s", design.ErrUncertified, res.Reason)
-		}
-		alg, err := design.DecomposeFlow(res.Flow, "wc-opt")
-		if err != nil {
-			return err
-		}
-		tbl = alg
-		fmt.Fprintf(os.Stderr, "wc-opt: H=%.4f gamma_wc=%.4f\n", res.HNorm, res.GammaWC)
 	default:
 		return fmt.Errorf("unknown design kind %q", *kind)
 	}
@@ -132,6 +145,67 @@ func cmdDesign(ctx context.Context, args []string) error {
 		return werr
 	}
 	return cerr
+}
+
+// designWcopt runs — or replays from the artifact store — the lexicographic
+// worst-case design and decomposes it into an executable table. The CLI's
+// "wcopt" calls MinLocalityAtWorstCase (throughput first, then locality),
+// which is the store kind "minloc": CLI runs and daemon requests share one
+// artifact slot and one checkpoint. With a store and no explicit
+// -checkpoint, the checkpoint lives in the store, keyed by the request
+// fingerprint, so an interrupted run resumes from wherever it died —
+// whether the interrupted run was this CLI or a tcrd daemon. Only certified
+// results are persisted; an uncertified budget exhaustion leaves just the
+// checkpoint behind and exits 4 as before.
+func designWcopt(ctx context.Context, t *tcr.Torus, ckpt string, rounds int, storeDir string) (*routing.Table, error) {
+	st, err := openStore(storeDir)
+	if err != nil {
+		return nil, err
+	}
+	req := store.DesignRequest{K: t.K, Kind: store.DesignMinLocality}
+	fp, err := req.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
+	if st != nil && ckpt == "" {
+		if ckpt, err = st.CheckpointPath(store.KindDesign, fp); err != nil {
+			return nil, err
+		}
+	}
+	b, err := artifactBytes(st, store.KindDesign, fp, func() (any, bool, error) {
+		// Slack 0 selects the design package's default stage-2 slack.
+		art, err := serve.ComputeDesign(ctx, req, design.Options{
+			Checkpoint: ckpt,
+			MaxRounds:  rounds,
+			Workers:    tcr.Concurrency,
+		})
+		if err != nil {
+			return nil, false, err
+		}
+		return art, art.Certified, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var art store.DesignArtifact
+	if err := json.Unmarshal(b, &art); err != nil {
+		return nil, fmt.Errorf("design artifact decode: %w", err)
+	}
+	if !art.Certified {
+		fmt.Fprintf(os.Stderr, "wc-opt: best known H=%.4f gamma_wc=%.4f after %d rounds (uncertified)\n",
+			art.HNorm, art.GammaWC, art.Rounds)
+		return nil, fmt.Errorf("wc-opt: %w: %s", design.ErrUncertified, art.Reason)
+	}
+	flow, err := serve.ArtifactFlow(t, &art)
+	if err != nil {
+		return nil, err
+	}
+	alg, err := design.DecomposeFlow(flow, "wc-opt")
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "wc-opt: H=%.4f gamma_wc=%.4f\n", art.HNorm, art.GammaWC)
+	return alg, nil
 }
 
 func cmdLoadMap(args []string) error {

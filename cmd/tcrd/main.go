@@ -1,0 +1,75 @@
+// Command tcrd serves the tcr design and evaluation engines over HTTP/JSON,
+// backed by a content-addressed artifact store: every result is computed
+// once, persisted with an integrity manifest, and replayed from disk for
+// every later identical request. Concurrent identical requests coalesce onto
+// one solve; admission to the solver pool is bounded, with overload answered
+// by 429 + Retry-After rather than unbounded queueing.
+//
+// Endpoints:
+//
+//	POST /v1/eval        metrics of a named algorithm  {"k":8,"alg":"IVAL"}
+//	POST /v1/worstperm   adversarial-permutation certificate
+//	POST /v1/design      LP routing design ("kind":"wcopt"|"minloc";
+//	                     add "async":true for the job API)
+//	POST /v1/pareto      worst-case throughput/locality Pareto sweep
+//	GET  /v1/jobs/{id}           poll an async job
+//	GET  /v1/jobs/{id}/result    fetch its stored artifact
+//	GET  /healthz        liveness (503 while draining)
+//	GET  /metrics        Prometheus text metrics
+//
+// Requests may carry "timeout_ms" (propagated into the solver as a deadline;
+// expiry returns 504 with diagnostics) and design requests "max_rounds" (an
+// exhausted budget returns the best iterate, uncertified and unpersisted,
+// leaving its checkpoint behind so a retry resumes instead of restarting).
+// SIGTERM/SIGINT drain gracefully: in-flight requests finish, background
+// jobs abort at the next round boundary with their checkpoints on disk.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tcr/internal/serve"
+)
+
+func main() {
+	fs := flag.NewFlagSet("tcrd", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7421", "listen address")
+	storeDir := fs.String("store", "tcr-store", "artifact store directory")
+	workers := fs.Int("workers", 2, "concurrent solver slots")
+	queue := fs.Int("queue", 8, "admission queue depth beyond running solves")
+	solveWorkers := fs.Int("solve-workers", 0, "parallelism within one solve, 0 = all cores")
+	flowCache := fs.Int("flowcache", 64, "flow-table LRU capacity")
+	timeout := fs.Duration("timeout", 0, "default per-request deadline when the request sets none, 0 = none")
+	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown budget for in-flight requests")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+
+	srv, err := serve.New(serve.Config{
+		StoreDir:         *storeDir,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		SolveWorkers:     *solveWorkers,
+		FlowCacheEntries: *flowCache,
+		DefaultTimeout:   *timeout,
+		DrainTimeout:     *drain,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tcrd:", err)
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "tcrd: serving on %s (store %s)\n", *addr, *storeDir)
+	if err := srv.Run(ctx, *addr); err != nil {
+		fmt.Fprintln(os.Stderr, "tcrd:", err)
+		os.Exit(1)
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+
+	"tcr/internal/store"
 )
 
 // Cut-loop checkpointing: every Options.CheckpointEvery rounds, the loop
@@ -27,17 +29,50 @@ import (
 // 2 re-runs stage 1 and resumes stage 2's accumulated state is discarded.
 
 // checkpointVersion invalidates checkpoints across incompatible solver or
-// formulation changes.
-const checkpointVersion = "tcr-ckpt-1"
+// formulation changes. ckpt-2 added the integrity hash field.
+const checkpointVersion = "tcr-ckpt-2"
 
-// checkpoint is the on-disk resume state of a cut loop.
+// checkpoint is the on-disk resume state of a cut loop. SHA256 is the
+// integrity hash (store.HashBytes) of the checkpoint's own JSON encoding
+// with the SHA256 field empty: restoring into a live solver from state a
+// crash or a stray editor has garbled would produce a silently different
+// trajectory, so a checkpoint that does not verify is rejected outright.
 type checkpoint struct {
+	SHA256 string     `json:"sha256"`
 	Sig    string     `json:"sig"`
 	Round  int        `json:"round"` // completed rounds (next round index)
 	Iters  int        `json:"iters"` // cumulative simplex pivots
 	Cuts   []cutEntry `json:"cuts"`
 	Basis  []int      `json:"basis"`
 	Cursor int        `json:"cursor"` // partial-pricing rotation state
+}
+
+// seal computes the integrity hash over the checkpoint's canonical encoding
+// (SHA256 field empty) and returns the sealed bytes ready to write.
+// verify re-derives the same encoding from a parsed checkpoint; JSON
+// numbers round-trip exactly (Go emits the shortest representation that
+// parses back to the same value), so writer and reader hash identical
+// bytes whenever the semantic content is identical.
+func (ck *checkpoint) seal() ([]byte, error) {
+	ck.SHA256 = ""
+	body, err := json.Marshal(ck)
+	if err != nil {
+		return nil, err
+	}
+	ck.SHA256 = store.HashBytes(body)
+	return json.Marshal(ck)
+}
+
+// verify checks a parsed checkpoint's integrity hash.
+func (ck *checkpoint) verify() bool {
+	want := ck.SHA256
+	if want == "" {
+		return false
+	}
+	ck.SHA256 = ""
+	body, err := json.Marshal(ck)
+	ck.SHA256 = want
+	return err == nil && store.HashBytes(body) == want
 }
 
 // sig fingerprints everything that shapes the cut loop's trajectory except
@@ -74,19 +109,17 @@ func (p *FlowLP) writeCheckpoint(round, iters int) error {
 	if ck.Cuts == nil {
 		ck.Cuts = []cutEntry{}
 	}
-	data, err := json.Marshal(&ck)
+	data, err := ck.seal()
 	if err != nil {
 		return fmt.Errorf("design: checkpoint encode: %w", err)
 	}
-	tmp := p.opts.Checkpoint + ".tmp"
 	if err := os.MkdirAll(filepath.Dir(p.opts.Checkpoint), 0o755); err != nil {
 		return fmt.Errorf("design: checkpoint dir: %w", err)
 	}
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	// Temp + fsync + rename + directory sync: a crash mid-write leaves the
+	// previous checkpoint intact, never a torn file.
+	if err := store.WriteFileAtomic(p.opts.Checkpoint, data, 0o644); err != nil {
 		return fmt.Errorf("design: checkpoint write: %w", err)
-	}
-	if err := os.Rename(tmp, p.opts.Checkpoint); err != nil {
-		return fmt.Errorf("design: checkpoint rename: %w", err)
 	}
 	return nil
 }
@@ -94,7 +127,8 @@ func (p *FlowLP) writeCheckpoint(round, iters int) error {
 // restoreCheckpoint loads and installs a matching checkpoint, returning the
 // round to resume from and the pivots already spent. ok is false — and the
 // loop starts from scratch — when no usable checkpoint exists (missing or
-// unreadable file, signature mismatch, corrupt basis). A restore that
+// unreadable file, failed integrity hash, signature mismatch, corrupt
+// basis). A restore that
 // fails midway rolls the solver back to its fresh pre-restore state.
 func (p *FlowLP) restoreCheckpoint() (round, iters int, ok bool) {
 	if p.opts.Checkpoint == "" {
@@ -105,7 +139,7 @@ func (p *FlowLP) restoreCheckpoint() (round, iters int, ok bool) {
 		return 0, 0, false
 	}
 	var ck checkpoint
-	if err := json.Unmarshal(data, &ck); err != nil || ck.Sig != p.sig() {
+	if err := json.Unmarshal(data, &ck); err != nil || !ck.verify() || ck.Sig != p.sig() {
 		return 0, 0, false
 	}
 	for _, e := range ck.Cuts {

@@ -1,6 +1,7 @@
 package design
 
 import (
+	"encoding/json"
 	"errors"
 	"math"
 	"os"
@@ -106,6 +107,62 @@ func TestCheckpointSigMismatchIgnored(t *testing.T) {
 	}
 	if !res.Certified || math.Abs(res.GammaWC-1.0) > 1e-5 {
 		t.Fatalf("certified=%v gamma_wc=%v, want certified 1.0", res.Certified, res.GammaWC)
+	}
+}
+
+// TestCheckpointTamperRejected: a checkpoint whose content no longer
+// matches its integrity hash — here, a semantically valid JSON edit that
+// bumps the recorded round count — is rejected and the run starts fresh
+// rather than resuming into a corrupted trajectory.
+func TestCheckpointTamperRejected(t *testing.T) {
+	tor := topo.NewTorus(4)
+	ckpt := filepath.Join(t.TempDir(), "wc.ckpt")
+	partial, err := WorstCaseOptimal(tor, Options{Checkpoint: ckpt, MaxRounds: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partial.Certified {
+		t.Fatal("6-round run certified; expected a leftover checkpoint")
+	}
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["sha256"] == "" || m["sha256"] == nil {
+		t.Fatal("checkpoint carries no integrity hash")
+	}
+	m["round"] = m["round"].(float64) + 1
+	tampered, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(ckpt, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The tampered file parses and carries the right signature, but its
+	// hash no longer verifies: the resume must be refused and the fresh
+	// run must still certify the known k=4 optimum.
+	res, err := WorstCaseOptimal(tor, Options{Checkpoint: ckpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Certified || math.Abs(res.GammaWC-1.0) > 1e-5 {
+		t.Fatalf("certified=%v gamma_wc=%v, want certified 1.0", res.Certified, res.GammaWC)
+	}
+	// A fresh reference run checkpoints through the same cadence, so a
+	// refused resume reproduces its trajectory exactly.
+	ref, err := WorstCaseOptimal(tor, Options{Checkpoint: filepath.Join(t.TempDir(), "ref.ckpt")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != ref.Rounds || res.Iterations != ref.Iterations {
+		t.Errorf("post-tamper run (rounds=%d iters=%d) != fresh run (rounds=%d iters=%d): tampered state leaked in",
+			res.Rounds, res.Iterations, ref.Rounds, ref.Iterations)
 	}
 }
 

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"container/list"
 	"context"
 	"strconv"
 	"strings"
@@ -15,19 +16,39 @@ import (
 // algorithm reuse one path-enumeration pass. Concurrent lookups of the same
 // key share a single computation (per-entry once); distinct keys compute
 // independently. The cache is safe for concurrent use.
+//
+// A cache built with NewCacheLimit holds at most its cap entries and evicts
+// the least recently used one on overflow; NewCache is unbounded, matching
+// the historical behavior. Flow tables at large radix are the dominant
+// memory cost of a long-lived process (O(k^2) relative destinations x k
+// channels of float64 each), so daemons should bound the cache.
 type Cache struct {
-	mu sync.Mutex
-	m  map[string]*cacheEntry
+	mu  sync.Mutex
+	m   map[string]*cacheEntry
+	lru *list.List // front = most recently used; elements hold *cacheEntry
+	cap int        // 0 = unbounded
 }
 
 type cacheEntry struct {
 	once sync.Once
 	flow *Flow
 	err  error
+	key  string
+	elem *list.Element // position in lru; nil once evicted or dropped
 }
 
-// NewCache returns an empty flow cache.
-func NewCache() *Cache { return &Cache{m: map[string]*cacheEntry{}} }
+// NewCache returns an empty, unbounded flow cache.
+func NewCache() *Cache { return NewCacheLimit(0) }
+
+// NewCacheLimit returns an empty flow cache holding at most maxEntries flow
+// tables, evicting the least recently used on overflow. maxEntries <= 0
+// means unbounded.
+func NewCacheLimit(maxEntries int) *Cache {
+	if maxEntries < 0 {
+		maxEntries = 0
+	}
+	return &Cache{m: map[string]*cacheEntry{}, lru: list.New(), cap: maxEntries}
+}
 
 // FlowKey returns the content address of (t, alg) and whether the algorithm
 // has one. Closed-form algorithms are addressed by radix plus Name, which
@@ -81,21 +102,49 @@ func (c *Cache) Evaluate(ctx context.Context, t *topo.Torus, alg routing.Algorit
 	c.mu.Lock()
 	e := c.m[key]
 	if e == nil {
-		e = &cacheEntry{}
+		e = &cacheEntry{key: key}
 		c.m[key] = e
+		e.elem = c.lru.PushFront(e)
+		if c.cap > 0 && c.lru.Len() > c.cap {
+			c.evictOldestLocked()
+		}
+	} else if e.elem != nil {
+		c.lru.MoveToFront(e.elem)
 	}
 	c.mu.Unlock()
 	e.once.Do(func() { e.flow, e.err = FromAlgorithmCtx(ctx, t, alg, workers) })
 	if e.err != nil {
 		// Drop the poisoned entry so a live context can recompute it.
 		c.mu.Lock()
-		if c.m[key] == e {
-			delete(c.m, key)
-		}
+		c.dropLocked(e)
 		c.mu.Unlock()
 		return nil, e.err
 	}
 	return e.flow, nil
+}
+
+// evictOldestLocked removes the least recently used entry. An evicted entry
+// whose computation is still in flight completes normally — callers already
+// holding it get their result; the table just isn't retained.
+func (c *Cache) evictOldestLocked() {
+	back := c.lru.Back()
+	if back == nil {
+		return
+	}
+	c.dropLocked(back.Value.(*cacheEntry))
+}
+
+// dropLocked unlinks e from the map and the LRU list, guarding against the
+// entry having been replaced (a poisoned drop racing a re-insert) or already
+// evicted.
+func (c *Cache) dropLocked(e *cacheEntry) {
+	if c.m[e.key] == e {
+		delete(c.m, e.key)
+	}
+	if e.elem != nil {
+		c.lru.Remove(e.elem)
+		e.elem = nil
+	}
 }
 
 // Len reports the number of cached flow tables (for tests and diagnostics).

@@ -26,6 +26,12 @@ func (c *countingAlg) PairPaths(t *topo.Torus, s, d topo.Node) []paths.Weighted 
 	return c.Algorithm.PairPaths(t, s, d)
 }
 
+func (c *countingAlg) callCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.calls
+}
+
 func TestCacheReusesFlows(t *testing.T) {
 	tor := topo.NewTorus(4)
 	c := NewCache()
@@ -125,6 +131,46 @@ func TestCacheSingleFlight(t *testing.T) {
 	alg.mu.Unlock()
 	if calls != tor.N {
 		t.Fatalf("PairPaths called %d times, want exactly %d (one enumeration)", calls, tor.N)
+	}
+}
+
+func TestCacheLRUEvictsOldest(t *testing.T) {
+	c := NewCacheLimit(2)
+	eval := func(k int, alg routing.Algorithm) {
+		t.Helper()
+		if _, err := c.Evaluate(context.Background(), topo.NewTorus(k), alg, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dor := &countingAlg{Algorithm: routing.DOR{}}
+	eval(3, dor)            // {k3/DOR}
+	eval(3, routing.VAL{})  // {k3/DOR, k3/VAL}
+	eval(3, dor)            // touch DOR: VAL is now oldest
+	eval(3, routing.IVAL{}) // evicts k3/VAL
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d entries, want cap 2", c.Len())
+	}
+	before := dor.callCount()
+	eval(3, dor) // DOR survived the eviction: no recomputation
+	if dor.callCount() != before {
+		t.Fatal("recently used entry was evicted")
+	}
+	val := &countingAlg{Algorithm: routing.VAL{}}
+	eval(3, val)
+	if val.callCount() != topo.NewTorus(3).N {
+		t.Fatal("evicted entry was served from cache")
+	}
+}
+
+func TestCacheUnboundedByDefault(t *testing.T) {
+	c := NewCache()
+	for k := 2; k <= 6; k++ {
+		if _, err := c.Evaluate(context.Background(), topo.NewTorus(k), routing.DOR{}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 5 {
+		t.Fatalf("unbounded cache holds %d entries, want 5", c.Len())
 	}
 }
 

@@ -52,7 +52,10 @@ func runCtxGo(p *Package) []Diagnostic {
 }
 
 // funcAcceptsContext reports whether any (non-receiver) parameter of the
-// declared function is context.Context.
+// declared function carries a caller-cancellable context: context.Context
+// itself, or *net/http.Request, whose Context() method is the idiomatic
+// cancellation source inside HTTP handlers. Handlers that spawn goroutines
+// bounded by r.Context() are exactly the convention this rule wants.
 func funcAcceptsContext(p *Package, fd *ast.FuncDecl) bool {
 	fn, ok := p.Info.Defs[fd.Name].(*types.Func)
 	if !ok {
@@ -60,7 +63,8 @@ func funcAcceptsContext(p *Package, fd *ast.FuncDecl) bool {
 	}
 	params := fn.Type().(*types.Signature).Params()
 	for i := 0; i < params.Len(); i++ {
-		if isContextType(params.At(i).Type()) {
+		t := params.At(i).Type()
+		if isContextType(t) || isHTTPRequestPtr(t) {
 			return true
 		}
 	}
@@ -75,6 +79,20 @@ func isContextType(t types.Type) bool {
 	}
 	obj := named.Obj()
 	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// isHTTPRequestPtr reports whether t is *net/http.Request.
+func isHTTPRequestPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Request" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
 }
 
 // firstSpawn finds the first goroutine-launching site in the function body:

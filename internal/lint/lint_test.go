@@ -462,6 +462,33 @@ func FanCtx(ctx context.Context, n int) error {
 	expect(t, got, "15:ctxgo")
 }
 
+// TestCtxGoHTTPHandler: *net/http.Request satisfies the context requirement
+// — its Context() method is the cancellation source handlers are expected to
+// thread into spawned work. An exported spawner with neither a Context nor a
+// Request parameter is still flagged, even in the same HTTP-flavored file.
+func TestCtxGoHTTPHandler(t *testing.T) {
+	got := runOn(t, "x/fix", `package fix
+
+import "net/http"
+
+func HandleThing(w http.ResponseWriter, r *http.Request) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-r.Context().Done()
+	}()
+	<-done
+}
+
+func SpawnDetached(w http.ResponseWriter) {
+	ch := make(chan struct{})
+	go close(ch)
+	<-ch
+}
+`)
+	expect(t, got, "16:ctxgo")
+}
+
 func TestCtxGoSuppressed(t *testing.T) {
 	got := runOn(t, "x/fix", `package fix
 

@@ -1,0 +1,35 @@
+package routing
+
+// ByName resolves a closed-form algorithm from its canonical Name. It is the
+// single registry behind the CLI's -alg flags and the daemon's request
+// schema, so the two accept exactly the same vocabulary. Designed tables and
+// interpolations are constructed, not named, and are absent by design.
+func ByName(name string) (Algorithm, bool) {
+	switch name {
+	case "DOR":
+		return DOR{}, true
+	case "DOR-yx":
+		return DOR{YFirst: true}, true
+	case "VAL":
+		return VAL{}, true
+	case "IVAL":
+		return IVAL{}, true
+	case "ROMM":
+		return ROMM{}, true
+	case "RLB":
+		return RLB{}, true
+	case "RLBth":
+		return RLB{Threshold: true}, true
+	case "O1TURN":
+		return O1TURN{}, true
+	case "GOALish":
+		return GOALish{}, true
+	}
+	return nil, false
+}
+
+// Names lists the algorithms ByName resolves, in the paper's Table 1 order;
+// handy for usage strings and error messages.
+func Names() []string {
+	return []string{"DOR", "DOR-yx", "VAL", "IVAL", "ROMM", "RLB", "RLBth", "O1TURN", "GOALish"}
+}

@@ -1,0 +1,226 @@
+// Package serve implements the tcrd daemon: an HTTP/JSON front end over the
+// design and evaluation engines, backed by the content-addressed artifact
+// store (internal/store). Identical requests are computed once — concurrent
+// duplicates coalesce onto a single in-flight solve, and completed results
+// replay from the store forever. Admission to the solver pool is bounded;
+// overload surfaces as 429 backpressure rather than unbounded queueing, and
+// per-request deadlines propagate into the LP solver's budgets so a stuck
+// solve returns 504 with diagnostics instead of wedging a worker.
+//
+// The compute functions in this file are the single producers of artifact
+// payloads. The CLI's -json mode calls the same functions and encodes
+// through the same store.Encode, which is what makes daemon responses and
+// CLI output byte-for-byte diffable.
+package serve
+
+import (
+	"context"
+	"fmt"
+
+	"tcr/internal/design"
+	"tcr/internal/eval"
+	"tcr/internal/routing"
+	"tcr/internal/store"
+	"tcr/internal/topo"
+	"tcr/internal/traffic"
+)
+
+// maxRadix bounds the tori the compute layer will instantiate: evaluation is
+// O(k^6) (Hungarian over N = k^2 nodes) and design LPs grow faster still, so
+// an oversized radix must fail validation rather than exhaust the process.
+const maxRadix = 32
+
+func checkRadix(k int) error {
+	if k > maxRadix {
+		return fmt.Errorf("radix %d out of range (max %d)", k, maxRadix)
+	}
+	return nil
+}
+
+// ComputeEval evaluates the paper's metrics for a named closed-form
+// algorithm, resolving flow tables through cache (which may be shared with
+// other requests; nil evaluates fresh).
+func ComputeEval(ctx context.Context, req store.EvalRequest, cache *eval.Cache, workers int) (*store.EvalArtifact, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkRadix(req.K); err != nil {
+		return nil, err
+	}
+	alg, ok := routing.ByName(req.Alg)
+	if !ok {
+		return nil, fmt.Errorf("unknown algorithm %q", req.Alg)
+	}
+	t := topo.NewTorus(req.K)
+	if cache == nil {
+		cache = eval.NewCacheLimit(1)
+	}
+	f, err := cache.Evaluate(ctx, t, alg, workers)
+	if err != nil {
+		return nil, err
+	}
+	netCap := eval.NetworkCapacity(t)
+	gw, _, err := f.WorstCaseCtx(ctx, workers)
+	if err != nil {
+		return nil, err
+	}
+	art := &store.EvalArtifact{
+		Schema:           store.SchemaVersion,
+		Request:          req,
+		NetworkCapacity:  netCap,
+		HAvg:             f.HAvg(),
+		HNorm:            f.HNorm(),
+		Capacity:         f.Capacity(),
+		CapacityFraction: f.Capacity() / netCap,
+		GammaWC:          gw,
+		WCFraction:       (1 / gw) / netCap,
+	}
+	if req.Samples > 0 {
+		ac, err := f.AvgCaseCtx(ctx, traffic.Sample(t.N, req.Samples, req.Seed), workers)
+		if err != nil {
+			return nil, err
+		}
+		art.AvgFraction = ac.ApproxThroughput / netCap
+	}
+	return art, nil
+}
+
+// ComputeWorstPerm produces the worst-case certificate for a named
+// algorithm: the exact adversarial load and a permutation achieving it.
+func ComputeWorstPerm(ctx context.Context, req store.WorstPermRequest, cache *eval.Cache, workers int) (*store.WorstPermArtifact, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkRadix(req.K); err != nil {
+		return nil, err
+	}
+	alg, ok := routing.ByName(req.Alg)
+	if !ok {
+		return nil, fmt.Errorf("unknown algorithm %q", req.Alg)
+	}
+	t := topo.NewTorus(req.K)
+	if cache == nil {
+		cache = eval.NewCacheLimit(1)
+	}
+	f, err := cache.Evaluate(ctx, t, alg, workers)
+	if err != nil {
+		return nil, err
+	}
+	gamma, perm, err := f.WorstCaseCtx(ctx, workers)
+	if err != nil {
+		return nil, err
+	}
+	return &store.WorstPermArtifact{
+		Schema:     store.SchemaVersion,
+		Request:    req,
+		GammaWC:    gamma,
+		WCFraction: (1 / gamma) / eval.NetworkCapacity(t),
+		Perm:       perm,
+	}, nil
+}
+
+// designOptions maps the request's formulation fields onto design.Options,
+// preserving whatever budgets (MaxRounds, Workers, Checkpoint) the caller
+// already set — budgets ride outside the fingerprint.
+func designOptions(opts design.Options, fold, cuts int, tol, slack float64) design.Options {
+	opts.Fold = design.Fold(fold)
+	opts.Cuts = design.Cuts(cuts)
+	opts.Tol = tol
+	opts.Slack = slack
+	return opts
+}
+
+// ComputeDesign runs the requested LP design. Budgets and the checkpoint
+// path travel in opts (they are not part of the request fingerprint); the
+// formulation comes from the request. An exhausted budget returns the
+// degraded, uncertified artifact with a nil error — the caller decides
+// whether to persist it (the daemon and CLI only persist certified results).
+func ComputeDesign(ctx context.Context, req store.DesignRequest, opts design.Options) (*store.DesignArtifact, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkRadix(req.K); err != nil {
+		return nil, err
+	}
+	t := topo.NewTorus(req.K)
+	opts = designOptions(opts, req.Fold, req.Cuts, req.Tol, req.Slack)
+	var res *design.Result
+	var err error
+	switch req.Kind {
+	case store.DesignWorstCase:
+		if req.HNorm > 0 {
+			res, err = design.WorstCaseAtLocalityCtx(ctx, t, req.HNorm, opts)
+		} else {
+			res, err = design.WorstCaseOptimalCtx(ctx, t, opts)
+		}
+	case store.DesignMinLocality:
+		res, err = design.MinLocalityAtWorstCaseCtx(ctx, t, opts)
+	default:
+		return nil, fmt.Errorf("unknown design kind %q", req.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &store.DesignArtifact{
+		Schema:     store.SchemaVersion,
+		Request:    req,
+		Objective:  res.Objective,
+		GammaWC:    res.GammaWC,
+		HAvg:       res.HAvg,
+		HNorm:      res.HNorm,
+		Rounds:     res.Rounds,
+		Iterations: res.Iterations,
+		Certified:  res.Certified,
+		Reason:     res.Reason,
+		Flow:       res.Flow.X,
+	}, nil
+}
+
+// ComputePareto sweeps the worst-case Pareto curve over the request's
+// locality range. Sweeps cannot degrade point-wise, so an exhausted budget
+// surfaces as an error (wrapping design.ErrUncertified) rather than a
+// partial curve.
+func ComputePareto(ctx context.Context, req store.ParetoRequest, opts design.Options) (*store.ParetoArtifact, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkRadix(req.K); err != nil {
+		return nil, err
+	}
+	t := topo.NewTorus(req.K)
+	opts = designOptions(opts, req.Fold, req.Cuts, req.Tol, 0)
+	hNorms := make([]float64, req.Points)
+	for i := range hNorms {
+		if req.Points == 1 {
+			hNorms[i] = req.HMin
+		} else {
+			hNorms[i] = req.HMin + (req.HMax-req.HMin)*float64(i)/float64(req.Points-1)
+		}
+	}
+	pts, err := design.WorstCaseParetoCurveCtx(ctx, t, hNorms, opts)
+	if err != nil {
+		return nil, err
+	}
+	art := &store.ParetoArtifact{Schema: store.SchemaVersion, Request: req, Points: make([]store.ParetoPoint, len(pts))}
+	for i, p := range pts {
+		art.Points[i] = store.ParetoPoint{HNorm: p.HNorm, Theta: p.Theta, Gamma: p.Gamma}
+	}
+	return art, nil
+}
+
+// ArtifactFlow reconstructs an eval.Flow from a stored design artifact, so a
+// replayed design can be decomposed into an executable routing table without
+// re-solving the LP.
+func ArtifactFlow(t *topo.Torus, art *store.DesignArtifact) (*eval.Flow, error) {
+	if len(art.Flow) != t.N {
+		return nil, fmt.Errorf("artifact flow has %d rows, want %d (radix mismatch?)", len(art.Flow), t.N)
+	}
+	f := eval.NewFlow(t)
+	for rel, row := range art.Flow {
+		if len(row) != t.C {
+			return nil, fmt.Errorf("artifact flow row %d has %d channels, want %d", rel, len(row), t.C)
+		}
+		copy(f.X[rel], row)
+	}
+	return f, nil
+}

@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"tcr/internal/store"
+)
+
+// The job API covers solves too long for a synchronous request: POST the
+// design or pareto request with "async": true, get 202 with a job id, poll
+// GET /v1/jobs/{id}, and fetch the artifact from GET /v1/jobs/{id}/result
+// once done. Job ids are derived from the request fingerprint, so
+// resubmitting the same request attaches to the existing job instead of
+// spawning a duplicate, and a finished job's result is simply the stored
+// artifact — jobs restartable across daemon lifetimes for free.
+
+// Job states.
+const (
+	jobRunning = "running"
+	jobDone    = "done"
+	jobError   = "error"
+)
+
+type job struct {
+	ID   string
+	Kind string
+	FP   string
+
+	mu    sync.Mutex
+	state string
+	err   string
+}
+
+func (j *job) setState(state, errMsg string) {
+	j.mu.Lock()
+	j.state, j.err = state, errMsg
+	j.mu.Unlock()
+}
+
+func (j *job) snapshot() (state, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.err
+}
+
+type jobTable struct {
+	mu sync.Mutex
+	m  map[string]*job
+}
+
+// jobID derives the public id: the kind plus a fingerprint prefix long
+// enough to be collision-free within one store.
+func jobID(kind, fp string) string { return kind + "-" + fp[:16] }
+
+// jobWire is the poll response.
+type jobWire struct {
+	ID    string `json:"id"`
+	Kind  string `json:"kind"`
+	FP    string `json:"fingerprint"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+}
+
+// submitJob registers (or re-attaches to) the job for (kind, fp) and
+// responds 202 with its descriptor. The solve runs on the daemon's job
+// context — not the request's — so it survives the submitter disconnecting
+// and is cancelled only by daemon shutdown, where the checkpoint written
+// each round preserves its progress.
+func (s *Server) submitJob(w http.ResponseWriter, r *http.Request, kind, fp string, compute func(context.Context) ([]byte, bool, error)) {
+	id := jobID(kind, fp)
+	s.jobs.mu.Lock()
+	if s.jobs.m == nil {
+		s.jobs.m = map[string]*job{}
+	}
+	j, exists := s.jobs.m[id]
+	if !exists {
+		j = &job{ID: id, Kind: kind, FP: fp, state: jobRunning}
+		s.jobs.m[id] = j
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			if _, err := s.result(s.jobCtx, kind, fp, compute); err != nil {
+				j.setState(jobError, err.Error())
+				return
+			}
+			j.setState(jobDone, "")
+		}()
+	}
+	s.jobs.mu.Unlock()
+	s.respondJob(w, r, j, http.StatusAccepted)
+}
+
+func (s *Server) lookupJob(id string) *job {
+	s.jobs.mu.Lock()
+	defer s.jobs.mu.Unlock()
+	return s.jobs.m[id]
+}
+
+func (s *Server) respondJob(w http.ResponseWriter, r *http.Request, j *job, status int) {
+	state, errMsg := j.snapshot()
+	b, err := json.Marshal(jobWire{ID: j.ID, Kind: j.Kind, FP: j.FP, State: state, Error: errMsg})
+	if err != nil {
+		s.fail(w, r, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	writeBody(w, append(b, '\n'))
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(r.PathValue("id"))
+	if j == nil {
+		s.fail(w, r, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	s.respondJob(w, r, j, http.StatusOK)
+}
+
+// handleJobResult streams a finished job's artifact from the store. A job
+// that predates this daemon's lifetime is also served as long as its
+// artifact exists: ids encode the kind and a fingerprint prefix, so the
+// store can be consulted even when the job table has no entry.
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j := s.lookupJob(id)
+	if j != nil {
+		state, errMsg := j.snapshot()
+		switch state {
+		case jobRunning:
+			s.respondJob(w, r, j, http.StatusAccepted)
+			return
+		case jobError:
+			s.fail(w, r, http.StatusInternalServerError, errors.New(errMsg))
+			return
+		}
+		payload, _, err := s.store.Get(j.Kind, j.FP)
+		if err != nil {
+			s.fail(w, r, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		writeBody(w, payload)
+		return
+	}
+	// No live entry: resolve the id against the store (prior daemon life).
+	kind, prefix, ok := strings.Cut(id, "-")
+	if !ok {
+		s.fail(w, r, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	payload, err := s.getByPrefix(kind, prefix)
+	if err != nil {
+		s.fail(w, r, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeBody(w, payload)
+}
+
+// getByPrefix finds the unique stored artifact whose fingerprint starts with
+// prefix (job ids carry only a prefix).
+func (s *Server) getByPrefix(kind, prefix string) ([]byte, error) {
+	fps, err := s.store.List(kind)
+	if err != nil {
+		return nil, err
+	}
+	for _, fp := range fps {
+		if strings.HasPrefix(fp, prefix) {
+			b, _, err := s.store.Get(kind, fp)
+			return b, err
+		}
+	}
+	return nil, store.ErrNotFound
+}

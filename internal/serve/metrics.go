@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics is the daemon's counter set, rendered in Prometheus text format by
+// render. Counters are monotonic; queue_depth, running, and the cache gauge
+// are sampled at scrape time.
+type metrics struct {
+	requests    [4]atomic.Int64 // indexed by endpoint
+	rejected    atomic.Int64
+	timeouts    atomic.Int64
+	storeHits   atomic.Int64
+	storeMisses atomic.Int64
+
+	mu         sync.Mutex
+	solveCount int64
+	solveSum   float64
+	solveMax   float64
+}
+
+// Endpoint indices for metrics.requests.
+const (
+	epEval = iota
+	epWorstPerm
+	epDesign
+	epPareto
+)
+
+var epNames = [4]string{"eval", "worstperm", "design", "pareto"}
+
+func (m *metrics) observeSolve(d time.Duration) {
+	s := d.Seconds()
+	m.mu.Lock()
+	m.solveCount++
+	m.solveSum += s
+	m.solveMax = math.Max(m.solveMax, s)
+	m.mu.Unlock()
+}
+
+// render writes the scrape body. queueDepth counts admitted-or-waiting
+// requests (running included), running the occupied solver slots,
+// cacheEntries the flow tables held by the eval cache.
+func (m *metrics) render(queueDepth, running, cacheEntries int64) []byte {
+	var b bytes.Buffer
+	for i, name := range epNames {
+		fmt.Fprintf(&b, "tcrd_requests_total{endpoint=%q} %d\n", name, m.requests[i].Load())
+	}
+	fmt.Fprintf(&b, "tcrd_rejected_total %d\n", m.rejected.Load())
+	fmt.Fprintf(&b, "tcrd_timeouts_total %d\n", m.timeouts.Load())
+	fmt.Fprintf(&b, "tcrd_store_hits_total %d\n", m.storeHits.Load())
+	fmt.Fprintf(&b, "tcrd_store_misses_total %d\n", m.storeMisses.Load())
+	fmt.Fprintf(&b, "tcrd_queue_depth %d\n", queueDepth)
+	fmt.Fprintf(&b, "tcrd_running %d\n", running)
+	fmt.Fprintf(&b, "tcrd_flow_cache_entries %d\n", cacheEntries)
+	m.mu.Lock()
+	fmt.Fprintf(&b, "tcrd_solve_seconds_count %d\n", m.solveCount)
+	fmt.Fprintf(&b, "tcrd_solve_seconds_sum %g\n", m.solveSum)
+	fmt.Fprintf(&b, "tcrd_solve_seconds_max %g\n", m.solveMax)
+	m.mu.Unlock()
+	return b.Bytes()
+}

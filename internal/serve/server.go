@@ -1,0 +1,525 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tcr/internal/design"
+	"tcr/internal/eval"
+	"tcr/internal/lp"
+	"tcr/internal/routing"
+	"tcr/internal/store"
+)
+
+// Config parameterizes a daemon; zero fields select the defaults.
+type Config struct {
+	// StoreDir is the artifact store root (required).
+	StoreDir string
+	// Workers bounds concurrently running solves (default 2).
+	Workers int
+	// QueueDepth bounds requests waiting for a solver slot beyond the
+	// running ones; an arrival past Workers+QueueDepth in-flight misses is
+	// rejected with 429 (default 8). Store hits bypass admission entirely.
+	QueueDepth int
+	// SolveWorkers is the per-solve parallelism handed to the engines
+	// (eval sharding, Hungarian oracles); 0 means all cores.
+	SolveWorkers int
+	// FlowCacheEntries caps the in-memory flow-table LRU (default 64).
+	FlowCacheEntries int
+	// DefaultTimeout applies to requests that set no timeout_ms; 0 means
+	// no deadline.
+	DefaultTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown: in-flight requests get this
+	// long to finish before the listener is torn down (default 10s).
+	DrainTimeout time.Duration
+}
+
+func (c Config) workers() int {
+	if c.Workers <= 0 {
+		return 2
+	}
+	return c.Workers
+}
+
+func (c Config) queueDepth() int {
+	if c.QueueDepth <= 0 {
+		return 8
+	}
+	return c.QueueDepth
+}
+
+func (c Config) flowCacheEntries() int {
+	if c.FlowCacheEntries <= 0 {
+		return 64
+	}
+	return c.FlowCacheEntries
+}
+
+func (c Config) drainTimeout() time.Duration {
+	if c.DrainTimeout <= 0 {
+		return 10 * time.Second
+	}
+	return c.DrainTimeout
+}
+
+// hooks are white-box observation points for tests: storeHit fires when a
+// request is served from the artifact store, computeStart when a solver
+// actually begins work. Both may be nil.
+type hooks struct {
+	storeHit     func(kind, fp string)
+	computeStart func(kind, fp string)
+}
+
+// Server is the tcrd daemon: HTTP handlers over the compute layer, the
+// artifact store, singleflight coalescing, and bounded admission.
+type Server struct {
+	cfg       Config
+	store     *store.Store
+	cache     *eval.Cache
+	mux       *http.ServeMux
+	single    group
+	slots     chan struct{}
+	queued    atomic.Int64
+	met       metrics
+	hooks     hooks
+	jobs      jobTable
+	jobCtx    context.Context
+	jobCancel context.CancelFunc
+	wg        sync.WaitGroup
+	draining  atomic.Bool
+}
+
+// errQueueFull is the admission rejection mapped to 429.
+var errQueueFull = errors.New("serve: admission queue full")
+
+// New opens (or creates) the artifact store and assembles the daemon.
+func New(cfg Config) (*Server, error) {
+	if cfg.StoreDir == "" {
+		return nil, errors.New("serve: Config.StoreDir is required")
+	}
+	st, err := store.Open(cfg.StoreDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		store: st,
+		cache: eval.NewCacheLimit(cfg.flowCacheEntries()),
+		slots: make(chan struct{}, cfg.workers()),
+	}
+	s.jobCtx, s.jobCancel = context.WithCancel(context.Background())
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/eval", s.handleEval)
+	s.mux.HandleFunc("POST /v1/worstperm", s.handleWorstPerm)
+	s.mux.HandleFunc("POST /v1/design", s.handleDesign)
+	s.mux.HandleFunc("POST /v1/pareto", s.handlePareto)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Handler exposes the daemon's routes (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close cancels background jobs and waits for them to drain. In-flight
+// design solves abort between cutting-plane rounds; their last checkpoint
+// stays in the store, so a restarted daemon resumes rather than recomputes.
+func (s *Server) Close() error {
+	s.draining.Store(true)
+	s.jobCancel()
+	s.wg.Wait()
+	return nil
+}
+
+// Run serves on addr until ctx is cancelled, then drains gracefully:
+// in-flight requests get DrainTimeout to finish, background jobs are
+// cancelled (checkpointing their progress), and the job pool is awaited.
+func (s *Server) Run(ctx context.Context, addr string) error {
+	srv := &http.Server{Addr: addr, Handler: s.mux}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+		s.draining.Store(true)
+		shCtx, cancel := context.WithTimeout(context.Background(), s.cfg.drainTimeout())
+		defer cancel()
+		//lint:ignore errdrop a failed graceful shutdown falls through to the hard Close below
+		srv.Shutdown(shCtx)
+	}()
+	err := srv.ListenAndServe()
+	<-done
+	if cerr := s.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if errors.Is(err, http.ErrServerClosed) {
+		err = nil
+	}
+	return err
+}
+
+// acquire admits the caller to the solver pool, blocking for a free slot up
+// to the request's deadline. Arrivals beyond Workers+QueueDepth in-flight
+// misses are rejected immediately — bounded queueing, never unbounded pileup.
+func (s *Server) acquire(ctx context.Context) error {
+	n := s.queued.Add(1)
+	if int(n) > s.cfg.workers()+s.cfg.queueDepth() {
+		s.queued.Add(-1)
+		s.met.rejected.Add(1)
+		return errQueueFull
+	}
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		s.queued.Add(-1)
+		return ctx.Err()
+	}
+}
+
+func (s *Server) release() {
+	<-s.slots
+	s.queued.Add(-1)
+}
+
+// result is the request spine shared by every artifact endpoint: coalesce
+// concurrent identical requests, serve from the store when the artifact
+// exists (no admission needed), otherwise admit, compute, persist (when the
+// compute says so), and return the canonical payload bytes.
+func (s *Server) result(ctx context.Context, kind, fp string, compute func(context.Context) (payload []byte, persist bool, err error)) ([]byte, error) {
+	return s.single.do(ctx, kind+"/"+fp, func() ([]byte, error) {
+		if b, _, err := s.store.Get(kind, fp); err == nil {
+			s.met.storeHits.Add(1)
+			if s.hooks.storeHit != nil {
+				s.hooks.storeHit(kind, fp)
+			}
+			return b, nil
+		}
+		s.met.storeMisses.Add(1)
+		if err := s.acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer s.release()
+		if s.hooks.computeStart != nil {
+			s.hooks.computeStart(kind, fp)
+		}
+		start := time.Now()
+		payload, persist, err := compute(ctx)
+		s.met.observeSolve(time.Since(start))
+		if err != nil {
+			return nil, err
+		}
+		if persist {
+			if _, err := s.store.Put(kind, fp, store.SchemaVersion, payload); err != nil {
+				return nil, err
+			}
+		}
+		return payload, nil
+	})
+}
+
+// Wire request envelopes: the store request (the fingerprint input) plus
+// per-request budgets, which deliberately stay outside the fingerprint so a
+// budget-limited run and its completion share one artifact slot.
+type evalWire struct {
+	store.EvalRequest
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+type worstPermWire struct {
+	store.WorstPermRequest
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+type designWire struct {
+	store.DesignRequest
+	MaxRounds int   `json:"max_rounds,omitempty"`
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	Async     bool  `json:"async,omitempty"`
+}
+
+type paretoWire struct {
+	store.ParetoRequest
+	MaxRounds int   `json:"max_rounds,omitempty"`
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	Async     bool  `json:"async,omitempty"`
+}
+
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("malformed request body: %w", err)
+	}
+	return nil
+}
+
+// reqCtx derives the request's working context: an explicit timeout_ms wins,
+// else the configured default, else no deadline beyond the connection's.
+func (s *Server) reqCtx(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if d > 0 {
+		return context.WithTimeout(r.Context(), d)
+	}
+	return context.WithCancel(r.Context())
+}
+
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	s.met.requests[epEval].Add(1)
+	var req evalWire
+	if err := decode(r, &req); err != nil {
+		s.fail(w, r, http.StatusBadRequest, err)
+		return
+	}
+	if err := validateNamed(req.K, req.Alg, req.Validate); err != nil {
+		s.fail(w, r, http.StatusBadRequest, err)
+		return
+	}
+	fp, err := req.Fingerprint()
+	if err != nil {
+		s.fail(w, r, http.StatusInternalServerError, err)
+		return
+	}
+	ctx, cancel := s.reqCtx(r, req.TimeoutMS)
+	defer cancel()
+	payload, err := s.result(ctx, store.KindEval, fp, func(ctx context.Context) ([]byte, bool, error) {
+		art, err := ComputeEval(ctx, req.EvalRequest, s.cache, s.cfg.SolveWorkers)
+		if err != nil {
+			return nil, false, err
+		}
+		b, err := store.Encode(art)
+		return b, err == nil, err
+	})
+	s.finish(w, r, ctx, payload, err)
+}
+
+func (s *Server) handleWorstPerm(w http.ResponseWriter, r *http.Request) {
+	s.met.requests[epWorstPerm].Add(1)
+	var req worstPermWire
+	if err := decode(r, &req); err != nil {
+		s.fail(w, r, http.StatusBadRequest, err)
+		return
+	}
+	if err := validateNamed(req.K, req.Alg, req.Validate); err != nil {
+		s.fail(w, r, http.StatusBadRequest, err)
+		return
+	}
+	fp, err := req.Fingerprint()
+	if err != nil {
+		s.fail(w, r, http.StatusInternalServerError, err)
+		return
+	}
+	ctx, cancel := s.reqCtx(r, req.TimeoutMS)
+	defer cancel()
+	payload, err := s.result(ctx, store.KindWorstPerm, fp, func(ctx context.Context) ([]byte, bool, error) {
+		art, err := ComputeWorstPerm(ctx, req.WorstPermRequest, s.cache, s.cfg.SolveWorkers)
+		if err != nil {
+			return nil, false, err
+		}
+		b, err := store.Encode(art)
+		return b, err == nil, err
+	})
+	s.finish(w, r, ctx, payload, err)
+}
+
+// validateNamed runs a request's shape validation plus the checks shared by
+// the name-addressed endpoints (radix ceiling, algorithm existence).
+func validateNamed(k int, alg string, validate func() error) error {
+	if err := validate(); err != nil {
+		return err
+	}
+	if err := checkRadix(k); err != nil {
+		return err
+	}
+	if _, ok := routing.ByName(alg); !ok {
+		return fmt.Errorf("unknown algorithm %q", alg)
+	}
+	return nil
+}
+
+func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
+	s.met.requests[epDesign].Add(1)
+	var req designWire
+	if err := decode(r, &req); err != nil {
+		s.fail(w, r, http.StatusBadRequest, err)
+		return
+	}
+	if err := req.Validate(); err != nil {
+		s.fail(w, r, http.StatusBadRequest, err)
+		return
+	}
+	if err := checkRadix(req.K); err != nil {
+		s.fail(w, r, http.StatusBadRequest, err)
+		return
+	}
+	fp, err := req.DesignRequest.Fingerprint()
+	if err != nil {
+		s.fail(w, r, http.StatusInternalServerError, err)
+		return
+	}
+	compute := s.designCompute(req.DesignRequest, fp, req.MaxRounds)
+	if req.Async {
+		s.submitJob(w, r, store.KindDesign, fp, compute)
+		return
+	}
+	ctx, cancel := s.reqCtx(r, req.TimeoutMS)
+	defer cancel()
+	payload, err := s.result(ctx, store.KindDesign, fp, compute)
+	s.finish(w, r, ctx, payload, err)
+}
+
+// designCompute builds the solver closure for a design request: budgets in
+// the options, the checkpoint slot keyed by the request fingerprint (so a
+// killed daemon's successor resumes the same file), persistence only for
+// certified results — an uncertified artifact is returned to the caller but
+// kept out of the store, and its checkpoint stays behind for the retry.
+func (s *Server) designCompute(req store.DesignRequest, fp string, maxRounds int) func(context.Context) ([]byte, bool, error) {
+	return func(ctx context.Context) ([]byte, bool, error) {
+		ckpt, err := s.store.CheckpointPath(store.KindDesign, fp)
+		if err != nil {
+			return nil, false, err
+		}
+		opts := design.Options{
+			MaxRounds:  maxRounds,
+			Workers:    s.cfg.SolveWorkers,
+			Checkpoint: ckpt,
+		}
+		art, err := ComputeDesign(ctx, req, opts)
+		if err != nil {
+			return nil, false, err
+		}
+		// A round budget (max_rounds) degrades to a 200 with the best
+		// iterate, uncertified. A deadline is different: the client asked
+		// for a bounded request, so expiry surfaces as 504 — the round
+		// checkpoints already written keep the partial progress.
+		if !art.Certified && errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return nil, false, fmt.Errorf(
+				"design uncertified after %d rounds (%s): %w",
+				art.Rounds, art.Reason, context.DeadlineExceeded)
+		}
+		b, err := store.Encode(art)
+		if err != nil {
+			return nil, false, err
+		}
+		return b, art.Certified, nil
+	}
+}
+
+func (s *Server) handlePareto(w http.ResponseWriter, r *http.Request) {
+	s.met.requests[epPareto].Add(1)
+	var req paretoWire
+	if err := decode(r, &req); err != nil {
+		s.fail(w, r, http.StatusBadRequest, err)
+		return
+	}
+	if err := req.Validate(); err != nil {
+		s.fail(w, r, http.StatusBadRequest, err)
+		return
+	}
+	if err := checkRadix(req.K); err != nil {
+		s.fail(w, r, http.StatusBadRequest, err)
+		return
+	}
+	fp, err := req.ParetoRequest.Fingerprint()
+	if err != nil {
+		s.fail(w, r, http.StatusInternalServerError, err)
+		return
+	}
+	compute := func(ctx context.Context) ([]byte, bool, error) {
+		art, err := ComputePareto(ctx, req.ParetoRequest, design.Options{
+			MaxRounds: req.MaxRounds,
+			Workers:   s.cfg.SolveWorkers,
+		})
+		if err != nil {
+			return nil, false, err
+		}
+		b, err := store.Encode(art)
+		return b, err == nil, err
+	}
+	if req.Async {
+		s.submitJob(w, r, store.KindPareto, fp, compute)
+		return
+	}
+	ctx, cancel := s.reqCtx(r, req.TimeoutMS)
+	defer cancel()
+	payload, err := s.result(ctx, store.KindPareto, fp, compute)
+	s.finish(w, r, ctx, payload, err)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		writeBody(w, []byte("draining\n"))
+		return
+	}
+	writeBody(w, []byte("ok\n"))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	writeBody(w, s.met.render(s.queued.Load(), int64(len(s.slots)), int64(s.cache.Len())))
+}
+
+// errorBody is the JSON error envelope every failure returns.
+type errorBody struct {
+	Error string `json:"error"`
+	// Diagnostics carries the LP recovery-ladder post-mortem when the
+	// failure surfaced one (numerical failures, deadline expiry mid-solve).
+	Diagnostics string `json:"diagnostics,omitempty"`
+}
+
+func (s *Server) fail(w http.ResponseWriter, _ *http.Request, status int, err error) {
+	body := errorBody{Error: err.Error()}
+	var de *lp.DiagError
+	if errors.As(err, &de) {
+		body.Diagnostics = de.Diag.Summary()
+	}
+	b, merr := json.Marshal(body)
+	if merr != nil {
+		b = []byte(`{"error":"internal"}`)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	writeBody(w, append(b, '\n'))
+}
+
+// finish maps a result-spine outcome onto the wire: success streams the
+// canonical payload; failures classify into 429 (queue full, with
+// Retry-After), 504 (request deadline expired, with solver diagnostics when
+// available), 503 (daemon draining), else 500.
+func (s *Server) finish(w http.ResponseWriter, r *http.Request, ctx context.Context, payload []byte, err error) {
+	if err == nil {
+		w.Header().Set("Content-Type", "application/json")
+		writeBody(w, payload)
+		return
+	}
+	switch {
+	case errors.Is(err, errQueueFull):
+		w.Header().Set("Retry-After", "1")
+		s.fail(w, r, http.StatusTooManyRequests, err)
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(ctx.Err(), context.DeadlineExceeded):
+		s.met.timeouts.Add(1)
+		s.fail(w, r, http.StatusGatewayTimeout, fmt.Errorf("deadline expired: %w", err))
+	case s.draining.Load() && errors.Is(err, context.Canceled):
+		s.fail(w, r, http.StatusServiceUnavailable, errors.New("daemon draining"))
+	default:
+		s.fail(w, r, http.StatusInternalServerError, err)
+	}
+}
+
+// writeBody sends a response body; a failed write means the client is gone
+// and there is nobody left to tell.
+func writeBody(w http.ResponseWriter, b []byte) {
+	//lint:ignore errdrop a failed response write has no recipient
+	w.Write(b)
+}

@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// group coalesces concurrent calls with the same key onto one in-flight
+// execution: the first caller (the leader) runs fn, every concurrent
+// duplicate (a follower) waits for the leader's result. Results are never
+// retained — the artifact store is the durable cache; the group only
+// deduplicates work that is in flight right now.
+type call struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+type group struct {
+	mu sync.Mutex
+	m  map[string]*call
+}
+
+// do runs fn under key, coalescing with any in-flight call. The leader runs
+// fn under its own request context; a follower whose leader dies of the
+// leader's cancellation retries as leader if its own context is still live,
+// so one impatient client cannot poison the cohort.
+func (g *group) do(ctx context.Context, key string, fn func() ([]byte, error)) ([]byte, error) {
+	for {
+		g.mu.Lock()
+		if g.m == nil {
+			g.m = map[string]*call{}
+		}
+		if c, ok := g.m[key]; ok {
+			g.mu.Unlock()
+			select {
+			case <-c.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if c.err != nil && isContextErr(c.err) && ctx.Err() == nil {
+				continue // leader was cancelled, not us: take over
+			}
+			return c.val, c.err
+		}
+		c := &call{done: make(chan struct{})}
+		g.m[key] = c
+		g.mu.Unlock()
+
+		c.val, c.err = fn()
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(c.done)
+		return c.val, c.err
+	}
+}
+
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

@@ -1,0 +1,81 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzStoreManifest drives Get over adversarial on-disk state: an arbitrary
+// manifest file next to an arbitrary payload. The invariants under fuzz:
+// Get never panics; it returns payload bytes only when the manifest is
+// well-formed, matches the key, and the payload re-hashes to the manifest's
+// digest (in which case the returned bytes are exactly the payload); and a
+// subsequent Put/Get round-trip over the same key always repairs the slot.
+func FuzzStoreManifest(f *testing.F) {
+	fp := HashBytes([]byte("fuzz-seed"))
+	valid := Manifest{
+		Schema:         ManifestSchema,
+		Kind:           KindDesign,
+		Fingerprint:    fp,
+		ArtifactSchema: SchemaVersion,
+		PayloadSHA256:  HashBytes([]byte("{}\n")),
+		PayloadBytes:   3,
+		CreatedUnix:    1,
+	}
+	vb, err := json.Marshal(&valid)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(vb, []byte("{}\n"))
+	f.Add([]byte("{broken"), []byte("{}\n"))
+	f.Add([]byte(`{"schema":"other"}`), []byte("{}\n"))
+	f.Add(bytes.Replace(vb, []byte(KindDesign), []byte(KindEval), 1), []byte("{}\n"))
+	f.Add(vb, []byte("tampered"))
+	f.Add([]byte("null"), []byte{})
+	f.Add([]byte(`{"payload_bytes":-1}`), []byte{0xff, 0x00})
+
+	f.Fuzz(func(t *testing.T, manifest, payload []byte) {
+		s, err := Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := s.objectDir(KindDesign, fp)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "payload.json"), payload, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "manifest.json"), manifest, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, m, err := s.Get(KindDesign, fp)
+		if err == nil {
+			if !bytes.Equal(got, payload) {
+				t.Fatalf("Get returned bytes that differ from the payload file")
+			}
+			if m.Kind != KindDesign || m.Fingerprint != fp || m.Schema != ManifestSchema {
+				t.Fatalf("Get accepted a manifest for the wrong key: %+v", m)
+			}
+			if HashBytes(payload) != m.PayloadSHA256 || int64(len(payload)) != m.PayloadBytes {
+				t.Fatalf("Get accepted an unverified payload")
+			}
+		} else if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrNotFound) {
+			t.Fatalf("Get failed outside the corruption contract: %v", err)
+		}
+
+		// Whatever the fuzzer left behind, a Put must repair the slot.
+		want := append(append([]byte{}, payload...), '\n')
+		if _, err := s.Put(KindDesign, fp, SchemaVersion, want); err != nil {
+			t.Fatalf("Put over fuzzed state failed: %v", err)
+		}
+		back, _, err := s.Get(KindDesign, fp)
+		if err != nil || !bytes.Equal(back, want) {
+			t.Fatalf("round-trip after repair failed: %v", err)
+		}
+	})
+}

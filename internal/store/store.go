@@ -1,0 +1,347 @@
+// Package store is the on-disk design-artifact store: a content-addressed,
+// schema-versioned home for everything the solvers produce that is worth
+// keeping — design results with their worst-case certificates, exact
+// evaluation reports, adversarial permutations, Pareto curves — plus the
+// mutable checkpoint files the design cut loops resume from.
+//
+// Artifacts are keyed by (kind, fingerprint), where the fingerprint is the
+// SHA-256 of the canonical JSON encoding of the request that produced the
+// artifact (see Fingerprint and the request types in schema.go). Everything
+// that shapes the result — topology radix, algorithm, design kind, folding,
+// tolerance, slack, sample seed — is part of the fingerprint; budgets
+// (round limits, deadlines) are not, because two requests that differ only
+// in how long they are allowed to run denote the same artifact. A k=6
+// design that took an hour is therefore computed once and replayed forever.
+//
+// On disk each artifact is a directory holding two files written in commit
+// order:
+//
+//	objects/<kind>/<ff>/<fingerprint>/payload.json    the artifact bytes
+//	objects/<kind>/<ff>/<fingerprint>/manifest.json   integrity manifest
+//
+// (<ff> is the first two fingerprint hex digits, a fan-out shard.) Both are
+// written via temp-file + fsync + atomic rename, manifest last, so a
+// manifest's existence implies a fully durable payload. Get re-hashes the
+// payload against the manifest on every read; a mismatch surfaces as
+// ErrCorrupt, never as silently wrong data.
+//
+// Checkpoints live beside the objects under checkpoints/<kind>/<fp>.ckpt.
+// They are mutable resume state, not content-addressed artifacts: the
+// design layer owns their format and integrity hashing (it reuses
+// HashBytes/WriteFileAtomic from here) and clears them on certification.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// ManifestSchema versions the manifest file format itself; bump it when the
+// layout of manifest.json changes incompatibly.
+const ManifestSchema = "tcr-store-1"
+
+// Artifact kinds. A kind names both the request schema and the artifact
+// schema stored under it (schema.go).
+const (
+	KindEval      = "eval"
+	KindWorstPerm = "worstperm"
+	KindDesign    = "design"
+	KindPareto    = "pareto"
+)
+
+// ErrNotFound reports that no committed artifact exists for a key.
+var ErrNotFound = errors.New("store: artifact not found")
+
+// ErrCorrupt reports that an artifact exists but failed integrity
+// verification (unreadable manifest, key mismatch, size or hash mismatch).
+// Callers should treat it as a miss and overwrite via Put.
+var ErrCorrupt = errors.New("store: artifact failed integrity verification")
+
+// Manifest is the durable integrity record committed after an artifact's
+// payload. It is the store's unit of verification: Get trusts nothing it
+// cannot re-derive from the payload bytes and this record.
+type Manifest struct {
+	Schema         string `json:"schema"`
+	Kind           string `json:"kind"`
+	Fingerprint    string `json:"fingerprint"`
+	ArtifactSchema int    `json:"artifact_schema"`
+	PayloadSHA256  string `json:"payload_sha256"`
+	PayloadBytes   int64  `json:"payload_bytes"`
+	CreatedUnix    int64  `json:"created_unix"`
+}
+
+// Store is a handle on one on-disk artifact tree. It is safe for concurrent
+// use by multiple goroutines and (thanks to atomic commit order) by
+// multiple processes sharing the directory.
+type Store struct {
+	root string
+}
+
+// Open creates (if needed) and opens a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	for _, d := range []string{dir, filepath.Join(dir, "objects"), filepath.Join(dir, "checkpoints")} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("store: open: %w", err)
+		}
+	}
+	return &Store{root: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.root }
+
+// validKey rejects keys that could escape the store tree or collide with
+// the store's own file names: kinds are short lowercase identifiers,
+// fingerprints lowercase hex of at least 16 digits.
+func validKey(kind, fp string) error {
+	if kind == "" || len(kind) > 64 {
+		return fmt.Errorf("store: invalid kind %q", kind)
+	}
+	for _, c := range kind {
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '-' {
+			return fmt.Errorf("store: invalid kind %q", kind)
+		}
+	}
+	if len(fp) < 16 || len(fp) > 128 {
+		return fmt.Errorf("store: invalid fingerprint %q", fp)
+	}
+	for _, c := range fp {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return fmt.Errorf("store: invalid fingerprint %q", fp)
+		}
+	}
+	return nil
+}
+
+func (s *Store) objectDir(kind, fp string) string {
+	return filepath.Join(s.root, "objects", kind, fp[:2], fp)
+}
+
+// Put durably commits an artifact payload under (kind, fp) and returns the
+// manifest it wrote. An existing artifact under the same key is atomically
+// replaced; readers see either the old version or the new one, never a mix,
+// because each file is renamed into place whole and verified against the
+// manifest hash on read.
+func (s *Store) Put(kind, fp string, artifactSchema int, payload []byte) (Manifest, error) {
+	if err := validKey(kind, fp); err != nil {
+		return Manifest{}, err
+	}
+	dir := s.objectDir(kind, fp)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return Manifest{}, fmt.Errorf("store: put: %w", err)
+	}
+	if err := WriteFileAtomic(filepath.Join(dir, "payload.json"), payload, 0o644); err != nil {
+		return Manifest{}, fmt.Errorf("store: put payload: %w", err)
+	}
+	m := Manifest{
+		Schema:         ManifestSchema,
+		Kind:           kind,
+		Fingerprint:    fp,
+		ArtifactSchema: artifactSchema,
+		PayloadSHA256:  HashBytes(payload),
+		PayloadBytes:   int64(len(payload)),
+		CreatedUnix:    time.Now().Unix(),
+	}
+	mb, err := json.Marshal(&m)
+	if err != nil {
+		return Manifest{}, fmt.Errorf("store: put manifest encode: %w", err)
+	}
+	if err := WriteFileAtomic(filepath.Join(dir, "manifest.json"), mb, 0o644); err != nil {
+		return Manifest{}, fmt.Errorf("store: put manifest: %w", err)
+	}
+	return m, nil
+}
+
+// corrupt wraps a verification failure with its cause.
+func corrupt(kind, fp, reason string) error {
+	return fmt.Errorf("%w: %s/%s: %s", ErrCorrupt, kind, fp, reason)
+}
+
+// Get returns the committed payload and manifest under (kind, fp). A
+// missing artifact returns ErrNotFound; one that fails verification returns
+// ErrCorrupt (wrapped with the reason).
+func (s *Store) Get(kind, fp string) ([]byte, Manifest, error) {
+	if err := validKey(kind, fp); err != nil {
+		return nil, Manifest{}, err
+	}
+	dir := s.objectDir(kind, fp)
+	mb, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, Manifest{}, fmt.Errorf("%w: %s/%s", ErrNotFound, kind, fp)
+	}
+	if err != nil {
+		return nil, Manifest{}, fmt.Errorf("store: get: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(mb, &m); err != nil {
+		return nil, Manifest{}, corrupt(kind, fp, "manifest not valid JSON: "+err.Error())
+	}
+	if m.Schema != ManifestSchema {
+		return nil, Manifest{}, corrupt(kind, fp, "unsupported manifest schema "+m.Schema)
+	}
+	if m.Kind != kind || m.Fingerprint != fp {
+		return nil, Manifest{}, corrupt(kind, fp, "manifest key mismatch")
+	}
+	payload, err := os.ReadFile(filepath.Join(dir, "payload.json"))
+	if err != nil {
+		return nil, Manifest{}, corrupt(kind, fp, "payload unreadable: "+err.Error())
+	}
+	if int64(len(payload)) != m.PayloadBytes {
+		return nil, Manifest{}, corrupt(kind, fp, "payload size mismatch")
+	}
+	if HashBytes(payload) != m.PayloadSHA256 {
+		return nil, Manifest{}, corrupt(kind, fp, "payload hash mismatch")
+	}
+	return payload, m, nil
+}
+
+// Has reports whether a verified artifact exists under (kind, fp).
+func (s *Store) Has(kind, fp string) bool {
+	_, _, err := s.Get(kind, fp)
+	return err == nil
+}
+
+// Delete removes the artifact under (kind, fp); deleting a missing artifact
+// is not an error.
+func (s *Store) Delete(kind, fp string) error {
+	if err := validKey(kind, fp); err != nil {
+		return err
+	}
+	if err := os.RemoveAll(s.objectDir(kind, fp)); err != nil {
+		return fmt.Errorf("store: delete: %w", err)
+	}
+	return nil
+}
+
+// List returns the fingerprints of every committed artifact under kind, in
+// unspecified order. Slots whose manifest is missing (an interrupted Put)
+// are skipped; corrupt-but-committed slots are listed — Get reports their
+// corruption.
+func (s *Store) List(kind string) ([]string, error) {
+	if err := validKey(kind, strings.Repeat("0", 16)); err != nil {
+		return nil, err
+	}
+	kindDir := filepath.Join(s.root, "objects", kind)
+	fans, err := os.ReadDir(kindDir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: list: %w", err)
+	}
+	var fps []string
+	for _, fan := range fans {
+		if !fan.IsDir() {
+			continue
+		}
+		ents, err := os.ReadDir(filepath.Join(kindDir, fan.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("store: list: %w", err)
+		}
+		for _, e := range ents {
+			fp := e.Name()
+			if !e.IsDir() || validKey(kind, fp) != nil {
+				continue
+			}
+			if _, err := os.Stat(filepath.Join(kindDir, fan.Name(), fp, "manifest.json")); err == nil {
+				fps = append(fps, fp)
+			}
+		}
+	}
+	return fps, nil
+}
+
+// CheckpointPath returns the mutable checkpoint file path for (kind, fp),
+// creating its directory. Design runs pass it as Options.Checkpoint so an
+// interrupted computation resumes from the store on the next request.
+func (s *Store) CheckpointPath(kind, fp string) (string, error) {
+	if err := validKey(kind, fp); err != nil {
+		return "", err
+	}
+	dir := filepath.Join(s.root, "checkpoints", kind)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("store: checkpoint dir: %w", err)
+	}
+	return filepath.Join(dir, fp+".ckpt"), nil
+}
+
+// HashBytes returns the lowercase hex SHA-256 of b: the store's integrity
+// and content-address hash, shared with the design layer's checkpoint
+// integrity field.
+func HashBytes(b []byte) string {
+	h := sha256.Sum256(b)
+	return hex.EncodeToString(h[:])
+}
+
+// Fingerprint returns the canonical content address of a request: the
+// SHA-256 of the kind and the request's JSON encoding. Struct field order
+// fixes the byte layout, so equal requests map to equal fingerprints.
+func Fingerprint(kind string, req any) (string, error) {
+	b, err := json.Marshal(req)
+	if err != nil {
+		return "", fmt.Errorf("store: fingerprint: %w", err)
+	}
+	return HashBytes(append(append([]byte(kind), 0), b...)), nil
+}
+
+// WriteFileAtomic durably writes data to path: temp file in the same
+// directory, fsync, atomic rename over the target, then fsync of the
+// directory so the rename itself survives a crash. A reader concurrently
+// opening path sees either the old contents or the new, never a torn write.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	// On any failure past this point, remove the orphan temp file; its
+	// removal failing is unactionable (the next Open still works).
+	fail := func(err error) error {
+		//lint:ignore errdrop best-effort cleanup of the temp file after the real error
+		_ = os.Remove(tmp)
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		//lint:ignore errdrop the write error is the one to report
+		_ = f.Close()
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		//lint:ignore errdrop the sync error is the one to report
+		_ = f.Close()
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		return fail(err)
+	}
+	if err := os.Chmod(tmp, perm); err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fail(err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-committed rename is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

@@ -1,0 +1,258 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := testStore(t)
+	payload := []byte(`{"schema":1,"x":[1,2,3]}` + "\n")
+	fp, err := Fingerprint(KindEval, EvalRequest{K: 4, Alg: "DOR"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Has(KindEval, fp) {
+		t.Fatal("empty store claims to hold the artifact")
+	}
+	m, err := s.Put(KindEval, fp, SchemaVersion, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PayloadSHA256 != HashBytes(payload) || m.PayloadBytes != int64(len(payload)) {
+		t.Fatalf("manifest does not describe the payload: %+v", m)
+	}
+	got, gm, err := s.Get(KindEval, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("payload round-trip mismatch: %q", got)
+	}
+	if gm != m {
+		t.Fatalf("manifest round-trip mismatch: %+v != %+v", gm, m)
+	}
+	// Overwrite replaces atomically.
+	payload2 := []byte(`{"schema":1,"x":[9]}` + "\n")
+	if _, err := s.Put(KindEval, fp, SchemaVersion, payload2); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err = s.Get(KindEval, fp)
+	if err != nil || string(got) != string(payload2) {
+		t.Fatalf("overwrite not visible: %q, %v", got, err)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := testStore(t)
+	fp := HashBytes([]byte("nope"))
+	if _, _, err := s.Get(KindDesign, fp); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing artifact: got %v, want ErrNotFound", err)
+	}
+}
+
+func TestGetDetectsCorruption(t *testing.T) {
+	s := testStore(t)
+	fp := HashBytes([]byte("req"))
+	payload := []byte(`{"v":1}` + "\n")
+	if _, err := s.Put(KindDesign, fp, SchemaVersion, payload); err != nil {
+		t.Fatal(err)
+	}
+	pp := filepath.Join(s.objectDir(KindDesign, fp), "payload.json")
+
+	// Flipped payload byte: hash mismatch.
+	bad := append([]byte{}, payload...)
+	bad[2] ^= 0x40
+	if err := os.WriteFile(pp, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get(KindDesign, fp); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("tampered payload: got %v, want ErrCorrupt", err)
+	}
+
+	// Truncated payload: size mismatch.
+	if err := os.WriteFile(pp, payload[:3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get(KindDesign, fp); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated payload: got %v, want ErrCorrupt", err)
+	}
+
+	// Unparseable manifest.
+	mp := filepath.Join(s.objectDir(KindDesign, fp), "manifest.json")
+	if err := os.WriteFile(mp, []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get(KindDesign, fp); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("broken manifest: got %v, want ErrCorrupt", err)
+	}
+
+	// A corrupt artifact is repaired by Put.
+	if _, err := s.Put(KindDesign, fp, SchemaVersion, payload); err != nil {
+		t.Fatal(err)
+	}
+	if got, _, err := s.Get(KindDesign, fp); err != nil || string(got) != string(payload) {
+		t.Fatalf("re-put did not repair: %q, %v", got, err)
+	}
+}
+
+func TestManifestKeyMismatchIsCorrupt(t *testing.T) {
+	s := testStore(t)
+	fpA := HashBytes([]byte("a"))
+	fpB := HashBytes([]byte("b"))
+	payload := []byte("{}\n")
+	if _, err := s.Put(KindEval, fpA, SchemaVersion, payload); err != nil {
+		t.Fatal(err)
+	}
+	// Copy A's object directory under B's key: the embedded fingerprint no
+	// longer matches the path.
+	srcDir, dstDir := s.objectDir(KindEval, fpA), s.objectDir(KindEval, fpB)
+	if err := os.MkdirAll(dstDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"payload.json", "manifest.json"} {
+		b, err := os.ReadFile(filepath.Join(srcDir, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dstDir, f), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := s.Get(KindEval, fpB); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("relocated artifact: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := testStore(t)
+	fp := HashBytes([]byte("x"))
+	if _, err := s.Put(KindPareto, fp, SchemaVersion, []byte("{}\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(KindPareto, fp); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has(KindPareto, fp) {
+		t.Fatal("deleted artifact still present")
+	}
+	if err := s.Delete(KindPareto, fp); err != nil {
+		t.Fatalf("double delete errored: %v", err)
+	}
+}
+
+func TestInvalidKeysRejected(t *testing.T) {
+	s := testStore(t)
+	fp := HashBytes([]byte("x"))
+	bad := [][2]string{
+		{"", fp},
+		{"../escape", fp},
+		{"Eval", fp},
+		{KindEval, "short"},
+		{KindEval, "ZZ" + fp[2:]},
+		{KindEval, "../../etc/passwd0000"},
+	}
+	for _, kv := range bad {
+		if _, err := s.Put(kv[0], kv[1], SchemaVersion, []byte("{}")); err == nil {
+			t.Errorf("Put(%q, %q) accepted an invalid key", kv[0], kv[1])
+		}
+		if _, _, err := s.Get(kv[0], kv[1]); err == nil {
+			t.Errorf("Get(%q, %q) accepted an invalid key", kv[0], kv[1])
+		}
+		if _, err := s.CheckpointPath(kv[0], kv[1]); err == nil {
+			t.Errorf("CheckpointPath(%q, %q) accepted an invalid key", kv[0], kv[1])
+		}
+	}
+}
+
+func TestFingerprintStability(t *testing.T) {
+	a, err := Fingerprint(KindDesign, DesignRequest{K: 4, Kind: DesignWorstCase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fingerprint(KindDesign, DesignRequest{K: 4, Kind: DesignWorstCase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("equal requests produced different fingerprints")
+	}
+	c, err := Fingerprint(KindDesign, DesignRequest{K: 4, Kind: DesignWorstCase, Tol: 1e-7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Fatal("distinct requests collided")
+	}
+	// Kind participates: the same body under another kind is another key.
+	d, err := Fingerprint(KindEval, DesignRequest{K: 4, Kind: DesignWorstCase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == a {
+		t.Fatal("kind does not separate fingerprints")
+	}
+	if err := validKey(KindDesign, a); err != nil {
+		t.Fatalf("fingerprint fails its own key validation: %v", err)
+	}
+}
+
+func TestCheckpointPath(t *testing.T) {
+	s := testStore(t)
+	fp := HashBytes([]byte("ck"))
+	p, err := s.CheckpointPath(KindDesign, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The directory must exist so the design layer can write immediately.
+	if err := os.WriteFile(p, []byte("state"), 0o644); err != nil {
+		t.Fatalf("checkpoint path not writable: %v", err)
+	}
+	p2, err := s.CheckpointPath(KindDesign, fp)
+	if err != nil || p2 != p {
+		t.Fatalf("checkpoint path not stable: %q vs %q (%v)", p, p2, err)
+	}
+}
+
+func TestWriteFileAtomicReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.json")
+	if err := WriteFileAtomic(path, []byte("one"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("two"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil || string(b) != "two" {
+		t.Fatalf("read back %q, %v", b, err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("temp files left behind: %v", ents)
+	}
+}
+
+func TestEncodeAppendsNewline(t *testing.T) {
+	b, err := Encode(EvalArtifact{Schema: SchemaVersion})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) == 0 || b[len(b)-1] != '\n' {
+		t.Fatalf("encoded payload not newline-terminated: %q", b)
+	}
+}

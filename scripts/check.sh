@@ -28,6 +28,9 @@ go test -race -short -timeout 30m ./...
 echo "==> go test -tags lpchaos ./internal/... (fault injection)"
 go test -tags lpchaos -timeout 10m ./internal/...
 
+echo "==> daemon e2e (artifact store + tcrd serving path + CLI parity, race)"
+go test -race -count=1 -timeout 10m ./internal/store ./internal/serve ./cmd/tcr
+
 echo "==> bench smoke (-benchtime=1x)"
 go test ./internal/lp -run '^$' -bench . -benchtime 1x >/dev/null
 go test . -run '^$' -bench BenchmarkFigure1ParetoCurve -benchtime 1x >/dev/null
@@ -39,6 +42,8 @@ if [ "$FUZZTIME" != "0" ]; then
 	go test ./internal/matching -run='^$' -fuzz=FuzzHungarian -fuzztime="$FUZZTIME"
 	echo "==> fuzz smoke: FuzzRecoveryLadder ($FUZZTIME)"
 	go test -tags lpchaos ./internal/lp -run='^$' -fuzz=FuzzRecoveryLadder -fuzztime="$FUZZTIME"
+	echo "==> fuzz smoke: FuzzStoreManifest ($FUZZTIME)"
+	go test ./internal/store -run='^$' -fuzz=FuzzStoreManifest -fuzztime="$FUZZTIME"
 fi
 
 echo "==> all checks passed"
