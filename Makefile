@@ -12,7 +12,7 @@ race:
 	$(GO) test -race -short -timeout 30m ./...
 
 lint:
-	$(GO) run ./cmd/tcrlint ./...
+	$(GO) run ./cmd/tcrlint -tests ./...
 
 # chaos exercises the numerical-resilience layer under seeded fault
 # injection (the lpchaos build tag compiles the injection hooks in).

@@ -4,12 +4,22 @@
 //
 // Usage:
 //
-//	tcrlint [-rules floatcmp,errdrop,...] [pattern ...]
+//	tcrlint [-rules floatcmp,errdrop,...] [-tests] [-json] [pattern ...]
 //
 // Patterns are directories relative to the module root; a trailing /...
-// recurses. The default is ./... (the whole module). Exit status is 0 when
-// clean, 1 when there are findings, and 2 on usage or load errors. Findings
-// are suppressed in source with:
+// recurses. The default is ./... (the whole module). -tests extends the
+// analysis to _test.go files (only analyzers that opt into test code
+// report there). -json emits one JSON object per finding on stdout —
+// {"file":..., "line":..., "col":..., "analyzer":..., "message":...} —
+// for machine consumption.
+//
+// The exit status is a contract for CI:
+//
+//	0  every analyzed package is clean
+//	1  at least one finding was reported
+//	2  usage, load, type-check, or output error (results are incomplete)
+//
+// Findings are suppressed in source with:
 //
 //	//lint:ignore <rule>[,<rule>...] <reason>
 //
@@ -17,8 +27,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -26,22 +38,52 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string) int {
+// jsonDiag is the -json wire form of one finding.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// errWriter funnels all diagnostic output through one place, capturing the
+// first write failure so a broken pipe downgrades the run to exit 2 instead
+// of silently truncating the findings CI is about to trust.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) printf(format string, args ...any) {
+	if ew.err != nil {
+		return
+	}
+	_, ew.err = fmt.Fprintf(ew.w, format, args...)
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	out := &errWriter{w: stdout}
+	errw := &errWriter{w: stderr}
+
 	fs := flag.NewFlagSet("tcrlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	rules := fs.String("rules", "", "comma-separated rule subset (default: all)")
 	list := fs.Bool("list", false, "list the registered rules and exit")
+	tests := fs.Bool("tests", false, "also analyze _test.go files")
+	asJSON := fs.Bool("json", false, "emit findings as JSON objects, one per line")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	if *list {
 		for _, a := range lint.Analyzers() {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			out.printf("%-11s %s\n", a.Name, a.Doc)
 		}
-		return 0
+		return exitCode(out, errw, 0)
 	}
 
 	var names []string
@@ -50,7 +92,7 @@ func run(args []string) int {
 	}
 	analyzers, err := lint.ByName(names)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tcrlint:", err)
+		errw.printf("tcrlint: %v\n", err)
 		return 2
 	}
 
@@ -60,27 +102,57 @@ func run(args []string) int {
 	}
 	cwd, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tcrlint:", err)
+		errw.printf("tcrlint: %v\n", err)
 		return 2
 	}
 	root, modPath, err := lint.FindModuleRoot(cwd)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tcrlint:", err)
+		errw.printf("tcrlint: %v\n", err)
 		return 2
 	}
-	pkgs, err := lint.NewLoader(root, modPath).Load(patterns)
+	loader := lint.NewLoader(root, modPath)
+	loader.Tests = *tests
+	pkgs, err := loader.Load(patterns)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tcrlint:", err)
+		errw.printf("tcrlint: %v\n", err)
 		return 2
 	}
 
 	diags := lint.Run(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Println(d)
+	if *asJSON {
+		for _, d := range diags {
+			line, err := json.Marshal(jsonDiag{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Rule,
+				Message:  d.Msg,
+			})
+			if err != nil {
+				errw.printf("tcrlint: %v\n", err)
+				return 2
+			}
+			out.printf("%s\n", line)
+		}
+	} else {
+		for _, d := range diags {
+			out.printf("%s\n", d)
+		}
 	}
+	code := 0
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "tcrlint: %d finding(s)\n", len(diags))
-		return 1
+		errw.printf("tcrlint: %d finding(s)\n", len(diags))
+		code = 1
 	}
-	return 0
+	return exitCode(out, errw, code)
+}
+
+// exitCode folds an output failure into the status: findings that never
+// reached the consumer must not look like a clean (or merely dirty) run.
+func exitCode(out, errw *errWriter, code int) int {
+	if out.err != nil {
+		errw.printf("tcrlint: writing output: %v\n", out.err)
+		return 2
+	}
+	return code
 }

@@ -1,0 +1,28 @@
+package lint
+
+import "testing"
+
+// BenchmarkLintModule measures one full analysis pass — all registered
+// analyzers over every package of this module, test corpus included. Loading
+// and type-checking happen once outside the timed region: the number being
+// tracked is the analysis cost (CFG construction, dataflow solving, and the
+// analyzer transfer functions), which is what grows as analyzers are added.
+func BenchmarkLintModule(b *testing.B) {
+	root, modPath, err := FindModuleRoot(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	l := NewLoader(root, modPath)
+	l.Tests = true
+	pkgs, err := l.Load([]string{"./..."})
+	if err != nil {
+		b.Fatal(err)
+	}
+	analyzers := Analyzers()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if diags := Run(pkgs, analyzers); len(diags) != 0 {
+			b.Fatalf("module is not lint-clean: %v", diags[0])
+		}
+	}
+}

@@ -1,0 +1,495 @@
+package lint
+
+// cfg.go builds intraprocedural control-flow graphs for the flow-sensitive
+// analyzers (lockcheck, goleak, detwalk). The model is deliberately small:
+// basic blocks hold the function's atomic statements and control expressions
+// in evaluation order, and edges cover every Go control construct — if/else,
+// for (with init/cond/post), range, switch (including fallthrough), type
+// switch, select (including the caseless select{} that blocks forever),
+// labeled break/continue, goto, return, and calls that cannot return
+// (panic, os.Exit, runtime.Goexit, log.Fatal*, testing Fatal/Skip). Deferred
+// statements stay in their block in program order and are also collected on
+// the cfg, since their calls run on every path to return.
+//
+// Compound statements never appear in a block; only their leaf parts do:
+// an if contributes its init statement and condition, a for its init, cond
+// and post, a switch its tag and case expressions (conservatively evaluated
+// in the head block), a select each comm statement in its branch block. A
+// range loop contributes the whole *ast.RangeStmt to its head block — the
+// one compound node analyzers see — because the key/value bindings and the
+// ranged expression belong together; analyzers must not descend into its
+// Body (walkExprs handles this). Function literals are separate analysis
+// units with their own CFGs; node walks never enter them.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// block is one basic block: nodes execute in order, then control transfers
+// along one of succs. A block with no successors either returns (the exit
+// block), panics, or blocks forever (select{}).
+type block struct {
+	id    int
+	kind  string // construction-site label: "entry", "for.head", ... (tests, debug)
+	nodes []ast.Node
+	succs []*block
+}
+
+// cfg is one function body's control-flow graph.
+type cfg struct {
+	entry  *block
+	exit   *block // the single return target; preds are return sites and body fall-off
+	blocks []*block
+	defers []*ast.DeferStmt // every defer in the body, in source order
+}
+
+// preds computes the predecessor lists (not cached; callers keep the map).
+func (c *cfg) preds() map[*block][]*block {
+	m := make(map[*block][]*block, len(c.blocks))
+	for _, b := range c.blocks {
+		for _, s := range b.succs {
+			m[s] = append(m[s], b)
+		}
+	}
+	return m
+}
+
+// reaches reports whether to is reachable from from along successor edges.
+func (c *cfg) reaches(from, to *block) bool {
+	seen := make([]bool, len(c.blocks))
+	stack := []*block{from}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if b == to {
+			return true
+		}
+		if seen[b.id] {
+			continue
+		}
+		seen[b.id] = true
+		stack = append(stack, b.succs...)
+	}
+	return false
+}
+
+// reversePostorder returns the blocks reachable from entry in reverse
+// postorder — the canonical iteration order for forward dataflow.
+func (c *cfg) reversePostorder() []*block {
+	seen := make([]bool, len(c.blocks))
+	var order []*block
+	var dfs func(b *block)
+	dfs = func(b *block) {
+		seen[b.id] = true
+		for _, s := range b.succs {
+			if !seen[s.id] {
+				dfs(s)
+			}
+		}
+		order = append(order, b)
+	}
+	dfs(c.entry)
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// buildCFG constructs the control-flow graph of one function body.
+func (p *Package) buildCFG(body *ast.BlockStmt) *cfg {
+	b := &cfgBuilder{p: p, c: &cfg{}}
+	b.c.entry = b.newBlock("entry")
+	b.c.exit = b.newBlock("exit")
+	b.cur = b.c.entry
+	b.stmt(body)
+	b.jump(b.c.exit) // falling off the end returns
+	return b.c
+}
+
+// frame is one enclosing breakable/continuable construct.
+type frame struct {
+	label      string // the construct's label, "" if unlabeled
+	breakTo    *block
+	continueTo *block // nil for switch/select frames
+}
+
+type cfgBuilder struct {
+	p      *Package
+	c      *cfg
+	cur    *block
+	frames []frame
+	labels map[string]*block // goto targets, created on demand
+	// pendingLabel carries a label across its LabeledStmt onto the loop or
+	// switch it names, so `break L` / `continue L` resolve.
+	pendingLabel string
+	// nextCase is the fallthrough target while building a switch case.
+	nextCase *block
+}
+
+func (b *cfgBuilder) newBlock(kind string) *block {
+	blk := &block{id: len(b.c.blocks), kind: kind}
+	b.c.blocks = append(b.c.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *block) { from.succs = append(from.succs, to) }
+
+// jump links the current block to target and leaves the builder in a fresh,
+// unreachable block (code after an unconditional transfer).
+func (b *cfgBuilder) jump(target *block) {
+	b.edge(b.cur, target)
+	b.cur = b.newBlock("dead")
+}
+
+func (b *cfgBuilder) add(n ast.Node) { b.cur.nodes = append(b.cur.nodes, n) }
+
+func (b *cfgBuilder) labelBlock(name string) *block {
+	if b.labels == nil {
+		b.labels = map[string]*block{}
+	}
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock("label." + name)
+	b.labels[name] = blk
+	return blk
+}
+
+// takeLabel consumes the pending label for the construct being built.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) findBreak(label string) *block {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if label == "" || f.label == label {
+			return f.breakTo
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) findContinue(label string) *block {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if f.continueTo != nil && (label == "" || f.label == label) {
+			return f.continueTo
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.c.exit)
+	case *ast.BranchStmt:
+		b.branch(s)
+	case *ast.LabeledStmt:
+		// The label block is both the goto target and the resumption point
+		// of normal flow.
+		lb := b.labelBlock(s.Label.Name)
+		b.edge(b.cur, lb)
+		b.cur = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(s.Body, true)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchBody(s.Body, false)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	case *ast.DeferStmt:
+		b.add(s)
+		b.c.defers = append(b.c.defers, s)
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && b.p.callTerminates(call) {
+			// panic/os.Exit-style call: control never continues past it.
+			b.cur = b.newBlock("dead")
+		}
+	default:
+		// Atomic statements: assignments, declarations, sends, inc/dec,
+		// go statements, empty statements.
+		b.add(s)
+	}
+}
+
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	var target *block
+	switch s.Tok {
+	case token.BREAK:
+		target = b.findBreak(label)
+	case token.CONTINUE:
+		target = b.findContinue(label)
+	case token.GOTO:
+		target = b.labelBlock(label)
+	case token.FALLTHROUGH:
+		target = b.nextCase
+	}
+	if target == nil {
+		// Malformed program (the type checker would have rejected it);
+		// treat as a dead end rather than crash.
+		b.cur = b.newBlock("dead")
+		return
+	}
+	b.jump(target)
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Cond)
+	cond := b.cur
+	after := b.newBlock("if.done")
+	then := b.newBlock("if.then")
+	b.edge(cond, then)
+	b.cur = then
+	b.stmt(s.Body)
+	b.edge(b.cur, after)
+	if s.Else != nil {
+		els := b.newBlock("if.else")
+		b.edge(cond, els)
+		b.cur = els
+		b.stmt(s.Else)
+		b.edge(b.cur, after)
+	} else {
+		b.edge(cond, after)
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.newBlock("for.head")
+	b.edge(b.cur, head)
+	if s.Cond != nil {
+		head.nodes = append(head.nodes, s.Cond)
+	}
+	body := b.newBlock("for.body")
+	after := b.newBlock("for.done")
+	b.edge(head, body)
+	if s.Cond != nil {
+		b.edge(head, after) // a condition-less for only exits via break
+	}
+	post := head
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+		post.nodes = append(post.nodes, s.Post)
+		b.edge(post, head)
+	}
+	b.frames = append(b.frames, frame{label: label, breakTo: after, continueTo: post})
+	b.cur = body
+	b.stmt(s.Body)
+	b.edge(b.cur, post)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt) {
+	label := b.takeLabel()
+	head := b.newBlock("range.head")
+	head.nodes = append(head.nodes, s)
+	b.edge(b.cur, head)
+	body := b.newBlock("range.body")
+	after := b.newBlock("range.done")
+	b.edge(head, body)
+	b.edge(head, after) // every range form can run zero iterations or end
+	b.frames = append(b.frames, frame{label: label, breakTo: after, continueTo: head})
+	b.cur = body
+	b.stmt(s.Body)
+	b.edge(b.cur, head)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+// switchBody builds the dispatch structure shared by expression and type
+// switches. Case guard expressions are conservatively attributed to the head
+// block (they are evaluated there in order until one matches), so a
+// fallthrough can jump straight to the next case's body.
+func (b *cfgBuilder) switchBody(body *ast.BlockStmt, allowFallthrough bool) {
+	label := b.takeLabel()
+	head := b.cur
+	after := b.newBlock("switch.done")
+	var caseBlocks []*block
+	hasDefault := false
+	for _, cl := range body.List {
+		cc := cl.(*ast.CaseClause)
+		kind := "switch.case"
+		if cc.List == nil {
+			kind = "switch.default"
+			hasDefault = true
+		} else {
+			for _, e := range cc.List {
+				head.nodes = append(head.nodes, e)
+			}
+		}
+		cb := b.newBlock(kind)
+		b.edge(head, cb)
+		caseBlocks = append(caseBlocks, cb)
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	b.frames = append(b.frames, frame{label: label, breakTo: after})
+	savedNext := b.nextCase
+	for i, cl := range body.List {
+		cc := cl.(*ast.CaseClause)
+		b.cur = caseBlocks[i]
+		b.nextCase = nil
+		if allowFallthrough && i+1 < len(caseBlocks) {
+			b.nextCase = caseBlocks[i+1]
+		}
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		b.edge(b.cur, after)
+	}
+	b.nextCase = savedNext
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt) {
+	label := b.takeLabel()
+	head := b.cur
+	after := b.newBlock("select.done")
+	b.frames = append(b.frames, frame{label: label, breakTo: after})
+	for _, cl := range s.Body.List {
+		cc := cl.(*ast.CommClause)
+		kind := "select.case"
+		if cc.Comm == nil {
+			kind = "select.default"
+		}
+		cb := b.newBlock(kind)
+		b.edge(head, cb)
+		b.cur = cb
+		if cc.Comm != nil {
+			b.add(cc.Comm)
+		}
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		b.edge(b.cur, after)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	// A caseless select{} blocks forever: head gained no successors, and
+	// after has no predecessors, so everything below is unreachable.
+	b.cur = after
+}
+
+// callTerminates reports whether a call never returns: the panic built-in,
+// process exits, goroutine exits, and the testing package's Fatal/Skip
+// family (which call runtime.Goexit).
+func (p *Package) callTerminates(call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+			return true // the built-in, not a shadowing declaration
+		}
+	}
+	name := p.calleeFullName(call)
+	switch name {
+	case "os.Exit", "runtime.Goexit", "log.Fatal", "log.Fatalf", "log.Fatalln",
+		"(*log.Logger).Fatal", "(*log.Logger).Fatalf", "(*log.Logger).Fatalln":
+		return true
+	}
+	// t.Fatal / t.Fatalf / t.FailNow / t.Skip* on testing.T/B/F all route
+	// through runtime.Goexit.
+	if strings.HasPrefix(name, "(*testing.common).") {
+		switch strings.TrimPrefix(name, "(*testing.common).") {
+		case "Fatal", "Fatalf", "FailNow", "Skip", "Skipf", "SkipNow":
+			return true
+		}
+	}
+	return false
+}
+
+// walkExprs visits n and its relevant subexpressions in the way block-node
+// walks need: it never descends into function literal bodies (separate
+// analysis units) and, for a *ast.RangeStmt head node, visits only the
+// ranged expression and key/value, never the loop body (which has its own
+// blocks).
+func walkExprs(n ast.Node, visit func(ast.Node) bool) {
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		walkExprs(rs.X, visit)
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return false
+		}
+		if _, isLit := m.(*ast.FuncLit); isLit {
+			return false
+		}
+		return visit(m)
+	})
+}
+
+// callsIn invokes fn for every call expression in a block node, in source
+// order, skipping function literal bodies and range bodies.
+func callsIn(n ast.Node, fn func(*ast.CallExpr)) {
+	walkExprs(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok {
+			fn(call)
+		}
+		return true
+	})
+}
+
+// funcBodies invokes fn for every function body in the package: each
+// declaration and each function literal is its own analysis unit. name is a
+// best-effort display name ("Close", "func literal").
+func (p *Package) funcBodies(fn func(name string, node ast.Node, body *ast.BlockStmt)) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn(fd.Name.Name, fd, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					fn("func literal", lit, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,340 @@
+package lint
+
+// dataflow.go is the worklist solver the flow-sensitive analyzers share,
+// plus two classic instantiations — reaching definitions and liveness — that
+// serve both as ready substrate for analyzers and as executable
+// documentation of how to write one. A forward analysis supplies an entry
+// fact, a join, and a block transfer function; the solver iterates in
+// reverse postorder until the facts stabilize. Facts must form a join
+// semilattice of finite height (joins only grow toward a fixed point);
+// every analysis here uses finite sets over the function's objects, so
+// termination is structural.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// forwardFlow describes one forward dataflow problem over a cfg.
+type forwardFlow[F any] struct {
+	// entry is the fact at function entry.
+	entry F
+	// bottom produces the initial (no-information) fact for a block.
+	bottom func() F
+	// join merges a predecessor's out-fact into acc and reports whether acc
+	// changed. It may mutate and return acc.
+	join func(acc, in F) (F, bool)
+	// transfer computes a block's out-fact from its in-fact. It must not
+	// retain or mutate in.
+	transfer func(b *block, in F) F
+}
+
+// solveForward runs the worklist to a fixed point and returns each reachable
+// block's in-fact. Unreachable blocks keep their bottom fact.
+func solveForward[F any](c *cfg, fl forwardFlow[F]) map[*block]F {
+	rpo := c.reversePostorder()
+	in := make(map[*block]F, len(rpo))
+	for _, b := range rpo {
+		in[b] = fl.bottom()
+	}
+	in[c.entry], _ = fl.join(in[c.entry], fl.entry)
+
+	onList := make(map[*block]bool, len(rpo))
+	list := make([]*block, len(rpo))
+	copy(list, rpo)
+	for _, b := range rpo {
+		onList[b] = true
+	}
+	// The worklist drains in reverse-postorder batches: cheap, and the
+	// deterministic order keeps diagnostics stable run to run.
+	for iter := 0; len(list) > 0 && iter < 64; iter++ {
+		var next []*block
+		for _, b := range list {
+			onList[b] = false
+			out := fl.transfer(b, in[b])
+			for _, s := range b.succs {
+				merged, changed := fl.join(in[s], out)
+				in[s] = merged
+				if changed && !onList[s] {
+					onList[s] = true
+					next = append(next, s)
+				}
+			}
+		}
+		list = orderBlocks(rpo, onList, next)
+	}
+	return in
+}
+
+// orderBlocks filters rpo down to the marked blocks, preserving order.
+func orderBlocks(rpo []*block, marked map[*block]bool, pending []*block) []*block {
+	if len(pending) == 0 {
+		return nil
+	}
+	var out []*block
+	for _, b := range rpo {
+		if marked[b] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// objSet is the fact type shared by the set-based analyses.
+type objSet map[types.Object]bool
+
+func (s objSet) clone() objSet {
+	c := make(objSet, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+// joinObjSet unions in into acc.
+func joinObjSet(acc, in objSet) (objSet, bool) {
+	changed := false
+	for k := range in {
+		if !acc[k] {
+			acc[k] = true
+			changed = true
+		}
+	}
+	return acc, changed
+}
+
+// assignedObjs reports the objects a block node definitely (re)defines:
+// assignment and short-declaration left-hand sides, declared variables,
+// inc/dec targets, and a range statement's key/value bindings.
+func (p *Package) assignedObjs(n ast.Node, visit func(obj types.Object, site ast.Node)) {
+	report := func(e ast.Expr, site ast.Node) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok && id.Name != "_" {
+			if obj := p.objOf(id); obj != nil {
+				visit(obj, site)
+			}
+		}
+	}
+	walkExprsAndDefs(n, func(m ast.Node) bool {
+		switch s := m.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				report(lhs, s)
+			}
+		case *ast.IncDecStmt:
+			report(s.X, s)
+		case *ast.GenDecl:
+			for _, spec := range s.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, name := range vs.Names {
+						report(name, s)
+					}
+				}
+			}
+		}
+		return true
+	})
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		report(rs.Key, rs)
+		report(rs.Value, rs)
+	}
+}
+
+// walkExprsAndDefs is walkExprs, but for a range head it also exposes the
+// RangeStmt node itself (not its body) so definition scans see the bindings.
+func walkExprsAndDefs(n ast.Node, visit func(ast.Node) bool) {
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		if !visit(rs) {
+			return
+		}
+		walkExprs(rs.X, visit)
+		return
+	}
+	walkExprs(n, visit)
+}
+
+// usedObjs reports every object read in a block node (including reads that
+// feed writes, e.g. the right-hand sides of assignments and indices on the
+// left-hand side).
+func (p *Package) usedObjs(n ast.Node, visit func(obj types.Object, at *ast.Ident)) {
+	assignLHS := map[*ast.Ident]bool{}
+	walkExprsAndDefs(n, func(m ast.Node) bool {
+		if s, ok := m.(*ast.AssignStmt); ok {
+			for _, lhs := range s.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					assignLHS[id] = true
+				}
+			}
+		}
+		return true
+	})
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		if id, ok := rs.Key.(*ast.Ident); ok {
+			assignLHS[id] = true
+		}
+		if id, ok := rs.Value.(*ast.Ident); ok {
+			assignLHS[id] = true
+		}
+	}
+	walkExprsAndDefs(n, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok || assignLHS[id] {
+			return true
+		}
+		if obj, isVar := p.Info.Uses[id].(*types.Var); isVar {
+			visit(obj, id)
+		}
+		return true
+	})
+}
+
+// objOf resolves an identifier to its object, whether the identifier
+// defines or uses it.
+func (p *Package) objOf(id *ast.Ident) types.Object {
+	if obj := p.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Uses[id]
+}
+
+// defSites maps each object to the set of nodes that may have produced its
+// current value — the reaching-definitions fact.
+type defSites map[types.Object]map[ast.Node]bool
+
+func (d defSites) clone() defSites {
+	c := make(defSites, len(d))
+	for obj, sites := range d {
+		ns := make(map[ast.Node]bool, len(sites))
+		for n := range sites {
+			ns[n] = true
+		}
+		c[obj] = ns
+	}
+	return c
+}
+
+func joinDefSites(acc, in defSites) (defSites, bool) {
+	changed := false
+	for obj, sites := range in {
+		dst := acc[obj]
+		if dst == nil {
+			dst = map[ast.Node]bool{}
+			acc[obj] = dst
+		}
+		for n := range sites {
+			if !dst[n] {
+				dst[n] = true
+				changed = true
+			}
+		}
+	}
+	return acc, changed
+}
+
+// reachingDefs computes, for each reachable block, the definitions reaching
+// its entry. Parameters (and named results) are defined at function entry,
+// keyed by the declaring field node; fnType may be nil for function
+// literals analyzed without their declaration.
+func (p *Package) reachingDefs(c *cfg, fnType *ast.FuncType) map[*block]defSites {
+	entry := defSites{}
+	if fnType != nil {
+		addFields := func(fl *ast.FieldList) {
+			if fl == nil {
+				return
+			}
+			for _, f := range fl.List {
+				for _, name := range f.Names {
+					if obj := p.Info.Defs[name]; obj != nil {
+						entry[obj] = map[ast.Node]bool{f: true}
+					}
+				}
+			}
+		}
+		addFields(fnType.Params)
+		addFields(fnType.Results)
+	}
+	return solveForward(c, forwardFlow[defSites]{
+		entry:  entry,
+		bottom: func() defSites { return defSites{} },
+		join:   joinDefSites,
+		transfer: func(b *block, in defSites) defSites {
+			out := in.clone()
+			for _, n := range b.nodes {
+				p.assignedObjs(n, func(obj types.Object, site ast.Node) {
+					out[obj] = map[ast.Node]bool{site: true}
+				})
+			}
+			return out
+		},
+	})
+}
+
+// liveness computes, for each reachable block, the variables live at its
+// entry (read on some path before being overwritten). It runs the backward
+// problem as a forward solve on per-block gen/kill sets iterated over the
+// predecessor relation.
+func (p *Package) liveness(c *cfg) map[*block]objSet {
+	// gen = upward-exposed uses, kill = definitions, both per block.
+	gen := make(map[*block]objSet, len(c.blocks))
+	kill := make(map[*block]objSet, len(c.blocks))
+	for _, b := range c.blocks {
+		g, k := objSet{}, objSet{}
+		for _, n := range b.nodes {
+			p.usedObjs(n, func(obj types.Object, _ *ast.Ident) {
+				if !k[obj] {
+					g[obj] = true
+				}
+			})
+			p.assignedObjs(n, func(obj types.Object, _ ast.Node) {
+				k[obj] = true
+			})
+		}
+		gen[b], kill[b] = g, k
+	}
+
+	liveIn := make(map[*block]objSet, len(c.blocks))
+	for _, b := range c.blocks {
+		liveIn[b] = objSet{}
+	}
+	// Iterate to a fixed point: liveIn[b] = gen[b] ∪ (∪succ liveIn[s] \ kill[b]).
+	for changed := true; changed; {
+		changed = false
+		for i := len(c.blocks) - 1; i >= 0; i-- {
+			b := c.blocks[i]
+			liveOut := objSet{}
+			for _, s := range b.succs {
+				liveOut, _ = joinObjSet(liveOut, liveIn[s])
+			}
+			want := gen[b].clone()
+			for obj := range liveOut {
+				if !kill[b][obj] {
+					want[obj] = true
+				}
+			}
+			if len(want) != len(liveIn[b]) {
+				liveIn[b] = want
+				changed = true
+				continue
+			}
+			for obj := range want {
+				if !liveIn[b][obj] {
+					liveIn[b] = want
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return liveIn
+}
+
+// posBefore returns the earlier of two positions, treating NoPos as "unset".
+func posBefore(a, b token.Pos) token.Pos {
+	if a == token.NoPos {
+		return b
+	}
+	if b == token.NoPos || a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"testing"
+)
+
+// objNamed finds the unique local object with the given name in the fixture
+// function's scope tree.
+func objNamed(t *testing.T, p *Package, name string) types.Object {
+	t.Helper()
+	var found types.Object
+	for id, obj := range p.Info.Defs {
+		if obj == nil || id.Name != name {
+			continue
+		}
+		if found != nil {
+			t.Fatalf("multiple definitions of %q in fixture", name)
+		}
+		found = obj
+	}
+	if found == nil {
+		t.Fatalf("no definition of %q in fixture", name)
+	}
+	return found
+}
+
+func blockByKind(t *testing.T, c *cfg, kind string) *block {
+	t.Helper()
+	var found *block
+	for _, b := range c.reversePostorder() {
+		if b.kind == kind {
+			if found != nil {
+				t.Fatalf("multiple %q blocks", kind)
+			}
+			found = b
+		}
+	}
+	if found == nil {
+		t.Fatalf("no %q block", kind)
+	}
+	return found
+}
+
+func TestReachingDefsBranchesMerge(t *testing.T) {
+	p, c := fixtureCFG(t, `package fix
+
+func F(cond bool) int {
+	x := 1
+	if cond {
+		x = 2
+	}
+	return x
+}
+`, "F")
+	var fnType *ast.FuncType
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if fd, ok := n.(*ast.FuncDecl); ok && fd.Name.Name == "F" {
+				fnType = fd.Type
+			}
+			return true
+		})
+	}
+	defs := p.reachingDefs(c, fnType)
+	x := objNamed(t, p, "x")
+
+	// At the merge point after the if, both the initial definition and the
+	// then-branch redefinition reach.
+	after := blockByKind(t, c, "if.done")
+	if n := len(defs[after][x]); n != 2 {
+		t.Fatalf("defs of x at if.done = %d sites, want 2", n)
+	}
+	// Inside the then branch, only the initial definition has reached entry.
+	then := blockByKind(t, c, "if.then")
+	if n := len(defs[then][x]); n != 1 {
+		t.Fatalf("defs of x at if.then = %d sites, want 1", n)
+	}
+	// The parameter is defined at function entry.
+	cond := objNamed(t, p, "cond")
+	if n := len(defs[then][cond]); n != 1 {
+		t.Fatalf("defs of cond at if.then = %d sites, want 1", n)
+	}
+}
+
+func TestReachingDefsLoopKeepsBothDefs(t *testing.T) {
+	p, c := fixtureCFG(t, `package fix
+
+func F(n int) int {
+	v := 0
+	for i := 0; i < n; i++ {
+		v = i
+	}
+	return v
+}
+`, "F")
+	defs := p.reachingDefs(c, nil)
+	v := objNamed(t, p, "v")
+	// The loop head joins the pre-loop definition with the body's
+	// redefinition on the back edge.
+	head := blockByKind(t, c, "for.head")
+	if n := len(defs[head][v]); n != 2 {
+		t.Fatalf("defs of v at for.head = %d sites, want 2", n)
+	}
+}
+
+func TestLivenessAcrossLoop(t *testing.T) {
+	p, c := fixtureCFG(t, `package fix
+
+func F(n int) int {
+	acc := 0
+	dead := 42
+	_ = dead
+	for i := 0; i < n; i++ {
+		acc += i
+	}
+	return acc
+}
+`, "F")
+	live := p.liveness(c)
+	acc := objNamed(t, p, "acc")
+	dead := objNamed(t, p, "dead")
+
+	head := blockByKind(t, c, "for.head")
+	if !live[head][acc] {
+		t.Fatal("acc must be live at the loop head (read by the body and the return)")
+	}
+	if live[head][dead] {
+		t.Fatal("dead must not be live at the loop head (never read again)")
+	}
+}
+
+func TestLivenessUpwardExposedUse(t *testing.T) {
+	p, c := fixtureCFG(t, `package fix
+
+func F(a, b int) int {
+	x := a
+	x = b
+	return x
+}
+`, "F")
+	live := p.liveness(c)
+	b := objNamed(t, p, "b")
+	// b is read in the entry block, so it is live at function entry; the
+	// redefinition of x kills the first assignment's value but not b.
+	if !live[c.entry][b] {
+		t.Fatal("b must be live at entry")
+	}
+}
+
+func TestSolveForwardUnreachableKeepsBottom(t *testing.T) {
+	p, c := fixtureCFG(t, `package fix
+
+func F() int {
+	return 1
+}
+`, "F")
+	_ = p
+	// A trivial counting flow: every visited block gets fact true.
+	in := solveForward(c, forwardFlow[bool]{
+		entry:  true,
+		bottom: func() bool { return false },
+		join: func(acc, in bool) (bool, bool) {
+			if in && !acc {
+				return true, true
+			}
+			return acc, false
+		},
+		transfer: func(_ *block, f bool) bool { return f },
+	})
+	if !in[c.entry] || !in[c.exit] {
+		t.Fatal("entry and exit must both be reached by the flow")
+	}
+}

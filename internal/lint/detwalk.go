@@ -1,0 +1,532 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DetWalk guards the repo's bit-for-bit determinism contract against Go's
+// randomized map iteration order. It runs a small forward taint analysis on
+// each function's CFG:
+//
+//   - ranging over a map while appending to a slice, concatenating onto a
+//     string, or writing into a strings.Builder/bytes.Buffer *taints* the
+//     accumulator — its element order now depends on map iteration order;
+//   - a sort call (sort.Strings, sort.Slice, slices.Sort, ...) on the
+//     accumulator *sanitizes* it;
+//   - feeding a still-tainted value to an order-sensitive sink — a hash
+//     write, JSON encoding, strings.Join, fmt.Fprint* — is reported, as is
+//     emitting loop-dependent data directly into a hash or a streaming JSON
+//     encoder from inside the map range.
+//
+// Because taint and sanitization are tracked along control flow, the classic
+// correct idiom (collect keys, sort, then emit) passes, while the same three
+// statements with the sort on only one branch — or after the hash write —
+// are flagged. An AST scan cannot make that distinction.
+//
+// Additionally, compound float accumulation in map order (sum += v inside a
+// map range) is reported directly: float addition is not associative, so the
+// result differs bit-for-bit run to run. Accumulating into a slot indexed by
+// the range key (order-independent: distinct slots), into a variable
+// declared inside the loop body (per-iteration), or integer accumulation
+// (associative) are all fine and not flagged.
+func DetWalk() *Analyzer {
+	return &Analyzer{
+		Name:  "detwalk",
+		Doc:   "flags map-iteration-order dependent output: unsorted accumulation feeding hashes, JSON, or joins",
+		Tests: true,
+		Run:   runDetWalk,
+	}
+}
+
+// sortFuncs sanitize their (first) argument's order.
+var sortFuncs = map[string]bool{
+	"sort.Strings":          true,
+	"sort.Ints":             true,
+	"sort.Float64s":         true,
+	"sort.Slice":            true,
+	"sort.SliceStable":      true,
+	"sort.Sort":             true,
+	"sort.Stable":           true,
+	"slices.Sort":           true,
+	"slices.SortFunc":       true,
+	"slices.SortStableFunc": true,
+}
+
+// taintSinks consume ordered content; feeding them map-ordered data breaks
+// determinism. Values are short labels for the diagnostic.
+var taintSinks = map[string]string{
+	"encoding/json.Marshal":           "JSON encoding",
+	"encoding/json.MarshalIndent":     "JSON encoding",
+	"(*encoding/json.Encoder).Encode": "JSON encoding",
+	"strings.Join":                    "joining",
+	"fmt.Fprint":                      "output",
+	"fmt.Fprintf":                     "output",
+	"fmt.Fprintln":                    "output",
+	"fmt.Sprint":                      "formatting",
+	"fmt.Sprintf":                     "formatting",
+	"encoding/binary.Write":           "binary encoding",
+}
+
+// mapRange is one `for k, v := range m` over a map within the function body.
+type mapRange struct {
+	rs       *ast.RangeStmt
+	key, val types.Object
+}
+
+// taintFact maps each tainted object to the position where map-ordered
+// content first entered it.
+type taintFact map[types.Object]token.Pos
+
+func (t taintFact) clone() taintFact {
+	c := make(taintFact, len(t))
+	for k, v := range t {
+		c[k] = v
+	}
+	return c
+}
+
+func joinTaint(acc, in taintFact) (taintFact, bool) {
+	changed := false
+	for obj, pos := range in {
+		if cur, ok := acc[obj]; !ok || posBefore(cur, pos) != cur {
+			if !ok {
+				acc[obj] = pos
+				changed = true
+			} else if p := posBefore(cur, pos); p != cur {
+				acc[obj] = p
+				changed = true
+			}
+		}
+	}
+	return acc, changed
+}
+
+func runDetWalk(p *Package) []Diagnostic {
+	var out []Diagnostic
+	p.funcBodies(func(_ string, _ ast.Node, body *ast.BlockStmt) {
+		out = append(out, p.detWalkFunc(body)...)
+	})
+	return out
+}
+
+func (p *Package) detWalkFunc(body *ast.BlockStmt) []Diagnostic {
+	ranges := p.mapRangesIn(body)
+	if len(ranges) == 0 {
+		return nil // no map iteration, nothing to track
+	}
+	c := p.buildCFG(body)
+
+	var diags []Diagnostic
+	reported := map[token.Pos]bool{}
+	report := func(pos token.Pos, msg string) {
+		if !reported[pos] {
+			reported[pos] = true
+			diags = append(diags, Diagnostic{Pos: p.pos(pos), Rule: "detwalk", Msg: msg})
+		}
+	}
+
+	// Reporting happens inside the transfer function; the reported-set keyed
+	// by position dedups across fixpoint iterations, and since taint facts
+	// only grow monotonically, nothing reported early becomes false later.
+	solveForward(c, forwardFlow[taintFact]{
+		entry:  taintFact{},
+		bottom: func() taintFact { return taintFact{} },
+		join:   joinTaint,
+		transfer: func(b *block, fact taintFact) taintFact {
+			out := fact.clone()
+			for _, n := range b.nodes {
+				p.detWalkNode(n, ranges, out, report)
+			}
+			return out
+		},
+	})
+	return diags
+}
+
+// mapRangesIn collects every range-over-map statement lexically inside body,
+// excluding function literals (separate analysis units).
+func (p *Package) mapRangesIn(body *ast.BlockStmt) []*mapRange {
+	var out []*mapRange
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := p.Info.Types[rs.X]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		mr := &mapRange{rs: rs}
+		if id, ok := rs.Key.(*ast.Ident); ok {
+			mr.key = p.objOf(id)
+		}
+		if id, ok := rs.Value.(*ast.Ident); ok {
+			mr.val = p.objOf(id)
+		}
+		out = append(out, mr)
+		return true
+	})
+	return out
+}
+
+// enclosingMapRange finds the innermost map range whose body contains pos.
+func enclosingMapRange(ranges []*mapRange, pos token.Pos) *mapRange {
+	var best *mapRange
+	for _, mr := range ranges {
+		b := mr.rs.Body
+		if pos < b.Pos() || pos > b.End() {
+			continue
+		}
+		if best == nil || b.Pos() > best.rs.Body.Pos() {
+			best = mr
+		}
+	}
+	return best
+}
+
+// loopLocal reports whether obj is bound per iteration of mr: the range
+// key/value, or any variable declared inside the loop body.
+func (mr *mapRange) loopLocal(obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	if obj == mr.key || obj == mr.val {
+		return true
+	}
+	return obj.Pos() >= mr.rs.Body.Pos() && obj.Pos() <= mr.rs.Body.End()
+}
+
+// loopDependent reports whether the expression reads any per-iteration
+// binding of mr — the signal that its value varies with map order.
+func (p *Package) loopDependent(mr *mapRange, e ast.Node) bool {
+	dep := false
+	walkExprs(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && mr.loopLocal(p.objOf(id)) {
+			dep = true
+		}
+		return !dep
+	})
+	return dep
+}
+
+// taintedIn returns the taint origin of the first tainted object read by e.
+func (p *Package) taintedIn(fact taintFact, e ast.Node) (types.Object, token.Pos, bool) {
+	var obj types.Object
+	var pos token.Pos
+	walkExprs(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if o := p.objOf(id); o != nil {
+				if at, ok := fact[o]; ok {
+					obj, pos = o, at
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return obj, pos, obj != nil
+}
+
+// detWalkNode applies one block node's effect on the taint fact, reporting
+// sinks and in-loop hazards as it goes.
+func (p *Package) detWalkNode(n ast.Node, ranges []*mapRange, fact taintFact, report func(token.Pos, string)) {
+	mr := enclosingMapRange(ranges, n.Pos())
+
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		p.detWalkAssign(s, mr, fact, report)
+	case *ast.RangeStmt:
+		// Ranging over a tainted slice emits its elements in tainted order;
+		// the taint follows the loop's value binding.
+		if _, at, ok := p.taintedIn(fact, s.X); ok {
+			if vid, isID := s.Value.(*ast.Ident); isID && vid.Name != "_" {
+				if vo := p.objOf(vid); vo != nil {
+					fact[vo] = at
+				}
+			}
+		}
+	}
+
+	callsIn(n, func(call *ast.CallExpr) {
+		p.detWalkCall(call, mr, fact, report)
+	})
+}
+
+func (p *Package) detWalkAssign(s *ast.AssignStmt, mr *mapRange, fact taintFact, report func(token.Pos, string)) {
+	// Compound float accumulation in map order: non-associative, so the sum's
+	// bits depend on iteration order.
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if mr == nil || len(s.Lhs) != 1 || !p.loopDependent(mr, s.Rhs[0]) {
+			break
+		}
+		lhs := ast.Unparen(s.Lhs[0])
+		tv, ok := p.Info.Types[lhs]
+		if !ok || tv.Type == nil {
+			break
+		}
+		switch {
+		case isFloat(tv.Type):
+			if p.accumSlotIsOrderFree(mr, lhs) {
+				break
+			}
+			report(s.Pos(), "float accumulation in map-iteration order is not associative, so the result "+
+				"is not bit-for-bit deterministic; iterate over sorted keys instead")
+		case s.Tok == token.ADD_ASSIGN && isStringType(tv.Type):
+			if id, isID := lhs.(*ast.Ident); isID {
+				if obj := p.objOf(id); obj != nil && !mr.loopLocal(obj) {
+					fact[obj] = s.Pos()
+				}
+			}
+		}
+		return
+	}
+
+	// s = append(s, ...loop-dependent) inside a map range taints s; append of
+	// already-tainted content propagates taint.
+	for i, rhs := range s.Rhs {
+		if i >= len(s.Lhs) {
+			break
+		}
+		lhsID, isID := ast.Unparen(s.Lhs[i]).(*ast.Ident)
+		if !isID || lhsID.Name == "_" {
+			continue
+		}
+		target := p.objOf(lhsID)
+		if target == nil {
+			continue
+		}
+		if call, isCall := ast.Unparen(rhs).(*ast.CallExpr); isCall && isAppendCall(p, call) {
+			if mr != nil && !mr.loopLocal(target) {
+				for _, arg := range call.Args[1:] {
+					if p.loopDependent(mr, arg) {
+						fact[target] = s.Pos()
+						break
+					}
+				}
+			}
+			for _, arg := range call.Args {
+				if _, at, ok := p.taintedIn(fact, arg); ok {
+					if _, already := fact[target]; !already {
+						fact[target] = at
+					}
+					break
+				}
+			}
+			continue
+		}
+		// Plain assignment: taint flows from a tainted RHS, and a clean RHS
+		// that does not read the target kills its taint.
+		if _, at, ok := p.taintedIn(fact, rhs); ok {
+			fact[target] = at
+		} else if s.Tok == token.ASSIGN || s.Tok == token.DEFINE {
+			delete(fact, target)
+		}
+	}
+}
+
+// accumSlotIsOrderFree reports whether a compound-assignment target is safe
+// despite map-order iteration: an element slot addressed by the range key
+// (each iteration hits its own slot) at some level of the index chain.
+func (p *Package) accumSlotIsOrderFree(mr *mapRange, lhs ast.Expr) bool {
+	for {
+		switch e := ast.Unparen(lhs).(type) {
+		case *ast.IndexExpr:
+			if p.loopDependent(mr, e.Index) {
+				return true
+			}
+			lhs = e.X
+		case *ast.SelectorExpr:
+			lhs = e.X
+		case *ast.Ident:
+			// A scalar (or fixed slot) declared inside the loop body is
+			// per-iteration state and order-free.
+			return mr.loopLocal(p.objOf(e))
+		default:
+			return false
+		}
+	}
+}
+
+func (p *Package) detWalkCall(call *ast.CallExpr, mr *mapRange, fact taintFact, report func(token.Pos, string)) {
+	full := p.calleeFullName(call)
+
+	// Sanitizers: sorting an accumulator re-establishes a canonical order.
+	if sortFuncs[full] && len(call.Args) > 0 {
+		if id, ok := rootIdent(call.Args[0]); ok {
+			if obj := p.objOf(id); obj != nil {
+				delete(fact, obj)
+			}
+		}
+		return
+	}
+
+	// Builder writes: taint the builder when fed loop-dependent or tainted
+	// content.
+	if recv, method, ok := p.builderRecv(call); ok {
+		switch method {
+		case "WriteString", "WriteByte", "WriteRune", "Write":
+			if mr != nil && !mr.loopLocal(recv) && argsLoopDependent(p, mr, call.Args) {
+				fact[recv] = call.Pos()
+			} else if _, at, ok := p.taintedArgs(fact, call.Args); ok {
+				if _, already := fact[recv]; !already {
+					fact[recv] = at
+				}
+			}
+		}
+		return
+	}
+
+	// Hash writes are emission: inside a map range with loop-dependent data
+	// they fingerprint in random order; outside, a tainted argument carries
+	// the randomness in.
+	if method, isHash := p.hashRecvMethod(call); isHash {
+		if method == "Write" || method == "WriteString" || method == "Sum" {
+			if mr != nil && argsLoopDependent(p, mr, call.Args) {
+				report(call.Pos(), "hash written inside a range over a map: fingerprint depends on map "+
+					"iteration order; collect and sort keys first")
+				return
+			}
+			if obj, at, ok := p.taintedArgs(fact, call.Args); ok {
+				report(call.Pos(), "hashing "+obj.Name()+", which was filled in map-iteration order at "+
+					p.pos(at).String()+"; sort it before fingerprinting")
+			}
+		}
+		return
+	}
+
+	label, isSink := taintSinks[full]
+	if !isSink {
+		return
+	}
+	// Streaming JSON encode inside the map range emits in iteration order.
+	if full == "(*encoding/json.Encoder).Encode" && mr != nil && argsLoopDependent(p, mr, call.Args) {
+		report(call.Pos(), "JSON encoded inside a range over a map: output order depends on map "+
+			"iteration order; collect and sort keys first")
+		return
+	}
+	// fmt.Fprintf(h, ...) / binary.Write(h, ...) into a hash-typed writer
+	// inside the map range is a fingerprint in random order.
+	if mr != nil && len(call.Args) > 1 &&
+		(strings.HasPrefix(full, "fmt.Fprint") || full == "encoding/binary.Write") &&
+		p.isHashTyped(call.Args[0]) && argsLoopDependent(p, mr, call.Args[1:]) {
+		report(call.Pos(), "hash written inside a range over a map: fingerprint depends on map "+
+			"iteration order; collect and sort keys first")
+		return
+	}
+	if obj, at, ok := p.taintedArgs(fact, call.Args); ok {
+		report(call.Pos(), label+" of "+obj.Name()+", which was filled in map-iteration order at "+
+			p.pos(at).String()+"; sort it first")
+	}
+}
+
+// taintedArgs scans call arguments for a tainted object.
+func (p *Package) taintedArgs(fact taintFact, args []ast.Expr) (types.Object, token.Pos, bool) {
+	for _, a := range args {
+		if obj, at, ok := p.taintedIn(fact, a); ok {
+			return obj, at, true
+		}
+	}
+	return nil, token.NoPos, false
+}
+
+func argsLoopDependent(p *Package, mr *mapRange, args []ast.Expr) bool {
+	for _, a := range args {
+		if p.loopDependent(mr, a) {
+			return true
+		}
+	}
+	return false
+}
+
+// builderRecv matches method calls on a strings.Builder or bytes.Buffer
+// rooted at a plain identifier, returning the receiver object.
+func (p *Package) builderRecv(call *ast.CallExpr) (types.Object, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil, "", false
+	}
+	tv, ok := p.Info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return nil, "", false
+	}
+	ts := strings.TrimPrefix(tv.Type.String(), "*")
+	if ts != "strings.Builder" && ts != "bytes.Buffer" {
+		return nil, "", false
+	}
+	obj := p.objOf(id)
+	if obj == nil {
+		return nil, "", false
+	}
+	return obj, sel.Sel.Name, true
+}
+
+// hashRecvMethod matches method calls whose receiver's static type lives in
+// package hash (hash.Hash, hash.Hash32, hash.Hash64 — what the crypto and
+// hash constructors return).
+func (p *Package) hashRecvMethod(call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if !p.isHashTyped(sel.X) {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// isHashTyped reports whether the expression's static type is one of the
+// package hash interfaces.
+func (p *Package) isHashTyped(e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return strings.HasPrefix(strings.TrimPrefix(tv.Type.String(), "*"), "hash.")
+}
+
+func isAppendCall(p *Package, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) == 0 {
+		return false
+	}
+	_, isBuiltin := p.Info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// rootIdent unwraps an argument expression (&x, x[i], x.f chains rooted at
+// an identifier) down to its base identifier.
+func rootIdent(e ast.Expr) (*ast.Ident, bool) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x, true
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		default:
+			return nil, false
+		}
+	}
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -137,6 +137,13 @@ func callExempt(p *Package, call *ast.CallExpr) bool {
 			return true
 		}
 	}
+	// hash.Hash documents that Write never returns an error; the idiomatic
+	// h.Write(data) statement is fine as-is.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if sel.Sel.Name == "Write" && p.isHashTyped(sel.X) {
+			return true
+		}
+	}
 	// fmt.Fprint* is exempt only when the destination cannot fail or is the
 	// process's own stdout/stderr (whose write errors are not actionable).
 	if name == "fmt.Fprint" || name == "fmt.Fprintf" || name == "fmt.Fprintln" {
@@ -164,5 +171,6 @@ func infallibleWriter(p *Package, e ast.Expr) bool {
 	case "*strings.Builder", "*bytes.Buffer":
 		return true
 	}
-	return false
+	// Hash states never fail to absorb input (hash.Hash's Write contract).
+	return p.isHashTyped(e)
 }

@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// GoLeak flags `go` statements whose body can never terminate: the CFG of
+// the spawned function has no path from entry to exit. That is exactly the
+// goroutine-leak shape this repo keeps writing by accident —
+//
+//	go func() {
+//		for {
+//			select {
+//			case ev := <-events:
+//				handle(ev)
+//			}
+//		}
+//	}()
+//
+// — a loop with no return, no ctx.Done() branch that leads out, and no
+// channel-closed detection. The check is a pure reachability property on
+// the CFG (exit reachable from entry), so every legitimate exit shape passes
+// without special cases: a `case <-ctx.Done(): return`, a `for range ch`
+// loop (which ends when the channel closes), a conditional break, a panic.
+// Intentionally-eternal loops (a daemon's accept loop) should say so with a
+// //lint:ignore goleak directive explaining who owns the goroutine's
+// lifetime.
+//
+// Only goroutines spawned in library code are checked: package main
+// (cmd/...) wires process-lifetime goroutines by design.
+func GoLeak() *Analyzer {
+	return &Analyzer{
+		Name:  "goleak",
+		Doc:   "flags go statements whose function body has no path to termination",
+		Tests: true,
+		Match: func(path string) bool {
+			return !strings.Contains(path, "/cmd/") && !strings.HasSuffix(path, "/examples")
+		},
+		Run: runGoLeak,
+	}
+}
+
+func runGoLeak(p *Package) []Diagnostic {
+	// Index same-file-set function declarations so `go s.loop()` can be
+	// resolved to its body. Methods key as "recv.Name", functions as "Name".
+	decls := map[string]*ast.FuncDecl{}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			decls[funcDeclKey(fd)] = fd
+		}
+	}
+
+	var out []Diagnostic
+	p.inspect(func(n ast.Node, _ *ast.FuncDecl) {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return
+		}
+		body := p.goBody(gs, decls)
+		if body == nil {
+			return // dynamic callee: nothing to analyze
+		}
+		c := p.buildCFG(body)
+		if c.reaches(c.entry, c.exit) {
+			return
+		}
+		out = append(out, Diagnostic{
+			Pos:  p.pos(gs.Pos()),
+			Rule: "goleak",
+			Msg: "goroutine body has no path to termination (no return, no exit from its loop); " +
+				"it can never be collected — add a ctx.Done()/close-signal exit or justify with an ignore directive",
+		})
+	})
+	return out
+}
+
+// goBody resolves the function body a go statement will run: a function
+// literal's body directly, or the declaration body for calls to
+// same-package functions and methods.
+func (p *Package) goBody(gs *ast.GoStmt, decls map[string]*ast.FuncDecl) *ast.BlockStmt {
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident, *ast.SelectorExpr:
+		full := p.calleeFullName(gs.Call)
+		if full == "" {
+			return nil
+		}
+		// FullName is "pkg.Func" or "(recv).Method" / "(*recv).Method";
+		// strip down to the decl key and require it to be in this package.
+		if !strings.Contains(full, p.Types.Path()) {
+			return nil
+		}
+		key := declKeyFromFullName(full)
+		if fd := decls[key]; fd != nil {
+			return fd.Body
+		}
+	}
+	return nil
+}
+
+// funcDeclKey builds the lookup key for a declaration: "recvType.Name" for
+// methods (pointer stripped), "Name" for plain functions.
+func funcDeclKey(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if gen, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+		t = gen.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// declKeyFromFullName converts a types.Func FullName within this package —
+// "tcr/internal/serve.run" or "(*tcr/internal/serve.group).loop" — to the
+// decl key used by funcDeclKey.
+func declKeyFromFullName(full string) string {
+	s := strings.TrimPrefix(full, "(")
+	s = strings.TrimSuffix(s, ")")
+	s = strings.ReplaceAll(s, "(", "")
+	s = strings.ReplaceAll(s, ")", "")
+	s = strings.TrimPrefix(s, "*")
+	// Drop the package path qualifier: keep everything after the last '/'
+	// then after the first '.' of the qualified segment.
+	if i := strings.LastIndex(s, "/"); i >= 0 {
+		s = s[i+1:]
+	}
+	// s is now "serve.group.loop" or "serve.run"; strip the package name.
+	if i := strings.Index(s, "."); i >= 0 {
+		s = s[i+1:]
+	}
+	s = strings.TrimPrefix(s, "*")
+	return s
+}

@@ -1,0 +1,149 @@
+package lint
+
+import "testing"
+
+// The defect class here is purely a CFG property: whether the goroutine's
+// body has any path from entry to exit. No AST pattern can tell
+// `for { select {...} }` with a return case from the same loop without one.
+
+func TestGoLeakEternalSelectLoop(t *testing.T) {
+	got := runOn(t, "x/fix", `package fix
+
+func serve(events chan int) {
+	go func() {
+		for {
+			select {
+			case ev := <-events:
+				handle(ev)
+			}
+		}
+	}()
+}
+
+func handle(int) {}
+`)
+	expect(t, got, "4:goleak")
+}
+
+func TestGoLeakDoneChannelIsClean(t *testing.T) {
+	got := runOn(t, "x/fix", `package fix
+
+func serve(events chan int, done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case ev := <-events:
+				handle(ev)
+			case <-done:
+				return
+			}
+		}
+	}()
+}
+
+func handle(int) {}
+`)
+	expect(t, got)
+}
+
+func TestGoLeakRangeOverChannelIsClean(t *testing.T) {
+	got := runOn(t, "x/fix", `package fix
+
+// A range over a channel terminates when the sender closes it; the
+// goroutine's lifetime is owned by whoever holds the send side.
+func drain(events chan int) {
+	go func() {
+		for ev := range events {
+			handle(ev)
+		}
+	}()
+}
+
+func handle(int) {}
+`)
+	expect(t, got)
+}
+
+func TestGoLeakNamedFunctionAndMethod(t *testing.T) {
+	got := runOn(t, "x/fix", `package fix
+
+type server struct{ ch chan int }
+
+func (s *server) loop() {
+	for {
+		select {
+		case v := <-s.ch:
+			handle(v)
+		}
+	}
+}
+
+func spin() {
+	for {
+	}
+}
+
+func start(s *server) {
+	go s.loop()
+	go spin()
+}
+
+func handle(int) {}
+`)
+	// Both the method and the plain function resolve to their declarations;
+	// each go statement is reported at its own line.
+	expect(t, got, "20:goleak", "21:goleak")
+}
+
+func TestGoLeakBoundedLoopIsClean(t *testing.T) {
+	got := runOn(t, "x/fix", `package fix
+
+func fan(n int, out chan int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			out <- i
+		}
+	}()
+}
+`)
+	expect(t, got)
+}
+
+func TestGoLeakPanicOnlyBodyStillFlagged(t *testing.T) {
+	got := runOn(t, "x/fix", `package fix
+
+// A body that can only panic has no normal termination edge either; the
+// goroutine never exits cleanly. (panic is modeled as no-successors, so
+// exit stays unreachable.)
+func bad(ch chan int) {
+	go func() {
+		for {
+			if <-ch < 0 {
+				panic("negative")
+			}
+		}
+	}()
+}
+`)
+	expect(t, got, "7:goleak")
+}
+
+func TestGoLeakSuppressed(t *testing.T) {
+	got := runOn(t, "x/fix", `package fix
+
+func daemon(events chan int) {
+	//lint:ignore goleak process-lifetime pump, owned by main and reaped at exit
+	go func() {
+		for {
+			select {
+			case ev := <-events:
+				handle(ev)
+			}
+		}
+	}()
+}
+
+func handle(int) {}
+`)
+	expect(t, got)
+}

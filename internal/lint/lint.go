@@ -7,9 +7,13 @@
 // class, and the analyzers here are tuned to exactly those hazards in the
 // LP/routing core.
 //
-// The engine loads packages (non-test files only; test code may use looser
-// idioms), type-checks them with a module-aware importer, and runs a
-// registry of Analyzers, each producing file:line diagnostics. A finding is
+// The engine loads packages, type-checks them with a module-aware importer,
+// and runs a registry of Analyzers, each producing file:line diagnostics.
+// By default only non-test files are analyzed (test code may use looser
+// idioms); with the Loader's Tests flag the test corpus is loaded too, and
+// each analyzer opts in to covering it via its Tests field — the
+// flow-sensitive concurrency/determinism rules do, the numeric style rules
+// do not. A finding is
 // suppressed by an explicit annotation:
 //
 //	//lint:ignore <rule>[,<rule>...] <reason>
@@ -48,6 +52,19 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// ForTest is the import path of the package under test when this is an
+	// external test package ("tcr/internal/lp" for "tcr/internal/lp_test");
+	// empty otherwise. Analyzer Match functions see the tested package's
+	// path so per-package rules extend to its external tests.
+	ForTest string
+}
+
+// matchPath is the import path Match functions are applied to.
+func (p *Package) matchPath() string {
+	if p.ForTest != "" {
+		return p.ForTest
+	}
+	return p.Path
 }
 
 // Analyzer is one named rule. Run inspects a package and returns raw
@@ -58,8 +75,14 @@ type Analyzer struct {
 	// Doc is a one-line description of what the rule flags.
 	Doc string
 	// Match restricts the analyzer to packages whose import path satisfies
-	// it; nil means every package.
+	// it; nil means every package. External test packages are matched by the
+	// path of the package under test.
 	Match func(pkgPath string) bool
+	// Tests extends the rule to _test.go files when the loader includes
+	// them. Rules left false keep the engine's original contract — test code
+	// may use looser idioms (raw float comparison against golden values,
+	// dropped errors in helpers) that are bugs in production code only.
+	Tests bool
 	// Run produces the findings for one package.
 	Run func(p *Package) []Diagnostic
 }
@@ -74,6 +97,10 @@ func Analyzers() []*Analyzer {
 		NaNGuard(),
 		TolConst(),
 		CtxGo(),
+		LockCheck(),
+		GoLeak(),
+		DetWalk(),
+		RandSource(),
 	}
 }
 
@@ -108,10 +135,16 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		sup, dirDiags := directives(p)
 		diags = append(diags, dirDiags...)
 		for _, a := range analyzers {
-			if a.Match != nil && !a.Match(p.Path) {
+			if a.Match != nil && !a.Match(p.matchPath()) {
 				continue
 			}
 			for _, d := range a.Run(p) {
+				// A merged package holds production and in-package test
+				// files together; gating by the diagnostic's filename keeps
+				// non-Tests rules out of test code without re-analyzing.
+				if !a.Tests && strings.HasSuffix(d.Pos.Filename, "_test.go") {
+					continue
+				}
 				if !sup.covers(d) {
 					diags = append(diags, d)
 				}

@@ -519,6 +519,13 @@ func TestBuildTagOK(t *testing.T) {
 		{"otheros.go", "//go:build plan9 && !" + runtime.GOOS + "\n\npackage p\n", false},
 		{"plusbuild.go", "// +build lpdense\n\npackage p\n", false},
 		{"goversion.go", "//go:build go1.1\n\npackage p\n", true},
+		// When both forms appear, //go:build is authoritative and the legacy
+		// line is ignored — per the gofmt-era constraint spec.
+		{"mixed_wins.go", "//go:build !lpdense\n// +build lpdense\n\npackage p\n", true},
+		{"mixed_loses.go", "//go:build lpdense\n// +build " + runtime.GOOS + "\n\npackage p\n", false},
+		// Multiple legacy lines AND together.
+		{"legacy_and_true.go", "// +build " + runtime.GOOS + "\n// +build !lpdense\n\npackage p\n", true},
+		{"legacy_and_false.go", "// +build " + runtime.GOOS + "\n// +build lpdense\n\npackage p\n", false},
 	}
 	for _, c := range cases {
 		path := filepath.Join(dir, c.name)

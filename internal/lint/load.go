@@ -20,7 +20,14 @@ import (
 // everything else (the standard library) is type-checked from source via
 // go/importer, so no compiled export data is required.
 type Loader struct {
-	Fset    *token.FileSet
+	Fset *token.FileSet
+	// Tests extends Load to the test corpus: every module package is
+	// type-checked with its in-package _test.go files merged in (so there is
+	// exactly one types.Package per import path and export_test.go hooks are
+	// visible everywhere), and each requested directory's external foo_test
+	// package (if present) is returned as an additional Package with ForTest
+	// set. Must be set before the first Load or Import call.
+	Tests   bool
 	modRoot string
 	modPath string
 	pkgs    map[string]*Package // by import path
@@ -134,9 +141,71 @@ func (l *Loader) Load(patterns []string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		if !l.Tests {
+			out = append(out, p)
+			continue
+		}
 		out = append(out, p)
+		ext, err := l.loadExternalTests(imp, dir, p)
+		if err != nil {
+			return nil, err
+		}
+		if ext != nil {
+			out = append(out, ext)
+		}
 	}
 	return out, nil
+}
+
+// loadExternalTests type-checks the directory's external test package
+// (package foo_test) if one exists. It imports the package under test
+// through the loader like any other dependency, which — because Tests mode
+// merges in-package test files into every load — gives it the augmented
+// package, matching `go test` semantics (export_test.go hooks are visible).
+func (l *Loader) loadExternalTests(imp, dir string, base *Package) (*Package, error) {
+	files, err := l.parseTestFiles(dir, base.Types.Name()+"_test")
+	if err != nil || len(files) == 0 {
+		return nil, err
+	}
+	info := newInfo()
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(imp+"_test", l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s_test: %w", imp, err)
+	}
+	return &Package{Path: imp + "_test", Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info, ForTest: imp}, nil
+}
+
+// parseTestFiles parses the directory's _test.go files (honoring build
+// constraints) that declare the given package name, in sorted file order.
+func (l *Loader) parseTestFiles(dir, pkgName string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		if !buildTagOK(filepath.Join(dir, n)) {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if f.Name.Name == pkgName {
+			files = append(files, f)
+		}
+	}
+	return files, nil
 }
 
 // importPathFor maps a directory under the module root to its import path.
@@ -176,28 +245,43 @@ func goFilesIn(dir string) ([]string, error) {
 	return names, nil
 }
 
-// buildTagOK reports whether the file's build constraint, if any, is
+// buildTagOK reports whether the file's build constraints, if any, are
 // satisfied with no build tags set (the configuration `go build` uses by
-// default on this platform). Unreadable or unparsable headers count as
-// included, matching the pre-constraint behavior.
+// default on this platform). Per the toolchain's rules, a //go:build line
+// is authoritative and any legacy // +build lines in the same file are
+// ignored; with only legacy lines present, multiple // +build lines AND
+// together. Unreadable or unparsable headers count as included, matching
+// the pre-constraint behavior.
 func buildTagOK(path string) bool {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return true
 	}
+	var legacy []constraint.Expr
 	for _, line := range strings.Split(string(data), "\n") {
 		t := strings.TrimSpace(line)
 		if strings.HasPrefix(t, "package ") {
 			break // constraints are only legal before the package clause
 		}
-		if !constraint.IsGoBuild(t) && !constraint.IsPlusBuild(t) {
-			continue
+		switch {
+		case constraint.IsGoBuild(t):
+			expr, err := constraint.Parse(t)
+			if err != nil {
+				return true
+			}
+			return expr.Eval(defaultBuildTag)
+		case constraint.IsPlusBuild(t):
+			expr, err := constraint.Parse(t)
+			if err != nil {
+				continue
+			}
+			legacy = append(legacy, expr)
 		}
-		expr, err := constraint.Parse(t)
-		if err != nil {
-			return true
+	}
+	for _, expr := range legacy {
+		if !expr.Eval(defaultBuildTag) {
+			return false
 		}
-		return expr.Eval(defaultBuildTag)
 	}
 	return true
 }
@@ -254,6 +338,18 @@ func (l *Loader) load(importPath string) (*Package, error) {
 			return nil, err
 		}
 		files = append(files, f)
+	}
+	if l.Tests {
+		// Merge the in-package test files into the one canonical package for
+		// this import path. Doing it for dependencies too (not just directly
+		// requested packages) keeps type identity consistent: an external
+		// test package and the libraries it pulls in all see the same
+		// augmented types.Package.
+		tfiles, err := l.parseTestFiles(dir, files[0].Name.Name)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, tfiles...)
 	}
 	info := newInfo()
 	conf := types.Config{Importer: l}

@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeModule lays out a throwaway module on disk and returns its root.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// TestLoaderTestsMode pins the test-corpus semantics: with Tests set, every
+// package is type-checked together with its in-package _test.go files (so
+// export_test.go hooks are part of the canonical package), and an external
+// foo_test package comes back as its own Package with ForTest pointing at
+// the package under test. Without Tests, none of that is loaded.
+func TestLoaderTestsMode(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.test\n\ngo 1.22\n",
+		"pkg/pkg.go": `package pkg
+
+func Double(x int) int { return x + x }
+
+type counter struct{ n int }
+
+func (c *counter) bump() { c.n++ }
+`,
+		// In-package test file: reaches the unexported type, and exports a
+		// hook the external test package needs — the pattern that forces
+		// merged loading for type identity.
+		"pkg/export_test.go": `package pkg
+
+func NewCounter() *counter { return &counter{} }
+
+func (c *counter) N() int { return c.n }
+`,
+		"pkg/pkg_test.go": `package pkg_test
+
+import "example.test/pkg"
+
+func useHook() int {
+	c := pkg.NewCounter()
+	return c.N() + pkg.Double(2)
+}
+`,
+	})
+
+	l := NewLoader(root, "example.test")
+	l.Tests = true
+	pkgs, err := l.Load([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base, ext *Package
+	for _, p := range pkgs {
+		switch p.Path {
+		case "example.test/pkg":
+			base = p
+		case "example.test/pkg_test":
+			ext = p
+		default:
+			t.Fatalf("unexpected package %q", p.Path)
+		}
+	}
+	if base == nil || ext == nil {
+		t.Fatalf("got %d packages, want base and external test package", len(pkgs))
+	}
+	if len(base.Files) != 2 {
+		t.Fatalf("base package has %d files, want pkg.go + export_test.go", len(base.Files))
+	}
+	if ext.ForTest != "example.test/pkg" {
+		t.Fatalf("external package ForTest = %q", ext.ForTest)
+	}
+	// matchPath routes external test diagnostics through the package under
+	// test's path, so Match filters behave as if the code lived there.
+	if got := ext.matchPath(); got != "example.test/pkg" {
+		t.Fatalf("matchPath() = %q", got)
+	}
+	// The external file type-checked against the merged package: the
+	// export_test.go hook resolved, proving there is one canonical
+	// types.Package rather than a parallel test-only instance.
+	if ext.Types.Name() != "pkg_test" {
+		t.Fatalf("external package type-checked as %q", ext.Types.Name())
+	}
+}
+
+func TestLoaderWithoutTestsSkipsTestFiles(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.test\n\ngo 1.22\n",
+		"pkg/pkg.go": `package pkg
+
+func Double(x int) int { return x + x }
+`,
+		"pkg/pkg_test.go": `package pkg
+
+func triple(x int) int { return x + Double(x) }
+`,
+	})
+	l := NewLoader(root, "example.test")
+	pkgs, err := l.Load([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	if len(pkgs[0].Files) != 1 {
+		t.Fatalf("package has %d files, want pkg.go only", len(pkgs[0].Files))
+	}
+}

@@ -1,0 +1,324 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// LockCheck is a path-sensitive mutex-discipline analyzer over the CFG
+// framework: it tracks, per lock expression (s.mu, c.mu, an embedded
+// sync.Mutex receiver), which lock flavors (write Lock, read RLock) may be
+// held at each program point, and reports
+//
+//   - a lock that may still be held on some path to return with no deferred
+//     unlock pending (the classic early-return leak a text-order scan cannot
+//     see),
+//   - acquiring a lock that may already be held (self-deadlock), including
+//     the RLock-after-Lock and Lock-after-RLock upgrades, and
+//   - flavor mismatches: Unlock where only a read lock is held, RUnlock
+//     where only a write lock is held.
+//
+// Deferred unlocks (including unlocks inside a deferred function literal)
+// are modeled as releasing at every return reached after the defer
+// executes. RLock-after-RLock is deliberately not flagged (read locks are
+// shared; the hazard needs a concurrent writer, which is beyond an
+// intraprocedural analysis), as are TryLock/TryRLock (their success is
+// branch-correlated) and unlocks of locks this function never acquired
+// (callers may hand over held locks).
+func LockCheck() *Analyzer {
+	return &Analyzer{
+		Name:  "lockcheck",
+		Doc:   "flags lock/unlock mismatches on some path: leaks at return, double-locks, flavor mixes",
+		Tests: true,
+		Run:   runLockCheck,
+	}
+}
+
+type lockBits uint8
+
+const (
+	lockW lockBits = 1 << iota // Lock/Unlock
+	lockR                      // RLock/RUnlock
+)
+
+func (b lockBits) verb() string {
+	if b == lockR {
+		return "RLock"
+	}
+	return "Lock"
+}
+
+func (b lockBits) unverb() string {
+	if b == lockR {
+		return "RUnlock"
+	}
+	return "Unlock"
+}
+
+// lockState is one lock's fact: which flavors may be held, where each was
+// first acquired, and which flavors have a deferred unlock pending on every
+// path reaching this point.
+type lockState struct {
+	held     lockBits
+	deferred lockBits
+	wPos     token.Pos
+	rPos     token.Pos
+}
+
+func (s lockState) acquirePos(b lockBits) token.Pos {
+	if b == lockR {
+		return s.rPos
+	}
+	return s.wPos
+}
+
+// lockFact maps a lock's canonical key to its state.
+type lockFact map[string]lockState
+
+func (f lockFact) clone() lockFact {
+	c := make(lockFact, len(f))
+	for k, v := range f {
+		c[k] = v
+	}
+	return c
+}
+
+// joinLockFact merges: held is a may-union, deferred a must-intersection
+// (but a lock known on only one branch keeps its deferred bits — the other
+// branch has nothing to say about it), positions take the earliest.
+func joinLockFact(acc, in lockFact) (lockFact, bool) {
+	changed := false
+	for k, iv := range in {
+		av, ok := acc[k]
+		if !ok {
+			acc[k] = iv
+			changed = true
+			continue
+		}
+		merged := lockState{
+			held:     av.held | iv.held,
+			deferred: av.deferred & iv.deferred,
+			wPos:     posBefore(av.wPos, iv.wPos),
+			rPos:     posBefore(av.rPos, iv.rPos),
+		}
+		if merged != av {
+			acc[k] = merged
+			changed = true
+		}
+	}
+	return acc, changed
+}
+
+// lockMethods classifies the sync primitives by qualified method name.
+var lockMethods = map[string]struct {
+	bits    lockBits
+	acquire bool
+}{
+	"(*sync.Mutex).Lock":      {lockW, true},
+	"(*sync.Mutex).Unlock":    {lockW, false},
+	"(*sync.RWMutex).Lock":    {lockW, true},
+	"(*sync.RWMutex).Unlock":  {lockW, false},
+	"(*sync.RWMutex).RLock":   {lockR, true},
+	"(*sync.RWMutex).RUnlock": {lockR, false},
+	"(sync.Locker).Lock":      {lockW, true},
+	"(sync.Locker).Unlock":    {lockW, false},
+}
+
+// lockRef identifies the receiver a lock method is called on: a canonical
+// key (stable within the function, built from the root object and selector
+// path) and a display name for diagnostics.
+func (p *Package) lockRef(call *ast.CallExpr) (key, display string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	return p.exprKey(sel.X)
+}
+
+// exprKey canonicalizes a receiver expression chain (ident, selector,
+// parenthesized) into a key rooted at the base identifier's object.
+func (p *Package) exprKey(e ast.Expr) (key, display string, ok bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := p.objOf(e)
+		if obj == nil {
+			return "", "", false
+		}
+		return "o" + p.pos(obj.Pos()).String(), e.Name, true
+	case *ast.SelectorExpr:
+		base, disp, ok := p.exprKey(e.X)
+		if !ok {
+			return "", "", false
+		}
+		return base + "." + e.Sel.Name, disp + "." + e.Sel.Name, true
+	default:
+		// Indexed, call-derived, or otherwise dynamic receivers are not
+		// trackable intraprocedurally.
+		return "", "", false
+	}
+}
+
+func runLockCheck(p *Package) []Diagnostic {
+	var out []Diagnostic
+	p.funcBodies(func(name string, _ ast.Node, body *ast.BlockStmt) {
+		out = append(out, p.lockCheckFunc(body)...)
+	})
+	return out
+}
+
+func (p *Package) lockCheckFunc(body *ast.BlockStmt) []Diagnostic {
+	c := p.buildCFG(body)
+	var diags []Diagnostic
+	reported := map[token.Pos]bool{}
+	report := func(pos token.Pos, msg string) {
+		if !reported[pos] {
+			reported[pos] = true
+			diags = append(diags, Diagnostic{Pos: p.pos(pos), Rule: "lockcheck", Msg: msg})
+		}
+	}
+	names := map[string]string{} // key -> display, for exit diagnostics
+
+	transfer := func(b *block, in lockFact) lockFact {
+		out := in.clone()
+		for _, n := range b.nodes {
+			if def, ok := n.(*ast.DeferStmt); ok {
+				p.deferredUnlocks(def, func(key, display string, bits lockBits) {
+					names[key] = display
+					st := out[key]
+					st.deferred |= bits
+					out[key] = st
+				})
+				continue
+			}
+			callsIn(n, func(call *ast.CallExpr) {
+				m, ok := lockMethods[p.calleeFullName(call)]
+				if !ok {
+					return
+				}
+				key, display, ok := p.lockRef(call)
+				if !ok {
+					return
+				}
+				names[key] = display
+				st := out[key]
+				if m.acquire {
+					if st.held&m.bits != 0 {
+						report(call.Pos(), display+"."+m.bits.verb()+" may already be held here (acquired at "+
+							p.pos(st.acquirePos(m.bits)).String()+"); second acquire self-deadlocks")
+					} else if st.held != 0 && m.bits == lockW {
+						report(call.Pos(), display+".Lock while "+display+".RLock may be held (acquired at "+
+							p.pos(st.acquirePos(lockR)).String()+"); lock upgrades self-deadlock")
+					} else if st.held != 0 && m.bits == lockR {
+						report(call.Pos(), display+".RLock while "+display+".Lock may be held (acquired at "+
+							p.pos(st.acquirePos(lockW)).String()+"); recursive read under write self-deadlocks")
+					}
+					st.held |= m.bits
+					if m.bits == lockW && st.wPos == token.NoPos {
+						st.wPos = call.Pos()
+					}
+					if m.bits == lockR && st.rPos == token.NoPos {
+						st.rPos = call.Pos()
+					}
+				} else {
+					if st.held&m.bits == 0 && st.held != 0 {
+						other := st.held &^ m.bits
+						report(call.Pos(), display+"."+m.bits.unverb()+" but only "+display+"."+other.verb()+
+							" is held (acquired at "+p.pos(st.acquirePos(other)).String()+"); flavor mismatch")
+					}
+					st.held &^= m.bits
+					if m.bits == lockW {
+						st.wPos = token.NoPos
+					} else {
+						st.rPos = token.NoPos
+					}
+				}
+				if st == (lockState{}) {
+					delete(out, key)
+				} else {
+					out[key] = st
+				}
+			})
+		}
+		return out
+	}
+
+	in := solveForward(c, forwardFlow[lockFact]{
+		entry:    lockFact{},
+		bottom:   func() lockFact { return lockFact{} },
+		join:     joinLockFact,
+		transfer: transfer,
+	})
+
+	// The exit block's in-fact is the join over every return path. Anything
+	// still held with no deferred unlock pending leaked on some path.
+	keys := make([]string, 0, len(in[c.exit]))
+	for k := range in[c.exit] {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		st := in[c.exit][k]
+		leaked := st.held &^ st.deferred
+		for _, bits := range [2]lockBits{lockW, lockR} {
+			if leaked&bits == 0 {
+				continue
+			}
+			display := names[k]
+			report(st.acquirePos(bits), display+"."+bits.verb()+
+				" is not released on every path to return; add the missing "+display+"."+bits.unverb()+
+				" or defer it at the acquire site")
+		}
+	}
+	return diags
+}
+
+// deferredUnlocks reports the unlocks a defer statement guarantees: a direct
+// deferred unlock call, or unlock calls anywhere inside a deferred function
+// literal (conservatively assumed to execute — a conditional unlock inside
+// the literal still counts, which under-reports leaks rather than inventing
+// them... the opposite choice would flag correct cleanup closures).
+func (p *Package) deferredUnlocks(def *ast.DeferStmt, visit func(key, display string, bits lockBits)) {
+	emit := func(call *ast.CallExpr) {
+		m, ok := lockMethods[p.calleeFullName(call)]
+		if !ok || m.acquire {
+			return
+		}
+		if key, display, ok := p.lockRef(call); ok {
+			visit(key, display, m.bits)
+		}
+	}
+	if lit, ok := ast.Unparen(def.Call.Fun).(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				emit(call)
+			}
+			return true
+		})
+		return
+	}
+	emit(def.Call)
+}
+
+// lockDisplay is a debugging aid: renders a lock fact deterministically.
+func lockDisplay(f lockFact) string {
+	keys := make([]string, 0, len(f))
+	for k := range f {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		st := f[k]
+		sb.WriteString(k)
+		if st.held&lockW != 0 {
+			sb.WriteString(":W")
+		}
+		if st.held&lockR != 0 {
+			sb.WriteString(":R")
+		}
+		sb.WriteByte(' ')
+	}
+	return strings.TrimSpace(sb.String())
+}

@@ -1,0 +1,234 @@
+package lint
+
+import "testing"
+
+// The path-sensitive cases here are the ones the AST-only engine could not
+// express: whether an Unlock covers a Lock depends on which branch executes,
+// not on source order.
+
+func TestLockCheckEarlyReturnLeak(t *testing.T) {
+	got := runOn(t, "x/fix", `package fix
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *S) Bad(cond bool) int {
+	s.mu.Lock()
+	if cond {
+		return 0
+	}
+	s.mu.Unlock()
+	return s.n
+}
+`)
+	// Reported at the acquire site: the early return path leaks the lock.
+	expect(t, got, "11:lockcheck")
+}
+
+func TestLockCheckDeferIsClean(t *testing.T) {
+	got := runOn(t, "x/fix", `package fix
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *S) Good(cond bool) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cond {
+		return 0
+	}
+	return s.n
+}
+
+func (s *S) Closure(cond bool) int {
+	s.mu.Lock()
+	defer func() {
+		s.mu.Unlock()
+	}()
+	if cond {
+		return 0
+	}
+	return s.n
+}
+`)
+	expect(t, got)
+}
+
+func TestLockCheckAllPathsUnlockIsClean(t *testing.T) {
+	got := runOn(t, "x/fix", `package fix
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *S) Good(cond bool) int {
+	s.mu.Lock()
+	if cond {
+		s.mu.Unlock()
+		return 0
+	}
+	s.mu.Unlock()
+	return s.n
+}
+`)
+	expect(t, got)
+}
+
+func TestLockCheckDoubleLock(t *testing.T) {
+	got := runOn(t, "x/fix", `package fix
+
+import "sync"
+
+var mu sync.Mutex
+
+func Bad() {
+	mu.Lock()
+	mu.Lock()
+	mu.Unlock()
+	mu.Unlock()
+}
+`)
+	// Reported at the second acquire.
+	expect(t, got, "9:lockcheck")
+}
+
+func TestLockCheckLoopReacquireIsClean(t *testing.T) {
+	got := runOn(t, "x/fix", `package fix
+
+import "sync"
+
+var mu sync.Mutex
+
+func Good(n int) {
+	for i := 0; i < n; i++ {
+		mu.Lock()
+		work()
+		mu.Unlock()
+	}
+}
+
+func work() {}
+`)
+	expect(t, got)
+}
+
+func TestLockCheckBreakLeaksInLoop(t *testing.T) {
+	got := runOn(t, "x/fix", `package fix
+
+import "sync"
+
+var mu sync.Mutex
+
+func Bad(n int) {
+	for i := 0; i < n; i++ {
+		mu.Lock()
+		if stop() {
+			break
+		}
+		mu.Unlock()
+	}
+}
+
+func stop() bool { return true }
+`)
+	expect(t, got, "9:lockcheck")
+}
+
+func TestLockCheckFlavorMismatch(t *testing.T) {
+	got := runOn(t, "x/fix", `package fix
+
+import "sync"
+
+var rw sync.RWMutex
+
+func Bad() int {
+	rw.RLock()
+	n := read()
+	rw.Unlock()
+	return n
+}
+
+func read() int { return 0 }
+`)
+	// The wrong-flavor release is reported, and because Unlock does not
+	// release the read lock, the leak at return is reported too.
+	expect(t, got, "8:lockcheck", "10:lockcheck")
+}
+
+func TestLockCheckUpgradeDeadlock(t *testing.T) {
+	got := runOn(t, "x/fix", `package fix
+
+import "sync"
+
+var rw sync.RWMutex
+
+func Bad() {
+	rw.RLock()
+	rw.Lock()
+	rw.Unlock()
+	rw.RUnlock()
+}
+`)
+	expect(t, got, "9:lockcheck")
+}
+
+func TestLockCheckCallerHeldUnlockIsClean(t *testing.T) {
+	got := runOn(t, "x/fix", `package fix
+
+import "sync"
+
+type S struct{ mu sync.Mutex }
+
+// unlockBoth releases locks its callers acquired; releasing without a local
+// acquire is not flagged.
+func (s *S) unlock() { s.mu.Unlock() }
+`)
+	expect(t, got)
+}
+
+func TestLockCheckDistinctLocksIndependent(t *testing.T) {
+	got := runOn(t, "x/fix", `package fix
+
+import "sync"
+
+type S struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (s *S) Good() {
+	s.a.Lock()
+	s.b.Lock()
+	s.b.Unlock()
+	s.a.Unlock()
+}
+`)
+	expect(t, got)
+}
+
+func TestLockCheckSuppressed(t *testing.T) {
+	got := runOn(t, "x/fix", `package fix
+
+import "sync"
+
+var mu sync.Mutex
+
+// Hold acquires for the caller; the pairing Release is elsewhere.
+func Hold() {
+	//lint:ignore lockcheck handoff: Release is the documented counterpart
+	mu.Lock()
+}
+`)
+	expect(t, got)
+}

@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// RandSource polices the deterministic core — internal/lp, internal/design,
+// internal/topo, internal/store — against nondeterministic inputs: wall-clock
+// reads (time.Now/Since/Until), the math/rand (and math/rand/v2) global
+// source, and crypto/rand. Those packages' outputs are content-addressed and
+// checkpoint-resumed; any value derived from a clock or an unseeded
+// generator breaks fingerprint stability and workers=1 == workers=N
+// equivalence.
+//
+// Explicitly seeded generators stay legal: rand.New(rand.NewSource(seed))
+// and methods on a *rand.Rand are not flagged — the hazard is the shared
+// global source, whose seed (and goroutine interleaving) is outside the
+// artifact's inputs. Code that genuinely needs the clock for observability
+// (elapsed-time diagnostics that never feed an artifact) must say so with a
+// //lint:ignore randsource directive naming why the value cannot reach a
+// fingerprint.
+func RandSource() *Analyzer {
+	return &Analyzer{
+		Name:  "randsource",
+		Doc:   "flags wall-clock and global/crypto randomness inside the deterministic packages",
+		Tests: true,
+		Match: inDeterministicPackage,
+		Run:   runRandSource,
+	}
+}
+
+// deterministicPkgs are the packages whose outputs must be bit-for-bit
+// reproducible from their declared inputs.
+var deterministicPkgs = []string{
+	"/internal/lp",
+	"/internal/design",
+	"/internal/topo",
+	"/internal/store",
+}
+
+func inDeterministicPackage(path string) bool {
+	for _, base := range deterministicPkgs {
+		if strings.HasSuffix(path, base) || strings.Contains(path, base+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// clockFuncs read the wall clock.
+var clockFuncs = map[string]bool{
+	"time.Now":   true,
+	"time.Since": true,
+	"time.Until": true,
+}
+
+// randConstructors take an explicit seed or source and are therefore fine.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func runRandSource(p *Package) []Diagnostic {
+	var out []Diagnostic
+	p.inspect(func(n ast.Node, _ *ast.FuncDecl) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		full := p.calleeFullName(call)
+		if full == "" {
+			return
+		}
+		switch {
+		case clockFuncs[full]:
+			out = append(out, Diagnostic{
+				Pos:  p.pos(call.Pos()),
+				Rule: "randsource",
+				Msg: full + " in a deterministic package: wall-clock values are not reproducible " +
+					"inputs; thread the value in from the caller or justify with an ignore directive",
+			})
+		case strings.HasPrefix(full, "math/rand.") || strings.HasPrefix(full, "math/rand/v2."):
+			fn := full[strings.LastIndex(full, ".")+1:]
+			if randConstructors[fn] {
+				return // explicit-seed constructor; the resulting *Rand is reproducible
+			}
+			out = append(out, Diagnostic{
+				Pos:  p.pos(call.Pos()),
+				Rule: "randsource",
+				Msg: full + " uses the global random source in a deterministic package; " +
+					"use rand.New(rand.NewSource(seed)) with a seed derived from the inputs",
+			})
+		case strings.HasPrefix(full, "crypto/rand."):
+			out = append(out, Diagnostic{
+				Pos:  p.pos(call.Pos()),
+				Rule: "randsource",
+				Msg: full + " is entropy by design and can never be reproduced; " +
+					"deterministic packages must derive values from their inputs",
+			})
+		}
+	})
+	return out
+}

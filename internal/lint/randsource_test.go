@@ -1,0 +1,100 @@
+package lint
+
+import "testing"
+
+// randsource is path-scoped: the same statements are findings inside the
+// deterministic core (internal/lp, design, topo, store) and clean elsewhere.
+
+func TestRandSourceClockAndGlobalRand(t *testing.T) {
+	got := runOn(t, "x/internal/lp", `package lp
+
+import (
+	"math/rand"
+	"time"
+)
+
+func jitter() float64 {
+	start := time.Now()
+	_ = start
+	return rand.Float64()
+}
+`)
+	expect(t, got, "9:randsource", "11:randsource")
+}
+
+func TestRandSourceSeededRandIsClean(t *testing.T) {
+	got := runOn(t, "x/internal/lp", `package lp
+
+import "math/rand"
+
+// A locally seeded generator is reproducible; constructing it and calling
+// its methods is the sanctioned pattern inside the core.
+func perturb(xs []float64, seed int64, scale float64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := range xs {
+		xs[i] += scale * rng.Float64()
+	}
+}
+`)
+	expect(t, got)
+}
+
+func TestRandSourceOutsideCoreIsClean(t *testing.T) {
+	got := runOn(t, "x/fix", `package fix
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Outside the deterministic packages wall-clock reads and the global
+// generator are ordinary code.
+func sample() (time.Time, int) {
+	return time.Now(), rand.Intn(10)
+}
+`)
+	expect(t, got)
+}
+
+func TestRandSourceCryptoRand(t *testing.T) {
+	got := runOn(t, "x/internal/design", `package design
+
+import (
+	"crypto/rand"
+	"math/big"
+)
+
+func pick(n int64) (*big.Int, error) {
+	return rand.Int(rand.Reader, big.NewInt(n))
+}
+`)
+	expect(t, got, "9:randsource")
+}
+
+func TestRandSourceTimeSince(t *testing.T) {
+	got := runOn(t, "x/internal/store", `package store
+
+import "time"
+
+func age(t0 time.Time) time.Duration {
+	return time.Since(t0)
+}
+`)
+	expect(t, got, "6:randsource")
+}
+
+func TestRandSourceSuppressed(t *testing.T) {
+	got := runOn(t, "x/internal/lp", `package lp
+
+import "time"
+
+func timed(f func()) time.Duration {
+	//lint:ignore randsource elapsed-time diagnostics only, never reaches an artifact
+	start := time.Now()
+	f()
+	//lint:ignore randsource elapsed-time diagnostics only, never reaches an artifact
+	return time.Since(start)
+}
+`)
+	expect(t, got)
+}

@@ -77,7 +77,10 @@ func (s *Solver) SolveCtx(ctx context.Context) (*Solution, error) {
 	if s.err != nil {
 		return nil, s.err
 	}
-	start := time.Now()
+	// The wall clock here feeds only Diagnostics.Elapsed, an observability
+	// field that is never part of a solution, fingerprint, or checkpoint;
+	// the solve itself stays bit-for-bit deterministic.
+	start := time.Now() //lint:ignore randsource elapsed-time diagnostics only, never reaches an artifact
 	s.ctx = ctx
 	s.diag = Diagnostics{}
 	s.forceBland = false
@@ -91,7 +94,7 @@ func (s *Solver) SolveCtx(ctx context.Context) (*Solution, error) {
 	sol, err := s.solveLadder()
 	s.ctx = nil
 	s.diag.Iterations = s.iterations
-	s.diag.Elapsed = time.Since(start)
+	s.diag.Elapsed = time.Since(start) //lint:ignore randsource elapsed-time diagnostics only, never reaches an artifact
 	if err != nil {
 		if errors.Is(err, ErrNumerical) {
 			return nil, &DiagError{Diag: s.diag, Err: err}

@@ -100,7 +100,9 @@ func TestSolveCtxDeadline(t *testing.T) {
 func TestSolveCtxDeadlineMidSolve(t *testing.T) {
 	// A deadline that expires while the simplex is running (not before):
 	// the solve must still terminate promptly with IterLimit.
-	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(100*time.Microsecond))
+	// A real wall-clock deadline is the point of this test; the clock value
+	// only controls when the solve unwinds, never what it computes.
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(100*time.Microsecond)) //lint:ignore randsource deadline plumbing under test, not an artifact input
 	defer cancel()
 	s := NewSolver(randomBoundedLP(120, 160, 13))
 	sol, err := s.SolveCtx(ctx)

@@ -148,7 +148,11 @@ func (s *Store) Put(kind, fp string, artifactSchema int, payload []byte) (Manife
 		ArtifactSchema: artifactSchema,
 		PayloadSHA256:  HashBytes(payload),
 		PayloadBytes:   int64(len(payload)),
-		CreatedUnix:    time.Now().Unix(),
+		// CreatedUnix is provenance metadata about when this machine wrote
+		// the artifact; it is deliberately outside the fingerprint (which is
+		// computed from the design inputs above) so rebuilding an identical
+		// artifact later still content-addresses to the same key.
+		CreatedUnix: time.Now().Unix(), //lint:ignore randsource provenance timestamp, excluded from the content address
 	}
 	mb, err := json.Marshal(&m)
 	if err != nil {

@@ -19,8 +19,8 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> tcrlint ./..."
-go run ./cmd/tcrlint ./...
+echo "==> tcrlint -tests ./..."
+go run ./cmd/tcrlint -tests ./...
 
 echo "==> go test -race ./... (short mode)"
 go test -race -short -timeout 30m ./...
@@ -34,6 +34,7 @@ go test -race -count=1 -timeout 10m ./internal/store ./internal/serve ./cmd/tcr
 echo "==> bench smoke (-benchtime=1x)"
 go test ./internal/lp -run '^$' -bench . -benchtime 1x >/dev/null
 go test . -run '^$' -bench BenchmarkFigure1ParetoCurve -benchtime 1x >/dev/null
+go test ./internal/lint -run '^$' -bench BenchmarkLintModule -benchtime 1x >/dev/null
 
 if [ "$FUZZTIME" != "0" ]; then
 	echo "==> fuzz smoke: FuzzReadMPS ($FUZZTIME)"
