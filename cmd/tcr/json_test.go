@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -47,6 +48,92 @@ func daemonPost(t *testing.T, ts *httptest.Server, path, body string) []byte {
 		t.Fatalf("POST %s: status %d, body %s", path, resp.StatusCode, b)
 	}
 	return b
+}
+
+// TestLegacyFingerprintParity pins the content addresses of the radix-form
+// requests from before the topology field existed. The explicit Topology
+// field is omitempty and the empty string never encodes, so legacy requests
+// must keep fingerprinting to the exact same hashes — otherwise every
+// pre-existing store artifact and checkpoint would be orphaned.
+func TestLegacyFingerprintParity(t *testing.T) {
+	cases := []struct {
+		name string
+		req  interface{ Fingerprint() (string, error) }
+		want string
+	}{
+		{"eval-k4-DOR", store.EvalRequest{K: 4, Alg: "DOR"},
+			"f5fe4908536684f3a52b3d95730010d591c450bc756205c7408b6264941c8c29"},
+		{"design-k4-minloc", store.DesignRequest{K: 4, Kind: store.DesignMinLocality},
+			"bc8a32a647d5a65e0aa64b2fd804c5be7f89a74b1af12e3f45ce7ec0e726da49"},
+		{"design-k6-minloc", store.DesignRequest{K: 6, Kind: store.DesignMinLocality},
+			"27c4adb25711c7c399f202116c6432e76df1d49d3cf067aec61f9f31e7ed3f62"},
+	}
+	for _, c := range cases {
+		fp, err := c.req.Fingerprint()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if fp != c.want {
+			t.Errorf("%s: fingerprint %s, want %s (legacy store artifacts orphaned)", c.name, fp, c.want)
+		}
+	}
+	// The canonical bytes themselves must be unchanged: no topology key may
+	// appear in a radix-form encoding.
+	b, err := json.Marshal(store.EvalRequest{K: 4, Alg: "DOR"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := string(b), `{"k":4,"alg":"DOR"}`; got != want {
+		t.Errorf("legacy eval request encodes as %s, want %s", got, want)
+	}
+	if b, err = json.Marshal(store.DesignRequest{K: 4, Kind: store.DesignMinLocality}); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := string(b), `{"k":4,"kind":"minloc"}`; got != want {
+		t.Errorf("legacy design request encodes as %s, want %s", got, want)
+	}
+}
+
+// TestTopologyRequestValidation pins the shape rules of the explicit
+// topology form: family:spec travels alone (K must be zero), and the two
+// forms can never alias one fingerprint.
+func TestTopologyRequestValidation(t *testing.T) {
+	ok := store.DesignRequest{Topology: "mesh:4x4", Kind: store.DesignWorstCase}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("explicit topology rejected: %v", err)
+	}
+	if err := (store.EvalRequest{Topology: "torus3d:4", Alg: "DOR"}).Validate(); err != nil {
+		t.Fatalf("explicit eval topology rejected: %v", err)
+	}
+	bad := []struct {
+		name string
+		req  interface{ Validate() error }
+	}{
+		{"k-and-topology", store.DesignRequest{K: 4, Topology: "mesh:4x4", Kind: store.DesignWorstCase}},
+		{"missing-spec", store.DesignRequest{Topology: "mesh", Kind: store.DesignWorstCase}},
+		{"empty-family", store.DesignRequest{Topology: ":4x4", Kind: store.DesignWorstCase}},
+		{"neither", store.DesignRequest{Kind: store.DesignWorstCase}},
+		{"eval-k-and-topology", store.EvalRequest{K: 4, Topology: "mesh:4x4", Alg: "DOR"}},
+	}
+	for _, c := range bad {
+		if err := c.req.Validate(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	// Same request, two spellings, distinct addresses: the torus2d explicit
+	// form must not silently collide with (or diverge from) a radix form —
+	// producers canonicalize to the radix form before fingerprinting.
+	legacy, err := store.DesignRequest{K: 4, Kind: store.DesignMinLocality}.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := store.DesignRequest{Topology: "torus2d:4", Kind: store.DesignMinLocality}.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy == explicit {
+		t.Fatal("radix and explicit torus2d forms fingerprint identically; canonicalization is load-bearing")
+	}
 }
 
 // TestEvalJSONMatchesDaemon: every line of `tcr eval -json` must be

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -91,6 +92,7 @@ func cmdWorstPerm(ctx context.Context, args []string) error {
 func cmdDesign(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("design", flag.ExitOnError)
 	k := fs.Int("k", 8, "torus radix")
+	topoSpec := fs.String("topo", "", `explicit topology "family:spec" (e.g. torus3d:4, mesh:8x8); overrides -k, wcopt only`)
 	kind := fs.String("kind", "2turn", "2turn|2turna|wcopt")
 	nSamples := fs.Int("samples", 50, "sample count for 2turna")
 	seed := fs.Int64("seed", 1, "sample seed")
@@ -102,22 +104,31 @@ func cmdDesign(ctx context.Context, args []string) error {
 		return err
 	}
 
-	t, err := newTorus(*k)
-	if err != nil {
+	var t topo.Topology
+	var err error
+	if *topoSpec != "" {
+		if *kind != "wcopt" {
+			return fmt.Errorf("-topo supports only -kind wcopt (%q is a torus2d path-family design)", *kind)
+		}
+		if t, err = topo.Parse(*topoSpec); err != nil {
+			return err
+		}
+	} else if t, err = newTorus(*k); err != nil {
 		return err
 	}
 	var tbl *routing.Table
 	switch *kind {
 	case "2turn":
-		res, err := tcr.Design2TurnCtx(ctx, t, tcr.DesignOptions{})
+		res, err := tcr.Design2TurnCtx(ctx, t.(*tcr.Torus), tcr.DesignOptions{})
 		if err != nil {
 			return err
 		}
 		tbl = res.Table
 		fmt.Fprintf(os.Stderr, "2TURN: H=%.4f gamma_wc=%.4f\n", res.HNorm, res.GammaWC)
 	case "2turna":
-		samples := tcr.SampleTraffic(t, *nSamples, *seed)
-		res, err := tcr.Design2TurnACtx(ctx, t, samples, tcr.DesignOptions{})
+		tor := t.(*tcr.Torus)
+		samples := tcr.SampleTraffic(tor, *nSamples, *seed)
+		res, err := tcr.Design2TurnACtx(ctx, tor, samples, tcr.DesignOptions{})
 		if err != nil {
 			return err
 		}
@@ -132,14 +143,22 @@ func cmdDesign(ctx context.Context, args []string) error {
 		return fmt.Errorf("unknown design kind %q", *kind)
 	}
 
+	// The 2D torus keeps the historical direction-string format (golden
+	// compatibility); other families serialize port indices.
+	write := func(w io.Writer) error {
+		if tor, ok := t.(*tcr.Torus); ok {
+			return tbl.WriteJSON(w, tor)
+		}
+		return tbl.WritePortsJSON(w, t)
+	}
 	if *out == "" {
-		return tbl.WriteJSON(os.Stdout, t)
+		return write(os.Stdout)
 	}
 	file, err := os.Create(*out)
 	if err != nil {
 		return err
 	}
-	werr := tbl.WriteJSON(file, t)
+	werr := write(file)
 	cerr := file.Close()
 	if werr != nil {
 		return werr
@@ -157,12 +176,19 @@ func cmdDesign(ctx context.Context, args []string) error {
 // whether the interrupted run was this CLI or a tcrd daemon. Only certified
 // results are persisted; an uncertified budget exhaustion leaves just the
 // checkpoint behind and exits 4 as before.
-func designWcopt(ctx context.Context, t *tcr.Torus, ckpt string, rounds int, storeDir string) (*routing.Table, error) {
+func designWcopt(ctx context.Context, t topo.Topology, ckpt string, rounds int, storeDir string) (*routing.Table, error) {
 	st, err := openStore(storeDir)
 	if err != nil {
 		return nil, err
 	}
-	req := store.DesignRequest{K: t.K, Kind: store.DesignMinLocality}
+	// The 2D torus canonicalizes to the legacy radix form so CLI runs,
+	// daemon requests, and pre-existing artifacts keep sharing fingerprints.
+	req := store.DesignRequest{Kind: store.DesignMinLocality}
+	if tor, ok := t.(*tcr.Torus); ok {
+		req.K = tor.K
+	} else {
+		req.Topology = topo.String(t)
+	}
 	fp, err := req.Fingerprint()
 	if err != nil {
 		return nil, err
@@ -239,6 +265,7 @@ func cmdLoadMap(args []string) error {
 	}
 	fmt.Printf("# %s under %s on %d-ary 2-cube: gamma_max = %.4f\n", *algName, *pattern, *k, max)
 	ramp := " .:-=+*#%@"
+	//lint:ignore dirliteral loadmap renders the four torus2d direction planes by definition
 	for dir := topo.Dir(0); dir < topo.NumDirs; dir++ {
 		fmt.Printf("\n%s channels (rows are y, columns x):\n", dir)
 		for y := *k - 1; y >= 0; y-- {

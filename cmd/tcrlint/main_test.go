@@ -124,6 +124,54 @@ func helper(cond bool) int {
 	}
 }
 
+// TestRunDirLiteralFixture drives the topology-boundary rule end-to-end: a
+// module with its own internal/topo defining the 2D vocabulary, one package
+// hard-coding it (dirty), and the topo package itself (exempt).
+func TestRunDirLiteralFixture(t *testing.T) {
+	chdirModule(t, map[string]string{
+		"go.mod": "module example.test\n\ngo 1.22\n",
+		"internal/topo/topo.go": `package topo
+
+type Dir int
+
+const (
+	XPlus Dir = iota
+	XMinus
+	YPlus
+	YMinus
+	NumDirs
+)
+
+// reverse may use the vocabulary freely: it is definitional here.
+func reverse(d Dir) Dir { return d ^ 1 }
+`,
+		"internal/sim/sim.go": `package sim
+
+import "example.test/internal/topo"
+
+func Ports() int { return int(topo.NumDirs) }
+
+func Fixed() topo.Dir { return topo.Dir(2) }
+
+func Typed(p int) topo.Dir { return topo.Dir(p) }
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-rules", "dirliteral", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d findings, want 2 (NumDirs use + Dir literal):\n%s", len(lines), stdout.String())
+	}
+	for _, l := range lines {
+		if !strings.Contains(l, "sim.go") || !strings.Contains(l, "dirliteral") {
+			t.Fatalf("unexpected finding %q", l)
+		}
+	}
+}
+
 func TestRunUnknownRuleExits2(t *testing.T) {
 	chdirModule(t, map[string]string{
 		"go.mod":     "module example.test\n\ngo 1.22\n",

@@ -27,51 +27,21 @@ type AvgCaseLP struct {
 // the flow LP's layout plus one t variable per sample carrying the
 // (1/|X|) objective weight; the w slot is kept as a zero-cost placeholder so
 // variable indexing matches FlowLP.
-func NewAvgCaseLP(t *topo.Torus, samples []*traffic.Matrix, withLocality bool, opts Options) *AvgCaseLP {
-	p := &FlowLP{T: t, fold: opts.Fold, opts: opts, hRow: -1}
-	p.buildCommodities()
-	p.buildPairMaps()
+func NewAvgCaseLP(t topo.Topology, samples []*traffic.Matrix, withLocality bool, opts Options) *AvgCaseLP {
+	p := newBareFlowLP(t, opts)
 
 	m := lp.NewModel()
-	for ci := range p.comms {
-		for c := 0; c < t.C; c++ {
-			m.AddVar(0, fmt.Sprintf("x[%d,%d]", ci, c))
-		}
-	}
+	p.addFlowVars(m)
 	p.wVar = m.AddVar(0, "w") // unused placeholder to keep varID layout
 	tVars := make([]lp.VarID, len(samples))
 	inv := 1 / float64(len(samples))
 	for i := range samples {
 		tVars[i] = m.AddVar(inv, fmt.Sprintf("t[%d]", i))
 	}
-
-	for ci, cm := range p.comms {
-		for n := 0; n < t.N; n++ {
-			terms := make([]lp.Term, 0, 8)
-			for d := topo.Dir(0); d < topo.NumDirs; d++ {
-				terms = append(terms, lp.Term{Var: p.varID(ci, t.Chan(topo.Node(n), d)), Coef: 1})
-				nb := t.Neighbor(topo.Node(n), d)
-				terms = append(terms, lp.Term{Var: p.varID(ci, t.Chan(nb, d.Reverse())), Coef: -1})
-			}
-			rhs := 0.0
-			switch topo.Node(n) {
-			case 0:
-				rhs = 1
-			case cm.rel:
-				rhs = -1
-			}
-			m.AddRow(terms, lp.EQ, rhs, "")
-		}
-	}
+	p.addConservation(m, false)
+	p.addSymmetry(m)
 	if withLocality {
-		terms := make([]lp.Term, 0, len(p.comms)*t.C)
-		for ci, cm := range p.comms {
-			for c := 0; c < t.C; c++ {
-				terms = append(terms, lp.Term{Var: p.varID(ci, topo.Channel(c)), Coef: cm.orbit})
-			}
-		}
-		p.hRow = m.AddRow(terms, lp.LE, float64(t.N)*t.MeanMinDist(), "H")
-		p.hasH = true
+		p.addLocalityRow(m)
 	}
 	p.model = m
 	p.solver = lp.NewSolver(m)
@@ -200,23 +170,23 @@ func (a *AvgCaseLP) degradeAvg(res *Result, flow *eval.Flow, obj float64, cause 
 // AvgCaseOptimal minimizes the sampled mean maximum channel load with no
 // locality constraint: the maximum average-case throughput point of
 // Figure 6 (its reciprocal, normalized by capacity, is the paper's ~62.8%).
-func AvgCaseOptimal(t *topo.Torus, samples []*traffic.Matrix, opts Options) (*Result, error) {
+func AvgCaseOptimal(t topo.Topology, samples []*traffic.Matrix, opts Options) (*Result, error) {
 	return AvgCaseOptimalCtx(context.Background(), t, samples, opts)
 }
 
 // AvgCaseOptimalCtx is AvgCaseOptimal under a cancellation context.
-func AvgCaseOptimalCtx(ctx context.Context, t *topo.Torus, samples []*traffic.Matrix, opts Options) (*Result, error) {
+func AvgCaseOptimalCtx(ctx context.Context, t topo.Topology, samples []*traffic.Matrix, opts Options) (*Result, error) {
 	return NewAvgCaseLP(t, samples, false, opts).SolveCtx(ctx)
 }
 
 // AvgCaseAtLocality solves equation (15): best average-case throughput at a
 // fixed normalized locality.
-func AvgCaseAtLocality(t *topo.Torus, samples []*traffic.Matrix, hNorm float64, opts Options) (*Result, error) {
+func AvgCaseAtLocality(t topo.Topology, samples []*traffic.Matrix, hNorm float64, opts Options) (*Result, error) {
 	return AvgCaseAtLocalityCtx(context.Background(), t, samples, hNorm, opts)
 }
 
 // AvgCaseAtLocalityCtx is AvgCaseAtLocality under a cancellation context.
-func AvgCaseAtLocalityCtx(ctx context.Context, t *topo.Torus, samples []*traffic.Matrix, hNorm float64, opts Options) (*Result, error) {
+func AvgCaseAtLocalityCtx(ctx context.Context, t topo.Topology, samples []*traffic.Matrix, hNorm float64, opts Options) (*Result, error) {
 	a := NewAvgCaseLP(t, samples, true, opts)
 	a.SetLocality(hNorm)
 	return a.SolveCtx(ctx)
@@ -224,7 +194,7 @@ func AvgCaseAtLocalityCtx(ctx context.Context, t *topo.Torus, samples []*traffic
 
 // AvgCaseParetoCurve sweeps locality for Figure 6's optimal tradeoff curve.
 // See AvgCaseParetoCurveCtx for the sweep strategy.
-func AvgCaseParetoCurve(t *topo.Torus, samples []*traffic.Matrix, hNorms []float64, opts Options) ([]ParetoPoint, error) {
+func AvgCaseParetoCurve(t topo.Topology, samples []*traffic.Matrix, hNorms []float64, opts Options) ([]ParetoPoint, error) {
 	return AvgCaseParetoCurveCtx(context.Background(), t, samples, hNorms, opts)
 }
 
@@ -233,7 +203,7 @@ func AvgCaseParetoCurve(t *topo.Torus, samples []*traffic.Matrix, hNorms []float
 // single-LP sweep (sample cuts stay valid across L); any other worker count
 // solves the points as independent LPs concurrently, ordered by hNorms
 // index in the result.
-func AvgCaseParetoCurveCtx(ctx context.Context, t *topo.Torus, samples []*traffic.Matrix, hNorms []float64, opts Options) ([]ParetoPoint, error) {
+func AvgCaseParetoCurveCtx(ctx context.Context, t topo.Topology, samples []*traffic.Matrix, hNorms []float64, opts Options) ([]ParetoPoint, error) {
 	cap := eval.NetworkCapacity(t)
 	if par.Workers(opts.Workers) > 1 {
 		out := make([]ParetoPoint, len(hNorms))

@@ -15,9 +15,9 @@ import (
 // machinery and as the capacity normalizer for arbitrary experiments.
 // Per-channel constraints are generated lazily, exactly like the
 // average-case problem with the single uniform "sample".
-func Capacity(t *topo.Torus, opts Options) (*Result, error) {
+func Capacity(t topo.Topology, opts Options) (*Result, error) {
 	p := NewFlowLP(t, false, opts)
-	u := traffic.Uniform(t.N)
+	u := traffic.Uniform(t.Nodes())
 	tol := opts.tol()
 	res := &Result{}
 	for round := 0; round < opts.rounds(); round++ {
@@ -54,7 +54,7 @@ func Capacity(t *topo.Torus, opts Options) (*Result, error) {
 // NetworkCapacityLP returns the LP-computed network capacity (throughput
 // under uniform traffic at the optimal routing), which must agree with the
 // closed-form eval.NetworkCapacity on tori.
-func NetworkCapacityLP(t *topo.Torus, opts Options) (float64, error) {
+func NetworkCapacityLP(t topo.Topology, opts Options) (float64, error) {
 	res, err := Capacity(t, opts)
 	if err != nil {
 		return 0, err

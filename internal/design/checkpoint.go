@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 
 	"tcr/internal/store"
+	"tcr/internal/topo"
 )
 
 // Cut-loop checkpointing: every Options.CheckpointEvery rounds, the loop
@@ -77,14 +78,20 @@ func (ck *checkpoint) verify() bool {
 
 // sig fingerprints everything that shapes the cut loop's trajectory except
 // its budgets (budgets may legitimately differ between the killed run and
-// the resuming one).
+// the resuming one). The 2D torus keeps its historical "k=%d" form so
+// pre-refactor checkpoints still resume; other families identify themselves
+// by their canonical topology string.
 func (p *FlowLP) sig() string {
 	loc := ""
 	if p.hasH {
 		loc = fmt.Sprintf(" loc=%g", p.locNorm)
 	}
-	return fmt.Sprintf("%s k=%d fold=%d cuts=%d stage=%d tol=%g%s",
-		checkpointVersion, p.T.K, p.fold, p.opts.Cuts, p.ckptStage, p.opts.tol(), loc)
+	id := "topo=" + topo.String(p.T)
+	if tt, ok := p.T.(*topo.Torus); ok {
+		id = fmt.Sprintf("k=%d", tt.K)
+	}
+	return fmt.Sprintf("%s %s fold=%d cuts=%d stage=%d tol=%g%s",
+		checkpointVersion, id, p.fold, p.opts.Cuts, p.ckptStage, p.opts.tol(), loc)
 }
 
 // writeCheckpoint snapshots the loop after `round` completed rounds. The

@@ -58,20 +58,20 @@ func (p *FlowLP) apply(e cutEntry) {
 	case cutPair:
 		b := p.blocks[e.Block]
 		p.solver.AddCut(p.pairRowTerms(b, e.S, e.D), lp.LE, 0)
-		b.added[e.S*p.T.N+e.D] = true
+		b.added[e.S*p.n+e.D] = true
 	case cutMatrix:
 		p.solver.AddCut(p.matrixCutTerms(topo.Channel(e.Ch), e.mat, lp.VarID(e.Bound)), lp.LE, 0)
 	case cutCapW:
 		p.solver.AddCut([]lp.Term{{Var: p.wVar, Coef: 1}}, lp.LE, e.Val)
 	case cutObjLen:
 		for ci, cm := range p.comms {
-			for c := 0; c < p.T.C; c++ {
-				p.solver.SetObjCoef(p.varID(ci, topo.Channel(c)), cm.orbit)
+			for c := 0; c < p.nc; c++ {
+				p.solver.SetObjCoef(p.varID(ci, topo.Channel(c)), cm.weight)
 			}
 		}
 		p.solver.SetObjCoef(p.wVar, 0)
 	case cutLoc:
-		p.solver.SetRHS(int(p.hRow), e.Val*float64(p.T.N)*p.T.MeanMinDist())
+		p.solver.SetRHS(int(p.hRow), e.Val*float64(p.n)*p.T.MeanMinDist())
 	}
 }
 

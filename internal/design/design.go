@@ -27,12 +27,15 @@
 // average-case problem.
 //
 // Symmetry (Section 4) enters through variable folding: commodities are
-// restricted to canonical relative destinations (translation folding alone,
-// or translation plus the dihedral octant), with every pair's channel loads
-// expressed over the folded variables through explicit automorphisms. Both
-// foldings are implemented and cross-checked in tests; convexity of the
+// restricted to canonical pair classes of the topology's automorphism group
+// (translation folding alone, or the full group), with every pair's channel
+// loads expressed over the folded variables through explicit automorphisms.
+// Both foldings are implemented and cross-checked in tests; convexity of the
 // cost functions guarantees a symmetric optimum exists, so folding loses
-// nothing.
+// nothing. The machinery is generic over topo.Topology: on the 2D torus the
+// full group is the dihedral octant folding of the original engine, on the
+// 3D torus the hyperoctahedral cone, and on the mesh the box-fixing
+// reflections.
 package design
 
 import (
@@ -53,11 +56,13 @@ import (
 type Fold int
 
 const (
-	// FoldOctant folds commodities over translations and the dihedral
-	// group: one commodity per canonical octant destination. Smallest LPs.
+	// FoldOctant folds commodities over the topology's full automorphism
+	// group: one commodity per pair class (on the 2D torus, one per
+	// canonical octant destination -- hence the name). Smallest LPs.
 	FoldOctant Fold = iota
-	// FoldTranslation folds over translations only: one commodity per
-	// relative destination. Larger LPs; used to cross-check the octant
+	// FoldTranslation folds over the translation subgroup only: one
+	// commodity per relative destination on vertex-transitive families, one
+	// per ordered pair otherwise. Larger LPs; used to cross-check the full
 	// folding.
 	FoldTranslation
 )
@@ -179,24 +184,32 @@ func (o Options) ckptEvery() int {
 	return 1
 }
 
-// commodity is one folded flow commodity.
+// commodity is one folded flow commodity: a pair class of the folding
+// group, carrying its orbit weight (offsets-per-source on vertex-transitive
+// families; ordered-pairs/N in general).
 type commodity struct {
-	rel    topo.Node // canonical relative destination as a node id
-	orbit  float64   // number of relative offsets folded onto it
-	relDst topo.RelDest
+	src, dst topo.Node
+	weight   float64
 }
 
 // FlowLP is a flow-based routing design LP under a symmetry folding. It
 // carries the variable layout, the pair-to-variable automorphism maps, and
 // the warm-startable solver.
 type FlowLP struct {
-	T     *topo.Torus
-	fold  Fold
+	T    topo.Topology
+	fold Fold
+	// n and nc cache T.Nodes() and T.Chans().
+	n, nc int
+	// grp is the folding group (full or translation, per fold); seps are
+	// the separation oracle's representative channels -- one per channel
+	// orbit of the translation subgroup.
+	grp   topo.AutGroup
+	seps  []topo.Channel
 	comms []commodity
 	// pairComm[s*N+d] / pairAut[s*N+d]: the commodity index and the
 	// automorphism mapping pair (s, d) onto it; -1 for self pairs.
 	pairComm []int
-	pairAut  []topo.Aut
+	pairAut  []topo.AutID
 
 	model  *lp.Model
 	solver *lp.Solver
@@ -219,9 +232,34 @@ type FlowLP struct {
 	opts Options
 }
 
+// newBareFlowLP builds the folding state (commodities, pair maps, separation
+// representatives) without any LP model; the construction entry points add
+// their own variables and rows on top.
+func newBareFlowLP(t topo.Topology, opts Options) *FlowLP {
+	p := &FlowLP{T: t, n: t.Nodes(), nc: t.Chans(), fold: opts.Fold, opts: opts, hRow: -1}
+	if p.fold == FoldTranslation {
+		p.grp = t.TransGroup()
+	} else {
+		p.grp = t.Group()
+	}
+	if p.fold == FoldOctant && !t.VertexTransitive() {
+		// With the stabilizer rows of addSymmetry in the model, the unfolded
+		// routing function is invariant under the full group, so one
+		// separation representative per full-group channel orbit suffices.
+		// Without translations this is the difference between scanning a
+		// handful of orbits and scanning every channel.
+		p.seps = t.Group().ChanOrbitReps()
+	} else {
+		p.seps = t.TransGroup().ChanOrbitReps()
+	}
+	p.buildCommodities()
+	p.buildPairMaps()
+	return p
+}
+
 // varID returns the LP variable of (commodity, channel).
 func (p *FlowLP) varID(comm int, c topo.Channel) lp.VarID {
-	return lp.VarID(comm*p.T.C + int(c))
+	return lp.VarID(comm*p.nc + int(c))
 }
 
 // NewFlowLP builds the base LP: flow conservation for each folded commodity
@@ -229,49 +267,16 @@ func (p *FlowLP) varID(comm int, c topo.Channel) lp.VarID {
 // (H_avg <= L, normalized units; see the package comment on why the paper's
 // equality becomes a budget here) is added when withLocality is set; sweep
 // it with SetLocality.
-func NewFlowLP(t *topo.Torus, withLocality bool, opts Options) *FlowLP {
-	p := &FlowLP{T: t, fold: opts.Fold, opts: opts, hRow: -1}
-	p.buildCommodities()
-	p.buildPairMaps()
+func NewFlowLP(t topo.Topology, withLocality bool, opts Options) *FlowLP {
+	p := newBareFlowLP(t, opts)
 
 	m := lp.NewModel()
-	for ci := range p.comms {
-		for c := 0; c < t.C; c++ {
-			m.AddVar(0, fmt.Sprintf("x[%d,%d]", ci, c))
-		}
-	}
+	p.addFlowVars(m)
 	p.wVar = m.AddVar(1, "w")
-
-	// Flow conservation: for each commodity and node, out - in = supply.
-	for ci, cm := range p.comms {
-		for n := 0; n < t.N; n++ {
-			terms := make([]lp.Term, 0, 8)
-			for d := topo.Dir(0); d < topo.NumDirs; d++ {
-				terms = append(terms, lp.Term{Var: p.varID(ci, t.Chan(topo.Node(n), d)), Coef: 1})
-				nb := t.Neighbor(topo.Node(n), d)
-				terms = append(terms, lp.Term{Var: p.varID(ci, t.Chan(nb, d.Reverse())), Coef: -1})
-			}
-			rhs := 0.0
-			switch topo.Node(n) {
-			case 0:
-				rhs = 1
-			case cm.rel:
-				rhs = -1
-			}
-			m.AddRow(terms, lp.EQ, rhs, fmt.Sprintf("cons[%d,%d]", ci, n))
-		}
-	}
-
+	p.addConservation(m, true)
+	p.addSymmetry(m)
 	if withLocality {
-		terms := make([]lp.Term, 0, len(p.comms)*t.C)
-		for ci, cm := range p.comms {
-			for c := 0; c < t.C; c++ {
-				terms = append(terms, lp.Term{Var: p.varID(ci, topo.Channel(c)), Coef: cm.orbit})
-			}
-		}
-		// H_avg = (1/N) * sum orbit * pathlen; constrain the sum directly.
-		p.hRow = m.AddRow(terms, lp.LE, float64(t.N)*t.MeanMinDist(), "H")
-		p.hasH = true
+		p.addLocalityRow(m)
 	}
 
 	p.model = m
@@ -279,55 +284,112 @@ func NewFlowLP(t *topo.Torus, withLocality bool, opts Options) *FlowLP {
 	return p
 }
 
-func (p *FlowLP) buildCommodities() {
-	t := p.T
-	switch p.fold {
-	case FoldOctant:
-		for _, od := range t.OctantDests() {
-			p.comms = append(p.comms, commodity{
-				rel:    t.NodeAt(od.Rel.X, od.Rel.Y),
-				orbit:  float64(od.Orbit),
-				relDst: od.Rel,
-			})
-		}
-	case FoldTranslation:
-		for rel := 1; rel < t.N; rel++ {
-			x, y := t.Coord(topo.Node(rel))
-			p.comms = append(p.comms, commodity{
-				rel:    topo.Node(rel),
-				orbit:  1,
-				relDst: topo.RelDest{X: x, Y: y},
-			})
+// addFlowVars adds the per-commodity channel flow variables in varID order.
+func (p *FlowLP) addFlowVars(m *lp.Model) {
+	for ci := range p.comms {
+		for c := 0; c < p.nc; c++ {
+			m.AddVar(0, fmt.Sprintf("x[%d,%d]", ci, c))
 		}
 	}
 }
 
-func (p *FlowLP) buildPairMaps() {
+// addConservation appends the flow-conservation rows: for each commodity and
+// node, out - in = supply (+1 at the class source, -1 at its destination).
+func (p *FlowLP) addConservation(m *lp.Model, named bool) {
 	t := p.T
-	commIdx := make(map[topo.Node]int, len(p.comms))
-	for i, cm := range p.comms {
-		commIdx[cm.rel] = i
+	for ci, cm := range p.comms {
+		for n := 0; n < p.n; n++ {
+			nd := topo.Node(n)
+			deg := t.OutDeg(nd)
+			terms := make([]lp.Term, 0, 2*deg)
+			for pt := 0; pt < deg; pt++ {
+				out := t.PortChan(nd, pt)
+				terms = append(terms,
+					lp.Term{Var: p.varID(ci, out), Coef: 1},
+					lp.Term{Var: p.varID(ci, t.ReverseChan(out)), Coef: -1},
+				)
+			}
+			rhs := 0.0
+			switch nd {
+			case cm.src:
+				rhs = 1
+			case cm.dst:
+				rhs = -1
+			}
+			name := ""
+			if named {
+				name = fmt.Sprintf("cons[%d,%d]", ci, n)
+			}
+			m.AddRow(terms, lp.EQ, rhs, name)
+		}
 	}
-	p.pairComm = make([]int, t.N*t.N)
-	p.pairAut = make([]topo.Aut, t.N*t.N)
-	for s := 0; s < t.N; s++ {
-		sx, sy := t.Coord(topo.Node(s))
-		for d := 0; d < t.N; d++ {
-			idx := s*t.N + d
-			if s == d {
-				p.pairComm[idx] = -1
+}
+
+// addSymmetry appends stabilizer-invariance rows for full-group foldings of
+// families without translation symmetry: x[ci][c] == x[ci][h(c)] for every
+// nontrivial automorphism h fixing class ci's representative pair. PairAut
+// picks one automorphism per pair, so without these rows the unfolded routing
+// function is well-defined but only invariant modulo that choice; with them it
+// is invariant under the whole group, making channel loads constant on
+// full-group channel orbits — which is what licenses newBareFlowLP's reduced
+// separation set. Convexity guarantees a fully symmetric optimum exists, so
+// the rows lose nothing. Vertex-transitive families skip this: their
+// historical LPs carry no such rows, and translation invariance alone already
+// covers their per-direction separation representatives.
+func (p *FlowLP) addSymmetry(m *lp.Model) {
+	if p.fold != FoldOctant || p.T.VertexTransitive() {
+		return
+	}
+	id := p.grp.Identity()
+	for ci, cm := range p.comms {
+		for _, h := range p.grp.Elements() {
+			if h == id ||
+				p.grp.ApplyNode(h, cm.src) != cm.src ||
+				p.grp.ApplyNode(h, cm.dst) != cm.dst {
 				continue
 			}
-			switch p.fold {
-			case FoldOctant:
-				a, rel := t.PairAut(topo.Node(s), topo.Node(d))
-				p.pairComm[idx] = commIdx[t.NodeAt(rel.X, rel.Y)]
-				p.pairAut[idx] = a
-			case FoldTranslation:
-				rx, ry := t.Rel(topo.Node(s), topo.Node(d))
-				p.pairComm[idx] = commIdx[t.NodeAt(rx, ry)]
-				p.pairAut[idx] = topo.Aut{M: topo.DihId, Tx: -sx, Ty: -sy}
+			for c := 0; c < p.nc; c++ {
+				hc := p.grp.ApplyChan(h, topo.Channel(c))
+				if int(hc) <= c {
+					continue // each unordered {c, h(c)} once; fixed channels need no row
+				}
+				m.AddRow([]lp.Term{
+					{Var: p.varID(ci, topo.Channel(c)), Coef: 1},
+					{Var: p.varID(ci, hc), Coef: -1},
+				}, lp.EQ, 0, "")
 			}
+		}
+	}
+}
+
+// addLocalityRow appends the H_avg budget row (orbit-weighted total flow).
+func (p *FlowLP) addLocalityRow(m *lp.Model) {
+	terms := make([]lp.Term, 0, len(p.comms)*p.nc)
+	for ci, cm := range p.comms {
+		for c := 0; c < p.nc; c++ {
+			terms = append(terms, lp.Term{Var: p.varID(ci, topo.Channel(c)), Coef: cm.weight})
+		}
+	}
+	// H_avg = (1/N) * sum weight * pathlen; constrain the sum directly.
+	p.hRow = m.AddRow(terms, lp.LE, float64(p.n)*p.T.MeanMinDist(), "H")
+	p.hasH = true
+}
+
+func (p *FlowLP) buildCommodities() {
+	for _, cl := range p.grp.Classes() {
+		p.comms = append(p.comms, commodity{src: cl.Src, dst: cl.Dst, weight: cl.Weight})
+	}
+}
+
+func (p *FlowLP) buildPairMaps() {
+	n := p.n
+	p.pairComm = make([]int, n*n)
+	p.pairAut = make([]topo.AutID, n*n)
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			ci, a := p.grp.PairAut(topo.Node(s), topo.Node(d))
+			p.pairComm[s*n+d] = ci
+			p.pairAut[s*n+d] = a
 		}
 	}
 }
@@ -335,12 +397,12 @@ func (p *FlowLP) buildPairMaps() {
 // pairLoadVar returns the LP variable carrying the load that pair (s, d)
 // places on channel c, or -1 for self pairs.
 func (p *FlowLP) pairLoadVar(s, d int, c topo.Channel) lp.VarID {
-	idx := s*p.T.N + d
+	idx := s*p.n + d
 	ci := p.pairComm[idx]
 	if ci < 0 {
 		return -1
 	}
-	return p.varID(ci, p.T.ApplyChan(p.pairAut[idx], c))
+	return p.varID(ci, p.grp.ApplyChan(p.pairAut[idx], c))
 }
 
 // SetLocality re-targets the locality row at normalized average path length
@@ -369,9 +431,9 @@ func (p *FlowLP) matrixCut(c topo.Channel, lam *traffic.Matrix, bound lp.VarID) 
 
 // matrixCutTerms builds the dense-pattern load cut's terms.
 func (p *FlowLP) matrixCutTerms(c topo.Channel, lam *traffic.Matrix, bound lp.VarID) []lp.Term {
-	terms := make([]lp.Term, 0, p.T.N*p.T.N/4)
-	for s := 0; s < p.T.N; s++ {
-		for d := 0; d < p.T.N; d++ {
+	terms := make([]lp.Term, 0, p.n*p.n/4)
+	for s := 0; s < p.n; s++ {
+		for d := 0; d < p.n; d++ {
 			l := lam.L[s][d]
 			//lint:ignore floatcmp sparsity skip: entries never written stay exactly 0
 			if l == 0 {
@@ -385,17 +447,31 @@ func (p *FlowLP) matrixCutTerms(c topo.Channel, lam *traffic.Matrix, bound lp.Va
 	return append(terms, lp.Term{Var: bound, Coef: -1})
 }
 
-// unfold expands an LP solution into a full per-relative-destination flow
-// table (the induced translation-invariant routing function).
+// unfold expands an LP solution into a full flow table: one row per relative
+// destination on vertex-transitive families (the induced
+// translation-invariant routing function), one row per ordered pair
+// otherwise.
 func (p *FlowLP) unfold(x []float64) *eval.Flow {
 	t := p.T
 	f := eval.NewFlow(t)
-	for rel := 1; rel < t.N; rel++ {
-		idx := 0*t.N + rel // pair (0, rel)
-		ci := p.pairComm[idx]
-		a := p.pairAut[idx]
-		for c := 0; c < t.C; c++ {
-			f.X[rel][c] = x[p.varID(ci, t.ApplyChan(a, topo.Channel(c)))]
+	fill := func(row []float64, idx int) {
+		ci, a := p.pairComm[idx], p.pairAut[idx]
+		for c := 0; c < p.nc; c++ {
+			row[c] = x[p.varID(ci, p.grp.ApplyChan(a, topo.Channel(c)))]
+		}
+	}
+	if t.VertexTransitive() {
+		for rel := 1; rel < p.n; rel++ {
+			fill(f.X[rel], rel) // pair (0, rel)
+		}
+		return f
+	}
+	for s := 0; s < p.n; s++ {
+		for d := 0; d < p.n; d++ {
+			if s == d {
+				continue
+			}
+			fill(f.X[s*p.n+d], s*p.n+d)
 		}
 	}
 	return f
@@ -451,16 +527,16 @@ func degrade(res *Result, flow *eval.Flow, obj, gammaWC float64, cause error) (*
 // permutation cuts, until the Hungarian oracle certifies that no permutation
 // loads any channel beyond the LP's bound variable by more than tol.
 //
-// The per-direction Hungarian oracles are independent and run on
-// Options.Workers goroutines; cuts are then added sequentially in direction
-// order, so the generated LP -- and hence the solve trajectory -- is
-// identical for every worker count.
+// The per-representative Hungarian oracles are independent and run on
+// Options.Workers goroutines; cuts are then added sequentially in
+// representative order, so the generated LP -- and hence the solve
+// trajectory -- is identical for every worker count.
 func (p *FlowLP) solveWorstCase(ctx context.Context) (*Result, error) {
 	tol := p.opts.tol()
 	var last *lp.Solution
 	res := &Result{}
-	perms := make([][]int, topo.NumDirs)
-	gammas := make([]float64, topo.NumDirs)
+	perms := make([][]int, len(p.seps))
+	gammas := make([]float64, len(p.seps))
 	startRound := 0
 	if r, it, ok := p.restoreCheckpoint(); ok {
 		startRound, res.Iterations = r, it
@@ -496,15 +572,15 @@ func (p *FlowLP) solveWorstCase(ctx context.Context) (*Result, error) {
 		flow := p.unfold(sol.X)
 		w := sol.X[p.wVar]
 
-		// Separation: worst permutation per channel-direction
-		// representative (translation invariance covers the rest).
+		// Separation: worst permutation per channel-orbit representative of
+		// the translation subgroup (translation invariance covers the rest;
+		// without it, every channel is its own representative).
 		err = p.separate(ctx, func() error {
-			return par.Do(ctx, int(topo.NumDirs), p.opts.Workers, func(i int) error {
+			return par.Do(ctx, len(p.seps), p.opts.Workers, func(i int) error {
 				if err := oracleFault(); err != nil {
 					return err
 				}
-				c := p.T.Chan(0, topo.Dir(i))
-				perm, g, err := matching.MaxWeightAssignment(pairLoadMatrix(flow, c))
+				perm, g, err := matching.MaxWeightAssignment(pairLoadMatrix(flow, p.seps[i]))
 				if err != nil {
 					return err
 				}
@@ -523,9 +599,9 @@ func (p *FlowLP) solveWorstCase(ctx context.Context) (*Result, error) {
 			bestFlow, bestObj, bestGW = flow, sol.Objective, gw
 		}
 		violated := false
-		for dir := topo.Dir(0); dir < topo.NumDirs; dir++ {
-			if gammas[dir] > w+tol*math.Max(1, w) {
-				p.permCut(p.T.Chan(0, dir), perms[dir], p.wVar)
+		for i := range p.seps {
+			if gammas[i] > w+tol*math.Max(1, w) {
+				p.permCut(p.seps[i], perms[i], p.wVar)
 				violated = true
 			}
 		}
@@ -555,19 +631,33 @@ func (p *FlowLP) solveWorstCase(ctx context.Context) (*Result, error) {
 		fmt.Errorf("cutting planes did not converge in %d rounds", p.opts.rounds()))
 }
 
-// pairLoadMatrix mirrors eval's internal pair-load matrix for the oracle.
+// pairLoadMatrix mirrors eval's internal pair-load matrix for the oracle:
+// entry (s, d) is the load pair (s, d) places on channel c. On
+// vertex-transitive families the flow table holds one row per relative
+// destination and the channel is translated into each source's frame; the
+// general form reads the per-pair rows directly.
 func pairLoadMatrix(f *eval.Flow, c topo.Channel) [][]float64 {
 	t := f.T
-	m := make([][]float64, t.N)
-	dir := t.ChanDir(c)
-	ux, uy := t.Coord(t.ChanSrc(c))
-	for s := 0; s < t.N; s++ {
-		m[s] = make([]float64, t.N)
-		sx, sy := t.Coord(topo.Node(s))
-		tc := t.Chan(t.NodeAt(ux-sx, uy-sy), dir)
-		for d := 0; d < t.N; d++ {
-			rx, ry := t.Rel(topo.Node(s), topo.Node(d))
-			m[s][d] = f.X[t.NodeAt(rx, ry)][tc]
+	n := t.Nodes()
+	m := make([][]float64, n)
+	if !t.VertexTransitive() {
+		for s := 0; s < n; s++ {
+			m[s] = make([]float64, n)
+			for d := 0; d < n; d++ {
+				m[s][d] = f.X[s*n+d][c]
+			}
+		}
+		return m
+	}
+	tg := t.TransGroup()
+	for s := 0; s < n; s++ {
+		m[s] = make([]float64, n)
+		// PairAut(s, 0) is the translation mapping s to the origin; it
+		// carries c into source s's canonical frame.
+		_, a := tg.PairAut(topo.Node(s), 0)
+		tc := tg.ApplyChan(a, c)
+		for d := 0; d < n; d++ {
+			m[s][d] = f.X[t.RelNode(topo.Node(s), topo.Node(d))][tc]
 		}
 	}
 	return m
@@ -576,13 +666,13 @@ func pairLoadMatrix(f *eval.Flow, c topo.Channel) [][]float64 {
 // WorstCaseOptimal designs a routing function with the maximum worst-case
 // throughput (no locality constraint): the right-hand end of Figure 1's
 // Pareto curve.
-func WorstCaseOptimal(t *topo.Torus, opts Options) (*Result, error) {
+func WorstCaseOptimal(t topo.Topology, opts Options) (*Result, error) {
 	return WorstCaseOptimalCtx(context.Background(), t, opts)
 }
 
 // WorstCaseOptimalCtx is WorstCaseOptimal under a cancellation context: the
 // solve aborts between cutting-plane rounds once ctx is done.
-func WorstCaseOptimalCtx(ctx context.Context, t *topo.Torus, opts Options) (*Result, error) {
+func WorstCaseOptimalCtx(ctx context.Context, t topo.Topology, opts Options) (*Result, error) {
 	if opts.Cuts == CutPermutations {
 		p := NewFlowLP(t, false, opts)
 		return p.solveWorstCase(ctx)
@@ -594,12 +684,12 @@ func WorstCaseOptimalCtx(ctx context.Context, t *topo.Torus, opts Options) (*Res
 // WorstCaseAtLocality designs the best worst-case routing function whose
 // average path length equals hNorm times minimal: one point of Figure 1's
 // optimal tradeoff curve (equation 10).
-func WorstCaseAtLocality(t *topo.Torus, hNorm float64, opts Options) (*Result, error) {
+func WorstCaseAtLocality(t topo.Topology, hNorm float64, opts Options) (*Result, error) {
 	return WorstCaseAtLocalityCtx(context.Background(), t, hNorm, opts)
 }
 
 // WorstCaseAtLocalityCtx is WorstCaseAtLocality under a cancellation context.
-func WorstCaseAtLocalityCtx(ctx context.Context, t *topo.Torus, hNorm float64, opts Options) (*Result, error) {
+func WorstCaseAtLocalityCtx(ctx context.Context, t topo.Topology, hNorm float64, opts Options) (*Result, error) {
 	if opts.Cuts == CutPermutations {
 		p := NewFlowLP(t, true, opts)
 		p.SetLocality(hNorm)
@@ -623,7 +713,7 @@ type ParetoPoint struct {
 // WorstCaseParetoCurve sweeps the locality constraint over hNorms and
 // returns the optimal worst-case throughput at each point. See
 // WorstCaseParetoCurveCtx for the sweep strategy.
-func WorstCaseParetoCurve(t *topo.Torus, hNorms []float64, opts Options) ([]ParetoPoint, error) {
+func WorstCaseParetoCurve(t topo.Topology, hNorms []float64, opts Options) ([]ParetoPoint, error) {
 	return WorstCaseParetoCurveCtx(context.Background(), t, hNorms, opts)
 }
 
@@ -636,7 +726,7 @@ func WorstCaseParetoCurve(t *topo.Torus, hNorms []float64, opts Options) ([]Pare
 // converge to the same optima within the LP tolerance, but the warm-started
 // sequential sweep and the independent solves may differ in the last few
 // ulps of each point.
-func WorstCaseParetoCurveCtx(ctx context.Context, t *topo.Torus, hNorms []float64, opts Options) ([]ParetoPoint, error) {
+func WorstCaseParetoCurveCtx(ctx context.Context, t topo.Topology, hNorms []float64, opts Options) ([]ParetoPoint, error) {
 	// Sweeps cannot degrade gracefully (a curve with silently uncertified
 	// points is worse than no curve) and must not share one checkpoint
 	// file across points, so checkpointing is disabled and an uncertified
@@ -701,13 +791,13 @@ func WorstCaseParetoCurveCtx(ctx context.Context, t *topo.Torus, hNorms []float6
 // for Figure 4's "optimal" series: first find the best achievable worst-case
 // load w*, then minimize average path length subject to keeping the
 // worst-case load within (1+Options.Slack) of w*.
-func MinLocalityAtWorstCase(t *topo.Torus, opts Options) (*Result, error) {
+func MinLocalityAtWorstCase(t topo.Topology, opts Options) (*Result, error) {
 	return MinLocalityAtWorstCaseCtx(context.Background(), t, opts)
 }
 
 // MinLocalityAtWorstCaseCtx is MinLocalityAtWorstCase under a cancellation
 // context.
-func MinLocalityAtWorstCaseCtx(ctx context.Context, t *topo.Torus, opts Options) (*Result, error) {
+func MinLocalityAtWorstCaseCtx(ctx context.Context, t topo.Topology, opts Options) (*Result, error) {
 	q := newPotentialLP(t, false, opts)
 	stage1, err := q.solve(ctx, math.NaN())
 	if err != nil {

@@ -18,51 +18,32 @@ import (
 // ground-truth cross-check for the constraint-generation solver on tiny
 // networks. It refuses networks with more than 6 nodes (720 permutations x
 // C channels is the sensible ceiling).
-func FullWorstCaseLP(t *topo.Torus, opts Options) (*Result, error) {
-	if t.N > 6 {
-		return nil, fmt.Errorf("design: full worst-case LP limited to N <= 6, got %d", t.N)
+func FullWorstCaseLP(t topo.Topology, opts Options) (*Result, error) {
+	if t.Nodes() > 6 {
+		return nil, fmt.Errorf("design: full worst-case LP limited to N <= 6, got %d", t.Nodes())
 	}
 	opts.Fold = FoldTranslation
-	p := &FlowLP{T: t, fold: FoldTranslation, opts: opts, hRow: -1}
-	p.buildCommodities()
-	p.buildPairMaps()
+	p := newBareFlowLP(t, opts)
 
 	m := lp.NewModel()
 	for range p.comms {
-		for c := 0; c < t.C; c++ {
+		for c := 0; c < p.nc; c++ {
 			m.AddVar(0, "")
 		}
 	}
 	p.wVar = m.AddVar(1, "w")
-	for ci, cm := range p.comms {
-		for n := 0; n < t.N; n++ {
-			terms := make([]lp.Term, 0, 8)
-			for d := topo.Dir(0); d < topo.NumDirs; d++ {
-				terms = append(terms, lp.Term{Var: p.varID(ci, t.Chan(topo.Node(n), d)), Coef: 1})
-				nb := t.Neighbor(topo.Node(n), d)
-				terms = append(terms, lp.Term{Var: p.varID(ci, t.Chan(nb, d.Reverse())), Coef: -1})
-			}
-			rhs := 0.0
-			switch topo.Node(n) {
-			case 0:
-				rhs = 1
-			case cm.rel:
-				rhs = -1
-			}
-			m.AddRow(terms, lp.EQ, rhs, "")
-		}
-	}
+	p.addConservation(m, false)
 
 	// Every permutation, every channel.
-	perm := make([]int, t.N)
+	perm := make([]int, p.n)
 	for i := range perm {
 		perm[i] = i
 	}
 	var emit func(k int)
 	emit = func(k int) {
-		if k == t.N {
-			for c := 0; c < t.C; c++ {
-				terms := make([]lp.Term, 0, t.N+1)
+		if k == p.n {
+			for c := 0; c < p.nc; c++ {
+				terms := make([]lp.Term, 0, p.n+1)
 				for s, d := range perm {
 					if s == d {
 						continue
@@ -76,7 +57,7 @@ func FullWorstCaseLP(t *topo.Torus, opts Options) (*Result, error) {
 			}
 			return
 		}
-		for i := k; i < t.N; i++ {
+		for i := k; i < p.n; i++ {
 			perm[k], perm[i] = perm[i], perm[k]
 			emit(k + 1)
 			perm[k], perm[i] = perm[i], perm[k]

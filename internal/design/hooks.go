@@ -27,7 +27,7 @@ func (p *FlowLP) LocalityRow() (lp.RowID, bool) { return p.hRow, p.hasH }
 // for a permutation traffic pattern: the per-pair load variables on channel
 // c plus the -bound term. The cut itself is terms <= 0.
 func (p *FlowLP) PermCutTerms(c topo.Channel, perm []int, bound lp.VarID) []lp.Term {
-	terms := make([]lp.Term, 0, p.T.N+1)
+	terms := make([]lp.Term, 0, p.n+1)
 	for s, d := range perm {
 		if v := p.pairLoadVar(s, d, c); v >= 0 {
 			terms = append(terms, lp.Term{Var: v, Coef: 1})

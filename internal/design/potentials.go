@@ -23,10 +23,12 @@ import (
 // minimizing w yields exactly gamma_wc.
 //
 // Translation symmetry reduces the channel set to one representative per
-// direction (the O(CN) -> O(N) collapse of Section 4); the pair constraint
-// blocks, which would be 4 N^2 rows, are generated lazily -- only pairs
-// whose load exceeds the current potentials enter the LP. The Hungarian
-// oracle then certifies optimality exactly.
+// channel orbit of the translation subgroup (the O(CN) -> O(N) collapse of
+// Section 4: one per direction on the torus families, every channel on a
+// family without translations); the pair constraint blocks, which would be
+// |reps| N^2 rows, are generated lazily -- only pairs whose load exceeds the
+// current potentials enter the LP. The Hungarian oracle then certifies
+// optimality exactly.
 
 // potBlock is the potential-variable block of one representative channel.
 type potBlock struct {
@@ -41,31 +43,49 @@ type potBlock struct {
 }
 
 // addPotentialBlocks extends the model with potential variables and the sum
-// rows sum(u)+sum(v) <= w for each direction-representative channel. Must
-// run before the solver is constructed.
+// rows sum(u)+sum(v) <= w for each of the LP's separation representatives
+// (p.seps — full-group channel orbits when the symmetrized non-transitive
+// folding is active, translation orbits otherwise). Must run before the
+// solver is constructed.
 func (p *FlowLP) addPotentialBlocks(m *lp.Model) []*potBlock {
-	return addPotentialBlocks(m, p.T, p.wVar)
+	return potentialBlocksFor(m, p.T, p.seps, p.wVar)
 }
 
-// addPotentialBlocks is the formulation-independent block builder.
-func addPotentialBlocks(m *lp.Model, t *topo.Torus, wVar lp.VarID) []*potBlock {
-	blocks := make([]*potBlock, 0, topo.NumDirs)
-	for dir := topo.Dir(0); dir < topo.NumDirs; dir++ {
-		b := &potBlock{idx: int(dir), ch: t.Chan(0, dir), added: make(map[int]bool)}
-		b.u = m.AddVars(t.N)
-		b.v = m.AddVars(t.N)
-		terms := make([]lp.Term, 0, 2*t.N+1)
-		for i := 0; i < t.N; i++ {
+// addPotentialBlocks is the formulation-independent block builder: one block
+// per channel-orbit representative of the topology's translation subgroup.
+func addPotentialBlocks(m *lp.Model, t topo.Topology, wVar lp.VarID) []*potBlock {
+	return potentialBlocksFor(m, t, t.TransGroup().ChanOrbitReps(), wVar)
+}
+
+// potentialBlocksFor builds one potential block per given representative.
+func potentialBlocksFor(m *lp.Model, t topo.Topology, reps []topo.Channel, wVar lp.VarID) []*potBlock {
+	n := t.Nodes()
+	blocks := make([]*potBlock, 0, len(reps))
+	for bi, ch := range reps {
+		b := &potBlock{idx: bi, ch: ch, added: make(map[int]bool)}
+		b.u = m.AddVars(n)
+		b.v = m.AddVars(n)
+		terms := make([]lp.Term, 0, 2*n+1)
+		for i := 0; i < n; i++ {
 			terms = append(terms,
 				lp.Term{Var: b.u + lp.VarID(i), Coef: 1},
 				lp.Term{Var: b.v + lp.VarID(i), Coef: 1},
 			)
 		}
 		terms = append(terms, lp.Term{Var: wVar, Coef: -1})
-		m.AddRow(terms, lp.LE, 0, fmt.Sprintf("potsum[%v]", dir))
+		m.AddRow(terms, lp.LE, 0, fmt.Sprintf("potsum[%v]", blockLabel(t, ch)))
 		blocks = append(blocks, b)
 	}
 	return blocks
+}
+
+// blockLabel names a potential block's sum row: the direction on the 2D
+// torus (preserving the historical row names), the channel index elsewhere.
+func blockLabel(t topo.Topology, ch topo.Channel) any {
+	if tt, ok := t.(*topo.Torus); ok {
+		return tt.ChanDir(ch)
+	}
+	return int(ch)
 }
 
 // pairRow adds the lazy constraint load_{s,d}(c) - u_s - v_d <= 0.
@@ -149,47 +169,35 @@ type potentialLP struct {
 
 // newPotentialLP builds the worst-case design LP in the paper's form (8),
 // with lazily generated pair rows.
-func newPotentialLP(t *topo.Torus, withLocality bool, opts Options) *potentialLP {
-	p := &FlowLP{T: t, fold: opts.Fold, opts: opts, hRow: -1}
-	p.buildCommodities()
-	p.buildPairMaps()
+func newPotentialLP(t topo.Topology, withLocality bool, opts Options) *potentialLP {
+	p := newBareFlowLP(t, opts)
 
 	m := lp.NewModel()
-	for ci := range p.comms {
-		for c := 0; c < t.C; c++ {
-			m.AddVar(0, fmt.Sprintf("x[%d,%d]", ci, c))
-		}
-	}
+	p.addFlowVars(m)
 	p.wVar = m.AddVar(1, "w")
 	blocks := p.addPotentialBlocks(m)
-
-	for ci, cm := range p.comms {
-		for n := 0; n < t.N; n++ {
-			terms := make([]lp.Term, 0, 8)
-			for d := topo.Dir(0); d < topo.NumDirs; d++ {
-				terms = append(terms, lp.Term{Var: p.varID(ci, t.Chan(topo.Node(n), d)), Coef: 1})
-				nb := t.Neighbor(topo.Node(n), d)
-				terms = append(terms, lp.Term{Var: p.varID(ci, t.Chan(nb, d.Reverse())), Coef: -1})
-			}
-			rhs := 0.0
-			switch topo.Node(n) {
-			case 0:
-				rhs = 1
-			case cm.rel:
-				rhs = -1
-			}
-			m.AddRow(terms, lp.EQ, rhs, "")
-		}
-	}
+	p.addConservation(m, false)
+	p.addSymmetry(m)
 	if withLocality {
-		terms := make([]lp.Term, 0, len(p.comms)*t.C)
-		for ci, cm := range p.comms {
-			for c := 0; c < t.C; c++ {
-				terms = append(terms, lp.Term{Var: p.varID(ci, topo.Channel(c)), Coef: cm.orbit})
+		p.addLocalityRow(m)
+	}
+	if !t.VertexTransitive() {
+		// Without translation symmetry every pair is its own commodity and
+		// the lazy trickle of pair rows makes the simplex grind through one
+		// degenerate re-solve per round; at the small scales non-transitive
+		// design runs at, writing LP (8)'s full pair-constraint block up
+		// front is cheaper than generating it.
+		for _, b := range blocks {
+			for s := 0; s < p.n; s++ {
+				for d := 0; d < p.n; d++ {
+					if s == d {
+						continue
+					}
+					m.AddRow(p.pairRowTerms(b, s, d), lp.LE, 0, "")
+					b.added[s*p.n+d] = true
+				}
 			}
 		}
-		p.hRow = m.AddRow(terms, lp.LE, float64(t.N)*t.MeanMinDist(), "H")
-		p.hasH = true
 	}
 	p.model = m
 	p.solver = lp.NewSolver(m)
@@ -259,8 +267,8 @@ func (q *potentialLP) solve(ctx context.Context, fixedBound float64) (*Result, e
 		}
 		// Certify every block with the Hungarian oracle, then add lazy
 		// rows only for the worst-violated block: under the symmetry
-		// folding the four direction blocks are near-copies, and feeding
-		// them all every round quadruples the LP for no information.
+		// folding the representative blocks are near-copies, and feeding
+		// them all every round multiplies the LP for no information.
 		err = p.separate(ctx, func() error {
 			return par.Do(ctx, len(p.blocks), p.opts.Workers, func(bi int) error {
 				if err := oracleFault(); err != nil {
@@ -313,19 +321,42 @@ func (q *potentialLP) solve(ctx context.Context, fixedBound float64) (*Result, e
 			return res, nil
 		}
 		progressed := false
-		if worstBlock >= 0 {
-			b := p.blocks[worstBlock]
-			// One aggregate permutation cut moves the bound immediately;
-			// the pair rows supply the matching-dual structure.
-			p.permCut(b.ch, perms[worstBlock], p.wVar)
-			for i, idx := range violatedPairs(p.T.N, b, sol.X, loads[worstBlock], tol) {
-				if i >= maxRowsPerBlockRound {
-					break
+		if p.T.VertexTransitive() {
+			if worstBlock >= 0 {
+				b := p.blocks[worstBlock]
+				// One aggregate permutation cut moves the bound immediately;
+				// the pair rows supply the matching-dual structure. Under the
+				// symmetry folding the representative blocks are near-copies,
+				// so feeding only the worst one each round keeps the LP lean
+				// without slowing convergence.
+				p.permCut(b.ch, perms[worstBlock], p.wVar)
+				for i, idx := range violatedPairs(p.n, b, sol.X, loads[worstBlock], tol) {
+					if i >= maxRowsPerBlockRound {
+						break
+					}
+					p.pairRow(b, idx/p.n, idx%p.n)
+					progressed = true
 				}
-				p.pairRow(b, idx/p.T.N, idx%p.T.N)
 				progressed = true
 			}
-			progressed = true
+		} else {
+			// Without translation symmetry every channel is its own block and
+			// the blocks are genuinely independent, so starving all but the
+			// worst one multiplies the round count by the channel count. Feed
+			// every violated block.
+			for bi, b := range p.blocks {
+				if gammas[bi] <= limit {
+					continue
+				}
+				p.permCut(b.ch, perms[bi], p.wVar)
+				for i, idx := range violatedPairs(p.n, b, sol.X, loads[bi], tol) {
+					if i >= maxRowsPerBlockRound {
+						break
+					}
+					p.pairRow(b, idx/p.n, idx%p.n)
+				}
+				progressed = true
+			}
 		}
 		if !progressed {
 			return nil, fmt.Errorf("design: oracle violated but no pair rows to add (numerical trouble)")

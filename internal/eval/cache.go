@@ -11,7 +11,7 @@ import (
 	"tcr/internal/topo"
 )
 
-// Cache memoizes flow tables content-addressed by topology radix and
+// Cache memoizes flow tables content-addressed by topology and
 // algorithm identity, so repeated Report/CLI invocations over the same
 // algorithm reuse one path-enumeration pass. Concurrent lookups of the same
 // key share a single computation (per-entry once); distinct keys compute
@@ -51,17 +51,17 @@ func NewCacheLimit(maxEntries int) *Cache {
 }
 
 // FlowKey returns the content address of (t, alg) and whether the algorithm
-// has one. Closed-form algorithms are addressed by radix plus Name, which
+// has one. Closed-form algorithms are addressed by topology plus Name, which
 // uniquely determines their path distribution; interpolations recurse with
 // the exact bits of alpha (Name alone rounds it to two decimals). Designed
 // routing tables carry only a human-chosen label that two different designs
 // may share, so they have no stable address and are never cached.
-func FlowKey(t *topo.Torus, alg routing.Algorithm) (string, bool) {
+func FlowKey(t topo.Topology, alg routing.Algorithm) (string, bool) {
 	k, ok := algKey(alg)
 	if !ok {
 		return "", false
 	}
-	return "k=" + strconv.Itoa(t.K) + "/" + k, true
+	return topo.String(t) + "/" + k, true
 }
 
 func algKey(alg routing.Algorithm) (string, bool) {
@@ -94,7 +94,7 @@ func algKey(alg routing.Algorithm) (string, bool) {
 // (designed routing tables) bypass the cache and are evaluated fresh. A
 // failed computation (context cancellation) is not cached; the next caller
 // retries.
-func (c *Cache) Evaluate(ctx context.Context, t *topo.Torus, alg routing.Algorithm, workers int) (*Flow, error) {
+func (c *Cache) Evaluate(ctx context.Context, t topo.Topology, alg routing.Algorithm, workers int) (*Flow, error) {
 	key, ok := FlowKey(t, alg)
 	if !ok {
 		return FromAlgorithmCtx(ctx, t, alg, workers)

@@ -19,7 +19,7 @@ type countingAlg struct {
 	calls int
 }
 
-func (c *countingAlg) PairPaths(t *topo.Torus, s, d topo.Node) []paths.Weighted {
+func (c *countingAlg) PairPaths(t topo.Topology, s, d topo.Node) []paths.Weighted {
 	c.mu.Lock()
 	c.calls++
 	c.mu.Unlock()

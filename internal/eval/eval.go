@@ -20,31 +20,51 @@ import (
 	"tcr/internal/traffic"
 )
 
-// Flow is the channel-load fingerprint of a translation-invariant oblivious
-// routing function: X[rel][c] is the expected number of times a unit of
-// traffic from node 0 to relative destination rel crosses channel c. Every
+// Flow is the channel-load fingerprint of an oblivious routing function.
+// On vertex-transitive topologies X[rel][c] is the expected number of times
+// a unit of traffic from node 0 to relative destination rel crosses channel
+// c, and translation invariance extends the table to all pairs; on other
+// topologies the table holds one row per ordered pair, X[s*N+d][c]. Every
 // metric in this package is a function of this table, which is exactly the
 // "one flow variable per channel per commodity" reformulation of Section 4.
 type Flow struct {
-	T *topo.Torus
+	T topo.Topology
 	X [][]float64
 }
 
+// Rows returns the number of commodity rows a flow table has on t: N for
+// vertex-transitive topologies, N^2 otherwise.
+func Rows(t topo.Topology) int {
+	if t.VertexTransitive() {
+		return t.Nodes()
+	}
+	return t.Nodes() * t.Nodes()
+}
+
+// RowOf returns the table row holding the (s, d) commodity.
+func RowOf(t topo.Topology, s, d topo.Node) int {
+	if t.VertexTransitive() {
+		return int(t.RelNode(s, d))
+	}
+	return int(s)*t.Nodes() + int(d)
+}
+
 // NewFlow allocates an all-zero flow table.
-func NewFlow(t *topo.Torus) *Flow {
-	x := make([][]float64, t.N)
-	buf := make([]float64, t.N*t.C)
+func NewFlow(t topo.Topology) *Flow {
+	rows, c := Rows(t), t.Chans()
+	x := make([][]float64, rows)
+	buf := make([]float64, rows*c)
 	for i := range x {
-		x[i] = buf[i*t.C : (i+1)*t.C]
+		x[i] = buf[i*c : (i+1)*c]
 	}
 	return &Flow{T: t, X: x}
 }
 
 // FromAlgorithm builds the flow table of an algorithm by enumerating its
-// path distributions from the canonical source, using all cores. It is the
-// context-free form of FromAlgorithmCtx; with a background context the
-// sharded evaluation cannot fail.
-func FromAlgorithm(t *topo.Torus, alg routing.Algorithm) *Flow {
+// path distributions, using all cores. It is the context-free form of
+// FromAlgorithmCtx; with a background context the sharded evaluation cannot
+// fail.
+func FromAlgorithm(t topo.Topology, alg routing.Algorithm) *Flow {
 	f, err := FromAlgorithmCtx(context.Background(), t, alg, 0)
 	mustNil(err)
 	return f
@@ -52,22 +72,40 @@ func FromAlgorithm(t *topo.Torus, alg routing.Algorithm) *Flow {
 
 // FromAlgorithmCtx builds the flow table with the per-commodity enumeration
 // sharded across at most workers goroutines (see par.Workers for the budget
-// semantics). Each relative destination owns exactly one row of the table,
-// so the shards are disjoint and the result is bit-for-bit identical for
-// every worker count. Algorithm implementations must therefore be safe for
-// concurrent PairPaths calls; all algorithms in internal/routing are
-// stateless or read-only and qualify.
-func FromAlgorithmCtx(ctx context.Context, t *topo.Torus, alg routing.Algorithm, workers int) (*Flow, error) {
+// semantics). On vertex-transitive topologies only the canonical source is
+// enumerated; otherwise every ordered pair is. Each commodity owns exactly
+// one row of the table, so the shards are disjoint and the result is
+// bit-for-bit identical for every worker count. Algorithm implementations
+// must therefore be safe for concurrent PairPaths calls; all algorithms in
+// internal/routing are stateless or read-only and qualify.
+func FromAlgorithmCtx(ctx context.Context, t topo.Topology, alg routing.Algorithm, workers int) (*Flow, error) {
 	f := NewFlow(t)
-	err := par.Do(ctx, t.N, workers, func(i int) error {
-		rel := topo.Node(i)
-		for _, w := range alg.PairPaths(t, 0, rel) {
-			for _, c := range w.Path.Channels(t) {
-				f.X[rel][c] += w.Prob
+	n := t.Nodes()
+	var err error
+	if t.VertexTransitive() {
+		err = par.Do(ctx, n, workers, func(i int) error {
+			rel := topo.Node(i)
+			for _, w := range alg.PairPaths(t, 0, rel) {
+				for _, c := range w.Path.Channels(t) {
+					f.X[rel][c] += w.Prob
+				}
 			}
-		}
-		return nil
-	})
+			return nil
+		})
+	} else {
+		err = par.Do(ctx, n*n, workers, func(i int) error {
+			s, d := topo.Node(i/n), topo.Node(i%n)
+			if s == d {
+				return nil
+			}
+			for _, w := range alg.PairPaths(t, s, d) {
+				for _, c := range w.Path.Channels(t) {
+					f.X[i][c] += w.Prob
+				}
+			}
+			return nil
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -79,12 +117,12 @@ func FromAlgorithmCtx(ctx context.Context, t *topo.Torus, alg routing.Algorithm,
 // expected path length equals its total channel crossings.
 func (f *Flow) HAvg() float64 {
 	var total float64
-	for rel := range f.X {
-		for _, v := range f.X[rel] {
+	for row := range f.X {
+		for _, v := range f.X[row] {
 			total += v
 		}
 	}
-	return total / float64(f.T.N)
+	return total / float64(len(f.X))
 }
 
 // HNorm returns H_avg normalized to the network's mean minimal path length,
@@ -93,33 +131,65 @@ func (f *Flow) HNorm() float64 {
 	return f.HAvg() / f.T.MeanMinDist()
 }
 
+// transBy returns the translation mapping node 0 to s (the inverse of the
+// PairAut translation, which maps s to the canonical source 0).
+func transBy(tg topo.AutGroup, s topo.Node) topo.AutID {
+	if s == 0 {
+		return tg.Identity()
+	}
+	_, a := tg.PairAut(s, 0)
+	return tg.Inverse(a)
+}
+
 // ChannelLoads returns gamma_c(R, Lambda) for every channel, equation (2).
 func (f *Flow) ChannelLoads(lambda *traffic.Matrix) []float64 {
 	t := f.T
-	loads := make([]float64, t.C)
+	n, nc := t.Nodes(), t.Chans()
+	loads := make([]float64, nc)
+	if !t.VertexTransitive() {
+		for s := 0; s < n; s++ {
+			row := lambda.L[s]
+			for d := 0; d < n; d++ {
+				l := row[d]
+				//lint:ignore floatcmp sparsity skip: entries never written stay exactly 0
+				if l == 0 {
+					continue
+				}
+				x := f.X[s*n+d]
+				for c := 0; c < nc; c++ {
+					//lint:ignore floatcmp sparsity skip: channels a path never crosses stay exactly 0
+					if x[c] == 0 {
+						continue
+					}
+					loads[c] += l * x[c]
+				}
+			}
+		}
+		return loads
+	}
 	// gamma_c = sum_{s,d} lambda[s][d] * X[d-s][c translated by -s].
-	// Iterate per source: translate the channel index once per (s, c).
-	for s := 0; s < t.N; s++ {
-		sx, sy := t.Coord(topo.Node(s))
+	// Iterate per source: translate the channel indices once per s.
+	tg := t.TransGroup()
+	chanMap := make([]topo.Channel, nc)
+	for s := 0; s < n; s++ {
+		shift := transBy(tg, topo.Node(s))
+		for c := 0; c < nc; c++ {
+			chanMap[c] = tg.ApplyChan(shift, topo.Channel(c))
+		}
 		row := lambda.L[s]
-		for d := 0; d < t.N; d++ {
+		for d := 0; d < n; d++ {
 			l := row[d]
 			//lint:ignore floatcmp sparsity skip: entries never written stay exactly 0
 			if l == 0 {
 				continue
 			}
-			rx, ry := t.Rel(topo.Node(s), topo.Node(d))
-			x := f.X[t.NodeAt(rx, ry)]
-			for c := 0; c < t.C; c++ {
+			x := f.X[t.RelNode(topo.Node(s), topo.Node(d))]
+			for c := 0; c < nc; c++ {
 				//lint:ignore floatcmp sparsity skip: channels a path never crosses stay exactly 0
 				if x[c] == 0 {
 					continue
 				}
-				// Translate channel c (at node u) to node u+s.
-				u := t.ChanSrc(topo.Channel(c))
-				ux, uy := t.Coord(u)
-				tc := t.Chan(t.NodeAt(ux+sx, uy+sy), t.ChanDir(topo.Channel(c)))
-				loads[tc] += l * x[c]
+				loads[chanMap[c]] += l * x[c]
 			}
 		}
 	}
@@ -146,47 +216,80 @@ func (f *Flow) Throughput(lambda *traffic.Matrix) float64 {
 // Capacity returns this routing function's throughput under uniform
 // traffic (Section 3.1).
 func (f *Flow) Capacity() float64 {
-	return f.Throughput(traffic.Uniform(f.T.N))
+	return f.Throughput(traffic.Uniform(f.T.Nodes()))
 }
 
 // NetworkCapacity returns the network's capacity: the best achievable
-// uniform-traffic throughput over all routing functions. On a torus,
-// balanced minimal routing attains the congestion lower bound
-// gamma_max >= (total minimal hops)/(C), giving capacity = 4/MeanMinDist.
-// All throughput fractions in the paper's figures are normalized by this
-// quantity.
-func NetworkCapacity(t *topo.Torus) float64 {
-	return 4 / t.MeanMinDist()
+// uniform-traffic throughput over all routing functions, from the congestion
+// lower bound gamma_max >= (total minimal hops)/C: capacity =
+// (C/N)/MeanMinDist, the mean channel count per node over the mean minimal
+// path length (4/MeanMinDist on the 2D torus). All throughput fractions in
+// the paper's figures are normalized by this quantity.
+func NetworkCapacity(t topo.Topology) float64 {
+	c, n := t.Chans(), t.Nodes()
+	if c%n == 0 {
+		return float64(c/n) / t.MeanMinDist()
+	}
+	return float64(c) / (float64(n) * t.MeanMinDist())
 }
 
 // pairLoadMatrix builds M[s][d]: the load that a unit of s->d traffic places
-// on the given canonical channel, using translation invariance.
+// on the given canonical channel. On vertex-transitive topologies
+// translation invariance reads the load off row rel(s, d) at the channel
+// translated by -s; otherwise each pair's own row is read directly.
 func (f *Flow) pairLoadMatrix(c topo.Channel) [][]float64 {
 	t := f.T
-	m := make([][]float64, t.N)
-	dir := t.ChanDir(c)
-	u := t.ChanSrc(c)
-	ux, uy := t.Coord(u)
-	for s := 0; s < t.N; s++ {
-		m[s] = make([]float64, t.N)
-		// Channel c translated by -s sits at node u-s.
-		sx, sy := t.Coord(topo.Node(s))
-		tc := t.Chan(t.NodeAt(ux-sx, uy-sy), dir)
-		for d := 0; d < t.N; d++ {
-			rx, ry := t.Rel(topo.Node(s), topo.Node(d))
-			m[s][d] = f.X[t.NodeAt(rx, ry)][tc]
+	n := t.Nodes()
+	m := make([][]float64, n)
+	if !t.VertexTransitive() {
+		for s := 0; s < n; s++ {
+			m[s] = make([]float64, n)
+			for d := 0; d < n; d++ {
+				m[s][d] = f.X[s*n+d][c]
+			}
+		}
+		return m
+	}
+	tg := t.TransGroup()
+	for s := 0; s < n; s++ {
+		m[s] = make([]float64, n)
+		// Channel c translated by -s.
+		var tc topo.Channel
+		if s == 0 {
+			tc = c
+		} else {
+			_, back := tg.PairAut(topo.Node(s), 0)
+			tc = tg.ApplyChan(back, c)
+		}
+		for d := 0; d < n; d++ {
+			m[s][d] = f.X[t.RelNode(topo.Node(s), topo.Node(d))][tc]
 		}
 	}
 	return m
+}
+
+// sepChans returns the channels the worst-case search must scan: one
+// representative per channel orbit of the translation subgroup on
+// vertex-transitive topologies (one per direction on the tori), every
+// channel otherwise (arbitrary traffic is not symmetric, so no channel scan
+// can be elided without a transitive action).
+func (f *Flow) sepChans() []topo.Channel {
+	if f.T.VertexTransitive() {
+		return f.T.TransGroup().ChanOrbitReps()
+	}
+	reps := make([]topo.Channel, f.T.Chans())
+	for c := range reps {
+		reps[c] = topo.Channel(c)
+	}
+	return reps
 }
 
 // WorstCase returns the worst-case channel load gamma_wc(R) over all
 // doubly-stochastic traffic, equation (7), and a permutation achieving it.
 // By the Birkhoff decomposition it suffices to search permutations, and the
 // per-channel search is a maximum-weight matching of the pair-load matrix.
-// Translation invariance reduces the channel scan to one representative per
-// direction. It is the context-free form of WorstCaseCtx; pairLoadMatrix
-// always produces a square N-by-N matrix, so the oracle's shape error is an
+// It is the context-free form of WorstCaseCtx; pairLoadMatrix always
+// produces a square N-by-N matrix, so the oracle's shape error is an
 // internal invariant violation, not a data condition.
 func (f *Flow) WorstCase() (float64, []int) {
 	g, perm, err := f.WorstCaseCtx(context.Background(), 0)
@@ -194,16 +297,16 @@ func (f *Flow) WorstCase() (float64, []int) {
 	return g, perm
 }
 
-// WorstCaseCtx runs the per-direction Hungarian matchings on at most
-// workers goroutines and reduces the representatives in direction order, so
-// the result (including the returned permutation's tie-breaks) is identical
-// for every worker count.
+// WorstCaseCtx runs the per-representative Hungarian matchings on at most
+// workers goroutines and reduces the representatives in scan order, so the
+// result (including the returned permutation's tie-breaks) is identical for
+// every worker count.
 func (f *Flow) WorstCaseCtx(ctx context.Context, workers int) (float64, []int, error) {
-	perms := make([][]int, topo.NumDirs)
-	weights := make([]float64, topo.NumDirs)
-	err := par.Do(ctx, int(topo.NumDirs), workers, func(i int) error {
-		c := f.T.Chan(0, topo.Dir(i))
-		perm, w, err := matching.MaxWeightAssignment(f.pairLoadMatrix(c))
+	reps := f.sepChans()
+	perms := make([][]int, len(reps))
+	weights := make([]float64, len(reps))
+	err := par.Do(ctx, len(reps), workers, func(i int) error {
+		perm, w, err := matching.MaxWeightAssignment(f.pairLoadMatrix(reps[i]))
 		if err != nil {
 			return err
 		}
@@ -288,30 +391,40 @@ func (f *Flow) AvgCaseCtx(ctx context.Context, samples []*traffic.Matrix, worker
 }
 
 // ConservationError verifies that each commodity's flow satisfies
-// conservation: for destination rel != 0, node 0 emits one net unit, rel
-// absorbs one, and every other node is balanced. It returns the largest
-// violation; algorithm- and LP-derived flows should be ~0.
+// conservation: the source emits one net unit, the destination absorbs one,
+// and every other node is balanced. It returns the largest violation;
+// algorithm- and LP-derived flows should be ~0.
 func (f *Flow) ConservationError() float64 {
 	t := f.T
+	n := t.Nodes()
+	vt := t.VertexTransitive()
 	var worst float64
-	for rel := 1; rel < t.N; rel++ {
-		x := f.X[rel]
-		for n := 0; n < t.N; n++ {
+	for row := range f.X {
+		var src, dst topo.Node
+		if vt {
+			src, dst = 0, topo.Node(row)
+		} else {
+			src, dst = topo.Node(row/n), topo.Node(row%n)
+		}
+		if src == dst {
+			continue
+		}
+		x := f.X[row]
+		for nd := topo.Node(0); nd < topo.Node(n); nd++ {
 			var net float64
-			for d := topo.Dir(0); d < topo.NumDirs; d++ {
-				net += x[t.Chan(topo.Node(n), d)]
+			deg := t.OutDeg(nd)
+			for p := 0; p < deg; p++ {
+				net += x[t.PortChan(nd, p)]
 			}
-			for d := topo.Dir(0); d < topo.NumDirs; d++ {
-				// Channel entering n from direction d: leaves neighbor in
-				// the reverse direction.
-				nb := t.Neighbor(topo.Node(n), d)
-				net -= x[t.Chan(nb, d.Reverse())]
+			for p := 0; p < deg; p++ {
+				// Channel entering nd through the same link as out-port p.
+				net -= x[t.ReverseChan(t.PortChan(nd, p))]
 			}
 			want := 0.0
-			switch topo.Node(n) {
-			case 0:
+			switch nd {
+			case src:
 				want = 1
-			case topo.Node(rel):
+			case dst:
 				want = -1
 			}
 			if dev := math.Abs(net - want); dev > worst {
@@ -322,15 +435,15 @@ func (f *Flow) ConservationError() float64 {
 	return worst
 }
 
-// FromPathDist builds a flow table directly from per-relative-destination
-// weighted paths (a routing.Table's contents), used when evaluating
-// LP-designed algorithms without re-deriving them.
-func FromPathDist(t *topo.Torus, dist map[topo.Node][]paths.Weighted) *Flow {
+// FromPathDist builds a flow table directly from per-commodity weighted
+// paths (a routing.Table's contents, keyed by table row), used when
+// evaluating LP-designed algorithms without re-deriving them.
+func FromPathDist(t topo.Topology, dist map[topo.Node][]paths.Weighted) *Flow {
 	f := NewFlow(t)
-	for rel, ws := range dist {
+	for row, ws := range dist {
 		for _, w := range ws {
 			for _, c := range w.Path.Channels(t) {
-				f.X[rel][c] += w.Prob
+				f.X[row][c] += w.Prob
 			}
 		}
 	}

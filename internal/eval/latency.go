@@ -40,12 +40,18 @@ func (f *Flow) LatencyEstimate(lambda *traffic.Matrix, rate float64, hopCycles, 
 
 // DimLoads splits a pattern's channel loads by dimension and direction,
 // returning the maximum load among channels of each direction. Useful for
-// diagnosing which rings saturate first (e.g. tornado loads only +x).
+// diagnosing which rings saturate first (e.g. tornado loads only +x). It is
+// defined for the 2D-geometry families (torus2d, mesh) that expose a
+// per-channel direction; other topologies return nil.
 func (f *Flow) DimLoads(lambda *traffic.Matrix) map[topo.Dir]float64 {
+	dt, ok := f.T.(interface{ ChanDir(topo.Channel) topo.Dir })
+	if !ok {
+		return nil
+	}
 	loads := f.ChannelLoads(lambda)
 	out := map[topo.Dir]float64{}
 	for c, l := range loads {
-		d := f.T.ChanDir(topo.Channel(c))
+		d := dt.ChanDir(topo.Channel(c))
 		if l > out[d] {
 			out[d] = l
 		}

@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DirLiteral polices the topology abstraction boundary: outside
+// internal/topo, code must not hard-code the 2D torus's direction
+// vocabulary. The flagged forms are
+//
+//   - uses of the torus direction constants (topo.NumDirs, topo.XPlus,
+//     topo.XMinus, topo.YPlus, topo.YMinus), which bake "every router has
+//     four ports named after torus2d axes" into callers, and
+//   - topo.Dir(<literal>) conversions, which invent a port index out of
+//     thin air instead of deriving it from Topology.PortChan/ChanPort.
+//
+// Generic code sizes per-node structures with Topology.OutDeg/MaxDeg and
+// walks links through PortChan/ChanDst; the Dir type itself (as a parameter
+// or conversion of a computed port) stays legal. Code that is intentionally
+// torus2d-specific — the closed-form Table 1 algorithms, dateline VC
+// assignment, the loadmap renderer — must say so with a
+// //lint:ignore dirliteral directive naming why 2D is structural there.
+func DirLiteral() *Analyzer {
+	return &Analyzer{
+		Name:  "dirliteral",
+		Doc:   "flags hard-coded 2D torus direction constants and literal port indices outside internal/topo",
+		Match: func(path string) bool { return !isTopoPackage(path) },
+		Run:   runDirLiteral,
+	}
+}
+
+// isTopoPackage reports whether path is the topology package itself, the one
+// place the direction vocabulary is definitional rather than an assumption.
+func isTopoPackage(path string) bool {
+	return path == "tcr/internal/topo" || strings.HasSuffix(path, "/internal/topo")
+}
+
+// dirConsts are the torus2d direction-vocabulary constants.
+var dirConsts = map[string]bool{
+	"NumDirs": true,
+	"XPlus":   true,
+	"XMinus":  true,
+	"YPlus":   true,
+	"YMinus":  true,
+}
+
+// topoObject reports whether obj is declared in an internal/topo package.
+func topoObject(obj types.Object) bool {
+	return obj != nil && obj.Pkg() != nil && isTopoPackage(obj.Pkg().Path())
+}
+
+func runDirLiteral(p *Package) []Diagnostic {
+	var out []Diagnostic
+	p.inspect(func(n ast.Node, _ *ast.FuncDecl) {
+		switch n := n.(type) {
+		case *ast.Ident:
+			obj, ok := p.Info.Uses[n].(*types.Const)
+			if !ok || !topoObject(obj) || !dirConsts[obj.Name()] {
+				return
+			}
+			out = append(out, Diagnostic{
+				Pos:  p.pos(n.Pos()),
+				Rule: "dirliteral",
+				Msg: "topo." + obj.Name() + " hard-codes the 2D torus port vocabulary; " +
+					"size ports with Topology.OutDeg/MaxDeg and walk links via PortChan/ChanDst, " +
+					"or justify torus2d-only code with an ignore directive",
+			})
+		case *ast.CallExpr:
+			// A conversion topo.Dir(<literal>) invents a port index; a
+			// conversion of a computed value is the sanctioned way to type a
+			// port and stays clean.
+			if len(n.Args) != 1 {
+				return
+			}
+			if _, isLit := ast.Unparen(n.Args[0]).(*ast.BasicLit); !isLit {
+				return
+			}
+			var id *ast.Ident
+			switch fun := ast.Unparen(n.Fun).(type) {
+			case *ast.Ident:
+				id = fun
+			case *ast.SelectorExpr:
+				id = fun.Sel
+			default:
+				return
+			}
+			tn, ok := p.Info.Uses[id].(*types.TypeName)
+			if !ok || tn.Name() != "Dir" || !topoObject(tn) {
+				return
+			}
+			out = append(out, Diagnostic{
+				Pos:  p.pos(n.Pos()),
+				Rule: "dirliteral",
+				Msg: "topo.Dir(literal) hard-codes a port index that only means something on the 2D torus; " +
+					"derive ports from Topology.PortChan/ChanPort, or justify with an ignore directive",
+			})
+		}
+	})
+	return out
+}

@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/types"
+	"testing"
+)
+
+// The dirliteral fixtures need a real import of an internal/topo package, so
+// a stand-in is type-checked once and served to the fixture checker through a
+// chaining importer — the in-memory analogue of the module-aware loader.
+
+const topoStandIn = `package topo
+
+// Dir is the stand-in port-index type.
+type Dir int
+
+// The 2D direction vocabulary dirliteral polices.
+const (
+	XPlus Dir = iota
+	XMinus
+	YPlus
+	YMinus
+	NumDirs
+)
+`
+
+// chainImporter serves pre-checked packages by path and defers everything
+// else to the shared source importer.
+type chainImporter struct {
+	pkgs map[string]*types.Package
+}
+
+func (c chainImporter) Import(path string) (*types.Package, error) {
+	if p := c.pkgs[path]; p != nil {
+		return p, nil
+	}
+	return fixImporter.Import(path)
+}
+
+// runOnWithTopo lints one fixture that imports the topo stand-in at
+// "tcr/internal/topo".
+func runOnWithTopo(t *testing.T, path, src string) []string {
+	t.Helper()
+	fixCount++
+	f, err := parser.ParseFile(fixFset, fmt.Sprintf("topo%d.go", fixCount), topoStandIn, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse stand-in: %v", err)
+	}
+	conf := types.Config{Importer: fixImporter}
+	tpkg, err := conf.Check("tcr/internal/topo", fixFset, []*ast.File{f}, newInfo())
+	if err != nil {
+		t.Fatalf("type-check stand-in: %v", err)
+	}
+
+	fixCount++
+	name := fmt.Sprintf("fixture%d.go", fixCount)
+	ff, err := parser.ParseFile(fixFset, name, src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := newInfo()
+	conf = types.Config{Importer: chainImporter{pkgs: map[string]*types.Package{"tcr/internal/topo": tpkg}}}
+	fpkg, err := conf.Check(path, fixFset, []*ast.File{ff}, info)
+	if err != nil {
+		t.Fatalf("type-check: %v", err)
+	}
+	p := &Package{Path: path, Fset: fixFset, Files: []*ast.File{ff}, Types: fpkg, Info: info}
+	var out []string
+	for _, d := range Run([]*Package{p}, Analyzers()) {
+		out = append(out, fmt.Sprintf("%d:%s", d.Pos.Line, d.Rule))
+	}
+	return out
+}
+
+func TestDirLiteralFlagsVocabulary(t *testing.T) {
+	got := runOnWithTopo(t, "tcr/internal/sim", `package sim
+
+import "tcr/internal/topo"
+
+func ports() int { return int(topo.NumDirs) }
+
+func reverse(d topo.Dir) topo.Dir {
+	if d == topo.XPlus {
+		return topo.XMinus
+	}
+	return d
+}
+
+func invented() topo.Dir { return topo.Dir(3) }
+`)
+	expect(t, got, "5:dirliteral", "8:dirliteral", "9:dirliteral", "14:dirliteral")
+}
+
+func TestDirLiteralComputedPortIsClean(t *testing.T) {
+	got := runOnWithTopo(t, "tcr/internal/sim", `package sim
+
+import "tcr/internal/topo"
+
+// Typing a computed port index, or handling Dir values that arrive from
+// elsewhere, is exactly what generic code is supposed to do.
+func typed(p int) topo.Dir { return topo.Dir(p) }
+
+func carry(d topo.Dir) int { return int(d) }
+`)
+	expect(t, got)
+}
+
+func TestDirLiteralTopoPackageItselfIsExempt(t *testing.T) {
+	// Inside internal/topo the vocabulary is definitional, not an assumption:
+	// the stand-in (which uses NumDirs et al. freely) plus a same-path
+	// consumer must both be clean.
+	got := runOnWithTopo(t, "other/internal/topo", `package topo2
+
+import "tcr/internal/topo"
+
+func all() []topo.Dir {
+	out := make([]topo.Dir, 0, int(topo.NumDirs))
+	for d := topo.Dir(0); d < topo.NumDirs; d++ {
+		out = append(out, d)
+	}
+	return out
+}
+`)
+	expect(t, got)
+}
+
+func TestDirLiteralSuppressed(t *testing.T) {
+	got := runOnWithTopo(t, "tcr/internal/routing", `package routing
+
+import "tcr/internal/topo"
+
+// A closed-form torus2d construction declares itself.
+func quadrant(d topo.Dir) bool {
+	//lint:ignore dirliteral DOR is a torus2d construction by definition
+	return d == topo.XPlus
+}
+`)
+	expect(t, got)
+}

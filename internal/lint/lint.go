@@ -101,6 +101,7 @@ func Analyzers() []*Analyzer {
 		GoLeak(),
 		DetWalk(),
 		RandSource(),
+		DirLiteral(),
 	}
 }
 

@@ -79,6 +79,55 @@ func BenchmarkColdSolve(b *testing.B) {
 	}
 }
 
+// BenchmarkFamilyColdSolve measures a from-scratch solve of the design LP on
+// the non-torus2d families: the k=4 3-cube exercises the B3-reduced
+// formulation at a realistic size. (The 2D points live in BenchmarkColdSolve;
+// the spec keys keep the BENCH_lp.json series distinct.)
+func BenchmarkFamilyColdSolve(b *testing.B) {
+	for _, spec := range []string{"torus3d:4"} {
+		t, err := topo.Parse(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fl := design.NewFlowLP(t, true, design.Options{})
+		for _, e := range benchEngines {
+			b.Run(fmt.Sprintf("%s/%s", spec, e), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					s := lp.NewSolver(fl.Model())
+					s.SetEngine(e)
+					if _, err := s.Solve(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFamilyModelBuild measures formulation construction alone on the
+// families where the row/column generation itself is the cost that scales:
+// the 8x8 mesh is not vertex-transitive, so the model carries per-pair
+// commodities (~119k variables) and building it — not solving — is what the
+// serving path amortizes through the design cache.
+func BenchmarkFamilyModelBuild(b *testing.B) {
+	for _, spec := range []string{"torus3d:4", "mesh:8x8"} {
+		t, err := topo.Parse(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(spec, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				fl := design.NewFlowLP(t, true, design.Options{})
+				if fl.Model().NumVars() == 0 {
+					b.Fatal("empty model")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkWarmAddCut measures the lazy-constraint episode the design loops
 // run: starting from a solved base LP (built off the clock), add six
 // adversarial permutation cuts one at a time, dual-simplex re-solving after

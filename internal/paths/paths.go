@@ -13,8 +13,11 @@ import (
 	"tcr/internal/topo"
 )
 
-// Path is a walk through the torus: a source node and a sequence of hop
-// directions.
+// Path is a walk through a topology: a source node and a sequence of hops.
+// Each hop is the port index taken at the node reached so far; on the torus
+// families ports coincide with the Dir constants, so the historical
+// direction-sequence reading still holds there, while on the mesh an entry
+// indexes the node's compacted port list.
 type Path struct {
 	Src  topo.Node
 	Dirs []topo.Dir
@@ -24,34 +27,35 @@ type Path struct {
 func (p Path) Len() int { return len(p.Dirs) }
 
 // Dst returns the node the path terminates at.
-func (p Path) Dst(t *topo.Torus) topo.Node {
+func (p Path) Dst(t topo.Topology) topo.Node {
 	n := p.Src
 	for _, d := range p.Dirs {
-		n = t.Neighbor(n, d)
+		n = t.ChanDst(t.PortChan(n, int(d)))
 	}
 	return n
 }
 
 // Nodes returns the node sequence visited, including source and destination
 // (length Len()+1).
-func (p Path) Nodes(t *topo.Torus) []topo.Node {
+func (p Path) Nodes(t topo.Topology) []topo.Node {
 	nodes := make([]topo.Node, 0, len(p.Dirs)+1)
 	n := p.Src
 	nodes = append(nodes, n)
 	for _, d := range p.Dirs {
-		n = t.Neighbor(n, d)
+		n = t.ChanDst(t.PortChan(n, int(d)))
 		nodes = append(nodes, n)
 	}
 	return nodes
 }
 
 // Channels returns the channel sequence the path crosses.
-func (p Path) Channels(t *topo.Torus) []topo.Channel {
+func (p Path) Channels(t topo.Topology) []topo.Channel {
 	chs := make([]topo.Channel, 0, len(p.Dirs))
 	n := p.Src
 	for _, d := range p.Dirs {
-		chs = append(chs, t.Chan(n, d))
-		n = t.Neighbor(n, d)
+		c := t.PortChan(n, int(d))
+		chs = append(chs, c)
+		n = t.ChanDst(c)
 	}
 	return chs
 }
@@ -73,12 +77,16 @@ func (p Path) HasUTurn() bool {
 	var plusX, minusX, plusY, minusY bool
 	for _, d := range p.Dirs {
 		switch d {
+		//lint:ignore dirliteral u-turns are defined on torus2d dimension runs; callers are the 2D path families
 		case topo.XPlus:
 			plusX = true
+		//lint:ignore dirliteral u-turns are defined on torus2d dimension runs; callers are the 2D path families
 		case topo.XMinus:
 			minusX = true
+		//lint:ignore dirliteral u-turns are defined on torus2d dimension runs; callers are the 2D path families
 		case topo.YPlus:
 			plusY = true
+		//lint:ignore dirliteral u-turns are defined on torus2d dimension runs; callers are the 2D path families
 		case topo.YMinus:
 			minusY = true
 		}
@@ -88,16 +96,16 @@ func (p Path) HasUTurn() bool {
 
 // RevisitsChannel reports whether any channel appears twice; such paths are
 // excluded from all routing functions (Section 2.2).
-func (p Path) RevisitsChannel(t *topo.Torus) bool {
+func (p Path) RevisitsChannel(t topo.Topology) bool {
 	seen := make(map[topo.Channel]bool, len(p.Dirs))
 	n := p.Src
 	for _, d := range p.Dirs {
-		c := t.Chan(n, d)
+		c := t.PortChan(n, int(d))
 		if seen[c] {
 			return true
 		}
 		seen[c] = true
-		n = t.Neighbor(n, d)
+		n = t.ChanDst(c)
 	}
 	return false
 }
@@ -144,7 +152,7 @@ type Weighted struct {
 // transformation of Figure 3; it never increases the load on any channel
 // (hops are only deleted), so applying it cannot reduce worst-case
 // throughput while it strictly improves locality.
-func RemoveLoops(t *topo.Torus, p Path) Path {
+func RemoveLoops(t topo.Topology, p Path) Path {
 	nodes := p.Nodes(t)
 	// lastSeen[n] = index in the compacted node list.
 	keptNodes := []topo.Node{nodes[0]}
@@ -210,7 +218,9 @@ func singleTravels(k, r int, plus, minus topo.Dir) []dimTravel {
 // xFirst selects the dimension traversal order.
 func DORPaths(t *topo.Torus, s, d topo.Node, xFirst bool) []Weighted {
 	rx, ry := t.Rel(s, d)
+	//lint:ignore dirliteral DOR is a torus2d construction (Table 1)
 	xOpts := minimalTravels(t.K, rx, topo.XPlus, topo.XMinus)
+	//lint:ignore dirliteral DOR is a torus2d construction (Table 1)
 	yOpts := minimalTravels(t.K, ry, topo.YPlus, topo.YMinus)
 	out := make([]Weighted, 0, len(xOpts)*len(yOpts))
 	prob := 1 / float64(len(xOpts)*len(yOpts))
@@ -269,16 +279,20 @@ func TwoTurnPaths(t *topo.Torus, s, d topo.Node) []Path {
 	}
 	// Straight runs (the other dimension's offset must be zero).
 	if ry == 0 {
+		//lint:ignore dirliteral 2TURN's path family is a torus2d construction (Section 5.2)
 		for _, xo := range singleTravels(k, rx, topo.XPlus, topo.XMinus) {
 			add(xo)
 		}
 	}
 	if rx == 0 {
+		//lint:ignore dirliteral 2TURN's path family is a torus2d construction (Section 5.2)
 		for _, yo := range singleTravels(k, ry, topo.YPlus, topo.YMinus) {
 			add(yo)
 		}
 	}
+	//lint:ignore dirliteral 2TURN's path family is a torus2d construction (Section 5.2)
 	xSingles := singleTravels(k, rx, topo.XPlus, topo.XMinus)
+	//lint:ignore dirliteral 2TURN's path family is a torus2d construction (Section 5.2)
 	ySingles := singleTravels(k, ry, topo.YPlus, topo.YMinus)
 	if rx != 0 || ry != 0 {
 		// One turn: X then Y, Y then X (both offsets nonzero, or a
@@ -299,6 +313,7 @@ func TwoTurnPaths(t *topo.Torus, s, d topo.Node) []Path {
 	}
 	// Y-X-Y symmetric.
 	for _, xo := range xSingles {
+		//lint:ignore dirliteral 2TURN's path family is a torus2d construction (Section 5.2)
 		for _, seg := range splitSegmentsDirs(k, ry, topo.YPlus, topo.YMinus) {
 			add(seg[0], xo, seg[1])
 		}
@@ -309,6 +324,7 @@ func TwoTurnPaths(t *topo.Torus, s, d topo.Node) []Path {
 // splitSegments enumerates ordered pairs of x-dimension segments
 // (each 1..k hops, either direction) whose net displacement is r mod k.
 func splitSegments(k, r int) [][2]dimTravel {
+	//lint:ignore dirliteral 2TURN's path family is a torus2d construction (Section 5.2)
 	return splitSegmentsDirs(k, r, topo.XPlus, topo.XMinus)
 }
 

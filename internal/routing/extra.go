@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 
 	"tcr/internal/paths"
 	"tcr/internal/topo"
@@ -24,7 +25,8 @@ type O1TURN struct{}
 func (O1TURN) Name() string { return "O1TURN" }
 
 // PairPaths implements Algorithm.
-func (O1TURN) PairPaths(t *topo.Torus, s, d topo.Node) []paths.Weighted {
+func (O1TURN) PairPaths(tp topo.Topology, s, d topo.Node) []paths.Weighted {
+	t := torus2d(tp, "O1TURN")
 	xy := paths.DORPaths(t, s, d, true)
 	yx := paths.DORPaths(t, s, d, false)
 	out := make([]paths.Weighted, 0, len(xy)+len(yx))
@@ -51,10 +53,12 @@ type distDef struct {
 }
 
 var dirNames = map[topo.Dir]string{
+	//lint:ignore dirliteral the golden WriteJSON format names torus2d directions by definition
 	topo.XPlus: "+x", topo.XMinus: "-x", topo.YPlus: "+y", topo.YMinus: "-y",
 }
 
 var dirByName = map[string]topo.Dir{
+	//lint:ignore dirliteral the golden WriteJSON format names torus2d directions by definition
 	"+x": topo.XPlus, "-x": topo.XMinus, "+y": topo.YPlus, "-y": topo.YMinus,
 }
 
@@ -117,6 +121,91 @@ func ReadTableJSON(r io.Reader, t *topo.Torus) (*Table, error) {
 			return nil, fmt.Errorf("routing: offset %s: probabilities sum to %v", key, sum)
 		}
 		tbl.Dist[rel] = ws
+	}
+	return tbl, nil
+}
+
+// portTableJSON is the serialized form of a Table on an arbitrary topology:
+// rows are keyed by their decimal commodity index (relative destination on
+// vertex-transitive families, pair index s*N+d otherwise) and hops are port
+// indices rather than direction names.
+type portTableJSON struct {
+	Label    string                   `json:"label"`
+	Topology string                   `json:"topology"`
+	Dists    map[string][]portDistDef `json:"dists"`
+}
+
+type portDistDef struct {
+	Ports []int   `json:"ports"`
+	Prob  float64 `json:"prob"`
+}
+
+// WritePortsJSON serializes a designed routing table for an arbitrary
+// topology; the 2D-torus WriteJSON format with its direction strings is kept
+// for torus2d golden compatibility.
+func (a *Table) WritePortsJSON(w io.Writer, t topo.Topology) error {
+	out := portTableJSON{Label: a.Label, Topology: topo.String(t), Dists: map[string][]portDistDef{}}
+	for row, ws := range a.Dist {
+		defs := make([]portDistDef, 0, len(ws))
+		for _, pw := range ws {
+			ports := make([]int, len(pw.Path.Dirs))
+			for i, d := range pw.Path.Dirs {
+				ports[i] = int(d)
+			}
+			defs = append(defs, portDistDef{Ports: ports, Prob: pw.Prob})
+		}
+		out.Dists[strconv.Itoa(int(row))] = defs
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// ReadPortsTableJSON loads a Table written by WritePortsJSON and validates
+// it against the topology: every path must terminate at its row's
+// destination and each distribution must sum to one.
+func ReadPortsTableJSON(r io.Reader, t topo.Topology) (*Table, error) {
+	var in portTableJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("routing: decode table: %w", err)
+	}
+	if in.Topology != topo.String(t) {
+		return nil, fmt.Errorf("routing: table is for %s, topology is %s", in.Topology, topo.String(t))
+	}
+	n := t.Nodes()
+	tbl := &Table{Label: in.Label, Dist: make(map[topo.Node][]paths.Weighted, len(in.Dists))}
+	for key, defs := range in.Dists {
+		row, err := strconv.Atoi(key)
+		if err != nil {
+			return nil, fmt.Errorf("routing: bad row key %q", key)
+		}
+		src, dst := topo.Node(0), topo.Node(row)
+		if !t.VertexTransitive() {
+			if row < 0 || row >= n*n {
+				return nil, fmt.Errorf("routing: row %d out of range", row)
+			}
+			src, dst = topo.Node(row/n), topo.Node(row%n)
+		} else if row < 0 || row >= n {
+			return nil, fmt.Errorf("routing: row %d out of range", row)
+		}
+		var ws []paths.Weighted
+		var sum float64
+		for _, def := range defs {
+			dirs := make([]topo.Dir, len(def.Ports))
+			for i, p := range def.Ports {
+				dirs[i] = topo.Dir(p)
+			}
+			p := paths.Path{Src: src, Dirs: dirs}
+			if p.Dst(t) != dst {
+				return nil, fmt.Errorf("routing: row %s: path ends at %d, want %d", key, p.Dst(t), dst)
+			}
+			ws = append(ws, paths.Weighted{Path: p, Prob: def.Prob})
+			sum += def.Prob
+		}
+		if len(ws) > 0 && (sum < 1-probSumTol || sum > 1+probSumTol) {
+			return nil, fmt.Errorf("routing: row %s: probabilities sum to %v", key, sum)
+		}
+		tbl.Dist[topo.Node(row)] = ws
 	}
 	return tbl, nil
 }

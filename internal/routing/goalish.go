@@ -29,9 +29,12 @@ func (GOALish) Name() string { return "GOALish" }
 
 // PairPaths implements Algorithm: direction choice per dimension as in RLB,
 // then all interleavings of the required hops with equal probability.
-func (GOALish) PairPaths(t *topo.Torus, s, d topo.Node) []paths.Weighted {
+func (GOALish) PairPaths(tp topo.Topology, s, d topo.Node) []paths.Weighted {
+	t := torus2d(tp, "GOALish")
 	rx, ry := t.Rel(s, d)
+	//lint:ignore dirliteral GOALish is a torus2d construction
 	xc := (RLB{}).dirProbs(t.K, rx, topo.XPlus, topo.XMinus)
+	//lint:ignore dirliteral GOALish is a torus2d construction
 	yc := (RLB{}).dirProbs(t.K, ry, topo.YPlus, topo.YMinus)
 	var out []paths.Weighted
 	for _, x := range xc {

@@ -20,14 +20,27 @@ import (
 
 // Algorithm is a randomized oblivious routing algorithm: for each pair it
 // defines a finite probability distribution over paths. Implementations
-// must return distributions whose probabilities sum to one and must be
-// translation-invariant.
+// must return distributions whose probabilities sum to one; on
+// vertex-transitive topologies they must also be translation-invariant.
 type Algorithm interface {
 	// Name is a short identifier ("DOR", "IVAL", ...).
 	Name() string
 	// PairPaths returns the path distribution for source s and
-	// destination d on the torus t.
-	PairPaths(t *topo.Torus, s, d topo.Node) []paths.Weighted
+	// destination d on the topology t. The closed-form algorithms of
+	// Table 1 are defined on the 2D torus only and panic on other
+	// families; LP-designed Tables work on any topology.
+	PairPaths(t topo.Topology, s, d topo.Node) []paths.Weighted
+}
+
+// torus2d asserts that a topology is the k-ary 2-cube the closed-form
+// algorithms are defined on.
+func torus2d(t topo.Topology, alg string) *topo.Torus {
+	tt, ok := t.(*topo.Torus)
+	if !ok {
+		//lint:ignore libpanic interface misuse guard: Table 1's closed-form algorithms are 2D-torus constructions, and callers gate on the family before dispatching
+		panic("routing: " + alg + " is defined on torus2d only, got " + topo.String(t))
+	}
+	return tt
 }
 
 // merge combines duplicate paths in a weighted list, summing probability.
@@ -68,8 +81,8 @@ func (a DOR) Name() string {
 }
 
 // PairPaths implements Algorithm.
-func (a DOR) PairPaths(t *topo.Torus, s, d topo.Node) []paths.Weighted {
-	return paths.DORPaths(t, s, d, !a.YFirst)
+func (a DOR) PairPaths(t topo.Topology, s, d topo.Node) []paths.Weighted {
+	return paths.DORPaths(torus2d(t, a.Name()), s, d, !a.YFirst)
 }
 
 // VAL is Valiant's randomized algorithm: route minimally (DOR x-first) to a
@@ -82,8 +95,8 @@ type VAL struct{}
 func (VAL) Name() string { return "VAL" }
 
 // PairPaths implements Algorithm.
-func (VAL) PairPaths(t *topo.Torus, s, d topo.Node) []paths.Weighted {
-	return twoPhase(t, s, d, false, false, false)
+func (VAL) PairPaths(t topo.Topology, s, d topo.Node) []paths.Weighted {
+	return twoPhase(torus2d(t, "VAL"), s, d, false, false, false)
 }
 
 // IVAL is the paper's improved Valiant (Section 5.2): phase one routes
@@ -98,8 +111,8 @@ type IVAL struct{}
 func (IVAL) Name() string { return "IVAL" }
 
 // PairPaths implements Algorithm.
-func (IVAL) PairPaths(t *topo.Torus, s, d topo.Node) []paths.Weighted {
-	return twoPhase(t, s, d, false, true, true)
+func (IVAL) PairPaths(t topo.Topology, s, d topo.Node) []paths.Weighted {
+	return twoPhase(torus2d(t, "IVAL"), s, d, false, true, true)
 }
 
 // twoPhase enumerates the path distribution of a two-phase randomized
@@ -135,9 +148,12 @@ type ROMM struct{}
 func (ROMM) Name() string { return "ROMM" }
 
 // PairPaths implements Algorithm.
-func (ROMM) PairPaths(t *topo.Torus, s, d topo.Node) []paths.Weighted {
+func (ROMM) PairPaths(tp topo.Topology, s, d topo.Node) []paths.Weighted {
+	t := torus2d(tp, "ROMM")
 	rx, ry := t.Rel(s, d)
+	//lint:ignore dirliteral ROMM is a torus2d construction (Table 1)
 	xDirs := minimalDirChoices(t.K, rx, topo.XPlus, topo.XMinus)
+	//lint:ignore dirliteral ROMM is a torus2d construction (Table 1)
 	yDirs := minimalDirChoices(t.K, ry, topo.YPlus, topo.YMinus)
 	var out []paths.Weighted
 	pQuad := 1 / float64(len(xDirs)*len(yDirs))
@@ -234,9 +250,12 @@ func (a RLB) Name() string {
 }
 
 // PairPaths implements Algorithm.
-func (a RLB) PairPaths(t *topo.Torus, s, d topo.Node) []paths.Weighted {
+func (a RLB) PairPaths(tp topo.Topology, s, d topo.Node) []paths.Weighted {
+	t := torus2d(tp, a.Name())
 	rx, ry := t.Rel(s, d)
+	//lint:ignore dirliteral RLB is a torus2d construction (Table 1)
 	xCh := a.dirProbs(t.K, rx, topo.XPlus, topo.XMinus)
+	//lint:ignore dirliteral RLB is a torus2d construction (Table 1)
 	yCh := a.dirProbs(t.K, ry, topo.YPlus, topo.YMinus)
 	var out []paths.Weighted
 	for _, xc := range xCh {
@@ -295,36 +314,44 @@ func (a RLB) dirProbs(k, r int, plus, minus topo.Dir) []weightedDir {
 	return []weightedDir{{minDir, minHops, pMin}, {maxDir, maxHops, 1 - pMin}}
 }
 
-// Table is a routing algorithm given extensionally: a path distribution per
-// relative destination from a canonical source (node 0), extended to all
-// pairs by translation. LP-designed algorithms (2TURN, 2TURNA, the optimal
-// tradeoff points) are Tables produced by flow decomposition.
+// Table is a routing algorithm given extensionally. On vertex-transitive
+// topologies it stores a path distribution per relative destination from the
+// canonical source (node 0), extended to all pairs by translation; on other
+// topologies it stores one distribution per ordered pair. LP-designed
+// algorithms (2TURN, 2TURNA, the optimal tradeoff points) are Tables
+// produced by flow decomposition.
 type Table struct {
 	// Label names the algorithm ("2TURN", "wc-opt(L=1.5)", ...).
 	Label string
-	// Dist[rel] is the distribution from node 0 to the node with
-	// relative offset rel. Missing or empty entries mean "no paths",
-	// which is only valid for the self pair.
+	// Dist is keyed by commodity row: the relative destination on
+	// vertex-transitive topologies (paths start at node 0), the pair index
+	// s*N+d otherwise (paths start at s). Missing or empty entries mean
+	// "no paths", which is only valid for self pairs.
 	Dist map[topo.Node][]paths.Weighted
 }
 
 // Name implements Algorithm.
 func (a *Table) Name() string { return a.Label }
 
-// PairPaths implements Algorithm.
-func (a *Table) PairPaths(t *topo.Torus, s, d topo.Node) []paths.Weighted {
-	rx, ry := t.Rel(s, d)
-	rel := t.NodeAt(rx, ry)
-	base := a.Dist[rel]
+// PairPaths implements Algorithm. On vertex-transitive topologies the
+// stored source-0 paths are shifted by substituting the source: translations
+// fix every port index, so the hop sequence carries over unchanged.
+func (a *Table) PairPaths(t topo.Topology, s, d topo.Node) []paths.Weighted {
+	if !t.VertexTransitive() {
+		base := a.Dist[topo.Node(int(s)*t.Nodes()+int(d))]
+		if len(base) == 0 {
+			return []paths.Weighted{{Path: paths.Path{Src: s}, Prob: 1}}
+		}
+		return base
+	}
+	base := a.Dist[t.RelNode(s, d)]
 	if len(base) == 0 {
 		// Self pair: the empty path.
 		return []paths.Weighted{{Path: paths.Path{Src: s}, Prob: 1}}
 	}
-	sx, sy := t.Coord(s)
-	shift := topo.Aut{M: topo.DihId, Tx: sx, Ty: sy}
 	out := make([]paths.Weighted, len(base))
 	for i, w := range base {
-		out[i] = paths.Weighted{Path: w.Path.Apply(t, shift), Prob: w.Prob}
+		out[i] = paths.Weighted{Path: paths.Path{Src: s, Dirs: w.Path.Dirs}, Prob: w.Prob}
 	}
 	return out
 }
@@ -343,7 +370,7 @@ func (a Interpolated) Name() string {
 }
 
 // PairPaths implements Algorithm.
-func (a Interpolated) PairPaths(t *topo.Torus, s, d topo.Node) []paths.Weighted {
+func (a Interpolated) PairPaths(t topo.Topology, s, d topo.Node) []paths.Weighted {
 	first := a.A.PairPaths(t, s, d)
 	second := a.B.PairPaths(t, s, d)
 	out := make([]paths.Weighted, 0, len(first)+len(second))
@@ -358,7 +385,7 @@ func (a Interpolated) PairPaths(t *topo.Torus, s, d topo.Node) []paths.Weighted 
 
 // SamplePath draws one path from an algorithm's distribution for (s, d);
 // the sampling entry point used by the flit-level simulator.
-func SamplePath(rng *rand.Rand, alg Algorithm, t *topo.Torus, s, d topo.Node) paths.Path {
+func SamplePath(rng *rand.Rand, alg Algorithm, t topo.Topology, s, d topo.Node) paths.Path {
 	ws := alg.PairPaths(t, s, d)
 	u := rng.Float64()
 	var acc float64
@@ -371,25 +398,27 @@ func SamplePath(rng *rand.Rand, alg Algorithm, t *topo.Torus, s, d topo.Node) pa
 	return ws[len(ws)-1].Path
 }
 
-// Sampler precomputes per-relative-destination cumulative distributions so
-// the simulator can draw paths in O(log paths) without re-enumerating.
+// Sampler precomputes cumulative path distributions so the simulator can
+// draw paths in O(log paths) without re-enumerating: one table per relative
+// destination on vertex-transitive topologies, one per ordered pair
+// otherwise.
 type Sampler struct {
-	t    *topo.Torus
+	t    topo.Topology
 	alg  Algorithm
 	cum  map[topo.Node][]float64
 	pths map[topo.Node][]paths.Path
 }
 
-// NewSampler builds the sampling tables for every relative destination.
-func NewSampler(t *topo.Torus, alg Algorithm) *Sampler {
+// NewSampler builds the sampling tables for every commodity.
+func NewSampler(t topo.Topology, alg Algorithm) *Sampler {
+	n := t.Nodes()
 	s := &Sampler{
 		t:    t,
 		alg:  alg,
-		cum:  make(map[topo.Node][]float64, t.N),
-		pths: make(map[topo.Node][]paths.Path, t.N),
+		cum:  make(map[topo.Node][]float64, n),
+		pths: make(map[topo.Node][]paths.Path, n),
 	}
-	for rel := topo.Node(0); rel < topo.Node(t.N); rel++ {
-		ws := alg.PairPaths(t, 0, rel)
+	add := func(key topo.Node, ws []paths.Weighted) {
 		cum := make([]float64, len(ws))
 		ps := make([]paths.Path, len(ws))
 		var acc float64
@@ -398,23 +427,62 @@ func NewSampler(t *topo.Torus, alg Algorithm) *Sampler {
 			cum[i] = acc
 			ps[i] = w.Path
 		}
-		s.cum[rel] = cum
-		s.pths[rel] = ps
+		s.cum[key] = cum
+		s.pths[key] = ps
+	}
+	if t.VertexTransitive() {
+		for rel := topo.Node(0); rel < topo.Node(n); rel++ {
+			add(rel, alg.PairPaths(t, 0, rel))
+		}
+		return s
+	}
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			add(topo.Node(src*n+dst), alg.PairPaths(t, topo.Node(src), topo.Node(dst)))
+		}
 	}
 	return s
 }
 
+// MaxLen returns the longest path length across all sampling tables; the
+// simulator's hop-class virtual-channel policy sizes its class count by it.
+func (sp *Sampler) MaxLen() int {
+	var max int
+	for _, ps := range sp.pths {
+		for _, p := range ps {
+			if p.Len() > max {
+				max = p.Len()
+			}
+		}
+	}
+	return max
+}
+
 // Sample draws a path from s to d.
 func (sp *Sampler) Sample(rng *rand.Rand, s, d topo.Node) paths.Path {
-	rx, ry := sp.t.Rel(s, d)
-	rel := sp.t.NodeAt(rx, ry)
-	cum := sp.cum[rel]
-	ps := sp.pths[rel]
+	key := s
+	if sp.t.VertexTransitive() {
+		key = sp.t.RelNode(s, d)
+	} else {
+		if s == d {
+			return paths.Path{Src: s}
+		}
+		key = topo.Node(int(s)*sp.t.Nodes() + int(d))
+	}
+	cum := sp.cum[key]
+	ps := sp.pths[key]
 	u := rng.Float64() * cum[len(cum)-1]
 	i := sort.SearchFloat64s(cum, u)
 	if i >= len(ps) {
 		i = len(ps) - 1
 	}
-	sx, sy := sp.t.Coord(s)
-	return ps[i].Apply(sp.t, topo.Aut{M: topo.DihId, Tx: sx, Ty: sy})
+	if sp.t.VertexTransitive() {
+		// Translations fix port indices, so shifting a source-0 path is a
+		// source substitution.
+		return paths.Path{Src: s, Dirs: ps[i].Dirs}
+	}
+	return ps[i]
 }

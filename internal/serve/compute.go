@@ -30,11 +30,58 @@ import (
 // an oversized radix must fail validation rather than exhaust the process.
 const maxRadix = 32
 
+// maxNodes is the same guard for explicit-topology requests, matching the
+// radix cap's node count (32^2).
+const maxNodes = 1024
+
 func checkRadix(k int) error {
 	if k > maxRadix {
 		return fmt.Errorf("radix %d out of range (max %d)", k, maxRadix)
 	}
 	return nil
+}
+
+// topoFor resolves a request's network: the legacy radix form (topology
+// empty) instantiates a k-ary 2-cube, the explicit form parses the
+// registered family. Both are size-capped so an oversized request fails
+// validation rather than exhausting the process.
+func topoFor(k int, topology string) (topo.Topology, error) {
+	if topology == "" {
+		if err := checkRadix(k); err != nil {
+			return nil, err
+		}
+		return topo.NewTorus(k), nil
+	}
+	t, err := topo.Parse(topology)
+	if err != nil {
+		return nil, err
+	}
+	if t.Nodes() > maxNodes {
+		return nil, fmt.Errorf("topology %s has %d nodes (max %d)", topo.String(t), t.Nodes(), maxNodes)
+	}
+	return t, nil
+}
+
+// evalNetwork resolves an eval request's network and algorithm. It is the
+// admission check for the name-addressed closed-form path: the daemon runs
+// it before accepting a request (so failures are 400s, not compute errors)
+// and ComputeEval runs it again as its own precondition.
+func evalNetwork(req store.EvalRequest) (topo.Topology, routing.Algorithm, error) {
+	t, err := topoFor(req.K, req.Topology)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, isTorus := t.(*topo.Torus); !isTorus {
+		// Table 1's closed-form algorithms are 2D-torus constructions;
+		// other families are served by LP-designed tables (the design
+		// kinds), not by name.
+		return nil, nil, fmt.Errorf("algorithm %q is defined on torus2d only (got %s)", req.Alg, topo.String(t))
+	}
+	alg, ok := routing.ByName(req.Alg)
+	if !ok {
+		return nil, nil, fmt.Errorf("unknown algorithm %q", req.Alg)
+	}
+	return t, alg, nil
 }
 
 // ComputeEval evaluates the paper's metrics for a named closed-form
@@ -44,14 +91,10 @@ func ComputeEval(ctx context.Context, req store.EvalRequest, cache *eval.Cache, 
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
-	if err := checkRadix(req.K); err != nil {
+	t, alg, err := evalNetwork(req)
+	if err != nil {
 		return nil, err
 	}
-	alg, ok := routing.ByName(req.Alg)
-	if !ok {
-		return nil, fmt.Errorf("unknown algorithm %q", req.Alg)
-	}
-	t := topo.NewTorus(req.K)
 	if cache == nil {
 		cache = eval.NewCacheLimit(1)
 	}
@@ -76,7 +119,7 @@ func ComputeEval(ctx context.Context, req store.EvalRequest, cache *eval.Cache, 
 		WCFraction:       (1 / gw) / netCap,
 	}
 	if req.Samples > 0 {
-		ac, err := f.AvgCaseCtx(ctx, traffic.Sample(t.N, req.Samples, req.Seed), workers)
+		ac, err := f.AvgCaseCtx(ctx, traffic.Sample(t.Nodes(), req.Samples, req.Seed), workers)
 		if err != nil {
 			return nil, err
 		}
@@ -139,13 +182,12 @@ func ComputeDesign(ctx context.Context, req store.DesignRequest, opts design.Opt
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
-	if err := checkRadix(req.K); err != nil {
+	t, err := topoFor(req.K, req.Topology)
+	if err != nil {
 		return nil, err
 	}
-	t := topo.NewTorus(req.K)
 	opts = designOptions(opts, req.Fold, req.Cuts, req.Tol, req.Slack)
 	var res *design.Result
-	var err error
 	switch req.Kind {
 	case store.DesignWorstCase:
 		if req.HNorm > 0 {
@@ -211,14 +253,14 @@ func ComputePareto(ctx context.Context, req store.ParetoRequest, opts design.Opt
 // ArtifactFlow reconstructs an eval.Flow from a stored design artifact, so a
 // replayed design can be decomposed into an executable routing table without
 // re-solving the LP.
-func ArtifactFlow(t *topo.Torus, art *store.DesignArtifact) (*eval.Flow, error) {
-	if len(art.Flow) != t.N {
-		return nil, fmt.Errorf("artifact flow has %d rows, want %d (radix mismatch?)", len(art.Flow), t.N)
+func ArtifactFlow(t topo.Topology, art *store.DesignArtifact) (*eval.Flow, error) {
+	if len(art.Flow) != eval.Rows(t) {
+		return nil, fmt.Errorf("artifact flow has %d rows, want %d (topology mismatch?)", len(art.Flow), eval.Rows(t))
 	}
 	f := eval.NewFlow(t)
 	for rel, row := range art.Flow {
-		if len(row) != t.C {
-			return nil, fmt.Errorf("artifact flow row %d has %d channels, want %d", rel, len(row), t.C)
+		if len(row) != t.Chans() {
+			return nil, fmt.Errorf("artifact flow row %d has %d channels, want %d", rel, len(row), t.Chans())
 		}
 		copy(f.X[rel], row)
 	}

@@ -125,6 +125,12 @@ func TestBadRequests(t *testing.T) {
 		{"/v1/eval", `{"k":4,"alg":"DOR","bogus":true}`},
 		{"/v1/eval", `{"k":64000,"alg":"DOR"}`},
 		{"/v1/eval", `not json`},
+		{"/v1/eval", `{"topology":"mesh:3x3","alg":"DOR"}`},    // closed-form algs are torus2d-only
+		{"/v1/eval", `{"topology":"hypercube:4","alg":"DOR"}`}, // unknown family
+		{"/v1/eval", `{"topology":"torus3d:16","alg":"DOR"}`},  // over the node cap
+		{"/v1/design", `{"topology":"hypercube:4","kind":"wcopt"}`},
+		{"/v1/design", `{"topology":"torus3d:16","kind":"wcopt"}`},
+		{"/v1/design", `{"topology":"mesh:","kind":"wcopt"}`},
 		{"/v1/worstperm", `{"k":4}`},
 		{"/v1/design", `{"k":4,"kind":"wat"}`},
 		{"/v1/design", `{"k":4,"kind":"minloc","hnorm":2.0}`},

@@ -281,7 +281,11 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, http.StatusBadRequest, err)
 		return
 	}
-	if err := validateNamed(req.K, req.Alg, req.Validate); err != nil {
+	if err := req.Validate(); err != nil {
+		s.fail(w, r, http.StatusBadRequest, err)
+		return
+	}
+	if _, _, err := evalNetwork(req.EvalRequest); err != nil {
 		s.fail(w, r, http.StatusBadRequest, err)
 		return
 	}
@@ -333,7 +337,9 @@ func (s *Server) handleWorstPerm(w http.ResponseWriter, r *http.Request) {
 }
 
 // validateNamed runs a request's shape validation plus the checks shared by
-// the name-addressed endpoints (radix ceiling, algorithm existence).
+// the radix-addressed named endpoints (radix ceiling, algorithm existence).
+// Eval requests, which may carry an explicit topology, go through
+// evalNetwork instead so family resolution failures are admission errors.
 func validateNamed(k int, alg string, validate func() error) error {
 	if err := validate(); err != nil {
 		return err
@@ -358,7 +364,7 @@ func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, http.StatusBadRequest, err)
 		return
 	}
-	if err := checkRadix(req.K); err != nil {
+	if _, err := topoFor(req.K, req.Topology); err != nil {
 		s.fail(w, r, http.StatusBadRequest, err)
 		return
 	}

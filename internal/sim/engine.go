@@ -12,15 +12,15 @@ import (
 // state.
 type move struct {
 	node topo.Node
-	// srcDir < 0 means the node's injection queue, otherwise the input
+	// srcPort < 0 means the node's injection queue, otherwise the input
 	// port whose VC srcVC holds the flit.
-	srcDir int
-	srcVC  int
+	srcPort int
+	srcVC   int
 	// eject indicates delivery at this node; otherwise the flit leaves
-	// toward outDir into the neighbor's input VC dstVC.
-	eject  bool
-	outDir topo.Dir
-	dstVC  int
+	// through outPort into the neighbor's input VC dstVC.
+	eject   bool
+	outPort int
+	dstVC   int
 }
 
 // Run advances the simulation by the given number of cycles; statistics
@@ -89,7 +89,7 @@ func (s *Sim) Stats() Stats {
 		Deadlocked:     s.deadlocked,
 	}
 	if cycles > 0 {
-		st.Throughput = float64(s.ejFlits) / float64(cycles) / float64(s.t.N)
+		st.Throughput = float64(s.ejFlits) / float64(cycles) / float64(s.t.Nodes())
 	}
 	if s.ejPackets > 0 {
 		st.AvgLatency = float64(s.latencySum) / float64(s.ejPackets)
@@ -117,7 +117,7 @@ func (s *Sim) step() {
 // inject generates new packets per the Bernoulli process and pattern.
 func (s *Sim) inject() {
 	pPacket := s.cfg.Rate / float64(s.cfg.PacketFlits)
-	for n := 0; n < s.t.N; n++ {
+	for n := 0; n < s.t.Nodes(); n++ {
 		if s.rng.Float64() >= pPacket {
 			continue
 		}
@@ -166,49 +166,54 @@ func (s *Sim) drawDest(src int) topo.Node {
 // allocation, producing the cycle's granted moves.
 func (s *Sim) allocate() []move {
 	var moves []move
+	// Requests per output: indices 0..deg-1 are the node's ports, index
+	// deg is ejection. The scratch is shared across nodes, sized by the
+	// widest router, and truncated per node.
+	reqs := make([][]move, s.t.MaxDeg()+1)
 	for n := range s.routers {
 		r := &s.routers[n]
 		node := topo.Node(n)
-
-		// Requests per output (0..3 = directions, 4 = ejection).
-		var reqs [topo.NumDirs + 1][]move
+		deg := len(r.in)
+		for out := 0; out <= deg; out++ {
+			reqs[out] = reqs[out][:0]
+		}
 
 		// Buffered input VCs.
-		for d := 0; d < topo.NumDirs; d++ {
-			for v := range r.in[d] {
-				vc := &r.in[d][v]
+		for p := 0; p < deg; p++ {
+			for v := range r.in[p] {
+				vc := &r.in[p][v]
 				if len(vc.buf) == 0 {
 					continue
 				}
 				fr := vc.buf[0]
 				if int(fr.hop) >= len(fr.pkt.dirs) {
-					reqs[topo.NumDirs] = append(reqs[topo.NumDirs],
-						move{node: node, srcDir: d, srcVC: v, eject: true})
+					reqs[deg] = append(reqs[deg],
+						move{node: node, srcPort: p, srcVC: v, eject: true})
 					continue
 				}
-				out := fr.pkt.dirs[fr.hop]
+				out := int(fr.pkt.dirs[fr.hop])
 				dstVC := fr.pkt.vcs[fr.hop]
 				if !s.downstreamReady(node, out, dstVC, fr.pkt) {
 					continue
 				}
 				reqs[out] = append(reqs[out],
-					move{node: node, srcDir: d, srcVC: v, outDir: out, dstVC: dstVC})
+					move{node: node, srcPort: p, srcVC: v, outPort: out, dstVC: dstVC})
 			}
 		}
 		// Injection queue head.
 		if len(r.srcQueue) > 0 {
 			pkt := r.srcQueue[0]
 			if len(pkt.dirs) == 0 {
-				reqs[topo.NumDirs] = append(reqs[topo.NumDirs],
-					move{node: node, srcDir: -1, eject: true})
-			} else if s.downstreamReady(node, pkt.dirs[0], pkt.vcs[0], pkt) {
-				reqs[pkt.dirs[0]] = append(reqs[pkt.dirs[0]],
-					move{node: node, srcDir: -1, outDir: pkt.dirs[0], dstVC: pkt.vcs[0]})
+				reqs[deg] = append(reqs[deg],
+					move{node: node, srcPort: -1, eject: true})
+			} else if out := int(pkt.dirs[0]); s.downstreamReady(node, out, pkt.vcs[0], pkt) {
+				reqs[out] = append(reqs[out],
+					move{node: node, srcPort: -1, outPort: out, dstVC: pkt.vcs[0]})
 			}
 		}
 
 		// Grant one flit per output, round-robin over requesters.
-		for out := 0; out <= topo.NumDirs; out++ {
+		for out := 0; out <= deg; out++ {
 			cands := reqs[out]
 			if len(cands) == 0 {
 				continue
@@ -224,26 +229,26 @@ func (s *Sim) allocate() []move {
 // downstreamReady checks credits and VC ownership at the input buffer the
 // flit would land in: the VC must be free or already held by this packet,
 // and a buffer slot must be available.
-func (s *Sim) downstreamReady(node topo.Node, out topo.Dir, dstVC int, pkt *packet) bool {
+func (s *Sim) downstreamReady(node topo.Node, out int, dstVC int, pkt *packet) bool {
 	r := &s.routers[node]
 	if r.credits[out][dstVC] <= 0 {
 		return false
 	}
-	nb := s.t.Neighbor(node, out)
-	owner := s.routers[nb].in[out.Reverse()][dstVC].owner
+	nb := s.neighbor[node][out]
+	owner := s.routers[nb].in[s.revPort[node][out]][dstVC].owner
 	return owner == nil || owner == pkt
 }
 
 // apply commits the cycle's moves: dequeue, transfer, credit return, and
-// ejection accounting. A flit sent toward `out` lands at the neighbor's
-// input port out.Reverse(); conversely, a flit dequeued from input port d
-// came from the neighbor in direction d, whose credit counter for the
-// channel toward us is indexed by d.Reverse().
+// ejection accounting. A flit sent through port `out` lands at the
+// neighbor's input port revPort[n][out]; conversely, a flit dequeued from
+// input port p came from neighbor[n][p], whose credit counter for the
+// channel toward us is indexed by revPort[n][p].
 func (s *Sim) apply(moves []move) {
 	for _, mv := range moves {
 		r := &s.routers[mv.node]
 		var fr flitRef
-		if mv.srcDir < 0 {
+		if mv.srcPort < 0 {
 			pkt := r.srcQueue[0]
 			r.srcSent++
 			fr = flitRef{pkt: pkt, hop: 0, last: r.srcSent == pkt.flits}
@@ -252,14 +257,14 @@ func (s *Sim) apply(moves []move) {
 				r.srcSent = 0
 			}
 		} else {
-			vc := &r.in[mv.srcDir][mv.srcVC]
+			vc := &r.in[mv.srcPort][mv.srcVC]
 			fr = vc.buf[0]
 			vc.buf = vc.buf[1:]
 			if fr.last {
 				vc.owner = nil
 			}
-			up := s.t.Neighbor(mv.node, topo.Dir(mv.srcDir))
-			s.routers[up].credits[topo.Dir(mv.srcDir).Reverse()][mv.srcVC]++
+			up := s.neighbor[mv.node][mv.srcPort]
+			s.routers[up].credits[s.revPort[mv.node][mv.srcPort]][mv.srcVC]++
 		}
 
 		if mv.eject {
@@ -273,14 +278,14 @@ func (s *Sim) apply(moves []move) {
 			continue
 		}
 
-		nb := s.t.Neighbor(mv.node, mv.outDir)
-		dst := &s.routers[nb].in[mv.outDir.Reverse()][mv.dstVC]
+		nb := s.neighbor[mv.node][mv.outPort]
+		dst := &s.routers[nb].in[s.revPort[mv.node][mv.outPort]][mv.dstVC]
 		if dst.owner == nil {
 			dst.owner = fr.pkt
 		}
 		fr.hop++
 		dst.buf = append(dst.buf, fr)
-		r.credits[mv.outDir][mv.dstVC]--
+		r.credits[mv.outPort][mv.dstVC]--
 	}
 }
 
@@ -291,9 +296,9 @@ func (s *Sim) anyBuffered() bool {
 		if len(r.srcQueue) > 0 {
 			return true
 		}
-		for d := 0; d < topo.NumDirs; d++ {
-			for v := range r.in[d] {
-				if len(r.in[d][v].buf) > 0 {
+		for p := range r.in {
+			for v := range r.in[p] {
+				if len(r.in[p][v].buf) > 0 {
 					return true
 				}
 			}

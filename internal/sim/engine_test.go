@@ -4,30 +4,34 @@ import (
 	"testing"
 
 	"tcr/internal/routing"
-	"tcr/internal/topo"
 )
 
 // TestCreditConservation: at any instant, a channel's credits at the
 // upstream router plus the occupancy of the downstream input buffer must
 // equal the buffer depth — credits may never be minted or lost.
 func TestCreditConservation(t *testing.T) {
-	s := mustNew(t, Config{K: 4, Rate: 0.7, Seed: 31, Alg: routing.IVAL{}, BufDepth: 4})
-	for step := 0; step < 2000; step++ {
-		s.step()
-		if step%50 != 0 {
-			continue
-		}
-		for n := 0; n < s.t.N; n++ {
-			up := &s.routers[n]
-			for d := topo.Dir(0); d < topo.NumDirs; d++ {
-				nb := s.t.Neighbor(topo.Node(n), d)
-				down := &s.routers[nb]
-				in := d.Reverse()
-				for v := 0; v < s.nVCs; v++ {
-					total := up.credits[d][v] + len(down.in[in][v].buf)
-					if total != s.cfg.BufDepth {
-						t.Fatalf("cycle %d node %d dir %v vc %d: credits %d + occupancy %d != depth %d",
-							step, n, d, v, up.credits[d][v], len(down.in[in][v].buf), s.cfg.BufDepth)
+	mesh := mustParse(t, "mesh:3x3")
+	for _, cfg := range []Config{
+		{K: 4, Rate: 0.7, Seed: 31, Alg: routing.IVAL{}, BufDepth: 4},
+		{Topo: mesh, Rate: 0.5, Seed: 31, Alg: minTable(t, mesh), BufDepth: 4},
+	} {
+		s := mustNew(t, cfg)
+		for step := 0; step < 2000; step++ {
+			s.step()
+			if step%50 != 0 {
+				continue
+			}
+			for n := 0; n < s.t.Nodes(); n++ {
+				up := &s.routers[n]
+				for p := range up.credits {
+					down := &s.routers[s.neighbor[n][p]]
+					in := s.revPort[n][p]
+					for v := 0; v < s.nVCs; v++ {
+						total := up.credits[p][v] + len(down.in[in][v].buf)
+						if total != s.cfg.BufDepth {
+							t.Fatalf("cycle %d node %d port %d vc %d: credits %d + occupancy %d != depth %d",
+								step, n, p, v, up.credits[p][v], len(down.in[in][v].buf), s.cfg.BufDepth)
+						}
 					}
 				}
 			}
@@ -46,7 +50,7 @@ func TestVCAtomicity(t *testing.T) {
 		}
 		for n := range s.routers {
 			r := &s.routers[n]
-			for d := 0; d < topo.NumDirs; d++ {
+			for d := range r.in {
 				for v := range r.in[d] {
 					buf := r.in[d][v].buf
 					// Scan: packet may only change right after a tail.
@@ -75,7 +79,7 @@ func TestHopProgression(t *testing.T) {
 	}
 	for n := range s.routers {
 		r := &s.routers[n]
-		for d := 0; d < topo.NumDirs; d++ {
+		for d := range r.in {
 			for v := range r.in[d] {
 				for _, fr := range r.in[d][v].buf {
 					if fr.hop < 1 || int(fr.hop) > len(fr.pkt.dirs) {
@@ -97,8 +101,8 @@ func TestEjectionBandwidth(t *testing.T) {
 	for i := 0; i < cycles; i++ {
 		s.step()
 		cur := s.ejFlits
-		if cur-prev > s.t.N {
-			t.Fatalf("cycle %d: %d flits ejected network-wide (> N=%d)", i, cur-prev, s.t.N)
+		if cur-prev > s.t.Nodes() {
+			t.Fatalf("cycle %d: %d flits ejected network-wide (> N=%d)", i, cur-prev, s.t.Nodes())
 		}
 		prev = cur
 	}

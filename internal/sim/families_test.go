@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"tcr/internal/design"
+	"tcr/internal/traffic"
+)
+
+// TestDesignedTablesSimulateWithinCertifiedBound cross-validates the
+// LP-certified designs on the non-torus2d families against the flit
+// simulator: under uniform traffic the accepted saturation throughput must
+// stay below the edge-congestion bound 1/gamma_U implied by the certified
+// flow, while a healthy router should still reach a substantial fraction of
+// it (Section 2.1 cites 60-75% for practical routers).
+func TestDesignedTablesSimulateWithinCertifiedBound(t *testing.T) {
+	specs := []string{"mesh:3x3"}
+	if !testing.Short() {
+		specs = append(specs, "torus3d:3")
+	}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec, func(t *testing.T) {
+			top := mustParse(t, spec)
+			res, err := design.WorstCaseOptimal(top, design.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Certified {
+				t.Fatalf("design not certified: %s", res.Reason)
+			}
+			tbl, err := design.DecomposeFlow(res.Flow, "wc-opt")
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The max channel load under uniform traffic certifies an
+			// accepted-load ceiling of 1/gamma_U, further capped by the
+			// unit injection bandwidth.
+			var gammaU float64
+			for _, l := range res.Flow.ChannelLoads(traffic.Uniform(top.Nodes())) {
+				if l > gammaU {
+					gammaU = l
+				}
+			}
+			bound := 1 / gammaU
+			if bound > 1 {
+				bound = 1
+			}
+			sat, err := FindSaturation(context.Background(),
+				Config{Topo: top, Seed: 7, Alg: tbl, BufDepth: 8, Warmup: 1000, Measure: 4000},
+				[]float64{0.25 * bound, 0.5 * bound, 0.75 * bound, bound, 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sat.Deadlocked {
+				t.Fatal("hop-class policy deadlocked")
+			}
+			if sat.Throughput > bound*1.07 {
+				t.Fatalf("simulated saturation %.3f exceeds certified bound %.3f", sat.Throughput, bound)
+			}
+			if sat.Throughput < bound*0.4 {
+				t.Fatalf("simulated saturation %.3f below 40%% of certified bound %.3f; router model too lossy", sat.Throughput, bound)
+			}
+		})
+	}
+}

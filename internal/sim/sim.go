@@ -1,10 +1,10 @@
-// Package sim is a cycle-based, flit-level simulator for k-ary 2-cube
-// networks with virtual-channel flow control. It backs two claims the paper
-// makes outside its analytical model: that the ideal (edge-congestion)
-// throughput bound is approached but not met by practical routers
-// (Section 2.1 cites 60-75%), and that the studied routing algorithms have
-// simple deadlock-free implementations with a handful of virtual channels
-// per physical channel (Section 5.2).
+// Package sim is a cycle-based, flit-level simulator for the module's
+// interconnection networks with virtual-channel flow control. It backs two
+// claims the paper makes outside its analytical model: that the ideal
+// (edge-congestion) throughput bound is approached but not met by practical
+// routers (Section 2.1 cites 60-75%), and that the studied routing
+// algorithms have simple deadlock-free implementations with a handful of
+// virtual channels per physical channel (Section 5.2).
 //
 // The router model is a canonical input-queued VC router: per-input virtual
 // channels with credit-based backpressure, atomic VC allocation (a virtual
@@ -12,8 +12,12 @@
 // allocation granting one flit per output per cycle. Paths are source
 // routed: the oblivious routing algorithm draws the entire path at
 // injection, and a per-algorithm VCPolicy assigns each hop a virtual
-// channel class (dateline rules for rings, class bumps at Y-to-X turns) so
-// the channel-dependence graph stays acyclic.
+// channel class so the channel-dependence graph stays acyclic — dateline
+// rules for torus rings, ascending hop classes on other topologies.
+//
+// The router is degree-parameterized: every node carries one input buffer
+// bank and one credit bank per port, sized by the topology's OutDeg, so
+// mesh border routers are narrower than interior ones.
 package sim
 
 import (
@@ -34,13 +38,13 @@ type VCPolicy interface {
 	// Classes is the number of VC classes the policy needs.
 	Classes() int
 	// Assign labels each hop of the path with its VC class.
-	Assign(t *topo.Torus, p paths.Path) []int
+	Assign(t topo.Topology, p paths.Path) []int
 }
 
 // DatelinePolicy implements the classic two-VC ring deadlock avoidance: a
 // packet uses class 0 in each dimension until it crosses that dimension's
 // wrap-around (dateline) channel, class 1 after. Sufficient for
-// dimension-order routing.
+// dimension-order routing. Torus2d only.
 type DatelinePolicy struct{}
 
 // Name implements VCPolicy.
@@ -50,15 +54,15 @@ func (DatelinePolicy) Name() string { return "dateline" }
 func (DatelinePolicy) Classes() int { return 2 }
 
 // Assign implements VCPolicy.
-func (DatelinePolicy) Assign(t *topo.Torus, p paths.Path) []int {
-	return assignDateline(t, p, 0)
+func (DatelinePolicy) Assign(t topo.Topology, p paths.Path) []int {
+	return assignDateline(t.(*topo.Torus), p, 0)
 }
 
 // TurnDatelinePolicy implements the paper's scheme for two-turn paths
 // (Section 5.2): the VC set is incremented after each Y-to-X turn (at most
 // one on any two-turn path), and within a set the dateline rule breaks
 // intra-ring cycles, for four classes total. DOR, IVAL and 2TURN paths are
-// all covered.
+// all covered. Torus2d only.
 type TurnDatelinePolicy struct{}
 
 // Name implements VCPolicy.
@@ -68,8 +72,34 @@ func (TurnDatelinePolicy) Name() string { return "turn+dateline" }
 func (TurnDatelinePolicy) Classes() int { return 4 }
 
 // Assign implements VCPolicy.
-func (TurnDatelinePolicy) Assign(t *topo.Torus, p paths.Path) []int {
-	return assignDateline(t, p, 1)
+func (TurnDatelinePolicy) Assign(t topo.Topology, p paths.Path) []int {
+	return assignDateline(t.(*topo.Torus), p, 1)
+}
+
+// HopClassPolicy is the topology-agnostic fallback: hop i uses class i, so
+// the class sequence strictly increases along every path and the channel
+// dependence graph is trivially acyclic. It needs as many classes as the
+// longest path the sampler can draw, which is why New sizes it from
+// routing.Sampler.MaxLen; the VC cost is acceptable at the small scales
+// non-torus2d simulations run at.
+type HopClassPolicy struct {
+	// NumClasses bounds path length; Assign panics if a path exceeds it.
+	NumClasses int
+}
+
+// Name implements VCPolicy.
+func (HopClassPolicy) Name() string { return "hop-class" }
+
+// Classes implements VCPolicy.
+func (p HopClassPolicy) Classes() int { return p.NumClasses }
+
+// Assign implements VCPolicy.
+func (p HopClassPolicy) Assign(t topo.Topology, path paths.Path) []int {
+	classes := make([]int, len(path.Dirs))
+	for i := range classes {
+		classes[i] = i
+	}
+	return classes
 }
 
 // assignDateline walks the path tracking the dateline bit (reset whenever
@@ -114,10 +144,12 @@ func assignDateline(t *topo.Torus, p paths.Path, turnBit int) []int {
 		nxt := t.Neighbor(n, d)
 		nx, ny := t.Coord(nxt)
 		if d.IsX() {
+			//lint:ignore dirliteral dateline VC assignment is defined on torus2d wrap channels
 			if (d == topo.XPlus && nx < x) || (d == topo.XMinus && nx > x) {
 				dateline = 1
 			}
 		} else {
+			//lint:ignore dirliteral dateline VC assignment is defined on torus2d wrap channels
 			if (d == topo.YPlus && ny < y) || (d == topo.YMinus && ny > y) {
 				dateline = 1
 			}
@@ -127,7 +159,7 @@ func assignDateline(t *topo.Torus, p paths.Path, turnBit int) []int {
 	return classes
 }
 
-// PolicyFor returns the conventional policy for an algorithm name:
+// PolicyFor returns the conventional torus2d policy for an algorithm name:
 // dateline-only for plain DOR, turn+dateline otherwise.
 func PolicyFor(alg routing.Algorithm) VCPolicy {
 	if alg.Name() == "DOR" || alg.Name() == "DOR-yx" {
@@ -144,15 +176,16 @@ const (
 
 // Config parameterizes a simulation.
 type Config struct {
-	K           int     // torus radix
-	VCsPerClass int     // virtual channels per class (default 1)
-	BufDepth    int     // flit buffer depth per VC (default 4)
-	PacketFlits int     // flits per packet (default 4)
-	Rate        float64 // offered load: flits per node per cycle (1.0 = full injection bandwidth)
+	K           int           // torus radix, used when Topo is nil
+	Topo        topo.Topology // network to simulate; nil = k-ary 2-cube of radix K
+	VCsPerClass int           // virtual channels per class (default 1)
+	BufDepth    int           // flit buffer depth per VC (default 4)
+	PacketFlits int           // flits per packet (default 4)
+	Rate        float64       // offered load: flits per node per cycle (1.0 = full injection bandwidth)
 	Seed        int64
 
 	Alg     routing.Algorithm
-	Policy  VCPolicy        // nil = PolicyFor(Alg)
+	Policy  VCPolicy        // nil = PolicyFor(Alg) on a 2D torus, hop classes otherwise
 	Pattern *traffic.Matrix // destination distribution per source; nil = uniform
 
 	// Warmup and Measure are the pre-measurement and measurement window
@@ -200,8 +233,8 @@ type Stats struct {
 
 // packet is an in-flight packet with its precomputed route.
 type packet struct {
-	dirs     []topo.Dir
-	vcs      []int // concrete VC per hop
+	dirs     []topo.Dir // per-hop output port at the node reached so far
+	vcs      []int      // concrete VC per hop
 	flits    int
 	injected int // cycle the packet entered the source queue
 }
@@ -220,30 +253,39 @@ type flitRef struct {
 	last bool  // tail flit
 }
 
-// router is one node's state.
+// router is one node's state, sized by the node's out-degree.
 type router struct {
-	// in[dir][vc] are input buffers for flits arriving over the channel
-	// from direction dir's neighbor; in[NumDirs] is unused (injection is
-	// modeled as a source queue).
-	in [topo.NumDirs][]vcState
-	// credits[dir][vc]: free downstream slots for the output toward dir.
-	credits [topo.NumDirs][]int
+	// in[p][vc] are input buffers for flits arriving over the reverse of
+	// the node's outgoing channel at port p (injection is modeled as a
+	// source queue, not an input port).
+	in [][]vcState
+	// credits[p][vc]: free downstream slots for the output at port p.
+	credits [][]int
 	// source queue of packets awaiting injection, plus a partially
 	// injected packet's remaining flits.
 	srcQueue []*packet
 	srcSent  int // flits of srcQueue[0] already injected
-	rrOut    [topo.NumDirs + 1]int
+	// rrOut[p] is the round-robin pointer of output p; rrOut[OutDeg] is
+	// the ejection port's.
+	rrOut []int
 }
 
 // Sim is a running simulation.
 type Sim struct {
 	cfg     Config
-	t       *topo.Torus
+	t       topo.Topology
 	rng     *rand.Rand
 	sampler *routing.Sampler
 	policy  VCPolicy
 	routers []router
 	nVCs    int // total VCs per input port
+	// Per-node link tables, precomputed so the per-flit hot path does no
+	// interface calls: port p of node n reaches neighbor[n][p], landing in
+	// its input bank at index revPort[n][p] (the port of the reverse
+	// channel at the neighbor, which is also the neighbor's credit index
+	// for traffic flowing back to n).
+	neighbor [][]topo.Node
+	revPort  [][]int
 
 	cycle        int
 	measureStart int
@@ -261,8 +303,12 @@ type Sim struct {
 // sweep scripts), so nonsensical values are reported as errors rather than
 // panics.
 func New(cfg Config) (*Sim, error) {
-	if cfg.K < 2 {
-		return nil, fmt.Errorf("sim: radix %d < 2", cfg.K)
+	t := cfg.Topo
+	if t == nil {
+		if cfg.K < 2 {
+			return nil, fmt.Errorf("sim: radix %d < 2", cfg.K)
+		}
+		t = topo.NewTorus(cfg.K)
 	}
 	if cfg.Rate < 0 {
 		return nil, fmt.Errorf("sim: negative injection rate %g", cfg.Rate)
@@ -279,43 +325,63 @@ func New(cfg Config) (*Sim, error) {
 	if cfg.Alg == nil {
 		return nil, fmt.Errorf("sim: routing algorithm required")
 	}
-	t := topo.NewTorus(cfg.K)
+	sampler := routing.NewSampler(t, cfg.Alg)
 	policy := cfg.Policy
 	if policy == nil {
-		policy = PolicyFor(cfg.Alg)
+		if _, isTorus := t.(*topo.Torus); isTorus {
+			policy = PolicyFor(cfg.Alg)
+		} else {
+			classes := sampler.MaxLen()
+			if classes < 1 {
+				classes = 1
+			}
+			policy = HopClassPolicy{NumClasses: classes}
+		}
 	}
 	pattern := cfg.Pattern
 	if pattern == nil {
-		pattern = traffic.Uniform(t.N)
+		pattern = traffic.Uniform(t.Nodes())
 	}
-	if pattern.N != t.N {
-		return nil, fmt.Errorf("sim: pattern size %d != network size %d", pattern.N, t.N)
+	if pattern.N != t.Nodes() {
+		return nil, fmt.Errorf("sim: pattern size %d != network size %d", pattern.N, t.Nodes())
 	}
 	s := &Sim{
 		cfg:     cfg,
 		t:       t,
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		sampler: routing.NewSampler(t, cfg.Alg),
+		sampler: sampler,
 		policy:  policy,
 		nVCs:    policy.Classes() * cfg.VCsPerClass,
 	}
-	s.routers = make([]router, t.N)
+	nNodes := t.Nodes()
+	s.routers = make([]router, nNodes)
+	s.neighbor = make([][]topo.Node, nNodes)
+	s.revPort = make([][]int, nNodes)
 	for n := range s.routers {
+		deg := t.OutDeg(topo.Node(n))
 		r := &s.routers[n]
-		for d := 0; d < topo.NumDirs; d++ {
-			r.in[d] = make([]vcState, s.nVCs)
-			r.credits[d] = make([]int, s.nVCs)
-			for v := range r.credits[d] {
-				r.credits[d][v] = cfg.BufDepth
+		r.in = make([][]vcState, deg)
+		r.credits = make([][]int, deg)
+		r.rrOut = make([]int, deg+1)
+		s.neighbor[n] = make([]topo.Node, deg)
+		s.revPort[n] = make([]int, deg)
+		for p := 0; p < deg; p++ {
+			r.in[p] = make([]vcState, s.nVCs)
+			r.credits[p] = make([]int, s.nVCs)
+			for v := range r.credits[p] {
+				r.credits[p][v] = cfg.BufDepth
 			}
+			c := t.PortChan(topo.Node(n), p)
+			s.neighbor[n][p] = t.ChanDst(c)
+			s.revPort[n][p] = t.ChanPort(t.ReverseChan(c))
 		}
 	}
 	// Destination CDFs for injection.
-	s.destCum = make([][]float64, t.N)
-	for src := 0; src < t.N; src++ {
-		cum := make([]float64, t.N)
+	s.destCum = make([][]float64, nNodes)
+	for src := 0; src < nNodes; src++ {
+		cum := make([]float64, nNodes)
 		var acc float64
-		for d := 0; d < t.N; d++ {
+		for d := 0; d < nNodes; d++ {
 			acc += pattern.L[src][d]
 			cum[d] = acc
 		}

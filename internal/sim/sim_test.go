@@ -218,6 +218,59 @@ func mustNew(t *testing.T, cfg Config) *Sim {
 	return s
 }
 
+// mustParse builds a topology from its family:spec form.
+func mustParse(tb testing.TB, s string) topo.Topology {
+	tb.Helper()
+	top, err := topo.Parse(s)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return top
+}
+
+// minTable is a deterministic single-shortest-path routing table for any
+// topology: at each node, take the lowest port that reduces the remaining
+// distance. It stands in for the closed-form algorithms (which are
+// torus2d-specific) when tests need traffic on other families.
+func minTable(tb testing.TB, t topo.Topology) *routing.Table {
+	tb.Helper()
+	route := func(s, d topo.Node) paths.Path {
+		p := paths.Path{Src: s}
+		for cur := s; cur != d; {
+			next := topo.Node(-1)
+			for pt := 0; pt < t.OutDeg(cur); pt++ {
+				nb := t.ChanDst(t.PortChan(cur, pt))
+				if t.MinDist(nb, d) < t.MinDist(cur, d) {
+					p.Dirs = append(p.Dirs, topo.Dir(pt))
+					next = nb
+					break
+				}
+			}
+			if next < 0 {
+				tb.Fatalf("no minimal progress from %d toward %d", cur, d)
+			}
+			cur = next
+		}
+		return p
+	}
+	n := t.Nodes()
+	dist := map[topo.Node][]paths.Weighted{}
+	if t.VertexTransitive() {
+		for d := 1; d < n; d++ {
+			dist[topo.Node(d)] = []paths.Weighted{{Path: route(0, topo.Node(d)), Prob: 1}}
+		}
+	} else {
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				if s != d {
+					dist[topo.Node(s*n+d)] = []paths.Weighted{{Path: route(topo.Node(s), topo.Node(d)), Prob: 1}}
+				}
+			}
+		}
+	}
+	return &routing.Table{Label: "min", Dist: dist}
+}
+
 func TestBadConfigRejected(t *testing.T) {
 	if _, err := New(Config{K: 1, Alg: routing.DOR{}}); err == nil {
 		t.Fatal("radix 1 accepted")

@@ -29,21 +29,59 @@ const (
 	DesignMinLocality = "minloc"
 )
 
-// EvalRequest asks for the paper's metrics of a closed-form algorithm.
-// Samples == 0 skips the average case (and then Seed is ignored and must be
-// left zero so equivalent requests share a fingerprint).
-type EvalRequest struct {
-	K       int    `json:"k"`
-	Alg     string `json:"alg"`
-	Samples int    `json:"samples,omitempty"`
-	Seed    int64  `json:"seed,omitempty"`
+// checkTopology validates the K/Topology pair shared by the request types:
+// the legacy radix form (Topology empty, K the torus radix) and the explicit
+// "family:spec" form, which must travel alone so one logical request cannot
+// fingerprint two ways. Family existence is resolved by the compute layer,
+// like algorithm names; here only the shape is checked. The empty Topology
+// is omitted from the canonical encoding, which is what keeps pre-existing
+// radix-form fingerprints bit-for-bit stable.
+func checkTopology(k int, topology string) error {
+	if topology == "" {
+		if k < 2 {
+			return fmt.Errorf("radix %d out of range (need k >= 2)", k)
+		}
+		return nil
+	}
+	if k != 0 {
+		return fmt.Errorf("k and topology are mutually exclusive (got k=%d, topology=%q)", k, topology)
+	}
+	name, spec, ok := cutColon(topology)
+	if !ok || name == "" || spec == "" {
+		return fmt.Errorf("malformed topology %q (want family:spec, e.g. %q)", topology, "torus3d:4")
+	}
+	return nil
 }
 
-// Validate checks the request's static shape (not algorithm existence,
-// which the compute layer resolves).
+// cutColon splits s around the first ':' without importing strings into the
+// schema types' dependency surface.
+func cutColon(s string) (before, after string, found bool) {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ':' {
+			return s[:i], s[i+1:], true
+		}
+	}
+	return s, "", false
+}
+
+// EvalRequest asks for the paper's metrics of a closed-form algorithm.
+// Samples == 0 skips the average case (and then Seed is ignored and must be
+// left zero so equivalent requests share a fingerprint). The network is
+// either the legacy radix form (K set, Topology empty: a k-ary 2-cube) or an
+// explicit "family:spec" Topology with K zero.
+type EvalRequest struct {
+	K        int    `json:"k,omitempty"`
+	Topology string `json:"topology,omitempty"`
+	Alg      string `json:"alg"`
+	Samples  int    `json:"samples,omitempty"`
+	Seed     int64  `json:"seed,omitempty"`
+}
+
+// Validate checks the request's static shape (not algorithm or family
+// existence, which the compute layer resolves).
 func (r EvalRequest) Validate() error {
-	if r.K < 2 {
-		return fmt.Errorf("radix %d out of range (need k >= 2)", r.K)
+	if err := checkTopology(r.K, r.Topology); err != nil {
+		return err
 	}
 	if r.Alg == "" {
 		return fmt.Errorf("missing algorithm name")
@@ -111,8 +149,9 @@ type WorstPermArtifact struct {
 // design Options, so a budget-killed run and its resumed completion share
 // one artifact slot and one checkpoint.
 type DesignRequest struct {
-	K    int    `json:"k"`
-	Kind string `json:"kind"`
+	K        int    `json:"k,omitempty"`
+	Topology string `json:"topology,omitempty"`
+	Kind     string `json:"kind"`
 	// HNorm > 0 constrains DesignWorstCase to a normalized locality
 	// budget (one Pareto point); 0 leaves locality free.
 	HNorm float64 `json:"hnorm,omitempty"`
@@ -126,8 +165,8 @@ type DesignRequest struct {
 }
 
 func (r DesignRequest) Validate() error {
-	if r.K < 2 {
-		return fmt.Errorf("radix %d out of range (need k >= 2)", r.K)
+	if err := checkTopology(r.K, r.Topology); err != nil {
+		return err
 	}
 	switch r.Kind {
 	case DesignWorstCase:

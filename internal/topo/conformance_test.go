@@ -1,0 +1,323 @@
+package topo
+
+import (
+	"math"
+	"testing"
+)
+
+// The conformance suite checks every registered family against the Topology
+// and AutGroup contracts: channel indexing round-trips, reverse channels,
+// group axioms (identity, inverse, composition semantics, closure), the
+// action's structure preservation (adjacency, ports within nodes), and the
+// pair-folding invariants (PairAut maps onto the class representative,
+// orbit weights sum to N-1, distances are class invariants).
+
+// conformanceInstances lists small instances of every registered family.
+func conformanceInstances(t *testing.T) []Topology {
+	specs := []string{"torus2d:4", "torus2d:5", "torus3d:3", "torus3d:4", "mesh:4x4", "mesh:3x5"}
+	insts := make([]Topology, 0, len(specs))
+	for _, s := range specs {
+		tp, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		insts = append(insts, tp)
+	}
+	// Every registered family must appear, so a new family cannot dodge the
+	// suite.
+	covered := map[string]bool{}
+	for _, tp := range insts {
+		covered[tp.Family()] = true
+	}
+	for _, fam := range Families() {
+		if !covered[fam] {
+			t.Fatalf("family %q registered but not covered by the conformance suite", fam)
+		}
+	}
+	return insts
+}
+
+func TestTopologyConformance(t *testing.T) {
+	for _, tp := range conformanceInstances(t) {
+		tp := tp
+		t.Run(String(tp), func(t *testing.T) {
+			checkTopology(t, tp)
+			t.Run("Group", func(t *testing.T) { checkGroup(t, tp, tp.Group()) })
+			t.Run("TransGroup", func(t *testing.T) { checkGroup(t, tp, tp.TransGroup()) })
+		})
+	}
+}
+
+func checkTopology(t *testing.T, tp Topology) {
+	t.Helper()
+	n, c := tp.Nodes(), tp.Chans()
+	if n < 2 || c < 1 {
+		t.Fatalf("degenerate topology: N=%d C=%d", n, c)
+	}
+	// Port indexing bijects with channels.
+	seen := make([]bool, c)
+	total := 0
+	for nd := 0; nd < n; nd++ {
+		deg := tp.OutDeg(Node(nd))
+		if deg < 1 || deg > tp.MaxDeg() {
+			t.Fatalf("node %d: OutDeg %d outside [1, MaxDeg=%d]", nd, deg, tp.MaxDeg())
+		}
+		total += deg
+		for p := 0; p < deg; p++ {
+			ch := tp.PortChan(Node(nd), p)
+			if ch < 0 || int(ch) >= c {
+				t.Fatalf("PortChan(%d, %d) = %d out of range", nd, p, ch)
+			}
+			if seen[ch] {
+				t.Fatalf("channel %d produced by two ports", ch)
+			}
+			seen[ch] = true
+			if got := tp.ChanSrc(ch); got != Node(nd) {
+				t.Fatalf("ChanSrc(%d) = %d, want %d", ch, got, nd)
+			}
+			if got := tp.ChanPort(ch); got != p {
+				t.Fatalf("ChanPort(%d) = %d, want %d", ch, got, p)
+			}
+		}
+	}
+	if total != c {
+		t.Fatalf("sum of out-degrees %d != Chans %d", total, c)
+	}
+	// Reverse channels are proper involutions on the opposite link.
+	for ch := 0; ch < c; ch++ {
+		r := tp.ReverseChan(Channel(ch))
+		if tp.ChanSrc(r) != tp.ChanDst(Channel(ch)) || tp.ChanDst(r) != tp.ChanSrc(Channel(ch)) {
+			t.Fatalf("ReverseChan(%d) = %d does not flip endpoints", ch, r)
+		}
+		if tp.ReverseChan(r) != Channel(ch) {
+			t.Fatalf("ReverseChan is not an involution at %d", ch)
+		}
+	}
+	// MinDist is a metric consistent with the channel graph: zero on self,
+	// one across a channel, and triangle-bounded along any channel.
+	for nd := 0; nd < n; nd++ {
+		if d := tp.MinDist(Node(nd), Node(nd)); d != 0 {
+			t.Fatalf("MinDist(%d, %d) = %d, want 0", nd, nd, d)
+		}
+	}
+	for ch := 0; ch < c; ch++ {
+		s, d := tp.ChanSrc(Channel(ch)), tp.ChanDst(Channel(ch))
+		if got := tp.MinDist(s, d); got > 1 {
+			t.Fatalf("MinDist across channel %d = %d, want <= 1", ch, got)
+		}
+	}
+	// MeanMinDist matches the exhaustive average.
+	var sum float64
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			sum += float64(tp.MinDist(Node(s), Node(d)))
+		}
+	}
+	if want := sum / float64(n*n); math.Abs(tp.MeanMinDist()-want) > 1e-12 {
+		t.Fatalf("MeanMinDist = %v, want %v", tp.MeanMinDist(), want)
+	}
+	// RelNode on vertex-transitive families: offset arithmetic from source 0.
+	if tp.VertexTransitive() {
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				rel := tp.RelNode(Node(s), Node(d))
+				if (rel == 0) != (s == d) {
+					t.Fatalf("RelNode(%d, %d) = %d: zero iff self violated", s, d, rel)
+				}
+				if got := tp.MinDist(0, rel); got != tp.MinDist(Node(s), Node(d)) {
+					t.Fatalf("RelNode(%d, %d) = %d changes distance: %d != %d",
+						s, d, rel, got, tp.MinDist(Node(s), Node(d)))
+				}
+			}
+		}
+	}
+	// Parse round-trip.
+	rt, err := Parse(String(tp))
+	if err != nil {
+		t.Fatalf("Parse(String) failed: %v", err)
+	}
+	if String(rt) != String(tp) || rt.Nodes() != n || rt.Chans() != c {
+		t.Fatalf("Parse(String) round-trip mismatch: %s vs %s", String(rt), String(tp))
+	}
+}
+
+// checkGroup asserts the group axioms and the folding invariants for one
+// AutGroup of a topology.
+func checkGroup(t *testing.T, tp Topology, g AutGroup) {
+	t.Helper()
+	n, c := tp.Nodes(), tp.Chans()
+	els := g.Elements()
+	if len(els) != g.Size() {
+		t.Fatalf("Elements() has %d entries, Size() = %d", len(els), g.Size())
+	}
+
+	// Identity acts trivially.
+	id := g.Identity()
+	for nd := 0; nd < n; nd++ {
+		if got := g.ApplyNode(id, Node(nd)); got != Node(nd) {
+			t.Fatalf("identity moves node %d to %d", nd, got)
+		}
+	}
+
+	// Bound the exhaustive element loops for the big groups: check every
+	// element's action properties, but pair-compose only a deterministic
+	// sample.
+	sample := els
+	if len(sample) > 24 {
+		step := len(sample)/24 + 1
+		var s []AutID
+		for i := 0; i < len(els); i += step {
+			s = append(s, els[i])
+		}
+		sample = append(s, els[len(els)-1])
+	}
+
+	for _, a := range els {
+		// Node action is a permutation.
+		perm := make([]bool, n)
+		for nd := 0; nd < n; nd++ {
+			img := g.ApplyNode(a, Node(nd))
+			if img < 0 || int(img) >= n || perm[img] {
+				t.Fatalf("element %d: node action is not a permutation (node %d -> %d)", a, nd, img)
+			}
+			perm[img] = true
+		}
+		// Channel action is a permutation consistent with the node action:
+		// sigma maps a channel to a channel between the image nodes
+		// (adjacency preservation).
+		cperm := make([]bool, c)
+		for ch := 0; ch < c; ch++ {
+			img := g.ApplyChan(a, Channel(ch))
+			if img < 0 || int(img) >= c || cperm[img] {
+				t.Fatalf("element %d: channel action is not a permutation (chan %d -> %d)", a, ch, img)
+			}
+			cperm[img] = true
+			if tp.ChanSrc(img) != g.ApplyNode(a, tp.ChanSrc(Channel(ch))) ||
+				tp.ChanDst(img) != g.ApplyNode(a, tp.ChanDst(Channel(ch))) {
+				t.Fatalf("element %d does not preserve adjacency at channel %d", a, ch)
+			}
+		}
+		// Inverse undoes the action and is a group inverse.
+		inv := g.Inverse(a)
+		if g.Compose(a, inv) != id || g.Compose(inv, a) != id {
+			t.Fatalf("element %d: Inverse is not a two-sided inverse", a)
+		}
+		for nd := 0; nd < min(n, 16); nd++ {
+			if got := g.ApplyNode(inv, g.ApplyNode(a, Node(nd))); got != Node(nd) {
+				t.Fatalf("element %d: inverse does not undo node action (%d -> %d)", a, nd, got)
+			}
+		}
+	}
+
+	// Composition semantics and closure on the sample: Compose(a, b) acts as
+	// "first a, then b" and lands on an element whose action matches.
+	inEls := map[AutID]bool{}
+	for _, a := range els {
+		inEls[a] = true
+	}
+	for _, a := range sample {
+		for _, b := range sample {
+			ab := g.Compose(a, b)
+			if !inEls[ab] {
+				t.Fatalf("Compose(%d, %d) = %d not in Elements()", a, b, ab)
+			}
+			for nd := 0; nd < min(n, 16); nd++ {
+				want := g.ApplyNode(b, g.ApplyNode(a, Node(nd)))
+				if got := g.ApplyNode(ab, Node(nd)); got != want {
+					t.Fatalf("Compose(%d, %d): node %d maps to %d, want %d", a, b, nd, got, want)
+				}
+			}
+			for ch := 0; ch < min(c, 16); ch++ {
+				want := g.ApplyChan(b, g.ApplyChan(a, Channel(ch)))
+				if got := g.ApplyChan(ab, Channel(ch)); got != want {
+					t.Fatalf("Compose(%d, %d): chan %d maps to %d, want %d", a, b, ch, got, want)
+				}
+			}
+		}
+	}
+
+	// Folding invariants.
+	classes := g.Classes()
+	if len(classes) == 0 {
+		t.Fatal("no pair classes")
+	}
+	var wsum float64
+	for ci, cl := range classes {
+		if cl.Src == cl.Dst {
+			t.Fatalf("class %d is a self pair", ci)
+		}
+		if got := tp.MinDist(cl.Src, cl.Dst); got != cl.MinDist {
+			t.Fatalf("class %d: MinDist %d, stored %d", ci, got, cl.MinDist)
+		}
+		wsum += cl.Weight
+		// The representative folds to itself.
+		rci, ra := g.PairAut(cl.Src, cl.Dst)
+		if rci != ci {
+			t.Fatalf("class %d rep folds to class %d", ci, rci)
+		}
+		if g.ApplyNode(ra, cl.Src) != cl.Src || g.ApplyNode(ra, cl.Dst) != cl.Dst {
+			t.Fatalf("class %d rep automorphism does not fix the rep", ci)
+		}
+	}
+	// Orbit weights account for every ordered non-self pair: sum = (N^2-N)/N.
+	if want := float64(n) - 1; math.Abs(wsum-want) > 1e-9 {
+		t.Fatalf("class weights sum to %v, want %v", wsum, want)
+	}
+	// Every pair folds onto its class representative via the returned
+	// automorphism, and distances are invariant.
+	counts := make([]float64, len(classes))
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			ci, a := g.PairAut(Node(s), Node(d))
+			if s == d {
+				if ci != -1 {
+					t.Fatalf("self pair (%d, %d) got class %d", s, d, ci)
+				}
+				continue
+			}
+			if ci < 0 || ci >= len(classes) {
+				t.Fatalf("pair (%d, %d): class %d out of range", s, d, ci)
+			}
+			cl := classes[ci]
+			if g.ApplyNode(a, Node(s)) != cl.Src || g.ApplyNode(a, Node(d)) != cl.Dst {
+				t.Fatalf("pair (%d, %d) does not map onto class %d rep (%d, %d)",
+					s, d, ci, cl.Src, cl.Dst)
+			}
+			if tp.MinDist(Node(s), Node(d)) != cl.MinDist {
+				t.Fatalf("pair (%d, %d) distance differs from class %d", s, d, ci)
+			}
+			counts[ci]++
+		}
+	}
+	for ci := range counts {
+		if got := counts[ci] / float64(n); math.Abs(got-classes[ci].Weight) > 1e-9 {
+			t.Fatalf("class %d: %v pairs/N folded, Weight says %v", ci, got, classes[ci].Weight)
+		}
+	}
+
+	// Channel orbit representatives: ascending, disjoint orbits, full cover.
+	reps := g.ChanOrbitReps()
+	covered := make([]int, c)
+	last := Channel(-1)
+	for _, r := range reps {
+		if r <= last {
+			t.Fatalf("ChanOrbitReps not ascending at %d", r)
+		}
+		last = r
+		for _, a := range els {
+			covered[g.ApplyChan(a, r)]++
+		}
+	}
+	for ch := 0; ch < c; ch++ {
+		if covered[ch] == 0 {
+			t.Fatalf("channel %d not covered by any orbit representative", ch)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

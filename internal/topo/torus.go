@@ -11,7 +11,20 @@
 // what this package exposes as explicit coordinate transforms.
 package topo
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+)
+
+func init() {
+	RegisterFamily("torus2d", func(spec string) (Topology, error) {
+		k, err := strconv.Atoi(spec)
+		if err != nil || k < 2 {
+			return nil, fmt.Errorf("bad radix %q (want an integer >= 2)", spec)
+		}
+		return NewTorus(k), nil
+	})
+}
 
 // Node identifies a torus node in [0, N).
 type Node int
@@ -91,6 +104,14 @@ type Torus struct {
 	K int // radix per dimension
 	N int // number of nodes, k*k
 	C int // number of channels, 4*k*k
+
+	// mmd caches MeanMinDist: it sits on the hot path of the
+	// locality-normalized Pareto sweeps, so it is computed once here.
+	mmd float64
+	// grp and tgrp are the full automorphism group and its translation
+	// subgroup behind the Topology interface.
+	grp  *torusGroup
+	tgrp *torusTransGroup
 }
 
 // NewTorus constructs a k-ary 2-cube. k must be at least 2 (k = 2 tori have
@@ -100,7 +121,16 @@ func NewTorus(k int) *Torus {
 		//lint:ignore libpanic construction-time misuse guard; the CLI validates radix before reaching here and library callers pass literals
 		panic(fmt.Sprintf("topo: radix %d < 2", k))
 	}
-	return &Torus{K: k, N: k * k, C: 4 * k * k}
+	t := &Torus{K: k, N: k * k, C: 4 * k * k}
+	var total int
+	for r := 0; r < k; r++ {
+		total += t.MinDist1D(r)
+	}
+	// Sum over both dimensions of the per-dimension mean.
+	t.mmd = 2 * float64(total) / float64(k)
+	t.grp = &torusGroup{t: t}
+	t.tgrp = &torusTransGroup{t: t}
+	return t
 }
 
 // Coord returns the (x, y) coordinates of a node.
@@ -166,15 +196,60 @@ func (t *Torus) MinDist(s, d Node) int {
 
 // MeanMinDist returns the average minimal path length over all N^2
 // source-destination pairs (self pairs contribute zero), the quantity used
-// to normalize H_avg in the paper's figures.
-func (t *Torus) MeanMinDist() float64 {
-	var total int
-	for r := 0; r < t.K; r++ {
-		total += t.MinDist1D(r)
-	}
-	// Sum over both dimensions of the per-dimension mean.
-	return 2 * float64(total) / float64(t.K)
+// to normalize H_avg in the paper's figures. It is computed once at
+// construction.
+func (t *Torus) MeanMinDist() float64 { return t.mmd }
+
+// Topology interface. The port index of a torus channel is its Dir.
+
+// Family returns "torus2d".
+func (t *Torus) Family() string { return "torus2d" }
+
+// Spec returns the radix as a string.
+func (t *Torus) Spec() string { return fmt.Sprintf("%d", t.K) }
+
+// Nodes returns the node count N.
+func (t *Torus) Nodes() int { return t.N }
+
+// Chans returns the channel count C.
+func (t *Torus) Chans() int { return t.C }
+
+// MaxDeg returns the uniform out-degree, 4.
+func (t *Torus) MaxDeg() int { return NumDirs }
+
+// OutDeg returns the out-degree of a node, 4.
+func (t *Torus) OutDeg(Node) int { return NumDirs }
+
+// PortChan returns the channel leaving n through port p; torus ports are
+// the Dir constants.
+func (t *Torus) PortChan(n Node, p int) Channel { return t.Chan(n, Dir(p)) }
+
+// ChanPort returns a channel's port index at its source.
+func (t *Torus) ChanPort(c Channel) int { return int(t.ChanDir(c)) }
+
+// ReverseChan returns the oppositely directed channel of the same link.
+func (t *Torus) ReverseChan(c Channel) Channel {
+	return t.Chan(t.ChanDst(c), t.ChanDir(c).Reverse())
 }
+
+// VertexTransitive reports that the torus is vertex-transitive.
+func (t *Torus) VertexTransitive() bool { return true }
+
+// RelNode returns the node at the relative offset of d as seen from s.
+func (t *Torus) RelNode(s, d Node) Node {
+	rx, ry := t.Rel(s, d)
+	return Node(ry*t.K + rx)
+}
+
+// Group returns the full automorphism group (translations composed with the
+// dihedral group of the square), whose pair classes are the octant
+// commodities of Section 4.
+func (t *Torus) Group() AutGroup { return t.grp }
+
+// TransGroup returns the translation subgroup, whose pair classes are the
+// N-1 relative destinations and whose channel-orbit representatives are the
+// four channels at the origin.
+func (t *Torus) TransGroup() AutGroup { return t.tgrp }
 
 // mod is the arithmetic (always nonnegative) remainder.
 func mod(a, k int) int {

@@ -1,0 +1,451 @@
+package topo
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+)
+
+// Torus3D is a k-ary 3-cube: N = k^3 nodes at coordinates (x, y, z) =
+// (n mod k, n/k mod k, n/k^2), each with six outgoing unit-bandwidth
+// channels. Ports follow the 2D convention, extended by the z axis:
+// 0 = +x, 1 = -x, 2 = +y, 3 = -y, 4 = +z, 5 = -z; channel c = n*6 + port.
+//
+// Its automorphism group is the translations composed with the
+// hyperoctahedral group B3 — the 48 signed permutations of the three axes —
+// extending the square's dihedral group (which is B2, the 8 signed
+// permutations of two axes). The fundamental cone of the pair folding is
+// 0 <= z <= y <= x <= k/2, the 3D analogue of the octant.
+type Torus3D struct {
+	K int // radix per dimension
+	N int // number of nodes, k^3
+	C int // number of channels, 6*k^3
+
+	mmd  float64
+	grp  *torus3dGroup
+	tgrp *torus3dTransGroup
+}
+
+func init() {
+	RegisterFamily("torus3d", func(spec string) (Topology, error) {
+		k, err := strconv.Atoi(spec)
+		if err != nil || k < 2 {
+			return nil, fmt.Errorf("bad radix %q (want an integer >= 2)", spec)
+		}
+		return NewTorus3D(k), nil
+	})
+}
+
+// torus3dPorts is the out-degree of every node.
+const torus3dPorts = 6
+
+// NewTorus3D constructs a k-ary 3-cube; k must be at least 2.
+func NewTorus3D(k int) *Torus3D {
+	if k < 2 {
+		//lint:ignore libpanic construction-time misuse guard; Parse validates the radix before reaching here
+		panic(fmt.Sprintf("topo: radix %d < 2", k))
+	}
+	t := &Torus3D{K: k, N: k * k * k, C: torus3dPorts * k * k * k}
+	var total int
+	for r := 0; r < k; r++ {
+		total += t.minDist1D(r)
+	}
+	t.mmd = 3 * float64(total) / float64(k)
+	t.grp = &torus3dGroup{t: t}
+	t.tgrp = &torus3dTransGroup{t: t}
+	return t
+}
+
+// Coord returns the (x, y, z) coordinates of a node.
+func (t *Torus3D) Coord(n Node) (x, y, z int) {
+	return int(n) % t.K, int(n) / t.K % t.K, int(n) / (t.K * t.K)
+}
+
+// NodeAt returns the node at coordinates (x, y, z), reduced modulo k.
+func (t *Torus3D) NodeAt(x, y, z int) Node {
+	x, y, z = mod(x, t.K), mod(y, t.K), mod(z, t.K)
+	return Node((z*t.K+y)*t.K + x)
+}
+
+// portDelta returns the coordinate step of a port.
+func portDelta(p int) (dx, dy, dz int) {
+	switch p {
+	case 0:
+		return 1, 0, 0
+	case 1:
+		return -1, 0, 0
+	case 2:
+		return 0, 1, 0
+	case 3:
+		return 0, -1, 0
+	case 4:
+		return 0, 0, 1
+	case 5:
+		return 0, 0, -1
+	}
+	//lint:ignore libpanic exhaustive switch over the six 3-cube ports; reachable only via an invalid port
+	panic("topo: invalid 3-cube port")
+}
+
+// minDist1D is the minimal ring distance for an offset r in [0, k).
+func (t *Torus3D) minDist1D(r int) int {
+	r = mod(r, t.K)
+	if r > t.K-r {
+		return t.K - r
+	}
+	return r
+}
+
+// rel returns the coordinates of d relative to s, each in [0, k).
+func (t *Torus3D) rel(s, d Node) (rx, ry, rz int) {
+	sx, sy, sz := t.Coord(s)
+	dx, dy, dz := t.Coord(d)
+	return mod(dx-sx, t.K), mod(dy-sy, t.K), mod(dz-sz, t.K)
+}
+
+// Topology interface.
+
+func (t *Torus3D) Family() string { return "torus3d" }
+func (t *Torus3D) Spec() string   { return strconv.Itoa(t.K) }
+func (t *Torus3D) Nodes() int     { return t.N }
+func (t *Torus3D) Chans() int     { return t.C }
+func (t *Torus3D) MaxDeg() int    { return torus3dPorts }
+
+func (t *Torus3D) OutDeg(Node) int { return torus3dPorts }
+
+func (t *Torus3D) PortChan(n Node, p int) Channel {
+	return Channel(int(n)*torus3dPorts + p)
+}
+
+func (t *Torus3D) ChanPort(c Channel) int { return int(c) % torus3dPorts }
+
+func (t *Torus3D) ChanSrc(c Channel) Node { return Node(int(c) / torus3dPorts) }
+
+func (t *Torus3D) ChanDst(c Channel) Node {
+	x, y, z := t.Coord(t.ChanSrc(c))
+	dx, dy, dz := portDelta(t.ChanPort(c))
+	return t.NodeAt(x+dx, y+dy, z+dz)
+}
+
+// reversePort flips a port's sign bit: +x <-> -x etc.
+func reversePort(p int) int { return p ^ 1 }
+
+func (t *Torus3D) ReverseChan(c Channel) Channel {
+	return t.PortChan(t.ChanDst(c), reversePort(t.ChanPort(c)))
+}
+
+func (t *Torus3D) MinDist(s, d Node) int {
+	rx, ry, rz := t.rel(s, d)
+	return t.minDist1D(rx) + t.minDist1D(ry) + t.minDist1D(rz)
+}
+
+func (t *Torus3D) MeanMinDist() float64 { return t.mmd }
+
+func (t *Torus3D) VertexTransitive() bool { return true }
+
+func (t *Torus3D) RelNode(s, d Node) Node {
+	rx, ry, rz := t.rel(s, d)
+	return Node((rz*t.K+ry)*t.K + rx)
+}
+
+func (t *Torus3D) Group() AutGroup      { return t.grp }
+func (t *Torus3D) TransGroup() AutGroup { return t.tgrp }
+
+// Hyperoctahedral group B3: the 48 signed permutations of the axes. Element
+// m = permIdx*8 + signBits maps the coordinate vector v to w with
+// w[i] = sign[i] * v[perm[i]], sign[i] = -1 when bit i of signBits is set.
+const numB3 = 48
+
+// b3Perms lists the 6 axis permutations in lexicographic order; b3Perms[0]
+// with signBits 0 is the identity.
+var b3Perms = [6][3]int{
+	{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0},
+}
+
+// b3Apply maps a coordinate triple through element m (before modular
+// reduction).
+func b3Apply(m int, x, y, z int) (int, int, int) {
+	v := [3]int{x, y, z}
+	p := b3Perms[m/8]
+	var w [3]int
+	for i := 0; i < 3; i++ {
+		w[i] = v[p[i]]
+		if m>>i&1 == 1 {
+			w[i] = -w[i]
+		}
+	}
+	return w[0], w[1], w[2]
+}
+
+// b3Find returns the element whose action on the basis vectors matches the
+// given images, scanning the fixed enumeration order.
+func b3Find(e1, e2, e3 [3]int) int {
+	for m := 0; m < numB3; m++ {
+		x1, y1, z1 := b3Apply(m, 1, 0, 0)
+		x2, y2, z2 := b3Apply(m, 0, 1, 0)
+		x3, y3, z3 := b3Apply(m, 0, 0, 1)
+		if [3]int{x1, y1, z1} == e1 && [3]int{x2, y2, z2} == e2 && [3]int{x3, y3, z3} == e3 {
+			return m
+		}
+	}
+	//lint:ignore libpanic group invariant: B3 is closed under composition (covered by the conformance suite)
+	panic("topo: signed-permutation composition not closed")
+}
+
+// b3Compose returns the element equivalent to applying first a, then b.
+func b3Compose(a, b int) int {
+	probe := func(x, y, z int) [3]int {
+		x, y, z = b3Apply(a, x, y, z)
+		x, y, z = b3Apply(b, x, y, z)
+		return [3]int{x, y, z}
+	}
+	return b3Find(probe(1, 0, 0), probe(0, 1, 0), probe(0, 0, 1))
+}
+
+// b3Inverse returns the group inverse.
+func b3Inverse(a int) int {
+	for m := 0; m < numB3; m++ {
+		if b3Compose(a, m) == 0 {
+			return m
+		}
+	}
+	//lint:ignore libpanic group invariant: every B3 element has an inverse (covered by the conformance suite)
+	panic("topo: signed permutation has no inverse")
+}
+
+// b3ApplyPort maps a port (direction) through element m.
+func b3ApplyPort(m, p int) int {
+	dx, dy, dz := portDelta(p)
+	nx, ny, nz := b3Apply(m, dx, dy, dz)
+	for q := 0; q < torus3dPorts; q++ {
+		qx, qy, qz := portDelta(q)
+		if qx == nx && qy == ny && qz == nz {
+			return q
+		}
+	}
+	//lint:ignore libpanic group invariant: signed permutations permute unit steps
+	panic("topo: signed-permutation port image is not a unit step")
+}
+
+// aut3 is a concrete 3-torus automorphism: the B3 element m about the
+// origin, then a translation: sigma(v) = M(v) + T (mod k).
+type aut3 struct {
+	m          int
+	tx, ty, tz int
+}
+
+func (t *Torus3D) applyAut(a aut3, n Node) Node {
+	x, y, z := t.Coord(n)
+	mx, my, mz := b3Apply(a.m, x, y, z)
+	return t.NodeAt(mx+a.tx, my+a.ty, mz+a.tz)
+}
+
+// canonicalRel returns the first B3 element (in enumeration order) mapping
+// the relative offset into the fundamental cone 0 <= z <= y <= x <= k/2,
+// along with the canonical offset — the 3D analogue of CanonicalRel.
+func (t *Torus3D) canonicalRel(rx, ry, rz int) (int, int, int, int) {
+	half := t.K / 2
+	for m := 0; m < numB3; m++ {
+		cx, cy, cz := b3Apply(m, rx, ry, rz)
+		cx, cy, cz = mod(cx, t.K), mod(cy, t.K), mod(cz, t.K)
+		if cx <= half && cy <= half && cz <= half && cz <= cy && cy <= cx {
+			return m, cx, cy, cz
+		}
+	}
+	//lint:ignore libpanic group invariant: the 48 signed-permutation images of any offset include a cone representative
+	panic("topo: no signed permutation canonicalizes offset")
+}
+
+// torus3dGroup is the full automorphism group: 48 B3 elements x N
+// translations. Element encoding: id = m*N + nodeAt(tx, ty, tz).
+type torus3dGroup struct {
+	t *Torus3D
+
+	once     sync.Once
+	classes  []PairClass
+	classOf  map[Node]int // canonical cone destination node -> class index
+	chanReps []Channel
+}
+
+func (g *torus3dGroup) encode(a aut3) AutID {
+	return AutID(a.m*g.t.N + int(g.t.NodeAt(a.tx, a.ty, a.tz)))
+}
+
+func (g *torus3dGroup) decode(id AutID) aut3 {
+	tx, ty, tz := g.t.Coord(Node(int(id) % g.t.N))
+	return aut3{m: int(id) / g.t.N, tx: tx, ty: ty, tz: tz}
+}
+
+func (g *torus3dGroup) Size() int       { return numB3 * g.t.N }
+func (g *torus3dGroup) Identity() AutID { return 0 }
+
+func (g *torus3dGroup) Elements() []AutID {
+	els := make([]AutID, g.Size())
+	for i := range els {
+		els[i] = AutID(i)
+	}
+	return els
+}
+
+func (g *torus3dGroup) ApplyNode(a AutID, n Node) Node {
+	return g.t.applyAut(g.decode(a), n)
+}
+
+func (g *torus3dGroup) ApplyChan(a AutID, c Channel) Channel {
+	aa := g.decode(a)
+	src := g.t.applyAut(aa, g.t.ChanSrc(c))
+	return g.t.PortChan(src, b3ApplyPort(aa.m, g.t.ChanPort(c)))
+}
+
+func (g *torus3dGroup) Compose(a, b AutID) AutID {
+	aa, bb := g.decode(a), g.decode(b)
+	sx, sy, sz := b3Apply(bb.m, aa.tx, aa.ty, aa.tz)
+	return g.encode(aut3{m: b3Compose(aa.m, bb.m), tx: sx + bb.tx, ty: sy + bb.ty, tz: sz + bb.tz})
+}
+
+func (g *torus3dGroup) Inverse(a AutID) AutID {
+	aa := g.decode(a)
+	inv := b3Inverse(aa.m)
+	sx, sy, sz := b3Apply(inv, aa.tx, aa.ty, aa.tz)
+	return g.encode(aut3{m: inv, tx: -sx, ty: -sy, tz: -sz})
+}
+
+// fold enumerates the cone classes: count every offset's canonical image,
+// then emit the cone in x-outer, y-middle, z-inner order (the 3D extension
+// of the octant enumeration).
+func (g *torus3dGroup) fold() {
+	g.once.Do(func() {
+		t := g.t
+		counts := map[Node]int{}
+		for rz := 0; rz < t.K; rz++ {
+			for ry := 0; ry < t.K; ry++ {
+				for rx := 0; rx < t.K; rx++ {
+					if rx == 0 && ry == 0 && rz == 0 {
+						continue
+					}
+					_, cx, cy, cz := t.canonicalRel(rx, ry, rz)
+					counts[t.NodeAt(cx, cy, cz)]++
+				}
+			}
+		}
+		half := t.K / 2
+		g.classOf = make(map[Node]int, len(counts))
+		for x := 0; x <= half; x++ {
+			for y := 0; y <= x; y++ {
+				for z := 0; z <= y; z++ {
+					if x == 0 && y == 0 && z == 0 {
+						continue
+					}
+					dst := t.NodeAt(x, y, z)
+					c, ok := counts[dst]
+					if !ok {
+						continue
+					}
+					g.classOf[dst] = len(g.classes)
+					g.classes = append(g.classes, PairClass{
+						Src:     0,
+						Dst:     dst,
+						Weight:  float64(c),
+						MinDist: t.minDist1D(x) + t.minDist1D(y) + t.minDist1D(z),
+					})
+				}
+			}
+		}
+		g.chanReps = genChanOrbitReps(t, g)
+	})
+}
+
+func (g *torus3dGroup) PairAut(s, d Node) (int, AutID) {
+	if s == d {
+		return -1, 0
+	}
+	g.fold()
+	t := g.t
+	rx, ry, rz := t.rel(s, d)
+	m, cx, cy, cz := t.canonicalRel(rx, ry, rz)
+	// sigma(v) = M(v - s) = M(v) - M(s).
+	sx, sy, sz := t.Coord(s)
+	msx, msy, msz := b3Apply(m, sx, sy, sz)
+	return g.classOf[t.NodeAt(cx, cy, cz)], g.encode(aut3{m: m, tx: -msx, ty: -msy, tz: -msz})
+}
+
+func (g *torus3dGroup) Classes() []PairClass {
+	g.fold()
+	return g.classes
+}
+
+func (g *torus3dGroup) ChanOrbitReps() []Channel {
+	g.fold()
+	return g.chanReps
+}
+
+// torus3dTransGroup is the translation subgroup: id = nodeAt(tx, ty, tz).
+type torus3dTransGroup struct {
+	t *Torus3D
+
+	once    sync.Once
+	classes []PairClass
+}
+
+func (g *torus3dTransGroup) Size() int       { return g.t.N }
+func (g *torus3dTransGroup) Identity() AutID { return 0 }
+
+func (g *torus3dTransGroup) Elements() []AutID {
+	els := make([]AutID, g.t.N)
+	for i := range els {
+		els[i] = AutID(i)
+	}
+	return els
+}
+
+func (g *torus3dTransGroup) ApplyNode(a AutID, n Node) Node {
+	tx, ty, tz := g.t.Coord(Node(a))
+	x, y, z := g.t.Coord(n)
+	return g.t.NodeAt(x+tx, y+ty, z+tz)
+}
+
+func (g *torus3dTransGroup) ApplyChan(a AutID, c Channel) Channel {
+	return g.t.PortChan(g.ApplyNode(a, g.t.ChanSrc(c)), g.t.ChanPort(c))
+}
+
+func (g *torus3dTransGroup) Compose(a, b AutID) AutID {
+	ax, ay, az := g.t.Coord(Node(a))
+	bx, by, bz := g.t.Coord(Node(b))
+	return AutID(g.t.NodeAt(ax+bx, ay+by, az+bz))
+}
+
+func (g *torus3dTransGroup) Inverse(a AutID) AutID {
+	ax, ay, az := g.t.Coord(Node(a))
+	return AutID(g.t.NodeAt(-ax, -ay, -az))
+}
+
+func (g *torus3dTransGroup) PairAut(s, d Node) (int, AutID) {
+	if s == d {
+		return -1, 0
+	}
+	sx, sy, sz := g.t.Coord(s)
+	return int(g.t.RelNode(s, d)) - 1, AutID(g.t.NodeAt(-sx, -sy, -sz))
+}
+
+func (g *torus3dTransGroup) Classes() []PairClass {
+	g.once.Do(func() {
+		g.classes = make([]PairClass, g.t.N-1)
+		for rel := 1; rel < g.t.N; rel++ {
+			g.classes[rel-1] = PairClass{
+				Src:     0,
+				Dst:     Node(rel),
+				Weight:  1,
+				MinDist: g.t.MinDist(0, Node(rel)),
+			}
+		}
+	})
+	return g.classes
+}
+
+func (g *torus3dTransGroup) ChanOrbitReps() []Channel {
+	reps := make([]Channel, torus3dPorts)
+	for p := 0; p < torus3dPorts; p++ {
+		reps[p] = g.t.PortChan(0, p)
+	}
+	return reps
+}

@@ -1,0 +1,187 @@
+package topo
+
+import "sync"
+
+// This file adapts the torus's concrete automorphism machinery (symmetry.go)
+// to the AutGroup interface. The adapters are deliberately thin: PairAut,
+// the octant classes, and the channel action all delegate to the legacy
+// CanonicalRel/OctantDests/ApplyChan code paths, so the folded LPs built
+// through the interface are bit-for-bit identical to the ones the concrete
+// API produced — same commodity enumeration order, same automorphism per
+// pair, same separation work list.
+
+// torusGroup is the full automorphism group of a k-ary 2-cube: 8 dihedral
+// elements composed with N translations, |G| = 8N. Element encoding:
+// id = m*N + nodeAt(tx, ty).
+type torusGroup struct {
+	t *Torus
+
+	once     sync.Once
+	classes  []PairClass
+	classOf  map[RelDest]int
+	chanReps []Channel
+}
+
+// encodeAut packs a concrete Aut into an AutID.
+func (g *torusGroup) encodeAut(a Aut) AutID {
+	return AutID(int(a.M)*g.t.N + int(g.t.NodeAt(a.Tx, a.Ty)))
+}
+
+// decodeAut unpacks an AutID.
+func (g *torusGroup) decodeAut(id AutID) Aut {
+	tx, ty := g.t.Coord(Node(int(id) % g.t.N))
+	return Aut{M: Dihedral(int(id) / g.t.N), Tx: tx, Ty: ty}
+}
+
+func (g *torusGroup) Size() int       { return NumDihedral * g.t.N }
+func (g *torusGroup) Identity() AutID { return 0 }
+func (g *torusGroup) Elements() []AutID {
+	els := make([]AutID, g.Size())
+	for i := range els {
+		els[i] = AutID(i)
+	}
+	return els
+}
+
+func (g *torusGroup) ApplyNode(a AutID, n Node) Node {
+	return g.t.ApplyNode(g.decodeAut(a), n)
+}
+
+func (g *torusGroup) ApplyChan(a AutID, c Channel) Channel {
+	return g.t.ApplyChan(g.decodeAut(a), c)
+}
+
+func (g *torusGroup) Compose(a, b AutID) AutID {
+	// sigma_b(sigma_a(v)) = B(A(v) + s) + t = (B.A)(v) + B(s) + t.
+	aa, bb := g.decodeAut(a), g.decodeAut(b)
+	sx, sy := bb.M.Apply(aa.Tx, aa.Ty)
+	return g.encodeAut(Aut{M: aa.M.Compose(bb.M), Tx: sx + bb.Tx, Ty: sy + bb.Ty})
+}
+
+func (g *torusGroup) Inverse(a AutID) AutID {
+	// sigma^-1(v) = A^-1(v - s) = A^-1(v) - A^-1(s).
+	aa := g.decodeAut(a)
+	inv := aa.M.Inverse()
+	sx, sy := inv.Apply(aa.Tx, aa.Ty)
+	return g.encodeAut(Aut{M: inv, Tx: -sx, Ty: -sy})
+}
+
+// fold computes the octant classes lazily, in the legacy OctantDests
+// enumeration order (x outer from 0 to k/2, y inner from 0 to x), and the
+// channel-orbit representatives (a single orbit: the torus is
+// edge-transitive under the full group).
+func (g *torusGroup) fold() {
+	g.once.Do(func() {
+		dests := g.t.OctantDests()
+		g.classes = make([]PairClass, len(dests))
+		g.classOf = make(map[RelDest]int, len(dests))
+		for i, od := range dests {
+			g.classes[i] = PairClass{
+				Src:     0,
+				Dst:     g.t.NodeAt(od.Rel.X, od.Rel.Y),
+				Weight:  float64(od.Orbit),
+				MinDist: od.MinDist,
+			}
+			g.classOf[od.Rel] = i
+		}
+		g.chanReps = genChanOrbitReps(g.t, g)
+	})
+}
+
+func (g *torusGroup) PairAut(s, d Node) (int, AutID) {
+	if s == d {
+		return -1, g.Identity()
+	}
+	g.fold()
+	a, rel := g.t.PairAut(s, d)
+	return g.classOf[rel], g.encodeAut(a)
+}
+
+func (g *torusGroup) Classes() []PairClass {
+	g.fold()
+	return g.classes
+}
+
+func (g *torusGroup) ChanOrbitReps() []Channel {
+	g.fold()
+	return g.chanReps
+}
+
+// torusTransGroup is the translation subgroup: |G| = N, element encoding
+// id = nodeAt(tx, ty).
+type torusTransGroup struct {
+	t *Torus
+
+	once    sync.Once
+	classes []PairClass
+}
+
+func (g *torusTransGroup) Size() int       { return g.t.N }
+func (g *torusTransGroup) Identity() AutID { return 0 }
+func (g *torusTransGroup) Elements() []AutID {
+	els := make([]AutID, g.t.N)
+	for i := range els {
+		els[i] = AutID(i)
+	}
+	return els
+}
+
+func (g *torusTransGroup) aut(id AutID) Aut {
+	tx, ty := g.t.Coord(Node(id))
+	return Aut{M: DihId, Tx: tx, Ty: ty}
+}
+
+func (g *torusTransGroup) ApplyNode(a AutID, n Node) Node {
+	return g.t.ApplyNode(g.aut(a), n)
+}
+
+func (g *torusTransGroup) ApplyChan(a AutID, c Channel) Channel {
+	return g.t.ApplyChan(g.aut(a), c)
+}
+
+func (g *torusTransGroup) Compose(a, b AutID) AutID {
+	ax, ay := g.t.Coord(Node(a))
+	bx, by := g.t.Coord(Node(b))
+	return AutID(g.t.NodeAt(ax+bx, ay+by))
+}
+
+func (g *torusTransGroup) Inverse(a AutID) AutID {
+	ax, ay := g.t.Coord(Node(a))
+	return AutID(g.t.NodeAt(-ax, -ay))
+}
+
+// PairAut maps (s, d) to the pair (0, rel) by the translation -s; the class
+// index is rel-1 (classes are the relative destinations 1..N-1 in node
+// order, matching the legacy translation fold).
+func (g *torusTransGroup) PairAut(s, d Node) (int, AutID) {
+	if s == d {
+		return -1, 0
+	}
+	sx, sy := g.t.Coord(s)
+	return int(g.t.RelNode(s, d)) - 1, AutID(g.t.NodeAt(-sx, -sy))
+}
+
+func (g *torusTransGroup) Classes() []PairClass {
+	g.once.Do(func() {
+		g.classes = make([]PairClass, g.t.N-1)
+		for rel := 1; rel < g.t.N; rel++ {
+			g.classes[rel-1] = PairClass{
+				Src:     0,
+				Dst:     Node(rel),
+				Weight:  1,
+				MinDist: g.t.MinDist(0, Node(rel)),
+			}
+		}
+	})
+	return g.classes
+}
+
+// ChanOrbitReps returns the four channels at the origin, one per direction,
+// in Dir order — the legacy separation work list.
+func (g *torusTransGroup) ChanOrbitReps() []Channel {
+	reps := make([]Channel, NumDirs)
+	for d := 0; d < NumDirs; d++ {
+		reps[d] = g.t.PortChan(0, d)
+	}
+	return reps
+}

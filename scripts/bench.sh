@@ -3,8 +3,10 @@
 #
 # Runs the internal/lp engine benchmarks (cold solve, warm AddCut/SetRHS
 # episodes, factorize and FTRAN microbenches, each with an eta and a dense
-# sub-benchmark) plus the end-to-end Figure 1 Pareto benchmark under both
-# the default (eta) build and the -tags lpdense build, and serializes the
+# sub-benchmark, plus the topology-family design-LP points: a k=4 3-cube
+# cold solve and torus3d:4 / mesh:8x8 model builds) and the end-to-end
+# Figure 1 Pareto benchmark under both the default (eta) build and the
+# -tags lpdense build, and serializes the
 # ns/op, B/op, and allocs/op figures with cmd/benchjson.
 #
 # Usage: scripts/bench.sh [benchtime]

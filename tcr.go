@@ -56,6 +56,16 @@ type Torus = topo.Torus
 // NewTorus constructs a k-ary 2-cube.
 func NewTorus(k int) *Torus { return topo.NewTorus(k) }
 
+// Topology is the network abstraction the design and simulation layers
+// consume: any registered family (2D/3D tori, meshes) exposing port
+// arithmetic, distances, and its automorphism group (see internal/topo).
+// *Torus satisfies it.
+type Topology = topo.Topology
+
+// ParseTopology resolves a "family:spec" string — "torus2d:8", "torus3d:4",
+// "mesh:8x8" — through the topology family registry.
+func ParseTopology(s string) (Topology, error) { return topo.Parse(s) }
+
 // Algorithm is a randomized oblivious routing algorithm: a probability
 // distribution over paths for every source-destination pair.
 type Algorithm = routing.Algorithm
