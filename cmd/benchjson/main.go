@@ -5,14 +5,21 @@
 // Usage:
 //
 //	go test -bench . -benchmem | benchjson [-o out.json] [-label suffix]
+//	go test -bench . -benchmem | benchjson -diff base.json [-threshold 1.5]
 //
 // Input is read from stdin. Lines that are not benchmark result lines are
 // ignored, so raw `go test` output can be piped in directly. With -label,
 // the suffix is appended to every benchmark name (used to distinguish runs
 // under different build tags). Repeated invocations with -o append into the
-// existing document, so several runs can accumulate into one file. Exit
-// status is 0 on success, 1 when the input contains no benchmark lines, and
-// 2 on I/O or parse errors.
+// existing document, so several runs can accumulate into one file.
+//
+// With -diff, the parsed results are instead compared against a committed
+// baseline document (e.g. BENCH_lp.json): every benchmark present in both
+// whose ns/op exceeds baseline*threshold is reported as a regression.
+// Benchmarks present on only one side are listed but never fail the diff.
+//
+// Exit status is 0 on success, 1 when the input contains no benchmark
+// lines, 2 on I/O or parse errors, and 3 when -diff found a regression.
 package main
 
 import (
@@ -43,12 +50,14 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	out := fs.String("o", "", "output file (default stdout); appended to if it exists")
 	label := fs.String("label", "", "suffix appended to every benchmark name")
+	diff := fs.String("diff", "", "baseline JSON document to compare against instead of emitting JSON")
+	threshold := fs.Float64("threshold", 1.5, "with -diff, fail when ns/op exceeds baseline*threshold")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	results := map[string]result{}
-	if *out != "" {
+	if *out != "" && *diff == "" {
 		if err := loadExisting(*out, results); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			return 2
@@ -65,10 +74,71 @@ func run(args []string) int {
 		return 1
 	}
 
+	if *diff != "" {
+		return diffBase(*diff, *threshold, results)
+	}
+
 	if err := write(*out, results); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		return 2
 	}
+	return 0
+}
+
+// diffBase compares results against the baseline document at path. Each
+// benchmark present in both is judged on ns/op alone (allocation figures
+// shift with compiler versions and are tracked by the checked-in JSON diff
+// itself); a current time above baseline*threshold is a regression. Returns
+// 0 when clean, 3 when any regression was found, 2 on a bad baseline.
+func diffBase(path string, threshold float64, results map[string]result) int {
+	base := map[string]result{}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", path, err)
+		return 2
+	}
+
+	names := make([]string, 0, len(results))
+	for name := range results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	regressions := 0
+	for _, name := range names {
+		cur := results[name]
+		b, ok := base[name]
+		if !ok {
+			fmt.Printf("  new      %-60s %12.0f ns/op (not in baseline)\n", name, cur.NsPerOp)
+			continue
+		}
+		ratio := cur.NsPerOp / b.NsPerOp
+		mark := "ok"
+		if cur.NsPerOp > b.NsPerOp*threshold {
+			mark = "REGRESS"
+			regressions++
+		}
+		fmt.Printf("  %-8s %-60s %12.0f ns/op vs %12.0f (%.2fx)\n", mark, name, cur.NsPerOp, b.NsPerOp, ratio)
+	}
+	baseNames := make([]string, 0, len(base))
+	for name := range base {
+		baseNames = append(baseNames, name)
+	}
+	sort.Strings(baseNames)
+	for _, name := range baseNames {
+		if _, ok := results[name]; !ok {
+			fmt.Printf("  missing  %-60s (in baseline, not in input)\n", name)
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) above %.2fx of %s\n", regressions, threshold, path)
+		return 3
+	}
+	fmt.Printf("benchjson: no regressions above %.2fx of %s\n", threshold, path)
 	return 0
 }
 

@@ -30,8 +30,11 @@ import (
 // 2 re-runs stage 1 and resumes stage 2's accumulated state is discarded.
 
 // checkpointVersion invalidates checkpoints across incompatible solver or
-// formulation changes. ckpt-2 added the integrity hash field.
-const checkpointVersion = "tcr-ckpt-2"
+// formulation changes. ckpt-2 added the integrity hash field; ckpt-3
+// switched the stage-2 w cap from a cut row to a variable upper bound
+// (bounded simplex), which changes the basis dimension and adds the at-upper
+// nonbasic set to the serialized state.
+const checkpointVersion = "tcr-ckpt-3"
 
 // checkpoint is the on-disk resume state of a cut loop. SHA256 is the
 // integrity hash (store.HashBytes) of the checkpoint's own JSON encoding
@@ -46,6 +49,9 @@ type checkpoint struct {
 	Cuts   []cutEntry `json:"cuts"`
 	Basis  []int      `json:"basis"`
 	Cursor int        `json:"cursor"` // partial-pricing rotation state
+	// AtUpper lists the nonbasic columns sitting at their upper bounds; with
+	// the bounded simplex a basis alone no longer determines the vertex.
+	AtUpper []int `json:"atUpper,omitempty"`
 }
 
 // seal computes the integrity hash over the checkpoint's canonical encoding
@@ -106,12 +112,13 @@ func (p *FlowLP) writeCheckpoint(round, iters int) error {
 		return fmt.Errorf("design: checkpoint barrier: %w", err)
 	}
 	ck := checkpoint{
-		Sig:    p.sig(),
-		Round:  round,
-		Iters:  iters,
-		Cuts:   p.cutLog,
-		Basis:  p.solver.Basis(),
-		Cursor: p.solver.PricingCursor(),
+		Sig:     p.sig(),
+		Round:   round,
+		Iters:   iters,
+		Cuts:    p.cutLog,
+		Basis:   p.solver.Basis(),
+		Cursor:  p.solver.PricingCursor(),
+		AtUpper: p.solver.AtUpperSet(),
 	}
 	if ck.Cuts == nil {
 		ck.Cuts = []cutEntry{}
@@ -157,6 +164,13 @@ func (p *FlowLP) restoreCheckpoint() (round, iters int, ok bool) {
 	savedLog := p.cutLog
 	p.cutLog = ck.Cuts
 	p.rebuildSolver()
+	// The at-upper set must be in place before InstallBasis: the basic
+	// values it recomputes depend on which nonbasic columns sit at bounds.
+	if err := p.solver.SetAtUpperSet(ck.AtUpper); err != nil {
+		p.cutLog = savedLog
+		p.rebuildSolver()
+		return 0, 0, false
+	}
 	if err := p.solver.InstallBasis(ck.Basis); err != nil {
 		p.cutLog = savedLog
 		p.rebuildSolver()

@@ -62,7 +62,12 @@ func (p *FlowLP) apply(e cutEntry) {
 	case cutMatrix:
 		p.solver.AddCut(p.matrixCutTerms(topo.Channel(e.Ch), e.mat, lp.VarID(e.Bound)), lp.LE, 0)
 	case cutCapW:
-		p.solver.AddCut([]lp.Term{{Var: p.wVar, Coef: 1}}, lp.LE, e.Val)
+		// A bound on w, not a row: the cap becomes nonbasic variable state
+		// in the solver (bounded simplex), adding nothing to the basis
+		// dimension. Replaying a later entry overwrites the earlier bound,
+		// which matches the semantics of stacked w <= val rows (the
+		// tightest wins) while keeping the basis square.
+		p.solver.SetVarUpper(p.wVar, e.Val)
 	case cutObjLen:
 		for ci, cm := range p.comms {
 			for c := 0; c < p.nc; c++ {

@@ -285,23 +285,23 @@ func NewFlowLP(t topo.Topology, withLocality bool, opts Options) *FlowLP {
 }
 
 // addFlowVars adds the per-commodity channel flow variables in varID order.
+// The variables are unnamed: VarName falls back to the dense index, and the
+// per-variable Sprintf was a measurable share of the model-build cost on the
+// mesh-family LPs.
 func (p *FlowLP) addFlowVars(m *lp.Model) {
-	for ci := range p.comms {
-		for c := 0; c < p.nc; c++ {
-			m.AddVar(0, fmt.Sprintf("x[%d,%d]", ci, c))
-		}
-	}
+	m.AddVars(len(p.comms) * p.nc)
 }
 
 // addConservation appends the flow-conservation rows: for each commodity and
 // node, out - in = supply (+1 at the class source, -1 at its destination).
 func (p *FlowLP) addConservation(m *lp.Model, named bool) {
 	t := p.T
+	var terms []lp.Term // reused across rows; AddRow copies into the model's arena
 	for ci, cm := range p.comms {
 		for n := 0; n < p.n; n++ {
 			nd := topo.Node(n)
 			deg := t.OutDeg(nd)
-			terms := make([]lp.Term, 0, 2*deg)
+			terms = terms[:0]
 			for pt := 0; pt < deg; pt++ {
 				out := t.PortChan(nd, pt)
 				terms = append(terms,
@@ -341,6 +341,7 @@ func (p *FlowLP) addSymmetry(m *lp.Model) {
 		return
 	}
 	id := p.grp.Identity()
+	var pair [2]lp.Term // reused across rows; AddRow copies into the model's arena
 	for ci, cm := range p.comms {
 		for _, h := range p.grp.Elements() {
 			if h == id ||
@@ -353,10 +354,9 @@ func (p *FlowLP) addSymmetry(m *lp.Model) {
 				if int(hc) <= c {
 					continue // each unordered {c, h(c)} once; fixed channels need no row
 				}
-				m.AddRow([]lp.Term{
-					{Var: p.varID(ci, topo.Channel(c)), Coef: 1},
-					{Var: p.varID(ci, hc), Coef: -1},
-				}, lp.EQ, 0, "")
+				pair[0] = lp.Term{Var: p.varID(ci, topo.Channel(c)), Coef: 1}
+				pair[1] = lp.Term{Var: p.varID(ci, hc), Coef: -1}
+				m.AddRow(pair[:], lp.EQ, 0, "")
 			}
 		}
 	}

@@ -65,7 +65,10 @@ func FullWorstCaseLP(t topo.Topology, opts Options) (*Result, error) {
 	}
 	emit(0)
 
-	sol, err := lp.NewSolver(m).Solve()
+	// SolveModel presolves first: the permutation rows all involve w, so
+	// little is removable, but dominated flow columns (channels no
+	// commodity can usefully cross) and the scaling pass come for free.
+	sol, err := lp.SolveModel(m)
 	if err != nil {
 		return nil, err
 	}

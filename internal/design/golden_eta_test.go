@@ -1,0 +1,7 @@
+//go:build !lpdense
+
+package design
+
+// goldenEngineDefault: the pinned fingerprints capture the eta engine's
+// trajectory, which the default build selects.
+const goldenEngineDefault = true

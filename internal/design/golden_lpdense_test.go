@@ -1,0 +1,7 @@
+//go:build lpdense
+
+package design
+
+// Built with -tags lpdense the default engine is the dense inverse, whose
+// rounding path legitimately differs from the pinned eta trajectory.
+const goldenEngineDefault = false

@@ -219,3 +219,32 @@ func TestMinLocalityDegradesOnStage1(t *testing.T) {
 		t.Errorf("reason %q does not attribute the failure to stage 1", res.Reason)
 	}
 }
+
+// TestLexCheckpointedStage2 pins the regression where checkpointing the
+// lexicographic design poisoned stage 2: every stage-1 checkpoint write
+// runs the RefreshFactors barrier, which legitimately perturbs the
+// numerical trajectory, and the perturbed stage-2 LP — feasible only
+// within its 1e-6 cap slack — parked the eta engine's phase 1 at a
+// certified optimum carrying ~1.7e-7 of artificial rounding mass, which
+// an absolute mass cutoff escalated into a wrong Infeasible verdict.
+func TestLexCheckpointedStage2(t *testing.T) {
+	tor := topo.NewTorus(4)
+	ref, err := MinLocalityAtWorstCase(tor, Options{})
+	if err != nil {
+		t.Fatalf("uncheckpointed: %v", err)
+	}
+	ck := filepath.Join(t.TempDir(), "lex.ckpt")
+	res, err := MinLocalityAtWorstCase(tor, Options{Checkpoint: ck, CheckpointEvery: 1})
+	if err != nil {
+		t.Fatalf("checkpointed every round: %v", err)
+	}
+	if !res.Certified {
+		t.Fatalf("checkpointed run uncertified: %s", res.Reason)
+	}
+	// The barrier refactorizations make the trajectories legitimately
+	// different, so only the certified quantities must agree.
+	if math.Abs(res.HNorm-ref.HNorm) > 1e-5 || math.Abs(res.GammaWC-ref.GammaWC) > 1e-5 {
+		t.Fatalf("checkpointed run diverged: H=%v gamma=%v, want H=%v gamma=%v",
+			res.HNorm, res.GammaWC, ref.HNorm, ref.GammaWC)
+	}
+}

@@ -355,7 +355,9 @@ func designPathWC(ctx context.Context, t *topo.Torus, family PathFamily, label s
 	wStar := sol.X[p.wVar] * (1 + slack)
 
 	// Stage 2: cap w, objective becomes total path length.
-	p.solver.AddCut([]lp.Term{{Var: p.wVar, Coef: 1}}, lp.LE, wStar)
+	// The cap is a variable bound, not a cut row: bounded-simplex state
+	// instead of one more basis row.
+	p.solver.SetVarUpper(p.wVar, wStar)
 	for ri := range p.rels {
 		for i, v := range p.varOf[ri] {
 			p.solver.SetObjCoef(v, float64(p.lens[ri][i]))

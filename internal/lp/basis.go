@@ -38,19 +38,16 @@ func (s *Solver) ftran(col int) []float64 {
 // btranRow returns row r of Binv (the vector rho with rho^T = e_r^T Binv,
 // indexed by constraint row). The returned slice is solver-owned scratch
 // distinct from ftran's, so a rho computed before a pivot stays valid while
-// the entering column's FTRAN image is alive.
+// the entering column's FTRAN image is alive. The eta engine solves the
+// unit seed hyper-sparsely (hypersparse.go).
 func (s *Solver) btranRow(r int) []float64 {
 	if s.engine == EngineDense {
 		rho := s.growRho()
+		s.hs.rhoDirty = true
 		copy(rho, s.binv[r])
 		return rho
 	}
-	w := s.growPosSp()
-	for i := range w {
-		w[i] = 0
-	}
-	w[r] = 1
-	return s.btranEta(w)
+	return s.btranRowSparse(r)
 }
 
 // computeY returns y with y = c_B^T * Binv for the given cost vector.
@@ -59,6 +56,10 @@ func (s *Solver) computeY(costs []float64) []float64 {
 		return s.computeYDense(costs)
 	}
 	w := s.growPosSp()
+	// Dense scatter and dense BTRAN: both scratch vectors leave this call
+	// with untracked nonzeros.
+	s.hs.posSpDirty = true
+	s.hs.rhoDirty = true
 	for r, col := range s.basis {
 		w[r] = costs[col]
 	}
@@ -68,24 +69,32 @@ func (s *Solver) computeY(costs []float64) []float64 {
 	return y
 }
 
-// pivot makes column `enter` basic in row `leaveRow`, given u = Binv*A[enter]
-// and the entering variable's new value theta. It updates the inverse
-// representation (a rank-1 elimination for the dense engine, an eta append —
-// and possibly a refactorization — for the eta engine), the basic solution
-// values, and the basis bookkeeping.
-func (s *Solver) pivot(enter, leaveRow int, u []float64, theta float64) error {
+// pivot makes column `enter` basic in row `leaveRow`, given u = Binv*A[enter],
+// the step to apply to the other basic values (xB[i] -= step*u[i]) and the
+// entering variable's new value. For the legacy from-lower pivot both equal
+// theta; a bounded pivot entering from its upper bound passes step = -theta
+// and newVal = ub - theta. It updates the inverse representation (a rank-1
+// elimination for the dense engine, an eta append — and possibly a
+// refactorization — for the eta engine), the basic solution values, and the
+// basis bookkeeping.
+func (s *Solver) pivot(enter, leaveRow int, u []float64, step, newVal float64) error {
 	// Bookkeeping first: if the eta engine decides to refactorize inside
-	// pivotEta, the factorization must see the post-pivot basis.
+	// pivotEta, the factorization must see the post-pivot basis (and, with
+	// bounds, the entering column must already read as basic-not-at-upper
+	// when recomputeXB adjusts the right-hand side).
 	old := s.basis[leaveRow]
 	s.pos[old] = -1
 	s.basis[leaveRow] = enter
 	s.pos[enter] = leaveRow
-	s.xB[leaveRow] = theta
+	if s.hasBounds {
+		s.atUpper[enter] = false
+	}
+	s.xB[leaveRow] = newVal
 	if s.engine == EngineDense {
-		s.pivotDense(leaveRow, u, theta)
+		s.pivotDense(leaveRow, u, step)
 		return nil
 	}
-	return s.pivotEta(leaveRow, u, theta)
+	return s.pivotEta(leaveRow, u, step)
 }
 
 // dotCol computes vec . A[col] for a row-space vector (a BTRAN row or a
@@ -310,7 +319,7 @@ func (s *Solver) computeYDense(costs []float64) []float64 {
 
 // pivotDense updates the explicit inverse by a rank-1 elimination and the
 // basic solution values incrementally.
-func (s *Solver) pivotDense(leaveRow int, u []float64, theta float64) {
+func (s *Solver) pivotDense(leaveRow int, u []float64, step float64) {
 	m := s.nRows
 	piv := u[leaveRow]
 	//lint:ignore nanguard callers select |u[leaveRow]| > pivotTol in the ratio test
@@ -332,7 +341,7 @@ func (s *Solver) pivotDense(leaveRow int, u []float64, theta float64) {
 		for k := 0; k < m; k++ {
 			br[k] -= f * lrow[k]
 		}
-		s.xB[r] -= f * theta
+		s.xB[r] -= f * step
 	}
 }
 
@@ -355,6 +364,24 @@ func (s *Solver) residual() float64 {
 		}
 		for t, ri := range s.colR[col] {
 			res[ri] += s.colV[col][t] * x
+		}
+	}
+	if s.hasBounds {
+		// Nonbasic-at-upper variables contribute their bound values to the
+		// row activities.
+		for _, j32 := range s.ubList {
+			j := int(j32)
+			if s.pos[j] >= 0 || !s.atUpper[j] {
+				continue
+			}
+			x := s.ub[j]
+			//lint:ignore floatcmp exact zero only skips a no-op residual term
+			if x == 0 {
+				continue
+			}
+			for t, ri := range s.colR[j] {
+				res[ri] += s.colV[j][t] * x
+			}
 		}
 	}
 	var worst float64

@@ -198,6 +198,87 @@ func TestEngineEquivCutLoop(t *testing.T) {
 	}
 }
 
+// TestEngineEquivBounded pits the engines against each other on the bounded
+// simplex: random LPs where capacities live as variable upper bounds (with
+// bound-flip ratio tests and at-upper nonbasic states) instead of explicit
+// rows, both cold and through a SetVarUpper warm-tightening episode.
+func TestEngineEquivBounded(t *testing.T) {
+	trials := 200
+	if testing.Short() {
+		trials = 60
+	}
+	rng := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < trials; trial++ {
+		n := 3 + rng.Intn(6)
+		mm := 2 + rng.Intn(4)
+		model := lp.NewModel()
+		vars := make([]lp.VarID, n)
+		ubs := make([]float64, n)
+		for j := 0; j < n; j++ {
+			vars[j] = model.AddVar(math.Round(20*(rng.Float64()-0.6))/4, "")
+			ubs[j] = 2 + math.Round(16*rng.Float64())/2
+			model.SetUpper(vars[j], ubs[j])
+		}
+		for i := 0; i < mm; i++ {
+			terms := make([]lp.Term, 0, n)
+			for j := 0; j < n; j++ {
+				if rng.Float64() < 0.7 {
+					terms = append(terms, lp.Term{Var: vars[j], Coef: math.Round(8*(rng.Float64()-0.3)) / 2})
+				}
+			}
+			rel := lp.LE
+			if rng.Float64() < 0.2 {
+				rel = lp.GE
+			}
+			model.AddRow(terms, rel, math.Round(10*rng.Float64()), "")
+		}
+		eta, dense := pair(model)
+		etaSol, err := eta.Solve()
+		if err != nil {
+			t.Fatalf("trial %d eta: %v", trial, err)
+		}
+		denseSol, err := dense.Solve()
+		if err != nil {
+			t.Fatalf("trial %d dense: %v", trial, err)
+		}
+		// rhs=nil: with binding variable bounds the plain y.b == obj identity
+		// no longer holds (the bound multipliers contribute); the bounded
+		// certificate is covered by the presolve property suite.
+		checkAgree(t, "bounded-cold", etaSol, denseSol, nil, true)
+		if etaSol.Status == lp.Optimal {
+			if v := model.MaxViolation(etaSol.X); v > 1e-6 {
+				t.Fatalf("trial %d: eta X violates bounds/rows by %v", trial, v)
+			}
+		}
+		// Warm episode: tighten a random variable's bound and re-solve, four
+		// times, mirroring the stage-2 w-cap usage in the design layer.
+		for step := 0; step < 4; step++ {
+			j := rng.Intn(n)
+			ubs[j] = math.Max(0, ubs[j]-1-math.Round(4*rng.Float64())/2)
+			eta.SetVarUpper(vars[j], ubs[j])
+			dense.SetVarUpper(vars[j], ubs[j])
+			if etaSol, err = eta.Solve(); err != nil {
+				t.Fatalf("trial %d step %d eta: %v", trial, step, err)
+			}
+			if denseSol, err = dense.Solve(); err != nil {
+				t.Fatalf("trial %d step %d dense: %v", trial, step, err)
+			}
+			checkAgree(t, "bounded-warm", etaSol, denseSol, nil, true)
+			if etaSol.Status != lp.Optimal {
+				break
+			}
+			// SetVarUpper mutates the solver, not the model, so check the
+			// tightened bounds directly rather than via MaxViolation.
+			for jj := 0; jj < n; jj++ {
+				if etaSol.X[jj] > ubs[jj]+1e-6 {
+					t.Fatalf("trial %d step %d: x[%d]=%v above tightened bound %v",
+						trial, step, jj, etaSol.X[jj], ubs[jj])
+				}
+			}
+		}
+	}
+}
+
 // TestEngineEquivRHSSweep mirrors the Pareto-sweep usage: both engines track
 // the same swept equality right-hand side via SetRHS warm starts.
 func TestEngineEquivRHSSweep(t *testing.T) {

@@ -84,10 +84,14 @@ func (e *etaFile) appendBorder(r int, g float64, aB []float64) {
 // Border rows must already carry their raw right-hand-side components.
 func (e *etaFile) applyFtran(v []float64) {
 	for t := 0; t < len(e.r); t++ {
+		// Subslice the segment once so the inner loops index two equal-length
+		// slices; the compiler drops the per-element bounds checks.
+		pos := e.pos[e.ptr[t]:e.ptr[t+1]]
+		val := e.val[e.ptr[t]:e.ptr[t+1]]
 		if e.kind[t] == etaOpBorder {
 			acc := v[e.r[t]]
-			for k := e.ptr[t]; k < e.ptr[t+1]; k++ {
-				acc -= e.val[k] * v[e.pos[k]]
+			for k, p := range pos {
+				acc -= val[k] * v[p]
 			}
 			//lint:ignore nanguard border diagonals are ±1 by construction (AddCut logicals)
 			v[e.r[t]] = acc / e.piv[t]
@@ -97,8 +101,8 @@ func (e *etaFile) applyFtran(v []float64) {
 		vr := v[e.r[t]] / e.piv[t]
 		//lint:ignore floatcmp exact zero skips a structurally empty eta step
 		if vr != 0 {
-			for k := e.ptr[t]; k < e.ptr[t+1]; k++ {
-				v[e.pos[k]] -= e.val[k] * vr
+			for k, p := range pos {
+				v[p] -= val[k] * vr
 			}
 		}
 		v[e.r[t]] = vr
@@ -109,21 +113,25 @@ func (e *etaFile) applyFtran(v []float64) {
 // position-space vector w.
 func (e *etaFile) applyBtran(w []float64) {
 	for t := len(e.r) - 1; t >= 0; t-- {
+		// Subslice the segment once so the inner loops index two equal-length
+		// slices; the compiler drops the per-element bounds checks.
+		pos := e.pos[e.ptr[t]:e.ptr[t+1]]
+		val := e.val[e.ptr[t]:e.ptr[t+1]]
 		if e.kind[t] == etaOpBorder {
 			//lint:ignore nanguard border diagonals are ±1 by construction (AddCut logicals)
 			zt := w[e.r[t]] / e.piv[t]
 			//lint:ignore floatcmp exact zero skips a structurally empty border step
 			if zt != 0 {
-				for k := e.ptr[t]; k < e.ptr[t+1]; k++ {
-					w[e.pos[k]] -= e.val[k] * zt
+				for k, p := range pos {
+					w[p] -= val[k] * zt
 				}
 			}
 			w[e.r[t]] = zt
 			continue
 		}
 		acc := w[e.r[t]]
-		for k := e.ptr[t]; k < e.ptr[t+1]; k++ {
-			acc -= e.val[k] * w[e.pos[k]]
+		for k, p := range pos {
+			acc -= val[k] * w[p]
 		}
 		//lint:ignore nanguard pivots pass the ratio-test magnitude bound at append time
 		w[e.r[t]] = acc / e.piv[t]
@@ -134,7 +142,7 @@ func (e *etaFile) applyBtran(w []float64) {
 // incrementally, and refactorizes when the eta file has grown past the count
 // or fill thresholds. Callers have already updated basis/pos/xB[leaveRow],
 // so a refactorization here sees the post-pivot basis.
-func (s *Solver) pivotEta(leaveRow int, u []float64, theta float64) error {
+func (s *Solver) pivotEta(leaveRow int, u []float64, step float64) error {
 	s.chaos.perturbEta(u)
 	e := &s.etas
 	e.r = append(e.r, int32(leaveRow))
@@ -150,7 +158,7 @@ func (s *Solver) pivotEta(leaveRow int, u []float64, theta float64) error {
 		}
 		e.pos = append(e.pos, int32(i))
 		e.val = append(e.val, ui)
-		s.xB[i] -= ui * theta
+		s.xB[i] -= ui * step
 	}
 	e.ptr = append(e.ptr, int32(len(e.pos)))
 	if e.count() >= etaRefactorCount || e.nnz() > etaRefactorFill*(s.lu.nnz()+s.nRows) {

@@ -279,6 +279,9 @@ func (s *Solver) factorizeSparse() error {
 		s.luEliminate(pr, pc, pIdx)
 	}
 	s.factorOK = true
+	// New pivot sequence: the hyper-sparse step indexes and consumer
+	// transposes (hypersparse.go) are rebuilt lazily on first use.
+	s.hs.transOK = false
 	return nil
 }
 
@@ -594,14 +597,18 @@ func (s *Solver) ftranVec(b, out []float64) {
 		if br == 0 {
 			continue
 		}
-		for k := lu.lPtr[t]; k < lu.lPtr[t+1]; k++ {
-			b[lu.lRow[k]] -= lu.lVal[k] * br
+		rows := lu.lRow[lu.lPtr[t]:lu.lPtr[t+1]]
+		vals := lu.lVal[lu.lPtr[t]:lu.lPtr[t+1]]
+		for k, r := range rows {
+			b[r] -= vals[k] * br
 		}
 	}
 	for t := m - 1; t >= 0; t-- {
 		v := b[lu.prow[t]]
-		for k := lu.uPtr[t]; k < lu.uPtr[t+1]; k++ {
-			v -= lu.uVal[k] * out[lu.uPos[k]]
+		poss := lu.uPos[lu.uPtr[t]:lu.uPtr[t+1]]
+		vals := lu.uVal[lu.uPtr[t]:lu.uPtr[t+1]]
+		for k, p := range poss {
+			v -= vals[k] * out[p]
 		}
 		//lint:ignore nanguard factorization accepts only |pval| > pivotTol pivots
 		out[lu.pcol[t]] = v / lu.pval[t]
@@ -634,14 +641,18 @@ func (s *Solver) btranEta(w []float64) []float64 {
 		if zt == 0 {
 			continue
 		}
-		for k := lu.uPtr[t]; k < lu.uPtr[t+1]; k++ {
-			w[lu.uPos[k]] -= lu.uVal[k] * zt
+		poss := lu.uPos[lu.uPtr[t]:lu.uPtr[t+1]]
+		vals := lu.uVal[lu.uPtr[t]:lu.uPtr[t+1]]
+		for k, p := range poss {
+			w[p] -= vals[k] * zt
 		}
 	}
 	for t := m - 1; t >= 0; t-- {
 		var acc float64
-		for k := lu.lPtr[t]; k < lu.lPtr[t+1]; k++ {
-			acc += lu.lVal[k] * z[lu.lRow[k]]
+		rows := lu.lRow[lu.lPtr[t]:lu.lPtr[t+1]]
+		vals := lu.lVal[lu.lPtr[t]:lu.lPtr[t+1]]
+		for k, r := range rows {
+			acc += vals[k] * z[r]
 		}
 		//lint:ignore floatcmp exact zero skips a no-op correction
 		if acc != 0 {
@@ -651,16 +662,18 @@ func (s *Solver) btranEta(w []float64) []float64 {
 	return z
 }
 
-// ftranEta computes u = Binv * A[col] through the factors and eta file.
+// ftranEta computes u = Binv * A[col] through the factors and eta file,
+// exploiting the column's sparsity: the scratch vectors are re-zeroed over
+// their tracked patterns and the triangular solves follow the symbolic
+// reach of the nonzeros (hypersparse.go).
 func (s *Solver) ftranEta(col int) []float64 {
 	b := s.growRowSp()
-	for i := range b {
-		b[i] = 0
-	}
+	s.clearScratch(b, &s.hs.rowSpPat, &s.hs.rowSpDirty)
 	for t, ri := range s.colR[col] {
 		b[ri] = s.colV[col][t]
+		s.hs.rowSpPat = append(s.hs.rowSpPat, ri)
 	}
 	u := s.growU()
-	s.ftranVec(b, u)
+	s.ftranVecSparse(b, u) // writes u in full on every path
 	return u
 }

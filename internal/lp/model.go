@@ -91,6 +91,13 @@ type Model struct {
 	names []string
 	obj   []float64
 	rows  []row
+	// upper holds per-variable upper bounds (+Inf when absent). The slice
+	// is grown on demand by SetUpper, so models without bounds pay nothing.
+	upper []float64
+	// arena is the bump allocator behind AddRow's merged term storage: rows
+	// carve segments out of shared blocks instead of allocating two slices
+	// each, which is the dominant build cost on the mesh-family models.
+	arena []Term
 	// err is the first construction error (bad variable reference,
 	// non-finite coefficient). It sticks to the model and is surfaced by
 	// Err and by Solver.Solve, so builders can chain AddRow calls without
@@ -132,6 +139,47 @@ func (m *Model) SetObj(v VarID, coef float64) {
 	m.obj[v] = coef
 }
 
+// SetUpper imposes the upper bound x[v] <= ub. The bound becomes variable
+// state in the solver (at-lower/at-upper/basic), not a constraint row, so it
+// adds nothing to the basis dimension. ub must be nonnegative and not NaN;
+// +Inf removes a previously set bound.
+func (m *Model) SetUpper(v VarID, ub float64) {
+	if int(v) < 0 || int(v) >= len(m.obj) {
+		if m.err == nil {
+			m.err = fmt.Errorf("lp: SetUpper references unknown variable %d (model has %d)", v, len(m.obj))
+		}
+		return
+	}
+	if math.IsNaN(ub) || ub < 0 {
+		if m.err == nil {
+			m.err = fmt.Errorf("lp: SetUpper(%s, %v): bound must be nonnegative", m.VarName(v), ub)
+		}
+		return
+	}
+	for len(m.upper) <= int(v) {
+		m.upper = append(m.upper, math.Inf(1))
+	}
+	m.upper[v] = ub
+}
+
+// Upper returns the upper bound of v, +Inf when none is set.
+func (m *Model) Upper(v VarID) float64 {
+	if int(v) < len(m.upper) {
+		return m.upper[v]
+	}
+	return math.Inf(1)
+}
+
+// HasUpper reports whether any variable carries a finite upper bound.
+func (m *Model) HasUpper() bool {
+	for _, u := range m.upper {
+		if !math.IsInf(u, 1) {
+			return true
+		}
+	}
+	return false
+}
+
 // Obj returns the objective coefficient of v.
 func (m *Model) Obj(v VarID) float64 { return m.obj[v] }
 
@@ -147,7 +195,7 @@ func (m *Model) NumRows() int { return len(m.rows) }
 // error (see Err) that Solver.Solve reports; the malformed terms are
 // dropped so construction can continue deterministically.
 func (m *Model) AddRow(terms []Term, rel Rel, rhs float64, name string) RowID {
-	merged, err := mergeTerms(terms, len(m.obj))
+	merged, err := m.mergeArena(terms)
 	if err != nil && m.err == nil {
 		if name == "" {
 			name = fmt.Sprintf("row %d", len(m.rows))
@@ -183,6 +231,29 @@ func (m *Model) VarName(v VarID) string {
 	return fmt.Sprintf("x%d", int(v))
 }
 
+// mergeArena is mergeTerms carving its result from the model's term arena:
+// the input is copied into a bump-allocated segment, sorted and compacted in
+// place, and the arena advances by the merged length only. The algorithm —
+// copy, sort.Slice with the identical comparator, in-place merge — is
+// exactly mergeTerms', so duplicate summation order and the resulting bits
+// are the same either way.
+func (m *Model) mergeArena(terms []Term) ([]Term, error) {
+	n := len(terms)
+	if len(m.arena)+n > cap(m.arena) {
+		c := 4096
+		if c < n {
+			c = n
+		}
+		m.arena = make([]Term, 0, c)
+	}
+	seg := m.arena[len(m.arena) : len(m.arena)+n]
+	copy(seg, terms)
+	sort.Slice(seg, func(i, j int) bool { return seg[i].Var < seg[j].Var })
+	out, err := mergeSorted(seg, len(m.obj))
+	m.arena = m.arena[:len(m.arena)+len(out)]
+	return out, err
+}
+
 // mergeTerms sums duplicate variables, drops exact zeros, validates indices,
 // and returns terms sorted by variable for deterministic iteration. Invalid
 // terms (unknown variable, non-finite coefficient) are dropped and reported
@@ -191,6 +262,13 @@ func mergeTerms(terms []Term, numVars int) ([]Term, error) {
 	merged := make([]Term, len(terms))
 	copy(merged, terms)
 	sort.Slice(merged, func(i, j int) bool { return merged[i].Var < merged[j].Var })
+	return mergeSorted(merged, numVars)
+}
+
+// mergeSorted compacts a Var-sorted term slice in place: duplicates are
+// summed, exact zeros and invalid terms dropped. The returned slice aliases
+// the input's prefix.
+func mergeSorted(merged []Term, numVars int) ([]Term, error) {
 	var err error
 	out := merged[:0]
 	for _, t := range merged {
@@ -220,9 +298,7 @@ func mergeTerms(terms []Term, numVars int) ([]Term, error) {
 		}
 		out = append(out, t)
 	}
-	res := make([]Term, len(out))
-	copy(res, out)
-	return res, err
+	return out, err
 }
 
 // String renders the model in a small human-readable format, useful in test
@@ -281,6 +357,11 @@ func (m *Model) MaxViolation(x []float64) float64 {
 	for j := range m.obj {
 		if x[j] < 0 && -x[j] > worst {
 			worst = -x[j]
+		}
+	}
+	for j := range m.upper {
+		if v := x[j] - m.upper[j]; v > worst {
+			worst = v
 		}
 	}
 	for i := range m.rows {

@@ -4,15 +4,17 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
 )
 
 // WriteMPS serializes the model in free-format MPS, the lingua franca of LP
-// solvers. All variables are nonnegative (the package's variable model), so
-// no BOUNDS section is emitted. Row and column names are synthesized as
-// R<i>/C<j> unless the model carries names; the objective row is named OBJ.
+// solvers. All variables are nonnegative (the package's variable model);
+// finite upper bounds set through SetUpper are emitted as UP entries in a
+// BOUNDS section. Row and column names are synthesized as R<i>/C<j> unless
+// the model carries names; the objective row is named OBJ.
 //
 // The writer exists so that models built here can be cross-checked against
 // external solvers, and so tests can round-trip models through ReadMPS.
@@ -68,6 +70,14 @@ func (m *Model) WriteMPS(w io.Writer, name string) error {
 			ew.printf(" RHS %s %s\n", rowName(i), formatMPS(r.rhs))
 		}
 	}
+	if m.HasUpper() {
+		ew.printf("BOUNDS\n")
+		for j := range m.obj {
+			if ub := m.Upper(VarID(j)); !math.IsInf(ub, 1) {
+				ew.printf(" UP BND C%d %s\n", j, formatMPS(ub))
+			}
+		}
+	}
 	ew.printf("ENDATA\n")
 	return ew.flush()
 }
@@ -99,9 +109,10 @@ func formatMPS(v float64) string {
 }
 
 // ReadMPS parses a free-format MPS file into a Model. It supports the
-// sections WriteMPS produces (NAME, ROWS, COLUMNS, RHS, ENDATA) plus an
-// optional BOUNDS section restricted to nonnegative lower bounds (LO ... 0),
-// which matches the package's variable model; anything else is rejected.
+// sections WriteMPS produces (NAME, ROWS, COLUMNS, RHS, BOUNDS, ENDATA).
+// BOUNDS entries are restricted to the package's variable model: UP with a
+// nonnegative value (stored through SetUpper) and redundant LO ... 0;
+// anything else is rejected.
 func ReadMPS(r io.Reader) (*Model, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -208,8 +219,32 @@ func ReadMPS(r io.Reader) (*Model, error) {
 				return nil, fmt.Errorf("lp: mps line %d: malformed BOUNDS entry", lineNo)
 			}
 			kind := strings.ToUpper(fields[0])
-			if kind != "LO" || len(fields) < 4 || fields[3] != "0" {
-				return nil, fmt.Errorf("lp: mps line %d: only LO ... 0 bounds supported", lineNo)
+			switch kind {
+			case "LO":
+				if len(fields) < 4 || fields[3] != "0" {
+					return nil, fmt.Errorf("lp: mps line %d: only LO ... 0 lower bounds supported", lineNo)
+				}
+			case "UP":
+				// UP BND COL VAL
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("lp: mps line %d: malformed UP bound", lineNo)
+				}
+				ub, err := strconv.ParseFloat(fields[3], 64)
+				if err != nil {
+					return nil, fmt.Errorf("lp: mps line %d: %v", lineNo, err)
+				}
+				if ub < 0 || math.IsNaN(ub) {
+					return nil, fmt.Errorf("lp: mps line %d: negative upper bound %v unsupported (variables are nonnegative)", lineNo, ub)
+				}
+				v, ok := vars[fields[2]]
+				if !ok {
+					return nil, fmt.Errorf("lp: mps line %d: UP bound for unknown column %q", lineNo, fields[2])
+				}
+				if !math.IsInf(ub, 1) {
+					m.SetUpper(v, ub)
+				}
+			default:
+				return nil, fmt.Errorf("lp: mps line %d: bound kind %q not supported", lineNo, kind)
 			}
 		case "RANGES":
 			return nil, fmt.Errorf("lp: mps line %d: RANGES not supported", lineNo)

@@ -1,0 +1,69 @@
+package lp_test
+
+// Performance floor for the warm-start path: the eta engine with
+// hyper-sparse FTRAN/BTRAN must not lose to the dense oracle on the
+// Pareto-sweep episode (BenchmarkWarmSetRHS) at either torus size. The k=4
+// case is the historical regression this pins: before the hyper-sparse
+// solves, small-basis episodes paid more for the sparse machinery than the
+// dense inverse cost outright. The margin absorbs scheduler noise — this is
+// a "same order and no slower" gate, not a microbenchmark.
+
+import (
+	"fmt"
+	"testing"
+
+	"tcr/internal/lp"
+)
+
+// warmSetRHSBench runs the BenchmarkWarmSetRHS episode body for one engine
+// and returns ns/op.
+func warmSetRHSBench(t *testing.T, bl *benchLP, e lp.Engine) float64 {
+	t.Helper()
+	hs := []float64{1.2, 1.5, 1.8, 2.0}
+	r := testing.Benchmark(func(b *testing.B) {
+		s := bl.solvedWithCuts(b, e)
+		hrow, ok := bl.fl.LocalityRow()
+		if !ok {
+			b.Fatal("bench LP built without locality row")
+		}
+		base := float64(bl.tor.N) * bl.tor.MeanMinDist()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.SetRHS(int(hrow), hs[i%len(hs)]*base)
+			if _, err := s.Solve(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if r.N == 0 {
+		t.Fatal("benchmark did not run")
+	}
+	return float64(r.T.Nanoseconds()) / float64(r.N)
+}
+
+func TestWarmSetRHSEtaNotSlowerThanDense(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing assertion; skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("timing assertion; race instrumentation skews engine timings")
+	}
+	// 1.25x margin: eta must be at least on par. In practice it wins both
+	// sizes (modestly at k=4, ~6x at k=6 — see BENCH_lp.json); the margin
+	// only absorbs scheduler noise, which is real when the full suite runs
+	// several package binaries concurrently. The historical regression this
+	// gate exists for was 1.5-2x, well past it.
+	const margin = 1.25
+	for _, k := range []int{4, 6} {
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			bl := designBenchLP(k, 6)
+			eta := warmSetRHSBench(t, bl, lp.EngineEta)
+			dense := warmSetRHSBench(t, bl, lp.EngineDense)
+			t.Logf("k=%d: eta %.0f ns/op, dense %.0f ns/op (%.2fx)", k, eta, dense, eta/dense)
+			if eta > dense*margin {
+				t.Errorf("k=%d: eta warm SetRHS %.0f ns/op slower than dense %.0f ns/op (margin %.2fx)",
+					k, eta, dense, margin)
+			}
+		})
+	}
+}

@@ -1,0 +1,264 @@
+package lp_test
+
+// Presolve/postsolve round-trip properties: SolveModel (presolve + reduced
+// solve + postsolve) must agree with the dense oracle solving the original,
+// unpresolved model — same status, same objective, and a postsolved
+// primal/dual pair that is feasible and satisfies strong duality ON THE
+// ORIGINAL model. The generator is biased to trigger every reduction:
+// singleton rows (bound folding), zero upper bounds (fixed columns), empty
+// rows and columns, and dominated columns.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tcr/internal/lp"
+)
+
+const (
+	psObjTol  = 1e-7 // presolved-vs-oracle objective agreement
+	psFeasTol = 1e-6 // postsolved primal feasibility on the original model
+	psCertTol = 1e-6 // strong-duality certificate slack
+)
+
+// randPresolveModel builds a random bounded LP whose structure exercises the
+// presolve reductions. Negative-cost variables always get a finite upper
+// bound so the instance is never unbounded; coefficients are quarter-integer
+// for reproducible arithmetic. Returns the model plus the objective, bounds,
+// and rows needed to verify certificates against the ORIGINAL formulation.
+func randPresolveModel(rng *rand.Rand) *lp.Model {
+	n := 3 + rng.Intn(7)
+	model := lp.NewModel()
+	vars := make([]lp.VarID, n)
+	for j := 0; j < n; j++ {
+		c := math.Round(16*(rng.Float64()-0.5)) / 4
+		vars[j] = model.AddVar(c, "")
+		switch {
+		case c < 0, rng.Float64() < 0.5:
+			ub := math.Round(12*rng.Float64()) / 2
+			if rng.Float64() < 0.15 {
+				ub = 0 // fixed column for presolve to remove
+			}
+			model.SetUpper(vars[j], ub)
+		}
+	}
+	rows := 2 + rng.Intn(5)
+	for i := 0; i < rows; i++ {
+		r := rng.Float64()
+		switch {
+		case r < 0.25: // singleton row: bound fold / fix candidate
+			j := vars[rng.Intn(n)]
+			coef := math.Round(6*(rng.Float64()-0.3))/2 + 0.5
+			rel := lp.LE
+			if rng.Float64() < 0.3 {
+				rel = lp.GE
+			}
+			model.AddRow([]lp.Term{{Var: j, Coef: coef}}, rel, math.Round(8*rng.Float64())/2, "")
+		case r < 0.32: // empty row
+			rhs := math.Round(4 * rng.Float64())
+			model.AddRow(nil, lp.LE, rhs, "")
+		default: // general row, LE-leaning with occasional GE/EQ
+			terms := make([]lp.Term, 0, n)
+			for j := 0; j < n; j++ {
+				if rng.Float64() < 0.6 {
+					terms = append(terms, lp.Term{Var: vars[j], Coef: math.Round(8*(rng.Float64()-0.25)) / 2})
+				}
+			}
+			rel, rhs := lp.LE, math.Round(12*rng.Float64())
+			switch v := rng.Float64(); {
+			case v < 0.12:
+				rel, rhs = lp.GE, math.Round(3*rng.Float64())
+			case v < 0.2:
+				rel, rhs = lp.EQ, math.Round(4*rng.Float64())
+			}
+			model.AddRow(terms, rel, rhs, "")
+		}
+	}
+	return model
+}
+
+// checkBoundedDuality verifies the strong-duality identity of a bounded LP,
+//
+//	obj == y.b + sum_j min(0, d_j)*ub_j,   d_j = c_j - y.A_j
+//
+// on the ORIGINAL model, and that no variable with an infinite upper bound
+// carries a negative reduced cost (which would certify unboundedness).
+func checkBoundedDuality(t *testing.T, tag string, m *lp.Model, sol *lp.Solution) {
+	t.Helper()
+	d := make([]float64, m.NumVars())
+	for j := 0; j < m.NumVars(); j++ {
+		d[j] = m.Obj(lp.VarID(j))
+	}
+	var yb float64
+	for i := 0; i < m.NumRows(); i++ {
+		y := sol.Dual[i]
+		yb += y * m.RHS(lp.RowID(i))
+		//lint:ignore floatcmp exact zero skips structurally slack rows
+		if y == 0 {
+			continue
+		}
+		for _, tm := range m.RowTerms(lp.RowID(i)) {
+			d[tm.Var] -= y * tm.Coef
+		}
+	}
+	dual := yb
+	for j := 0; j < m.NumVars(); j++ {
+		ub := m.Upper(lp.VarID(j))
+		if math.IsInf(ub, 1) {
+			if d[j] < -psCertTol {
+				t.Fatalf("%s: unbounded-direction reduced cost d[%d]=%v with infinite bound", tag, j, d[j])
+			}
+			continue
+		}
+		if d[j] < 0 {
+			dual += d[j] * ub
+		}
+	}
+	scale := 1 + math.Abs(sol.Objective)
+	if gap := math.Abs(dual - sol.Objective); gap > psCertTol*scale {
+		t.Fatalf("%s: duality gap: dual=%v obj=%v (gap %v)", tag, dual, sol.Objective, gap)
+	}
+}
+
+func TestPresolveRoundTripProperty(t *testing.T) {
+	trials := 400
+	if testing.Short() {
+		trials = 100
+	}
+	rng := rand.New(rand.NewSource(314159))
+	presolvedSomething := false
+	for trial := 0; trial < trials; trial++ {
+		model := randPresolveModel(rng)
+
+		oracle := lp.NewSolver(model)
+		oracle.SetEngine(lp.EngineDense)
+		want, err := oracle.Solve()
+		if err != nil {
+			t.Fatalf("trial %d oracle: %v", trial, err)
+		}
+		got, err := lp.SolveModel(model)
+		if err != nil {
+			t.Fatalf("trial %d SolveModel: %v", trial, err)
+		}
+
+		if got.Status != want.Status {
+			t.Fatalf("trial %d: status presolved=%v oracle=%v", trial, got.Status, want.Status)
+		}
+		if got.Status != lp.Optimal {
+			continue
+		}
+		if !got.Diag.Presolve.Empty() {
+			presolvedSomething = true
+		}
+		scale := 1 + math.Abs(want.Objective)
+		if d := math.Abs(got.Objective - want.Objective); d > psObjTol*scale {
+			t.Fatalf("trial %d: objective presolved=%v oracle=%v (diff %v)", trial, got.Objective, want.Objective, d)
+		}
+		if v := model.MaxViolation(got.X); v > psFeasTol {
+			t.Fatalf("trial %d: postsolved X violates original model by %v", trial, v)
+		}
+		if len(got.X) != model.NumVars() || len(got.Dual) != model.NumRows() {
+			t.Fatalf("trial %d: postsolve shape X=%d/%d Dual=%d/%d",
+				trial, len(got.X), model.NumVars(), len(got.Dual), model.NumRows())
+		}
+		checkBoundedDuality(t, "presolved", model, got)
+		checkBoundedDuality(t, "oracle", model, want)
+	}
+	if !presolvedSomething {
+		t.Fatal("generator never triggered a presolve reduction; property vacuous")
+	}
+}
+
+// TestPresolveReductionsFire pins each reduction on a hand-built model:
+// an empty row, a singleton LE row folding into a bound, a zero-upper-bound
+// fixed column, and a weakly dominated column all disappear from the reduced
+// model, yet the postsolved solution matches the dense oracle exactly.
+func TestPresolveReductionsFire(t *testing.T) {
+	model := lp.NewModel()
+	x := model.AddVar(-1, "x")  // profitable, bounded by the singleton row
+	y := model.AddVar(-2, "y")  // profitable, bounded by SetUpper
+	z := model.AddVar(0.5, "z") // dominated: positive cost, nonnegative coefs
+	f := model.AddVar(-9, "f")  // fixed: ub 0
+	model.SetUpper(y, 3)
+	model.SetUpper(f, 0)
+	model.AddRow(nil, lp.LE, 1, "empty")
+	model.AddRow([]lp.Term{{Var: x, Coef: 2}}, lp.LE, 8, "xcap") // x <= 4
+	model.AddRow([]lp.Term{{Var: x, Coef: 1}, {Var: y, Coef: 1}, {Var: z, Coef: 1}}, lp.LE, 6, "mix")
+
+	oracle := lp.NewSolver(model)
+	oracle.SetEngine(lp.EngineDense)
+	want, err := oracle.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := lp.SolveModel(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != lp.Optimal || want.Status != lp.Optimal {
+		t.Fatalf("status presolved=%v oracle=%v", got.Status, want.Status)
+	}
+	if d := math.Abs(got.Objective - want.Objective); d > psObjTol {
+		t.Fatalf("objective presolved=%v oracle=%v", got.Objective, want.Objective)
+	}
+	ps := got.Diag.Presolve
+	if ps.RowsRemoved < 2 {
+		t.Fatalf("expected empty+singleton rows removed, got %+v", ps)
+	}
+	if ps.ColsRemoved < 2 {
+		t.Fatalf("expected fixed+dominated columns removed, got %+v", ps)
+	}
+	if ps.BoundsAdded < 1 {
+		t.Fatalf("expected singleton row folded into a bound, got %+v", ps)
+	}
+	if v := model.MaxViolation(got.X); v > psFeasTol {
+		t.Fatalf("postsolved X violates model by %v", v)
+	}
+	if got.X[f] != 0 {
+		t.Fatalf("fixed column resurrected: f=%v", got.X[f])
+	}
+	checkBoundedDuality(t, "reductions", model, got)
+}
+
+// TestPresolveInfeasibleAndTrivial covers the endgame paths: an empty-row
+// infeasibility detected entirely in presolve, and a model the reductions
+// solve outright (no rows survive).
+func TestPresolveInfeasibleAndTrivial(t *testing.T) {
+	bad := lp.NewModel()
+	bad.AddVar(1, "x")
+	bad.AddRow(nil, lp.GE, 2, "impossible")
+	sol, err := lp.SolveModel(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != lp.Infeasible {
+		t.Fatalf("empty GE row with positive rhs: status %v", sol.Status)
+	}
+
+	triv := lp.NewModel()
+	a := triv.AddVar(-3, "a")
+	triv.SetUpper(a, 2)
+	b := triv.AddVar(5, "b")
+	triv.SetUpper(b, 7)
+	sol, err = lp.SolveModel(triv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != lp.Optimal {
+		t.Fatalf("trivial model: status %v", sol.Status)
+	}
+	if sol.Objective != -6 || sol.X[a] != 2 || sol.X[b] != 0 {
+		t.Fatalf("trivial model: obj=%v X=%v", sol.Objective, sol.X)
+	}
+
+	unb := lp.NewModel()
+	unb.AddVar(-1, "free")
+	sol, err = lp.SolveModel(unb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != lp.Unbounded {
+		t.Fatalf("negative cost, no bound, no rows: status %v", sol.Status)
+	}
+}

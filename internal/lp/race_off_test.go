@@ -1,0 +1,8 @@
+//go:build !race
+
+package lp_test
+
+// raceEnabled reports whether the race detector instruments this build; see
+// race_on_test.go for the other half. Performance-assertion tests skip under
+// the detector, whose instrumentation skews engine timings unevenly.
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package lp_test
+
+// raceEnabled reports whether the race detector instruments this build; see
+// race_off_test.go for the other half.
+const raceEnabled = true

@@ -188,6 +188,15 @@ func (s *Solver) exitGate(st Status) error {
 			}
 		}
 	}
+	if s.hasBounds {
+		for rr, col := range s.basis {
+			// A basic value above its variable's upper bound is the bounded
+			// counterpart of a negative basic value.
+			if over := s.xB[rr] - s.ub[col]; over > infeas {
+				infeas = over
+			}
+		}
+	}
 	if infeas > ladderResidTol {
 		return fmt.Errorf("%w: %v basis primal infeasibility %.3g exceeds %.3g",
 			ErrNumerical, st, infeas, float64(ladderResidTol))
@@ -207,7 +216,17 @@ func (s *Solver) exitGate(st Status) error {
 		if s.pos[j] >= 0 || s.barred[j] {
 			continue
 		}
-		if d := s.reducedCost(s.costP, y, j); d < -2*dualTol {
+		d := s.reducedCost(s.costP, y, j)
+		if s.hasBounds && s.atUpper[j] {
+			// A nonbasic-at-upper column prices out with a positive reduced
+			// cost: pushing it down from its bound would improve.
+			if d > 2*dualTol {
+				return fmt.Errorf("%w: optimal claim with column %d priced out at upper bound (reduced cost %.3g)",
+					ErrNumerical, j, d)
+			}
+			continue
+		}
+		if d < -2*dualTol {
 			return fmt.Errorf("%w: optimal claim with column %d priced out (reduced cost %.3g)",
 				ErrNumerical, j, d)
 		}
@@ -280,7 +299,11 @@ func (s *Solver) dualInfeas() float64 {
 		if s.pos[j] >= 0 || s.barred[j] {
 			continue
 		}
-		if d := s.reducedCost(s.cost, y, j); -d > worst {
+		d := s.reducedCost(s.cost, y, j)
+		if s.hasBounds && s.atUpper[j] {
+			d = -d
+		}
+		if -d > worst {
 			worst = -d
 		}
 	}
@@ -374,6 +397,14 @@ func (s *Solver) InstallBasis(cols []int) error {
 			return fmt.Errorf("lp: InstallBasis: column %d basic in two rows", col)
 		}
 		s.pos[col] = r
+	}
+	if s.hasBounds {
+		// A basic column cannot sit at its bound; stale at-upper flags (set
+		// by SetAtUpperSet from a checkpoint, or left over from a previous
+		// basis) would corrupt the recomputed right-hand side.
+		for _, col := range cols {
+			s.atUpper[col] = false
+		}
 	}
 	if err := s.factorize(); err != nil {
 		s.haveBasis = false

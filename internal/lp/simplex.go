@@ -46,6 +46,13 @@ func (s *Solver) primal(costs []float64) (Status, error) {
 				worst = v
 			}
 		}
+		if s.hasBounds {
+			for r, v := range s.xB {
+				if over := v - s.ub[s.basis[r]]; over > 0 && -over < worst {
+					worst = -over
+				}
+			}
+		}
 		if worst >= -primalTol {
 			return Optimal, nil
 		}
@@ -80,6 +87,19 @@ func (s *Solver) initDevex(n int) {
 	s.chaos.corruptDevex(s.devexW)
 }
 
+// prices reports whether nonbasic column j prices out for the primal under
+// duals y: an at-lower column improves when its reduced cost is negative, an
+// at-upper column when it is positive (decreasing the variable then improves
+// the objective). The unbounded-solver path is bit-for-bit the legacy
+// d < -dualTol test.
+func (s *Solver) prices(costs, y []float64, j int) (float64, bool) {
+	d := s.reducedCost(costs, y, j)
+	if s.hasBounds && s.atUpper[j] {
+		return d, d > dualTol
+	}
+	return d, d < -dualTol
+}
+
 // priceDevex picks the entering column by Devex score d_j^2 / w_j, pricing
 // only the candidate list. Candidates whose reduced cost went nonnegative
 // are dropped; when the list drains, it is rebuilt by a rotating scan that
@@ -93,8 +113,8 @@ func (s *Solver) priceDevex(costs, y []float64) int {
 		if s.pos[j] >= 0 || s.barred[j] {
 			continue
 		}
-		d := s.reducedCost(costs, y, j)
-		if d >= -dualTol {
+		d, ok := s.prices(costs, y, j)
+		if !ok {
 			continue
 		}
 		out = append(out, j)
@@ -117,8 +137,8 @@ func (s *Solver) priceDevex(costs, y []float64) int {
 		if s.pos[j] >= 0 || s.barred[j] {
 			continue
 		}
-		d := s.reducedCost(costs, y, j)
-		if d >= -dualTol {
+		d, ok := s.prices(costs, y, j)
+		if !ok {
 			continue
 		}
 		s.cand = append(s.cand, j)
@@ -204,7 +224,7 @@ func (s *Solver) primalInner(costs []float64, blandOnly bool) (Status, bool, err
 				if s.pos[j] >= 0 || s.barred[j] {
 					continue
 				}
-				if s.reducedCost(costs, y, j) < -dualTol {
+				if _, ok := s.prices(costs, y, j); ok {
 					enter = j
 					break
 				}
@@ -221,7 +241,7 @@ func (s *Solver) primalInner(costs []float64, blandOnly bool) (Status, bool, err
 				if s.pos[j] >= 0 || s.barred[j] {
 					continue
 				}
-				if s.reducedCost(costs, y, j) < -dualTol {
+				if _, ok := s.prices(costs, y, j); ok {
 					still = j
 					break
 				}
@@ -237,24 +257,70 @@ func (s *Solver) primalInner(costs []float64, blandOnly bool) (Status, bool, err
 			continue
 		}
 		dEnter := s.reducedCost(costs, y, enter)
+		// dir is the entering variable's direction of travel: +1 increasing
+		// from its lower bound, -1 decreasing from its upper bound.
+		dir := 1.0
+		if s.hasBounds && s.atUpper[enter] {
+			dir = -1
+		}
 
 		u := s.ftran(enter)
 
-		// Ratio test: largest step theta keeping xB >= 0.
+		// Ratio test: largest step theta (the entering variable's travel
+		// distance) keeping every basic value inside its box. A basic
+		// variable blocks at its lower bound when it decreases (dir*u > 0)
+		// and at its finite upper bound when it increases (dir*u < 0).
 		leave := -1
+		leaveUp := false
 		theta := math.Inf(1)
 		for r := 0; r < m; r++ {
-			if u[r] <= pivotTol {
+			g := dir * u[r]
+			var t float64
+			var up bool
+			if g > pivotTol {
+				t = s.xB[r] / g
+				if t < 0 {
+					t = 0
+				}
+			} else if s.hasBounds && g < -pivotTol {
+				bu := s.ub[s.basis[r]]
+				if math.IsInf(bu, 1) {
+					continue
+				}
+				t = (bu - s.xB[r]) / -g
+				if t < 0 {
+					t = 0
+				}
+				up = true
+			} else {
 				continue
-			}
-			t := s.xB[r] / u[r]
-			if t < 0 {
-				t = 0
 			}
 			if t < theta-ratioTieTol || (t <= theta+ratioTieTol && (leave < 0 ||
 				(bland && s.basis[r] < s.basis[leave]) ||
 				(!bland && math.Abs(u[r]) > math.Abs(u[leave])))) {
-				theta, leave = t, r
+				theta, leave, leaveUp = t, r, up
+			}
+		}
+		if s.hasBounds {
+			// Bound flip: the entering variable reaches its own opposite
+			// bound before any basic variable blocks. The basis is untouched
+			// — translate the variable across its box, update the basic
+			// values, and re-price (no pivot, no dual change).
+			if ubE := s.ub[enter]; ubE < theta {
+				//lint:ignore floatcmp exact zero only skips a no-op vector update
+				if ubE != 0 {
+					for i := 0; i < m; i++ {
+						s.xB[i] -= dir * ubE * u[i]
+					}
+				}
+				s.atUpper[enter] = !s.atUpper[enter]
+				s.iterations++
+				if ubE > degenStepTol {
+					sinceImprove = 0
+				} else {
+					sinceImprove++
+				}
+				continue
 			}
 		}
 		if leave < 0 {
@@ -263,8 +329,8 @@ func (s *Solver) primalInner(costs []float64, blandOnly bool) (Status, bool, err
 			// absorb a row violation as they grow. Pivot the artificial
 			// out at step zero instead of riding the ray.
 			for r := 0; r < m; r++ {
-				if u[r] < -pivotTol && s.kind[s.basis[r]] == kindArtificial {
-					theta, leave = 0, r
+				if dir*u[r] < -pivotTol && s.kind[s.basis[r]] == kindArtificial {
+					theta, leave, leaveUp = 0, r, false
 					break
 				}
 			}
@@ -275,7 +341,7 @@ func (s *Solver) primalInner(costs []float64, blandOnly bool) (Status, bool, err
 			// y can misread a non-descent column as improving, and a
 			// genuine ray along it would not prove anything.
 			y = s.computeY(costs)
-			if s.reducedCost(costs, y, enter) >= -dualTol {
+			if _, ok := s.prices(costs, y, enter); !ok {
 				continue // pricing was misled; re-price with fresh duals
 			}
 			if s.engine == EngineEta && s.etas.count() > 0 {
@@ -298,8 +364,19 @@ func (s *Solver) primalInner(costs []float64, blandOnly bool) (Status, bool, err
 		// incremental dual update and the Devex weight update, and must be
 		// captured before the pivot rewrites the representation.
 		rho := s.btranRow(leave)
-		if err := s.pivot(enter, leave, u, theta); err != nil {
+		// The entering variable's new value and the basic-update step: with
+		// dir = +1 both are theta (the legacy pivot exactly); entering from
+		// the upper bound the variable lands at ub - theta while the basics
+		// move by -theta*u.
+		newVal := theta
+		if s.hasBounds && s.atUpper[enter] {
+			newVal = s.ub[enter] - theta
+		}
+		if err := s.pivot(enter, leave, u, dir*theta, newVal); err != nil {
 			return 0, perturbed, err
+		}
+		if s.hasBounds && leaveUp {
+			s.atUpper[leaveVar] = true
 		}
 		s.iterations++
 		if s.basisRepaired {
@@ -384,7 +461,10 @@ func (s *Solver) dualSolve() (Status, error) {
 
 // dualInner runs the revised dual simplex until primal feasibility, dual
 // unboundedness (primal infeasible), or a sub-budget intended to fail fast
-// into a cold solve.
+// into a cold solve. Bounded variables use the simple (no bound-flip
+// ratio test) variant: an entering variable may overshoot its own upper
+// bound, and the next iteration repairs it by selecting that row as
+// leaving-above-upper.
 func (s *Solver) dualInner(costs []float64) (Status, error) {
 	m := s.nRows
 	budget := s.maxIters()
@@ -414,12 +494,20 @@ func (s *Solver) dualInner(costs []float64) (Status, error) {
 			y = s.computeY(costs)
 		}
 
-		// Leaving row: most negative basic value.
+		// Leaving row: worst box violation — a basic value below zero (exits
+		// to its lower bound) or above its finite upper bound (exits to the
+		// bound). The unbounded-solver scan reduces exactly to the legacy
+		// most-negative selection.
 		leave := -1
-		worst := -primalTol
+		leaveUp := false
+		worst := primalTol
 		for r := 0; r < m; r++ {
-			if s.xB[r] < worst {
-				worst, leave = s.xB[r], r
+			if v := -s.xB[r]; v > worst {
+				worst, leave, leaveUp = v, r, false
+			} else if s.hasBounds {
+				if over := s.xB[r] - s.ub[s.basis[r]]; over > worst {
+					worst, leave, leaveUp = over, r, true
+				}
 			}
 			if bland && leave >= 0 {
 				break
@@ -428,34 +516,50 @@ func (s *Solver) dualInner(costs []float64) (Status, error) {
 		if leave < 0 {
 			return Optimal, nil // primal feasible
 		}
+		// sgn orients the leaving row: +1 repairs a below-lower violation
+		// (the basic value must rise), -1 an above-upper one (it must fall).
+		sgn := 1.0
+		if leaveUp {
+			sgn = -1
+		}
 
 		// rho = the leaving row of the inverse, via BTRAN: alpha_j for any
 		// column is then a sparse dot against it.
 		rho := s.btranRow(leave)
 
-		// Entering column: among alpha_j < 0 (so increasing x_j raises
-		// the leaving basic value), minimize d_j / -alpha_j.
+		// Entering column: among nonbasic j whose admissible move (dirj = +1
+		// off the lower bound, -1 off the upper) pushes the leaving value the
+		// right way (effective alpha < 0), minimize the dual ratio
+		// |d_j| / -alphaEff. With no bounds this is the legacy scan verbatim.
 		enter := -1
 		best := math.Inf(1)
-		var bestAlpha float64
+		var bestAlpha float64 // effective alpha of the incumbent
 		for j := range costs {
 			if s.pos[j] >= 0 || s.barred[j] {
 				continue
 			}
 			alpha := s.dotCol(rho, j)
-			if alpha >= -pivotTol {
+			dirj := 1.0
+			if s.hasBounds && s.atUpper[j] {
+				dirj = -1
+			}
+			ae := sgn * dirj * alpha
+			if ae >= -pivotTol {
 				continue
 			}
 			d := s.reducedCost(costs, y, j)
+			if dirj < 0 {
+				d = -d // at-upper: dual feasibility keeps d <= 0
+			}
 			if d < 0 {
 				d = 0 // tolerate tiny dual infeasibility
 			}
-			ratio := d / -alpha
+			ratio := d / -ae
 			if ratio < best-ratioTieTol ||
 				(ratio <= best+ratioTieTol && (enter < 0 ||
 					(bland && j < enter) ||
-					(!bland && -alpha > -bestAlpha))) {
-				best, enter, bestAlpha = ratio, j, alpha
+					(!bland && -ae > -bestAlpha))) {
+				best, enter, bestAlpha = ratio, j, ae
 			}
 		}
 		if enter < 0 {
@@ -474,10 +578,14 @@ func (s *Solver) dualInner(costs []float64) (Status, error) {
 		}
 
 		dEnter := s.reducedCost(costs, y, enter)
+		dirj := 1.0
+		if s.hasBounds && s.atUpper[enter] {
+			dirj = -1
+		}
 		u := s.ftran(enter)
 		alpha := u[leave]
 		if math.Abs(alpha) <= pivotTol {
-			// The entering scan saw alpha_enter < -pivotTol through BTRAN,
+			// The entering scan saw an admissible alpha_enter through BTRAN,
 			// but the FTRAN image disagrees: the product-form update file
 			// has drifted at the tolerance edge. Pivoting here would divide
 			// by ~0 and poison the basis; rebuild the factors and re-price.
@@ -492,10 +600,25 @@ func (s *Solver) dualInner(costs []float64) (Status, error) {
 			y = s.computeY(costs)
 			continue
 		}
+		// The leaving variable travels to its exit bound; the entering
+		// variable moves t >= 0 from its own bound along dirj. With no
+		// bounds: target 0, dirj +1 — the legacy theta = xB/alpha exactly.
+		leaveVar := s.basis[leave]
+		target := 0.0
+		if leaveUp {
+			target = s.ub[leaveVar]
+		}
 		//lint:ignore nanguard the guard above bounds alpha away from 0
-		theta := s.xB[leave] / alpha // both negative => theta >= 0
-		if err := s.pivot(enter, leave, u, theta); err != nil {
+		t := (s.xB[leave] - target) / (dirj * alpha)
+		newVal := t
+		if s.hasBounds && s.atUpper[enter] {
+			newVal = s.ub[enter] - t
+		}
+		if err := s.pivot(enter, leave, u, dirj*t, newVal); err != nil {
 			return 0, err
+		}
+		if s.hasBounds && leaveUp {
+			s.atUpper[leaveVar] = true
 		}
 		s.iterations++
 		if s.basisRepaired {

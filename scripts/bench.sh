@@ -12,6 +12,10 @@
 # Usage: scripts/bench.sh [benchtime]
 #   benchtime  go test -benchtime value (default 10x; use e.g. 2s for
 #              steadier numbers, 1x for a smoke run)
+#
+# The refreshed BENCH_lp.json doubles as the baseline for the soft
+# regression gate in scripts/check.sh (cmd/benchjson -diff); re-run this
+# script to re-baseline after an intentional performance change.
 set -eu
 
 cd "$(dirname "$0")/.."

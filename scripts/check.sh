@@ -32,9 +32,18 @@ echo "==> daemon e2e (artifact store + tcrd serving path + CLI parity, race)"
 go test -race -count=1 -timeout 10m ./internal/store ./internal/serve ./cmd/tcr
 
 echo "==> bench smoke (-benchtime=1x)"
-go test ./internal/lp -run '^$' -bench . -benchtime 1x >/dev/null
 go test . -run '^$' -bench BenchmarkFigure1ParetoCurve -benchtime 1x >/dev/null
 go test ./internal/lint -run '^$' -bench BenchmarkLintModule -benchtime 1x >/dev/null
+
+# Soft perf gate: compare a 1x bench smoke of the LP engine suite against
+# the committed BENCH_lp.json. A 1x run is noisy, so the threshold is wide
+# (3x) and a regression warns without failing the gate; refresh the
+# baseline with scripts/bench.sh when a slowdown is intentional.
+echo "==> bench diff vs BENCH_lp.json (soft gate, threshold 3x)"
+if ! go test ./internal/lp -run '^$' -bench . -benchtime 1x -benchmem \
+	| go run ./cmd/benchjson -diff BENCH_lp.json -threshold 3; then
+	echo "WARNING: bench smoke regressed vs BENCH_lp.json (soft gate, not failing check)"
+fi
 
 if [ "$FUZZTIME" != "0" ]; then
 	echo "==> fuzz smoke: FuzzReadMPS ($FUZZTIME)"
