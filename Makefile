@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint chaos fuzz bench ci
+.PHONY: build test race lint chaos chaos-store fuzz bench ci
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,12 @@ lint:
 # injection (the lpchaos build tag compiles the injection hooks in).
 chaos:
 	$(GO) test -tags lpchaos -timeout 10m ./internal/...
+
+# chaos-store runs the storage fault-injection and crash-consistency
+# harness (seeded EIO/ENOSPC/short-write/lying-fsync faults plus a crash at
+# every filesystem operation of the commit protocol), race-enabled.
+chaos-store:
+	$(GO) test -race -count=1 -tags "storechaos lpchaos" -timeout 10m ./internal/store ./internal/serve
 
 fuzz:
 	$(GO) test ./internal/lp -run='^$$' -fuzz=FuzzReadMPS -fuzztime=5s

@@ -74,6 +74,8 @@ func main() {
 		err = cmdDesign(ctx, args)
 	case "loadmap":
 		err = cmdLoadMap(args)
+	case "remote":
+		err = cmdRemote(ctx, args)
 	default:
 		usage()
 		os.Exit(exitUsage)
@@ -104,7 +106,7 @@ func exitCode(err error) int {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: tcr <eval|figure1|figure4|figure5|figure6|approx|sim|worstperm|design|loadmap> [flags]
+	fmt.Fprintln(os.Stderr, `usage: tcr <eval|figure1|figure4|figure5|figure6|approx|sim|worstperm|design|loadmap|remote> [flags]
 run "tcr <subcommand> -h" for flags`)
 }
 

@@ -22,7 +22,15 @@
 // exhausted budget returns the best iterate, uncertified and unpersisted,
 // leaving its checkpoint behind so a retry resumes instead of restarting).
 // SIGTERM/SIGINT drain gracefully: in-flight requests finish, background
-// jobs abort at the next round boundary with their checkpoints on disk.
+// jobs abort at the next round boundary with their checkpoints on disk;
+// -shutdown-timeout caps how long the drain waits for background jobs.
+//
+// Under overload, repeated solver failure, or an open circuit breaker
+// (-breaker-threshold / -breaker-cooloff), the daemon degrades rather than
+// failing: if the store holds a certified artifact adjacent to the request
+// it is served 200 with X-TCR-Degraded, X-TCR-Staleness (seconds), and
+// X-TCR-Fallback headers disclosing the substitution. /healthz reports
+// ok, degraded, or draining; /metrics counts degraded serves per reason.
 package main
 
 import (
@@ -47,6 +55,11 @@ func main() {
 	flowCache := fs.Int("flowcache", 64, "flow-table LRU capacity")
 	timeout := fs.Duration("timeout", 0, "default per-request deadline when the request sets none, 0 = none")
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown budget for in-flight requests")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 0, "cap on waiting for background jobs at shutdown; expiry abandons them with their checkpoints persisted (0 = wait forever)")
+	breakerThreshold := fs.Int("breaker-threshold", 0, "consecutive solver failures that trip the circuit breaker (0 = default 5)")
+	breakerCooloff := fs.Duration("breaker-cooloff", 0, "open-breaker interval before a probe solve is admitted (0 = default 30s)")
+	jobTTL := fs.Duration("job-ttl", 0, "age after which finished async jobs are evicted from the jobs map (0 = default 1h)")
+	jobMax := fs.Int("job-max", 0, "finished async jobs kept beyond the TTL bound (0 = default 1024)")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
@@ -59,6 +72,11 @@ func main() {
 		FlowCacheEntries: *flowCache,
 		DefaultTimeout:   *timeout,
 		DrainTimeout:     *drain,
+		ShutdownTimeout:  *shutdownTimeout,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooloff:   *breakerCooloff,
+		JobTTL:           *jobTTL,
+		JobMaxDone:       *jobMax,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tcrd:", err)

@@ -1,0 +1,394 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tcr/internal/serve"
+	"tcr/internal/store"
+)
+
+// newDaemon spins up a real tcrd server for end-to-end client tests.
+func newDaemon(t *testing.T) *httptest.Server {
+	t.Helper()
+	s, err := serve.New(serve.Config{StoreDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("daemon close: %v", err)
+		}
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func newClient(t *testing.T, cfg Config) *Client {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// fakeSleep records requested backoff waits without actually waiting.
+type fakeSleep struct {
+	mu    sync.Mutex
+	waits []time.Duration
+}
+
+func (f *fakeSleep) sleep(ctx context.Context, d time.Duration) error {
+	f.mu.Lock()
+	f.waits = append(f.waits, d)
+	f.mu.Unlock()
+	return ctx.Err()
+}
+
+// evalPayload fabricates a valid stored eval artifact for scripted handlers.
+func evalPayload(t *testing.T) []byte {
+	t.Helper()
+	art := store.EvalArtifact{
+		Schema:  store.SchemaVersion,
+		Request: store.EvalRequest{K: 4, Alg: "DOR"},
+		GammaWC: 2, WCFraction: 0.5,
+	}
+	b, err := store.Encode(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNewRequiresBaseURL(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted an empty BaseURL")
+	}
+}
+
+// TestEvalRoundTripDaemon runs the typed client against a real daemon:
+// cold solve, then warm cache hit, both decoded and fresh.
+func TestEvalRoundTripDaemon(t *testing.T) {
+	ts := newDaemon(t)
+	c := newClient(t, Config{BaseURL: ts.URL})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	art, meta, err := c.Eval(ctx, store.EvalRequest{K: 4, Alg: "DOR"})
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	if meta.Status != http.StatusOK || meta.Attempts != 1 || meta.IsDegraded() {
+		t.Fatalf("cold meta %+v, want one fresh 200 attempt", meta)
+	}
+	if art.Schema != store.SchemaVersion || art.Request.Alg != "DOR" || art.Request.K != 4 {
+		t.Fatalf("decoded artifact %+v does not echo the request", art)
+	}
+	warm, meta2, err := c.Eval(ctx, store.EvalRequest{K: 4, Alg: "DOR"})
+	if err != nil || meta2.Attempts != 1 {
+		t.Fatalf("warm Eval: %v (meta %+v)", err, meta2)
+	}
+	if warm.GammaWC != art.GammaWC {
+		t.Fatalf("warm artifact diverged: %v vs %v", warm.GammaWC, art.GammaWC)
+	}
+}
+
+// TestDesignRoundTripDaemon covers the design verb plus a second typed
+// endpoint's decode path end to end.
+func TestDesignRoundTripDaemon(t *testing.T) {
+	ts := newDaemon(t)
+	c := newClient(t, Config{BaseURL: ts.URL})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	art, meta, err := c.Design(ctx, store.DesignRequest{K: 4, Kind: store.DesignWorstCase}, 0)
+	if err != nil {
+		t.Fatalf("Design: %v", err)
+	}
+	if meta.Status != http.StatusOK || art.Request.K != 4 {
+		t.Fatalf("design round trip: meta %+v, artifact %+v", meta, art)
+	}
+	wp, _, err := c.WorstPerm(ctx, store.WorstPermRequest{K: 4, Alg: "DOR"})
+	if err != nil || wp.Request.Alg != "DOR" {
+		t.Fatalf("WorstPerm: %v (%+v)", err, wp)
+	}
+}
+
+// TestRetryHonorsRetryAfter scripts two 503s carrying Retry-After: 3 and
+// requires the client to retry through them, waiting at least the server's
+// ask each time rather than its own (shorter) backoff.
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	payload := evalPayload(t)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "3")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"daemon draining"}`))
+			return
+		}
+		w.Write(payload)
+	}))
+	t.Cleanup(ts.Close)
+
+	c := newClient(t, Config{BaseURL: ts.URL, BaseBackoff: time.Millisecond})
+	fs := &fakeSleep{}
+	c.sleep = fs.sleep
+	_, meta, err := c.Eval(context.Background(), store.EvalRequest{K: 4, Alg: "DOR"})
+	if err != nil {
+		t.Fatalf("Eval through 503s: %v", err)
+	}
+	if meta.Attempts != 3 || calls.Load() != 3 {
+		t.Fatalf("attempts=%d calls=%d, want 3", meta.Attempts, calls.Load())
+	}
+	if len(fs.waits) != 2 {
+		t.Fatalf("%d backoff waits, want 2", len(fs.waits))
+	}
+	for i, d := range fs.waits {
+		if d < 3*time.Second {
+			t.Errorf("wait %d was %v; Retry-After: 3 must floor the backoff", i, d)
+		}
+	}
+}
+
+// TestNoRetryOnClientError pins fail-fast on 4xx: the caller's bug is not
+// retried, and the error envelope surfaces as a typed APIError.
+func TestNoRetryOnClientError(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":"radix must be even"}`))
+	}))
+	t.Cleanup(ts.Close)
+
+	c := newClient(t, Config{BaseURL: ts.URL})
+	c.sleep = (&fakeSleep{}).sleep
+	_, meta, err := c.Eval(context.Background(), store.EvalRequest{K: 5, Alg: "DOR"})
+	apiErr, ok := err.(*APIError)
+	if !ok || apiErr.Status != http.StatusBadRequest || apiErr.Message != "radix must be even" {
+		t.Fatalf("err %v, want APIError 400 with the envelope message", err)
+	}
+	if calls.Load() != 1 || meta.Attempts != 1 {
+		t.Fatalf("400 was retried: calls=%d attempts=%d", calls.Load(), meta.Attempts)
+	}
+}
+
+// TestRetryExhaustionReturnsLastError: persistent 500s burn MaxAttempts
+// and report the final failure.
+func TestRetryExhaustionReturnsLastError(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+		w.Write([]byte(`{"error":"oracle fault","diagnostics":"ladder exhausted"}`))
+	}))
+	t.Cleanup(ts.Close)
+
+	c := newClient(t, Config{BaseURL: ts.URL, MaxAttempts: 3, BaseBackoff: time.Millisecond})
+	c.sleep = (&fakeSleep{}).sleep
+	_, meta, err := c.Eval(context.Background(), store.EvalRequest{K: 4, Alg: "DOR"})
+	apiErr, ok := err.(*APIError)
+	if !ok || apiErr.Status != http.StatusInternalServerError {
+		t.Fatalf("err %v, want APIError 500", err)
+	}
+	if apiErr.Diagnostics != "ladder exhausted" {
+		t.Fatalf("diagnostics %q not carried through", apiErr.Diagnostics)
+	}
+	if calls.Load() != 3 || meta.Attempts != 3 {
+		t.Fatalf("calls=%d attempts=%d, want MaxAttempts=3", calls.Load(), meta.Attempts)
+	}
+}
+
+// TestTransportErrorRetries: a connection-refused target is retried the
+// full budget, not failed on first touch.
+func TestTransportErrorRetries(t *testing.T) {
+	ts := httptest.NewServer(http.NotFoundHandler())
+	url := ts.URL
+	ts.Close() // nothing listens here anymore
+
+	c := newClient(t, Config{BaseURL: url, MaxAttempts: 3, BaseBackoff: time.Millisecond})
+	fs := &fakeSleep{}
+	c.sleep = fs.sleep
+	_, meta, err := c.Eval(context.Background(), store.EvalRequest{K: 4, Alg: "DOR"})
+	if err == nil {
+		t.Fatal("dial to a dead server succeeded")
+	}
+	if meta.Attempts != 3 || len(fs.waits) != 2 {
+		t.Fatalf("attempts=%d waits=%d, want 3 attempts / 2 waits", meta.Attempts, len(fs.waits))
+	}
+}
+
+// TestBudgetPropagation requires the remaining context deadline, shrunk by
+// the margin, to ride into the wire request's timeout_ms — and to be
+// absent entirely when the caller set no deadline.
+func TestBudgetPropagation(t *testing.T) {
+	var gotTimeout atomic.Int64
+	gotTimeout.Store(-1)
+	payload := evalPayload(t)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var wire struct {
+			TimeoutMS int64 `json:"timeout_ms"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&wire); err != nil {
+			t.Errorf("decode wire request: %v", err)
+		}
+		gotTimeout.Store(wire.TimeoutMS)
+		w.Write(payload)
+	}))
+	t.Cleanup(ts.Close)
+	c := newClient(t, Config{BaseURL: ts.URL, BudgetMargin: 200 * time.Millisecond})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, _, err := c.Eval(ctx, store.EvalRequest{K: 4, Alg: "DOR"}); err != nil {
+		t.Fatal(err)
+	}
+	if tms := gotTimeout.Load(); tms <= 0 || tms > 1800 {
+		t.Fatalf("propagated timeout_ms=%d, want in (0, 1800] for a 2s budget with 200ms margin", tms)
+	}
+
+	if _, _, err := c.Eval(context.Background(), store.EvalRequest{K: 4, Alg: "DOR"}); err != nil {
+		t.Fatal(err)
+	}
+	if tms := gotTimeout.Load(); tms != 0 {
+		t.Fatalf("no caller deadline but timeout_ms=%d sent", tms)
+	}
+}
+
+// TestExpiredBudgetFailsWithoutRequest: a context past its margin never
+// reaches the wire.
+func TestExpiredBudgetFailsWithoutRequest(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+	}))
+	t.Cleanup(ts.Close)
+	c := newClient(t, Config{BaseURL: ts.URL, BudgetMargin: time.Hour})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if _, _, err := c.Eval(ctx, store.EvalRequest{K: 4, Alg: "DOR"}); err == nil {
+		t.Fatal("exhausted budget did not fail")
+	}
+	if calls.Load() != 0 {
+		t.Fatal("exhausted budget still sent a request")
+	}
+}
+
+// TestHedgeFirstResponseWins blocks the first leg and requires the hedge
+// to answer: the client returns the fast response, flagged Hedged, without
+// waiting out the stuck request.
+func TestHedgeFirstResponseWins(t *testing.T) {
+	payload := evalPayload(t)
+	gate := make(chan struct{})
+	var gateOnce sync.Once
+	release := func() { gateOnce.Do(func() { close(gate) }) }
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			<-gate // first leg wedges until released
+		}
+		w.Write(payload)
+	}))
+	t.Cleanup(ts.Close)
+	t.Cleanup(release) // LIFO: unwedge the handler before ts.Close waits on it
+
+	c := newClient(t, Config{BaseURL: ts.URL, HedgeDelay: 20 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	start := time.Now()
+	art, meta, err := c.Eval(ctx, store.EvalRequest{K: 4, Alg: "DOR"})
+	if err != nil {
+		t.Fatalf("hedged Eval: %v", err)
+	}
+	if !meta.Hedged || meta.Attempts != 1 {
+		t.Fatalf("meta %+v, want Hedged on attempt 1", meta)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("%d requests sent, want 2 (primary + hedge)", calls.Load())
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("hedged call took %v; it waited on the wedged leg", elapsed)
+	}
+	if art.GammaWC != 2 {
+		t.Fatalf("hedged artifact %+v", art)
+	}
+}
+
+// TestHedgeNotLaunchedWhenFast: a prompt primary response never spawns the
+// second leg.
+func TestHedgeNotLaunchedWhenFast(t *testing.T) {
+	payload := evalPayload(t)
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Write(payload)
+	}))
+	t.Cleanup(ts.Close)
+	c := newClient(t, Config{BaseURL: ts.URL, HedgeDelay: 10 * time.Second})
+	_, meta, err := c.Eval(context.Background(), store.EvalRequest{K: 4, Alg: "DOR"})
+	if err != nil || meta.Hedged || calls.Load() != 1 {
+		t.Fatalf("fast path: err=%v meta=%+v calls=%d", err, meta, calls.Load())
+	}
+}
+
+// TestDegradedMetaSurfaced parses the daemon's degradation disclosure
+// headers into Meta so callers can tell stale from fresh.
+func TestDegradedMetaSurfaced(t *testing.T) {
+	payload := evalPayload(t)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-TCR-Degraded", "breaker-open")
+		w.Header().Set("X-TCR-Staleness", "42")
+		w.Header().Set("X-TCR-Fallback", "eval samples=128 for samples=64")
+		w.Header().Set("X-TCR-Fallback-Fingerprint", "deadbeef")
+		w.Write(payload)
+	}))
+	t.Cleanup(ts.Close)
+	c := newClient(t, Config{BaseURL: ts.URL})
+	_, meta, err := c.Eval(context.Background(), store.EvalRequest{K: 4, Alg: "DOR"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !meta.IsDegraded() || meta.Degraded != "breaker-open" || meta.StalenessSec != 42 ||
+		meta.FallbackFingerprint != "deadbeef" || meta.Fallback == "" {
+		t.Fatalf("degradation headers not surfaced: %+v", meta)
+	}
+}
+
+// TestBackoffJitteredAndBounded checks the schedule: each attempt's wait
+// lands in [d/2, d] for the doubling, capped series, and an identical seed
+// replays identically while a different seed diverges somewhere.
+func TestBackoffJitteredAndBounded(t *testing.T) {
+	cfg := Config{BaseURL: "http://x", BaseBackoff: 100 * time.Millisecond, MaxBackoff: time.Second}
+	a := newClient(t, Config{BaseURL: "http://x", BaseBackoff: cfg.BaseBackoff, MaxBackoff: cfg.MaxBackoff, Seed: 7})
+	b := newClient(t, Config{BaseURL: "http://x", BaseBackoff: cfg.BaseBackoff, MaxBackoff: cfg.MaxBackoff, Seed: 7})
+	d := newClient(t, Config{BaseURL: "http://x", BaseBackoff: cfg.BaseBackoff, MaxBackoff: cfg.MaxBackoff, Seed: 8})
+	diverged := false
+	for attempt := 1; attempt <= 8; attempt++ {
+		full := cfg.BaseBackoff << (attempt - 1)
+		if full > cfg.MaxBackoff {
+			full = cfg.MaxBackoff
+		}
+		wa, wb, wd := a.backoff(attempt), b.backoff(attempt), d.backoff(attempt)
+		if wa < full/2 || wa > full {
+			t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, wa, full/2, full)
+		}
+		if wa != wb {
+			t.Fatalf("attempt %d: same seed diverged (%v vs %v)", attempt, wa, wb)
+		}
+		if wa != wd {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds produced identical jitter everywhere")
+	}
+}

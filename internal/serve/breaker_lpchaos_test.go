@@ -1,0 +1,89 @@
+//go:build lpchaos
+
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"tcr/internal/design"
+	"tcr/internal/store"
+)
+
+// TestBreakerTripsOnLPFailuresE2E is the degraded-mode acceptance test,
+// end to end with genuine solver failures: armed oracle faults make every
+// design solve die, each failure is served as the stale adjacent Pareto
+// point with solver-failure headers, the failures trip the breaker, and
+// once open the daemon keeps serving the stale artifact without touching
+// the solve path at all. Clearing the faults and passing the cooloff lets
+// a probe solve close the circuit again.
+func TestBreakerTripsOnLPFailuresE2E(t *testing.T) {
+	s, ts := newTestServer(t, Config{BreakerThreshold: 3, BreakerCooloff: time.Hour})
+	var c counters
+	c.install(s)
+	_, stale := seedDesign(t, s, store.DesignRequest{K: 4, Kind: store.DesignWorstCase, HNorm: 2.0})
+
+	design.SetOracleFaults(1 << 30) // every oracle call fails: retries exhaust
+	defer design.SetOracleFaults(0)
+
+	body := `{"k":4,"kind":"wcopt","hnorm":2.5}`
+	for i := 0; i < 3; i++ {
+		status, hdr, b := post(t, ts, "/v1/design", body)
+		if status != http.StatusOK {
+			t.Fatalf("failing solve %d: status %d, body %s", i, status, b)
+		}
+		if got := hdr.Get("X-TCR-Degraded"); got != "solver-failure" {
+			t.Fatalf("failing solve %d: X-TCR-Degraded %q, want solver-failure", i, got)
+		}
+		if !bytes.Equal(b, stale) {
+			t.Fatalf("failing solve %d: response is not the stale neighbor", i)
+		}
+	}
+	if !s.brk.isOpen() {
+		t.Fatal("three solver failures did not trip the breaker")
+	}
+	if status, b := get(t, ts, "/healthz"); status != http.StatusOK || string(b) != "degraded\n" {
+		t.Fatalf("tripped healthz: %d %q", status, b)
+	}
+
+	// Open breaker: stale serving continues with zero solver involvement.
+	solvesBefore := c.computes.Load()
+	status, hdr, b := post(t, ts, "/v1/design", body)
+	if status != http.StatusOK || hdr.Get("X-TCR-Degraded") != "breaker-open" || !bytes.Equal(b, stale) {
+		t.Fatalf("open-breaker serve: %d %q (stale match %v)", status, hdr.Get("X-TCR-Degraded"), bytes.Equal(b, stale))
+	}
+	if c.computes.Load() != solvesBefore {
+		t.Fatal("open breaker let a request reach the solver")
+	}
+	_, mb := get(t, ts, "/metrics")
+	for _, want := range []string{
+		`tcrd_degraded_total{reason="solver-failure"} 3`,
+		`tcrd_degraded_total{reason="breaker-open"} 1`,
+		"tcrd_breaker_open 1",
+	} {
+		if !strings.Contains(string(mb), want) {
+			t.Errorf("metrics missing %q:\n%s", want, mb)
+		}
+	}
+
+	// Solver heals, cooloff passes: the probe closes the circuit and the
+	// daemon serves fresh, certified artifacts again.
+	design.SetOracleFaults(0)
+	s.now = func() time.Time { return time.Now().Add(2 * time.Hour) }
+	status, hdr, b = post(t, ts, "/v1/design", body)
+	if status != http.StatusOK {
+		t.Fatalf("probe solve: status %d, body %s", status, b)
+	}
+	if hdr.Get("X-TCR-Degraded") != "" {
+		t.Fatalf("healed solve still degraded: %q", hdr.Get("X-TCR-Degraded"))
+	}
+	if s.brk.isOpen() {
+		t.Fatal("successful probe did not close the breaker")
+	}
+	if status, b := get(t, ts, "/healthz"); status != http.StatusOK || string(b) != "ok\n" {
+		t.Fatalf("healed healthz: %d %q", status, b)
+	}
+}

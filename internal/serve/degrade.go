@@ -1,0 +1,298 @@
+package serve
+
+// Graceful degradation: when the solve path cannot produce a fresh
+// artifact — the admission queue is full, the circuit breaker has tripped
+// on repeated solver failures, or the solve itself failed — the daemon
+// tries to serve a stale-but-certified nearby artifact from the store
+// instead of a bare error. "Nearby" means: identical request with only its
+// degradation axis freed (locality budget for designs, sampling for evals,
+// curve resolution for Pareto sweeps), closest along that axis. A fallback
+// response is always a committed, integrity-verified artifact; the
+// X-TCR-Degraded, X-TCR-Staleness, and X-TCR-Fallback headers tell the
+// client exactly what it got and how old it is, so it can decide whether
+// stale is good enough or retry later for the real thing.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"tcr/internal/store"
+)
+
+// Degradation reasons, as sent in X-TCR-Degraded and labeled in the
+// tcrd_degraded_total metric.
+const (
+	degradeOverload = iota
+	degradeBreaker
+	degradeSolverFailure
+)
+
+var degradeReasons = [3]string{"overload", "breaker-open", "solver-failure"}
+
+// errBreakerOpen rejects a store-miss while the breaker is open: the solve
+// path has failed repeatedly and is resting; only the store serves.
+var errBreakerOpen = errors.New("serve: circuit breaker open, solve path disabled")
+
+// Health states surfaced in /healthz and /metrics.
+const (
+	healthOK       = "ok"
+	healthDegraded = "degraded"
+	healthDraining = "draining"
+)
+
+var healthStates = [3]string{healthOK, healthDegraded, healthDraining}
+
+// breaker is the solve-path circuit breaker: Threshold consecutive solver
+// failures open it for Cooloff, during which store-miss requests are
+// rejected (or served stale) without touching the solvers. After the
+// cooloff one probe request is let through; its outcome closes or re-opens
+// the circuit. The clock is injected so tests can drive the cooloff.
+type breaker struct {
+	threshold int
+	cooloff   time.Duration
+
+	mu        sync.Mutex
+	fails     int
+	openUntil time.Time
+	probing   bool
+	trips     int64
+}
+
+// allow reports whether a solve may start now. While open it admits a
+// single probe once the cooloff has expired.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.openUntil.IsZero() {
+		return true
+	}
+	if now.Before(b.openUntil) {
+		return false
+	}
+	if b.probing {
+		return false
+	}
+	b.probing = true
+	return true
+}
+
+// abandonProbe returns an admitted probe slot unused (the probe never
+// reached the solver — queue full or client gone), so the next allow after
+// the cooloff can admit another.
+func (b *breaker) abandonProbe() {
+	b.mu.Lock()
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// recordSuccess closes the circuit and forgets the failure streak.
+func (b *breaker) recordSuccess() {
+	b.mu.Lock()
+	b.fails = 0
+	b.openUntil = time.Time{}
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// recordFailure extends the failure streak; at threshold it (re-)opens the
+// circuit for a fresh cooloff.
+func (b *breaker) recordFailure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	b.probing = false
+	if b.fails >= b.threshold {
+		if b.openUntil.IsZero() {
+			b.trips++
+		}
+		b.openUntil = now.Add(b.cooloff)
+	}
+}
+
+// isOpen reports whether the circuit is open: it has tripped and no probe
+// has succeeded since. (The cooloff admits probes; only a probe success
+// closes the circuit.)
+func (b *breaker) isOpen() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return !b.openUntil.IsZero()
+}
+
+func (b *breaker) tripCount() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// healthState derives the daemon's health: draining dominates, then a
+// tripped breaker reads as degraded, else ok.
+func (s *Server) healthState() string {
+	if s.draining.Load() {
+		return healthDraining
+	}
+	if s.brk.isOpen() {
+		return healthDegraded
+	}
+	return healthOK
+}
+
+// staleFallback is a nearby committed artifact chosen to stand in for a
+// request the solve path could not serve.
+type staleFallback struct {
+	payload []byte
+	m       store.Manifest
+	note    string
+}
+
+// degradeIndex classifies an error into a degradation reason, or -1 when
+// the failure must surface as its status code (bad request, client
+// deadline, draining).
+func (s *Server) degradeIndex(err error, ctxErr error) int {
+	switch {
+	case errors.Is(err, errQueueFull):
+		return degradeOverload
+	case errors.Is(err, errBreakerOpen):
+		return degradeBreaker
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(ctxErr, context.DeadlineExceeded):
+		return -1 // the client bounded the request; expiry is its answer
+	case errors.Is(err, context.Canceled):
+		return -1
+	default:
+		return degradeSolverFailure
+	}
+}
+
+// nearbyEval finds the closest certified eval artifact for the same
+// network and algorithm, with only the sampling freed.
+func (s *Server) nearbyEval(req store.EvalRequest) *staleFallback {
+	norm := func(r store.EvalRequest) (string, error) {
+		r.Samples, r.Seed = 0, 0
+		return r.Fingerprint()
+	}
+	want, err := norm(req)
+	if err != nil {
+		return nil
+	}
+	return s.nearest(store.KindEval, func(payload []byte) (string, float64, string, bool) {
+		var art store.EvalArtifact
+		if json.Unmarshal(payload, &art) != nil {
+			return "", 0, "", false
+		}
+		got, err := norm(art.Request)
+		if err != nil || got != want {
+			return "", 0, "", false
+		}
+		d := math.Abs(float64(art.Request.Samples - req.Samples))
+		note := fmt.Sprintf("eval samples=%d seed=%d (requested samples=%d seed=%d)",
+			art.Request.Samples, art.Request.Seed, req.Samples, req.Seed)
+		return got, d, note, true
+	})
+}
+
+// nearbyDesign finds the closest certified worst-case design for the same
+// network and strategy, with only the locality budget (hnorm) freed — the
+// adjacent Pareto point.
+func (s *Server) nearbyDesign(req store.DesignRequest) *staleFallback {
+	if req.Kind != store.DesignWorstCase {
+		return nil // minloc designs have no free axis to be "nearby" along
+	}
+	norm := func(r store.DesignRequest) (string, error) {
+		r.HNorm = 0
+		return r.Fingerprint()
+	}
+	want, err := norm(req)
+	if err != nil {
+		return nil
+	}
+	return s.nearest(store.KindDesign, func(payload []byte) (string, float64, string, bool) {
+		var art store.DesignArtifact
+		if json.Unmarshal(payload, &art) != nil || !art.Certified {
+			return "", 0, "", false
+		}
+		got, err := norm(art.Request)
+		if err != nil || got != want {
+			return "", 0, "", false
+		}
+		d := math.Abs(art.Request.HNorm - req.HNorm)
+		note := fmt.Sprintf("design hnorm=%g (requested %g)", art.Request.HNorm, req.HNorm)
+		return got, d, note, true
+	})
+}
+
+// nearbyPareto finds the closest Pareto curve for the same radix and
+// solver knobs, with the sweep window and resolution freed.
+func (s *Server) nearbyPareto(req store.ParetoRequest) *staleFallback {
+	norm := func(r store.ParetoRequest) (string, error) {
+		r.HMin, r.HMax, r.Points = 0, 0, 0
+		return r.Fingerprint()
+	}
+	want, err := norm(req)
+	if err != nil {
+		return nil
+	}
+	return s.nearest(store.KindPareto, func(payload []byte) (string, float64, string, bool) {
+		var art store.ParetoArtifact
+		if json.Unmarshal(payload, &art) != nil {
+			return "", 0, "", false
+		}
+		got, err := norm(art.Request)
+		if err != nil || got != want {
+			return "", 0, "", false
+		}
+		r := art.Request
+		d := math.Abs(r.HMin-req.HMin) + math.Abs(r.HMax-req.HMax) + math.Abs(float64(r.Points-req.Points))
+		note := fmt.Sprintf("pareto [%g,%g]x%d (requested [%g,%g]x%d)",
+			r.HMin, r.HMax, r.Points, req.HMin, req.HMax, req.Points)
+		return got, d, note, true
+	})
+}
+
+// nearest scans the committed artifacts under kind and returns the
+// admissible candidate with the smallest distance. match inspects one
+// payload and reports its normalized fingerprint, distance, and a
+// human-readable note; ok=false skips the candidate. Fingerprints are
+// visited in sorted order so ties break deterministically.
+func (s *Server) nearest(kind string, match func(payload []byte) (normFP string, dist float64, note string, ok bool)) *staleFallback {
+	fps, err := s.store.List(kind)
+	if err != nil {
+		return nil
+	}
+	sort.Strings(fps)
+	var best *staleFallback
+	bestDist := math.Inf(1)
+	for _, fp := range fps {
+		payload, m, err := s.store.Get(kind, fp)
+		if err != nil {
+			continue // corrupt or racing-delete slots are not fallback material
+		}
+		if _, dist, note, ok := match(payload); ok && dist < bestDist {
+			bestDist = dist
+			best = &staleFallback{payload: payload, m: m, note: note}
+		}
+	}
+	return best
+}
+
+// serveStale writes a degraded 200: the stale payload plus the headers
+// that disclose the substitution.
+func (s *Server) serveStale(w http.ResponseWriter, reasonIdx int, fb *staleFallback) {
+	s.met.degraded[reasonIdx].Add(1)
+	staleness := s.now().Unix() - fb.m.CreatedUnix
+	if staleness < 0 {
+		staleness = 0
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("X-TCR-Degraded", degradeReasons[reasonIdx])
+	h.Set("X-TCR-Staleness", fmt.Sprintf("%d", staleness))
+	h.Set("X-TCR-Fallback", fb.note)
+	h.Set("X-TCR-Fallback-Fingerprint", fb.m.Fingerprint)
+	writeBody(w, fb.payload)
+}

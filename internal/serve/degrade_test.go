@@ -1,0 +1,265 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tcr/internal/store"
+)
+
+// seedDesign commits a fabricated certified design artifact so degradation
+// tests have a stale-but-certified neighbor without running a solve.
+func seedDesign(t *testing.T, s *Server, req store.DesignRequest) (string, []byte) {
+	t.Helper()
+	art := store.DesignArtifact{
+		Schema: store.SchemaVersion, Request: req,
+		Objective: 1, GammaWC: 1, HAvg: 1, HNorm: req.HNorm,
+		Rounds: 1, Iterations: 1, Certified: true,
+	}
+	b, err := store.Encode(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := req.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.store.Put(store.KindDesign, fp, store.SchemaVersion, b); err != nil {
+		t.Fatal(err)
+	}
+	return fp, b
+}
+
+func seedEval(t *testing.T, s *Server, req store.EvalRequest) (string, []byte) {
+	t.Helper()
+	art := store.EvalArtifact{Schema: store.SchemaVersion, Request: req, GammaWC: 2, WCFraction: 0.5}
+	b, err := store.Encode(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := req.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.store.Put(store.KindEval, fp, store.SchemaVersion, b); err != nil {
+		t.Fatal(err)
+	}
+	return fp, b
+}
+
+// TestBreakerStateMachine drives the circuit through its full life:
+// closed, tripped open, cooloff probe, failed probe re-opening, successful
+// probe closing.
+func TestBreakerStateMachine(t *testing.T) {
+	b := &breaker{threshold: 2, cooloff: time.Minute}
+	t0 := time.Unix(1000, 0)
+	if !b.allow(t0) || b.isOpen() {
+		t.Fatal("fresh breaker not closed")
+	}
+	b.recordFailure(t0)
+	if !b.allow(t0) {
+		t.Fatal("one failure below threshold must not trip")
+	}
+	b.recordFailure(t0)
+	if !b.isOpen() || b.tripCount() != 1 {
+		t.Fatalf("threshold failures did not trip: open=%v trips=%d", b.isOpen(), b.tripCount())
+	}
+	if b.allow(t0.Add(time.Second)) {
+		t.Fatal("open breaker admitted a solve inside the cooloff")
+	}
+	if !b.allow(t0.Add(61 * time.Second)) {
+		t.Fatal("cooloff expiry did not admit a probe")
+	}
+	if b.allow(t0.Add(61 * time.Second)) {
+		t.Fatal("second concurrent probe admitted")
+	}
+	b.recordFailure(t0.Add(61 * time.Second))
+	if b.allow(t0.Add(62*time.Second)) || b.tripCount() != 1 {
+		t.Fatal("failed probe must re-open for a fresh cooloff without recounting the trip")
+	}
+	if !b.allow(t0.Add(122 * time.Second)) {
+		t.Fatal("second cooloff expiry did not admit a probe")
+	}
+	b.recordSuccess()
+	if b.isOpen() || !b.allow(t0.Add(123*time.Second)) {
+		t.Fatal("successful probe did not close the circuit")
+	}
+	// An abandoned probe (never reached the solver) frees the slot.
+	b.recordFailure(t0)
+	b.recordFailure(t0)
+	if !b.allow(t0.Add(61 * time.Second)) {
+		t.Fatal("probe not admitted")
+	}
+	b.abandonProbe()
+	if !b.allow(t0.Add(61 * time.Second)) {
+		t.Fatal("abandoned probe slot not reusable")
+	}
+}
+
+// TestBreakerServesStaleNearbyDesign trips the breaker and requires the
+// daemon to serve the adjacent certified Pareto point — stale, disclosed
+// via headers — without touching the solver, while /healthz and /metrics
+// report the degraded state.
+func TestBreakerServesStaleNearbyDesign(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	var c counters
+	c.install(s)
+	_, stale := seedDesign(t, s, store.DesignRequest{K: 4, Kind: store.DesignWorstCase, HNorm: 2.0})
+	fp, _ := store.DesignRequest{K: 4, Kind: store.DesignWorstCase, HNorm: 2.0}.Fingerprint()
+
+	// Freeze the clock 500 simulated seconds after the artifact was
+	// committed, then trip the breaker.
+	now := time.Now().Add(500 * time.Second)
+	s.now = func() time.Time { return now }
+	for i := 0; i < s.cfg.breakerThreshold(); i++ {
+		s.brk.recordFailure(now)
+	}
+
+	status, hdr, body := post(t, ts, "/v1/design", `{"k":4,"kind":"wcopt","hnorm":2.5}`)
+	if status != http.StatusOK {
+		t.Fatalf("degraded request: status %d, body %s", status, body)
+	}
+	if got := hdr.Get("X-TCR-Degraded"); got != "breaker-open" {
+		t.Fatalf("X-TCR-Degraded %q, want breaker-open", got)
+	}
+	staleness, err := strconv.ParseInt(hdr.Get("X-TCR-Staleness"), 10, 64)
+	if err != nil || staleness < 495 || staleness > 520 {
+		t.Fatalf("X-TCR-Staleness %q, want ~500s", hdr.Get("X-TCR-Staleness"))
+	}
+	if got := hdr.Get("X-TCR-Fallback-Fingerprint"); got != fp {
+		t.Fatalf("X-TCR-Fallback-Fingerprint %q, want %q", got, fp)
+	}
+	if !strings.Contains(hdr.Get("X-TCR-Fallback"), "hnorm=2") {
+		t.Fatalf("X-TCR-Fallback %q does not describe the substitution", hdr.Get("X-TCR-Fallback"))
+	}
+	if !bytes.Equal(body, stale) {
+		t.Fatal("degraded response is not the stale artifact byte-for-byte")
+	}
+	if c.computes.Load() != 0 {
+		t.Fatal("degraded serve touched the solver")
+	}
+
+	if status, b := get(t, ts, "/healthz"); status != http.StatusOK || string(b) != "degraded\n" {
+		t.Fatalf("degraded healthz: %d %q", status, b)
+	}
+	_, mb := get(t, ts, "/metrics")
+	for _, want := range []string{
+		"tcrd_breaker_open 1",
+		`tcrd_health_state{state="degraded"} 1`,
+		`tcrd_health_state{state="ok"} 0`,
+		`tcrd_degraded_total{reason="breaker-open"} 1`,
+		"tcrd_breaker_trips_total 1",
+	} {
+		if !strings.Contains(string(mb), want) {
+			t.Errorf("metrics missing %q:\n%s", want, mb)
+		}
+	}
+}
+
+// TestBreakerOpenWithoutFallback503 pins the no-neighbor path: a tripped
+// breaker with nothing certified nearby answers 503 with Retry-After set
+// to the cooloff, and worstperm (which has no degradation axis) never
+// degrades.
+func TestBreakerOpenWithoutFallback503(t *testing.T) {
+	s, ts := newTestServer(t, Config{BreakerCooloff: 7 * time.Second})
+	for i := 0; i < s.cfg.breakerThreshold(); i++ {
+		s.brk.recordFailure(s.now())
+	}
+	for _, tc := range []struct{ path, body string }{
+		{"/v1/worstperm", `{"k":4,"alg":"DOR"}`},
+		{"/v1/design", `{"k":6,"kind":"wcopt"}`}, // empty store: no neighbor
+	} {
+		status, hdr, body := post(t, ts, tc.path, tc.body)
+		if status != http.StatusServiceUnavailable {
+			t.Fatalf("POST %s: status %d, want 503 (body %s)", tc.path, status, body)
+		}
+		if hdr.Get("Retry-After") != "7" {
+			t.Errorf("POST %s: Retry-After %q, want cooloff seconds", tc.path, hdr.Get("Retry-After"))
+		}
+		if hdr.Get("X-TCR-Degraded") != "" {
+			t.Errorf("POST %s: 503 carries a degraded header", tc.path)
+		}
+	}
+}
+
+// TestOverloadServesStaleEval fills the solver pool and requires the
+// overflow request — which previously got a bare 429 — to be served the
+// nearest certified eval with the overload degradation headers.
+func TestOverloadServesStaleEval(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	_, stale := seedEval(t, s, store.EvalRequest{K: 4, Alg: "IVAL"})
+
+	gate := make(chan struct{})
+	var gated atomic.Int64
+	s.hooks.computeStart = func(kind, fp string) {
+		gated.Add(1)
+		<-gate
+	}
+	results := make(chan int, 2)
+	for _, alg := range []string{"DOR", "VAL"} {
+		go func(alg string) {
+			status, _, _ := post(t, ts, "/v1/eval", fmt.Sprintf(`{"k":4,"alg":%q}`, alg))
+			results <- status
+		}(alg)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.queued.Load() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never filled (at %d)", s.queued.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	status, hdr, body := post(t, ts, "/v1/eval", `{"k":4,"alg":"IVAL","samples":64,"seed":9}`)
+	if status != http.StatusOK {
+		t.Fatalf("overflow request: status %d, want degraded 200 (body %s)", status, body)
+	}
+	if got := hdr.Get("X-TCR-Degraded"); got != "overload" {
+		t.Fatalf("X-TCR-Degraded %q, want overload", got)
+	}
+	if hdr.Get("X-TCR-Staleness") == "" {
+		t.Error("degraded response without X-TCR-Staleness")
+	}
+	if !bytes.Equal(body, stale) {
+		t.Fatal("degraded response is not the seeded stale artifact")
+	}
+
+	close(gate)
+	for i := 0; i < 2; i++ {
+		if st := <-results; st != http.StatusOK {
+			t.Fatalf("gated request finished with %d", st)
+		}
+	}
+	_, mb := get(t, ts, "/metrics")
+	if !strings.Contains(string(mb), `tcrd_degraded_total{reason="overload"} 1`) {
+		t.Errorf("overload degradation not counted:\n%s", mb)
+	}
+}
+
+// TestNearbyPrefersClosestAxisValue seeds two certified neighbors and
+// requires the fallback to pick the one nearest along the freed axis.
+func TestNearbyPrefersClosestAxisValue(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	seedDesign(t, s, store.DesignRequest{K: 4, Kind: store.DesignWorstCase, HNorm: 1.5})
+	fpNear, _ := seedDesign(t, s, store.DesignRequest{K: 4, Kind: store.DesignWorstCase, HNorm: 2.25})
+	// A different radix must never be a candidate.
+	seedDesign(t, s, store.DesignRequest{K: 6, Kind: store.DesignWorstCase, HNorm: 2.5})
+
+	fb := s.nearbyDesign(store.DesignRequest{K: 4, Kind: store.DesignWorstCase, HNorm: 2.5})
+	if fb == nil {
+		t.Fatal("no fallback found")
+	}
+	if fb.m.Fingerprint != fpNear {
+		t.Fatalf("picked %s (%s), want the hnorm=2.25 neighbor", fb.m.Fingerprint, fb.note)
+	}
+	// minloc has no free axis: never substituted.
+	if fb := s.nearbyDesign(store.DesignRequest{K: 4, Kind: store.DesignMinLocality}); fb != nil {
+		t.Fatalf("minloc produced a fallback: %s", fb.note)
+	}
+}

@@ -5,7 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io/fs"
 	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 
@@ -19,6 +23,14 @@ import (
 // resubmitting the same request attaches to the existing job instead of
 // spawning a duplicate, and a finished job's result is simply the stored
 // artifact — jobs restartable across daemon lifetimes for free.
+//
+// The table is bounded and durable: finished entries are garbage-collected
+// by age (Config.JobTTL) and count (Config.JobMaxDone) — their artifacts
+// stay in the store, and /v1/jobs/{id}/result keeps resolving evicted ids
+// by fingerprint prefix — and the whole index is persisted to jobs.json in
+// the store root on every transition, so a restarted daemon knows which
+// jobs its predecessor was running. A jobs.json the predecessor tore
+// mid-crash is quarantined, never crash-looped on.
 
 // Job states.
 const (
@@ -32,26 +44,178 @@ type job struct {
 	Kind string
 	FP   string
 
-	mu    sync.Mutex
-	state string
-	err   string
+	mu       sync.Mutex
+	state    string
+	err      string
+	doneUnix int64 // completion time; 0 while running
 }
 
-func (j *job) setState(state, errMsg string) {
+func (j *job) setState(state, errMsg string, doneUnix int64) {
 	j.mu.Lock()
-	j.state, j.err = state, errMsg
+	j.state, j.err, j.doneUnix = state, errMsg, doneUnix
 	j.mu.Unlock()
 }
 
-func (j *job) snapshot() (state, errMsg string) {
+func (j *job) snapshot() (state, errMsg string, doneUnix int64) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.state, j.err
+	return j.state, j.err, j.doneUnix
 }
 
 type jobTable struct {
 	mu sync.Mutex
 	m  map[string]*job
+}
+
+func (t *jobTable) count() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return int64(len(t.m))
+}
+
+// jobsSchema versions the persisted job index.
+const jobsSchema = "tcrd-jobs-1"
+
+// jobRecord is one persisted table entry; jobsFile the jobs.json layout.
+type jobRecord struct {
+	ID       string `json:"id"`
+	Kind     string `json:"kind"`
+	FP       string `json:"fingerprint"`
+	State    string `json:"state"`
+	Error    string `json:"error,omitempty"`
+	DoneUnix int64  `json:"done_unix,omitempty"`
+}
+
+type jobsFile struct {
+	Schema string      `json:"schema"`
+	Jobs   []jobRecord `json:"jobs"`
+}
+
+func (s *Server) jobsPath() string { return filepath.Join(s.store.Dir(), "jobs.json") }
+
+// loadJobs restores the persisted job index at startup. A missing file is
+// a fresh daemon; an unreadable or torn one (truncated JSON, zero bytes,
+// foreign schema) is moved aside to jobs.json.quarantine and the daemon
+// starts with an empty table — recover or quarantine, never crash-loop.
+// Entries persisted as "running" belonged to the previous daemon life:
+// ones whose artifact made it into the store read as done, the rest as
+// errors telling the client to resubmit (the per-round checkpoint makes
+// the resubmission a resume, not a recompute).
+func (s *Server) loadJobs() error {
+	b, err := os.ReadFile(s.jobsPath())
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("serve: load jobs: %w", err)
+	}
+	var f jobsFile
+	if uerr := json.Unmarshal(b, &f); uerr != nil || f.Schema != jobsSchema {
+		//lint:ignore errdrop quarantine is best-effort; a daemon that cannot rename still starts empty
+		_ = os.Rename(s.jobsPath(), s.jobsPath()+".quarantine")
+		return nil
+	}
+	now := s.now().Unix()
+	s.jobs.mu.Lock()
+	defer s.jobs.mu.Unlock()
+	s.jobs.m = map[string]*job{}
+	for _, rec := range f.Jobs {
+		if rec.ID == "" || rec.Kind == "" || rec.FP == "" {
+			continue
+		}
+		state, errMsg, doneUnix := rec.State, rec.Error, rec.DoneUnix
+		if state == jobRunning {
+			if s.store.Has(rec.Kind, rec.FP) {
+				state, errMsg, doneUnix = jobDone, "", now
+			} else {
+				state = jobError
+				errMsg = "interrupted by daemon restart; resubmit to resume from checkpoint"
+				doneUnix = now
+			}
+		}
+		s.jobs.m[rec.ID] = &job{ID: rec.ID, Kind: rec.Kind, FP: rec.FP,
+			state: state, err: errMsg, doneUnix: doneUnix}
+	}
+	return nil
+}
+
+// saveJobs persists the current table to jobs.json atomically. Best-effort
+// by design: the store remains the source of truth for results, so a lost
+// index costs restart bookkeeping, not artifacts.
+func (s *Server) saveJobs() {
+	s.saveMu.Lock()
+	defer s.saveMu.Unlock()
+	s.jobs.mu.Lock()
+	ids := make([]string, 0, len(s.jobs.m))
+	for id := range s.jobs.m {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	f := jobsFile{Schema: jobsSchema, Jobs: make([]jobRecord, 0, len(ids))}
+	for _, id := range ids {
+		j := s.jobs.m[id]
+		state, errMsg, doneUnix := j.snapshot()
+		f.Jobs = append(f.Jobs, jobRecord{ID: j.ID, Kind: j.Kind, FP: j.FP,
+			State: state, Error: errMsg, DoneUnix: doneUnix})
+	}
+	s.jobs.mu.Unlock()
+	b, err := json.Marshal(&f)
+	if err != nil {
+		return
+	}
+	//lint:ignore errdrop best-effort index persistence; the store stays authoritative for results
+	_ = store.WriteFileAtomic(s.jobsPath(), b, 0o644)
+}
+
+// gcJobs evicts finished jobs older than JobTTL, then the oldest finished
+// beyond JobMaxDone. Running jobs are never evicted. Evicted ids remain
+// resolvable through the store's fingerprint-prefix lookup.
+func (s *Server) gcJobs() {
+	nowUnix := s.now().Unix()
+	ttlSec := int64(s.cfg.jobTTL().Seconds())
+	maxDone := s.cfg.jobMaxDone()
+	type doneEntry struct {
+		id       string
+		doneUnix int64
+	}
+	var done []doneEntry
+	var evicted int64
+	s.jobs.mu.Lock()
+	ids := make([]string, 0, len(s.jobs.m))
+	for id := range s.jobs.m {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		j := s.jobs.m[id]
+		state, _, doneUnix := j.snapshot()
+		if state == jobRunning {
+			continue
+		}
+		if nowUnix-doneUnix > ttlSec {
+			delete(s.jobs.m, id)
+			evicted++
+			continue
+		}
+		done = append(done, doneEntry{id, doneUnix})
+	}
+	if len(done) > maxDone {
+		sort.Slice(done, func(i, j int) bool {
+			if done[i].doneUnix != done[j].doneUnix {
+				return done[i].doneUnix < done[j].doneUnix
+			}
+			return done[i].id < done[j].id
+		})
+		for _, e := range done[:len(done)-maxDone] {
+			delete(s.jobs.m, e.id)
+			evicted++
+		}
+	}
+	s.jobs.mu.Unlock()
+	if evicted > 0 {
+		s.met.jobsEvicted.Add(evicted)
+		s.saveJobs()
+	}
 }
 
 // jobID derives the public id: the kind plus a fingerprint prefix long
@@ -73,6 +237,7 @@ type jobWire struct {
 // and is cancelled only by daemon shutdown, where the checkpoint written
 // each round preserves its progress.
 func (s *Server) submitJob(w http.ResponseWriter, r *http.Request, kind, fp string, compute func(context.Context) ([]byte, bool, error)) {
+	s.gcJobs()
 	id := jobID(kind, fp)
 	s.jobs.mu.Lock()
 	if s.jobs.m == nil {
@@ -86,13 +251,17 @@ func (s *Server) submitJob(w http.ResponseWriter, r *http.Request, kind, fp stri
 		go func() {
 			defer s.wg.Done()
 			if _, err := s.result(s.jobCtx, kind, fp, compute); err != nil {
-				j.setState(jobError, err.Error())
-				return
+				j.setState(jobError, err.Error(), s.now().Unix())
+			} else {
+				j.setState(jobDone, "", s.now().Unix())
 			}
-			j.setState(jobDone, "")
+			s.saveJobs()
 		}()
 	}
 	s.jobs.mu.Unlock()
+	if !exists {
+		s.saveJobs()
+	}
 	s.respondJob(w, r, j, http.StatusAccepted)
 }
 
@@ -103,7 +272,7 @@ func (s *Server) lookupJob(id string) *job {
 }
 
 func (s *Server) respondJob(w http.ResponseWriter, r *http.Request, j *job, status int) {
-	state, errMsg := j.snapshot()
+	state, errMsg, _ := j.snapshot()
 	b, err := json.Marshal(jobWire{ID: j.ID, Kind: j.Kind, FP: j.FP, State: state, Error: errMsg})
 	if err != nil {
 		s.fail(w, r, http.StatusInternalServerError, err)
@@ -131,7 +300,7 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	j := s.lookupJob(id)
 	if j != nil {
-		state, errMsg := j.snapshot()
+		state, errMsg, _ := j.snapshot()
 		switch state {
 		case jobRunning:
 			s.respondJob(w, r, j, http.StatusAccepted)

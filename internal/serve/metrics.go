@@ -18,11 +18,25 @@ type metrics struct {
 	timeouts    atomic.Int64
 	storeHits   atomic.Int64
 	storeMisses atomic.Int64
+	degraded    [3]atomic.Int64 // indexed by degradation reason
+	jobsEvicted atomic.Int64
 
 	mu         sync.Mutex
 	solveCount int64
 	solveSum   float64
 	solveMax   float64
+}
+
+// gauges is the point-in-time state sampled at scrape time, as opposed to
+// the monotonic counters the metrics struct accumulates.
+type gauges struct {
+	queueDepth   int64
+	running      int64
+	cacheEntries int64
+	health       string
+	breakerOpen  bool
+	breakerTrips int64
+	jobs         int64
 }
 
 // Endpoint indices for metrics.requests.
@@ -44,10 +58,11 @@ func (m *metrics) observeSolve(d time.Duration) {
 	m.mu.Unlock()
 }
 
-// render writes the scrape body. queueDepth counts admitted-or-waiting
-// requests (running included), running the occupied solver slots,
-// cacheEntries the flow tables held by the eval cache.
-func (m *metrics) render(queueDepth, running, cacheEntries int64) []byte {
+// render writes the scrape body. g.queueDepth counts admitted-or-waiting
+// requests (running included), g.running the occupied solver slots,
+// g.cacheEntries the flow tables held by the eval cache; health is
+// rendered one-hot across the three states.
+func (m *metrics) render(g gauges) []byte {
 	var b bytes.Buffer
 	for i, name := range epNames {
 		fmt.Fprintf(&b, "tcrd_requests_total{endpoint=%q} %d\n", name, m.requests[i].Load())
@@ -56,13 +71,30 @@ func (m *metrics) render(queueDepth, running, cacheEntries int64) []byte {
 	fmt.Fprintf(&b, "tcrd_timeouts_total %d\n", m.timeouts.Load())
 	fmt.Fprintf(&b, "tcrd_store_hits_total %d\n", m.storeHits.Load())
 	fmt.Fprintf(&b, "tcrd_store_misses_total %d\n", m.storeMisses.Load())
-	fmt.Fprintf(&b, "tcrd_queue_depth %d\n", queueDepth)
-	fmt.Fprintf(&b, "tcrd_running %d\n", running)
-	fmt.Fprintf(&b, "tcrd_flow_cache_entries %d\n", cacheEntries)
+	for i, reason := range degradeReasons {
+		fmt.Fprintf(&b, "tcrd_degraded_total{reason=%q} %d\n", reason, m.degraded[i].Load())
+	}
+	for _, state := range healthStates {
+		fmt.Fprintf(&b, "tcrd_health_state{state=%q} %d\n", state, boolGauge(state == g.health))
+	}
+	fmt.Fprintf(&b, "tcrd_breaker_open %d\n", boolGauge(g.breakerOpen))
+	fmt.Fprintf(&b, "tcrd_breaker_trips_total %d\n", g.breakerTrips)
+	fmt.Fprintf(&b, "tcrd_jobs %d\n", g.jobs)
+	fmt.Fprintf(&b, "tcrd_jobs_evicted_total %d\n", m.jobsEvicted.Load())
+	fmt.Fprintf(&b, "tcrd_queue_depth %d\n", g.queueDepth)
+	fmt.Fprintf(&b, "tcrd_running %d\n", g.running)
+	fmt.Fprintf(&b, "tcrd_flow_cache_entries %d\n", g.cacheEntries)
 	m.mu.Lock()
 	fmt.Fprintf(&b, "tcrd_solve_seconds_count %d\n", m.solveCount)
 	fmt.Fprintf(&b, "tcrd_solve_seconds_sum %g\n", m.solveSum)
 	fmt.Fprintf(&b, "tcrd_solve_seconds_max %g\n", m.solveMax)
 	m.mu.Unlock()
 	return b.Bytes()
+}
+
+func boolGauge(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
 }

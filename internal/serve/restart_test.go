@@ -1,0 +1,273 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"tcr/internal/store"
+)
+
+// Daemon-restart resilience: the persisted job index must survive (or be
+// quarantined after) a predecessor's crash, and the jobs map must stay
+// bounded over a long daemon life.
+
+// TestRestartQuarantinesTornJobsFile starts a daemon over every flavor of
+// partially written jobs.json a crash can leave — truncated JSON, zero
+// bytes, an unknown schema — and requires it to quarantine the file and
+// serve, never crash-loop.
+func TestRestartQuarantinesTornJobsFile(t *testing.T) {
+	cases := []struct{ name, content string }{
+		{"truncated", `{"schema":"tcrd-jobs-1","jobs":[{"id":"design-abc`},
+		{"zero-byte", ""},
+		{"foreign-schema", `{"schema":"tcrd-jobs-99","jobs":[]}`},
+		{"not-json", "\x00\x01garbage"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			if err := os.WriteFile(filepath.Join(dir, "jobs.json"), []byte(tc.content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			s, ts := newTestServer(t, Config{StoreDir: dir})
+			if status, b := get(t, ts, "/healthz"); status != http.StatusOK || string(b) != "ok\n" {
+				t.Fatalf("daemon over torn jobs.json unhealthy: %d %q", status, b)
+			}
+			if n := s.jobs.count(); n != 0 {
+				t.Fatalf("torn index produced %d jobs", n)
+			}
+			if _, err := os.Stat(filepath.Join(dir, "jobs.json.quarantine")); err != nil {
+				t.Fatalf("torn jobs.json not quarantined: %v", err)
+			}
+			// The daemon still runs jobs: a fresh submission round-trips.
+			status, _, body := post(t, ts, "/v1/design", `{"k":4,"kind":"wcopt","async":true}`)
+			if status != http.StatusAccepted {
+				t.Fatalf("post-quarantine submit: status %d, body %s", status, body)
+			}
+		})
+	}
+}
+
+// TestRestartRecoversInterruptedJobs hand-writes the index a dying daemon
+// would leave — two jobs persisted as running — and requires the successor
+// to resolve the one whose artifact committed as done and to fail the
+// other with a resubmit hint, instead of presenting zombie running states.
+func TestRestartRecoversInterruptedJobs(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqDone := store.DesignRequest{K: 4, Kind: store.DesignWorstCase}
+	fpDone, err := reqDone.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := store.DesignArtifact{Schema: store.SchemaVersion, Request: reqDone, Certified: true, GammaWC: 1}
+	payload, err := store.Encode(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Put(store.KindDesign, fpDone, store.SchemaVersion, payload); err != nil {
+		t.Fatal(err)
+	}
+	fpLost := store.HashBytes([]byte("never-committed"))
+	index := fmt.Sprintf(
+		`{"schema":"tcrd-jobs-1","jobs":[`+
+			`{"id":%q,"kind":"design","fingerprint":%q,"state":"running"},`+
+			`{"id":%q,"kind":"design","fingerprint":%q,"state":"running"}]}`,
+		jobID(store.KindDesign, fpDone), fpDone,
+		jobID(store.KindDesign, fpLost), fpLost)
+	if err := os.WriteFile(filepath.Join(dir, "jobs.json"), []byte(index), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := newTestServer(t, Config{StoreDir: dir})
+
+	status, b := get(t, ts, "/v1/jobs/"+jobID(store.KindDesign, fpDone))
+	var jw jobWire
+	if status != http.StatusOK || json.Unmarshal(b, &jw) != nil || jw.State != jobDone {
+		t.Fatalf("committed job not recovered as done: %d %s", status, b)
+	}
+	status, result := get(t, ts, "/v1/jobs/"+jobID(store.KindDesign, fpDone)+"/result")
+	if status != http.StatusOK || string(result) != string(payload) {
+		t.Fatalf("recovered job result mismatch: %d %q", status, result)
+	}
+
+	status, b = get(t, ts, "/v1/jobs/"+jobID(store.KindDesign, fpLost))
+	if status != http.StatusOK || json.Unmarshal(b, &jw) != nil || jw.State != jobError {
+		t.Fatalf("interrupted job not surfaced as error: %d %s", status, b)
+	}
+	if !strings.Contains(jw.Error, "resubmit") {
+		t.Fatalf("interrupted-job error %q does not tell the client to resubmit", jw.Error)
+	}
+}
+
+// TestJobsPersistAcrossRestart runs a real async job to completion and
+// requires a second daemon over the same store to know about it.
+func TestJobsPersistAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	_, ts1 := newTestServer(t, Config{StoreDir: dir})
+	status, _, body := post(t, ts1, "/v1/design", `{"k":4,"kind":"wcopt","async":true}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", status, body)
+	}
+	var jw jobWire
+	if err := json.Unmarshal(body, &jw); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		_, b := get(t, ts1, "/v1/jobs/"+jw.ID)
+		if err := json.Unmarshal(b, &jw); err != nil {
+			t.Fatal(err)
+		}
+		if jw.State == jobDone {
+			break
+		}
+		if jw.State == jobError || time.Now().After(deadline) {
+			t.Fatalf("job did not finish: %+v", jw)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	ts1.Close()
+
+	_, ts2 := newTestServer(t, Config{StoreDir: dir})
+	status, b := get(t, ts2, "/v1/jobs/"+jw.ID)
+	var jw2 jobWire
+	if status != http.StatusOK || json.Unmarshal(b, &jw2) != nil || jw2.State != jobDone {
+		t.Fatalf("restarted daemon lost the finished job: %d %s", status, b)
+	}
+}
+
+// TestJobGCBounds ages a populated job table and requires the TTL and the
+// count cap to evict finished entries (never running ones), counting the
+// evictions in /metrics — while evicted results stay resolvable through
+// the store's fingerprint-prefix fallback.
+func TestJobGCBounds(t *testing.T) {
+	s, ts := newTestServer(t, Config{JobTTL: time.Hour, JobMaxDone: 1})
+	base := time.Now()
+	s.now = func() time.Time { return base }
+
+	mk := func(seed string, state string, age time.Duration) string {
+		fp := store.HashBytes([]byte(seed))
+		id := jobID(store.KindDesign, fp)
+		s.jobs.mu.Lock()
+		if s.jobs.m == nil {
+			s.jobs.m = map[string]*job{}
+		}
+		s.jobs.m[id] = &job{ID: id, Kind: store.KindDesign, FP: fp,
+			state: state, doneUnix: base.Add(-age).Unix()}
+		s.jobs.mu.Unlock()
+		return id
+	}
+	expired := mk("a", jobDone, 2*time.Hour)  // beyond TTL
+	older := mk("b", jobDone, 10*time.Minute) // inside TTL, over the count cap
+	newest := mk("c", jobDone, 5*time.Minute)
+	running := mk("d", jobRunning, 3*time.Hour) // ancient but running: immune
+
+	s.gcJobs()
+
+	for _, id := range []string{expired, older} {
+		if s.lookupJob(id) != nil {
+			t.Errorf("job %s survived GC", id)
+		}
+	}
+	if s.lookupJob(newest) == nil || s.lookupJob(running) == nil {
+		t.Fatal("GC evicted a job it must keep")
+	}
+	_, mb := get(t, ts, "/metrics")
+	for _, want := range []string{"tcrd_jobs_evicted_total 2", "tcrd_jobs 2"} {
+		if !strings.Contains(string(mb), want) {
+			t.Errorf("metrics missing %q:\n%s", want, mb)
+		}
+	}
+
+	// An evicted job's artifact still resolves by fingerprint prefix.
+	fp := store.HashBytes([]byte("a"))
+	art := store.DesignArtifact{Schema: store.SchemaVersion, Certified: true}
+	payload, err := store.Encode(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.store.Put(store.KindDesign, fp, store.SchemaVersion, payload); err != nil {
+		t.Fatal(err)
+	}
+	status, b := get(t, ts, "/v1/jobs/"+expired+"/result")
+	if status != http.StatusOK || string(b) != string(payload) {
+		t.Fatalf("evicted job result unresolvable: %d %q", status, b)
+	}
+}
+
+// TestShutdownTimeoutForceCloses gates a background job and requires Close
+// to give up at ShutdownTimeout with an error saying the jobs were
+// abandoned (their checkpoints are on disk), rather than hanging forever.
+func TestShutdownTimeoutForceCloses(t *testing.T) {
+	s, err := New(Config{StoreDir: t.TempDir(), ShutdownTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	gate := make(chan struct{})
+	s.hooks.computeStart = func(string, string) { <-gate }
+
+	status, _, body := post(t, ts, "/v1/design", `{"k":4,"kind":"wcopt","async":true}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", status, body)
+	}
+	start := time.Now()
+	cerr := s.Close()
+	if cerr == nil || !strings.Contains(cerr.Error(), "shutdown timeout") {
+		t.Fatalf("Close over a stuck job returned %v, want shutdown-timeout error", cerr)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Close took %v despite 50ms shutdown timeout", elapsed)
+	}
+	close(gate) // release the job so the test process drains cleanly
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close after release: %v", err)
+	}
+}
+
+// TestRestartWithCorruptManifestRecomputes writes garbage over a committed
+// artifact's manifest and requires a restarted daemon to treat the slot as
+// a miss and repair it by recomputing — ErrCorrupt never crashes serving.
+func TestRestartWithCorruptManifestRecomputes(t *testing.T) {
+	dir := t.TempDir()
+	_, ts1 := newTestServer(t, Config{StoreDir: dir})
+	status, _, cold := post(t, ts1, "/v1/eval", `{"k":4,"alg":"DOR"}`)
+	if status != http.StatusOK {
+		t.Fatalf("cold eval: %d", status)
+	}
+	fp, err := store.EvalRequest{K: 4, Alg: "DOR"}.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	manifest := filepath.Join(dir, "objects", store.KindEval, fp[:2], fp, "manifest.json")
+	if err := os.WriteFile(manifest, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+
+	s2, ts2 := newTestServer(t, Config{StoreDir: dir})
+	var c counters
+	c.install(s2)
+	status, _, warm := post(t, ts2, "/v1/eval", `{"k":4,"alg":"DOR"}`)
+	if status != http.StatusOK || string(warm) != string(cold) {
+		t.Fatalf("recompute over corrupt manifest: %d (bytes equal: %v)", status, string(warm) == string(cold))
+	}
+	if c.computes.Load() != 1 {
+		t.Fatalf("corrupt slot served without recompute (computes=%d)", c.computes.Load())
+	}
+	if !s2.store.Has(store.KindEval, fp) {
+		t.Fatal("recompute did not repair the corrupt slot")
+	}
+}

@@ -38,6 +38,23 @@ type Config struct {
 	// DrainTimeout bounds graceful shutdown: in-flight requests get this
 	// long to finish before the listener is torn down (default 10s).
 	DrainTimeout time.Duration
+	// ShutdownTimeout bounds Close's wait for background jobs after drain;
+	// past it Close returns with the jobs' round checkpoints already on
+	// disk for the next daemon to resume. 0 waits indefinitely.
+	ShutdownTimeout time.Duration
+	// BreakerThreshold is the consecutive solver-failure count that trips
+	// the circuit breaker onto store-only serving (default 5).
+	BreakerThreshold int
+	// BreakerCooloff is how long a tripped breaker rests before letting a
+	// probe solve through (default 30s).
+	BreakerCooloff time.Duration
+	// JobTTL is how long a finished job's table entry outlives its
+	// completion before it is garbage-collected; its artifact stays in the
+	// store (default 1h).
+	JobTTL time.Duration
+	// JobMaxDone caps retained finished jobs regardless of age, oldest
+	// evicted first (default 1024).
+	JobMaxDone int
 }
 
 func (c Config) workers() int {
@@ -68,6 +85,34 @@ func (c Config) drainTimeout() time.Duration {
 	return c.DrainTimeout
 }
 
+func (c Config) breakerThreshold() int {
+	if c.BreakerThreshold <= 0 {
+		return 5
+	}
+	return c.BreakerThreshold
+}
+
+func (c Config) breakerCooloff() time.Duration {
+	if c.BreakerCooloff <= 0 {
+		return 30 * time.Second
+	}
+	return c.BreakerCooloff
+}
+
+func (c Config) jobTTL() time.Duration {
+	if c.JobTTL <= 0 {
+		return time.Hour
+	}
+	return c.JobTTL
+}
+
+func (c Config) jobMaxDone() int {
+	if c.JobMaxDone <= 0 {
+		return 1024
+	}
+	return c.JobMaxDone
+}
+
 // hooks are white-box observation points for tests: storeHit fires when a
 // request is served from the artifact store, computeStart when a solver
 // actually begins work. Both may be nil.
@@ -89,10 +134,17 @@ type Server struct {
 	met       metrics
 	hooks     hooks
 	jobs      jobTable
+	// saveMu serializes jobs.json writers so a stale snapshot's rename
+	// can never land after a fresher one (lost update).
+	saveMu    sync.Mutex
 	jobCtx    context.Context
 	jobCancel context.CancelFunc
 	wg        sync.WaitGroup
 	draining  atomic.Bool
+	brk       *breaker
+	// now is the daemon's clock (breaker cooloffs, staleness headers, job
+	// ages); injectable so tests can drive time.
+	now func() time.Time
 }
 
 // errQueueFull is the admission rejection mapped to 429.
@@ -112,8 +164,13 @@ func New(cfg Config) (*Server, error) {
 		store: st,
 		cache: eval.NewCacheLimit(cfg.flowCacheEntries()),
 		slots: make(chan struct{}, cfg.workers()),
+		brk:   &breaker{threshold: cfg.breakerThreshold(), cooloff: cfg.breakerCooloff()},
+		now:   time.Now,
 	}
 	s.jobCtx, s.jobCancel = context.WithCancel(context.Background())
+	if err := s.loadJobs(); err != nil {
+		return nil, err
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/eval", s.handleEval)
 	s.mux.HandleFunc("POST /v1/worstperm", s.handleWorstPerm)
@@ -129,14 +186,39 @@ func New(cfg Config) (*Server, error) {
 // Handler exposes the daemon's routes (for tests and embedding).
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close cancels background jobs and waits for them to drain. In-flight
-// design solves abort between cutting-plane rounds; their last checkpoint
-// stays in the store, so a restarted daemon resumes rather than recomputes.
+// Close cancels background jobs and waits for them to drain, up to
+// Config.ShutdownTimeout (0: indefinitely). In-flight design solves abort
+// between cutting-plane rounds; their last checkpoint stays in the store,
+// so a restarted daemon resumes rather than recomputes — which is exactly
+// why a deadline expiry here is safe: the force-abandoned jobs' progress
+// is already persisted, round by round.
 func (s *Server) Close() error {
 	s.draining.Store(true)
 	s.jobCancel()
+	if d := s.cfg.ShutdownTimeout; d > 0 {
+		if !waitTimeout(&s.wg, d) {
+			return fmt.Errorf("serve: shutdown timeout after %v: background jobs abandoned with checkpoints persisted", d)
+		}
+		return nil
+	}
 	s.wg.Wait()
 	return nil
+}
+
+// waitTimeout waits for wg up to d; false means the deadline won. The
+// watcher goroutine it leaves behind exits as soon as the jobs do finish.
+func waitTimeout(wg *sync.WaitGroup, d time.Duration) bool {
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(d):
+		return false
+	}
 }
 
 // Run serves on addr until ctx is cancelled, then drains gracefully:
@@ -203,7 +285,11 @@ func (s *Server) result(ctx context.Context, kind, fp string, compute func(conte
 			return b, nil
 		}
 		s.met.storeMisses.Add(1)
+		if !s.brk.allow(s.now()) {
+			return nil, errBreakerOpen
+		}
 		if err := s.acquire(ctx); err != nil {
+			s.brk.abandonProbe()
 			return nil, err
 		}
 		defer s.release()
@@ -214,8 +300,16 @@ func (s *Server) result(ctx context.Context, kind, fp string, compute func(conte
 		payload, persist, err := compute(ctx)
 		s.met.observeSolve(time.Since(start))
 		if err != nil {
+			// Solver-owned failures feed the breaker; a context expiry or
+			// cancellation is the client's budget speaking, not ill health.
+			if ctx.Err() == nil {
+				s.brk.recordFailure(s.now())
+			} else {
+				s.brk.abandonProbe()
+			}
 			return nil, err
 		}
+		s.brk.recordSuccess()
 		if persist {
 			if _, err := s.store.Put(kind, fp, store.SchemaVersion, payload); err != nil {
 				return nil, err
@@ -304,7 +398,7 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		b, err := store.Encode(art)
 		return b, err == nil, err
 	})
-	s.finish(w, r, ctx, payload, err)
+	s.finish(w, r, ctx, payload, err, func() *staleFallback { return s.nearbyEval(req.EvalRequest) })
 }
 
 func (s *Server) handleWorstPerm(w http.ResponseWriter, r *http.Request) {
@@ -333,7 +427,9 @@ func (s *Server) handleWorstPerm(w http.ResponseWriter, r *http.Request) {
 		b, err := store.Encode(art)
 		return b, err == nil, err
 	})
-	s.finish(w, r, ctx, payload, err)
+	// Worst-case permutations have no degradation axis: every field is
+	// load-bearing, so there is no "nearby" artifact to fall back on.
+	s.finish(w, r, ctx, payload, err, nil)
 }
 
 // validateNamed runs a request's shape validation plus the checks shared by
@@ -381,7 +477,7 @@ func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.reqCtx(r, req.TimeoutMS)
 	defer cancel()
 	payload, err := s.result(ctx, store.KindDesign, fp, compute)
-	s.finish(w, r, ctx, payload, err)
+	s.finish(w, r, ctx, payload, err, func() *staleFallback { return s.nearbyDesign(req.DesignRequest) })
 }
 
 // designCompute builds the solver closure for a design request: budgets in
@@ -459,21 +555,32 @@ func (s *Server) handlePareto(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.reqCtx(r, req.TimeoutMS)
 	defer cancel()
 	payload, err := s.result(ctx, store.KindPareto, fp, compute)
-	s.finish(w, r, ctx, payload, err)
+	s.finish(w, r, ctx, payload, err, func() *staleFallback { return s.nearbyPareto(req.ParetoRequest) })
 }
 
+// handleHealthz reports the health state machine: ok and degraded (breaker
+// tripped, store-only serving) answer 200 — the daemon is serving — while
+// draining answers 503 so load balancers stop routing to it.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	if s.draining.Load() {
+	state := s.healthState()
+	if state == healthDraining {
 		w.WriteHeader(http.StatusServiceUnavailable)
-		writeBody(w, []byte("draining\n"))
-		return
 	}
-	writeBody(w, []byte("ok\n"))
+	writeBody(w, []byte(state+"\n"))
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	writeBody(w, s.met.render(s.queued.Load(), int64(len(s.slots)), int64(s.cache.Len())))
+	g := gauges{
+		queueDepth:   s.queued.Load(),
+		running:      int64(len(s.slots)),
+		cacheEntries: int64(s.cache.Len()),
+		health:       s.healthState(),
+		breakerOpen:  s.brk.isOpen(),
+		breakerTrips: s.brk.tripCount(),
+		jobs:         s.jobs.count(),
+	}
+	writeBody(w, s.met.render(g))
 }
 
 // errorBody is the JSON error envelope every failure returns.
@@ -500,19 +607,32 @@ func (s *Server) fail(w http.ResponseWriter, _ *http.Request, status int, err er
 }
 
 // finish maps a result-spine outcome onto the wire: success streams the
-// canonical payload; failures classify into 429 (queue full, with
-// Retry-After), 504 (request deadline expired, with solver diagnostics when
-// available), 503 (daemon draining), else 500.
-func (s *Server) finish(w http.ResponseWriter, r *http.Request, ctx context.Context, payload []byte, err error) {
+// canonical payload. Degradable failures — overload, tripped breaker,
+// solver failure — first try nearby (when the endpoint has a degradation
+// axis): a stale-but-certified artifact served 200 with the X-TCR-Degraded
+// and X-TCR-Staleness headers. Otherwise failures classify into 429 (queue
+// full, with Retry-After), 503 (breaker open, with Retry-After = cooloff;
+// or daemon draining), 504 (request deadline expired, with solver
+// diagnostics when available), else 500.
+func (s *Server) finish(w http.ResponseWriter, r *http.Request, ctx context.Context, payload []byte, err error, nearby func() *staleFallback) {
 	if err == nil {
 		w.Header().Set("Content-Type", "application/json")
 		writeBody(w, payload)
 		return
 	}
+	if idx := s.degradeIndex(err, ctx.Err()); idx >= 0 && nearby != nil {
+		if fb := nearby(); fb != nil {
+			s.serveStale(w, idx, fb)
+			return
+		}
+	}
 	switch {
 	case errors.Is(err, errQueueFull):
 		w.Header().Set("Retry-After", "1")
 		s.fail(w, r, http.StatusTooManyRequests, err)
+	case errors.Is(err, errBreakerOpen):
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.cfg.breakerCooloff().Seconds())))
+		s.fail(w, r, http.StatusServiceUnavailable, err)
 	case errors.Is(err, context.DeadlineExceeded) || errors.Is(ctx.Err(), context.DeadlineExceeded):
 		s.met.timeouts.Add(1)
 		s.fail(w, r, http.StatusGatewayTimeout, fmt.Errorf("deadline expired: %w", err))

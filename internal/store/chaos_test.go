@@ -1,0 +1,355 @@
+//go:build storechaos
+
+package store
+
+// Crash-consistency harness and fault-injection tests for the store's
+// commit protocol, compiled only under -tags storechaos. The harness
+// records the filesystem operation trace of a clean commit, then replays
+// the commit once per operation with a crash scripted at exactly that
+// index, recovers the filesystem to its durable image, reopens the store,
+// and asserts the artifact is either fully committed or cleanly absent —
+// never torn. This is the proof behind the package doc's claim that the
+// manifest rename is the single atomic commit point.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+var (
+	chaosOld = []byte(`{"v":"old"}` + "\n")
+	chaosNew = []byte(`{"v":"new"}` + "\n")
+)
+
+func openChaosStore(t *testing.T, fsys *ChaosFS) *Store {
+	t.Helper()
+	s, err := OpenFS(fsys, "/store")
+	if err != nil {
+		t.Fatalf("open chaos store: %v", err)
+	}
+	return s
+}
+
+// crashScenario is one store mutation the harness kills at every
+// filesystem operation. prep seeds pre-existing state with no faults
+// armed; run is the victim operation; old/absent say which recovered
+// outcomes besides the fully-committed new state are legal.
+type crashScenario struct {
+	name        string
+	prep        func(t *testing.T, s *Store)
+	run         func(s *Store) error
+	allowOld    bool // recovered Get may return the pre-existing payload
+	allowNew    bool // recovered Get may return the new payload
+	allowAbsent bool // recovered Get may return ErrNotFound
+}
+
+func crashScenarios() []crashScenario {
+	fp := HashBytes([]byte("crash-victim"))
+	return []crashScenario{
+		{
+			name:        "fresh-put",
+			prep:        func(t *testing.T, s *Store) {},
+			run:         func(s *Store) error { _, err := s.Put(KindEval, fp, SchemaVersion, chaosNew); return err },
+			allowNew:    true,
+			allowAbsent: true,
+		},
+		{
+			name: "overwrite-put",
+			prep: func(t *testing.T, s *Store) {
+				if _, err := s.Put(KindEval, fp, SchemaVersion, chaosOld); err != nil {
+					t.Fatalf("seed put: %v", err)
+				}
+			},
+			run:      func(s *Store) error { _, err := s.Put(KindEval, fp, SchemaVersion, chaosNew); return err },
+			allowOld: true,
+			allowNew: true,
+		},
+		{
+			name: "delete",
+			prep: func(t *testing.T, s *Store) {
+				if _, err := s.Put(KindEval, fp, SchemaVersion, chaosOld); err != nil {
+					t.Fatalf("seed put: %v", err)
+				}
+			},
+			run:         func(s *Store) error { return s.Delete(KindEval, fp) },
+			allowOld:    true,
+			allowAbsent: true,
+		},
+	}
+}
+
+// checkRecovered classifies the recovered artifact state and fails unless
+// it is one of the scenario's legal outcomes. Any other state — corrupt,
+// torn bytes, an unexpected error — is a crash-consistency violation.
+func checkRecovered(t *testing.T, s *Store, sc crashScenario, opErr error, opLine string) {
+	t.Helper()
+	fp := HashBytes([]byte("crash-victim"))
+	got, _, err := s.Get(KindEval, fp)
+	switch {
+	case err == nil && string(got) == string(chaosNew):
+		if !sc.allowNew {
+			t.Errorf("crash at %q: recovered to new payload, which %s forbids", opLine, sc.name)
+		}
+	case err == nil && string(got) == string(chaosOld):
+		if !sc.allowOld {
+			t.Errorf("crash at %q: recovered to old payload, which %s forbids", opLine, sc.name)
+		}
+	case errors.Is(err, ErrNotFound):
+		if !sc.allowAbsent {
+			t.Errorf("crash at %q: recovered to absent, which %s forbids", opLine, sc.name)
+		}
+	case errors.Is(err, ErrCorrupt):
+		t.Errorf("crash at %q: TORN artifact after recovery: %v", opLine, err)
+	case err == nil:
+		t.Errorf("crash at %q: TORN artifact: recovered payload %q matches neither version", opLine, got)
+	default:
+		t.Errorf("crash at %q: unexpected recovery error: %v", opLine, err)
+	}
+	// A successful return from the victim op promises the commit is
+	// durable: the recovered store must serve exactly the new state.
+	if opErr == nil {
+		if sc.name == "delete" {
+			if !errors.Is(err, ErrNotFound) {
+				t.Errorf("crash at %q: Delete returned success but artifact recovered: %v", opLine, err)
+			}
+		} else if err != nil || string(got) != string(chaosNew) {
+			t.Errorf("crash at %q: Put returned success but recovery serves %q, %v", opLine, got, err)
+		}
+	}
+}
+
+func runCrashHarness(t *testing.T, partial bool) {
+	for _, sc := range crashScenarios() {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			// Clean run: record the operation trace the crash loop indexes.
+			fsys := NewChaosFS(1)
+			s := openChaosStore(t, fsys)
+			sc.prep(t, s)
+			fsys.SetScript(FSScript{Seed: 7})
+			if err := sc.run(s); err != nil {
+				t.Fatalf("clean run failed: %v", err)
+			}
+			trace := fsys.Trace()
+			if len(trace) < 3 {
+				t.Fatalf("suspiciously short trace %v: harness is not seeing the commit protocol", trace)
+			}
+			fp := HashBytes([]byte("crash-victim"))
+
+			for i := 1; i <= len(trace); i++ {
+				fsys := NewChaosFS(1)
+				s := openChaosStore(t, fsys)
+				sc.prep(t, s)
+				fsys.SetScript(FSScript{Seed: uint64(i), CrashAtOp: i, CrashPartial: partial})
+				opErr := sc.run(s)
+				if opErr != nil && !errors.Is(opErr, ErrCrashed) {
+					t.Fatalf("crash at %q: op failed with a non-crash error: %v", trace[i-1], opErr)
+				}
+				fsys.Recover()
+				fsys.SetScript(FSScript{})
+				s2 := openChaosStore(t, fsys)
+				checkRecovered(t, s2, sc, opErr, trace[i-1])
+
+				// The store must heal: a fresh commit after recovery
+				// succeeds and reads back, whatever residue the crash left.
+				if _, err := s2.Put(KindEval, fp, SchemaVersion, chaosNew); err != nil {
+					t.Fatalf("crash at %q: post-recovery Put does not heal: %v", trace[i-1], err)
+				}
+				if got, _, err := s2.Get(KindEval, fp); err != nil || string(got) != string(chaosNew) {
+					t.Fatalf("crash at %q: healed artifact unreadable: %q, %v", trace[i-1], got, err)
+				}
+			}
+		})
+	}
+}
+
+// TestCrashConsistencyEveryOp is the headline harness: a crash at every
+// filesystem operation of Put (fresh and overwriting) and Delete leaves
+// the reopened store committed-or-absent, never torn.
+func TestCrashConsistencyEveryOp(t *testing.T) { runCrashHarness(t, false) }
+
+// TestCrashConsistencyPartialWrites repeats the harness with crashes that
+// land mid-write applying a seed-determined prefix of the buffer first —
+// the write torn by the power loss itself.
+func TestCrashConsistencyPartialWrites(t *testing.T) { runCrashHarness(t, true) }
+
+// TestInjectedFaultsFailCleanly proves every scripted fault makes Put fail
+// with the injected error while leaving the previously committed artifact
+// intact, and that the store heals once the fault clears.
+func TestInjectedFaultsFailCleanly(t *testing.T) {
+	fp := HashBytes([]byte("fault-victim"))
+	cases := []struct {
+		name    string
+		script  FSScript
+		wantErr error
+	}{
+		{"write-eio", FSScript{FailWrites: 1}, ErrInjectedEIO},
+		{"short-write", FSScript{Seed: 3, ShortWrites: 1}, ErrInjectedEIO},
+		{"enospc", FSScript{ENOSPCBudget: 5}, ErrInjectedENOSPC},
+		{"fsync-eio", FSScript{FailSyncs: 1}, ErrInjectedEIO},
+		{"rename-eio", FSScript{FailRenames: 1}, ErrInjectedEIO},
+		{"syncdir-eio", FSScript{FailSyncDirs: 1}, ErrInjectedEIO},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			fsys := NewChaosFS(1)
+			s := openChaosStore(t, fsys)
+			if _, err := s.Put(KindEval, fp, SchemaVersion, chaosOld); err != nil {
+				t.Fatalf("seed put: %v", err)
+			}
+			fsys.SetScript(tc.script)
+			_, err := s.Put(KindEval, fp, SchemaVersion, chaosNew)
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("faulty Put: got %v, want %v", err, tc.wantErr)
+			}
+			// The committed artifact survived the failed overwrite.
+			if got, _, gerr := s.Get(KindEval, fp); gerr != nil || string(got) != string(chaosOld) {
+				t.Fatalf("committed artifact damaged by failed Put: %q, %v", got, gerr)
+			}
+			// Fault cleared: the overwrite goes through.
+			fsys.SetScript(FSScript{})
+			if _, err := s.Put(KindEval, fp, SchemaVersion, chaosNew); err != nil {
+				t.Fatalf("healed Put: %v", err)
+			}
+			if got, _, gerr := s.Get(KindEval, fp); gerr != nil || string(got) != string(chaosNew) {
+				t.Fatalf("healed artifact unreadable: %q, %v", got, gerr)
+			}
+		})
+	}
+}
+
+// TestLyingFsyncBreaksCommit is the negative control: with fsyncs that
+// acknowledge without persisting, a "successful" Put does not survive a
+// crash intact — proving the commit protocol's safety genuinely rests on
+// honest fsync, i.e. the harness would catch a protocol that skipped it.
+func TestLyingFsyncBreaksCommit(t *testing.T) {
+	fp := HashBytes([]byte("liar-victim"))
+	fsys := NewChaosFS(1)
+	s := openChaosStore(t, fsys)
+	fsys.SetScript(FSScript{Seed: 5, LieSyncs: 2})
+	if _, err := s.Put(KindEval, fp, SchemaVersion, chaosNew); err != nil {
+		t.Fatalf("put over lying fsync should report success: %v", err)
+	}
+	fsys.Crash()
+	fsys.Recover()
+	fsys.SetScript(FSScript{})
+	s2 := openChaosStore(t, fsys)
+	if _, _, err := s2.Get(KindEval, fp); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("lying fsync survived the crash undetected: %v", err)
+	}
+}
+
+// TestUnsyncedContentRecoversEmpty pins the ChaosFS durability model the
+// harness relies on: a file whose name was made durable but whose content
+// was never fsynced reads back empty after a crash — the classic
+// zero-length file.
+func TestUnsyncedContentRecoversEmpty(t *testing.T) {
+	fsys := NewChaosFS(1)
+	if err := fsys.MkdirAll("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, tmp, err := fsys.CreateTemp("/d", "t-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("unsynced bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Rename(tmp, "/d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.SyncDir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	fsys.Crash()
+	fsys.Recover()
+	b, err := fsys.ReadFile("/d/f")
+	if err != nil {
+		t.Fatalf("durable name lost: %v", err)
+	}
+	if len(b) != 0 {
+		t.Fatalf("unsynced content survived the crash: %q", b)
+	}
+}
+
+// TestRenameNotDurableWithoutSyncDir pins the other half of the model: a
+// rename whose parent directory was never fsynced vanishes at the crash.
+func TestRenameNotDurableWithoutSyncDir(t *testing.T) {
+	fsys := NewChaosFS(1)
+	if err := fsys.MkdirAll("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, tmp, err := fsys.CreateTemp("/d", "t-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Rename(tmp, "/d/f"); err != nil {
+		t.Fatal(err)
+	}
+	fsys.Crash()
+	fsys.Recover()
+	if _, err := fsys.ReadFile("/d/f"); err == nil {
+		t.Fatal("rename survived a crash without a directory sync")
+	}
+}
+
+// TestChaosStoreRoundTrip sanity-checks that ChaosFS implements enough of
+// FS for the store's full surface: put, get, has, list, delete.
+func TestChaosStoreRoundTrip(t *testing.T) {
+	fsys := NewChaosFS(1)
+	s := openChaosStore(t, fsys)
+	fp := HashBytes([]byte("roundtrip"))
+	if _, err := s.Put(KindPareto, fp, SchemaVersion, chaosNew); err != nil {
+		t.Fatal(err)
+	}
+	if got, _, err := s.Get(KindPareto, fp); err != nil || string(got) != string(chaosNew) {
+		t.Fatalf("get: %q, %v", got, err)
+	}
+	if !s.Has(KindPareto, fp) {
+		t.Fatal("Has misses a committed artifact")
+	}
+	fps, err := s.List(KindPareto)
+	if err != nil || len(fps) != 1 || fps[0] != fp {
+		t.Fatalf("list: %v, %v", fps, err)
+	}
+	if err := s.Delete(KindPareto, fp); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has(KindPareto, fp) {
+		t.Fatal("deleted artifact still present")
+	}
+}
+
+// TestTraceIsDeterministic pins that identical scripts over identical
+// operations produce identical traces — the property that makes the
+// crash-at-index replay meaningful.
+func TestTraceIsDeterministic(t *testing.T) {
+	run := func() []string {
+		fsys := NewChaosFS(1)
+		s := openChaosStore(t, fsys)
+		fsys.SetScript(FSScript{Seed: 7})
+		fp := HashBytes([]byte("det"))
+		if _, err := s.Put(KindEval, fp, SchemaVersion, chaosNew); err != nil {
+			t.Fatal(err)
+		}
+		return fsys.Trace()
+	}
+	a, b := run(), run()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("traces differ:\n%v\n%v", a, b)
+	}
+}

@@ -1,0 +1,501 @@
+//go:build storechaos
+
+package store
+
+// Storage fault injection, compiled only under -tags storechaos. ChaosFS is
+// an in-memory FS implementation that models the durability semantics the
+// store's commit protocol depends on — and nothing more generous:
+//
+//   - File content becomes durable only on a successful File.Sync; a file
+//     whose name survives a crash but whose content was never synced reads
+//     back empty (the classic zero-length file after power loss).
+//   - Name changes (CreateTemp, Rename, Remove) live in the parent
+//     directory's volatile entry table and become durable only on SyncDir
+//     of that directory.
+//   - Directory creation is modeled as immediately durable; mkdir
+//     crash-consistency is not what the harness is after.
+//
+// A script injects faults deterministically: write failures (EIO), short
+// writes, an ENOSPC byte budget, fsync failures, *lying* fsyncs (report
+// success, persist nothing), rename and directory-sync failures, and a
+// crash point indexed into the sequence of mutating operations. After a
+// crash every operation fails with ErrCrashed until Recover rolls the
+// volatile state back to exactly what was durable — the disk image a
+// machine reboot would find. The crash-consistency harness in
+// chaos_test.go replays a store commit, killing it at every operation
+// index, and asserts the reopened store is committed-or-absent, never torn.
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Injected fault errors, distinguishable by errors.Is so tests can assert
+// the right fault surfaced.
+var (
+	ErrInjectedEIO    = errors.New("storechaos: injected I/O error")
+	ErrInjectedENOSPC = errors.New("storechaos: injected ENOSPC")
+	ErrCrashed        = errors.New("storechaos: filesystem crashed")
+)
+
+// FSScript configures deterministic fault injection for a ChaosFS. Counter
+// fields burn down as their operations occur; zero values disable a fault.
+type FSScript struct {
+	// Seed drives the injection PRNG (short-write and partial-crash prefix
+	// lengths); identical seeds replay identical sequences.
+	Seed uint64
+	// FailWrites fails the next N writes with ErrInjectedEIO, applying
+	// nothing.
+	FailWrites int
+	// ShortWrites makes the next N writes apply only a strict prefix of
+	// the buffer before failing with ErrInjectedEIO — a torn in-flight
+	// write.
+	ShortWrites int
+	// ENOSPCBudget, when positive, is the total number of bytes writes may
+	// apply before failing with ErrInjectedENOSPC; the write that crosses
+	// the budget applies the remaining bytes (a short write) and fails.
+	ENOSPCBudget int64
+	// FailSyncs fails the next N file Syncs with ErrInjectedEIO without
+	// promoting anything to durable (an honest fsync failure).
+	FailSyncs int
+	// LieSyncs makes the next N file Syncs report success without
+	// promoting anything to durable (firmware that acknowledges before the
+	// platter). Exists to prove the harness detects the torn states an
+	// honest fsync prevents.
+	LieSyncs int
+	// FailRenames fails the next N renames with ErrInjectedEIO.
+	FailRenames int
+	// FailSyncDirs fails the next N directory syncs with ErrInjectedEIO.
+	FailSyncDirs int
+	// CrashAtOp crashes the filesystem when the CrashAtOp'th mutating
+	// operation (1-based, counted from the last SetScript) begins: the
+	// operation does not apply, and every operation after it fails with
+	// ErrCrashed until Recover. 0 disables.
+	CrashAtOp int
+	// CrashPartial, when the crash lands on a write, applies a
+	// seed-determined strict prefix of the buffer first — a write torn by
+	// the crash itself.
+	CrashPartial bool
+}
+
+// cfsFile is one inode: volatile content (what reads see now) and durable
+// content (what survives a crash).
+type cfsFile struct {
+	vol []byte
+	dur []byte
+}
+
+// ChaosFS is the chaos FS implementation. Safe for concurrent use; all
+// state sits behind one mutex.
+type ChaosFS struct {
+	mu      sync.Mutex
+	script  FSScript
+	rng     uint64
+	written int64 // bytes applied since SetScript, for ENOSPCBudget
+	opN     int   // mutating ops since SetScript, for CrashAtOp
+	trace   []string
+	crashed bool
+	tmpSeq  int
+	files   map[string]*cfsFile // volatile name table
+	durName map[string]*cfsFile // durable name table
+	dirs    map[string]bool
+}
+
+// NewChaosFS returns an empty chaos filesystem with no faults armed.
+func NewChaosFS(seed uint64) *ChaosFS {
+	c := &ChaosFS{
+		files:   map[string]*cfsFile{},
+		durName: map[string]*cfsFile{},
+		dirs:    map[string]bool{},
+	}
+	c.SetScript(FSScript{Seed: seed})
+	return c
+}
+
+// SetScript arms a new fault script and resets the operation counter, the
+// ENOSPC byte budget, and the trace — faults and crash points are counted
+// from here.
+func (c *ChaosFS) SetScript(s FSScript) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.script = s
+	c.rng = s.Seed*2862933555777941757 + 3037000493
+	c.written = 0
+	c.opN = 0
+	c.trace = nil
+}
+
+// Trace returns the mutating operations recorded since the last SetScript,
+// one human-readable line per op. Index i (0-based) names the operation a
+// script with CrashAtOp: i+1 kills.
+func (c *ChaosFS) Trace() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.trace...)
+}
+
+// Crash fails every subsequent operation with ErrCrashed until Recover.
+func (c *ChaosFS) Crash() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.crashed = true
+}
+
+// Recover simulates the reboot after a crash: volatile state is discarded
+// and replaced by exactly the durable image, and operations work again.
+func (c *ChaosFS) Recover() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.crashed = false
+	c.files = map[string]*cfsFile{}
+	for name, f := range c.durName {
+		f.vol = append([]byte(nil), f.dur...)
+		c.files[name] = f
+	}
+}
+
+// next steps the injection PRNG and returns a value in [0, n).
+func (c *ChaosFS) next(n int) int {
+	c.rng = c.rng*6364136223846793005 + 1442695040888963407
+	return int((c.rng >> 11) % uint64(n))
+}
+
+// op gates one mutating operation: crash bookkeeping plus trace recording.
+// Returns ErrCrashed when the filesystem is (or just became) dead; crashed
+// reports whether this very op is the scripted crash point, in which case
+// the caller may still apply a partial effect before dying.
+func (c *ChaosFS) op(desc string) (crashNow bool, err error) {
+	if c.crashed {
+		return false, ErrCrashed
+	}
+	c.opN++
+	c.trace = append(c.trace, desc)
+	if c.script.CrashAtOp > 0 && c.opN == c.script.CrashAtOp {
+		c.crashed = true
+		return true, nil
+	}
+	return false, nil
+}
+
+func pathErr(op, path string, err error) error {
+	return &fs.PathError{Op: op, Path: path, Err: err}
+}
+
+func (c *ChaosFS) MkdirAll(path string, _ fs.FileMode) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	crash, err := c.op("mkdirall " + path)
+	if err != nil || crash {
+		return pathErr("mkdirall", path, ErrCrashed)
+	}
+	for p := filepath.Clean(path); p != "." && p != "/"; p = filepath.Dir(p) {
+		c.dirs[p] = true
+	}
+	return nil
+}
+
+// chaosFile is an open handle; writes and syncs route back through the FS
+// so scripts see them.
+type chaosFile struct {
+	c    *ChaosFS
+	path string
+}
+
+func (c *ChaosFS) CreateTemp(dir, pattern string) (File, string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.dirs[filepath.Clean(dir)] {
+		return nil, "", pathErr("createtemp", dir, fs.ErrNotExist)
+	}
+	c.tmpSeq++
+	name := filepath.Join(dir, fmt.Sprintf("%s%d", pattern, c.tmpSeq))
+	crash, err := c.op("create " + name)
+	if err != nil || crash {
+		return nil, "", pathErr("createtemp", name, ErrCrashed)
+	}
+	c.files[name] = &cfsFile{}
+	return &chaosFile{c: c, path: name}, name, nil
+}
+
+func (f *chaosFile) Write(b []byte) (int, error) {
+	c := f.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	inode, ok := c.files[f.path]
+	if !ok {
+		return 0, pathErr("write", f.path, fs.ErrNotExist)
+	}
+	crash, err := c.op(fmt.Sprintf("write(%d) %s", len(b), f.path))
+	if err != nil {
+		return 0, pathErr("write", f.path, ErrCrashed)
+	}
+	if crash {
+		if c.script.CrashPartial && len(b) > 1 {
+			n := 1 + c.next(len(b)-1) // strict prefix: at least 1, less than all
+			inode.vol = append(inode.vol, b[:n]...)
+		}
+		return 0, pathErr("write", f.path, ErrCrashed)
+	}
+	if c.script.FailWrites > 0 {
+		c.script.FailWrites--
+		return 0, pathErr("write", f.path, ErrInjectedEIO)
+	}
+	if c.script.ShortWrites > 0 && len(b) > 1 {
+		c.script.ShortWrites--
+		n := 1 + c.next(len(b)-1)
+		inode.vol = append(inode.vol, b[:n]...)
+		c.written += int64(n)
+		return n, pathErr("write", f.path, ErrInjectedEIO)
+	}
+	if c.script.ENOSPCBudget > 0 && c.written+int64(len(b)) > c.script.ENOSPCBudget {
+		n := int(c.script.ENOSPCBudget - c.written)
+		if n < 0 {
+			n = 0
+		}
+		inode.vol = append(inode.vol, b[:n]...)
+		c.written += int64(n)
+		return n, pathErr("write", f.path, ErrInjectedENOSPC)
+	}
+	inode.vol = append(inode.vol, b...)
+	c.written += int64(len(b))
+	return len(b), nil
+}
+
+func (f *chaosFile) Sync() error {
+	c := f.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	inode, ok := c.files[f.path]
+	if !ok {
+		return pathErr("sync", f.path, fs.ErrNotExist)
+	}
+	crash, err := c.op("sync " + f.path)
+	if err != nil || crash {
+		return pathErr("sync", f.path, ErrCrashed)
+	}
+	if c.script.FailSyncs > 0 {
+		c.script.FailSyncs--
+		return pathErr("sync", f.path, ErrInjectedEIO)
+	}
+	if c.script.LieSyncs > 0 {
+		c.script.LieSyncs--
+		return nil // acknowledged, not persisted
+	}
+	inode.dur = append([]byte(nil), inode.vol...)
+	return nil
+}
+
+func (f *chaosFile) Close() error {
+	// Close is not a durability point and not a crash boundary distinct
+	// from its neighbors; it never fails on a live filesystem.
+	f.c.mu.Lock()
+	defer f.c.mu.Unlock()
+	if f.c.crashed {
+		return pathErr("close", f.path, ErrCrashed)
+	}
+	return nil
+}
+
+func (c *ChaosFS) ReadFile(path string) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return nil, pathErr("read", path, ErrCrashed)
+	}
+	f, ok := c.files[filepath.Clean(path)]
+	if !ok {
+		return nil, pathErr("read", path, fs.ErrNotExist)
+	}
+	return append([]byte(nil), f.vol...), nil
+}
+
+func (c *ChaosFS) ReadDir(path string) ([]fs.DirEntry, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return nil, pathErr("readdir", path, ErrCrashed)
+	}
+	dir := filepath.Clean(path)
+	if !c.dirs[dir] {
+		return nil, pathErr("readdir", path, fs.ErrNotExist)
+	}
+	names := map[string]bool{}
+	for d := range c.dirs {
+		if filepath.Dir(d) == dir {
+			names[filepath.Base(d)] = true
+		}
+	}
+	var ents []fs.DirEntry
+	for name, isDir := range names {
+		ents = append(ents, chaosDirEntry{name: name, dir: isDir})
+	}
+	for name := range c.files {
+		if filepath.Dir(name) == dir {
+			ents = append(ents, chaosDirEntry{name: filepath.Base(name)})
+		}
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i].Name() < ents[j].Name() })
+	return ents, nil
+}
+
+func (c *ChaosFS) Stat(path string) (fs.FileInfo, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return nil, pathErr("stat", path, ErrCrashed)
+	}
+	p := filepath.Clean(path)
+	if f, ok := c.files[p]; ok {
+		return chaosFileInfo{name: filepath.Base(p), size: int64(len(f.vol))}, nil
+	}
+	if c.dirs[p] {
+		return chaosFileInfo{name: filepath.Base(p), dir: true}, nil
+	}
+	return nil, pathErr("stat", path, fs.ErrNotExist)
+}
+
+func (c *ChaosFS) Chmod(path string, _ fs.FileMode) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return pathErr("chmod", path, ErrCrashed)
+	}
+	if _, ok := c.files[filepath.Clean(path)]; !ok {
+		return pathErr("chmod", path, fs.ErrNotExist)
+	}
+	return nil
+}
+
+func (c *ChaosFS) Rename(oldpath, newpath string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	oldp, newp := filepath.Clean(oldpath), filepath.Clean(newpath)
+	crash, err := c.op("rename " + oldp + " -> " + newp)
+	if err != nil || crash {
+		return pathErr("rename", oldpath, ErrCrashed)
+	}
+	if c.script.FailRenames > 0 {
+		c.script.FailRenames--
+		return pathErr("rename", oldpath, ErrInjectedEIO)
+	}
+	f, ok := c.files[oldp]
+	if !ok {
+		return pathErr("rename", oldpath, fs.ErrNotExist)
+	}
+	delete(c.files, oldp)
+	c.files[newp] = f // atomically replaces any existing target, like POSIX
+	return nil
+}
+
+func (c *ChaosFS) Remove(path string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := filepath.Clean(path)
+	crash, err := c.op("remove " + p)
+	if err != nil || crash {
+		return pathErr("remove", path, ErrCrashed)
+	}
+	if _, ok := c.files[p]; !ok {
+		return pathErr("remove", path, fs.ErrNotExist)
+	}
+	delete(c.files, p)
+	return nil
+}
+
+func (c *ChaosFS) RemoveAll(path string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := filepath.Clean(path)
+	crash, err := c.op("removeall " + p)
+	if err != nil || crash {
+		return pathErr("removeall", path, ErrCrashed)
+	}
+	prefix := p + string(filepath.Separator)
+	// Name removal is volatile like any other directory mutation; durable
+	// names under still-durable parent dirs vanish only via SyncDir. Dirs
+	// themselves are modeled immediately-durable, so drop them outright.
+	for name := range c.files {
+		if name == p || strings.HasPrefix(name, prefix) {
+			delete(c.files, name)
+		}
+	}
+	for d := range c.dirs {
+		if d == p || strings.HasPrefix(d, prefix) {
+			delete(c.dirs, d)
+		}
+	}
+	for name := range c.durName {
+		if dd := filepath.Dir(name); !c.dirs[dd] {
+			delete(c.durName, name)
+		}
+	}
+	return nil
+}
+
+func (c *ChaosFS) SyncDir(dir string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d := filepath.Clean(dir)
+	crash, err := c.op("syncdir " + d)
+	if err != nil || crash {
+		return pathErr("syncdir", dir, ErrCrashed)
+	}
+	if !c.dirs[d] {
+		return pathErr("syncdir", dir, fs.ErrNotExist)
+	}
+	if c.script.FailSyncDirs > 0 {
+		c.script.FailSyncDirs--
+		return pathErr("syncdir", dir, ErrInjectedEIO)
+	}
+	// Promote this directory's entry table: volatile names become durable,
+	// durable names no longer present volatilely are forgotten.
+	for name, f := range c.files {
+		if filepath.Dir(name) == d {
+			c.durName[name] = f
+		}
+	}
+	for name := range c.durName {
+		if filepath.Dir(name) == d {
+			if _, ok := c.files[name]; !ok {
+				delete(c.durName, name)
+			}
+		}
+	}
+	return nil
+}
+
+type chaosDirEntry struct {
+	name string
+	dir  bool
+}
+
+func (e chaosDirEntry) Name() string      { return e.name }
+func (e chaosDirEntry) IsDir() bool       { return e.dir }
+func (e chaosDirEntry) Type() fs.FileMode { return chaosFileInfo{dir: e.dir}.Mode().Type() }
+func (e chaosDirEntry) Info() (fs.FileInfo, error) {
+	return chaosFileInfo{name: e.name, dir: e.dir}, nil
+}
+
+type chaosFileInfo struct {
+	name string
+	size int64
+	dir  bool
+}
+
+func (i chaosFileInfo) Name() string { return i.name }
+func (i chaosFileInfo) Size() int64  { return i.size }
+func (i chaosFileInfo) Mode() fs.FileMode {
+	if i.dir {
+		return fs.ModeDir | 0o755
+	}
+	return 0o644
+}
+func (i chaosFileInfo) ModTime() time.Time { return time.Time{} }
+func (i chaosFileInfo) IsDir() bool        { return i.dir }
+func (i chaosFileInfo) Sys() any           { return nil }

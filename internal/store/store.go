@@ -16,14 +16,21 @@
 // On disk each artifact is a directory holding two files written in commit
 // order:
 //
-//	objects/<kind>/<ff>/<fingerprint>/payload.json    the artifact bytes
-//	objects/<kind>/<ff>/<fingerprint>/manifest.json   integrity manifest
+//	objects/<kind>/<ff>/<fingerprint>/payload-<sha256>.json   the artifact bytes
+//	objects/<kind>/<ff>/<fingerprint>/manifest.json           integrity manifest
 //
 // (<ff> is the first two fingerprint hex digits, a fan-out shard.) Both are
-// written via temp-file + fsync + atomic rename, manifest last, so a
-// manifest's existence implies a fully durable payload. Get re-hashes the
-// payload against the manifest on every read; a mismatch surfaces as
-// ErrCorrupt, never as silently wrong data.
+// written via temp-file + fsync + atomic rename + directory fsync, manifest
+// last. The payload file is named by its own content hash, so replacing an
+// artifact never overwrites the payload the old manifest points at: the
+// manifest rename is the single atomic commit point, and a crash anywhere
+// in Put leaves either the old committed version or the new one readable —
+// never a manifest describing half-replaced bytes. The crash-consistency
+// harness (-tags storechaos) kills Put at every filesystem operation and
+// proves exactly this. Get re-hashes the payload against the manifest on
+// every read; a mismatch surfaces as ErrCorrupt, never as silently wrong
+// data. (Manifests written before the content-named layout reference a
+// plain payload.json and remain readable.)
 //
 // Checkpoints live beside the objects under checkpoints/<kind>/<fp>.ckpt.
 // They are mutable resume state, not content-addressed artifacts: the
@@ -37,6 +44,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -45,7 +53,9 @@ import (
 )
 
 // ManifestSchema versions the manifest file format itself; bump it when the
-// layout of manifest.json changes incompatibly.
+// layout of manifest.json changes incompatibly. (Adding the optional
+// payload_file field kept the schema: old manifests without it read the
+// legacy payload.json name.)
 const ManifestSchema = "tcr-store-1"
 
 // Artifact kinds. A kind names both the request schema and the artifact
@@ -75,7 +85,19 @@ type Manifest struct {
 	ArtifactSchema int    `json:"artifact_schema"`
 	PayloadSHA256  string `json:"payload_sha256"`
 	PayloadBytes   int64  `json:"payload_bytes"`
-	CreatedUnix    int64  `json:"created_unix"`
+	// PayloadFile is the content-named payload file this manifest commits;
+	// empty in manifests written before the content-named layout, which
+	// read the legacy payload.json.
+	PayloadFile string `json:"payload_file,omitempty"`
+	CreatedUnix int64  `json:"created_unix"`
+}
+
+// payloadFile returns the payload file name this manifest points at.
+func (m Manifest) payloadFile() string {
+	if m.PayloadFile == "" {
+		return "payload.json"
+	}
+	return m.PayloadFile
 }
 
 // Store is a handle on one on-disk artifact tree. It is safe for concurrent
@@ -83,16 +105,23 @@ type Manifest struct {
 // multiple processes sharing the directory.
 type Store struct {
 	root string
+	fsys FS
 }
 
-// Open creates (if needed) and opens a store rooted at dir.
-func Open(dir string) (*Store, error) {
+// Open creates (if needed) and opens a store rooted at dir on the real
+// filesystem.
+func Open(dir string) (*Store, error) { return OpenFS(OS, dir) }
+
+// OpenFS creates (if needed) and opens a store rooted at dir on an explicit
+// filesystem — the chaos implementation in fault-injection builds, OS
+// everywhere else.
+func OpenFS(fsys FS, dir string) (*Store, error) {
 	for _, d := range []string{dir, filepath.Join(dir, "objects"), filepath.Join(dir, "checkpoints")} {
-		if err := os.MkdirAll(d, 0o755); err != nil {
+		if err := fsys.MkdirAll(d, 0o755); err != nil {
 			return nil, fmt.Errorf("store: open: %w", err)
 		}
 	}
-	return &Store{root: dir}, nil
+	return &Store{root: dir, fsys: fsys}, nil
 }
 
 // Dir returns the store's root directory.
@@ -121,24 +150,42 @@ func validKey(kind, fp string) error {
 	return nil
 }
 
+// validPayloadFile vets a manifest's payload_file before joining it to a
+// path: a tampered manifest must not be able to point the read outside the
+// artifact's own directory.
+func validPayloadFile(name string) bool {
+	if name == "payload.json" {
+		return true
+	}
+	if !strings.HasPrefix(name, "payload-") || !strings.HasSuffix(name, ".json") {
+		return false
+	}
+	hexPart := strings.TrimSuffix(strings.TrimPrefix(name, "payload-"), ".json")
+	return validKey("p", hexPart) == nil
+}
+
 func (s *Store) objectDir(kind, fp string) string {
 	return filepath.Join(s.root, "objects", kind, fp[:2], fp)
 }
 
 // Put durably commits an artifact payload under (kind, fp) and returns the
-// manifest it wrote. An existing artifact under the same key is atomically
-// replaced; readers see either the old version or the new one, never a mix,
-// because each file is renamed into place whole and verified against the
-// manifest hash on read.
+// manifest it wrote. The payload lands in a file named by its own content
+// hash, then the manifest referencing it is renamed into place: that rename
+// is the single commit point, so an existing artifact under the same key is
+// replaced atomically — a reader (or a crash) sees either the old version
+// or the new one, never a mix — and the old payload file is only removed
+// after the new manifest is durable.
 func (s *Store) Put(kind, fp string, artifactSchema int, payload []byte) (Manifest, error) {
 	if err := validKey(kind, fp); err != nil {
 		return Manifest{}, err
 	}
 	dir := s.objectDir(kind, fp)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := s.fsys.MkdirAll(dir, 0o755); err != nil {
 		return Manifest{}, fmt.Errorf("store: put: %w", err)
 	}
-	if err := WriteFileAtomic(filepath.Join(dir, "payload.json"), payload, 0o644); err != nil {
+	sha := HashBytes(payload)
+	pf := "payload-" + sha + ".json"
+	if err := writeFileAtomicFS(s.fsys, filepath.Join(dir, pf), payload, 0o644); err != nil {
 		return Manifest{}, fmt.Errorf("store: put payload: %w", err)
 	}
 	m := Manifest{
@@ -146,8 +193,9 @@ func (s *Store) Put(kind, fp string, artifactSchema int, payload []byte) (Manife
 		Kind:           kind,
 		Fingerprint:    fp,
 		ArtifactSchema: artifactSchema,
-		PayloadSHA256:  HashBytes(payload),
+		PayloadSHA256:  sha,
 		PayloadBytes:   int64(len(payload)),
+		PayloadFile:    pf,
 		// CreatedUnix is provenance metadata about when this machine wrote
 		// the artifact; it is deliberately outside the fingerprint (which is
 		// computed from the design inputs above) so rebuilding an identical
@@ -158,10 +206,30 @@ func (s *Store) Put(kind, fp string, artifactSchema int, payload []byte) (Manife
 	if err != nil {
 		return Manifest{}, fmt.Errorf("store: put manifest encode: %w", err)
 	}
-	if err := WriteFileAtomic(filepath.Join(dir, "manifest.json"), mb, 0o644); err != nil {
+	if err := writeFileAtomicFS(s.fsys, filepath.Join(dir, "manifest.json"), mb, 0o644); err != nil {
 		return Manifest{}, fmt.Errorf("store: put manifest: %w", err)
 	}
+	s.sweepStale(dir, pf)
 	return m, nil
+}
+
+// sweepStale removes superseded payload files and orphaned temp files from
+// a just-committed artifact directory. Strictly best-effort: the files it
+// targets are unreferenced by the committed manifest, so failing to remove
+// them (or a crash resurrecting them) costs disk, not correctness.
+func (s *Store) sweepStale(dir, keep string) {
+	ents, err := s.fsys.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || name == "manifest.json" || name == keep {
+			continue
+		}
+		//lint:ignore errdrop best-effort sweep of unreferenced files; Get never reads them
+		_ = s.fsys.Remove(filepath.Join(dir, name))
+	}
 }
 
 // corrupt wraps a verification failure with its cause.
@@ -177,7 +245,7 @@ func (s *Store) Get(kind, fp string) ([]byte, Manifest, error) {
 		return nil, Manifest{}, err
 	}
 	dir := s.objectDir(kind, fp)
-	mb, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	mb, err := s.fsys.ReadFile(filepath.Join(dir, "manifest.json"))
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil, Manifest{}, fmt.Errorf("%w: %s/%s", ErrNotFound, kind, fp)
 	}
@@ -194,7 +262,10 @@ func (s *Store) Get(kind, fp string) ([]byte, Manifest, error) {
 	if m.Kind != kind || m.Fingerprint != fp {
 		return nil, Manifest{}, corrupt(kind, fp, "manifest key mismatch")
 	}
-	payload, err := os.ReadFile(filepath.Join(dir, "payload.json"))
+	if !validPayloadFile(m.payloadFile()) {
+		return nil, Manifest{}, corrupt(kind, fp, "manifest payload_file invalid")
+	}
+	payload, err := s.fsys.ReadFile(filepath.Join(dir, m.payloadFile()))
 	if err != nil {
 		return nil, Manifest{}, corrupt(kind, fp, "payload unreadable: "+err.Error())
 	}
@@ -214,12 +285,23 @@ func (s *Store) Has(kind, fp string) bool {
 }
 
 // Delete removes the artifact under (kind, fp); deleting a missing artifact
-// is not an error.
+// is not an error. The manifest — the commit marker — is removed first and
+// made durable before the rest of the directory goes, so a crash mid-delete
+// leaves the artifact either fully committed or cleanly absent, never a
+// manifest describing missing bytes.
 func (s *Store) Delete(kind, fp string) error {
 	if err := validKey(kind, fp); err != nil {
 		return err
 	}
-	if err := os.RemoveAll(s.objectDir(kind, fp)); err != nil {
+	dir := s.objectDir(kind, fp)
+	if err := s.fsys.Remove(filepath.Join(dir, "manifest.json")); err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("store: delete: %w", err)
+		}
+	} else if err := s.fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("store: delete: %w", err)
+	}
+	if err := s.fsys.RemoveAll(dir); err != nil {
 		return fmt.Errorf("store: delete: %w", err)
 	}
 	return nil
@@ -234,7 +316,7 @@ func (s *Store) List(kind string) ([]string, error) {
 		return nil, err
 	}
 	kindDir := filepath.Join(s.root, "objects", kind)
-	fans, err := os.ReadDir(kindDir)
+	fans, err := s.fsys.ReadDir(kindDir)
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil, nil
 	}
@@ -246,7 +328,7 @@ func (s *Store) List(kind string) ([]string, error) {
 		if !fan.IsDir() {
 			continue
 		}
-		ents, err := os.ReadDir(filepath.Join(kindDir, fan.Name()))
+		ents, err := s.fsys.ReadDir(filepath.Join(kindDir, fan.Name()))
 		if err != nil {
 			return nil, fmt.Errorf("store: list: %w", err)
 		}
@@ -255,7 +337,7 @@ func (s *Store) List(kind string) ([]string, error) {
 			if !e.IsDir() || validKey(kind, fp) != nil {
 				continue
 			}
-			if _, err := os.Stat(filepath.Join(kindDir, fan.Name(), fp, "manifest.json")); err == nil {
+			if _, err := s.fsys.Stat(filepath.Join(kindDir, fan.Name(), fp, "manifest.json")); err == nil {
 				fps = append(fps, fp)
 			}
 		}
@@ -271,7 +353,7 @@ func (s *Store) CheckpointPath(kind, fp string) (string, error) {
 		return "", err
 	}
 	dir := filepath.Join(s.root, "checkpoints", kind)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := s.fsys.MkdirAll(dir, 0o755); err != nil {
 		return "", fmt.Errorf("store: checkpoint dir: %w", err)
 	}
 	return filepath.Join(dir, fp+".ckpt"), nil
@@ -296,25 +378,36 @@ func Fingerprint(kind string, req any) (string, error) {
 	return HashBytes(append(append([]byte(kind), 0), b...)), nil
 }
 
-// WriteFileAtomic durably writes data to path: temp file in the same
-// directory, fsync, atomic rename over the target, then fsync of the
-// directory so the rename itself survives a crash. A reader concurrently
-// opening path sees either the old contents or the new, never a torn write.
+// WriteFileAtomic durably writes data to path on the real filesystem: temp
+// file in the same directory, fsync, atomic rename over the target, then
+// fsync of the directory so the rename itself survives a crash. A reader
+// concurrently opening path sees either the old contents or the new, never
+// a torn write.
 func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	return writeFileAtomicFS(OS, path, data, perm)
+}
+
+// writeFileAtomicFS is WriteFileAtomic over an explicit filesystem.
+func writeFileAtomicFS(fsys FS, path string, data []byte, perm os.FileMode) error {
 	dir := filepath.Dir(path)
-	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-")
+	f, tmp, err := fsys.CreateTemp(dir, "."+filepath.Base(path)+".tmp-")
 	if err != nil {
 		return err
 	}
-	tmp := f.Name()
 	// On any failure past this point, remove the orphan temp file; its
 	// removal failing is unactionable (the next Open still works).
 	fail := func(err error) error {
 		//lint:ignore errdrop best-effort cleanup of the temp file after the real error
-		_ = os.Remove(tmp)
+		_ = fsys.Remove(tmp)
 		return err
 	}
-	if _, err := f.Write(data); err != nil {
+	n, err := f.Write(data)
+	if err == nil && n != len(data) {
+		// A short write with a nil error violates io.Writer, but a faulty
+		// filesystem is exactly what this layer must not trust.
+		err = io.ErrShortWrite
+	}
+	if err != nil {
 		//lint:ignore errdrop the write error is the one to report
 		_ = f.Close()
 		return fail(err)
@@ -327,25 +420,11 @@ func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 	if err := f.Close(); err != nil {
 		return fail(err)
 	}
-	if err := os.Chmod(tmp, perm); err != nil {
+	if err := fsys.Chmod(tmp, perm); err != nil {
 		return fail(err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := fsys.Rename(tmp, path); err != nil {
 		return fail(err)
 	}
-	return syncDir(dir)
-}
-
-// syncDir fsyncs a directory so a just-committed rename is durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	serr := d.Sync()
-	cerr := d.Close()
-	if serr != nil {
-		return serr
-	}
-	return cerr
+	return fsys.SyncDir(dir)
 }

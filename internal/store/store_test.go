@@ -1,6 +1,7 @@
 package store
 
 import (
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
@@ -45,12 +46,79 @@ func TestPutGetRoundTrip(t *testing.T) {
 	}
 	// Overwrite replaces atomically.
 	payload2 := []byte(`{"schema":1,"x":[9]}` + "\n")
-	if _, err := s.Put(KindEval, fp, SchemaVersion, payload2); err != nil {
+	m2, err := s.Put(KindEval, fp, SchemaVersion, payload2)
+	if err != nil {
 		t.Fatal(err)
 	}
 	got, _, err = s.Get(KindEval, fp)
 	if err != nil || string(got) != string(payload2) {
 		t.Fatalf("overwrite not visible: %q, %v", got, err)
+	}
+	// The superseded payload file was swept: only the manifest and the
+	// committed payload remain.
+	ents, err := os.ReadDir(s.objectDir(KindEval, fp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.Name() != "manifest.json" && e.Name() != m2.payloadFile() {
+			t.Errorf("stale file %q survived the post-commit sweep", e.Name())
+		}
+	}
+	if len(ents) != 2 {
+		t.Fatalf("object dir has %d entries, want manifest + payload", len(ents))
+	}
+}
+
+// TestLegacyPayloadLayoutReadable pins read compatibility with stores
+// written before the content-named payload layout: a manifest without
+// payload_file reads the plain payload.json beside it.
+func TestLegacyPayloadLayoutReadable(t *testing.T) {
+	s := testStore(t)
+	fp := HashBytes([]byte("legacy"))
+	payload := []byte(`{"v":"legacy"}` + "\n")
+	dir := s.objectDir(KindEval, fp)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	m := Manifest{
+		Schema:         ManifestSchema,
+		Kind:           KindEval,
+		Fingerprint:    fp,
+		ArtifactSchema: SchemaVersion,
+		PayloadSHA256:  HashBytes(payload),
+		PayloadBytes:   int64(len(payload)),
+		CreatedUnix:    1,
+	}
+	mb, err := json.Marshal(&m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "payload.json"), payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), mb, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, gm, err := s.Get(KindEval, fp)
+	if err != nil || string(got) != string(payload) {
+		t.Fatalf("legacy artifact unreadable: %q, %v", got, err)
+	}
+	if gm.payloadFile() != "payload.json" {
+		t.Fatalf("legacy manifest resolved payload file %q", gm.payloadFile())
+	}
+	// A manifest whose payload_file tries to escape the slot is corrupt,
+	// not followed.
+	m.PayloadFile = "../../../etc/passwd"
+	mb, err = json.Marshal(&m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), mb, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get(KindEval, fp); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("escaping payload_file: got %v, want ErrCorrupt", err)
 	}
 }
 
@@ -66,10 +134,11 @@ func TestGetDetectsCorruption(t *testing.T) {
 	s := testStore(t)
 	fp := HashBytes([]byte("req"))
 	payload := []byte(`{"v":1}` + "\n")
-	if _, err := s.Put(KindDesign, fp, SchemaVersion, payload); err != nil {
+	m, err := s.Put(KindDesign, fp, SchemaVersion, payload)
+	if err != nil {
 		t.Fatal(err)
 	}
-	pp := filepath.Join(s.objectDir(KindDesign, fp), "payload.json")
+	pp := filepath.Join(s.objectDir(KindDesign, fp), m.payloadFile())
 
 	// Flipped payload byte: hash mismatch.
 	bad := append([]byte{}, payload...)
@@ -112,7 +181,8 @@ func TestManifestKeyMismatchIsCorrupt(t *testing.T) {
 	fpA := HashBytes([]byte("a"))
 	fpB := HashBytes([]byte("b"))
 	payload := []byte("{}\n")
-	if _, err := s.Put(KindEval, fpA, SchemaVersion, payload); err != nil {
+	m, err := s.Put(KindEval, fpA, SchemaVersion, payload)
+	if err != nil {
 		t.Fatal(err)
 	}
 	// Copy A's object directory under B's key: the embedded fingerprint no
@@ -121,7 +191,7 @@ func TestManifestKeyMismatchIsCorrupt(t *testing.T) {
 	if err := os.MkdirAll(dstDir, 0o755); err != nil {
 		t.Fatal(err)
 	}
-	for _, f := range []string{"payload.json", "manifest.json"} {
+	for _, f := range []string{m.payloadFile(), "manifest.json"} {
 		b, err := os.ReadFile(filepath.Join(srcDir, f))
 		if err != nil {
 			t.Fatal(err)

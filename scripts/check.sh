@@ -3,8 +3,10 @@
 #
 # Runs, in order: build, go vet, the repo's own static-analysis pass
 # (tcrlint), the unit tests under the race detector, the fault-injection
-# suite (-tags lpchaos), and a short fuzz smoke over the fuzz targets.
-# Any failure aborts with a nonzero exit.
+# suites (-tags lpchaos for the solver, -tags storechaos for the storage
+# crash-consistency harness), the daemon e2e and client retry suites, and
+# a short fuzz smoke over the fuzz targets. Any failure aborts with a
+# nonzero exit.
 #
 # Usage: scripts/check.sh [fuzztime]
 #   fuzztime   duration for each fuzz smoke (default 5s; "0" skips fuzzing)
@@ -28,8 +30,14 @@ go test -race -short -timeout 30m ./...
 echo "==> go test -tags lpchaos ./internal/... (fault injection)"
 go test -tags lpchaos -timeout 10m ./internal/...
 
+echo "==> storage chaos + crash-consistency harness (-tags storechaos, race)"
+go test -race -count=1 -tags "storechaos lpchaos" -timeout 10m ./internal/store ./internal/serve
+
 echo "==> daemon e2e (artifact store + tcrd serving path + CLI parity, race)"
 go test -race -count=1 -timeout 10m ./internal/store ./internal/serve ./cmd/tcr
+
+echo "==> client retry/backoff/hedging suite (race)"
+go test -race -count=1 -timeout 5m ./internal/client
 
 echo "==> bench smoke (-benchtime=1x)"
 go test . -run '^$' -bench BenchmarkFigure1ParetoCurve -benchtime 1x >/dev/null
