@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint chaos chaos-store fuzz bench ci
+.PHONY: build test race lint chaos chaos-store online fuzz bench ci
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,12 @@ chaos:
 # every filesystem operation of the commit protocol), race-enabled.
 chaos-store:
 	$(GO) test -race -count=1 -tags "storechaos lpchaos" -timeout 10m ./internal/store ./internal/serve
+
+# online runs the online-design-loop suite: observe ingestion, the
+# drift-and-retune e2e, restart resume, and the re-solve-failure chaos case.
+online:
+	$(GO) test -race -count=1 -run 'Online|Observe' -timeout 10m ./internal/serve ./internal/online
+	$(GO) test -tags lpchaos -count=1 -run 'OnlineResolveFailureChaos' -timeout 10m ./internal/serve
 
 fuzz:
 	$(GO) test ./internal/lp -run='^$$' -fuzz=FuzzReadMPS -fuzztime=5s

@@ -76,6 +76,8 @@ func main() {
 		err = cmdLoadMap(args)
 	case "remote":
 		err = cmdRemote(ctx, args)
+	case "observe":
+		err = cmdObserve(ctx, args)
 	default:
 		usage()
 		os.Exit(exitUsage)
@@ -106,7 +108,7 @@ func exitCode(err error) int {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: tcr <eval|figure1|figure4|figure5|figure6|approx|sim|worstperm|design|loadmap|remote> [flags]
+	fmt.Fprintln(os.Stderr, `usage: tcr <eval|figure1|figure4|figure5|figure6|approx|sim|worstperm|design|loadmap|remote|observe> [flags]
 run "tcr <subcommand> -h" for flags`)
 }
 

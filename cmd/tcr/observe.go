@@ -1,0 +1,121 @@
+package main
+
+// tcr observe streams flow samples into a running tcrd daemon's online
+// design loop: NDJSON lines ({"src":i,"dst":j,"count":c}, count optional)
+// read from a file or stdin, batched into /v1/observe requests under one
+// tenant. Each batch's controller decision is reported on stderr as it
+// lands — drift, operating point, and any re-solve trip — and the final
+// batch's response is emitted as JSON on stdout so pipelines can gate on
+// the loop's state.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"tcr/internal/client"
+	"tcr/internal/online"
+)
+
+func cmdObserve(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("observe", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:7421", "tcrd base URL")
+	tenant := fs.String("tenant", "default", "tenant the samples belong to")
+	in := fs.String("in", "-", `NDJSON sample file ("-" = stdin)`)
+	batch := fs.Int("batch", client.DefaultObserveBatch, "samples per request")
+	attempts := fs.Int("attempts", 4, "attempts per batch (retries on 429/5xx and transport errors)")
+	backoff := fs.Duration("backoff", 100*time.Millisecond, "base retry backoff, doubled per retry and jittered; Retry-After floors it")
+	timeout := fs.Duration("timeout", 0, "overall budget for the whole stream (0 = none)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		//lint:ignore errdrop read-only file, close error carries no data loss
+		defer f.Close()
+		r = f
+	}
+	c, err := client.New(client.Config{
+		BaseURL:     *addr,
+		MaxAttempts: *attempts,
+		BaseBackoff: *backoff,
+	})
+	if err != nil {
+		return err
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	// Stream: fill one batch from the input, ship it, repeat — the whole
+	// sample file never has to fit in memory.
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	buf := make([]online.Sample, 0, *batch)
+	var last *client.ObserveResult
+	batches, total := 0, 0
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		results, meta, err := c.Observe(ctx, *tenant, buf, *batch)
+		if err != nil {
+			return fmt.Errorf("observe (after %d attempt(s)): %w", meta.Attempts, err)
+		}
+		for i := range results {
+			res := results[i]
+			batches++
+			total += res.Accepted
+			fmt.Fprintf(os.Stderr, "tcr observe: batch %d: accepted=%d rejected=%d drift=%.3f target_hnorm=%g trip=%v resolving=%v\n",
+				batches, res.Accepted, res.Rejected, res.Drift, res.TargetHNorm, res.Trip, res.Resolving)
+			last = &res
+		}
+		buf = buf[:0]
+		return nil
+	}
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var smp online.Sample
+		if err := json.Unmarshal(raw, &smp); err != nil {
+			return fmt.Errorf("%s:%d: malformed sample: %w", *in, line, err)
+		}
+		buf = append(buf, smp)
+		if len(buf) >= *batch {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	if last == nil {
+		return fmt.Errorf("no samples in %s", *in)
+	}
+	fmt.Fprintf(os.Stderr, "tcr observe: %d sample(s) in %d batch(es) accepted\n", total, batches)
+	out, err := json.Marshal(last)
+	if err != nil {
+		return err
+	}
+	return emit(append(out, '\n'))
+}

@@ -12,6 +12,12 @@
 //	POST /v1/design      LP routing design ("kind":"wcopt"|"minloc";
 //	                     add "async":true for the job API)
 //	POST /v1/pareto      worst-case throughput/locality Pareto sweep
+//	POST /v1/observe     NDJSON flow samples ({"src":i,"dst":j,"count":c}
+//	                     per line; X-TCR-Tenant names the tenant) feeding
+//	                     the online design loop
+//	GET  /v1/online/{tenant}         estimator + controller status
+//	GET  /v1/online/{tenant}/design  the tenant's published design (served
+//	                     stale with X-TCR-Degraded: re-solving mid-re-solve)
 //	GET  /v1/jobs/{id}           poll an async job
 //	GET  /v1/jobs/{id}/result    fetch its stored artifact
 //	GET  /healthz        liveness (503 while draining)
@@ -60,6 +66,13 @@ func main() {
 	breakerCooloff := fs.Duration("breaker-cooloff", 0, "open-breaker interval before a probe solve is admitted (0 = default 30s)")
 	jobTTL := fs.Duration("job-ttl", 0, "age after which finished async jobs are evicted from the jobs map (0 = default 1h)")
 	jobMax := fs.Int("job-max", 0, "finished async jobs kept beyond the TTL bound (0 = default 1024)")
+	onlineK := fs.Int("online-k", 0, "torus radix the online design loop re-solves for (0 = default 4)")
+	onlineSeed := fs.Uint64("online-seed", 0, "seed for the online traffic sketches")
+	driftThreshold := fs.Float64("drift-threshold", 0, "estimate-vs-served drift that trips a re-solve (0 = default 0.25)")
+	onlineCooloff := fs.Int("online-cooloff", 0, "observe batches between re-solves (0 = default 2)")
+	onlineMinSamples := fs.Float64("online-min-samples", 0, "sample mass required before controller decisions (0 = default 64)")
+	onlineHMax := fs.Float64("online-hmax", 0, "top of the online locality operating grid (0 = default 1.5)")
+	onlineHSteps := fs.Int("online-hsteps", 0, "points on the online locality operating grid (0 = default 5)")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
@@ -77,6 +90,13 @@ func main() {
 		BreakerCooloff:   *breakerCooloff,
 		JobTTL:           *jobTTL,
 		JobMaxDone:       *jobMax,
+		OnlineK:          *onlineK,
+		OnlineSeed:       *onlineSeed,
+		DriftThreshold:   *driftThreshold,
+		OnlineCooloff:    *onlineCooloff,
+		OnlineMinSamples: *onlineMinSamples,
+		OnlineHMax:       *onlineHMax,
+		OnlineHSteps:     *onlineHSteps,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tcrd:", err)

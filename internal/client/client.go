@@ -216,11 +216,24 @@ func (c *Client) Pareto(ctx context.Context, req store.ParetoRequest, maxRounds 
 // CLI's -json mode emits. encodeReq is re-invoked per attempt with the
 // current remaining budget.
 func (c *Client) Raw(ctx context.Context, path string, encodeReq func(timeoutMS int64) ([]byte, error)) ([]byte, Meta, error) {
-	return c.do(ctx, path, encodeReq)
+	return c.do(ctx, wireReq{path: path, encode: encodeReq})
+}
+
+// wireReq is one logical request the retry engine replays: the JSON default
+// suits every artifact endpoint; the observe path overrides the content
+// type (NDJSON) and adds the tenant header.
+type wireReq struct {
+	path        string
+	contentType string // default application/json
+	header      http.Header
+	encode      func(timeoutMS int64) ([]byte, error)
+	// noHedge disables hedging for requests that are not idempotent (an
+	// observe batch ingested twice counts twice).
+	noHedge bool
 }
 
 func (c *Client) doJSON(ctx context.Context, path string, encode func(int64) ([]byte, error), out any) (Meta, error) {
-	b, meta, err := c.do(ctx, path, encode)
+	b, meta, err := c.do(ctx, wireReq{path: path, encode: encode})
 	if err != nil {
 		return meta, err
 	}
@@ -242,11 +255,11 @@ type attemptResult struct {
 // do is the retry engine: attempts (hedged when configured) with jittered
 // exponential backoff between them, Retry-After respected, the context's
 // shrinking budget re-encoded into every attempt.
-func (c *Client) do(ctx context.Context, path string, encode func(int64) ([]byte, error)) ([]byte, Meta, error) {
+func (c *Client) do(ctx context.Context, wr wireReq) ([]byte, Meta, error) {
 	max := c.cfg.maxAttempts()
 	var last attemptResult
 	for attempt := 1; attempt <= max; attempt++ {
-		last = c.attempt(ctx, path, encode)
+		last = c.attempt(ctx, wr)
 		last.meta.Attempts = attempt
 		if last.err == nil {
 			return last.payload, last.meta, nil
@@ -259,7 +272,7 @@ func (c *Client) do(ctx context.Context, path string, encode func(int64) ([]byte
 			wait = last.retryAfter
 		}
 		if err := c.sleep(ctx, wait); err != nil {
-			return nil, last.meta, fmt.Errorf("client: %s: %w (last attempt: %v)", path, err, last.err)
+			return nil, last.meta, fmt.Errorf("client: %s: %w (last attempt: %v)", wr.path, err, last.err)
 		}
 	}
 	return nil, last.meta, last.err
@@ -268,22 +281,22 @@ func (c *Client) do(ctx context.Context, path string, encode func(int64) ([]byte
 // attempt runs one (possibly hedged) attempt under the per-attempt
 // timeout. With hedging, the first response wins: a success cancels the
 // other leg; if both legs fail the first failure is reported.
-func (c *Client) attempt(ctx context.Context, path string, encode func(int64) ([]byte, error)) attemptResult {
+func (c *Client) attempt(ctx context.Context, wr wireReq) attemptResult {
 	actx := ctx
 	cancel := context.CancelFunc(func() {})
 	if c.cfg.AttemptTimeout > 0 {
 		actx, cancel = context.WithTimeout(ctx, c.cfg.AttemptTimeout)
 	}
 	defer cancel()
-	if c.cfg.HedgeDelay <= 0 {
-		return c.once(actx, path, encode)
+	if c.cfg.HedgeDelay <= 0 || wr.noHedge {
+		return c.once(actx, wr)
 	}
 
 	hctx, hcancel := context.WithCancel(actx)
 	defer hcancel()
 	ch := make(chan attemptResult, 2)
 	launch := func() {
-		go func() { ch <- c.once(hctx, path, encode) }()
+		go func() { ch <- c.once(hctx, wr) }()
 	}
 	launch()
 	launched := 1
@@ -317,7 +330,8 @@ func (c *Client) attempt(ctx context.Context, path string, encode func(int64) ([
 
 // once performs a single HTTP exchange, propagating the remaining context
 // budget (minus margin) as the wire timeout_ms.
-func (c *Client) once(ctx context.Context, path string, encode func(int64) ([]byte, error)) attemptResult {
+func (c *Client) once(ctx context.Context, wr wireReq) attemptResult {
+	path := wr.path
 	var tms int64
 	if dl, ok := ctx.Deadline(); ok {
 		rem := time.Until(dl) - c.cfg.budgetMargin()
@@ -329,7 +343,7 @@ func (c *Client) once(ctx context.Context, path string, encode func(int64) ([]by
 			tms = 1
 		}
 	}
-	body, err := encode(tms)
+	body, err := wr.encode(tms)
 	if err != nil {
 		return attemptResult{err: fmt.Errorf("client: %s: encode: %w", path, err)}
 	}
@@ -337,7 +351,16 @@ func (c *Client) once(ctx context.Context, path string, encode func(int64) ([]by
 	if err != nil {
 		return attemptResult{err: fmt.Errorf("client: %s: %w", path, err)}
 	}
-	req.Header.Set("Content-Type", "application/json")
+	ct := wr.contentType
+	if ct == "" {
+		ct = "application/json"
+	}
+	req.Header.Set("Content-Type", ct)
+	for k, vs := range wr.header {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		// Transport failures are retryable unless the caller's context is

@@ -1,0 +1,98 @@
+package client
+
+// Observe streams flow samples into the daemon's online design loop. The
+// wire format is NDJSON — one {"src":i,"dst":j,"count":c} object per line —
+// batched so a long stream becomes bounded requests that ride the client's
+// usual retry machinery: 429 answers wait out Retry-After and retry, which
+// is safe because a rejected batch was never ingested. A transport failure
+// after ingestion (response lost) can double-count one batch on retry;
+// the estimator's windowed decay forgets the skew, so streaming favors
+// delivery over exactness. Hedging is disabled here for the same reason —
+// observe is the one daemon request that is not idempotent.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"tcr/internal/online"
+)
+
+// DefaultObserveBatch is the samples-per-request ceiling Observe uses when
+// the caller passes batchSize <= 0.
+const DefaultObserveBatch = 1000
+
+// ObserveResult mirrors the daemon's per-batch observe response: ingestion
+// counts, the estimator's drift, and the controller's decision.
+type ObserveResult struct {
+	Tenant       string  `json:"tenant"`
+	Accepted     int     `json:"accepted"`
+	Rejected     int     `json:"rejected"`
+	RejectReason string  `json:"reject_reason,omitempty"`
+	Ingested     float64 `json:"ingested"`
+	Drift        float64 `json:"drift"`
+	TargetHNorm  float64 `json:"target_hnorm"`
+	Trip         bool    `json:"trip"`
+	Resolving    bool    `json:"resolving"`
+	ServedFP     string  `json:"served_fp,omitempty"`
+	ServedHNorm  float64 `json:"served_hnorm,omitempty"`
+	Armed        bool    `json:"armed"`
+	Cooloff      int     `json:"cooloff,omitempty"`
+}
+
+// Observe sends samples to /v1/observe in batches of batchSize (0 selects
+// DefaultObserveBatch) under tenant, returning one result per batch. On a
+// mid-stream failure the results so far are returned alongside the error,
+// so the caller knows how much of the stream landed.
+func (c *Client) Observe(ctx context.Context, tenant string, samples []online.Sample, batchSize int) ([]ObserveResult, Meta, error) {
+	if batchSize <= 0 {
+		batchSize = DefaultObserveBatch
+	}
+	hdr := http.Header{}
+	if tenant != "" {
+		hdr.Set("X-TCR-Tenant", tenant)
+	}
+	var (
+		out  []ObserveResult
+		meta Meta
+	)
+	for start := 0; start < len(samples); start += batchSize {
+		body, err := encodeNDJSON(samples[start:min(start+batchSize, len(samples))])
+		if err != nil {
+			return out, meta, err
+		}
+		payload, m, err := c.do(ctx, wireReq{
+			path:        "/v1/observe",
+			contentType: "application/x-ndjson",
+			header:      hdr,
+			encode:      func(int64) ([]byte, error) { return body, nil },
+			noHedge:     true,
+		})
+		meta = m
+		if err != nil {
+			return out, meta, fmt.Errorf("client: observe batch at sample %d: %w", start, err)
+		}
+		var r ObserveResult
+		if err := json.Unmarshal(payload, &r); err != nil {
+			return out, meta, fmt.Errorf("client: /v1/observe: undecodable response: %w", err)
+		}
+		out = append(out, r)
+	}
+	return out, meta, nil
+}
+
+// encodeNDJSON renders one batch as newline-delimited JSON objects.
+func encodeNDJSON(samples []online.Sample) ([]byte, error) {
+	var b bytes.Buffer
+	for _, s := range samples {
+		line, err := json.Marshal(s)
+		if err != nil {
+			return nil, err
+		}
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	return b.Bytes(), nil
+}

@@ -7,6 +7,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"tcr/internal/store"
 	"tcr/internal/topo"
@@ -178,6 +179,103 @@ func (p *FlowLP) restoreCheckpoint() (round, iters int, ok bool) {
 	}
 	p.solver.SetPricingCursor(ck.Cursor)
 	return ck.Round, ck.Iters, true
+}
+
+// stripLoc removes the locality component from a checkpoint signature.
+// Permutation and lazy pair cuts bound channel loads independently of the
+// H_avg budget (the Pareto sweep reuses one LP across targets on exactly
+// this property), so a warm start may accept a snapshot whose run differed
+// only in its locality target.
+func stripLoc(sig string) string {
+	if i := strings.Index(sig, " loc="); i >= 0 {
+		return sig[:i]
+	}
+	return sig
+}
+
+// writeFinalSnapshot persists the cut loop's state at certification to
+// Options.FinalSnapshot for a later run to warm-start from. Same layout and
+// integrity seal as a checkpoint; Round/Iters record the certified run's
+// totals (informational — a warm start restarts the round count at zero).
+func (p *FlowLP) writeFinalSnapshot(round, iters int) error {
+	if p.opts.FinalSnapshot == "" || !p.serializable() {
+		return nil
+	}
+	if err := p.solver.RefreshFactors(); err != nil {
+		return fmt.Errorf("design: final-snapshot barrier: %w", err)
+	}
+	ck := checkpoint{
+		Sig:     p.sig(),
+		Round:   round,
+		Iters:   iters,
+		Cuts:    p.cutLog,
+		Basis:   p.solver.Basis(),
+		Cursor:  p.solver.PricingCursor(),
+		AtUpper: p.solver.AtUpperSet(),
+	}
+	if ck.Cuts == nil {
+		ck.Cuts = []cutEntry{}
+	}
+	data, err := ck.seal()
+	if err != nil {
+		return fmt.Errorf("design: final-snapshot encode: %w", err)
+	}
+	if err := os.MkdirAll(filepath.Dir(p.opts.FinalSnapshot), 0o755); err != nil {
+		return fmt.Errorf("design: final-snapshot dir: %w", err)
+	}
+	if err := store.WriteFileAtomic(p.opts.FinalSnapshot, data, 0o644); err != nil {
+		return fmt.Errorf("design: final-snapshot write: %w", err)
+	}
+	return nil
+}
+
+// restoreWarmStart installs the Options.WarmFrom snapshot into a fresh cut
+// loop: replay the prior run's cuts, install its basis, at-upper set, and
+// pricing cursor, then re-aim the locality row (if any) at this run's
+// target — the recorded locality retargets are replayed as-is and the fresh
+// retarget, appended through the cut log, overwrites them exactly as a
+// Pareto sweep's SetLocality does. The signature must match up to the
+// locality component; anything unusable (torn file, failed integrity hash,
+// foreign formulation, corrupt basis) means a cold start, never a wrong
+// warm one. ok is informational; callers may ignore it.
+func (p *FlowLP) restoreWarmStart() (ok bool) {
+	if p.opts.WarmFrom == "" {
+		return false
+	}
+	data, err := os.ReadFile(p.opts.WarmFrom)
+	if err != nil {
+		return false
+	}
+	var ck checkpoint
+	if err := json.Unmarshal(data, &ck); err != nil || !ck.verify() {
+		return false
+	}
+	if stripLoc(ck.Sig) != stripLoc(p.sig()) {
+		return false
+	}
+	for _, e := range ck.Cuts {
+		if e.Kind == cutMatrix || (e.Kind == cutPair && (e.Block < 0 || e.Block >= len(p.blocks))) {
+			return false
+		}
+	}
+	savedLog := p.cutLog
+	p.cutLog = append([]cutEntry(nil), ck.Cuts...)
+	p.rebuildSolver()
+	if err := p.solver.SetAtUpperSet(ck.AtUpper); err != nil {
+		p.cutLog = savedLog
+		p.rebuildSolver()
+		return false
+	}
+	if err := p.solver.InstallBasis(ck.Basis); err != nil {
+		p.cutLog = savedLog
+		p.rebuildSolver()
+		return false
+	}
+	p.solver.SetPricingCursor(ck.Cursor)
+	if p.hasH {
+		p.record(cutEntry{Kind: cutLoc, Val: p.locNorm})
+	}
+	return true
 }
 
 // clearCheckpoint removes the checkpoint after a certified finish, so a

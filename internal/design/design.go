@@ -138,6 +138,22 @@ type Options struct {
 	// CheckpointEvery is the snapshot cadence in cutting-plane rounds
 	// (default 1: every round).
 	CheckpointEvery int
+	// WarmFrom, when non-empty, is a final-state snapshot (written by an
+	// earlier run via FinalSnapshot) the worst-case cut loops warm-start
+	// from when no Checkpoint resumes: the prior run's cuts, simplex basis,
+	// and pricing cursor are installed before round zero. Permutation and
+	// pair cuts are valid for every locality target, so the snapshot is
+	// accepted across differing targets (the sig match relaxes only the
+	// locality component) and the locality row is re-aimed at this run's
+	// target after the restore. Unlike a checkpoint resume, a warm start
+	// begins counting rounds at zero — the round count reports the
+	// incremental work. A snapshot that fails integrity or formulation
+	// checks is ignored and the loop starts cold.
+	WarmFrom string
+	// FinalSnapshot, when non-empty, is a file path the worst-case cut
+	// loops write their final state to on certification (atomic write),
+	// for a later run to warm-start from via WarmFrom.
+	FinalSnapshot string
 }
 
 // ErrUncertified marks a design outcome whose budgets (rounds, iterations,
@@ -540,6 +556,8 @@ func (p *FlowLP) solveWorstCase(ctx context.Context) (*Result, error) {
 	startRound := 0
 	if r, it, ok := p.restoreCheckpoint(); ok {
 		startRound, res.Iterations = r, it
+	} else {
+		p.restoreWarmStart()
 	}
 	// The best iterate so far — the one with the smallest exact
 	// (oracle-evaluated) worst-case load — backs graceful degradation.
@@ -616,6 +634,9 @@ func (p *FlowLP) solveWorstCase(ctx context.Context) (*Result, error) {
 			}
 			res.HAvg = flow.HAvg()
 			res.HNorm = flow.HNorm()
+			if err := p.writeFinalSnapshot(res.Rounds, res.Iterations); err != nil {
+				return nil, err
+			}
 			if err := p.clearCheckpoint(); err != nil {
 				return nil, err
 			}
@@ -730,8 +751,10 @@ func WorstCaseParetoCurveCtx(ctx context.Context, t topo.Topology, hNorms []floa
 	// Sweeps cannot degrade gracefully (a curve with silently uncertified
 	// points is worse than no curve) and must not share one checkpoint
 	// file across points, so checkpointing is disabled and an uncertified
-	// point surfaces as an ErrUncertified-wrapping error.
+	// point surfaces as an ErrUncertified-wrapping error. The same sharing
+	// hazard disables the warm-start snapshot paths.
 	opts.Checkpoint = ""
+	opts.WarmFrom, opts.FinalSnapshot = "", ""
 	cap := eval.NetworkCapacity(t)
 	if par.Workers(opts.Workers) > 1 {
 		out := make([]ParetoPoint, len(hNorms))

@@ -233,6 +233,8 @@ func (q *potentialLP) solve(ctx context.Context, fixedBound float64) (*Result, e
 	startRound, cumIters := 0, 0
 	if r, it, ok := p.restoreCheckpoint(); ok {
 		startRound, cumIters = r, it
+	} else {
+		p.restoreWarmStart()
 	}
 	var bestFlow *eval.Flow
 	var bestObj, bestGW float64
@@ -315,6 +317,9 @@ func (q *potentialLP) solve(ctx context.Context, fixedBound float64) (*Result, e
 			}
 			res.HAvg = flow.HAvg()
 			res.HNorm = flow.HNorm()
+			if err := p.writeFinalSnapshot(res.Rounds, res.Iterations); err != nil {
+				return nil, err
+			}
 			if err := p.clearCheckpoint(); err != nil {
 				return nil, err
 			}

@@ -37,6 +37,12 @@ var deterministicPkgs = []string{
 	"/internal/design",
 	"/internal/topo",
 	"/internal/store",
+	// The online loop's reproducibility contract — a fixed sample stream
+	// reproduces the estimate and every controller decision bit for bit —
+	// makes clock reads and unseeded randomness bugs in the traffic models
+	// and the sketch/decay/controller machinery.
+	"/internal/traffic",
+	"/internal/online",
 }
 
 func inDeterministicPackage(path string) bool {

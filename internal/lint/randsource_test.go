@@ -3,7 +3,8 @@ package lint
 import "testing"
 
 // randsource is path-scoped: the same statements are findings inside the
-// deterministic core (internal/lp, design, topo, store) and clean elsewhere.
+// deterministic core (internal/lp, design, topo, store, traffic, online)
+// and clean elsewhere.
 
 func TestRandSourceClockAndGlobalRand(t *testing.T) {
 	got := runOn(t, "x/internal/lp", `package lp
@@ -81,6 +82,44 @@ func age(t0 time.Time) time.Duration {
 }
 `)
 	expect(t, got, "6:randsource")
+}
+
+// The online design loop's packages are inside the wall: wall-clock decay
+// or unseeded hashing would break the replay contract (a restarted daemon
+// must reproduce its predecessor's estimates from the same stream).
+func TestRandSourceOnlineScoped(t *testing.T) {
+	got := runOn(t, "x/internal/online", `package online
+
+import (
+	"math/rand"
+	"time"
+)
+
+// A wall-clock-keyed decay would make estimates irreproducible.
+func decayWeight(t0 time.Time) float64 {
+	age := time.Since(t0)
+	_ = age
+	return rand.Float64()
+}
+`)
+	expect(t, got, "10:randsource", "12:randsource")
+}
+
+func TestRandSourceTrafficScoped(t *testing.T) {
+	got := runOn(t, "x/internal/traffic", `package traffic
+
+import "math/rand"
+
+// Unseeded sampling in a traffic model is a finding; the seeded
+// constructor pattern below it is the sanctioned idiom.
+func noisy() float64 { return rand.Float64() }
+
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+`)
+	expect(t, got, "7:randsource")
 }
 
 func TestRandSourceSuppressed(t *testing.T) {

@@ -1,0 +1,83 @@
+package lp_test
+
+// Parallel Devex pricing: scoring the candidate list is a read-only pass
+// over fixed duals, so Solver.PriceWorkers fans it out over par.Do index
+// slots and reduces sequentially. The contract under test is bit-for-bit
+// equality: the entire solve trajectory — status, pivot count, objective,
+// and every solution coordinate — must be identical at every worker count.
+
+import (
+	"fmt"
+	"testing"
+
+	"tcr/internal/lp"
+)
+
+// solveAt cold-solves the k-torus design LP with a pool of permutation
+// cuts installed, pricing on the given worker count.
+func solveAt(tb testing.TB, bl *benchLP, e lp.Engine, workers int) *lp.Solution {
+	tb.Helper()
+	s := lp.NewSolver(bl.fl.Model())
+	s.SetEngine(e)
+	s.PriceWorkers = workers
+	for _, c := range bl.cuts {
+		s.AddCut(c, lp.LE, 0)
+	}
+	sol, err := s.Solve()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sol
+}
+
+func TestPriceWorkersBitForBit(t *testing.T) {
+	for _, k := range []int{4, 6} {
+		bl := designBenchLP(k, 24)
+		for _, e := range benchEngines {
+			ref := solveAt(t, bl, e, 1)
+			for _, w := range []int{2, 4, 8} {
+				got := solveAt(t, bl, e, w)
+				if got.Status != ref.Status || got.Iterations != ref.Iterations {
+					t.Fatalf("k=%d/%s workers=%d: trajectory (%v, %d pivots) != sequential (%v, %d pivots)",
+						k, e, w, got.Status, got.Iterations, ref.Status, ref.Iterations)
+				}
+				//lint:ignore floatcmp the parallel-pricing contract is bit-for-bit equality
+				if got.Objective != ref.Objective {
+					t.Fatalf("k=%d/%s workers=%d: objective %.17g != %.17g",
+						k, e, w, got.Objective, ref.Objective)
+				}
+				for j := range ref.X {
+					//lint:ignore floatcmp the parallel-pricing contract is bit-for-bit equality
+					if got.X[j] != ref.X[j] {
+						t.Fatalf("k=%d/%s workers=%d: x[%d] = %.17g != %.17g",
+							k, e, w, j, got.X[j], ref.X[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkPriceWorkers measures the cold solve of the cut-laden k=6
+// design LP at 1, 2, and 4 pricing workers (eta engine — the default
+// build). The w=1 point is the inline baseline the parallel path must not
+// regress.
+func BenchmarkPriceWorkers(b *testing.B) {
+	bl := designBenchLP(6, 24)
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("k=6/w=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := lp.NewSolver(bl.fl.Model())
+				s.SetEngine(lp.EngineEta)
+				s.PriceWorkers = w
+				for _, c := range bl.cuts {
+					s.AddCut(c, lp.LE, 0)
+				}
+				if _, err := s.Solve(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

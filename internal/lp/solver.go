@@ -101,11 +101,11 @@ const (
 // the solver uses is named here; call sites must not inline magic values
 // (enforced by the tolconst analyzer).
 const (
-	dualTol      = 1e-7  // reduced-cost optimality tolerance
-	primalTol    = 1e-7  // bound-feasibility tolerance
-	pivotTol     = 1e-9  // smallest acceptable pivot magnitude
-	residCheck   = 1e-7  // basis accuracy trigger for refactorization
-	phase1Tol    = 1e-7  // max artificial mass at a feasible phase-1 optimum
+	dualTol    = 1e-7 // reduced-cost optimality tolerance
+	primalTol  = 1e-7 // bound-feasibility tolerance
+	pivotTol   = 1e-9 // smallest acceptable pivot magnitude
+	residCheck = 1e-7 // basis accuracy trigger for refactorization
+	phase1Tol  = 1e-7 // max artificial mass at a feasible phase-1 optimum
 	// infeasMassMin is the smallest residual artificial mass a *certified*
 	// phase-1 optimum may carry and still be declared Infeasible. Between
 	// phase1Tol and this floor lies the gray zone where rounding noise on a
@@ -113,9 +113,9 @@ const (
 	// hairline violation; the solver sides with feasibility there, matching
 	// the accuracy the rest of the pipeline actually guarantees.
 	infeasMassMin = 1e-5
-	ratioTieTol  = 1e-12 // tie window in primal/dual ratio tests
-	degenStepTol = 1e-10 // steps at or below this count as degenerate pivots
-	xbPerturb    = 1e-7  // anti-cycling basic-value perturbation magnitude
+	ratioTieTol   = 1e-12 // tie window in primal/dual ratio tests
+	degenStepTol  = 1e-10 // steps at or below this count as degenerate pivots
+	xbPerturb     = 1e-7  // anti-cycling basic-value perturbation magnitude
 )
 
 // Solver holds the computational form of a model plus a (re)usable basis.
@@ -191,6 +191,15 @@ type Solver struct {
 	// generous default proportional to the problem size.
 	MaxIters int
 
+	// PriceWorkers parallelizes Devex candidate scoring (and the matching
+	// weight updates) across this many goroutines. 0 or 1 runs the
+	// historical inline path; values above 1 split the candidate list over
+	// par.Do index slots and reduce sequentially, so the entering column —
+	// and with it the entire pivot trajectory — is bit-for-bit identical
+	// at every worker count. Scoring is read-only (reduced costs against
+	// fixed duals), which is what makes the fan-out safe.
+	PriceWorkers int
+
 	iterations int
 
 	// Devex pricing state (primal simplex): per-column reference weights
@@ -198,6 +207,10 @@ type Solver struct {
 	devexW     []float64
 	cand       []int
 	candCursor int
+	// priceD/priceOK are the per-candidate result slots of the parallel
+	// scoring pass.
+	priceD  []float64
+	priceOK []bool
 
 	// Recovery-ladder state (recover.go): the context whose deadline bounds
 	// the running solve, the diagnostics being accumulated, and the

@@ -1,0 +1,250 @@
+package online
+
+import (
+	"math"
+
+	"tcr/internal/traffic"
+)
+
+// The re-design controller closes the loop between the live estimate and
+// the served design. Its state machine:
+//
+//	          ingest below MinSamples            drift < thr - hyst
+//	   idle ────────────────────────► idle   disarmed ───────────────► armed
+//	    │  bootstrap (nothing served)                ▲
+//	    ├──────────────────────────────► resolving   │ publish / failure
+//	    │  armed and drift >= Threshold              │
+//	    └──────────────────────────────► resolving ──┘ (plus Cooloff batches)
+//
+// Hysteresis keeps a drift value oscillating around the threshold from
+// re-tripping every batch: after a trip the controller disarms and only
+// re-arms once drift falls below Threshold - Hysteresis (which a successful
+// publish causes by re-basing the reference). Cooloff rate-limits re-solves
+// in batches regardless of drift. All decisions are pure functions of the
+// ingested stream, so a replay reproduces the controller's trajectory.
+
+// Drift is the controller's distance: the total-variation distance
+// 0.5 * sum |p - q| between two traffic distributions, in [0, 1]. Inputs
+// are normalized internally, so any nonnegative matrices compare.
+func Drift(p, q *traffic.Matrix) float64 {
+	if p == nil || q == nil || p.N != q.N {
+		return 1
+	}
+	ps, qs := matrixSum(p), matrixSum(q)
+	if ps <= 0 || qs <= 0 {
+		return 1
+	}
+	d := 0.0
+	for i := 0; i < p.N; i++ {
+		for j := 0; j < p.N; j++ {
+			d += math.Abs(p.L[i][j]/ps - q.L[i][j]/qs)
+		}
+	}
+	return 0.5 * d
+}
+
+func matrixSum(m *traffic.Matrix) float64 {
+	s := 0.0
+	for i := 0; i < m.N; i++ {
+		for j := 0; j < m.N; j++ {
+			s += m.L[i][j]
+		}
+	}
+	return s
+}
+
+// uniformNoSelf is the uniform distribution over non-self pairs — the
+// estimator's own max-entropy prior (traffic.Uniform carries diagonal mass,
+// which flow samples never do, and the spurious 1/n drift floor with it).
+func uniformNoSelf(n int) *traffic.Matrix {
+	m := traffic.NewMatrix(n)
+	if n < 2 {
+		return m
+	}
+	u := 1.0 / float64(n*(n-1))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				m.L[i][j] = u
+			}
+		}
+	}
+	return m
+}
+
+// TargetHNorm maps an estimate to the locality operating point the next
+// design should be solved at: the estimate's skew — its total-variation
+// distance from uniform — interpolates between 1 (uniform traffic, where
+// minimal paths already balance load and locality is free to keep) and hMax
+// (concentrated, adversarial-looking traffic, where worst-case throughput
+// needs the longer-path budget), quantized onto a grid of steps points so
+// nearby estimates share a design request (and hence a fingerprint). The
+// paper's §6 interpolated operating points are exactly this knob.
+func TargetHNorm(est *traffic.Matrix, hMax float64, steps int) float64 {
+	if hMax <= 1 || steps < 2 {
+		return 1
+	}
+	skew := Drift(est, uniformNoSelf(est.N))
+	idx := int(math.Round(skew * float64(steps-1)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx > steps-1 {
+		idx = steps - 1
+	}
+	return 1 + float64(idx)*(hMax-1)/float64(steps-1)
+}
+
+// ControllerConfig tunes the trip logic; the zero value is ready to use.
+type ControllerConfig struct {
+	// Threshold is the drift level that trips a re-solve (default 0.25).
+	Threshold float64
+	// Hysteresis is the re-arm margin: after a trip the controller stays
+	// disarmed until drift falls below Threshold - Hysteresis (default
+	// Threshold/4).
+	Hysteresis float64
+	// Cooloff is how many observe batches must pass after a re-solve
+	// completes (or fails) before the next may launch (default 2).
+	Cooloff int
+	// MinSamples is the raw sample mass required before any decision
+	// (default 64): an estimate built on a handful of samples is noise.
+	MinSamples float64
+}
+
+func (c ControllerConfig) threshold() float64 {
+	if c.Threshold > 0 {
+		return c.Threshold
+	}
+	return 0.25
+}
+
+func (c ControllerConfig) hysteresis() float64 {
+	if c.Hysteresis > 0 {
+		return c.Hysteresis
+	}
+	return c.threshold() / 4
+}
+
+func (c ControllerConfig) cooloff() int {
+	if c.Cooloff > 0 {
+		return c.Cooloff
+	}
+	return 2
+}
+
+func (c ControllerConfig) minSamples() float64 {
+	if c.MinSamples > 0 {
+		return c.MinSamples
+	}
+	return 64
+}
+
+// ControllerState is the controller's persisted state. Ref is the estimate
+// the served design was tuned to (nil until the first publish); Resolving
+// is volatile — a restart clears it, and the interrupted re-solve's design
+// checkpoint makes the relaunched solve a resume.
+type ControllerState struct {
+	ServedFP    string      `json:"servedFP,omitempty"`
+	ServedHNorm float64     `json:"servedHNorm,omitempty"`
+	Ref         [][]float64 `json:"ref,omitempty"`
+	Armed       bool        `json:"armed"`
+	Cooloff     int         `json:"cooloff,omitempty"`
+	Resolving   bool        `json:"-"`
+}
+
+// Controller runs the trip state machine for one tenant. Not safe for
+// concurrent use; the manager serializes access.
+type Controller struct {
+	cfg   ControllerConfig
+	state ControllerState
+}
+
+// NewController builds an armed controller with nothing served yet.
+func NewController(cfg ControllerConfig) *Controller {
+	return &Controller{cfg: cfg, state: ControllerState{Armed: true}}
+}
+
+// State returns a copy of the controller's state (Ref shared, read-only by
+// convention).
+func (c *Controller) State() ControllerState { return c.state }
+
+// ref returns the reference estimate as a matrix, or nil before the first
+// publish.
+func (c *Controller) ref() *traffic.Matrix {
+	if c.state.Ref == nil {
+		return nil
+	}
+	m := traffic.NewMatrix(len(c.state.Ref))
+	for i := range c.state.Ref {
+		copy(m.L[i], c.state.Ref[i])
+	}
+	return m
+}
+
+// Step makes one batch's decision: given the live estimate and the raw
+// ingested mass, report the current drift and whether a re-solve should
+// launch now. A true return moves the controller to resolving; the caller
+// must follow up with Published or ResolveFailed.
+func (c *Controller) Step(est *traffic.Matrix, ingested float64) (trip bool, drift float64) {
+	ref := c.ref()
+	if ref == nil {
+		// Nothing published yet: drift is read against uniform so the
+		// metric is meaningful from the first batch.
+		ref = uniformNoSelf(est.N)
+	}
+	drift = Drift(est, ref)
+	switch {
+	case c.state.Resolving:
+		return false, drift
+	case ingested < c.cfg.minSamples():
+		return false, drift
+	case c.state.Cooloff > 0:
+		c.state.Cooloff--
+		return false, drift
+	case c.state.ServedFP == "":
+		// Bootstrap: enough samples and nothing served — publish a first
+		// design regardless of drift.
+		c.state.Resolving = true
+		c.state.Armed = false
+		return true, drift
+	case !c.state.Armed:
+		if drift < c.cfg.threshold()-c.cfg.hysteresis() {
+			c.state.Armed = true
+		}
+		return false, drift
+	case drift >= c.cfg.threshold():
+		c.state.Resolving = true
+		c.state.Armed = false
+		return true, drift
+	}
+	return false, drift
+}
+
+// Published commits a successful re-solve: the design at fp (solved at
+// hNorm against estimate ref) is now what the tenant serves, the reference
+// re-bases to ref, and the cooloff starts.
+func (c *Controller) Published(fp string, hNorm float64, ref *traffic.Matrix) {
+	c.state.ServedFP = fp
+	c.state.ServedHNorm = hNorm
+	c.state.Ref = make([][]float64, ref.N)
+	for i := 0; i < ref.N; i++ {
+		c.state.Ref[i] = append([]float64(nil), ref.L[i]...)
+	}
+	c.state.Resolving = false
+	c.state.Cooloff = c.cfg.cooloff()
+}
+
+// ResolveFailed records a failed re-solve: the previous design (if any)
+// keeps serving and the cooloff delays the retry.
+func (c *Controller) ResolveFailed() {
+	c.state.Resolving = false
+	c.state.Cooloff = c.cfg.cooloff()
+}
+
+// restoreController rebuilds a controller from persisted state. Resolving
+// always restores false: a re-solve in flight at crash time died with the
+// daemon, and its design checkpoint makes the relaunch a resume.
+func restoreController(cfg ControllerConfig, st ControllerState) *Controller {
+	st.Resolving = false
+	return &Controller{cfg: cfg, state: st}
+}

@@ -1,0 +1,371 @@
+package online
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"sync"
+
+	"tcr/internal/store"
+	"tcr/internal/traffic"
+)
+
+// Manager owns the per-tenant estimator + controller pairs and their
+// persistence: one JSON snapshot per tenant under <dir>/, written through
+// the store's atomic path (temp + fsync + rename) after every ingest batch,
+// sealed with an integrity hash. A snapshot a crash tore is quarantined and
+// the tenant starts fresh — recover or quarantine, never crash-loop, same
+// contract as the daemon's job index.
+
+// snapshotSchema versions the persisted tenant state.
+const snapshotSchema = "tcr-online-1"
+
+// tenantPattern constrains tenant names: they become file names and metric
+// label values, so the store's key alphabet applies.
+var tenantPattern = regexp.MustCompile(`^[a-z0-9][a-z0-9-]{0,63}$`)
+
+// ValidTenant reports whether name is usable as a tenant identifier.
+func ValidTenant(name string) bool { return tenantPattern.MatchString(name) }
+
+// Sample is one observed flow: count units from Src to Dst.
+type Sample struct {
+	Src   int     `json:"src"`
+	Dst   int     `json:"dst"`
+	Count float64 `json:"count,omitempty"` // 0 means 1
+}
+
+// Config assembles a manager.
+type Config struct {
+	// Dir is the snapshot directory (created on demand). Empty disables
+	// persistence — estimates then live and die with the process.
+	Dir string
+	// Sketch and Controller configure every tenant identically.
+	Sketch     SketchConfig
+	Controller ControllerConfig
+	// HMax and HSteps define the operating-point grid TargetHNorm
+	// quantizes onto (defaults 1.5 and 5).
+	HMax   float64
+	HSteps int
+}
+
+func (c Config) hMax() float64 {
+	if c.HMax > 1 {
+		return c.HMax
+	}
+	return 1.5
+}
+
+func (c Config) hSteps() int {
+	if c.HSteps > 1 {
+		return c.HSteps
+	}
+	return 5
+}
+
+// Tenant is one tenant's live state. Access only through the manager's
+// methods; the manager's lock serializes.
+type tenant struct {
+	name   string
+	sketch *Sketch
+	ctrl   *Controller
+}
+
+// Manager is safe for concurrent use.
+type Manager struct {
+	mu      sync.Mutex
+	cfg     Config
+	tenants map[string]*tenant
+}
+
+// NewManager builds a manager; existing snapshots load lazily per tenant.
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.Sketch.N <= 0 {
+		return nil, fmt.Errorf("online: manager needs Sketch.N > 0")
+	}
+	return &Manager{cfg: cfg, tenants: make(map[string]*tenant)}, nil
+}
+
+// snapshot is the persisted per-tenant state. SHA256 seals the encoding
+// with the field itself empty, exactly like the design checkpoint.
+type snapshot struct {
+	Schema     string          `json:"schema"`
+	SHA256     string          `json:"sha256"`
+	Tenant     string          `json:"tenant"`
+	Sketch     sketchState     `json:"sketch"`
+	Controller ControllerState `json:"controller"`
+}
+
+func (sn *snapshot) seal() ([]byte, error) {
+	sn.SHA256 = ""
+	body, err := json.Marshal(sn)
+	if err != nil {
+		return nil, err
+	}
+	sn.SHA256 = store.HashBytes(body)
+	return json.Marshal(sn)
+}
+
+func (sn *snapshot) verify() bool {
+	want := sn.SHA256
+	if want == "" {
+		return false
+	}
+	sn.SHA256 = ""
+	body, err := json.Marshal(sn)
+	sn.SHA256 = want
+	return err == nil && store.HashBytes(body) == want
+}
+
+func (m *Manager) snapshotPath(name string) string {
+	return filepath.Join(m.cfg.Dir, name+".json")
+}
+
+// get returns the tenant, restoring its snapshot on first access or
+// creating it fresh. Caller holds m.mu.
+func (m *Manager) get(name string) (*tenant, error) {
+	if !ValidTenant(name) {
+		return nil, fmt.Errorf("online: invalid tenant %q", name)
+	}
+	if t, ok := m.tenants[name]; ok {
+		return t, nil
+	}
+	t := &tenant{name: name}
+	if m.cfg.Dir != "" {
+		if st, ok := m.loadSnapshot(name); ok {
+			if sk, err := restoreSketch(st.Sketch); err == nil {
+				t.sketch = sk
+				t.ctrl = restoreController(m.cfg.Controller, st.Controller)
+			}
+		}
+	}
+	if t.sketch == nil {
+		sk, err := NewSketch(m.cfg.Sketch)
+		if err != nil {
+			return nil, err
+		}
+		t.sketch = sk
+		t.ctrl = NewController(m.cfg.Controller)
+	}
+	m.tenants[name] = t
+	return t, nil
+}
+
+// loadSnapshot reads and validates a tenant snapshot. Unusable files
+// (missing, torn, failed hash, foreign schema, config mismatch) report
+// !ok; torn ones are quarantined aside first.
+func (m *Manager) loadSnapshot(name string) (snapshot, bool) {
+	path := m.snapshotPath(name)
+	b, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return snapshot{}, false
+	}
+	if err != nil {
+		return snapshot{}, false
+	}
+	var sn snapshot
+	if uerr := json.Unmarshal(b, &sn); uerr != nil || sn.Schema != snapshotSchema ||
+		!sn.verify() || sn.Tenant != name || sn.Sketch.Config != m.cfg.Sketch {
+		//lint:ignore errdrop quarantine is best-effort; the tenant restarts fresh either way
+		_ = os.Rename(path, path+".quarantine")
+		return snapshot{}, false
+	}
+	return sn, true
+}
+
+// save persists one tenant's state. Caller holds m.mu. Best-effort by
+// design — estimates are reconstructible from future traffic, so a failed
+// write costs restart fidelity, not correctness — but the error is
+// returned for the caller's logging.
+func (m *Manager) save(t *tenant) error {
+	if m.cfg.Dir == "" {
+		return nil
+	}
+	sn := snapshot{
+		Schema:     snapshotSchema,
+		Tenant:     t.name,
+		Sketch:     t.sketch.state(),
+		Controller: t.ctrl.State(),
+	}
+	data, err := sn.seal()
+	if err != nil {
+		return fmt.Errorf("online: snapshot encode: %w", err)
+	}
+	if err := os.MkdirAll(m.cfg.Dir, 0o755); err != nil {
+		return fmt.Errorf("online: snapshot dir: %w", err)
+	}
+	if err := store.WriteFileAtomic(m.snapshotPath(t.name), data, 0o644); err != nil {
+		return fmt.Errorf("online: snapshot write: %w", err)
+	}
+	return nil
+}
+
+// Ingest adds a batch of samples to a tenant's sketch and persists the
+// snapshot. Samples that fail validation (out of range, self pairs,
+// non-positive counts) are rejected individually; accepted reports how many
+// landed and the first rejection reason (if any) comes back as rejectErr
+// alongside a nil error.
+func (m *Manager) Ingest(name string, samples []Sample) (accepted int, rejectErr, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t, err := m.get(name)
+	if err != nil {
+		return 0, nil, err
+	}
+	for _, s := range samples {
+		c := s.Count
+		//lint:ignore floatcmp the wire-format default: an omitted count decodes to exactly 0
+		if c == 0 {
+			c = 1
+		}
+		if aerr := t.sketch.Add(s.Src, s.Dst, c); aerr != nil {
+			if rejectErr == nil {
+				rejectErr = aerr
+			}
+			continue
+		}
+		accepted++
+	}
+	if serr := m.save(t); serr != nil && rejectErr == nil {
+		rejectErr = serr
+	}
+	return accepted, rejectErr, nil
+}
+
+// Decision is what one controller step resolved to.
+type Decision struct {
+	// Trip reports that a re-solve should launch now; Estimate is the
+	// live estimate the decision was made on and TargetHNorm the operating
+	// point the re-solve should be run at (meaningful when Trip).
+	Trip        bool
+	Drift       float64
+	Estimate    [][]float64
+	TargetHNorm float64
+	// Served mirrors the controller's published state.
+	ServedFP    string
+	ServedHNorm float64
+	Resolving   bool
+	Armed       bool
+	Cooloff     int
+	Ingested    float64
+}
+
+// Step runs one controller decision for the tenant against the configured
+// operating-point grid and persists the state change. Persistence is
+// best-effort even on a trip: a trip whose state failed to persist would
+// merely re-trip after a restart, and the design store dedups the repeat.
+func (m *Manager) Step(name string) (Decision, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t, err := m.get(name)
+	if err != nil {
+		return Decision{}, err
+	}
+	est := t.sketch.Estimate()
+	trip, drift := t.ctrl.Step(est, t.sketch.Ingested())
+	d := Decision{
+		Trip:        trip,
+		Drift:       drift,
+		TargetHNorm: TargetHNorm(est, m.cfg.hMax(), m.cfg.hSteps()),
+	}
+	if trip {
+		d.Estimate = est.L
+	}
+	m.fillState(&d, t)
+	//lint:ignore errdrop see the method comment: best-effort persistence by design
+	_ = m.save(t)
+	return d, nil
+}
+
+// fillState copies the controller's current state into d.
+func (m *Manager) fillState(d *Decision, t *tenant) {
+	st := t.ctrl.State()
+	d.ServedFP = st.ServedFP
+	d.ServedHNorm = st.ServedHNorm
+	d.Resolving = st.Resolving
+	d.Armed = st.Armed
+	d.Cooloff = st.Cooloff
+	d.Ingested = t.sketch.Ingested()
+}
+
+// Status reports a tenant's current state without advancing the
+// controller.
+func (m *Manager) Status(name string) (Decision, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t, err := m.get(name)
+	if err != nil {
+		return Decision{}, err
+	}
+	est := t.sketch.Estimate()
+	ref := t.ctrl.ref()
+	if ref == nil {
+		ref = uniformNoSelf(est.N)
+	}
+	d := Decision{Drift: Drift(est, ref), TargetHNorm: TargetHNorm(est, m.cfg.hMax(), m.cfg.hSteps())}
+	m.fillState(&d, t)
+	return d, nil
+}
+
+// Published forwards a successful publish to the tenant's controller and
+// persists.
+func (m *Manager) Published(name, fp string, hNorm float64, est [][]float64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t, err := m.get(name)
+	if err != nil {
+		return err
+	}
+	ref := traffic.NewMatrix(len(est))
+	for i := range est {
+		copy(ref.L[i], est[i])
+	}
+	t.ctrl.Published(fp, hNorm, ref)
+	return m.save(t)
+}
+
+// ResolveFailed forwards a failed re-solve and persists.
+func (m *Manager) ResolveFailed(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t, err := m.get(name)
+	if err != nil {
+		return err
+	}
+	t.ctrl.ResolveFailed()
+	return m.save(t)
+}
+
+// Drifts returns every loaded tenant's current drift, keyed by tenant, for
+// the metrics endpoint. Tenants are reported in sorted order by the caller;
+// the map itself carries no order.
+func (m *Manager) Drifts() map[string]float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]float64, len(m.tenants))
+	for name, t := range m.tenants {
+		est := t.sketch.Estimate()
+		ref := t.ctrl.ref()
+		if ref == nil {
+			ref = uniformNoSelf(est.N)
+		}
+		out[name] = Drift(est, ref)
+	}
+	return out
+}
+
+// Tenants returns the loaded tenant names, sorted.
+func (m *Manager) Tenants() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.tenants))
+	for n := range m.tenants {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

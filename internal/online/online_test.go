@@ -1,0 +1,382 @@
+package online
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"tcr/internal/traffic"
+)
+
+// stream generates a deterministic sample stream: frac of the mass on the
+// pair (0, 1), the rest spread by a seeded PRNG over all non-self pairs.
+func stream(n, count int, frac float64, seed int64) []Sample {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Sample, 0, count)
+	for i := 0; i < count; i++ {
+		if rng.Float64() < frac {
+			out = append(out, Sample{Src: 0, Dst: 1})
+			continue
+		}
+		s := rng.Intn(n)
+		d := rng.Intn(n - 1)
+		if d >= s {
+			d++
+		}
+		out = append(out, Sample{Src: s, Dst: d})
+	}
+	return out
+}
+
+func feed(t *testing.T, sk *Sketch, samples []Sample) {
+	t.Helper()
+	for _, s := range samples {
+		c := s.Count
+		if c == 0 {
+			c = 1
+		}
+		if err := sk.Add(s.Src, s.Dst, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSketchDeterministic pins the reproducibility contract: two sketches
+// with the same seed fed the same stream agree bit for bit — counters,
+// heavy hitters, and estimate.
+func TestSketchDeterministic(t *testing.T) {
+	cfg := SketchConfig{N: 8, Seed: 42}
+	a, err := NewSketch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSketch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := stream(8, 5000, 0.3, 7)
+	feed(t, a, samples)
+	feed(t, b, samples)
+	if !reflect.DeepEqual(a.state(), b.state()) {
+		t.Fatal("identical streams produced different sketch states")
+	}
+	ea, eb := a.Estimate(), b.Estimate()
+	if !reflect.DeepEqual(ea.L, eb.L) {
+		t.Fatal("identical streams produced different estimates")
+	}
+}
+
+// TestSketchEstimateHeavyHitter: a pair carrying 40% of the traffic must
+// show up in the estimate at roughly its true share, and the estimate must
+// be a distribution (mass 1, zero diagonal).
+func TestSketchEstimateHeavyHitter(t *testing.T) {
+	sk, err := NewSketch(SketchConfig{N: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, sk, stream(8, 20000, 0.4, 3))
+	est := sk.Estimate()
+	sum := 0.0
+	for i := 0; i < est.N; i++ {
+		if est.L[i][i] != 0 {
+			t.Fatalf("estimate has diagonal mass at %d", i)
+		}
+		for j := 0; j < est.N; j++ {
+			sum += est.L[i][j]
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("estimate mass %v, want 1", sum)
+	}
+	if got := est.L[0][1]; got < 0.3 || got > 0.5 {
+		t.Fatalf("heavy hitter share %v, want ~0.4", got)
+	}
+}
+
+// TestSketchDecayForgets: after the stream shifts, decay must let the new
+// pattern dominate the estimate even though the old one carried more raw
+// mass.
+func TestSketchDecayForgets(t *testing.T) {
+	sk, err := NewSketch(SketchConfig{N: 8, Seed: 9, Window: 512, Alpha: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase 1: heavy on (0,1). Phase 2 (half the mass): heavy on (5,2).
+	feed(t, sk, stream(8, 8000, 0.5, 11))
+	for i := 0; i < 4000; i++ {
+		if err := sk.Add(5, 2, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	est := sk.Estimate()
+	if est.L[5][2] < 2*est.L[0][1] {
+		t.Fatalf("decay failed to forget: old hitter %v, new hitter %v",
+			est.L[0][1], est.L[5][2])
+	}
+}
+
+// TestSketchRejectsBadSamples: out-of-range, self, and non-finite samples
+// are rejected without touching the sketch.
+func TestSketchRejectsBadSamples(t *testing.T) {
+	sk, err := NewSketch(SketchConfig{N: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []struct {
+		src, dst int
+		count    float64
+	}{
+		{-1, 2, 1}, {0, 4, 1}, {2, 2, 1}, {0, 1, 0}, {0, 1, -3},
+		{0, 1, math.Inf(1)}, {0, 1, math.NaN()},
+	}
+	for _, c := range bad {
+		if err := sk.Add(c.src, c.dst, c.count); err == nil {
+			t.Errorf("Add(%d,%d,%v) accepted", c.src, c.dst, c.count)
+		}
+	}
+	if sk.Ingested() != 0 {
+		t.Fatalf("rejected samples changed ingested mass: %v", sk.Ingested())
+	}
+}
+
+// TestDriftProperties: zero against itself, one against disjoint support,
+// symmetric, and insensitive to input scaling.
+func TestDriftProperties(t *testing.T) {
+	n := 6
+	p := uniformNoSelf(n)
+	if d := Drift(p, p); d != 0 {
+		t.Fatalf("Drift(p,p) = %v", d)
+	}
+	a := traffic.NewMatrix(n)
+	a.L[0][1] = 1
+	b := traffic.NewMatrix(n)
+	b.L[2][3] = 1
+	if d := Drift(a, b); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("disjoint distributions drift %v, want 1", d)
+	}
+	scaled := traffic.NewMatrix(n)
+	scaled.L[0][1] = 17.5
+	if d := Drift(a, scaled); d != 0 {
+		t.Fatalf("scaling changed drift: %v", d)
+	}
+	if d1, d2 := Drift(a, p), Drift(p, a); math.Abs(d1-d2) > 1e-12 {
+		t.Fatalf("drift asymmetric: %v vs %v", d1, d2)
+	}
+}
+
+// TestTargetHNormGrid: uniform maps to minimal locality, a single-pair
+// concentration to the top of the grid, and outputs snap to grid points.
+func TestTargetHNormGrid(t *testing.T) {
+	n := 8
+	if h := TargetHNorm(uniformNoSelf(n), 1.5, 5); h != 1 {
+		t.Fatalf("uniform target %v, want 1", h)
+	}
+	conc := traffic.NewMatrix(n)
+	conc.L[0][1] = 1
+	if h := TargetHNorm(conc, 1.5, 5); h != 1.5 {
+		t.Fatalf("concentrated target %v, want 1.5", h)
+	}
+	// Halfway skew lands on an interior grid point.
+	mix := traffic.NewMatrix(n)
+	mix.L[0][1] = 0.5
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				mix.L[i][j] += 0.5 / float64(n*(n-1))
+			}
+		}
+	}
+	h := TargetHNorm(mix, 1.5, 5)
+	onGrid := false
+	for i := 0; i < 5; i++ {
+		//lint:ignore floatcmp grid membership is exact by construction
+		if h == 1+float64(i)*0.125 {
+			onGrid = true
+		}
+	}
+	if !onGrid {
+		t.Fatalf("target %v not on the 5-point grid", h)
+	}
+}
+
+// TestControllerLifecycle walks the state machine: gated until MinSamples,
+// bootstrap trip, resolving blocks further trips, publish starts cooloff,
+// hysteresis requires re-arming before the next trip.
+func TestControllerLifecycle(t *testing.T) {
+	n := 6
+	c := NewController(ControllerConfig{Threshold: 0.3, Hysteresis: 0.1, Cooloff: 2, MinSamples: 10})
+	uni := uniformNoSelf(n)
+
+	if trip, _ := c.Step(uni, 5); trip {
+		t.Fatal("tripped below MinSamples")
+	}
+	trip, _ := c.Step(uni, 50)
+	if !trip {
+		t.Fatal("no bootstrap trip with nothing served")
+	}
+	if trip, _ := c.Step(uni, 100); trip {
+		t.Fatal("tripped while resolving")
+	}
+	c.Published("fp1", 1, uni)
+
+	// Cooloff: two batches held even under massive drift.
+	shifted := traffic.NewMatrix(n)
+	shifted.L[0][1] = 1
+	for i := 0; i < 2; i++ {
+		if trip, _ := c.Step(shifted, 200); trip {
+			t.Fatalf("tripped during cooloff batch %d", i)
+		}
+	}
+	// Disarmed after the bootstrap trip: first post-cooloff batch must see
+	// low drift to re-arm. Feed uniform (drift 0 vs ref), then shift.
+	if trip, _ := c.Step(uni, 200); trip {
+		t.Fatal("tripped while disarmed")
+	}
+	trip, drift := c.Step(shifted, 300)
+	if !trip {
+		t.Fatalf("no trip at drift %v over threshold", drift)
+	}
+	c.ResolveFailed()
+	if st := c.State(); st.Resolving || st.Cooloff == 0 {
+		t.Fatalf("failed resolve left state %+v", st)
+	}
+	if st := c.State(); st.ServedFP != "fp1" {
+		t.Fatalf("failed resolve changed served design: %+v", st)
+	}
+}
+
+// TestManagerSnapshotRoundTrip: ingest, drop the manager, reopen over the
+// same directory — sketch mass, controller state, and the estimate must
+// resume identically.
+func TestManagerSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, Sketch: SketchConfig{N: 8, Seed: 5}}
+	m1, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := stream(8, 3000, 0.4, 13)
+	if acc, rerr, err := m1.Ingest("acme", samples); err != nil || rerr != nil || acc != len(samples) {
+		t.Fatalf("ingest: accepted=%d rejectErr=%v err=%v", acc, rerr, err)
+	}
+	if err := m1.Published("acme", "fp-test", 1.25, uniformNoSelf(8).L); err != nil {
+		t.Fatal(err)
+	}
+	before, err := m1.Status("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := m2.Status("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("restart changed state:\nbefore %+v\nafter  %+v", before, after)
+	}
+	if after.ServedFP != "fp-test" || after.ServedHNorm != 1.25 {
+		t.Fatalf("served design lost across restart: %+v", after)
+	}
+}
+
+// TestManagerQuarantinesTornSnapshot: every flavor of torn snapshot is
+// moved aside and the tenant starts fresh — never a crash, never a wrong
+// restore.
+func TestManagerQuarantinesTornSnapshot(t *testing.T) {
+	cases := []struct{ name, content string }{
+		{"truncated", `{"schema":"tcr-online-1","sha256":"ab`},
+		{"zero-byte", ""},
+		{"foreign-schema", `{"schema":"tcr-online-99"}`},
+		{"bad-hash", `{"schema":"tcr-online-1","sha256":"deadbeef","tenant":"acme"}`},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "acme.json")
+			if err := os.WriteFile(path, []byte(tc.content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			m, err := NewManager(Config{Dir: dir, Sketch: SketchConfig{N: 4}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := m.Status("acme")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Ingested != 0 || st.ServedFP != "" {
+				t.Fatalf("torn snapshot restored state: %+v", st)
+			}
+			if _, err := os.Stat(path + ".quarantine"); err != nil {
+				t.Fatalf("torn snapshot not quarantined: %v", err)
+			}
+		})
+	}
+}
+
+// TestManagerTamperRejected: a semantically valid edit that no longer
+// matches the integrity hash is rejected.
+func TestManagerTamperRejected(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, Sketch: SketchConfig{N: 4, Seed: 2}}
+	m1, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m1.Ingest("acme", stream(4, 500, 0.5, 1)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "acme.json")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sn map[string]any
+	if err := json.Unmarshal(b, &sn); err != nil {
+		t.Fatal(err)
+	}
+	sn["tenant"] = "acme" // unchanged field...
+	sk := sn["sketch"].(map[string]any)
+	sk["ingested"] = 999999.0 // ...but a tampered counter
+	tampered, err := json.Marshal(sn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m2.Status("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ingested != 0 {
+		t.Fatalf("tampered snapshot restored: %+v", st)
+	}
+}
+
+// TestManagerRejectsInvalidTenant: names outside the key alphabet never
+// reach the filesystem.
+func TestManagerRejectsInvalidTenant(t *testing.T) {
+	m, err := NewManager(Config{Sketch: SketchConfig{N: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"", "UPPER", "a/b", "..", "-lead", "x y"} {
+		if _, _, err := m.Ingest(name, nil); err == nil {
+			t.Errorf("tenant %q accepted", name)
+		}
+	}
+}

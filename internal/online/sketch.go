@@ -1,0 +1,324 @@
+// Package online implements the streaming half of the online design loop:
+// a per-tenant traffic-matrix estimator fed by (src, dst) flow samples, and
+// the re-design controller that decides when the live estimate has drifted
+// far enough from the traffic the served design was tuned to that an
+// incremental re-solve is worth launching.
+//
+// The estimator is a seeded count-min sketch with an exact top-k
+// heavy-hitter list on top: the sketch absorbs arbitrary pair cardinality
+// in O(rows * cols) memory with the classic overestimate-only error bound,
+// while the heavy hitters — the entries that actually shape a traffic
+// matrix's skew — are tracked individually. A windowed exponential decay,
+// keyed to ingested sample mass rather than wall-clock time, ages old
+// traffic out; everything (hashing, decay, eviction) is deterministic in
+// the configured seed, so a fixed sample stream reproduces the estimate
+// bit for bit on any machine, any number of restarts included.
+package online
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tcr/internal/traffic"
+)
+
+// SketchConfig sizes the estimator; the zero value (plus N) is ready to use.
+type SketchConfig struct {
+	// N is the node count; samples address pairs (src, dst) in [0, N).
+	N int
+	// Rows is the count-min depth (default 4).
+	Rows int
+	// Cols is the count-min width, rounded up to a power of two
+	// (default 256).
+	Cols int
+	// TopK bounds the exact heavy-hitter list (default 64).
+	TopK int
+	// Seed derives the per-row hash functions (splitmix64 chain). Two
+	// sketches with the same seed and config are interchangeable.
+	Seed uint64
+	// Window is the sample mass between decay steps (default 1024): each
+	// time Window samples have been ingested, every counter is scaled by
+	// Alpha. Decay is keyed to mass, not time, so replays reproduce.
+	Window float64
+	// Alpha is the per-window decay factor in (0, 1] (default 0.5).
+	Alpha float64
+}
+
+func (c SketchConfig) rows() int {
+	if c.Rows > 0 {
+		return c.Rows
+	}
+	return 4
+}
+
+func (c SketchConfig) cols() int {
+	w := c.Cols
+	if w <= 0 {
+		w = 256
+	}
+	// Round up to a power of two so the hash can mask instead of mod.
+	p := 1
+	for p < w {
+		p <<= 1
+	}
+	return p
+}
+
+func (c SketchConfig) topK() int {
+	if c.TopK > 0 {
+		return c.TopK
+	}
+	return 64
+}
+
+func (c SketchConfig) window() float64 {
+	if c.Window > 0 {
+		return c.Window
+	}
+	return 1024
+}
+
+func (c SketchConfig) alpha() float64 {
+	if c.Alpha > 0 && c.Alpha <= 1 {
+		return c.Alpha
+	}
+	return 0.5
+}
+
+// splitmix64 is the seed-expansion and hashing primitive: a full-avalanche
+// 64-bit mixer, deterministic by construction.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Sketch is the per-tenant traffic estimator. Not safe for concurrent use;
+// the manager serializes access.
+type Sketch struct {
+	cfg     SketchConfig
+	rowSeed []uint64
+	counts  [][]float64
+	// top maps pair keys (src<<32 | dst) to their decayed count estimates.
+	top map[uint64]float64
+	// total is the decayed total mass; pending the mass since the last
+	// decay step; ingested the cumulative raw mass (never decayed).
+	total, pending, ingested float64
+}
+
+// NewSketch builds an empty estimator. N must be positive.
+func NewSketch(cfg SketchConfig) (*Sketch, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("online: sketch needs N > 0, got %d", cfg.N)
+	}
+	s := &Sketch{cfg: cfg, top: make(map[uint64]float64)}
+	rows, cols := cfg.rows(), cfg.cols()
+	s.rowSeed = make([]uint64, rows)
+	seed := cfg.Seed
+	for r := range s.rowSeed {
+		seed = splitmix64(seed)
+		s.rowSeed[r] = seed
+	}
+	s.counts = make([][]float64, rows)
+	for r := range s.counts {
+		s.counts[r] = make([]float64, cols)
+	}
+	return s, nil
+}
+
+// Config returns the sketch's configuration.
+func (s *Sketch) Config() SketchConfig { return s.cfg }
+
+func pairKey(src, dst int) uint64 { return uint64(src)<<32 | uint64(uint32(dst)) }
+
+// Add ingests one sample: count units of traffic from src to dst. Counts
+// must be positive and finite; src and dst in range and distinct (self
+// traffic never loads a channel and is rejected rather than silently
+// skewing the estimate).
+func (s *Sketch) Add(src, dst int, count float64) error {
+	n := s.cfg.N
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		return fmt.Errorf("online: sample (%d,%d) out of range for N=%d", src, dst, n)
+	}
+	if src == dst {
+		return fmt.Errorf("online: self sample (%d,%d)", src, dst)
+	}
+	if count <= 0 || math.IsInf(count, 0) || math.IsNaN(count) {
+		return fmt.Errorf("online: sample count %v not positive finite", count)
+	}
+	key := pairKey(src, dst)
+	mask := uint64(len(s.counts[0]) - 1)
+	est := math.Inf(1)
+	for r := range s.counts {
+		idx := splitmix64(s.rowSeed[r]^key) & mask
+		s.counts[r][idx] += count
+		if c := s.counts[r][idx]; c < est {
+			est = c
+		}
+	}
+	if _, ok := s.top[key]; ok {
+		s.top[key] += count
+	} else if len(s.top) < s.cfg.topK() {
+		s.top[key] = est
+	} else {
+		// Evict the smallest heavy hitter if the newcomer's count-min
+		// estimate beats it. Ties break on the smaller key, so the
+		// outcome never depends on map iteration order.
+		minKey, minVal := uint64(0), math.Inf(1)
+		for k, v := range s.top {
+			//lint:ignore floatcmp ordering comparator: exact == only decides whether the key tiebreak applies
+			if v < minVal || (v == minVal && k < minKey) {
+				minKey, minVal = k, v
+			}
+		}
+		if est > minVal {
+			delete(s.top, minKey)
+			s.top[key] = est
+		}
+	}
+	s.total += count
+	s.ingested += count
+	s.pending += count
+	for s.pending >= s.cfg.window() {
+		s.decay()
+		s.pending -= s.cfg.window()
+	}
+	return nil
+}
+
+// decay scales every counter by Alpha — one window's worth of aging.
+func (s *Sketch) decay() {
+	a := s.cfg.alpha()
+	for r := range s.counts {
+		row := s.counts[r]
+		for i := range row {
+			row[i] *= a
+		}
+	}
+	for k := range s.top {
+		s.top[k] *= a
+	}
+	s.total *= a
+}
+
+// Ingested returns the cumulative raw sample mass (decay-free); the
+// controller gates its first decision on it.
+func (s *Sketch) Ingested() float64 { return s.ingested }
+
+// topKeys returns the heavy-hitter keys in ascending order — the canonical
+// iteration order for every mass summation and serialization, so results
+// never depend on Go's randomized map order.
+func (s *Sketch) topKeys() []uint64 {
+	keys := make([]uint64, 0, len(s.top))
+	for k := range s.top {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Estimate renders the current estimate as a normalized traffic matrix
+// (entries sum to 1, zero diagonal): the heavy hitters carry their decayed
+// estimates, and whatever decayed mass they do not account for is spread
+// uniformly over the non-self pairs — the sketch knows that mass exists but
+// not where, and uniform is the max-entropy completion. An empty sketch
+// estimates uniform traffic.
+func (s *Sketch) Estimate() *traffic.Matrix {
+	n := s.cfg.N
+	m := traffic.NewMatrix(n)
+	if n < 2 {
+		return m
+	}
+	keys := s.topKeys()
+	heavy := 0.0
+	for _, k := range keys {
+		heavy += s.top[k]
+	}
+	residual := s.total - heavy
+	if residual < 0 {
+		residual = 0
+	}
+	mass := heavy + residual
+	if mass <= 0 {
+		u := 1.0 / float64(n*(n-1))
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j {
+					m.L[i][j] = u
+				}
+			}
+		}
+		return m
+	}
+	base := residual / mass / float64(n*(n-1))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				m.L[i][j] = base
+			}
+		}
+	}
+	for _, k := range keys {
+		m.L[int(k>>32)][int(uint32(k))] += s.top[k] / mass
+	}
+	return m
+}
+
+// sketchState is the serialized form of a sketch; heavy hitters are stored
+// as parallel key-sorted slices so the encoding is canonical.
+type sketchState struct {
+	Config   SketchConfig `json:"config"`
+	Counts   [][]float64  `json:"counts"`
+	TopKeys  []uint64     `json:"topKeys"`
+	TopVals  []float64    `json:"topVals"`
+	Total    float64      `json:"total"`
+	Pending  float64      `json:"pending"`
+	Ingested float64      `json:"ingested"`
+}
+
+func (s *Sketch) state() sketchState {
+	keys := s.topKeys()
+	vals := make([]float64, len(keys))
+	for i, k := range keys {
+		vals[i] = s.top[k]
+	}
+	return sketchState{
+		Config:   s.cfg,
+		Counts:   s.counts,
+		TopKeys:  keys,
+		TopVals:  vals,
+		Total:    s.total,
+		Pending:  s.pending,
+		Ingested: s.ingested,
+	}
+}
+
+// restoreSketch rebuilds a sketch from its serialized state, validating the
+// shape against the configuration (a snapshot for a differently sized
+// sketch is unusable).
+func restoreSketch(st sketchState) (*Sketch, error) {
+	s, err := NewSketch(st.Config)
+	if err != nil {
+		return nil, err
+	}
+	if len(st.Counts) != len(s.counts) || len(st.TopKeys) != len(st.TopVals) ||
+		len(st.TopKeys) > s.cfg.topK() {
+		return nil, fmt.Errorf("online: sketch state shape mismatch")
+	}
+	for r := range st.Counts {
+		if len(st.Counts[r]) != len(s.counts[r]) {
+			return nil, fmt.Errorf("online: sketch state row %d width mismatch", r)
+		}
+		copy(s.counts[r], st.Counts[r])
+	}
+	for i, k := range st.TopKeys {
+		if int(k>>32) >= s.cfg.N || int(uint32(k)) >= s.cfg.N {
+			return nil, fmt.Errorf("online: sketch state heavy hitter out of range")
+		}
+		s.top[k] = st.TopVals[i]
+	}
+	s.total, s.pending, s.ingested = st.Total, st.Pending, st.Ingested
+	return s, nil
+}

@@ -4,6 +4,7 @@ package serve
 
 import (
 	"bytes"
+	"encoding/json"
 	"net/http"
 	"strings"
 	"testing"
@@ -85,5 +86,74 @@ func TestBreakerTripsOnLPFailuresE2E(t *testing.T) {
 	}
 	if status, b := get(t, ts, "/healthz"); status != http.StatusOK || string(b) != "ok\n" {
 		t.Fatalf("healed healthz: %d %q", status, b)
+	}
+}
+
+// TestOnlineResolveFailureChaos arms genuine LP oracle faults against a
+// tripped online re-solve: the solve dies, the controller records the
+// failure and keeps serving the prior certified design (no degradation —
+// the swap simply never happened), the failure feeds the circuit breaker,
+// and the cooloff rate-limits the retry.
+func TestOnlineResolveFailureChaos(t *testing.T) {
+	s, ts := newTestServer(t, Config{BreakerThreshold: 1, BreakerCooloff: time.Hour, OnlineCooloff: 1})
+
+	// Healthy bootstrap: uniform traffic publishes the first design.
+	if _, _, or := postObserve(t, ts, "default", uniformNDJSON(16)); !or.Trip {
+		t.Fatal("bootstrap batch did not trip")
+	}
+	st1 := waitPublished(t, ts, "default", "")
+	fp1 := st1.ServedFP
+	_, _, art1 := getH(t, ts, "/v1/online/default/design")
+
+	// Cooloff batch, then re-arm batch.
+	postObserve(t, ts, "default", uniformNDJSON(16))
+	if _, _, or := postObserve(t, ts, "default", uniformNDJSON(16)); !or.Armed {
+		t.Fatal("controller did not re-arm")
+	}
+
+	// Every oracle call now fails; the traffic shift trips a re-solve that
+	// cannot certify.
+	design.SetOracleFaults(1 << 30)
+	defer design.SetOracleFaults(0)
+	if _, _, or := postObserve(t, ts, "default", concentratedNDJSON(0, 5, 5, 240)); !or.Trip {
+		t.Fatal("shifted batch did not trip")
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for s.met.resolves[resolveErr].Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("re-solve failure never recorded")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Stale serving continues: same prior artifact, resolving cleared, the
+	// breaker is open, and the error is counted.
+	status, hdr, b := getH(t, ts, "/v1/online/default/design")
+	if status != http.StatusOK || hdr.Get("X-TCR-Degraded") != "" {
+		t.Fatalf("post-failure design: status %d degraded %q", status, hdr.Get("X-TCR-Degraded"))
+	}
+	if !bytes.Equal(b, art1) {
+		t.Fatal("post-failure design is not the prior artifact")
+	}
+	var or observeResponse
+	_, sb := get(t, ts, "/v1/online/default")
+	if err := json.Unmarshal(sb, &or); err != nil {
+		t.Fatal(err)
+	}
+	if or.ServedFP != fp1 || or.Resolving {
+		t.Fatalf("post-failure state: served %q (want %q) resolving %v", or.ServedFP, fp1, or.Resolving)
+	}
+	if !s.brk.isOpen() {
+		t.Fatal("failed re-solve did not feed the breaker")
+	}
+	_, mb := get(t, ts, "/metrics")
+	for _, want := range []string{
+		`tcrd_resolves_total{outcome="error"} 1`,
+		`tcrd_resolves_total{outcome="ok"} 1`,
+		"tcrd_breaker_open 1",
+	} {
+		if !strings.Contains(string(mb), want) {
+			t.Errorf("metrics missing %q:\n%s", want, mb)
+		}
 	}
 }

@@ -32,9 +32,12 @@ const (
 	degradeOverload = iota
 	degradeBreaker
 	degradeSolverFailure
+	// degradeResolving marks an online-design answer served from the prior
+	// certified artifact while the tenant's re-solve is still running.
+	degradeResolving
 )
 
-var degradeReasons = [3]string{"overload", "breaker-open", "solver-failure"}
+var degradeReasons = [4]string{"overload", "breaker-open", "solver-failure", "re-solving"}
 
 // errBreakerOpen rejects a store-miss while the breaker is open: the solve
 // path has failed repeatedly and is resting; only the store serves.

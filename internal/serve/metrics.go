@@ -13,13 +13,15 @@ import (
 // render. Counters are monotonic; queue_depth, running, and the cache gauge
 // are sampled at scrape time.
 type metrics struct {
-	requests    [4]atomic.Int64 // indexed by endpoint
-	rejected    atomic.Int64
-	timeouts    atomic.Int64
-	storeHits   atomic.Int64
-	storeMisses atomic.Int64
-	degraded    [3]atomic.Int64 // indexed by degradation reason
-	jobsEvicted atomic.Int64
+	requests       [5]atomic.Int64 // indexed by endpoint
+	rejected       atomic.Int64
+	timeouts       atomic.Int64
+	storeHits      atomic.Int64
+	storeMisses    atomic.Int64
+	degraded       [4]atomic.Int64 // indexed by degradation reason
+	jobsEvicted    atomic.Int64
+	observeSamples atomic.Int64
+	resolves       [2]atomic.Int64 // indexed by re-solve outcome
 
 	mu         sync.Mutex
 	solveCount int64
@@ -37,6 +39,15 @@ type gauges struct {
 	breakerOpen  bool
 	breakerTrips int64
 	jobs         int64
+	// drifts is the per-tenant live drift, sorted by tenant so scrapes are
+	// deterministic.
+	drifts []tenantDrift
+}
+
+// tenantDrift is one tenant's drift gauge sample.
+type tenantDrift struct {
+	tenant string
+	drift  float64
 }
 
 // Endpoint indices for metrics.requests.
@@ -45,9 +56,18 @@ const (
 	epWorstPerm
 	epDesign
 	epPareto
+	epObserve
 )
 
-var epNames = [4]string{"eval", "worstperm", "design", "pareto"}
+var epNames = [5]string{"eval", "worstperm", "design", "pareto", "observe"}
+
+// Re-solve outcome indices for metrics.resolves.
+const (
+	resolveOK = iota
+	resolveErr
+)
+
+var resolveOutcomes = [2]string{"ok", "error"}
 
 func (m *metrics) observeSolve(d time.Duration) {
 	s := d.Seconds()
@@ -73,6 +93,13 @@ func (m *metrics) render(g gauges) []byte {
 	fmt.Fprintf(&b, "tcrd_store_misses_total %d\n", m.storeMisses.Load())
 	for i, reason := range degradeReasons {
 		fmt.Fprintf(&b, "tcrd_degraded_total{reason=%q} %d\n", reason, m.degraded[i].Load())
+	}
+	fmt.Fprintf(&b, "tcrd_observe_samples_total %d\n", m.observeSamples.Load())
+	for i, outcome := range resolveOutcomes {
+		fmt.Fprintf(&b, "tcrd_resolves_total{outcome=%q} %d\n", outcome, m.resolves[i].Load())
+	}
+	for _, d := range g.drifts {
+		fmt.Fprintf(&b, "tcrd_drift{tenant=%q} %g\n", d.tenant, d.drift)
 	}
 	for _, state := range healthStates {
 		fmt.Fprintf(&b, "tcrd_health_state{state=%q} %d\n", state, boolGauge(state == g.health))

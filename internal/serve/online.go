@@ -1,0 +1,320 @@
+package serve
+
+// The online design loop: POST /v1/observe streams flow samples into a
+// per-tenant traffic estimator (internal/online), and each batch runs one
+// controller decision. When the live estimate drifts past the threshold
+// from the traffic the served design was tuned to, the daemon launches a
+// background re-solve at the estimate's operating point, warm-started from
+// the tenant's previous final LP state, and atomically swaps what
+// GET /v1/online/{tenant}/design resolves to when the new artifact
+// certifies. While the re-solve runs, the prior certified design keeps
+// serving with the same degradation disclosure headers as every other
+// stale answer.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+
+	"tcr/internal/design"
+	"tcr/internal/online"
+	"tcr/internal/store"
+)
+
+// tenantHeader names the tenant an observe batch belongs to; absent means
+// "default".
+const tenantHeader = "X-TCR-Tenant"
+
+// Ingestion bounds: one NDJSON line and one batch. A batch past the cap is
+// rejected whole rather than truncated silently.
+const (
+	maxObserveLine  = 1 << 12
+	maxObserveBatch = 1 << 16
+)
+
+// observeResponse is the per-batch answer: what landed, what the estimator
+// thinks, and what the controller decided.
+type observeResponse struct {
+	Tenant       string  `json:"tenant"`
+	Accepted     int     `json:"accepted"`
+	Rejected     int     `json:"rejected"`
+	RejectReason string  `json:"reject_reason,omitempty"`
+	Ingested     float64 `json:"ingested"`
+	Drift        float64 `json:"drift"`
+	TargetHNorm  float64 `json:"target_hnorm"`
+	Trip         bool    `json:"trip"`
+	Resolving    bool    `json:"resolving"`
+	ServedFP     string  `json:"served_fp,omitempty"`
+	ServedHNorm  float64 `json:"served_hnorm,omitempty"`
+	Armed        bool    `json:"armed"`
+	Cooloff      int     `json:"cooloff,omitempty"`
+}
+
+// onlineTenant resolves and validates the request's tenant.
+func onlineTenant(r *http.Request, fromPath bool) (string, error) {
+	name := r.Header.Get(tenantHeader)
+	if fromPath {
+		name = r.PathValue("tenant")
+	}
+	if name == "" {
+		name = "default"
+	}
+	if !online.ValidTenant(name) {
+		return "", fmt.Errorf("invalid tenant %q (want lowercase alphanumeric/dash, max 64)", name)
+	}
+	return name, nil
+}
+
+// handleObserve ingests one NDJSON batch of flow samples — one
+// {"src":i,"dst":j,"count":c} object per line — and runs the tenant's
+// controller step. The batch passes through the same bounded admission as
+// every compute endpoint, so an observe flood surfaces as 429 + Retry-After
+// instead of unbounded queueing.
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	s.met.requests[epObserve].Add(1)
+	tenant, err := onlineTenant(r, false)
+	if err != nil {
+		s.fail(w, r, http.StatusBadRequest, err)
+		return
+	}
+	samples, err := decodeSamples(r.Body)
+	if err != nil {
+		s.fail(w, r, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.reqCtx(r, 0)
+	defer cancel()
+	if err := s.acquire(ctx); err != nil {
+		s.finish(w, r, ctx, nil, err, nil)
+		return
+	}
+	accepted, rejectErr, err := s.online.Ingest(tenant, samples)
+	if err != nil {
+		s.release()
+		s.fail(w, r, http.StatusBadRequest, err)
+		return
+	}
+	s.met.observeSamples.Add(int64(accepted))
+	dec, err := s.online.Step(tenant)
+	s.release()
+	if err != nil {
+		s.fail(w, r, http.StatusInternalServerError, err)
+		return
+	}
+	if dec.Trip {
+		s.launchResolve(tenant, dec)
+	}
+	resp := observeResponse{
+		Tenant:      tenant,
+		Accepted:    accepted,
+		Rejected:    len(samples) - accepted,
+		Ingested:    dec.Ingested,
+		Drift:       dec.Drift,
+		TargetHNorm: dec.TargetHNorm,
+		Trip:        dec.Trip,
+		Resolving:   dec.Resolving || dec.Trip,
+		ServedFP:    dec.ServedFP,
+		ServedHNorm: dec.ServedHNorm,
+		Armed:       dec.Armed,
+		Cooloff:     dec.Cooloff,
+	}
+	if rejectErr != nil {
+		resp.RejectReason = rejectErr.Error()
+	}
+	writeJSON(w, resp)
+}
+
+// decodeSamples parses the NDJSON observe body strictly: unknown fields and
+// malformed lines reject the batch, so a schema typo cannot silently feed
+// zeros into an estimator.
+func decodeSamples(r io.Reader) ([]online.Sample, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 4096), maxObserveLine)
+	var out []online.Sample
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		if len(out) >= maxObserveBatch {
+			return nil, fmt.Errorf("observe batch exceeds %d samples", maxObserveBatch)
+		}
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		var smp online.Sample
+		if err := dec.Decode(&smp); err != nil {
+			return nil, fmt.Errorf("malformed sample on line %d: %w", line, err)
+		}
+		out = append(out, smp)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading observe body: %w", err)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("empty observe batch")
+	}
+	return out, nil
+}
+
+// handleOnlineStatus reports a tenant's estimator and controller state
+// without advancing the controller.
+func (s *Server) handleOnlineStatus(w http.ResponseWriter, r *http.Request) {
+	tenant, err := onlineTenant(r, true)
+	if err != nil {
+		s.fail(w, r, http.StatusBadRequest, err)
+		return
+	}
+	dec, err := s.online.Status(tenant)
+	if err != nil {
+		s.fail(w, r, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, observeResponse{
+		Tenant:      tenant,
+		Ingested:    dec.Ingested,
+		Drift:       dec.Drift,
+		TargetHNorm: dec.TargetHNorm,
+		Resolving:   dec.Resolving,
+		ServedFP:    dec.ServedFP,
+		ServedHNorm: dec.ServedHNorm,
+		Armed:       dec.Armed,
+		Cooloff:     dec.Cooloff,
+	})
+}
+
+// handleOnlineDesign serves the tenant's currently published design
+// artifact. While a re-solve is in flight the prior certified design
+// answers, disclosed with the re-solving degradation headers — the online
+// loop never blocks a reader on a solve.
+func (s *Server) handleOnlineDesign(w http.ResponseWriter, r *http.Request) {
+	tenant, err := onlineTenant(r, true)
+	if err != nil {
+		s.fail(w, r, http.StatusBadRequest, err)
+		return
+	}
+	dec, err := s.online.Status(tenant)
+	if err != nil {
+		s.fail(w, r, http.StatusBadRequest, err)
+		return
+	}
+	if dec.ServedFP == "" {
+		s.fail(w, r, http.StatusNotFound, fmt.Errorf("tenant %q has no published design yet", tenant))
+		return
+	}
+	payload, m, err := s.store.Get(store.KindDesign, dec.ServedFP)
+	if err != nil {
+		s.fail(w, r, http.StatusInternalServerError,
+			fmt.Errorf("published design %.16s unavailable: %w", dec.ServedFP, err))
+		return
+	}
+	if dec.Resolving {
+		s.serveStale(w, degradeResolving, &staleFallback{payload: payload, m: m,
+			note: fmt.Sprintf("online design hnorm=%g while re-solve runs (drift %.3f)", dec.ServedHNorm, dec.Drift)})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeBody(w, payload)
+}
+
+// launchResolve runs a tripped re-solve in the daemon's job pool. The
+// design request is content-addressed like any other — identical operating
+// points across tenants share one artifact and one in-flight solve — and
+// the outcome always reaches the controller exactly once: Published on a
+// certified artifact, ResolveFailed otherwise (which starts the cooloff
+// that rate-limits the retry).
+func (s *Server) launchResolve(tenant string, dec online.Decision) {
+	req := store.DesignRequest{K: s.cfg.onlineK(), Kind: store.DesignWorstCase, HNorm: dec.TargetHNorm}
+	fp, err := req.Fingerprint()
+	if err != nil {
+		s.met.resolves[resolveErr].Add(1)
+		//lint:ignore errdrop the cooloff is the retry policy; a failed state save re-trips later
+		s.online.ResolveFailed(tenant)
+		return
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		_, rerr := s.result(s.jobCtx, store.KindDesign, fp, s.onlineCompute(tenant, req, fp))
+		if rerr != nil {
+			s.met.resolves[resolveErr].Add(1)
+			//lint:ignore errdrop the cooloff is the retry policy; a failed state save re-trips later
+			s.online.ResolveFailed(tenant)
+			return
+		}
+		if perr := s.online.Published(tenant, fp, req.HNorm, dec.Estimate); perr != nil {
+			// The design is in the store but the controller state failed to
+			// persist; the in-memory swap still happened, so serving is
+			// correct and only restart fidelity is lost.
+			s.met.resolves[resolveErr].Add(1)
+			return
+		}
+		s.met.resolves[resolveOK].Add(1)
+	}()
+}
+
+// onlineCompute is the re-solve closure: the request-fingerprint checkpoint
+// makes a crashed re-solve resume, and the per-tenant warm slot carries the
+// final basis and cut log from the previous publish into the next one —
+// locality targets differ between operating points, but permutation cuts
+// and the optimal basis transfer, so a warm re-solve certifies in fewer
+// cutting-plane rounds than a cold one.
+func (s *Server) onlineCompute(tenant string, req store.DesignRequest, fp string) func(context.Context) ([]byte, bool, error) {
+	return func(ctx context.Context) ([]byte, bool, error) {
+		ckpt, err := s.store.CheckpointPath(store.KindDesign, fp)
+		if err != nil {
+			return nil, false, err
+		}
+		warm, err := s.store.CheckpointPath("online", store.HashBytes([]byte(tenant)))
+		if err != nil {
+			return nil, false, err
+		}
+		opts := design.Options{
+			Workers:       s.cfg.SolveWorkers,
+			Checkpoint:    ckpt,
+			WarmFrom:      warm,
+			FinalSnapshot: warm,
+		}
+		art, err := ComputeDesign(ctx, req, opts)
+		if err != nil {
+			return nil, false, err
+		}
+		if !art.Certified {
+			return nil, false, fmt.Errorf("online re-solve uncertified after %d rounds: %s", art.Rounds, art.Reason)
+		}
+		b, err := store.Encode(art)
+		if err != nil {
+			return nil, false, err
+		}
+		return b, true, nil
+	}
+}
+
+// driftGauges samples every loaded tenant's drift for the metrics scrape,
+// sorted by tenant.
+func (s *Server) driftGauges() []tenantDrift {
+	m := s.online.Drifts()
+	out := make([]tenantDrift, 0, len(m))
+	for name, d := range m {
+		out = append(out, tenantDrift{tenant: name, drift: d})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].tenant < out[j].tenant })
+	return out
+}
+
+// writeJSON sends a 200 with v's JSON encoding.
+func writeJSON(w http.ResponseWriter, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		b = []byte(`{"error":"internal"}`)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeBody(w, append(b, '\n'))
+}

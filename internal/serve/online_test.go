@@ -1,0 +1,408 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tcr/internal/design"
+	"tcr/internal/store"
+	"tcr/internal/topo"
+)
+
+// The online design loop e2e suite. Design solves run at OnlineK=4 (16
+// nodes, 240 flows), where a certified worst-case solve takes well under a
+// second, and the sketch defaults (4x256 counters, top-64) hold the whole
+// traffic matrix nearly exactly.
+
+// uniformNDJSON is one observe batch covering every non-self pair once.
+func uniformNDJSON(n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				fmt.Fprintf(&b, `{"src":%d,"dst":%d}`+"\n", i, j)
+			}
+		}
+	}
+	return b.String()
+}
+
+// concentratedNDJSON is one batch hammering a single pair.
+func concentratedNDJSON(src, dst, count, repeat int) string {
+	var b strings.Builder
+	for i := 0; i < repeat; i++ {
+		fmt.Fprintf(&b, `{"src":%d,"dst":%d,"count":%d}`+"\n", src, dst, count)
+	}
+	return b.String()
+}
+
+// postObserve ships one NDJSON batch for a tenant.
+func postObserve(t *testing.T, ts *httptest.Server, tenant, body string) (int, http.Header, observeResponse) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/observe", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	req.Header.Set(tenantHeader, tenant)
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var or observeResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(b, &or); err != nil {
+			t.Fatalf("undecodable observe response %q: %v", b, err)
+		}
+	}
+	return resp.StatusCode, resp.Header, or
+}
+
+// getH is get with response headers.
+func getH(t *testing.T, ts *httptest.Server, path string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, b
+}
+
+// waitPublished polls the tenant's status until a design other than notFP
+// is published and no re-solve is running.
+func waitPublished(t *testing.T, ts *httptest.Server, tenant, notFP string) observeResponse {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		status, _, b := getH(t, ts, "/v1/online/"+tenant)
+		if status != http.StatusOK {
+			t.Fatalf("status poll: %d %s", status, b)
+		}
+		var or observeResponse
+		if err := json.Unmarshal(b, &or); err != nil {
+			t.Fatal(err)
+		}
+		if or.ServedFP != "" && or.ServedFP != notFP && !or.Resolving {
+			return or
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no publish past %q: %s", notFP, b)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestOnlineDriftRetuneE2E is the online-loop acceptance test: a uniform
+// stream bootstraps a first published design, a traffic shift drives the
+// drift past the threshold, and the daemon re-solves at the new operating
+// point warm-started from the previous solve's final LP state — certifying
+// in fewer cutting-plane rounds than the same solve from scratch — while
+// requests during the re-solve are served from the prior certified
+// artifact with the re-solving disclosure headers.
+func TestOnlineDriftRetuneE2E(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2, OnlineCooloff: 1})
+	var resolves atomic.Int64
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	s.hooks.computeStart = func(kind, _ string) {
+		if kind == store.KindDesign && resolves.Add(1) == 2 {
+			started <- struct{}{}
+			<-gate
+		}
+	}
+
+	// Uniform traffic, enough mass to pass the MinSamples gate: the
+	// bootstrap trip publishes the first design.
+	status, _, or := postObserve(t, ts, "default", uniformNDJSON(16))
+	if status != http.StatusOK || !or.Trip || !or.Resolving {
+		t.Fatalf("bootstrap batch: status %d, trip=%v resolving=%v", status, or.Trip, or.Resolving)
+	}
+	st1 := waitPublished(t, ts, "default", "")
+	fp1, h1 := st1.ServedFP, st1.ServedHNorm
+
+	code, hdr, art1Bytes := getH(t, ts, "/v1/online/default/design")
+	if code != http.StatusOK || hdr.Get("X-TCR-Degraded") != "" {
+		t.Fatalf("published design: status %d degraded %q", code, hdr.Get("X-TCR-Degraded"))
+	}
+	var art1 store.DesignArtifact
+	if err := json.Unmarshal(art1Bytes, &art1); err != nil {
+		t.Fatal(err)
+	}
+	if !art1.Certified || art1.Request.HNorm != h1 {
+		t.Fatalf("first artifact: certified=%v hnorm=%g (served %g)", art1.Certified, art1.Request.HNorm, h1)
+	}
+
+	// Two more uniform batches: the first is eaten by the cooloff, the
+	// second re-arms the controller (drift vs the re-based reference ~ 0).
+	if _, _, or := postObserve(t, ts, "default", uniformNDJSON(16)); or.Trip {
+		t.Fatal("cooloff batch tripped")
+	}
+	if _, _, or := postObserve(t, ts, "default", uniformNDJSON(16)); or.Trip || !or.Armed {
+		t.Fatalf("re-arm batch: trip=%v armed=%v", or.Trip, or.Armed)
+	}
+
+	// The shift: one pair takes over the traffic. Drift crosses the
+	// threshold, the operating point moves up the locality grid, and the
+	// re-solve trips.
+	_, _, or = postObserve(t, ts, "default", concentratedNDJSON(0, 5, 5, 240))
+	if !or.Trip {
+		t.Fatalf("shifted batch did not trip (drift %.3f, armed %v)", or.Drift, or.Armed)
+	}
+	if or.TargetHNorm <= h1 {
+		t.Fatalf("concentrated traffic target %g, want above uniform point %g", or.TargetHNorm, h1)
+	}
+
+	// While the re-solve runs, the prior certified design serves with the
+	// substitution disclosed.
+	<-started
+	code, hdr, b := getH(t, ts, "/v1/online/default/design")
+	if code != http.StatusOK {
+		t.Fatalf("mid-resolve design: status %d", code)
+	}
+	if got := hdr.Get("X-TCR-Degraded"); got != "re-solving" {
+		t.Fatalf("mid-resolve X-TCR-Degraded %q, want re-solving", got)
+	}
+	if hdr.Get("X-TCR-Staleness") == "" || hdr.Get("X-TCR-Fallback-Fingerprint") != fp1 {
+		t.Fatalf("mid-resolve disclosure headers: staleness %q fallback-fp %q (want %q)",
+			hdr.Get("X-TCR-Staleness"), hdr.Get("X-TCR-Fallback-Fingerprint"), fp1)
+	}
+	if string(b) != string(art1Bytes) {
+		t.Fatal("mid-resolve response is not the prior artifact")
+	}
+	close(gate)
+
+	// The publish swaps the served design atomically.
+	st2 := waitPublished(t, ts, "default", fp1)
+	code, hdr, b = getH(t, ts, "/v1/online/default/design")
+	if code != http.StatusOK || hdr.Get("X-TCR-Degraded") != "" {
+		t.Fatalf("post-publish design: status %d degraded %q", code, hdr.Get("X-TCR-Degraded"))
+	}
+	var art2 store.DesignArtifact
+	if err := json.Unmarshal(b, &art2); err != nil {
+		t.Fatal(err)
+	}
+	if !art2.Certified || art2.Request.HNorm != st2.ServedHNorm || art2.Request.HNorm <= h1 {
+		t.Fatalf("second artifact: certified=%v hnorm=%g served=%g h1=%g",
+			art2.Certified, art2.Request.HNorm, st2.ServedHNorm, h1)
+	}
+
+	// The warm start is the point: the re-solve resumed the previous final
+	// basis and cut log, so it must certify in fewer cutting-plane rounds
+	// than the identical solve from scratch.
+	cold, err := design.WorstCaseAtLocalityCtx(context.Background(), topo.NewTorus(4),
+		art2.Request.HNorm, design.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art2.Rounds >= cold.Rounds {
+		t.Fatalf("warm re-solve took %d rounds, cold reference %d — warm start did not help",
+			art2.Rounds, cold.Rounds)
+	}
+	t.Logf("drift retune: hnorm %g -> %g, warm re-solve %d rounds vs cold %d",
+		h1, art2.Request.HNorm, art2.Rounds, cold.Rounds)
+
+	_, mb := get(t, ts, "/metrics")
+	for _, want := range []string{
+		`tcrd_resolves_total{outcome="ok"} 2`,
+		`tcrd_resolves_total{outcome="error"} 0`,
+		`tcrd_degraded_total{reason="re-solving"} 1`,
+		`tcrd_drift{tenant="default"}`,
+		"tcrd_observe_samples_total 960\n",
+	} {
+		if !strings.Contains(string(mb), want) {
+			t.Errorf("metrics missing %q:\n%s", want, mb)
+		}
+	}
+}
+
+// TestObserveValidation exercises the ingestion guardrails: bad tenants and
+// malformed NDJSON are 400s, per-sample rejections are disclosed in a 200.
+func TestObserveValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for name, tc := range map[string]struct {
+		tenant, body string
+	}{
+		"bad tenant":    {"Not_A_Tenant!", `{"src":0,"dst":1}` + "\n"},
+		"malformed":     {"default", "{src:0}\n"},
+		"unknown field": {"default", `{"src":0,"dst":1,"weight":2}` + "\n"},
+		"empty":         {"default", "\n\n"},
+	} {
+		if status, _, _ := postObserve(t, ts, tc.tenant, tc.body); status != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, status)
+		}
+	}
+
+	// Out-of-range and self-pair samples reject individually, not the batch.
+	status, _, or := postObserve(t, ts, "default",
+		`{"src":0,"dst":1}`+"\n"+`{"src":99,"dst":1}`+"\n"+`{"src":2,"dst":2}`+"\n")
+	if status != http.StatusOK || or.Accepted != 1 || or.Rejected != 2 || or.RejectReason == "" {
+		t.Fatalf("mixed batch: status %d accepted %d rejected %d reason %q",
+			status, or.Accepted, or.Rejected, or.RejectReason)
+	}
+
+	if status, _, _ := getH(t, ts, "/v1/online/Not_A_Tenant!"); status != http.StatusBadRequest {
+		t.Errorf("bad tenant status: %d, want 400", status)
+	}
+	if status, _, _ := getH(t, ts, "/v1/online/nobody/design"); status != http.StatusNotFound {
+		t.Errorf("unpublished tenant design: %d, want 404", status)
+	}
+}
+
+// TestObserveBackpressure fills the solver pool and queue, then requires an
+// observe batch to be rejected with 429 + Retry-After: ingestion shares the
+// daemon's bounded admission.
+func TestObserveBackpressure(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1, OnlineMinSamples: 1e9})
+	gate := make(chan struct{})
+	admitted := make(chan string, 4)
+	s.hooks.computeStart = func(kind, fp string) {
+		admitted <- kind + "/" + fp
+		<-gate
+	}
+	results := make(chan int, 2)
+	for _, alg := range []string{"DOR", "VAL"} {
+		go func(alg string) {
+			status, _, _ := post(t, ts, "/v1/eval", fmt.Sprintf(`{"k":4,"alg":%q}`, alg))
+			results <- status
+		}(alg)
+	}
+	<-admitted
+	deadline := time.Now().Add(5 * time.Second)
+	for s.queued.Load() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never reached 2 (at %d)", s.queued.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	status, hdr, _ := postObserve(t, ts, "default", `{"src":0,"dst":1}`+"\n")
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("observe under overload: status %d, want 429", status)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	close(gate)
+	for i := 0; i < 2; i++ {
+		if status := <-results; status != http.StatusOK {
+			t.Fatalf("gated request finished with %d", status)
+		}
+	}
+	// Pool drained: the same batch lands.
+	if status, _, or := postObserve(t, ts, "default", `{"src":0,"dst":1}`+"\n"); status != http.StatusOK || or.Accepted != 1 {
+		t.Fatalf("post-drain observe: status %d accepted %d", status, or.Accepted)
+	}
+}
+
+// TestOnlineRestartResumes kills a daemon (abandoning nothing gracefully
+// beyond Close) and requires the successor to resume the estimator and
+// controller state bit for bit from the sealed snapshots — and a torn
+// snapshot to quarantine rather than crash-loop.
+func TestOnlineRestartResumes(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{StoreDir: dir, SolveWorkers: 1}
+
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	// Tenant "stream": below the MinSamples gate, estimator state only.
+	for i := 0; i < 3; i++ {
+		if status, _, _ := postObserve(t, ts1, "stream", concentratedNDJSON(1, 2+i, 1, 10)); status != http.StatusOK {
+			t.Fatalf("stream batch %d: status %d", i, status)
+		}
+	}
+	// Tenant "served": full bootstrap publish, then one batch into the
+	// cooloff so the persisted controller state is mid-machine.
+	if _, _, or := postObserve(t, ts1, "served", uniformNDJSON(16)); !or.Trip {
+		t.Fatal("bootstrap batch did not trip")
+	}
+	waitPublished(t, ts1, "served", "")
+	postObserve(t, ts1, "served", uniformNDJSON(16))
+
+	var before [2][]byte
+	for i, tenant := range []string{"stream", "served"} {
+		status, _, b := getH(t, ts1, "/v1/online/"+tenant)
+		if status != http.StatusOK {
+			t.Fatalf("pre-restart status %s: %d", tenant, status)
+		}
+		before[i] = b
+	}
+	ts1.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	for i, tenant := range []string{"stream", "served"} {
+		status, _, b := getH(t, ts2, "/v1/online/"+tenant)
+		if status != http.StatusOK || string(b) != string(before[i]) {
+			t.Fatalf("restarted status %s:\n got %s\nwant %s", tenant, b, before[i])
+		}
+	}
+	// The published design replays from the store, fresh (not degraded).
+	if status, hdr, _ := getH(t, ts2, "/v1/online/served/design"); status != http.StatusOK || hdr.Get("X-TCR-Degraded") != "" {
+		t.Fatalf("restarted design: status %d degraded %q", status, hdr.Get("X-TCR-Degraded"))
+	}
+	ts2.Close()
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A crash mid-write tears a snapshot: the next daemon quarantines it
+	// and the tenant starts fresh.
+	snap := filepath.Join(dir, "online", "stream.json")
+	raw, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(snap, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts3 := httptest.NewServer(s3.Handler())
+	defer ts3.Close()
+	defer s3.Close()
+	status, _, b := getH(t, ts3, "/v1/online/stream")
+	if status != http.StatusOK {
+		t.Fatalf("post-tear status: %d", status)
+	}
+	var or observeResponse
+	if err := json.Unmarshal(b, &or); err != nil {
+		t.Fatal(err)
+	}
+	if or.Ingested != 0 {
+		t.Fatalf("torn snapshot restored: ingested %g, want 0", or.Ingested)
+	}
+	if _, err := os.Stat(snap + ".quarantine"); err != nil {
+		t.Fatalf("torn snapshot not quarantined: %v", err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"tcr/internal/design"
 	"tcr/internal/eval"
 	"tcr/internal/lp"
+	"tcr/internal/online"
 	"tcr/internal/routing"
 	"tcr/internal/store"
 )
@@ -55,6 +57,25 @@ type Config struct {
 	// JobMaxDone caps retained finished jobs regardless of age, oldest
 	// evicted first (default 1024).
 	JobMaxDone int
+	// OnlineK is the torus radix the online design loop re-solves for; its
+	// estimators size to k^2 nodes (default 4).
+	OnlineK int
+	// OnlineSeed seeds the per-tenant sketch hashing; identical seeds and
+	// sample streams reproduce identical estimates across daemons.
+	OnlineSeed uint64
+	// DriftThreshold is the estimate-vs-served total-variation distance that
+	// trips a re-solve (default 0.25).
+	DriftThreshold float64
+	// OnlineCooloff is how many observe batches must pass after a re-solve
+	// completes before the next may launch (default 2).
+	OnlineCooloff int
+	// OnlineMinSamples gates controller decisions until a tenant's sketch
+	// has ingested this much sample mass (default 64).
+	OnlineMinSamples float64
+	// OnlineHMax and OnlineHSteps define the locality operating-point grid
+	// re-solves quantize onto (defaults 1.5 and 5).
+	OnlineHMax   float64
+	OnlineHSteps int
 }
 
 func (c Config) workers() int {
@@ -113,6 +134,13 @@ func (c Config) jobMaxDone() int {
 	return c.JobMaxDone
 }
 
+func (c Config) onlineK() int {
+	if c.OnlineK <= 0 {
+		return 4
+	}
+	return c.OnlineK
+}
+
 // hooks are white-box observation points for tests: storeHit fires when a
 // request is served from the artifact store, computeStart when a solver
 // actually begins work. Both may be nil.
@@ -124,16 +152,17 @@ type hooks struct {
 // Server is the tcrd daemon: HTTP handlers over the compute layer, the
 // artifact store, singleflight coalescing, and bounded admission.
 type Server struct {
-	cfg       Config
-	store     *store.Store
-	cache     *eval.Cache
-	mux       *http.ServeMux
-	single    group
-	slots     chan struct{}
-	queued    atomic.Int64
-	met       metrics
-	hooks     hooks
-	jobs      jobTable
+	cfg    Config
+	store  *store.Store
+	cache  *eval.Cache
+	online *online.Manager
+	mux    *http.ServeMux
+	single group
+	slots  chan struct{}
+	queued atomic.Int64
+	met    metrics
+	hooks  hooks
+	jobs   jobTable
 	// saveMu serializes jobs.json writers so a stale snapshot's rename
 	// can never land after a fresher one (lost update).
 	saveMu    sync.Mutex
@@ -159,13 +188,29 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	n := cfg.onlineK() * cfg.onlineK()
+	om, err := online.NewManager(online.Config{
+		Dir:    filepath.Join(cfg.StoreDir, "online"),
+		Sketch: online.SketchConfig{N: n, Seed: cfg.OnlineSeed},
+		Controller: online.ControllerConfig{
+			Threshold:  cfg.DriftThreshold,
+			Cooloff:    cfg.OnlineCooloff,
+			MinSamples: cfg.OnlineMinSamples,
+		},
+		HMax:   cfg.OnlineHMax,
+		HSteps: cfg.OnlineHSteps,
+	})
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
-		cfg:   cfg,
-		store: st,
-		cache: eval.NewCacheLimit(cfg.flowCacheEntries()),
-		slots: make(chan struct{}, cfg.workers()),
-		brk:   &breaker{threshold: cfg.breakerThreshold(), cooloff: cfg.breakerCooloff()},
-		now:   time.Now,
+		cfg:    cfg,
+		store:  st,
+		cache:  eval.NewCacheLimit(cfg.flowCacheEntries()),
+		online: om,
+		slots:  make(chan struct{}, cfg.workers()),
+		brk:    &breaker{threshold: cfg.breakerThreshold(), cooloff: cfg.breakerCooloff()},
+		now:    time.Now,
 	}
 	s.jobCtx, s.jobCancel = context.WithCancel(context.Background())
 	if err := s.loadJobs(); err != nil {
@@ -176,6 +221,9 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/worstperm", s.handleWorstPerm)
 	s.mux.HandleFunc("POST /v1/design", s.handleDesign)
 	s.mux.HandleFunc("POST /v1/pareto", s.handlePareto)
+	s.mux.HandleFunc("POST /v1/observe", s.handleObserve)
+	s.mux.HandleFunc("GET /v1/online/{tenant}", s.handleOnlineStatus)
+	s.mux.HandleFunc("GET /v1/online/{tenant}/design", s.handleOnlineDesign)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -579,6 +627,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		breakerOpen:  s.brk.isOpen(),
 		breakerTrips: s.brk.tripCount(),
 		jobs:         s.jobs.count(),
+		drifts:       s.driftGauges(),
 	}
 	writeBody(w, s.met.render(g))
 }

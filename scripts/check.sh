@@ -4,9 +4,10 @@
 # Runs, in order: build, go vet, the repo's own static-analysis pass
 # (tcrlint), the unit tests under the race detector, the fault-injection
 # suites (-tags lpchaos for the solver, -tags storechaos for the storage
-# crash-consistency harness), the daemon e2e and client retry suites, and
-# a short fuzz smoke over the fuzz targets. Any failure aborts with a
-# nonzero exit.
+# crash-consistency harness), the daemon e2e and client retry suites, the
+# online design loop (observe ingest, drift-retune e2e, restart resume,
+# plus the lpchaos re-solve-failure case), and a short fuzz smoke over the
+# fuzz targets. Any failure aborts with a nonzero exit.
 #
 # Usage: scripts/check.sh [fuzztime]
 #   fuzztime   duration for each fuzz smoke (default 5s; "0" skips fuzzing)
@@ -35,6 +36,12 @@ go test -race -count=1 -tags "storechaos lpchaos" -timeout 10m ./internal/store 
 
 echo "==> daemon e2e (artifact store + tcrd serving path + CLI parity, race)"
 go test -race -count=1 -timeout 10m ./internal/store ./internal/serve ./cmd/tcr
+
+echo "==> online design loop (observe ingest + drift retune e2e + restart, race)"
+go test -race -count=1 -timeout 10m -run 'Online|Observe' ./internal/serve ./internal/online
+
+echo "==> online re-solve failure chaos (-tags lpchaos)"
+go test -tags lpchaos -count=1 -timeout 10m -run 'OnlineResolveFailureChaos' ./internal/serve
 
 echo "==> client retry/backoff/hedging suite (race)"
 go test -race -count=1 -timeout 5m ./internal/client
